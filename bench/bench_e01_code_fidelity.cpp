@@ -1,0 +1,77 @@
+// E1 (§2, Eq. 14): storing a qubit bare loses fidelity F = 1 - eps per step;
+// stored in Steane's code with ideal recovery the failure is O(eps²).
+// Regenerates the quadratic-improvement series and the crossover.
+#include <cstdio>
+
+#include "codes/library.h"
+#include "codes/lookup_decoder.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "pauli/pauli_string.h"
+
+namespace {
+
+using ftqc::codes::LookupDecoder;
+using ftqc::pauli::PauliString;
+
+// Exact logical-failure probability of one error-channel step + ideal
+// recovery: sum over all 4^7 Pauli patterns of the §6 channel (X, Y, Z each
+// with eps/3 per qubit).
+double exact_encoded_failure(const LookupDecoder& decoder, double eps) {
+  const double p_each = eps / 3.0;
+  double failure = 0;
+  for (uint32_t pattern = 0; pattern < (1u << 14); ++pattern) {
+    PauliString error(7);
+    double prob = 1;
+    for (size_t q = 0; q < 7; ++q) {
+      const uint32_t code = (pattern >> (2 * q)) & 3u;
+      static constexpr char kChars[] = {'I', 'X', 'Y', 'Z'};
+      error.set_pauli(q, kChars[code]);
+      prob *= code == 0 ? (1 - eps) : p_each;
+    }
+    if (prob == 0) continue;
+    if (decoder.residual_effect(error).any()) failure += prob;
+  }
+  return failure;
+}
+
+double mc_encoded_failure(const LookupDecoder& decoder, double eps,
+                          size_t shots, uint64_t seed) {
+  ftqc::Rng rng(seed);
+  size_t failures = 0;
+  for (size_t s = 0; s < shots; ++s) {
+    PauliString error(7);
+    for (size_t q = 0; q < 7; ++q) {
+      if (!rng.bernoulli(eps)) continue;
+      static constexpr char kChars[] = {'X', 'Y', 'Z'};
+      error.set_pauli(q, kChars[rng.next_below(3)]);
+    }
+    failures += decoder.residual_effect(error).any() ? 1 : 0;
+  }
+  return static_cast<double>(failures) / static_cast<double>(shots);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E1: Steane-encoded vs bare storage fidelity (paper §2, Eq. 14)\n"
+      "Claim: bare failure = eps; encoded failure = O(eps^2), so encoding\n"
+      "wins once eps is small; the coefficient is ~ C(7,2)-like.\n\n");
+  const LookupDecoder decoder(ftqc::codes::steane());
+  ftqc::Table table({"eps", "bare (1-F)", "encoded exact", "encoded MC",
+                     "encoded/eps^2", "improvement x"});
+  for (const double eps : {0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0.0005}) {
+    const double exact = exact_encoded_failure(decoder, eps);
+    const double mc = mc_encoded_failure(decoder, eps, 200000, 42);
+    table.add_row({ftqc::strfmt("%.4g", eps), ftqc::strfmt("%.4g", eps),
+                   ftqc::strfmt("%.4g", exact), ftqc::strfmt("%.4g", mc),
+                   ftqc::strfmt("%.2f", exact / (eps * eps)),
+                   ftqc::strfmt("%.1f", eps / exact)});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: encoded/eps^2 is ~constant (quadratic law) and the\n"
+      "improvement factor grows like 1/eps, as §2 claims.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// E2 (§3.1, Fig. 6): the "Bad!" syndrome circuit reuses one ancilla as the
+// target of four successive XORs, so a single ancilla phase error feeds back
+// into several data qubits: block phase errors at O(eps). The "Good!"
+// circuit (one Shor-state bit per XOR) pushes that to O(eps²).
+#include <array>
+#include <cstdio>
+
+#include "common/table.h"
+#include "ft/fault_enumeration.h"
+#include "ft/gadget_runner.h"
+#include "ft/steane_circuits.h"
+#include "gf2/hamming.h"
+#include "sim/frame_sim.h"
+
+namespace {
+
+using namespace ftqc;
+using namespace ftqc::ft;
+
+constexpr std::array<uint32_t, 7> kData = {0, 1, 2, 3, 4, 5, 6};
+constexpr std::array<uint32_t, 4> kCat = {7, 8, 9, 10};
+constexpr uint32_t kCheck = 11;
+constexpr std::array<uint32_t, 12> kAll = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+
+// Z-coset weight of the data block after extraction (>=2 means the gadget
+// injected a multi-qubit phase error: the §3.1 catastrophe).
+size_t data_z_coset_weight(const sim::FrameSim& frame) {
+  static const gf2::Hamming743 hamming;
+  size_t best = 8;
+  for (uint8_t stab : hamming.even_codewords()) {
+    size_t w = 0;
+    for (size_t q = 0; q < 7; ++q) {
+      w += frame.z_frame().get(q) ^ ((stab >> q) & 1u);
+    }
+    best = std::min(best, w);
+  }
+  return best;
+}
+
+void execute_bad(sim::FrameSim& frame, NoiseInjector& injector) {
+  run_gadget(frame, nonft_bitflip_syndrome(kData, 7), injector, kAll);
+}
+
+void execute_good(sim::FrameSim& frame, NoiseInjector& injector) {
+  static const gf2::Hamming743 hamming;
+  for (size_t row = 0; row < 3; ++row) {
+    // Verified Shor-state ancilla (§3.3: discard flagged cats and retry),
+    // then one XOR per ancilla bit (Fig. 7a).
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      for (uint32_t q : kCat) frame.reset(q);
+      frame.reset(kCheck);
+      const auto record = run_gadget(
+          frame, cat_prep_with_check(kCat, kCheck, true), injector, kAll);
+      if (record[0] == 0) break;  // verification passed
+    }
+    run_gadget(frame,
+               shor_syndrome_bit(kData, kCat, hamming.check_matrix().row(row),
+                                 /*x_type=*/false),
+               injector, kAll);
+    for (uint32_t q : kCat) frame.reset(q);
+    frame.reset(kCheck);
+  }
+}
+
+bool run_bad(NoiseInjector& injector) {
+  sim::FrameSim frame(8, 1);
+  execute_bad(frame, injector);
+  return data_z_coset_weight(frame) >= 2;
+}
+
+bool run_good(NoiseInjector& injector) {
+  sim::FrameSim frame(12, 1);
+  execute_good(frame, injector);
+  return data_z_coset_weight(frame) >= 2;
+}
+
+double mc_rate(bool good, double eps, size_t shots, uint64_t seed) {
+  const auto noise = sim::NoiseParams::uniform_gate(eps);
+  size_t bad_events = 0;
+  for (size_t s = 0; s < shots; ++s) {
+    StochasticInjector injector(noise);
+    sim::FrameSim frame(12, seed + s);
+    if (good) {
+      execute_good(frame, injector);
+    } else {
+      execute_bad(frame, injector);
+    }
+    bad_events += data_z_coset_weight(frame) >= 2 ? 1 : 0;
+  }
+  return static_cast<double>(bad_events) / static_cast<double>(shots);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E2: shared-ancilla (Fig. 2/6 'Bad!') vs Shor-state ('Good!') syndrome\n"
+      "extraction. Metric: P(>=2 phase errors fed into the data block).\n\n");
+
+  const auto bad_scan = scan_single_faults(run_bad, gate_kinds_only());
+  const auto good_scan = scan_single_faults(run_good, gate_kinds_only());
+  std::printf("Single-fault enumeration (linear-in-eps coefficient):\n");
+  std::printf("  bad circuit : %zu locations, weighted failing = %.2f  -> O(eps)\n",
+              bad_scan.num_locations, bad_scan.weighted_failing);
+  std::printf("  good circuit: %zu locations, weighted failing = %.2f  -> O(eps^2)\n\n",
+              good_scan.num_locations, good_scan.weighted_failing);
+
+  ftqc::Table table({"eps", "bad: P(>=2 Z)", "good: P(>=2 Z)", "bad/eps",
+                     "good/eps^2"});
+  for (const double eps : {0.02, 0.01, 0.005, 0.002}) {
+    const double bad = mc_rate(false, eps, 40000, 7);
+    const double good = mc_rate(true, eps, 40000, 11);
+    table.add_row({ftqc::strfmt("%.3g", eps), ftqc::strfmt("%.4g", bad),
+                   ftqc::strfmt("%.4g", good), ftqc::strfmt("%.2f", bad / eps),
+                   ftqc::strfmt("%.1f", good / (eps * eps))});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: bad/eps is ~constant (first-order failure); good/eps^2\n"
+      "is ~constant (fault tolerance achieved), matching §3.1-3.2.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E3 (§3.3, Fig. 8): cat-state verification. A single fault in the XOR chain
+// can leave two bit-flip errors in the cat (= two phase errors in the Shor
+// state, which would feed back into the data). The check qubit catches
+// exactly those; discarding flagged cats makes multi-error acceptance O(eps²).
+#include <array>
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "ft/gadget_runner.h"
+#include "ft/noise_injector.h"
+#include "ft/steane_circuits.h"
+#include "sim/frame_sim.h"
+
+namespace {
+
+using namespace ftqc;
+using namespace ftqc::ft;
+
+constexpr std::array<uint32_t, 4> kCat = {0, 1, 2, 3};
+constexpr uint32_t kCheck = 4;
+constexpr std::array<uint32_t, 5> kAll = {0, 1, 2, 3, 4};
+
+struct CatStats {
+  Proportion accepted;             // verification passes
+  Proportion multi_error_given_ok; // >= 2 cat bit-flips among accepted cats
+  Proportion multi_error_all;      // >= 2 cat bit-flips, ignoring the check
+};
+
+CatStats run(double eps, size_t shots, uint64_t seed) {
+  const auto noise = sim::NoiseParams::uniform_gate(eps);
+  // Verify the raw cat (before the Shor-state Hadamards): bit-flip errors
+  // here are the dangerous phase errors afterwards.
+  const sim::Circuit prep = cat_prep_with_check(kCat, kCheck, false);
+  CatStats stats;
+  for (size_t s = 0; s < shots; ++s) {
+    sim::FrameSim frame(5, seed + s);
+    StochasticInjector injector(noise);
+    const auto record = run_gadget(frame, prep, injector, kAll);
+    const bool pass = record[0] == 0;
+    // Count cat bit-flip errors relative to the stabilizer: the cat state
+    // is stabilized by pairwise ZZ, so the error class is the X-frame
+    // pattern modulo the all-ones flip.
+    size_t flips = 0;
+    for (uint32_t q : kCat) flips += frame.destructive_z_flip(q) ? 1 : 0;
+    const size_t weight = std::min(flips, size_t{4} - flips);
+    stats.accepted.trials++;
+    stats.accepted.successes += pass;
+    stats.multi_error_all.trials++;
+    stats.multi_error_all.successes += weight >= 2;
+    if (pass) {
+      stats.multi_error_given_ok.trials++;
+      stats.multi_error_given_ok.successes += weight >= 2;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E3: Fig. 8 cat-state verification. Without the check, a single chain\n"
+      "fault leaves 2 bit-flips in the cat at O(eps); conditioned on the\n"
+      "check passing, multi-error cats survive only at O(eps^2).\n\n");
+  ftqc::Table table({"eps", "accept rate", "P(>=2 flips) unchecked",
+                     "P(>=2 flips | accepted)", "unchecked/eps", "accepted/eps^2"});
+  for (const double eps : {0.02, 0.01, 0.005, 0.002}) {
+    const auto stats = run(eps, 400000, 99);
+    const double unchecked = stats.multi_error_all.mean();
+    const double checked = stats.multi_error_given_ok.mean();
+    table.add_row({ftqc::strfmt("%.3g", eps),
+                   ftqc::strfmt("%.4f", stats.accepted.mean()),
+                   ftqc::strfmt("%.3e", unchecked),
+                   ftqc::strfmt("%.3e", checked),
+                   ftqc::strfmt("%.2f", unchecked / eps),
+                   ftqc::strfmt("%.1f", checked / (eps * eps))});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: the unchecked column scales linearly in eps; the\n"
+      "accepted column scales quadratically — verification works (§3.3).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E4 (§3.4): verifying the syndrome. Acting on a single (possibly faulty)
+// nontrivial syndrome reading risks "correcting" an error that is not there,
+// compounding the damage; accepting only a twice-repeated nontrivial
+// syndrome removes those order-eps miscorrections.
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "ft/steane_recovery.h"
+
+namespace {
+
+using namespace ftqc;
+using namespace ftqc::ft;
+
+struct RepeatStats {
+  Proportion residual;  // any residual error left on the block
+  Proportion logical;   // residual is a logical error after ideal decode
+};
+
+RepeatStats run(bool repeat, double eps, size_t shots, uint64_t seed) {
+  auto noise = sim::NoiseParams::uniform_gate(eps);
+  RecoveryPolicy policy;
+  policy.repeat_nontrivial_syndrome = repeat;
+  RepeatStats stats;
+  for (size_t s = 0; s < shots; ++s) {
+    SteaneRecovery rec(noise, policy, seed + s);
+    rec.run_cycle();
+    stats.residual.trials++;
+    stats.residual.successes +=
+        (rec.residual_x_coset_weight() + rec.residual_z_coset_weight()) > 0;
+    stats.logical.trials++;
+    stats.logical.successes += rec.any_logical_error();
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E4: syndrome repetition (§3.4). One recovery cycle on a clean block\n"
+      "at gate error eps; compare acting on every nontrivial syndrome vs\n"
+      "acting only on a repeated, agreeing one.\n\n");
+  ftqc::Table table({"eps", "P(residual) once", "P(residual) repeat",
+                     "P(logical) once", "P(logical) repeat"});
+  for (const double eps : {0.01, 0.005, 0.002, 0.001}) {
+    const auto once = run(false, eps, 60000, 1000);
+    const auto twice = run(true, eps, 60000, 2000);
+    table.add_row({ftqc::strfmt("%.3g", eps),
+                   ftqc::strfmt("%.4f", once.residual.mean()),
+                   ftqc::strfmt("%.4f", twice.residual.mean()),
+                   ftqc::strfmt("%.2e", once.logical.mean()),
+                   ftqc::strfmt("%.2e", twice.logical.mean())});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: repetition lowers the leftover-error rate (fewer\n"
+      "miscorrections) at every eps; logical failures stay O(eps^2) for both\n"
+      "(single faults never cause them), but the repeated protocol's\n"
+      "coefficient is smaller.\n");
+  return 0;
+}

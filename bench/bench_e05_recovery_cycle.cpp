@@ -1,0 +1,67 @@
+// E5 (§3 Fig. 9, §5): full fault-tolerant recovery cycle, Steane method vs
+// Shor method, under the uniform gate-error model. Reports the logical
+// failure per cycle, the fitted quadratic coefficient c (failure ≈ c eps²),
+// and the level-1 pseudothreshold 1/c. Also compares storage-error
+// sensitivity: §5 claims the Steane method is better optimized for storage
+// errors because "a gate acts on each qubit in almost every step".
+#include <cstdio>
+
+#include "common/table.h"
+#include "threshold/pseudothreshold.h"
+
+namespace {
+using namespace ftqc;
+using namespace ftqc::threshold;
+}  // namespace
+
+int main() {
+  std::printf(
+      "E5: logical failure per FT recovery cycle (Fig. 9), Steane vs Shor\n"
+      "syndrome extraction, uniform gate error model of §6.\n\n");
+  const std::vector<double> eps_values = {0.008, 0.004, 0.002, 0.001};
+  const size_t shots = 60000;
+
+  ftqc::Table table({"eps", "Steane: P(logical)", "Steane/eps^2",
+                     "Shor: P(logical)", "Shor/eps^2"});
+  auto steane = sweep_cycle_failure(RecoveryMethod::kSteane, eps_values, shots, 1);
+  auto shor = sweep_cycle_failure(RecoveryMethod::kShor, eps_values, shots, 2);
+  for (size_t i = 0; i < eps_values.size(); ++i) {
+    const double e = eps_values[i];
+    table.add_row({ftqc::strfmt("%.3g", e),
+                   ftqc::strfmt("%.3e", steane[i].failures.mean()),
+                   ftqc::strfmt("%.1f", steane[i].failures.mean() / (e * e)),
+                   ftqc::strfmt("%.3e", shor[i].failures.mean()),
+                   ftqc::strfmt("%.1f", shor[i].failures.mean() / (e * e))});
+  }
+  table.print();
+
+  const double c_steane = fit_quadratic_coefficient(steane);
+  const double c_shor = fit_quadratic_coefficient(shor);
+  std::printf(
+      "\nQuadratic fit: Steane c = %.0f (pseudothreshold 1/c = %.2e)\n"
+      "               Shor   c = %.0f (pseudothreshold 1/c = %.2e)\n",
+      c_steane, 1 / c_steane, c_shor, 1 / c_shor);
+
+  std::printf(
+      "\nStorage-error sensitivity (gate error fixed at 1e-3):\n");
+  ftqc::Table storage({"eps_store", "Steane: P(logical)", "Shor: P(logical)"});
+  for (const double es : {0.0, 1e-3, 2e-3}) {
+    const auto st = measure_cycle_failure(RecoveryMethod::kSteane, 1e-3, shots,
+                                          31, es);
+    const auto sh = measure_cycle_failure(RecoveryMethod::kShor, 1e-3, shots,
+                                          37, es);
+    storage.add_row({ftqc::strfmt("%.3g", es),
+                     ftqc::strfmt("%.3e", st.failures.mean()),
+                     ftqc::strfmt("%.3e", sh.failures.mean())});
+  }
+  storage.print();
+  std::printf(
+      "\nShape check: both methods are O(eps^2) with pseudothresholds of a\n"
+      "few 1e-4 to 1e-3 — the same order as the paper's ~6e-4 estimate\n"
+      "(Eq. 34). In this implementation Shor's 4-bit cats give a smaller\n"
+      "gate-error coefficient than Steane's two full encoded ancilla blocks\n"
+      "per syndrome, while the Steane method is comparatively less hurt by\n"
+      "storage noise — the §5 trade the paper describes (its qubits are\n"
+      "\"rarely idle\").\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E6 (§5, Eq. 33): the concatenation flow coefficient. Three independent
+// routes to "A" in p_{L+1} = A p_L²:
+//  (a) the combinatorial count C(7,2) = 21 of the paper;
+//  (b) the exact code-capacity flow map of the Hamming decoder;
+//  (c) exhaustive two-fault enumeration over the full Fig. 9 recovery
+//      circuit (the circuit-level analogue).
+// Then iterates the flow to reproduce the Eq. 36 cascade and the 1/A
+// threshold.
+#include <cstdio>
+
+#include "codes/concatenated.h"
+#include "common/table.h"
+#include "ft/fault_enumeration.h"
+#include "ft/steane_recovery.h"
+#include "threshold/flow.h"
+
+namespace {
+using namespace ftqc;
+using namespace ftqc::ft;
+using namespace ftqc::threshold;
+}  // namespace
+
+int main() {
+  std::printf("E6: the Eq. 33 flow coefficient p1 = A p0^2 and its threshold.\n\n");
+
+  // (a) combinatorial: C(7,2).
+  std::printf("(a) combinatorial C(7,2)                = 21\n");
+
+  // (b) code capacity, exact: block_failure(p)/p^2 as p -> 0.
+  const double p_small = 1e-5;
+  const double a_code =
+      codes::ConcatenatedSteane::block_failure_exact(p_small) / (p_small * p_small);
+  std::printf("(b) exact Hamming-decoder flow map      = %.2f\n", a_code);
+
+  // (c) circuit level: weighted failing fault pairs over one full recovery
+  // cycle (gate faults only, matching the eps_gate-only model).
+  const auto pair_scan = scan_fault_pairs(
+      [](NoiseInjector& injector) {
+        SteaneRecovery rec(sim::NoiseParams{}, RecoveryPolicy{}, 7);
+        rec.set_injector(&injector);
+        rec.run_cycle();
+        rec.set_injector(nullptr);
+        return rec.any_logical_error();
+      },
+      gate_kinds_only());
+  std::printf(
+      "(c) circuit-level two-fault enumeration = %.1f  (%zu pairs tried, "
+      "%zu failing)\n\n",
+      pair_scan.weighted_failing, pair_scan.pairs_tried, pair_scan.pairs_failing);
+
+  std::printf("Thresholds 1/A:\n");
+  std::printf("  combinatorial  : %.4f  (the paper's 1/21 = %.4f)\n", 1.0 / 21,
+              1.0 / 21);
+  std::printf("  code capacity  : %.4f (exact fixed point %.4f)\n", 1.0 / a_code,
+              codes::ConcatenatedSteane::code_capacity_threshold());
+  std::printf("  circuit level  : %.2e (per-gate eps)\n\n",
+              1.0 / pair_scan.weighted_failing);
+
+  // Flow cascade (Eq. 36): iterate from p0 = 1e-3.
+  const QuadraticFlow flow{21.0};
+  std::printf("Eq. 36 cascade with A = 21 from p0 = 1e-3:\n");
+  ftqc::Table table({"level L", "p_L (iterated)", "p_L (closed form)",
+                     "block size 7^L"});
+  for (size_t level = 0; level <= 4; ++level) {
+    table.add_row({ftqc::strfmt("%zu", level),
+                   ftqc::strfmt("%.3e", flow.at_level(1e-3, level)),
+                   ftqc::strfmt("%.3e", flow.at_level_closed_form(1e-3, level)),
+                   ftqc::strfmt("%zu", concatenated_block_size(level))});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: (b) reproduces the paper's 21 exactly in the p->0\n"
+      "limit; (c) gives the much larger circuit-level coefficient (hundreds),\n"
+      "which is why circuit-level thresholds (~1e-3..1e-4) sit far below the\n"
+      "combinatorial 1/21 — consistent with the paper's Eq. 34 estimate.\n");
+  return 0;
+}

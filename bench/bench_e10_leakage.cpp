@@ -1,0 +1,131 @@
+// E10 (§6, Fig. 15): leakage errors. The detection circuit reads 1 for a
+// healthy qubit and 0 for a leaked one; leaked qubits are replaced by fresh
+// |0>'s and handed to conventional error correction. Without detection, a
+// leaked data qubit silently corrupts every subsequent gate.
+#include <array>
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "ft/gadget_runner.h"
+#include "ft/noise_injector.h"
+#include "ft/steane_circuits.h"
+#include "ft/steane_recovery.h"
+#include "sim/frame_sim.h"
+
+namespace {
+
+using namespace ftqc;
+using namespace ftqc::ft;
+
+struct LeakStats {
+  Proportion leaked;
+  Proportion detected_given_leaked;
+  Proportion false_alarm;
+};
+
+LeakStats run(double p_leak, double eps_meas, size_t shots, uint64_t seed) {
+  LeakStats stats;
+  sim::NoiseParams noise;
+  noise.eps_meas = eps_meas;
+  const sim::Circuit detect = leak_detection(0, 1);
+  for (size_t s = 0; s < shots; ++s) {
+    sim::FrameSim frame(2, seed + s);
+    frame.leak_error(0, p_leak);
+    const bool is_leaked = frame.is_leaked(0);
+    StochasticInjector injector(noise);
+    const std::array<uint32_t, 2> active = {0, 1};
+    const auto record = run_gadget(frame, detect, injector, active);
+    // Reference outcome is 1 for healthy data. A leaked qubit freezes both
+    // XORs, so the physical outcome is 0; in flip space: healthy -> flip
+    // record, leaked -> outcome 0 means flip relative to the healthy
+    // reference. The driver reconstructs the actual outcome:
+    const bool outcome = (is_leaked ? false : true) ^ (record[0] != 0);
+    const bool flagged = !outcome;
+    stats.leaked.trials++;
+    stats.leaked.successes += is_leaked;
+    if (is_leaked) {
+      stats.detected_given_leaked.trials++;
+      stats.detected_given_leaked.successes += flagged;
+    } else {
+      stats.false_alarm.trials++;
+      stats.false_alarm.successes += flagged;
+    }
+  }
+  return stats;
+}
+
+// Multi-cycle memory with per-cycle data leakage. With detection (§6,
+// Fig. 15 run at the lowest coding level each cycle), leaked qubits are
+// replaced by fresh |0>'s — at worst one erasure-like defect per event —
+// and the memory keeps its O(eps²) behavior. Ignored leakage persists: the
+// dead qubit absorbs every later gate, its syndrome information is garbage,
+// and errors accumulate on it unchecked.
+double recovery_failure(double p_leak, bool detect_and_replace, size_t shots,
+                        uint64_t seed) {
+  const auto noise = sim::NoiseParams::uniform_gate(3e-4);
+  const int cycles = 5;
+  size_t failures = 0;
+  for (size_t s = 0; s < shots; ++s) {
+    SteaneRecovery rec(noise, RecoveryPolicy{}, seed + s);
+    for (int c = 0; c < cycles; ++c) {
+      for (uint32_t q = 0; q < 7; ++q) rec.frame().leak_error(q, p_leak);
+      if (detect_and_replace) {
+        // Fig. 15 interrogation at the top of each cycle: replace leaked
+        // qubits with fresh |0>'s; the replacement rejoins the block with a
+        // defect that THIS cycle's ordinary error correction then repairs.
+        for (uint32_t q = 0; q < 7; ++q) {
+          if (rec.frame().is_leaked(q)) {
+            rec.frame().reset(q);
+            if (rec.frame().rng().next_u64() & 1) rec.frame().inject_x(q);
+            if (rec.frame().rng().next_u64() & 1) rec.frame().inject_z(q);
+          }
+        }
+      }
+      rec.apply_memory_noise(3e-4);
+      rec.run_cycle();
+    }
+    // Score any still-leaked qubit as a random Pauli (its state is lost).
+    for (uint32_t q = 0; q < 7; ++q) {
+      if (rec.frame().is_leaked(q)) {
+        rec.frame().reset(q);
+        if (rec.frame().rng().next_u64() & 1) rec.frame().inject_x(q);
+        if (rec.frame().rng().next_u64() & 1) rec.frame().inject_z(q);
+      }
+    }
+    failures += rec.any_logical_error() ? 1 : 0;
+  }
+  return static_cast<double>(failures) / static_cast<double>(shots);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E10: leakage detection (Fig. 15) and replacement (§6).\n\n");
+  ftqc::Table table({"p_leak", "P(leaked)", "P(detect | leaked)",
+                     "P(false alarm)"});
+  for (const double p : {0.05, 0.01, 0.002}) {
+    const auto stats = run(p, 1e-3, 200000, 3);
+    table.add_row({ftqc::strfmt("%.3g", p),
+                   ftqc::strfmt("%.4f", stats.leaked.mean()),
+                   ftqc::strfmt("%.4f", stats.detected_given_leaked.mean()),
+                   ftqc::strfmt("%.2e", stats.false_alarm.mean())});
+  }
+  table.print();
+
+  std::printf("\nRecovery with vs without leak replacement (gate eps = 3e-4, 5 cycles):\n");
+  ftqc::Table rec({"p_leak", "P(logical) ignored", "P(logical) replaced"});
+  for (const double p : {0.01, 0.003, 0.001}) {
+    rec.add_row({ftqc::strfmt("%.3g", p),
+                 ftqc::strfmt("%.3e", recovery_failure(p, false, 40000, 11)),
+                 ftqc::strfmt("%.3e", recovery_failure(p, true, 40000, 13))});
+  }
+  rec.print();
+  std::printf(
+      "\nShape check: detection is near-perfect (limited only by measurement\n"
+      "error), false alarms are O(eps_meas), and replacing leaked qubits\n"
+      "restores the quadratic logical-failure scaling (§6: 'allowing leakage\n"
+      "errors does not have much effect on the accuracy threshold').\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E11 (§7.3-7.4): the anyonic gate set. Exchange/pull-through algebra
+// (Eqs. 40-41), the topological NOT via v = (14)(35) on u0 = (125),
+// u1 = (234) (Eq. 45), charge-interferometer statistics (Fig. 22), and
+// universal classical computation by conjugation (Barrington / A5
+// nonsolvability).
+#include <cstdio>
+
+#include "common/table.h"
+#include "topo/anyon_gates.h"
+#include "topo/anyon_sim.h"
+
+namespace {
+using namespace ftqc;
+using namespace ftqc::topo;
+}  // namespace
+
+int main() {
+  const A5 group;
+  std::printf("E11: Aharonov-Bohm quantum logic in the A5 Kitaev model.\n\n");
+  std::printf("Group facts: |A5| = %zu, commutator subgroup order = %zu\n",
+              group.order(), group.commutator_subgroup().size());
+  std::printf("Computational fluxes (Eq. 45): u0 = %s, u1 = %s, NOT flux v = %s\n",
+              computational_u0().to_string().c_str(),
+              computational_u1().to_string().c_str(),
+              not_conjugator().to_string().c_str());
+  std::printf("Check: v^-1 u0 v = %s (= u1), v^-1 u1 v = %s (= u0)\n\n",
+              computational_u0().conjugated_by(not_conjugator()).to_string().c_str(),
+              computational_u1().conjugated_by(not_conjugator()).to_string().c_str());
+
+  // NOT truth table on the anyon simulator.
+  ftqc::Table nots({"input", "after NOT", "after NOT NOT"});
+  for (const bool in : {false, true}) {
+    AnyonSim sim(group, 3 + in);
+    const size_t q = create_computational_pair(sim, in);
+    apply_topological_not(sim, q);
+    const bool once = sim.flux_probability(q, computational_u1()) > 0.5;
+    apply_topological_not(sim, q);
+    const bool twice = sim.flux_probability(q, computational_u1()) > 0.5;
+    nots.add_row({in ? "1" : "0", once ? "1" : "0", twice ? "1" : "0"});
+  }
+  nots.print();
+
+  // Charge interferometer statistics: flux eigenstate splits 50/50 into |±>,
+  // repeated measurement is stable (Fig. 22).
+  size_t minus_count = 0, stable = 0;
+  const size_t trials = 400;
+  for (size_t t = 0; t < trials; ++t) {
+    AnyonSim sim(group, 100 + t);
+    const size_t q = create_computational_pair(sim, false);
+    const bool m1 = measure_computational_charge(sim, q);
+    const bool m2 = measure_computational_charge(sim, q);
+    minus_count += m1;
+    stable += (m1 == m2);
+  }
+  std::printf("\nCharge interferometer on |u0>: P(-) = %.3f (expect 0.5), "
+              "repeat agreement = %.3f (expect 1.0)\n",
+              static_cast<double>(minus_count) / trials,
+              static_cast<double>(stable) / trials);
+
+  // Barrington universality: AND by commutator, Toffoli truth table.
+  const auto [wa, wb] = find_commutator_witness(group);
+  const Perm comm = wa.inverse() * wb.inverse() * wa * wb;
+  std::printf("\nCommutator witness: a = %s, b = %s, [a,b] = %s (a 5-cycle)\n",
+              wa.to_string().c_str(), wb.to_string().c_str(),
+              comm.to_string().c_str());
+
+  const Perm sigma = Perm::from_cycles({{0, 1, 2, 3, 4}});
+  const auto and_prog = BranchingProgram::conjunction(
+      group, BranchingProgram::variable(0, sigma),
+      BranchingProgram::variable(1, sigma));
+  std::printf("AND-by-conjugation program length: %zu instructions\n\n",
+              and_prog.length());
+
+  ftqc::Table tof({"a", "b", "c", "AND(a,b)", "c XOR AND(a,b)"});
+  const auto c_var = BranchingProgram::variable(2, sigma);
+  const auto not_f = BranchingProgram::negation(group, and_prog);
+  const auto not_c = BranchingProgram::negation(group, c_var);
+  const auto left = BranchingProgram::conjunction(group, c_var, not_f);
+  const auto right = BranchingProgram::conjunction(group, not_c, and_prog);
+  const auto toffoli = BranchingProgram::negation(
+      group, BranchingProgram::conjunction(
+                 group, BranchingProgram::negation(group, left),
+                 BranchingProgram::negation(group, right)));
+  for (int in = 0; in < 8; ++in) {
+    const bool a = in & 1, b = in & 2, c = in & 4;
+    tof.add_row({a ? "1" : "0", b ? "1" : "0", c ? "1" : "0",
+                 and_prog.eval({a, b, c}) ? "1" : "0",
+                 toffoli.eval({a, b, c}) ? "1" : "0"});
+  }
+  tof.print();
+  std::printf(
+      "\nShape check: the NOT is an involution realized purely by a\n"
+      "pull-through; charge measurement prepares |±> with the right Born\n"
+      "statistics; AND (and hence Toffoli) is computable entirely by\n"
+      "conjugation words — the nonsolvability route to universality that\n"
+      "§7.4 invokes (Barrington, ref. 66). The unpublished 16-pull-through\n"
+      "Ogburn-Preskill Toffoli is replaced by this constructive equivalent;\n"
+      "see DESIGN.md.\n");
+  return 0;
+}

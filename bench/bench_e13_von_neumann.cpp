@@ -1,0 +1,45 @@
+// E13 (§1): von Neumann's 1952 multiplexed majority voting — the classical
+// ancestor of the accuracy threshold. Bundle error fraction trajectories
+// below and above threshold, and the threshold itself.
+#include <cstdio>
+
+#include "classical/multiplexing.h"
+#include "common/table.h"
+
+int main() {
+  using namespace ftqc::classical;
+
+  std::printf(
+      "E13: von Neumann multiplexing (majority-organ restoration).\n"
+      "Mean-field map: f' = eps + (1-2eps)(3f^2 - 2f^3).\n\n");
+
+  std::printf("Threshold (numeric fixed-point merge): %.4f (analytic: 1/6)\n\n",
+              multiplexing_threshold());
+
+  ftqc::Table table({"step", "f @ eps=0.01", "f @ eps=0.05", "f @ eps=0.25"});
+  MultiplexedBundle below(20001, true, 3);
+  MultiplexedBundle near(20001, true, 5);
+  MultiplexedBundle above(20001, true, 7);
+  below.corrupt(0.30);
+  near.corrupt(0.30);
+  above.corrupt(0.30);
+  for (int step = 0; step <= 12; ++step) {
+    table.add_row({ftqc::strfmt("%d", step),
+                   ftqc::strfmt("%.4f", below.error_fraction()),
+                   ftqc::strfmt("%.4f", near.error_fraction()),
+                   ftqc::strfmt("%.4f", above.error_fraction())});
+    below.restore_step(0.01);
+    near.restore_step(0.05);
+    above.restore_step(0.25);
+  }
+  table.print();
+
+  std::printf("\nStable error fractions (mean field): eps=0.01 -> %.4f, "
+              "eps=0.05 -> %.4f, eps=0.25 -> none\n",
+              stable_error_fraction(0.01), stable_error_fraction(0.05));
+  std::printf(
+      "\nShape check: below threshold the bundle cleans itself up to a small\n"
+      "pinned fraction; above threshold it scrambles toward 1/2 — the same\n"
+      "dichotomy the quantum accuracy threshold (§5) generalizes.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// E14 (§7.1-7.2): topological memory. The toric code stores two logical
+// qubits in the torus homology; under iid X noise with matching-based
+// decoding the logical failure rate falls exponentially with lattice size
+// below a threshold — Kitaev's "intrinsically fault-tolerant hardware".
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "topo/toric_code.h"
+
+namespace {
+
+double failure_rate(const ftqc::topo::ToricCode& code, double p, size_t shots,
+                    uint64_t seed) {
+  ftqc::Rng rng(seed);
+  size_t failures = 0;
+  ftqc::gf2::BitVec errors(code.num_qubits());
+  for (size_t s = 0; s < shots; ++s) {
+    errors.clear();
+    for (size_t e = 0; e < code.num_qubits(); ++e) {
+      if (rng.bernoulli(p)) errors.set(e, true);
+    }
+    ftqc::gf2::BitVec residual = errors;
+    residual ^= code.decode_plaquette_syndrome(code.plaquette_syndrome(errors));
+    const auto [f1, f2] = code.logical_x_flips(residual);
+    failures += (f1 || f2) ? 1 : 0;
+  }
+  return static_cast<double>(failures) / static_cast<double>(shots);
+}
+
+}  // namespace
+
+int main() {
+  using ftqc::topo::ToricCode;
+  std::printf(
+      "E14: toric-code memory under iid X noise, greedy-matching decoder.\n"
+      "Rows: physical error rate p; columns: lattice size L (2L^2 qubits).\n\n");
+
+  const size_t shots = 3000;
+  ftqc::Table table({"p", "L=4", "L=6", "L=8", "trend"});
+  for (const double p : {0.12, 0.10, 0.08, 0.06, 0.04, 0.02, 0.01}) {
+    const double f4 = failure_rate(ToricCode(4), p, shots, 11);
+    const double f6 = failure_rate(ToricCode(6), p, shots, 13);
+    const double f8 = failure_rate(ToricCode(8), p, shots, 17);
+    const char* trend = (f8 < f6 && f6 < f4) ? "bigger is better"
+                        : (f8 > f6 && f6 > f4) ? "bigger is WORSE"
+                                               : "crossover";
+    table.add_row({ftqc::strfmt("%.2f", p), ftqc::strfmt("%.4f", f4),
+                   ftqc::strfmt("%.4f", f6), ftqc::strfmt("%.4f", f8), trend});
+  }
+  table.print();
+  std::printf(
+      "\nShape check: below ~0.05-0.08 growing the lattice suppresses the\n"
+      "logical failure (exponentially in L); above it, larger lattices are\n"
+      "worse — a topological accuracy threshold. (The optimal MWPM decoder\n"
+      "reaches ~0.103; greedy matching trades a few points of threshold for\n"
+      "simplicity. The §7 claim — macroscopic protection from local noise —\n"
+      "is decoder-independent.)\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E15 (§4.2): code comparison. "There is a 5-qubit code ... but the gate
+// implementation is quite complex. The 7-qubit Steane code requires a larger
+// block, but it is much more convenient for computation." Compares the
+// library codes on parameters, decoding, degeneracy and transversal-gate
+// support, plus exact code-capacity failure rates.
+#include <cstdio>
+
+#include "codes/library.h"
+#include "codes/lookup_decoder.h"
+#include "common/table.h"
+#include "pauli/pauli_string.h"
+
+namespace {
+
+using namespace ftqc;
+using namespace ftqc::codes;
+using pauli::PauliString;
+
+// Exact logical failure under iid single-qubit depolarizing noise with
+// lookup decoding: sum over all 4^n patterns (n <= 9).
+double exact_failure(const StabilizerCode& code, const LookupDecoder& decoder,
+                     double eps) {
+  const size_t n = code.n();
+  double failure = 0;
+  const size_t total = size_t{1} << (2 * n);
+  for (size_t pattern = 0; pattern < total; ++pattern) {
+    PauliString error(n);
+    double prob = 1;
+    for (size_t q = 0; q < n; ++q) {
+      const size_t c = (pattern >> (2 * q)) & 3u;
+      static constexpr char kChars[] = {'I', 'X', 'Y', 'Z'};
+      error.set_pauli(q, kChars[c]);
+      prob *= c == 0 ? (1 - eps) : eps / 3;
+    }
+    if (decoder.residual_effect(error).any()) failure += prob;
+  }
+  return failure;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E15: library code comparison (§4.2, §3.6).\n\n");
+  const StabilizerCode* codes[] = {&five_qubit(), &steane(), &shor9(),
+                                   &hamming15()};
+  ftqc::Table params({"code", "n", "k", "d", "syndromes", "transversal set"});
+  for (const auto* code : codes) {
+    const LookupDecoder decoder(*code);
+    const char* gates =
+        code == &five_qubit()
+            ? "none standard (§4.2: 'quite complex')"
+            : (code == &shor9() ? "CNOT (CSS)" : "CNOT, H, S (self-dual CSS)");
+    params.add_row({code->name(), ftqc::strfmt("%zu", code->n()),
+                    ftqc::strfmt("%zu", code->k()),
+                    code->n() <= 11
+                        ? ftqc::strfmt("%zu", code->brute_force_distance())
+                        : std::string("3"),
+                    ftqc::strfmt("%zu", decoder.table_size()), gates});
+  }
+  params.print();
+
+  std::printf("\nExact code-capacity logical failure (iid depolarizing eps):\n");
+  ftqc::Table failure({"eps", "[[5,1,3]]", "[[7,1,3]]", "[[9,1,3]]"});
+  const LookupDecoder d5(five_qubit());
+  const LookupDecoder d7(steane());
+  const LookupDecoder d9(shor9());
+  for (const double eps : {0.02, 0.01, 0.005, 0.002}) {
+    failure.add_row({ftqc::strfmt("%.3g", eps),
+                     ftqc::strfmt("%.3e", exact_failure(five_qubit(), d5, eps)),
+                     ftqc::strfmt("%.3e", exact_failure(steane(), d7, eps)),
+                     ftqc::strfmt("%.3e", exact_failure(shor9(), d9, eps))});
+  }
+  failure.print();
+  std::printf(
+      "\nShape check: all three distance-3 codes fail at O(eps^2); the\n"
+      "5-qubit code has the best raw rate (smallest block), Shor's benefits\n"
+      "from degeneracy — but only the CSS codes admit the easy transversal\n"
+      "gates of §4.1, and only self-dual CSS (Steane) gets H and S bitwise:\n"
+      "exactly the paper's 'more convenient for computation'. [[15,7,3]]\n"
+      "shows the §3.6 k>1 efficiency trade: 7 logical qubits in 15 physical.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E16 (§7.1): quasiparticle error suppression: tunneling errors fall as
+// e^{-mL} with anyon separation L; thermal plasma errors as e^{-Δ/T}.
+// Analytic model vs Poisson-process Monte Carlo.
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "topo/suppression.h"
+
+int main() {
+  using ftqc::topo::TopologicalMemoryModel;
+  const TopologicalMemoryModel model{/*mass=*/1.0, /*gap=*/1.0,
+                                     /*attempt_rate=*/1.0};
+  std::printf(
+      "E16: topological memory error suppression (§7.1).\n"
+      "rate(L, T) = e^{-mL} + e^{-Δ/T}; memory survives time t with\n"
+      "probability e^{-rate·t}.\n\n");
+
+  std::printf("T = 0: tunneling only (e^{-mL}):\n");
+  ftqc::Table sep({"separation L", "rate (analytic)", "survival(t=100)",
+                   "MC survival", "ratio to previous L"});
+  ftqc::Rng rng(5);
+  double prev = 0;
+  for (const double l : {4.0, 6.0, 8.0, 10.0}) {
+    const double rate = model.error_rate(l, 0);
+    const double survive = model.survival_probability(l, 0, 100);
+    size_t ok = 0;
+    const size_t shots = 20000;
+    for (size_t s = 0; s < shots; ++s) {
+      ok += model.sample_error_events(l, 0, 100, rng) == 0 ? 1 : 0;
+    }
+    sep.add_row({ftqc::strfmt("%.0f", l), ftqc::strfmt("%.3e", rate),
+                 ftqc::strfmt("%.4f", survive),
+                 ftqc::strfmt("%.4f", static_cast<double>(ok) / shots),
+                 prev > 0 ? ftqc::strfmt("%.4f", rate / prev) : "-"});
+    prev = rate;
+  }
+  sep.print();
+  std::printf("(each +2 in L multiplies the rate by e^{-2} = %.4f)\n\n",
+              std::exp(-2.0));
+
+  std::printf("Large separation: thermal plasma only (e^{-Δ/T}):\n");
+  ftqc::Table temp({"T/Δ", "rate (analytic)", "survival(t=100)", "MC survival"});
+  for (const double t : {0.5, 0.25, 0.125, 0.0625}) {
+    const double rate = model.error_rate(100, t);
+    const double survive = model.survival_probability(100, t, 100);
+    size_t ok = 0;
+    const size_t shots = 20000;
+    for (size_t s = 0; s < shots; ++s) {
+      ok += model.sample_error_events(100, t, 100, rng) == 0 ? 1 : 0;
+    }
+    temp.add_row({ftqc::strfmt("%.4f", t), ftqc::strfmt("%.3e", rate),
+                  ftqc::strfmt("%.4f", survive),
+                  ftqc::strfmt("%.4f", static_cast<double>(ok) / shots)});
+  }
+  temp.print();
+
+  std::printf("\nDesign targets (rate <= 1e-9): separation L >= %.1f, "
+              "temperature T <= %.4f Δ\n",
+              model.separation_for_target(1e-9),
+              model.temperature_for_target(1e-9));
+  std::printf(
+      "\nShape check: exponential suppression in both L and 1/T — the §7.1\n"
+      "argument that topological hardware can be operated 'relatively\n"
+      "carelessly': protection improves geometrically with distance, and the\n"
+      "temperature need only sit 'well below the gap'.\n");
+  return 0;
+}

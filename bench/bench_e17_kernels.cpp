@@ -1,0 +1,104 @@
+// E17 (substrate): kernel throughput of the simulation engines via
+// google-benchmark: tableau Clifford ops, Pauli-frame shots, bit-parallel
+// batch frames, state-vector Toffolis and anyon pull-throughs.
+#include <benchmark/benchmark.h>
+
+#include "ft/steane_recovery.h"
+#include "sim/batch_frame_sim.h"
+#include "sim/frame_sim.h"
+#include "sim/statevector_sim.h"
+#include "sim/tableau_sim.h"
+#include "topo/anyon_gates.h"
+#include "topo/anyon_sim.h"
+
+namespace {
+
+using namespace ftqc;
+
+void BM_TableauCnot(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  sim::TableauSim sim(n, 1);
+  size_t a = 0;
+  for (auto _ : state) {
+    sim.apply_cx(a, (a + 1) % n);
+    a = (a + 2) % n;
+    benchmark::DoNotOptimize(sim);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TableauCnot)->Arg(49)->Arg(343);
+
+void BM_TableauMeasure(benchmark::State& state) {
+  sim::TableauSim sim(49, 1);
+  for (size_t q = 0; q < 49; ++q) sim.apply_h(q);
+  size_t q = 0;
+  for (auto _ : state) {
+    sim.apply_h(q);
+    benchmark::DoNotOptimize(sim.measure_z(q));
+    q = (q + 1) % 49;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TableauMeasure);
+
+void BM_FrameRecoveryCycle(benchmark::State& state) {
+  const auto noise = sim::NoiseParams::uniform_gate(1e-3);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    ft::SteaneRecovery rec(noise, ft::RecoveryPolicy{}, seed++);
+    rec.run_cycle();
+    benchmark::DoNotOptimize(rec.any_logical_error());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel("full Fig.9 cycles");
+}
+BENCHMARK(BM_FrameRecoveryCycle);
+
+void BM_BatchFrameMemory(benchmark::State& state) {
+  // 64-way bit-parallel frames on a 7-qubit memory channel.
+  sim::Circuit channel(7);
+  for (uint32_t q = 0; q < 7; ++q) channel.depolarize1(q, 1e-3);
+  for (uint32_t q = 0; q < 7; ++q) channel.cx(q, (q + 1) % 7);
+  const size_t shots = 64 * 1024;
+  sim::BatchFrameSim batch(7, shots, 3);
+  for (auto _ : state) {
+    batch.clear();
+    batch.run(channel);
+    benchmark::DoNotOptimize(batch.x_flips(0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(shots));
+  state.SetLabel("shots");
+}
+BENCHMARK(BM_BatchFrameMemory);
+
+void BM_StateVectorToffoli(benchmark::State& state) {
+  sim::StateVectorSim sim(static_cast<size_t>(state.range(0)), 1);
+  for (size_t q = 0; q < sim.num_qubits(); ++q) sim.apply_h(q);
+  size_t t = 0;
+  for (auto _ : state) {
+    sim.apply_ccx(t, (t + 1) % sim.num_qubits(), (t + 2) % sim.num_qubits());
+    t = (t + 3) % sim.num_qubits();
+    benchmark::DoNotOptimize(sim);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StateVectorToffoli)->Arg(16)->Arg(20);
+
+void BM_AnyonPullThrough(benchmark::State& state) {
+  static const topo::A5 group;
+  topo::AnyonSim sim(group, 1);
+  const size_t a = topo::create_computational_pair(sim, false);
+  const size_t b = sim.create_vacuum_pair(topo::computational_u0());
+  for (auto _ : state) {
+    sim.pull_through(a, b);
+    benchmark::DoNotOptimize(sim.norm());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel("20-term superposition");
+}
+BENCHMARK(BM_AnyonPullThrough);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// anyon_computer: drive the §7 topological computer — calibrate flux pairs
+// from the vacuum, run NOT gates by pull-through, build superpositions with
+// the charge interferometer, and compute AND purely by conjugation.
+//
+//   ./build/examples/anyon_computer
+#include <cstdio>
+
+#include "topo/anyon_gates.h"
+#include "topo/anyon_sim.h"
+
+int main() {
+  using namespace ftqc::topo;
+  const A5 group;
+
+  std::printf("== Topological quantum computing with A5 fluxons (§7) ==\n\n");
+
+  std::printf("1. Calibrating flux pairs from vacuum pairs (Eq. 44 + Fig. 18):\n");
+  AnyonSim sim(group, 2026);
+  const size_t raw = sim.create_vacuum_pair(computational_u0());
+  std::printf("   vacuum pair spans the full 3-cycle class: %zu flux values\n",
+              sim.support_size());
+  const Perm calibrated = sim.measure_flux(raw);
+  std::printf("   interferometer projects it onto flux %s\n\n",
+              calibrated.to_string().c_str());
+
+  std::printf("2. A classical NOT by pulling through a v = %s pair (Fig. 21):\n",
+              not_conjugator().to_string().c_str());
+  const size_t qubit = create_computational_pair(sim, false);
+  std::printf("   qubit starts as u0 = %s (|0>)\n",
+              computational_u0().to_string().c_str());
+  apply_topological_not(sim, qubit);
+  std::printf("   after NOT: flux is u1 with probability %.1f\n",
+              sim.flux_probability(qubit, computational_u1()));
+
+  std::printf("\n3. Superposition via the charge interferometer (Fig. 22):\n");
+  const bool minus = measure_computational_charge(sim, qubit);
+  std::printf("   measured charge %s: the pair is now (|u0> %s |u1>)/sqrt2\n",
+              minus ? "-" : "+", minus ? "-" : "+");
+  std::printf("   flux is genuinely undetermined: P(u0) = %.2f, P(u1) = %.2f\n",
+              sim.flux_probability(qubit, computational_u0()),
+              sim.flux_probability(qubit, computational_u1()));
+  const Perm collapsed = sim.measure_flux(qubit);
+  std::printf("   a flux measurement collapses it to %s\n\n",
+              collapsed.to_string().c_str());
+
+  std::printf("4. AND by conjugation (nonsolvability of A5, Barrington):\n");
+  const Perm sigma = Perm::from_cycles({{0, 1, 2, 3, 4}});
+  const auto and_prog = BranchingProgram::conjunction(
+      group, BranchingProgram::variable(0, sigma),
+      BranchingProgram::variable(1, sigma));
+  for (int in = 0; in < 4; ++in) {
+    const bool a = in & 1, b = in & 2;
+    std::printf("   AND(%d,%d) -> group element %s -> bit %d\n", a ? 1 : 0,
+                b ? 1 : 0, and_prog.eval_group({a, b}).to_string().c_str(),
+                and_prog.eval({a, b}) ? 1 : 0);
+  }
+  std::printf(
+      "\nEverything above used only topological operations: pair creation,\n"
+      "braiding/pull-through, and interferometric charge/flux measurement —\n"
+      "no local control of the medium, which is why it is intrinsically\n"
+      "fault tolerant (§7.1).\n");
+  return 0;
+}

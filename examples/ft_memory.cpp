@@ -1,0 +1,52 @@
+// ft_memory: hold a logical qubit alive through many noisy fault-tolerant
+// recovery cycles and watch the survival curve — the paper's core promise
+// (§5): below threshold, encoded information outlives any bare qubit.
+//
+//   ./build/examples/ft_memory [eps] [cycles] [shots]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/table.h"
+#include "ft/steane_recovery.h"
+
+int main(int argc, char** argv) {
+  using namespace ftqc;
+  const double eps = argc > 1 ? std::atof(argv[1]) : 2e-3;
+  const int cycles = argc > 2 ? std::atoi(argv[2]) : 50;
+  const size_t shots = argc > 3 ? static_cast<size_t>(std::atoll(argv[3])) : 2000;
+
+  std::printf(
+      "Logical memory: Steane block, gate error %.2e, %d recovery cycles,\n"
+      "%zu shots. A bare qubit's survival after n steps is (1-eps)^n.\n\n",
+      eps, cycles, shots);
+
+  const auto noise = sim::NoiseParams::uniform_gate(eps);
+  std::vector<size_t> alive_at(static_cast<size_t>(cycles) + 1, 0);
+  for (size_t s = 0; s < shots; ++s) {
+    ft::SteaneRecovery rec(noise, ft::RecoveryPolicy{}, 77 + s);
+    alive_at[0]++;
+    for (int c = 1; c <= cycles; ++c) {
+      rec.apply_memory_noise(eps);
+      rec.run_cycle();
+      if (rec.any_logical_error()) break;  // first logical failure kills it
+      alive_at[static_cast<size_t>(c)]++;
+    }
+  }
+
+  Table table({"cycle", "encoded survival", "bare qubit (1-eps)^n"});
+  for (int c = 0; c <= cycles; c += cycles / 10 > 0 ? cycles / 10 : 1) {
+    double bare = 1;
+    for (int i = 0; i < c; ++i) bare *= (1 - eps);
+    table.add_row({strfmt("%d", c),
+                   strfmt("%.4f", static_cast<double>(alive_at[c]) / shots),
+                   strfmt("%.4f", bare)});
+  }
+  table.print();
+  std::printf(
+      "\nNote: 'break' scores the first logical failure as fatal, which is\n"
+      "conservative; per-cycle failure is O(eps^2) so the encoded curve\n"
+      "decays far slower than the bare one whenever eps is below the\n"
+      "pseudothreshold (see bench_e05).\n");
+  return 0;
+}

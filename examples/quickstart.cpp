@@ -1,0 +1,59 @@
+// Quickstart: encode a qubit in Steane's [[7,1,3]] code, damage it, run
+// fault-tolerant recovery, and read it back.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <array>
+#include <cstdio>
+
+#include "codes/library.h"
+#include "ft/encoded_measure.h"
+#include "ft/steane_circuits.h"
+#include "ft/steane_recovery.h"
+#include "ft/transversal.h"
+#include "sim/runner.h"
+#include "sim/tableau_sim.h"
+
+int main() {
+  using namespace ftqc;
+  constexpr std::array<uint32_t, 7> kBlock = {0, 1, 2, 3, 4, 5, 6};
+
+  std::printf("== 1. Encode |1> with the Fig. 3 circuit (exact simulation) ==\n");
+  sim::TableauSim tableau(7, /*seed=*/42);
+  tableau.apply_x(0);  // the unknown input state, here |1>
+  run_circuit(tableau, ft::steane_encoder(kBlock));
+  std::printf("   encoded; all six stabilizer generators fixed:\n");
+  for (const auto& g : codes::steane().generators()) {
+    bool sign = false;
+    const bool ok = tableau.stabilizes(g, &sign) && !sign;
+    std::printf("     %s : %s\n", g.to_string().c_str(), ok ? "+1" : "BROKEN");
+  }
+
+  std::printf("\n== 2. Damage one qubit, then measure fault-tolerantly ==\n");
+  tableau.apply_x(3);  // a bit-flip error strikes qubit 3
+  const bool value = ft::destructive_logical_measure(tableau, kBlock);
+  std::printf("   destructive logical measurement reads: %d (expected 1 —\n"
+              "   the classical Hamming step absorbed the error)\n",
+              value);
+
+  std::printf("\n== 3. Statistical memory: noisy recovery cycles (Fig. 9) ==\n");
+  const double eps = 2e-4;  // comfortably below the ~9e-4 pseudothreshold
+  const auto noise = sim::NoiseParams::uniform_gate(eps);
+  size_t failures = 0;
+  const size_t shots = 100000;
+  for (size_t s = 0; s < shots; ++s) {
+    ft::SteaneRecovery rec(noise, ft::RecoveryPolicy{}, 1000 + s);
+    rec.apply_memory_noise(eps);  // one storage step
+    rec.run_cycle();              // one fault-tolerant recovery
+    failures += rec.any_logical_error() ? 1 : 0;
+  }
+  const double rate =
+      static_cast<double>(failures) / static_cast<double>(shots);
+  std::printf("   gate error %.0e: logical failure %zu / %zu = %.1e per cycle\n",
+              eps, failures, shots, rate);
+  std::printf(
+      "   a bare qubit fails at ~%.0e per step: encoding wins ~%.0fx here,\n"
+      "   and the margin grows as 1/eps (run bench_e05 for the full sweep).\n",
+      eps, rate > 0 ? eps / rate : static_cast<double>(shots) * eps);
+  return 0;
+}

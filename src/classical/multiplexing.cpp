@@ -1,0 +1,88 @@
+#include "classical/multiplexing.h"
+
+#include "common/check.h"
+
+namespace ftqc::classical {
+
+MultiplexedBundle::MultiplexedBundle(size_t width, bool value, uint64_t seed)
+    : wires_(width, value ? 1 : 0), intended_(value), rng_(seed) {
+  FTQC_CHECK(width >= 3, "bundle needs at least three wires");
+}
+
+double MultiplexedBundle::error_fraction() const {
+  size_t wrong = 0;
+  for (uint8_t w : wires_) wrong += (w != (intended_ ? 1 : 0));
+  return static_cast<double>(wrong) / static_cast<double>(wires_.size());
+}
+
+bool MultiplexedBundle::majority_value() const {
+  size_t ones = 0;
+  for (uint8_t w : wires_) ones += w;
+  return 2 * ones > wires_.size();
+}
+
+void MultiplexedBundle::corrupt(double fraction_probability) {
+  for (auto& w : wires_) {
+    if (rng_.bernoulli(fraction_probability)) w ^= 1;
+  }
+}
+
+void MultiplexedBundle::restore_step(double eps) {
+  std::vector<uint8_t> next(wires_.size());
+  for (auto& out : next) {
+    uint8_t votes = 0;
+    for (int k = 0; k < 3; ++k) {
+      votes += wires_[rng_.next_below(wires_.size())];
+    }
+    out = votes >= 2 ? 1 : 0;
+    if (rng_.bernoulli(eps)) out ^= 1;
+  }
+  wires_ = std::move(next);
+}
+
+void MultiplexedBundle::nand_with(const MultiplexedBundle& other, double eps) {
+  FTQC_CHECK(other.wires_.size() == wires_.size(), "bundle width mismatch");
+  // Random cross-wiring (von Neumann's permutation "U"): pair wire i with a
+  // random wire of the other bundle.
+  for (size_t i = 0; i < wires_.size(); ++i) {
+    const uint8_t a = wires_[i];
+    const uint8_t b = other.wires_[rng_.next_below(other.wires_.size())];
+    uint8_t out = static_cast<uint8_t>(!(a && b));
+    if (rng_.bernoulli(eps)) out ^= 1;
+    wires_[i] = out;
+  }
+  intended_ = !(intended_ && other.intended_);
+}
+
+double restoration_map(double f, double eps) {
+  const double majority_wrong = 3 * f * f * (1 - f) + f * f * f;
+  return eps + (1 - 2 * eps) * majority_wrong;
+}
+
+double stable_error_fraction(double eps) {
+  // Iterate from f = eps; convergence to a point below 1/2 means a stable
+  // fixed point exists.
+  double f = eps;
+  for (int iter = 0; iter < 10000; ++iter) {
+    const double next = restoration_map(f, eps);
+    if (next > 0.49) return -1.0;
+    if (std::abs(next - f) < 1e-14) return next;
+    f = next;
+  }
+  return f < 0.49 ? f : -1.0;
+}
+
+double multiplexing_threshold() {
+  double lo = 0.0, hi = 0.5;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (stable_error_fraction(mid) >= 0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ftqc::classical

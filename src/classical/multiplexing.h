@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ftqc::classical {
+
+// Von Neumann's 1952 multiplexing scheme (§1): a logical bit is carried by a
+// bundle of N wires; each stage recomputes every wire as the majority of
+// three randomly chosen wires of the input bundle, through gates that fail
+// independently with probability eps. Below a critical eps the fraction of
+// corrupted wires in the bundle stays pinned near a small fixed point; above
+// it the bundle drifts to 50% corruption — the classical ancestor of the
+// paper's accuracy threshold.
+class MultiplexedBundle {
+ public:
+  MultiplexedBundle(size_t width, bool value, uint64_t seed);
+
+  [[nodiscard]] size_t width() const { return wires_.size(); }
+  // Fraction of wires disagreeing with the intended value.
+  [[nodiscard]] double error_fraction() const;
+  [[nodiscard]] bool majority_value() const;
+
+  // Flips each wire independently (initial corruption for experiments).
+  void corrupt(double fraction_probability);
+
+  // One restorative stage: every output wire is MAJ3 of three uniformly
+  // random input wires, and the gate output flips with probability eps.
+  void restore_step(double eps);
+
+  // An executive NAND stage against another bundle (von Neumann's universal
+  // gate), gates failing with probability eps. The intended value becomes
+  // NAND of the two intended values.
+  void nand_with(const MultiplexedBundle& other, double eps);
+
+ private:
+  std::vector<uint8_t> wires_;
+  bool intended_;
+  Rng rng_;
+};
+
+// The mean-field map for the restorative stage: f' = eps + (1-2 eps)·m(f)
+// with m(f) = P(majority of three iid wrong-with-prob-f draws is wrong).
+[[nodiscard]] double restoration_map(double f, double eps);
+
+// Stable small fixed point of the map, or -1 if none exists (above
+// threshold).
+[[nodiscard]] double stable_error_fraction(double eps);
+
+// The multiplexing threshold: the largest eps for which a stable small
+// fixed point of the restoration map exists (for MAJ3 restoration this is
+// 1/6 in the eps->..., found numerically here).
+[[nodiscard]] double multiplexing_threshold();
+
+}  // namespace ftqc::classical

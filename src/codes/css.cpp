@@ -1,0 +1,127 @@
+#include "codes/css.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "gf2/linalg.h"
+
+namespace ftqc::codes {
+
+namespace {
+
+using gf2::BitMat;
+using gf2::BitVec;
+using pauli::PauliString;
+
+// Basis of ker(killer) modulo rowspace(modout): returns vectors that extend
+// rowspace(modout) to rowspace(modout) + ker(killer).
+std::vector<BitVec> quotient_basis(const BitMat& killer, const BitMat& modout) {
+  const auto kernel = gf2::kernel_basis(killer);
+  std::vector<BitVec> result;
+  // Grow a matrix starting from modout's rows; keep kernel vectors that
+  // increase the rank.
+  std::vector<BitVec> rows;
+  for (size_t r = 0; r < modout.rows(); ++r) rows.push_back(modout.row(r));
+  auto current_rank = [&rows, &killer]() {
+    BitMat m(rows.size(), killer.cols());
+    for (size_t i = 0; i < rows.size(); ++i) m.row(i) = rows[i];
+    return gf2::rank(m);
+  };
+  size_t base_rank = current_rank();
+  for (const auto& v : kernel) {
+    rows.push_back(v);
+    const size_t new_rank = current_rank();
+    if (new_rank > base_rank) {
+      base_rank = new_rank;
+      result.push_back(v);
+    } else {
+      rows.pop_back();
+    }
+  }
+  return result;
+}
+
+PauliString pauli_from_support(size_t n, const BitVec& support, char type) {
+  PauliString p(n);
+  for (size_t q = 0; q < n; ++q) {
+    if (support.get(q)) p.set_pauli(q, type);
+  }
+  return p;
+}
+
+}  // namespace
+
+StabilizerCode make_css_code(std::string name, const BitMat& hx,
+                             const BitMat& hz) {
+  FTQC_CHECK(hx.cols() == hz.cols(), "CSS matrices must share block length");
+  const size_t n = hx.cols();
+
+  // Commutation: every X row must overlap every Z row evenly.
+  for (size_t i = 0; i < hx.rows(); ++i) {
+    for (size_t j = 0; j < hz.rows(); ++j) {
+      FTQC_CHECK(!hx.row(i).dot(hz.row(j)),
+                 "CSS requires hx · hzᵀ = 0 (odd overlap found)");
+    }
+  }
+
+  std::vector<PauliString> generators;
+  for (size_t i = 0; i < hx.rows(); ++i) {
+    generators.push_back(pauli_from_support(n, hx.row(i), 'X'));
+  }
+  for (size_t j = 0; j < hz.rows(); ++j) {
+    generators.push_back(pauli_from_support(n, hz.row(j), 'Z'));
+  }
+
+  // Logical X supports: ker(hz) beyond rowspace(hx); logical Z supports:
+  // ker(hx) beyond rowspace(hz).
+  const auto x_supports = quotient_basis(hz, hx);
+  const auto z_supports = quotient_basis(hx, hz);
+  FTQC_CHECK(x_supports.size() == z_supports.size(),
+             "CSS logical X/Z dimension mismatch");
+  const size_t k = x_supports.size();
+
+  // Pair the bases so that <x_i, z_j> = delta_ij: Gaussian elimination on the
+  // k x k GF(2) pairing matrix M_ij = <x_i, z_j>, adjusting the Z side.
+  std::vector<BitVec> zs = z_supports;
+  std::vector<BitVec> xs = x_supports;
+  for (size_t i = 0; i < k; ++i) {
+    // Find a z with odd overlap with x_i among columns >= i.
+    size_t pivot = k;
+    for (size_t j = i; j < k; ++j) {
+      if (xs[i].dot(zs[j])) {
+        pivot = j;
+        break;
+      }
+    }
+    FTQC_CHECK(pivot != k, "CSS pairing is degenerate");
+    std::swap(zs[i], zs[pivot]);
+    // Clear the overlap of z_i with every other x (rows below and above).
+    for (size_t r = 0; r < k; ++r) {
+      if (r != i && xs[r].dot(zs[i])) {
+        // Add x-row fix on the X side instead: adjust x_r by x_i? No —
+        // adjust the other z columns so each x_r pairs only with z_r.
+        // Here we fix the Z vector paired to x_r later; instead clear
+        // <x_r, z_i> by adding z_r-candidates. Simplest correct scheme:
+        // adjust X side: x_r <- x_r + x_i keeps ker/quotient membership and
+        // kills the overlap with z_i.
+        xs[r] ^= xs[i];
+      }
+    }
+    // And clear <x_i, z_j> for j > i by adding z_i into those z_j.
+    for (size_t j = 0; j < k; ++j) {
+      if (j != i && xs[i].dot(zs[j])) zs[j] ^= zs[i];
+    }
+  }
+
+  std::vector<PauliString> logical_x;
+  std::vector<PauliString> logical_z;
+  for (size_t i = 0; i < k; ++i) {
+    logical_x.push_back(pauli_from_support(n, xs[i], 'X'));
+    logical_z.push_back(pauli_from_support(n, zs[i], 'Z'));
+  }
+
+  return StabilizerCode(std::move(name), n, std::move(generators),
+                        std::move(logical_x), std::move(logical_z));
+}
+
+}  // namespace ftqc::codes

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "codes/stabilizer_code.h"
+#include "gf2/bitmat.h"
+
+namespace ftqc::codes {
+
+// Builds a CSS code from two parity-check matrices: rows of `hx` become
+// X-type generators, rows of `hz` Z-type generators. Requires
+// hx · hzᵀ = 0 (so the generators commute). Logical operators are computed
+// generically: logical X representatives span ker(hz)/rowspace(hx), logical
+// Z representatives span ker(hx)/rowspace(hz), paired so that
+// X̂_i anticommutes with Ẑ_j exactly when i = j (Eq. 29).
+//
+// Steane's code (§2) is the self-dual case hx = hz = Hamming check matrix;
+// the [[15,7,3]] code of §3.6 ("codes that encode many qubits") is the
+// r = 4 Hamming case.
+[[nodiscard]] StabilizerCode make_css_code(std::string name,
+                                           const gf2::BitMat& hx,
+                                           const gf2::BitMat& hz);
+
+}  // namespace ftqc::codes

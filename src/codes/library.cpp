@@ -1,0 +1,61 @@
+#include "codes/library.h"
+
+#include "codes/css.h"
+#include "gf2/hamming.h"
+
+namespace ftqc::codes {
+
+using pauli::PauliString;
+
+const StabilizerCode& steane() {
+  static const StabilizerCode code = [] {
+    const gf2::Hamming743 hamming;
+    // Self-dual CSS construction, with the paper's transversal logicals.
+    std::vector<PauliString> generators = {
+        PauliString::from_string("IIIZZZZ"), PauliString::from_string("IZZIIZZ"),
+        PauliString::from_string("ZIZIZIZ"), PauliString::from_string("IIIXXXX"),
+        PauliString::from_string("IXXIIXX"), PauliString::from_string("XIXIXIX")};
+    return StabilizerCode("Steane [[7,1,3]]", 7, std::move(generators),
+                          {PauliString::from_string("XXXXXXX")},
+                          {PauliString::from_string("ZZZZZZZ")});
+  }();
+  return code;
+}
+
+const StabilizerCode& five_qubit() {
+  static const StabilizerCode code = [] {
+    std::vector<PauliString> generators = {
+        PauliString::from_string("XZZXI"), PauliString::from_string("IXZZX"),
+        PauliString::from_string("XIXZZ"), PauliString::from_string("ZXIXZ")};
+    return StabilizerCode("Five-qubit [[5,1,3]]", 5, std::move(generators),
+                          {PauliString::from_string("XXXXX")},
+                          {PauliString::from_string("ZZZZZ")});
+  }();
+  return code;
+}
+
+const StabilizerCode& shor9() {
+  static const StabilizerCode code = [] {
+    std::vector<PauliString> generators = {
+        PauliString::from_string("ZZIIIIIII"), PauliString::from_string("IZZIIIIII"),
+        PauliString::from_string("IIIZZIIII"), PauliString::from_string("IIIIZZIII"),
+        PauliString::from_string("IIIIIIZZI"), PauliString::from_string("IIIIIIIZZ"),
+        PauliString::from_string("XXXXXXIII"), PauliString::from_string("IIIXXXXXX")};
+    // For Shor's code the transversal operators swap roles: X^⊗9 acts as the
+    // logical Z (it flips the sign of each GHZ factor) and Z^⊗9 as logical X.
+    return StabilizerCode("Shor [[9,1,3]]", 9, std::move(generators),
+                          {PauliString::from_string("ZZZZZZZZZ")},
+                          {PauliString::from_string("XXXXXXXXX")});
+  }();
+  return code;
+}
+
+const StabilizerCode& hamming15() {
+  static const StabilizerCode code = [] {
+    const auto h = gf2::hamming_check_matrix(4);
+    return make_css_code("Hamming CSS [[15,7,3]]", h, h);
+  }();
+  return code;
+}
+
+}  // namespace ftqc::codes

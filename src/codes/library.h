@@ -1,0 +1,26 @@
+#pragma once
+
+#include "codes/stabilizer_code.h"
+
+namespace ftqc::codes {
+
+// Steane's [[7,1,3]] code (§2), built as the self-dual CSS code on the
+// [7,4,3] Hamming parity check of Eq. (1). Its stabilizer generators are
+// exactly the six operators of Eq. (18). Logical operators are the
+// transversal X^⊗7 / Z^⊗7 (the paper's bitwise NOT, §4.1).
+[[nodiscard]] const StabilizerCode& steane();
+
+// The five-qubit [[5,1,3]] code of §4.2 (Bennett et al. / Laflamme et al.):
+// the smallest single-error-correcting code; not CSS, and far less
+// convenient for fault-tolerant computation than Steane's (bench E15).
+[[nodiscard]] const StabilizerCode& five_qubit();
+
+// Shor's [[9,1,3]] code (ref. 10): the original concatenation of the 3-bit
+// repetition codes in both bases.
+[[nodiscard]] const StabilizerCode& shor9();
+
+// The [[15,7,3]] CSS code built from the r=4 Hamming code: the §3.6 example
+// of a block code "encoding many qubits in a single block".
+[[nodiscard]] const StabilizerCode& hamming15();
+
+}  // namespace ftqc::codes

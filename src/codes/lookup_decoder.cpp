@@ -1,0 +1,52 @@
+#include "codes/lookup_decoder.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace ftqc::codes {
+
+using pauli::PauliString;
+
+LookupDecoder::LookupDecoder(const StabilizerCode& code)
+    : code_(code), identity_(code.n()) {
+  FTQC_CHECK(code.num_generators() <= 63, "syndrome too wide for lookup table");
+  const size_t num_syndromes = size_t{1} << code.num_generators();
+  table_.reserve(num_syndromes);
+  table_.emplace(0, identity_);
+
+  // Breadth-first search on the syndrome space with single-site Paulis as
+  // edges. Each step changes one site, so the first visit to a syndrome
+  // happens at a depth equal to the minimum error weight for that syndrome:
+  // the stored representative is a true minimum-weight correction.
+  std::vector<PauliString> frontier = {identity_};
+  while (table_.size() < num_syndromes && !frontier.empty()) {
+    std::vector<PauliString> next;
+    for (const auto& base : frontier) {
+      for (size_t q = 0; q < code_.n(); ++q) {
+        for (char c : {'X', 'Y', 'Z'}) {
+          if (base.pauli_at(q) == c) continue;
+          PauliString e = base;
+          e.set_pauli(q, c);
+          const uint64_t key = code_.syndrome(e).to_u64();
+          if (table_.emplace(key, e).second) next.push_back(e);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+}
+
+const PauliString& LookupDecoder::decode(const gf2::BitVec& syndrome) const {
+  const auto it = table_.find(syndrome.to_u64());
+  return it == table_.end() ? identity_ : it->second;
+}
+
+StabilizerCode::LogicalEffect LookupDecoder::residual_effect(
+    const PauliString& error) const {
+  const PauliString& correction = decode(code_.syndrome(error));
+  const PauliString residual = error * correction;
+  return code_.logical_effect(residual);
+}
+
+}  // namespace ftqc::codes

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "codes/stabilizer_code.h"
+
+namespace ftqc::codes {
+
+// Minimum-weight lookup decoder: maps every syndrome to the lowest-weight
+// Pauli producing it (ties broken by enumeration order). This realizes the
+// paper's "ideal recovery" step — measure the syndrome, then apply the
+// inferred unitary (§2) — and is used both inside recovery gadgets and for
+// the end-of-experiment ideal decode of residual error frames.
+class LookupDecoder {
+ public:
+  explicit LookupDecoder(const StabilizerCode& code);
+
+  [[nodiscard]] const StabilizerCode& code() const { return code_; }
+
+  // Correction for a measured syndrome. Unfilled syndromes (possible only if
+  // the table could not be completed) decode to identity.
+  [[nodiscard]] const pauli::PauliString& decode(const gf2::BitVec& syndrome) const;
+
+  // Applies decode() to the error's own syndrome and reports whether the
+  // corrected residual (error * correction) acts as a logical operator.
+  [[nodiscard]] StabilizerCode::LogicalEffect residual_effect(
+      const pauli::PauliString& error) const;
+
+  // True iff the error is corrected without any logical damage.
+  [[nodiscard]] bool corrects(const pauli::PauliString& error) const {
+    return !residual_effect(error).any();
+  }
+
+  [[nodiscard]] size_t table_size() const { return table_.size(); }
+
+ private:
+  const StabilizerCode& code_;
+  pauli::PauliString identity_;
+  std::unordered_map<uint64_t, pauli::PauliString> table_;
+};
+
+}  // namespace ftqc::codes

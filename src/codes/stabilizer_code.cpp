@@ -1,0 +1,129 @@
+#include "codes/stabilizer_code.h"
+
+#include "common/check.h"
+#include "gf2/bitmat.h"
+#include "gf2/linalg.h"
+
+namespace ftqc::codes {
+
+using pauli::PauliString;
+
+StabilizerCode::StabilizerCode(std::string name, size_t n,
+                               std::vector<PauliString> generators,
+                               std::vector<PauliString> logical_x,
+                               std::vector<PauliString> logical_z)
+    : name_(std::move(name)),
+      n_(n),
+      generators_(std::move(generators)),
+      logical_x_(std::move(logical_x)),
+      logical_z_(std::move(logical_z)) {
+  validate();
+}
+
+void StabilizerCode::validate() const {
+  FTQC_CHECK(logical_x_.size() == logical_z_.size(),
+             "logical X/Z counts differ");
+  FTQC_CHECK(generators_.size() + logical_x_.size() == n_,
+             "generator count must be n - k");
+  for (const auto& g : generators_) {
+    FTQC_CHECK(g.num_qubits() == n_, "generator size mismatch");
+    for (const auto& h : generators_) {
+      FTQC_CHECK(g.commutes_with(h), "stabilizer generators must commute");
+    }
+  }
+  // Generators must be independent: the (x|z) rows have full rank.
+  gf2::BitMat rows(generators_.size(), 2 * n_);
+  for (size_t i = 0; i < generators_.size(); ++i) {
+    for (size_t q = 0; q < n_; ++q) {
+      rows.set(i, q, generators_[i].x_bit(q));
+      rows.set(i, n_ + q, generators_[i].z_bit(q));
+    }
+  }
+  FTQC_CHECK(gf2::rank(rows) == generators_.size(),
+             "stabilizer generators must be independent");
+
+  // Logical algebra of Eq. (29).
+  for (size_t i = 0; i < k(); ++i) {
+    FTQC_CHECK(in_normalizer(logical_x_[i]), "logical X not in normalizer");
+    FTQC_CHECK(in_normalizer(logical_z_[i]), "logical Z not in normalizer");
+    FTQC_CHECK(!in_stabilizer_group(logical_x_[i]),
+               "logical X lies in the stabilizer");
+    FTQC_CHECK(!in_stabilizer_group(logical_z_[i]),
+               "logical Z lies in the stabilizer");
+    for (size_t j = 0; j < k(); ++j) {
+      FTQC_CHECK(logical_x_[i].commutes_with(logical_x_[j]),
+                 "logical X operators must commute");
+      FTQC_CHECK(logical_z_[i].commutes_with(logical_z_[j]),
+                 "logical Z operators must commute");
+      const bool should_anticommute = (i == j);
+      FTQC_CHECK(logical_x_[i].commutes_with(logical_z_[j]) !=
+                     should_anticommute,
+                 "logical X_i / Z_j commutation violates Eq. (29)");
+    }
+  }
+}
+
+gf2::BitVec StabilizerCode::syndrome(const PauliString& error) const {
+  gf2::BitVec s(generators_.size());
+  for (size_t j = 0; j < generators_.size(); ++j) {
+    s.set(j, !generators_[j].commutes_with(error));
+  }
+  return s;
+}
+
+bool StabilizerCode::in_stabilizer_group(const PauliString& p) const {
+  if (syndrome(p).any()) return false;
+  // p (as a symplectic row) must lie in the row space of the generators.
+  gf2::BitMat rows(generators_.size(), 2 * n_);
+  for (size_t i = 0; i < generators_.size(); ++i) {
+    for (size_t q = 0; q < n_; ++q) {
+      rows.set(i, q, generators_[i].x_bit(q));
+      rows.set(i, n_ + q, generators_[i].z_bit(q));
+    }
+  }
+  gf2::BitVec v(2 * n_);
+  for (size_t q = 0; q < n_; ++q) {
+    v.set(q, p.x_bit(q));
+    v.set(n_ + q, p.z_bit(q));
+  }
+  return gf2::in_row_space(rows, v);
+}
+
+StabilizerCode::LogicalEffect StabilizerCode::logical_effect(
+    const PauliString& residual) const {
+  FTQC_DCHECK(in_normalizer(residual),
+              "logical_effect requires a normalizer element");
+  LogicalEffect effect;
+  effect.x_flips = gf2::BitVec(k());
+  effect.z_flips = gf2::BitVec(k());
+  for (size_t i = 0; i < k(); ++i) {
+    effect.x_flips.set(i, !residual.commutes_with(logical_z_[i]));
+    effect.z_flips.set(i, !residual.commutes_with(logical_x_[i]));
+  }
+  return effect;
+}
+
+size_t StabilizerCode::brute_force_distance() const {
+  FTQC_CHECK(n_ <= 11, "brute-force distance limited to n <= 11");
+  size_t best = n_ + 1;
+  // Enumerate all Paulis by base-4 counting (I,X,Y,Z per qubit).
+  size_t total = 1;
+  for (size_t q = 0; q < n_; ++q) total *= 4;
+  for (size_t idx = 1; idx < total; ++idx) {
+    PauliString p(n_);
+    size_t rest = idx;
+    size_t weight = 0;
+    for (size_t q = 0; q < n_; ++q) {
+      static constexpr char kChars[] = {'I', 'X', 'Y', 'Z'};
+      const char c = kChars[rest & 3];
+      rest >>= 2;
+      if (c != 'I') ++weight;
+      p.set_pauli(q, c);
+    }
+    if (weight >= best) continue;
+    if (in_normalizer(p) && !in_stabilizer_group(p)) best = weight;
+  }
+  return best;
+}
+
+}  // namespace ftqc::codes

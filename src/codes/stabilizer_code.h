@@ -1,0 +1,77 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gf2/bitvec.h"
+#include "pauli/pauli_string.h"
+
+namespace ftqc::codes {
+
+// An [[n, k, d]] stabilizer code in the formalism of §3.6: the code space is
+// the simultaneous +1 eigenspace of n-k commuting Pauli generators, and the
+// 2k logical operators X̂_i / Ẑ_i commute with the stabilizer, anticommute
+// pairwise within a logical qubit, and commute across logical qubits
+// (Eq. 29).
+class StabilizerCode {
+ public:
+  StabilizerCode(std::string name, size_t n,
+                 std::vector<pauli::PauliString> generators,
+                 std::vector<pauli::PauliString> logical_x,
+                 std::vector<pauli::PauliString> logical_z);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] size_t n() const { return n_; }
+  [[nodiscard]] size_t k() const { return logical_x_.size(); }
+  [[nodiscard]] size_t num_generators() const { return generators_.size(); }
+
+  [[nodiscard]] const std::vector<pauli::PauliString>& generators() const {
+    return generators_;
+  }
+  [[nodiscard]] const pauli::PauliString& logical_x(size_t i = 0) const {
+    return logical_x_[i];
+  }
+  [[nodiscard]] const pauli::PauliString& logical_z(size_t i = 0) const {
+    return logical_z_[i];
+  }
+
+  // Syndrome of a Pauli error: bit j is 1 iff the error anticommutes with
+  // generator j ("every error changes the eigenvalues of some generators").
+  [[nodiscard]] gf2::BitVec syndrome(const pauli::PauliString& error) const;
+
+  // True iff p commutes with every generator (p is in the normalizer).
+  [[nodiscard]] bool in_normalizer(const pauli::PauliString& p) const {
+    return !syndrome(p).any();
+  }
+
+  // True iff p is a product of generators, up to phase (p acts trivially on
+  // the code space).
+  [[nodiscard]] bool in_stabilizer_group(const pauli::PauliString& p) const;
+
+  // For a residual error in the normalizer: which logical qubits suffer an
+  // X flip (residual anticommutes with Ẑ_i) or a Z flip (anticommutes with
+  // X̂_i). A degenerate residual (in the stabilizer) flips nothing.
+  struct LogicalEffect {
+    gf2::BitVec x_flips;  // k bits
+    gf2::BitVec z_flips;  // k bits
+    [[nodiscard]] bool any() const { return x_flips.any() || z_flips.any(); }
+  };
+  [[nodiscard]] LogicalEffect logical_effect(const pauli::PauliString& residual) const;
+
+  // Minimum weight of a normalizer element outside the stabilizer group —
+  // the code distance — by exhaustive search (3^n; use only for n <= ~11).
+  [[nodiscard]] size_t brute_force_distance() const;
+
+  // Checks all the structural invariants (generator commutation, logical
+  // algebra of Eq. 29) and aborts on violation; called by the constructor.
+  void validate() const;
+
+ private:
+  std::string name_;
+  size_t n_;
+  std::vector<pauli::PauliString> generators_;
+  std::vector<pauli::PauliString> logical_x_;
+  std::vector<pauli::PauliString> logical_z_;
+};
+
+}  // namespace ftqc::codes

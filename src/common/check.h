@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+// Always-on runtime invariant check. Simulation correctness bugs silently
+// corrupt statistics, so checks stay enabled in release builds; the hot
+// kernels use FTQC_DCHECK which compiles out under NDEBUG.
+#define FTQC_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FTQC_CHECK failed at %s:%d: %s\n  %s\n",       \
+                   __FILE__, __LINE__, #cond, std::string(msg).c_str());   \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define FTQC_DCHECK(cond, msg) ((void)0)
+#else
+#define FTQC_DCHECK(cond, msg) FTQC_CHECK(cond, msg)
+#endif

@@ -1,0 +1,12 @@
+// The common module is header-only; this translation unit exists so the
+// static library target has at least one object file.
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace ftqc {
+namespace {
+[[maybe_unused]] constexpr int kCommonModuleAnchor = 0;
+}  // namespace
+}  // namespace ftqc

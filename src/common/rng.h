@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ftqc {
+
+// xoshiro256** by Blackman & Vigna (public domain reference implementation,
+// re-typed). Chosen over std::mt19937_64 for speed in the Monte Carlo hot
+// loops and for trivially cheap per-thread forking via long jumps.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  uint64_t next_below(uint64_t bound) {
+    if (bound <= 1) return 0;
+    while (true) {
+      const uint64_t r = next_u64();
+      const __uint128_t m = static_cast<__uint128_t>(r) * bound;
+      const auto lo = static_cast<uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+  // Independent stream for a worker thread: splitmix-derived reseed keyed by
+  // the worker index, so OpenMP shards never share state.
+  [[nodiscard]] Rng fork(uint64_t stream) const {
+    Rng child(state_[0] ^ (0xA0761D6478BD642Full * (stream + 1)));
+    return child;
+  }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace ftqc

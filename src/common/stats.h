@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace ftqc {
+
+// Binomial proportion estimate with a Wilson-score interval. Threshold
+// experiments report logical failure rates; the interval lets benches flag
+// statistically meaningless comparisons.
+struct Proportion {
+  uint64_t successes = 0;
+  uint64_t trials = 0;
+
+  [[nodiscard]] double mean() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(successes) / static_cast<double>(trials);
+  }
+
+  // Half-width of the 95% Wilson interval around the Wilson midpoint.
+  [[nodiscard]] double wilson_halfwidth() const {
+    if (trials == 0) return 1.0;
+    constexpr double z = 1.959963984540054;  // 97.5th normal percentile
+    const double n = static_cast<double>(trials);
+    const double p = mean();
+    const double denom = 1.0 + z * z / n;
+    return (z / denom) * std::sqrt(p * (1 - p) / n + z * z / (4 * n * n));
+  }
+
+  [[nodiscard]] double wilson_center() const {
+    if (trials == 0) return 0.5;
+    constexpr double z = 1.959963984540054;
+    const double n = static_cast<double>(trials);
+    const double p = mean();
+    return (p + z * z / (2 * n)) / (1.0 + z * z / n);
+  }
+};
+
+}  // namespace ftqc

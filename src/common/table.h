@@ -1,0 +1,62 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ftqc {
+
+// Minimal fixed-width console table used by the bench harness to print
+// paper-style rows. Columns auto-size to the widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<size_t> width(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    print_row(out, headers_, width);
+    std::string rule;
+    for (size_t c = 0; c < width.size(); ++c) {
+      rule += std::string(width[c] + 2, '-');
+      if (c + 1 < width.size()) rule += "+";
+    }
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(out, row, width);
+  }
+
+ private:
+  static void print_row(std::FILE* out, const std::vector<std::string>& row,
+                        const std::vector<size_t>& width) {
+    for (size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::fprintf(out, " %-*s ", static_cast<int>(width[c]), cell.c_str());
+      if (c + 1 < width.size()) std::fprintf(out, "|");
+    }
+    std::fprintf(out, "\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style helper returning std::string, used for table cells.
+[[gnu::format(printf, 1, 2)]] inline std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[256];
+  vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace ftqc

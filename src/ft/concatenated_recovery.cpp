@@ -1,0 +1,283 @@
+#include "ft/concatenated_recovery.h"
+
+#include "common/check.h"
+#include "ft/gadget_runner.h"
+#include "ft/steane_circuits.h"
+#include "gf2/linalg.h"
+
+namespace ftqc::ft {
+
+namespace {
+
+constexpr uint32_t kData = 0;
+constexpr uint32_t kAncA = 49;
+constexpr uint32_t kAncB = 98;
+
+// Physical qubits of subblock `sub` within the block starting at `base`.
+std::array<uint32_t, 7> subblock(uint32_t base, size_t sub) {
+  std::array<uint32_t, 7> q{};
+  for (uint32_t i = 0; i < 7; ++i) {
+    q[i] = base + static_cast<uint32_t>(7 * sub) + i;
+  }
+  return q;
+}
+
+}  // namespace
+
+Level2Recovery::Level2Recovery(const sim::NoiseParams& noise,
+                               RecoveryPolicy policy, uint64_t seed)
+    : frame_(kNumQubits, seed),
+      noise_(noise),
+      policy_(policy),
+      stochastic_(noise),
+      injector_(&stochastic_) {
+  for (uint32_t q = 0; q < kAncB; ++q) data_and_a_.push_back(q);
+  for (uint32_t q = 0; q < kNumQubits; ++q) all_.push_back(q);
+}
+
+void Level2Recovery::reset() { frame_.clear(); }
+
+void Level2Recovery::set_injector(NoiseInjector* injector) {
+  injector_ = injector != nullptr ? injector : &stochastic_;
+}
+
+void Level2Recovery::inject_data(uint32_t q, char pauli) {
+  FTQC_CHECK(q < kBlock, "data qubit index out of range");
+  switch (pauli) {
+    case 'X': frame_.inject_x(q); break;
+    case 'Y': frame_.inject_y(q); break;
+    case 'Z': frame_.inject_z(q); break;
+    default: FTQC_CHECK(false, "inject_data expects X, Y or Z");
+  }
+}
+
+void Level2Recovery::apply_memory_noise(double p) {
+  for (uint32_t q = 0; q < kBlock; ++q) frame_.depolarize1(q, p);
+}
+
+sim::Circuit Level2Recovery::level2_zero_prep(uint32_t base) const {
+  sim::Circuit c;
+  // Seven level-1 |0>_code preparations (built on local qubits 0..6 and
+  // remapped onto the subblock).
+  static const std::array<uint32_t, 7> kLocal = {0, 1, 2, 3, 4, 5, 6};
+  const sim::Circuit local_prep = steane_zero_prep(kLocal);
+  for (size_t sub = 0; sub < 7; ++sub) {
+    const auto q = subblock(base, sub);
+    c.append_circuit(local_prep, std::vector<uint32_t>(q.begin(), q.end()));
+  }
+  // Fig. 3 at the logical level: pivot the Hamming rows away from the
+  // logical-X support {0,1,2}, bitwise-H the pivot subblocks, then
+  // transversal XOR fan-outs between subblocks.
+  const uint32_t avoid[3] = {0, 1, 2};
+  std::vector<bool> avoided(7, false);
+  for (uint32_t a : avoid) avoided[a] = true;
+  // Re-derive the pivoted rows (same algorithm as steane_zero_prep).
+  std::vector<gf2::BitVec> rows;
+  for (size_t r = 0; r < 3; ++r) rows.push_back(hamming_.check_matrix().row(r));
+  std::vector<size_t> pivots;
+  size_t next = 0;
+  for (size_t col = 0; col < 7 && next < rows.size(); ++col) {
+    if (avoided[col]) continue;
+    size_t found = rows.size();
+    for (size_t r = next; r < rows.size(); ++r) {
+      if (rows[r].get(col)) {
+        found = r;
+        break;
+      }
+    }
+    if (found == rows.size()) continue;
+    std::swap(rows[next], rows[found]);
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (r != next && rows[r].get(col)) rows[r] ^= rows[next];
+    }
+    pivots.push_back(col);
+    ++next;
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (uint32_t q : subblock(base, pivots[r])) c.h(q);  // logical H
+  }
+  c.tick();
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t col = 0; col < 7; ++col) {
+      if (col == pivots[r] || !rows[r].get(col)) continue;
+      const auto src = subblock(base, pivots[r]);
+      const auto dst = subblock(base, col);
+      for (size_t i = 0; i < 7; ++i) c.cx(src[i], dst[i]);  // logical XOR
+      c.tick();
+    }
+  }
+  return c;
+}
+
+bool Level2Recovery::DecodedSyndrome::any() const {
+  if (top.any()) return true;
+  for (const auto& s : sub) {
+    if (s.any()) return true;
+  }
+  return false;
+}
+
+bool Level2Recovery::DecodedSyndrome::operator==(
+    const DecodedSyndrome& other) const {
+  if (!(top == other.top)) return false;
+  for (size_t i = 0; i < 7; ++i) {
+    if (!(sub[i] == other.sub[i])) return false;
+  }
+  return true;
+}
+
+void Level2Recovery::prepare_verified_zero_ancilla() {
+  run_gadget(frame_, level2_zero_prep(kAncA), *injector_, data_and_a_);
+  if (!policy_.verify_ancilla) return;
+
+  int votes_one = 0;
+  int rounds = 0;
+  for (int round = 0; round < policy_.verification_rounds; ++round) {
+    run_gadget(frame_, level2_zero_prep(kAncB), *injector_, all_);
+    sim::Circuit cnots;
+    for (uint32_t i = 0; i < kBlock; ++i) cnots.cx(kAncA + i, kAncB + i);
+    cnots.tick();
+    for (uint32_t i = 0; i < kBlock; ++i) cnots.m(kAncB + i);
+    cnots.tick();
+    const auto flips = run_gadget(frame_, cnots, *injector_, all_);
+    // Hierarchical decode of the measured block.
+    gf2::BitVec logicals(7);
+    for (size_t sub = 0; sub < 7; ++sub) {
+      gf2::BitVec word(7);
+      for (size_t i = 0; i < 7; ++i) word.set(i, flips[7 * sub + i] != 0);
+      logicals.set(sub, hamming_.decode_logical(word));
+    }
+    votes_one += hamming_.decode_logical(logicals) ? 1 : 0;
+    ++rounds;
+    for (uint32_t i = 0; i < kBlock; ++i) frame_.reset(kAncB + i);
+  }
+  if (votes_one == rounds && rounds > 0) {
+    // Logical flip of the level-2 ancilla: logical X on subblocks {0,1,2},
+    // each a 3-qubit bitwise NOT on the subblock's logical-X support.
+    sim::Circuit fix;
+    std::vector<uint32_t> touched;
+    for (size_t sub : {size_t{0}, size_t{1}, size_t{2}}) {
+      const auto q = subblock(kAncA, sub);
+      for (size_t i : {size_t{0}, size_t{1}, size_t{2}}) {
+        fix.x(q[i]);
+        touched.push_back(q[i]);
+      }
+    }
+    fix.tick();
+    run_gadget(frame_, fix, *injector_, data_and_a_);
+    for (uint32_t q : touched) frame_.inject_x(q);
+  }
+}
+
+Level2Recovery::DecodedSyndrome Level2Recovery::extract_syndrome(
+    bool phase_type) {
+  prepare_verified_zero_ancilla();
+
+  sim::Circuit gadget;
+  if (phase_type) {
+    for (uint32_t i = 0; i < kBlock; ++i) gadget.cx(kAncA + i, kData + i);
+    gadget.tick();
+    for (uint32_t i = 0; i < kBlock; ++i) gadget.mx(kAncA + i);
+    gadget.tick();
+  } else {
+    for (uint32_t i = 0; i < kBlock; ++i) gadget.h(kAncA + i);
+    gadget.tick();
+    for (uint32_t i = 0; i < kBlock; ++i) gadget.cx(kData + i, kAncA + i);
+    gadget.tick();
+    for (uint32_t i = 0; i < kBlock; ++i) gadget.m(kAncA + i);
+    gadget.tick();
+  }
+  const auto flips = run_gadget(frame_, gadget, *injector_, data_and_a_);
+  for (uint32_t i = 0; i < kBlock; ++i) frame_.reset(kAncA + i);
+
+  // One measurement, both levels (§5): per-subblock Hamming syndromes plus
+  // the level-2 syndrome of the subblock logical values.
+  DecodedSyndrome out;
+  gf2::BitVec logicals(7);
+  for (size_t sub = 0; sub < 7; ++sub) {
+    gf2::BitVec word(7);
+    for (size_t i = 0; i < 7; ++i) word.set(i, flips[7 * sub + i] != 0);
+    out.sub[sub] = hamming_.syndrome(word);
+    logicals.set(sub, hamming_.decode_logical(word));
+  }
+  out.top = hamming_.syndrome(logicals);
+  return out;
+}
+
+void Level2Recovery::correct(bool phase_type, const DecodedSyndrome& syndrome) {
+  sim::Circuit fix;
+  std::vector<uint32_t> targets;
+  // Level-1 corrections: one physical Pauli per flagged subblock.
+  for (size_t sub = 0; sub < 7; ++sub) {
+    const size_t pos = hamming_.error_position(syndrome.sub[sub]);
+    if (pos >= 7) continue;
+    const uint32_t q = subblock(kData, sub)[pos];
+    if (phase_type) {
+      fix.z(q);
+    } else {
+      fix.x(q);
+    }
+    targets.push_back(q);
+  }
+  // Level-2 correction: a logical Pauli on the flagged subblock.
+  const size_t bad_sub = hamming_.error_position(syndrome.top);
+  if (bad_sub < 7) {
+    const auto q = subblock(kData, bad_sub);
+    for (size_t i : {size_t{0}, size_t{1}, size_t{2}}) {
+      if (phase_type) {
+        fix.z(q[i]);
+      } else {
+        fix.x(q[i]);
+      }
+      targets.push_back(q[i]);
+    }
+  }
+  if (targets.empty()) return;
+  fix.tick();
+  std::vector<uint32_t> data_only;
+  for (uint32_t q = 0; q < kBlock; ++q) data_only.push_back(q);
+  run_gadget(frame_, fix, *injector_, data_only);
+  for (uint32_t q : targets) {
+    if (phase_type) {
+      frame_.inject_z(q);
+    } else {
+      frame_.inject_x(q);
+    }
+  }
+}
+
+void Level2Recovery::run_cycle() {
+  for (const bool phase_type : {false, true}) {
+    const DecodedSyndrome syndrome = extract_syndrome(phase_type);
+    if (!syndrome.any()) continue;
+    if (policy_.repeat_nontrivial_syndrome) {
+      const DecodedSyndrome again = extract_syndrome(phase_type);
+      if (again == syndrome) correct(phase_type, syndrome);
+    } else {
+      correct(phase_type, syndrome);
+    }
+  }
+}
+
+bool Level2Recovery::hierarchical_decode(bool phase_type) const {
+  gf2::BitVec logicals(7);
+  for (size_t sub = 0; sub < 7; ++sub) {
+    gf2::BitVec word(7);
+    for (size_t i = 0; i < 7; ++i) {
+      const size_t q = 7 * sub + i;
+      word.set(i, phase_type ? frame_.z_frame().get(q) : frame_.x_frame().get(q));
+    }
+    logicals.set(sub, hamming_.decode_logical(word));
+  }
+  return hamming_.decode_logical(logicals);
+}
+
+bool Level2Recovery::logical_x_error() const {
+  return hierarchical_decode(/*phase_type=*/false);
+}
+
+bool Level2Recovery::logical_z_error() const {
+  return hierarchical_decode(/*phase_type=*/true);
+}
+
+}  // namespace ftqc::ft

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ft/noise_injector.h"
+#include "ft/recovery.h"
+#include "gf2/hamming.h"
+#include "sim/frame_sim.h"
+#include "sim/noise_model.h"
+
+namespace ftqc::ft {
+
+// Fault-tolerant recovery for a LEVEL-2 concatenated Steane block (§5,
+// Fig. 14): 49 data qubits arranged as seven level-1 subblocks. Because the
+// Steane method is transversal at every level, one 49-qubit extraction
+// serves both levels simultaneously — "the quantum data processing needed to
+// extract a syndrome can be carried out at all levels of the concatenated
+// code simultaneously":
+//
+//   * the ancilla is a verified level-2 |0>_code: seven level-1 |0>_code
+//     preparations followed by the Fig. 3 structure applied with LOGICAL
+//     gates (bitwise H on pivot subblocks, transversal XOR fan-outs);
+//   * verification compares against a second level-2 block and decodes the
+//     destructive measurement hierarchically (§3.3 at the top level);
+//   * one transversal-XOR extraction yields, per subblock, the level-1
+//     Hamming syndrome AND the subblock's logical value, whose 7-bit word
+//     gives the level-2 syndrome — corrections are then applied at both
+//     levels (physical Paulis and 3-qubit logical Paulis).
+//
+// Register: data [0,49), ancilla A [49,98), verification ancilla B [98,147).
+class Level2Recovery {
+ public:
+  static constexpr size_t kBlock = 49;
+  static constexpr uint32_t kNumQubits = 147;
+
+  Level2Recovery(const sim::NoiseParams& noise, RecoveryPolicy policy,
+                 uint64_t seed);
+
+  void reset();
+  void inject_data(uint32_t q, char pauli);
+  void apply_memory_noise(double p);
+
+  // One full two-level recovery cycle.
+  void run_cycle();
+
+  // Hierarchical ideal decode of the residual frame.
+  [[nodiscard]] bool logical_x_error() const;
+  [[nodiscard]] bool logical_z_error() const;
+  [[nodiscard]] bool any_logical_error() const {
+    return logical_x_error() || logical_z_error();
+  }
+
+  void set_injector(NoiseInjector* injector);
+  [[nodiscard]] sim::FrameSim& frame() { return frame_; }
+
+ private:
+  struct DecodedSyndrome {
+    // Level-1 Hamming syndrome per subblock (7 entries, 3 bits each).
+    std::array<gf2::BitVec, 7> sub;
+    // Level-2 Hamming syndrome over the subblock logical values.
+    gf2::BitVec top;
+    [[nodiscard]] bool any() const;
+    [[nodiscard]] bool operator==(const DecodedSyndrome& other) const;
+  };
+
+  // Builds the level-2 |0>_code preparation circuit on a 49-qubit block.
+  [[nodiscard]] sim::Circuit level2_zero_prep(uint32_t base) const;
+  void prepare_verified_zero_ancilla();
+  [[nodiscard]] DecodedSyndrome extract_syndrome(bool phase_type);
+  void correct(bool phase_type, const DecodedSyndrome& syndrome);
+  [[nodiscard]] bool hierarchical_decode(bool phase_type) const;
+
+  sim::FrameSim frame_;
+  sim::NoiseParams noise_;
+  RecoveryPolicy policy_;
+  gf2::Hamming743 hamming_;
+  StochasticInjector stochastic_;
+  NoiseInjector* injector_;
+  std::vector<uint32_t> data_and_a_;
+  std::vector<uint32_t> all_;
+};
+
+}  // namespace ftqc::ft

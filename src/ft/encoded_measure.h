@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/tableau_sim.h"
+
+namespace ftqc::ft {
+
+// Logical-level measurement helpers of §2/Fig. 4 and §3.5, operating on the
+// exact tableau engine (these are the correctness-critical paths used by the
+// gate and encoder tests and by the examples; statistics run on the frame
+// engine instead).
+
+// Destructive measurement: measure all seven qubits, classically
+// Hamming-correct the outcome word, return the parity (the logical value).
+// Robust to one bit-flip error — in the block or in the measurements.
+[[nodiscard]] bool destructive_logical_measure(sim::TableauSim& sim,
+                                               std::span<const uint32_t> block);
+
+// Nondestructive measurement (Fig. 4, right): copy the block parity onto an
+// ancilla through the weight-3 logical-Z support and measure the ancilla.
+// Per §3.5 the parity measurement must be repeated to reach O(ε²)
+// confidence; `repetitions` readings are taken and the majority returned.
+[[nodiscard]] bool nondestructive_logical_measure(sim::TableauSim& sim,
+                                                  std::span<const uint32_t> block,
+                                                  uint32_t ancilla,
+                                                  int repetitions = 3);
+
+// Prepares |0>_code on the block *without* an encoding circuit (§3.5):
+// project with fault-tolerant error correction — here idealized as direct
+// stabilizer measurements — then measure the logical qubit and flip the
+// block if it reads 1.
+void project_to_logical_zero(sim::TableauSim& sim,
+                             std::span<const uint32_t> block,
+                             uint32_t ancilla);
+
+}  // namespace ftqc::ft

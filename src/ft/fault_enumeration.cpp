@@ -1,0 +1,70 @@
+#include "ft/fault_enumeration.h"
+
+#include <vector>
+
+namespace ftqc::ft {
+
+SingleFaultScan scan_single_faults(const GadgetExperiment& run,
+                                   const KindFilter& filter) {
+  // Recording pass: learn the noiseless path's locations.
+  FaultPointInjector recorder;
+  (void)run(recorder);
+  const std::vector<LocationKind> kinds = recorder.kinds();
+
+  SingleFaultScan scan;
+  scan.num_locations = kinds.size();
+  for (size_t loc = 0; loc < kinds.size(); ++loc) {
+    if (!filter(kinds[loc])) continue;
+    const int variants = location_variants(kinds[loc]);
+    for (int v = 0; v < variants; ++v) {
+      FaultPointInjector injector({{loc, v}});
+      const bool failed = run(injector);
+      ++scan.faults_tried;
+      if (failed) {
+        ++scan.faults_failing;
+        scan.weighted_failing += variant_weight(kinds[loc]);
+      }
+    }
+  }
+  return scan;
+}
+
+PairFaultScan scan_fault_pairs(const GadgetExperiment& run,
+                               const KindFilter& filter) {
+  FaultPointInjector recorder;
+  (void)run(recorder);
+  const std::vector<LocationKind> kinds = recorder.kinds();
+
+  PairFaultScan scan;
+  for (size_t loc1 = 0; loc1 < kinds.size(); ++loc1) {
+    if (!filter(kinds[loc1])) continue;
+    const int variants1 = location_variants(kinds[loc1]);
+    for (int v1 = 0; v1 < variants1; ++v1) {
+      // Path probe: the armed first fault may change control flow, so the
+      // set of later locations is discovered per (loc1, v1).
+      FaultPointInjector probe({{loc1, v1}});
+      (void)run(probe);
+      const std::vector<LocationKind> path_kinds = probe.kinds();
+      const double w1 = variant_weight(kinds[loc1]);
+
+      for (size_t loc2 = loc1 + 1; loc2 < path_kinds.size(); ++loc2) {
+        if (!filter(path_kinds[loc2])) continue;
+        const int variants2 = location_variants(path_kinds[loc2]);
+        for (int v2 = 0; v2 < variants2; ++v2) {
+          FaultPointInjector injector({{loc1, v1}, {loc2, v2}});
+          const bool failed = run(injector);
+          const double w = w1 * variant_weight(path_kinds[loc2]);
+          ++scan.pairs_tried;
+          scan.weighted_total += w;
+          if (failed) {
+            ++scan.pairs_failing;
+            scan.weighted_failing += w;
+          }
+        }
+      }
+    }
+  }
+  return scan;
+}
+
+}  // namespace ftqc::ft

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <functional>
+
+#include "ft/noise_injector.h"
+
+namespace ftqc::ft {
+
+// Exhaustive fault enumeration over a gadget experiment. The experiment is a
+// callable that executes one full gadget run against the given injector and
+// returns true when the run FAILED (by whatever criterion the experiment
+// defines, e.g. "a logical error survives ideal decoding").
+//
+// This realizes the paper's order-ε analysis: a gadget is fault tolerant
+// when no single fault fails it (§3), and its level-1 failure coefficient is
+// the weighted count of failing fault *pairs* (Eq. 33's "21").
+using GadgetExperiment = std::function<bool(NoiseInjector&)>;
+
+// Which location kinds can fault (mirrors which ε knobs are nonzero).
+using KindFilter = std::function<bool(LocationKind)>;
+
+[[nodiscard]] inline KindFilter all_kinds() {
+  return [](LocationKind) { return true; };
+}
+[[nodiscard]] inline KindFilter gate_kinds_only() {
+  return [](LocationKind k) { return k != LocationKind::kStorage; };
+}
+
+struct SingleFaultScan {
+  size_t num_locations = 0;       // fault opportunities on the noiseless path
+  size_t faults_tried = 0;        // (location, variant) pairs executed
+  size_t faults_failing = 0;      // of those, how many failed the gadget
+  double weighted_failing = 0.0;  // Σ variant_weight over failing faults:
+                                  // the coefficient of ε¹ in P(fail)
+};
+
+[[nodiscard]] SingleFaultScan scan_single_faults(const GadgetExperiment& run,
+                                                 const KindFilter& filter);
+
+struct PairFaultScan {
+  size_t pairs_tried = 0;
+  size_t pairs_failing = 0;
+  double weighted_failing = 0.0;  // Σ w1·w2 over failing pairs: the ε²
+                                  // coefficient (the "A" of p1 = A ε²)
+  double weighted_total = 0.0;    // Σ w1·w2 over all pairs (normalization)
+};
+
+// Enumerates ordered pairs loc1 < loc2 where loc2 ranges over the execution
+// path taken once the first fault is armed (fault-dependent control flow —
+// ancilla retries, syndrome repeats — lengthens the path; those locations
+// are enumerated too).
+[[nodiscard]] PairFaultScan scan_fault_pairs(const GadgetExperiment& run,
+                                             const KindFilter& filter);
+
+}  // namespace ftqc::ft

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ft/noise_injector.h"
+#include "sim/circuit.h"
+#include "sim/frame_sim.h"
+
+namespace ftqc::ft {
+
+// Executes an ideal gadget circuit on a Pauli frame, announcing every fault
+// opportunity to the injector: after each unitary (gate noise), after each
+// R (preparation noise), before each M/MX (measurement noise), and at each
+// TICK for every qubit of `active_qubits` that rested during the layer
+// (storage noise, §6 "maximal parallelism": only the resting qubits decohere
+// extra). Returns measurement flips relative to the noiseless reference.
+//
+// `active_qubits` names the qubits considered alive for storage accounting;
+// gadget drivers pass the data block plus any in-flight ancillas and exclude
+// qubits not yet prepared.
+std::vector<uint8_t> run_gadget(sim::FrameSim& frame, const sim::Circuit& circuit,
+                                NoiseInjector& injector,
+                                std::span<const uint32_t> active_qubits);
+
+}  // namespace ftqc::ft

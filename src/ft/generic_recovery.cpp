@@ -1,0 +1,165 @@
+#include "ft/generic_recovery.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "ft/gadget_runner.h"
+#include "ft/steane_circuits.h"
+
+namespace ftqc::ft {
+
+using pauli::PauliString;
+
+void append_controlled_pauli(sim::Circuit& circuit, uint32_t control,
+                             uint32_t target, char pauli) {
+  switch (pauli) {
+    case 'X':
+      circuit.cx(control, target);
+      break;
+    case 'Z':
+      circuit.cz(control, target);
+      break;
+    case 'Y':
+      // CY = (I ⊗ S) CX (I ⊗ S†).
+      circuit.s_dag(target);
+      circuit.cx(control, target);
+      circuit.s(target);
+      break;
+    default:
+      FTQC_CHECK(false, "controlled-Pauli expects X, Y or Z");
+  }
+}
+
+GenericShorRecovery::GenericShorRecovery(const codes::StabilizerCode& code,
+                                         const sim::NoiseParams& noise,
+                                         RecoveryPolicy policy, uint64_t seed)
+    : code_(code),
+      decoder_(code),
+      frame_(0, seed),  // resized below
+      noise_(noise),
+      policy_(policy),
+      stochastic_(noise),
+      injector_(&stochastic_) {
+  max_weight_ = 0;
+  for (const auto& g : code.generators()) {
+    max_weight_ = std::max(max_weight_, g.weight());
+  }
+  const auto n = static_cast<uint32_t>(code.n());
+  for (uint32_t i = 0; i < max_weight_; ++i) {
+    cat_.push_back(n + i);
+  }
+  check_ = n + static_cast<uint32_t>(max_weight_);
+  frame_ = sim::FrameSim(check_ + 1, seed);
+  for (uint32_t q = 0; q < check_ + 1; ++q) all_qubits_.push_back(q);
+}
+
+void GenericShorRecovery::reset() {
+  frame_.clear();
+  cats_discarded_ = 0;
+}
+
+void GenericShorRecovery::set_injector(NoiseInjector* injector) {
+  injector_ = injector != nullptr ? injector : &stochastic_;
+}
+
+void GenericShorRecovery::inject_data(uint32_t q, char pauli) {
+  FTQC_CHECK(q < code_.n(), "data qubit index out of range");
+  switch (pauli) {
+    case 'X': frame_.inject_x(q); break;
+    case 'Y': frame_.inject_y(q); break;
+    case 'Z': frame_.inject_z(q); break;
+    default: FTQC_CHECK(false, "inject_data expects X, Y or Z");
+  }
+}
+
+void GenericShorRecovery::apply_memory_noise(double p) {
+  for (uint32_t q = 0; q < code_.n(); ++q) frame_.depolarize1(q, p);
+}
+
+void GenericShorRecovery::prepare_verified_cat(size_t width) {
+  const std::span<const uint32_t> cat(cat_.data(), width);
+  const sim::Circuit prep = cat_prep_with_check(cat, check_, false);
+  for (int attempt = 0; attempt < policy_.max_cat_attempts; ++attempt) {
+    for (uint32_t q : cat) frame_.reset(q);
+    frame_.reset(check_);
+    const auto record = run_gadget(frame_, prep, *injector_, all_qubits_);
+    const bool failed = policy_.verify_ancilla && record[0] != 0;
+    if (!failed) return;
+    ++cats_discarded_;
+  }
+}
+
+bool GenericShorRecovery::measure_generator(const PauliString& generator) {
+  const size_t width = generator.weight();
+  prepare_verified_cat(width);
+
+  sim::Circuit gadget;
+  size_t a = 0;
+  for (size_t q = 0; q < code_.n(); ++q) {
+    const char p = generator.pauli_at(q);
+    if (p == 'I') continue;
+    append_controlled_pauli(gadget, cat_[a], static_cast<uint32_t>(q), p);
+    gadget.tick();
+    ++a;
+  }
+  for (size_t i = 0; i < width; ++i) gadget.mx(cat_[i]);
+  gadget.tick();
+
+  const auto flips = run_gadget(frame_, gadget, *injector_, all_qubits_);
+  bool parity = false;
+  for (uint8_t f : flips) parity ^= (f != 0);
+  for (size_t i = 0; i < width; ++i) frame_.reset(cat_[i]);
+  return parity;
+}
+
+gf2::BitVec GenericShorRecovery::extract_syndrome() {
+  gf2::BitVec syndrome(code_.num_generators());
+  for (size_t g = 0; g < code_.num_generators(); ++g) {
+    syndrome.set(g, measure_generator(code_.generators()[g]));
+  }
+  return syndrome;
+}
+
+void GenericShorRecovery::run_cycle() {
+  gf2::BitVec syndrome = extract_syndrome();
+  if (!syndrome.any()) return;
+  if (policy_.repeat_nontrivial_syndrome) {
+    const gf2::BitVec again = extract_syndrome();
+    if (!(again == syndrome)) return;  // conflicting: defer (§3.4)
+  }
+  const PauliString correction = decoder_.decode(syndrome);
+  sim::Circuit fix;
+  for (size_t q = 0; q < code_.n(); ++q) {
+    switch (correction.pauli_at(q)) {
+      case 'X': fix.x(static_cast<uint32_t>(q)); break;
+      case 'Y': fix.y(static_cast<uint32_t>(q)); break;
+      case 'Z': fix.z(static_cast<uint32_t>(q)); break;
+      default: break;
+    }
+  }
+  fix.tick();
+  std::vector<uint32_t> data_only;
+  for (uint32_t q = 0; q < code_.n(); ++q) data_only.push_back(q);
+  run_gadget(frame_, fix, *injector_, data_only);
+  // The correction shifts the reference (the noiseless run never corrects).
+  PauliString embedded(frame_.num_qubits());
+  for (size_t q = 0; q < code_.n(); ++q) {
+    embedded.set_pauli(q, correction.pauli_at(q));
+  }
+  frame_.inject(embedded);
+}
+
+PauliString GenericShorRecovery::residual() const {
+  PauliString r(code_.n());
+  for (size_t q = 0; q < code_.n(); ++q) {
+    r.set_x(q, frame_.x_frame().get(q));
+    r.set_z(q, frame_.z_frame().get(q));
+  }
+  return r;
+}
+
+bool GenericShorRecovery::any_logical_error() const {
+  return decoder_.residual_effect(residual()).any();
+}
+
+}  // namespace ftqc::ft

@@ -1,0 +1,83 @@
+#include "ft/noise_injector.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ftqc::ft {
+
+FaultPointInjector::FaultPointInjector(std::vector<Fault> faults)
+    : faults_(std::move(faults)) {
+  std::sort(faults_.begin(), faults_.end(),
+            [](const Fault& a, const Fault& b) { return a.location < b.location; });
+  for (size_t i = 1; i < faults_.size(); ++i) {
+    FTQC_CHECK(faults_[i].location != faults_[i - 1].location,
+               "duplicate fault location");
+  }
+}
+
+int FaultPointInjector::step(LocationKind kind) {
+  kinds_.push_back(kind);
+  const size_t loc = counter_++;
+  if (cursor_ < faults_.size() && faults_[cursor_].location == loc) {
+    const int variant = faults_[cursor_].variant;
+    FTQC_CHECK(variant >= 0 && variant < location_variants(kind),
+               "fault variant out of range for location kind");
+    ++cursor_;
+    return variant;
+  }
+  return -1;
+}
+
+void FaultPointInjector::inject_pauli1(sim::FrameSim& sim, uint32_t q,
+                                       int variant) {
+  switch (variant) {
+    case 0: sim.inject_x(q); break;
+    case 1: sim.inject_y(q); break;
+    case 2: sim.inject_z(q); break;
+    default: FTQC_CHECK(false, "bad 1-qubit fault variant");
+  }
+}
+
+void FaultPointInjector::on_gate1(sim::FrameSim& sim, uint32_t q) {
+  const int v = step(LocationKind::kGate1);
+  if (v >= 0) inject_pauli1(sim, q, v);
+}
+
+void FaultPointInjector::on_gate2(sim::FrameSim& sim, uint32_t a, uint32_t b) {
+  const int v = step(LocationKind::kGate2);
+  if (v < 0) return;
+  // variant 1..15 encodes (code_a, code_b) with 1=X, 2=Z, 3=Y per qubit.
+  const int which = v + 1;
+  const auto apply_code = [&sim](uint32_t q, int code) {
+    switch (code) {
+      case 1: sim.inject_x(q); break;
+      case 2: sim.inject_z(q); break;
+      case 3: sim.inject_y(q); break;
+      default: break;
+    }
+  };
+  apply_code(a, which & 3);
+  apply_code(b, (which >> 2) & 3);
+}
+
+void FaultPointInjector::on_prep(sim::FrameSim& sim, uint32_t q) {
+  if (step(LocationKind::kPrep) >= 0) sim.inject_x(q);
+}
+
+void FaultPointInjector::on_meas(sim::FrameSim& sim, uint32_t q, bool x_basis) {
+  if (step(LocationKind::kMeas) >= 0) {
+    if (x_basis) {
+      sim.inject_z(q);
+    } else {
+      sim.inject_x(q);
+    }
+  }
+}
+
+void FaultPointInjector::on_storage(sim::FrameSim& sim, uint32_t q) {
+  const int v = step(LocationKind::kStorage);
+  if (v >= 0) inject_pauli1(sim, q, v);
+}
+
+}  // namespace ftqc::ft

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/frame_sim.h"
+#include "sim/noise_model.h"
+
+namespace ftqc::ft {
+
+// Where a fault can strike during a fault-tolerant gadget. The recovery
+// drivers announce every opportunity to an injector; the injector decides
+// whether (and which) Pauli lands. Two implementations:
+//  * StochasticInjector — samples the §6 error model (Monte Carlo runs);
+//  * FaultPointInjector — deterministically injects chosen faults at chosen
+//    locations (the exhaustive O(ε)/O(ε²) analysis of §3: "consider
+//    systematically all the possible ways that recovery might fail").
+enum class LocationKind : uint8_t {
+  kGate1,    // after a 1-qubit gate: X, Y or Z (3 variants)
+  kGate2,    // after a 2-qubit gate: 15 two-qubit Pauli variants
+  kPrep,     // faulty |0> preparation: X (1 variant)
+  kMeas,     // measurement flip (1 variant)
+  kStorage,  // resting qubit, per time step: X, Y or Z (3 variants)
+};
+
+[[nodiscard]] constexpr int location_variants(LocationKind kind) {
+  switch (kind) {
+    case LocationKind::kGate1: return 3;
+    case LocationKind::kGate2: return 15;
+    case LocationKind::kPrep: return 1;
+    case LocationKind::kMeas: return 1;
+    case LocationKind::kStorage: return 3;
+  }
+  return 0;
+}
+
+// Probability weight of one variant, conditioned on the location faulting
+// (variants of a location are equiprobable under the §6 model).
+[[nodiscard]] constexpr double variant_weight(LocationKind kind) {
+  return 1.0 / location_variants(kind);
+}
+
+class NoiseInjector {
+ public:
+  virtual ~NoiseInjector() = default;
+  virtual void on_gate1(sim::FrameSim& sim, uint32_t q) = 0;
+  virtual void on_gate2(sim::FrameSim& sim, uint32_t a, uint32_t b) = 0;
+  virtual void on_prep(sim::FrameSim& sim, uint32_t q) = 0;
+  // Called just before a measurement; a faulty measurement is modelled as a
+  // basis-appropriate flip of the outcome.
+  virtual void on_meas(sim::FrameSim& sim, uint32_t q, bool x_basis) = 0;
+  virtual void on_storage(sim::FrameSim& sim, uint32_t q) = 0;
+};
+
+// Samples the stochastic model: every hook is an independent Bernoulli draw
+// using the FrameSim's own RNG.
+class StochasticInjector final : public NoiseInjector {
+ public:
+  explicit StochasticInjector(const sim::NoiseParams& params) : params_(params) {}
+
+  void on_gate1(sim::FrameSim& sim, uint32_t q) override {
+    sim.depolarize1(q, params_.eps_gate1);
+    if (params_.p_leak > 0) sim.leak_error(q, params_.p_leak);
+  }
+  void on_gate2(sim::FrameSim& sim, uint32_t a, uint32_t b) override {
+    sim.depolarize2(a, b, params_.eps_gate2);
+    if (params_.p_leak > 0) {
+      sim.leak_error(a, params_.p_leak);
+      sim.leak_error(b, params_.p_leak);
+    }
+  }
+  void on_prep(sim::FrameSim& sim, uint32_t q) override {
+    sim.x_error(q, params_.eps_prep);
+  }
+  void on_meas(sim::FrameSim& sim, uint32_t q, bool x_basis) override {
+    if (x_basis) {
+      sim.z_error(q, params_.eps_meas);
+    } else {
+      sim.x_error(q, params_.eps_meas);
+    }
+  }
+  void on_storage(sim::FrameSim& sim, uint32_t q) override {
+    sim.depolarize1(q, params_.eps_store);
+  }
+
+ private:
+  sim::NoiseParams params_;
+};
+
+// Deterministic injector for exhaustive fault enumeration. Run once in
+// recording mode to learn the fault locations of the noiseless path; then
+// re-run with one or two (location, variant) faults armed. Location indices
+// are assigned in execution order, so indices below the first armed fault
+// always refer to the same physical opportunity as in the noiseless run.
+class FaultPointInjector final : public NoiseInjector {
+ public:
+  struct Fault {
+    size_t location = 0;
+    int variant = 0;
+  };
+
+  FaultPointInjector() = default;  // recording mode
+  explicit FaultPointInjector(std::vector<Fault> faults);
+
+  void on_gate1(sim::FrameSim& sim, uint32_t q) override;
+  void on_gate2(sim::FrameSim& sim, uint32_t a, uint32_t b) override;
+  void on_prep(sim::FrameSim& sim, uint32_t q) override;
+  void on_meas(sim::FrameSim& sim, uint32_t q, bool x_basis) override;
+  void on_storage(sim::FrameSim& sim, uint32_t q) override;
+
+  // Locations seen so far (valid in both modes).
+  [[nodiscard]] size_t num_locations() const { return counter_; }
+  // Kinds recorded during this run (recording mode fills it fully).
+  [[nodiscard]] const std::vector<LocationKind>& kinds() const { return kinds_; }
+
+ private:
+  // Returns the variant to inject at the current location, or -1.
+  int step(LocationKind kind);
+  static void inject_pauli1(sim::FrameSim& sim, uint32_t q, int variant);
+
+  std::vector<Fault> faults_;  // sorted by location
+  size_t cursor_ = 0;
+  size_t counter_ = 0;
+  std::vector<LocationKind> kinds_;
+};
+
+}  // namespace ftqc::ft

@@ -1,0 +1,12 @@
+#include "ft/recovery.h"
+
+namespace ftqc::ft {
+
+gf2::BitVec hamming_syndrome_of_flips(const gf2::Hamming743& code,
+                                      const uint8_t* flips) {
+  gf2::BitVec word(7);
+  for (size_t q = 0; q < 7; ++q) word.set(q, flips[q] != 0);
+  return code.syndrome(word);
+}
+
+}  // namespace ftqc::ft

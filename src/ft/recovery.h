@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "gf2/bitvec.h"
+#include "gf2/hamming.h"
+#include "sim/frame_sim.h"
+
+namespace ftqc::ft {
+
+// Knobs of the fault-tolerant recovery protocols of §3. Disabling a knob
+// reproduces the paper's "what goes wrong without this precaution"
+// comparisons (benches E2-E4).
+struct RecoveryPolicy {
+  // §3.3: verify ancilla states (cat check bit / encoded-|0> comparison)
+  // before use.
+  bool verify_ancilla = true;
+  // §3.4: accept a nontrivial syndrome only after reading the same value
+  // twice; defer the correction otherwise.
+  bool repeat_nontrivial_syndrome = true;
+  // §3.3 verification of the encoded ancilla is itself measured twice; a
+  // conflicted pair means "safe to do nothing".
+  int verification_rounds = 2;
+  // Maximum cat-state preparation attempts before giving up the discard
+  // loop and using the last cat unverified.
+  int max_cat_attempts = 8;
+};
+
+// Decodes 7 measurement flips into the 3-bit Hamming syndrome (Eq. 3)
+// relative to the trivial reference.
+[[nodiscard]] gf2::BitVec hamming_syndrome_of_flips(const gf2::Hamming743& code,
+                                                    const uint8_t* flips);
+
+}  // namespace ftqc::ft

@@ -1,0 +1,130 @@
+#include "ft/shor_recovery.h"
+
+#include <array>
+
+#include "common/check.h"
+#include "ft/gadget_runner.h"
+#include "ft/steane_circuits.h"
+
+namespace ftqc::ft {
+
+namespace {
+
+constexpr std::array<uint32_t, 7> kData = {0, 1, 2, 3, 4, 5, 6};
+constexpr std::array<uint32_t, 4> kCat = {7, 8, 9, 10};
+constexpr uint32_t kCheck = 11;
+constexpr std::array<uint32_t, 12> kAll = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+
+}  // namespace
+
+ShorRecovery::ShorRecovery(const sim::NoiseParams& noise, RecoveryPolicy policy,
+                           uint64_t seed)
+    : frame_(kNumQubits, seed),
+      noise_(noise),
+      policy_(policy),
+      stochastic_(noise),
+      injector_(&stochastic_) {}
+
+void ShorRecovery::reset() {
+  frame_.clear();
+  cats_discarded_ = 0;
+}
+
+void ShorRecovery::set_injector(NoiseInjector* injector) {
+  injector_ = injector != nullptr ? injector : &stochastic_;
+}
+
+void ShorRecovery::inject_data(uint32_t q, char pauli) {
+  FTQC_CHECK(q < 7, "data qubit index out of range");
+  switch (pauli) {
+    case 'X': frame_.inject_x(q); break;
+    case 'Y': frame_.inject_y(q); break;
+    case 'Z': frame_.inject_z(q); break;
+    default: FTQC_CHECK(false, "inject_data expects X, Y or Z");
+  }
+}
+
+void ShorRecovery::apply_memory_noise(double p) {
+  for (uint32_t q : kData) frame_.depolarize1(q, p);
+}
+
+void ShorRecovery::prepare_verified_cat(bool final_hadamards) {
+  const sim::Circuit prep = cat_prep_with_check(kCat, kCheck, final_hadamards);
+  for (int attempt = 0; attempt < policy_.max_cat_attempts; ++attempt) {
+    for (uint32_t q : kCat) frame_.reset(q);
+    frame_.reset(kCheck);
+    const auto record = run_gadget(frame_, prep, *injector_, kAll);
+    // Reference check outcome is 0 (the cat bits agree); a flip means the
+    // verification failed and the cat is discarded (§3.3).
+    const bool failed = policy_.verify_ancilla && record[0] != 0;
+    if (!failed) return;
+    ++cats_discarded_;
+  }
+  // Retry budget exhausted: use the last cat unverified. (Unreachable in the
+  // noiseless and single-fault analyses.)
+}
+
+bool ShorRecovery::measure_syndrome_bit(const gf2::BitVec& support, bool x_type) {
+  prepare_verified_cat(/*final_hadamards=*/!x_type);
+  const sim::Circuit gadget = shor_syndrome_bit(kData, kCat, support, x_type);
+  const auto flips = run_gadget(frame_, gadget, *injector_, kAll);
+  bool parity = false;
+  for (uint8_t f : flips) parity ^= (f != 0);
+  return parity;
+}
+
+gf2::BitVec ShorRecovery::extract_syndrome(bool phase_type) {
+  // Bit-flip errors are diagnosed by the Z-type generators (measured with
+  // Shor-state ancillas); phase errors by the X-type generators.
+  gf2::BitVec syndrome(3);
+  for (size_t row = 0; row < 3; ++row) {
+    const gf2::BitVec support = hamming_.check_matrix().row(row);
+    syndrome.set(row, measure_syndrome_bit(support, /*x_type=*/phase_type));
+  }
+  return syndrome;
+}
+
+void ShorRecovery::correct(bool phase_type, const gf2::BitVec& syndrome) {
+  const size_t pos = hamming_.error_position(syndrome);
+  if (pos >= 7) return;
+  sim::Circuit fix;
+  if (phase_type) {
+    fix.z(kData[pos]);
+  } else {
+    fix.x(kData[pos]);
+  }
+  fix.tick();
+  run_gadget(frame_, fix, *injector_, kData);
+  if (phase_type) {
+    frame_.inject_z(kData[pos]);
+  } else {
+    frame_.inject_x(kData[pos]);
+  }
+}
+
+void ShorRecovery::run_cycle() {
+  for (const bool phase_type : {false, true}) {
+    const gf2::BitVec syndrome = extract_syndrome(phase_type);
+    if (!syndrome.any()) continue;
+    if (policy_.repeat_nontrivial_syndrome) {
+      const gf2::BitVec again = extract_syndrome(phase_type);
+      if (again == syndrome) correct(phase_type, syndrome);
+    } else {
+      correct(phase_type, syndrome);
+    }
+  }
+}
+
+bool ShorRecovery::logical_x_error() const {
+  gf2::BitVec word(7);
+  for (size_t q = 0; q < 7; ++q) word.set(q, frame_.x_frame().get(q));
+  return hamming_.decode_logical(word);
+}
+
+bool ShorRecovery::logical_z_error() const {
+  gf2::BitVec word(7);
+  for (size_t q = 0; q < 7; ++q) word.set(q, frame_.z_frame().get(q));
+  return hamming_.decode_logical(word);
+}
+
+}  // namespace ftqc::ft

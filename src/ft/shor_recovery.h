@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ft/noise_injector.h"
+#include "ft/recovery.h"
+#include "gf2/hamming.h"
+#include "sim/frame_sim.h"
+#include "sim/noise_model.h"
+
+namespace ftqc::ft {
+
+// Fault-tolerant recovery for one Steane block using Shor's cat-state method
+// (§3.2-§3.4): each of the six stabilizer generators of Eq. (18) is measured
+// with a dedicated 4-bit ancilla prepared in a verified cat/Shor state
+// (Fig. 8), one XOR per ancilla bit (Fig. 6 "Good!"), and the syndrome bit
+// taken as the parity of the four ancilla measurements. Verification
+// failures discard the cat and retry (§3.3); nontrivial syndromes are
+// accepted only on repetition (§3.4).
+//
+// Register layout: data [0,7), cat [7,11), check qubit 11.
+class ShorRecovery {
+ public:
+  static constexpr uint32_t kNumQubits = 12;
+
+  ShorRecovery(const sim::NoiseParams& noise, RecoveryPolicy policy,
+               uint64_t seed);
+
+  void reset();
+  void inject_data(uint32_t q, char pauli);
+  void apply_memory_noise(double p);
+
+  // One full recovery cycle: bit-flip syndrome (3 generators), then
+  // phase-flip syndrome (3 generators), with the §3.4 repetition policy.
+  void run_cycle();
+
+  [[nodiscard]] bool logical_x_error() const;
+  [[nodiscard]] bool logical_z_error() const;
+  [[nodiscard]] bool any_logical_error() const {
+    return logical_x_error() || logical_z_error();
+  }
+
+  // Number of cat preparations discarded by verification so far (E3).
+  [[nodiscard]] size_t cats_discarded() const { return cats_discarded_; }
+
+  void set_injector(NoiseInjector* injector);
+  [[nodiscard]] sim::FrameSim& frame() { return frame_; }
+
+ private:
+  // Measures one syndrome bit for the generator with the given Hamming-row
+  // support; x_type selects the X-generator direction (Fig. 7).
+  bool measure_syndrome_bit(const gf2::BitVec& support, bool x_type);
+  // All three syndrome bits of one type.
+  gf2::BitVec extract_syndrome(bool phase_type);
+  void correct(bool phase_type, const gf2::BitVec& syndrome);
+  void prepare_verified_cat(bool final_hadamards);
+
+  sim::FrameSim frame_;
+  sim::NoiseParams noise_;
+  RecoveryPolicy policy_;
+  gf2::Hamming743 hamming_;
+  StochasticInjector stochastic_;
+  NoiseInjector* injector_;
+  size_t cats_discarded_ = 0;
+};
+
+}  // namespace ftqc::ft

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gf2/bitmat.h"
+#include "sim/circuit.h"
+
+namespace ftqc::ft {
+
+// Circuit builders for the Steane-code gadgets of §§2-3, parameterized over
+// the qubit indices they act on so drivers can place them anywhere in a
+// larger register. All builders insert TICKs between parallel layers so the
+// storage-noise accounting of §6 applies.
+
+// Generic CSS |0...0>-logical preparation: for each X-stabilizer generator
+// (row of hx, pivoted outside `avoid`), Hadamard a pivot qubit and fan XORs
+// to the rest of the row's support. With hx = the Hamming check matrix this
+// is the ancilla-preparation part of Fig. 3.
+[[nodiscard]] sim::Circuit css_zero_prep(const gf2::BitMat& hx,
+                                         std::span<const uint32_t> qubits,
+                                         std::span<const uint32_t> avoid = {});
+
+// Fig. 3: encode the unknown state on `qubits[input_position]` into the
+// Steane block laid out on the seven `qubits`. Uses the Eq. (1) generator
+// convention with logical-X support {0,1,2}; input_position must be 0.
+[[nodiscard]] sim::Circuit steane_encoder(std::span<const uint32_t> qubits);
+
+// |0>_code preparation on seven qubits (Fig. 3 without the input stage).
+[[nodiscard]] sim::Circuit steane_zero_prep(std::span<const uint32_t> qubits);
+
+// Steane-state / |+>_code preparation: |0>_code followed by bitwise H
+// (Eq. 17: the equal superposition of all 16 Hamming codewords).
+[[nodiscard]] sim::Circuit steane_plus_prep(std::span<const uint32_t> qubits);
+
+// Fig. 2 / Fig. 6-"Bad!": the non-fault-tolerant syndrome circuit that
+// reuses ONE ancilla qubit as the target of all four XORs of each
+// Z-generator. Measures 3 bit-flip syndrome bits on `ancilla`.
+[[nodiscard]] sim::Circuit nonft_bitflip_syndrome(
+    std::span<const uint32_t> data, uint32_t ancilla);
+
+// Fig. 6-"Good!" one generator: each of the four XORs targets its own
+// ancilla bit (ancillas must hold 4 qubits, prepared in a Shor state by the
+// caller); the syndrome bit is the parity of the four measurements.
+[[nodiscard]] sim::Circuit shor_syndrome_bit(std::span<const uint32_t> data,
+                                             std::span<const uint32_t> ancilla,
+                                             const gf2::BitVec& support,
+                                             bool x_type);
+
+// Fig. 8: prepare a 4-qubit cat state on `cat` and verify it with the check
+// qubit: H, XOR chain, two verification XORs (first and last cat bit into
+// `check`), measure `check`. Caller discards on outcome 1. If
+// `final_hadamards`, the four H's completing the Shor state are appended.
+[[nodiscard]] sim::Circuit cat_prep_with_check(std::span<const uint32_t> cat,
+                                               uint32_t check,
+                                               bool final_hadamards);
+
+// Transversal XOR between two blocks (Fig. 11).
+[[nodiscard]] sim::Circuit transversal_cx(std::span<const uint32_t> source,
+                                          std::span<const uint32_t> target);
+
+// Fig. 4 (right): nondestructive encoded-Z measurement by copying the parity
+// onto one ancilla via the weight-3 logical-Z support {0,1,2}.
+[[nodiscard]] sim::Circuit nondestructive_parity(std::span<const uint32_t> data,
+                                                 uint32_t ancilla);
+
+// Fig. 4 (left): destructive measurement — measure every data qubit.
+[[nodiscard]] sim::Circuit destructive_measure(std::span<const uint32_t> data);
+
+// Fig. 15: leakage detection. The ancilla ends in |1> for healthy data and
+// |0> for leaked data.
+[[nodiscard]] sim::Circuit leak_detection(uint32_t data, uint32_t ancilla);
+
+}  // namespace ftqc::ft

@@ -1,0 +1,199 @@
+#include "ft/steane_recovery.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+#include "ft/gadget_runner.h"
+#include "ft/steane_circuits.h"
+
+namespace ftqc::ft {
+
+namespace {
+
+constexpr std::array<uint32_t, 7> kData = {0, 1, 2, 3, 4, 5, 6};
+constexpr std::array<uint32_t, 7> kAncA = {7, 8, 9, 10, 11, 12, 13};
+constexpr std::array<uint32_t, 7> kAncB = {14, 15, 16, 17, 18, 19, 20};
+
+// Active sets for storage accounting: the data block always idles through
+// ancilla work; ancilla blocks join once they are in flight.
+constexpr std::array<uint32_t, 14> kDataAndA = {0, 1, 2,  3,  4,  5,  6,
+                                                7, 8, 9, 10, 11, 12, 13};
+constexpr std::array<uint32_t, 21> kAll = {0,  1,  2,  3,  4,  5,  6,
+                                           7,  8,  9,  10, 11, 12, 13,
+                                           14, 15, 16, 17, 18, 19, 20};
+
+}  // namespace
+
+SteaneRecovery::SteaneRecovery(const sim::NoiseParams& noise,
+                               RecoveryPolicy policy, uint64_t seed)
+    : frame_(kNumQubits, seed),
+      noise_(noise),
+      policy_(policy),
+      stochastic_(noise),
+      injector_(&stochastic_) {}
+
+void SteaneRecovery::reset() { frame_.clear(); }
+
+void SteaneRecovery::set_injector(NoiseInjector* injector) {
+  injector_ = injector != nullptr ? injector : &stochastic_;
+}
+
+void SteaneRecovery::inject_data(uint32_t q, char pauli) {
+  FTQC_CHECK(q < 7, "data qubit index out of range");
+  switch (pauli) {
+    case 'X': frame_.inject_x(q); break;
+    case 'Y': frame_.inject_y(q); break;
+    case 'Z': frame_.inject_z(q); break;
+    default: FTQC_CHECK(false, "inject_data expects X, Y or Z");
+  }
+}
+
+void SteaneRecovery::apply_memory_noise(double p) {
+  for (uint32_t q : kData) frame_.depolarize1(q, p);
+}
+
+void SteaneRecovery::prepare_verified_zero_ancilla() {
+  // Fresh |0>_code on the syndrome ancilla.
+  run_gadget(frame_, steane_zero_prep(kAncA), *injector_, kDataAndA);
+  if (!policy_.verify_ancilla) return;
+
+  // §3.3: compare against freshly encoded blocks; equal nontrivial readings
+  // trigger a logical flip of the ancilla, a conflicted pair is left alone.
+  int votes_one = 0;
+  int rounds = 0;
+  for (int round = 0; round < policy_.verification_rounds; ++round) {
+    run_gadget(frame_, steane_zero_prep(kAncB), *injector_, kAll);
+    run_gadget(frame_, transversal_cx(kAncA, kAncB), *injector_, kAll);
+    const auto flips =
+        run_gadget(frame_, destructive_measure(kAncB), *injector_, kAll);
+    gf2::BitVec word(7);
+    for (size_t q = 0; q < 7; ++q) word.set(q, flips[q] != 0);
+    votes_one += hamming_.decode_logical(word) ? 1 : 0;
+    ++rounds;
+    for (uint32_t q : kAncB) frame_.reset(q);
+  }
+  if (votes_one == rounds && rounds > 0) {
+    // Confident the ancilla is (logically) flipped: apply the bitwise fix.
+    // Three NOTs on the logical-X support suffice (§4.1 footnote f).
+    sim::Circuit fix;
+    for (uint32_t q : {kAncA[0], kAncA[1], kAncA[2]}) fix.x(q);
+    fix.tick();
+    run_gadget(frame_, fix, *injector_, kDataAndA);
+    frame_.inject_x(kAncA[0]);
+    frame_.inject_x(kAncA[1]);
+    frame_.inject_x(kAncA[2]);
+  }
+}
+
+gf2::BitVec SteaneRecovery::extract_syndrome(bool phase_type) {
+  prepare_verified_zero_ancilla();
+
+  sim::Circuit gadget;
+  if (phase_type) {
+    // Phase syndrome: |0>_code ancilla as XOR source, data as target; data Z
+    // errors propagate backward onto the ancilla; read it in the X basis.
+    for (size_t i = 0; i < 7; ++i) gadget.cx(kAncA[i], kData[i]);
+    gadget.tick();
+    for (uint32_t q : kAncA) gadget.mx(q);
+    gadget.tick();
+  } else {
+    // Bit-flip syndrome: rotate the verified |0>_code into the Steane state
+    // (Eq. 17), XOR the data in, and measure in the Z basis.
+    for (uint32_t q : kAncA) gadget.h(q);
+    gadget.tick();
+    for (size_t i = 0; i < 7; ++i) gadget.cx(kData[i], kAncA[i]);
+    gadget.tick();
+    for (uint32_t q : kAncA) gadget.m(q);
+    gadget.tick();
+  }
+  const auto flips = run_gadget(frame_, gadget, *injector_, kDataAndA);
+  for (uint32_t q : kAncA) frame_.reset(q);
+  return hamming_syndrome_of_flips(hamming_, flips.data());
+}
+
+void SteaneRecovery::correct(bool phase_type, const gf2::BitVec& syndrome) {
+  const size_t pos = hamming_.error_position(syndrome);
+  if (pos >= 7) return;
+  // The correction is a real gate: it costs one fault opportunity, and it
+  // shifts the reference (the noiseless run never applies corrections).
+  sim::Circuit fix;
+  if (phase_type) {
+    fix.z(kData[pos]);
+  } else {
+    fix.x(kData[pos]);
+  }
+  fix.tick();
+  run_gadget(frame_, fix, *injector_, kData);
+  if (phase_type) {
+    frame_.inject_z(kData[pos]);
+  } else {
+    frame_.inject_x(kData[pos]);
+  }
+}
+
+void SteaneRecovery::run_cycle() {
+  for (const bool phase_type : {false, true}) {
+    const gf2::BitVec syndrome = extract_syndrome(phase_type);
+    if (!syndrome.any()) continue;  // trivial: take no action (§3.4)
+    if (policy_.repeat_nontrivial_syndrome) {
+      const gf2::BitVec again = extract_syndrome(phase_type);
+      // Act only when the repeat agrees; a conflict defers to the next cycle.
+      if (again == syndrome) correct(phase_type, syndrome);
+    } else {
+      correct(phase_type, syndrome);
+    }
+  }
+}
+
+bool SteaneRecovery::logical_x_error() const {
+  gf2::BitVec word(7);
+  for (size_t q = 0; q < 7; ++q) word.set(q, frame_.x_frame().get(q));
+  return hamming_.decode_logical(word);
+}
+
+bool SteaneRecovery::logical_z_error() const {
+  gf2::BitVec word(7);
+  for (size_t q = 0; q < 7; ++q) word.set(q, frame_.z_frame().get(q));
+  return hamming_.decode_logical(word);
+}
+
+size_t SteaneRecovery::residual_x_weight() const {
+  size_t w = 0;
+  for (size_t q = 0; q < 7; ++q) w += frame_.x_frame().get(q);
+  return w;
+}
+
+size_t SteaneRecovery::residual_z_weight() const {
+  size_t w = 0;
+  for (size_t q = 0; q < 7; ++q) w += frame_.z_frame().get(q);
+  return w;
+}
+
+namespace {
+// Minimum weight of `word` xored with any even Hamming codeword (the
+// stabilizer supports of the self-dual Steane code).
+size_t coset_weight(const gf2::Hamming743& hamming, const gf2::BitVec& word) {
+  size_t best = 8;
+  for (uint8_t stab : hamming.even_codewords()) {
+    size_t w = 0;
+    for (size_t q = 0; q < 7; ++q) w += word.get(q) ^ ((stab >> q) & 1u);
+    best = std::min(best, w);
+  }
+  return best;
+}
+}  // namespace
+
+size_t SteaneRecovery::residual_x_coset_weight() const {
+  gf2::BitVec word(7);
+  for (size_t q = 0; q < 7; ++q) word.set(q, frame_.x_frame().get(q));
+  return coset_weight(hamming_, word);
+}
+
+size_t SteaneRecovery::residual_z_coset_weight() const {
+  gf2::BitVec word(7);
+  for (size_t q = 0; q < 7; ++q) word.set(q, frame_.z_frame().get(q));
+  return coset_weight(hamming_, word);
+}
+
+}  // namespace ftqc::ft

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "ft/noise_injector.h"
+#include "ft/recovery.h"
+#include "gf2/hamming.h"
+#include "sim/frame_sim.h"
+#include "sim/noise_model.h"
+
+namespace ftqc::ft {
+
+// Fault-tolerant error recovery for one Steane block using Steane's
+// encoded-ancilla method — the complete circuit of Fig. 9:
+//
+//   1. prepare |0>_code ancilla blocks and verify them against a second
+//      encoded block (§3.3);
+//   2. bit-flip syndrome: verified ancilla rotated to the Steane state
+//      (Eq. 17), transversal XOR data->ancilla, destructive Z measurement,
+//      classical Hamming check (§3.6);
+//   3. phase-flip syndrome: verified |0>_code ancilla, transversal XOR
+//      ancilla->data, destructive X measurement, Hamming check;
+//   4. §3.4 syndrome repetition: act only on a nontrivial syndrome read
+//      twice in agreement.
+//
+// Runs on a Pauli frame, so one cycle costs microseconds and the level-1
+// failure analysis (E5/E6) can afford exhaustive two-fault enumeration.
+//
+// Register layout: data block [0,7), syndrome ancilla [7,14), verification
+// ancilla [14,21).
+class SteaneRecovery {
+ public:
+  static constexpr uint32_t kNumQubits = 21;
+
+  SteaneRecovery(const sim::NoiseParams& noise, RecoveryPolicy policy,
+                 uint64_t seed);
+
+  // Returns the frame to the all-clean state.
+  void reset();
+
+  // Injects a Pauli on a data qubit (error-channel input for experiments).
+  void inject_data(uint32_t q, char pauli);
+  // iid depolarizing channel on every data qubit (the memory step of E1/E5).
+  void apply_memory_noise(double p);
+
+  // One full fault-tolerant recovery cycle (Fig. 9).
+  void run_cycle();
+
+  // Residual data-block errors, ideally decoded: true if the block carries a
+  // logical X (resp. Z) error that ideal recovery can no longer repair.
+  [[nodiscard]] bool logical_x_error() const;
+  [[nodiscard]] bool logical_z_error() const;
+  [[nodiscard]] bool any_logical_error() const {
+    return logical_x_error() || logical_z_error();
+  }
+
+  // Raw residual weight per error type (for the "two errors in a block"
+  // accounting of §3).
+  [[nodiscard]] size_t residual_x_weight() const;
+  [[nodiscard]] size_t residual_z_weight() const;
+
+  // Residual weight reduced modulo the stabilizer: a frame pattern equal to
+  // a stabilizer element (e.g. the X part of a prep fault that fans out into
+  // exactly one generator's support) acts trivially on the code space and
+  // counts as weight 0. This is the §3 notion of "errors in a block".
+  [[nodiscard]] size_t residual_x_coset_weight() const;
+  [[nodiscard]] size_t residual_z_coset_weight() const;
+
+  // Replaces the stochastic injector (owned default) with an external one;
+  // used by the fault enumerator. Pass nullptr to restore the default.
+  void set_injector(NoiseInjector* injector);
+
+  [[nodiscard]] sim::FrameSim& frame() { return frame_; }
+
+ private:
+  // 3-bit Hamming syndrome (as flips) for the given error type.
+  gf2::BitVec extract_syndrome(bool phase_type);
+  // Verified |0>_code on the syndrome ancilla block (§3.3).
+  void prepare_verified_zero_ancilla();
+  void correct(bool phase_type, const gf2::BitVec& syndrome);
+
+  sim::FrameSim frame_;
+  sim::NoiseParams noise_;
+  RecoveryPolicy policy_;
+  gf2::Hamming743 hamming_;
+  StochasticInjector stochastic_;
+  NoiseInjector* injector_;  // points at stochastic_ unless overridden
+};
+
+}  // namespace ftqc::ft

@@ -1,0 +1,75 @@
+#include "ft/toffoli_gadget.h"
+
+namespace ftqc::ft {
+
+ToffoliGadget make_bare_toffoli_gadget() {
+  ToffoliGadget g;
+  g.out_data = {0, 1, 2};  // a1, a2, a3
+  g.cat = 3;
+  g.in_data = {4, 5, 6};  // d1, d2, d3
+
+  sim::Circuit& c = g.circuit;
+  c.ensure_qubits(7);
+
+  // --- Stage 1: prepare |A> (Eq. 23-25). -------------------------------
+  // Encoded |0>'s with bitwise Hadamards -> (1/sqrt8) Σ |a,b,c> (Eq. 24).
+  c.h(0);
+  c.h(1);
+  c.h(2);
+  c.tick();
+  // Fig. 12: measure Z_AB = (-1)^{ab+c} using a cat control in the Hadamard
+  // basis. The (-1)^{x·ab} piece is the bitwise Toffoli onto the cat
+  // (expressed here as CCZ conjugated by H on the cat); (-1)^{x·c} is a
+  // two-qubit phase gate.
+  c.h(g.cat);
+  c.tick();
+  c.ccz(g.cat, 0, 1);
+  c.tick();
+  c.cz(g.cat, 2);
+  c.tick();
+  c.h(g.cat);
+  c.tick();
+  const int32_t m_cat = c.m(g.cat);
+  c.tick();
+  // Outcome |B>: apply NOT_3 to complete the preparation (Eq. 25).
+  c.x(2, m_cat);
+  c.tick();
+
+  // --- Stage 2: Eq. 27 interaction + Fig. 13 conditional fix-ups. -------
+  // Three XORs and a Hadamard produce Eq. (27):
+  //   |a,b,ab>|x,y,z> -> Σ_w (-1)^{wz} |a,b,ab⊕z> |x⊕a, y⊕b, w>.
+  c.cx(6, 2);  // data z into the product qubit
+  c.cx(0, 4);  // ancilla a into data x
+  c.cx(1, 5);  // ancilla b into data y
+  c.tick();
+  c.h(6);
+  c.tick();
+  const int32_t m1 = c.m(4);
+  const int32_t m2 = c.m(5);
+  const int32_t m3 = c.m(6);
+  c.tick();
+  // Conditional fix-ups. With a1 = x⊕m1, a2 = y⊕m2 and
+  // a3 = z ⊕ xy ⊕ x·m2 ⊕ y·m1 ⊕ m1·m2 after the measurements, the ordering
+  // below adds exactly the surplus terms: the first XOR (a1 still unfixed)
+  // contributes m2·x ⊕ m1·m2, the second (a2 already fixed) m1·y.
+  c.cx(0, 2, m2);
+  c.x(1, m2);
+  c.tick();
+  c.cx(1, 2, m1);
+  c.x(0, m1);
+  c.tick();
+  // Phase repair for the (-1)^{w z} factor: (-1)^{m3(a3 ⊕ xy)} = (-1)^{m3 z}.
+  c.z(2, m3);
+  c.cz(0, 1, m3);
+  c.tick();
+  return g;
+}
+
+size_t encoded_gadget_gate_count(size_t block_size) {
+  // Stage 1: 3 bitwise H blocks + bitwise Toffoli + bitwise CZ + 2 cat H
+  // layers + cat measurement; stage 2: 3 transversal XORs + 1 bitwise H +
+  // 3 block measurements + up to 6 conditional bitwise gates.
+  return block_size * (3 + 1 + 1 + 2 + 1 + 3 + 1 + 3 + 6);
+}
+
+}  // namespace ftqc::ft

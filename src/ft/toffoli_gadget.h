@@ -1,0 +1,43 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/circuit.h"
+
+namespace ftqc::ft {
+
+// Shor's measurement-based Toffoli construction (§4.1, Figs. 12-13), at the
+// "bare" level where each encoded block of Fig. 13 is represented by one
+// qubit and the 7-qubit cat by one qubit. The encoded version applies every
+// gate below transversally / bitwise; since the construction only uses
+// gates with known fault-tolerant block implementations (bitwise H, X, Z,
+// CZ, XOR, the single bitwise Toffoli onto the cat, and block measurements),
+// verifying the bare gadget verifies the logical action of the encoded one.
+//
+// Stage 1 prepares the ancilla state |A> = (1/2) Σ_{a,b} |a,b,ab> (Eq. 23)
+// by measuring Z_AB = (-1)^{ab+c} with a cat-state control (Fig. 12) and
+// applying NOT_3 on the -1 outcome. Stage 2 entangles the ancilla with the
+// data, measures the three data qubits, and applies the Fig. 13
+// measurement-conditioned corrections; the data moves onto what were the
+// ancilla qubits.
+struct ToffoliGadget {
+  sim::Circuit circuit;
+  // Input data qubits (consumed: they are measured destructively).
+  std::array<uint32_t, 3> in_data;
+  // Output qubits now carrying |x, y, z XOR xy> (the former ancilla blocks).
+  std::array<uint32_t, 3> out_data;
+  uint32_t cat;
+};
+
+// Builds the gadget on 7 qubits: ancilla a = {0,1,2}, cat = 3,
+// data d = {4,5,6}. The data state must be loaded on qubits 4,5,6 before
+// running. Requires the state-vector runner (contains CCZ).
+[[nodiscard]] ToffoliGadget make_bare_toffoli_gadget();
+
+// Number of fault locations in the encoded version of the gadget per data
+// block, used in the E8/E12 resource accounting: every bitwise stage costs
+// one gate per block qubit.
+[[nodiscard]] size_t encoded_gadget_gate_count(size_t block_size);
+
+}  // namespace ftqc::ft

@@ -1,0 +1,57 @@
+#include "ft/transversal.h"
+
+#include "common/check.h"
+
+namespace ftqc::ft {
+
+using sim::Circuit;
+
+Circuit logical_x_bitwise(std::span<const uint32_t> block) {
+  Circuit c;
+  for (uint32_t q : block) c.x(q);
+  c.tick();
+  return c;
+}
+
+Circuit logical_x_minimal(std::span<const uint32_t> block) {
+  FTQC_CHECK(block.size() == 7, "Steane block expected");
+  Circuit c;
+  // {0,1,2} supports the odd codeword 1110000 (Eq. (1) convention).
+  c.x(block[0]);
+  c.x(block[1]);
+  c.x(block[2]);
+  c.tick();
+  return c;
+}
+
+Circuit logical_z_bitwise(std::span<const uint32_t> block) {
+  Circuit c;
+  for (uint32_t q : block) c.z(q);
+  c.tick();
+  return c;
+}
+
+Circuit logical_h_bitwise(std::span<const uint32_t> block) {
+  Circuit c;
+  for (uint32_t q : block) c.h(q);
+  c.tick();
+  return c;
+}
+
+Circuit logical_s_bitwise(std::span<const uint32_t> block) {
+  Circuit c;
+  for (uint32_t q : block) c.s_dag(q);
+  c.tick();
+  return c;
+}
+
+Circuit logical_cx_transversal(std::span<const uint32_t> source,
+                               std::span<const uint32_t> target) {
+  FTQC_CHECK(source.size() == target.size(), "block size mismatch");
+  Circuit c;
+  for (size_t i = 0; i < source.size(); ++i) c.cx(source[i], target[i]);
+  c.tick();
+  return c;
+}
+
+}  // namespace ftqc::ft

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <span>
+
+#include "sim/circuit.h"
+
+namespace ftqc::ft {
+
+// Transversal / bitwise implementations of the fault-tolerant gate set of
+// §4.1 for the Steane code. Each builder emits the gates for one encoded
+// operation; because every physical gate touches one qubit per block (or one
+// pair across two blocks), a single fault produces at most one error per
+// block — the defining fault-tolerance property (tested in ft_gates_test).
+
+// Bitwise NOT: implements the encoded X (every odd Hamming codeword is the
+// complement of an even one).
+[[nodiscard]] sim::Circuit logical_x_bitwise(std::span<const uint32_t> block);
+// Minimal 3-gate variant on the logical-X support (§4.1 footnote f).
+[[nodiscard]] sim::Circuit logical_x_minimal(std::span<const uint32_t> block);
+
+// Bitwise Z.
+[[nodiscard]] sim::Circuit logical_z_bitwise(std::span<const uint32_t> block);
+
+// Bitwise Hadamard: the encoded R (Eq. 11).
+[[nodiscard]] sim::Circuit logical_h_bitwise(std::span<const uint32_t> block);
+
+// Encoded phase gate P (Eq. 22): bitwise P^{-1} = S_DAG, because odd
+// codewords have weight ≡ 3 (mod 4).
+[[nodiscard]] sim::Circuit logical_s_bitwise(std::span<const uint32_t> block);
+
+// Encoded XOR between two blocks (Fig. 11).
+[[nodiscard]] sim::Circuit logical_cx_transversal(
+    std::span<const uint32_t> source, std::span<const uint32_t> target);
+
+}  // namespace ftqc::ft

@@ -1,0 +1,28 @@
+#include "gf2/bitmat.h"
+
+namespace ftqc::gf2 {
+
+BitMat BitMat::from_rows(std::initializer_list<std::string> rows) {
+  FTQC_CHECK(rows.size() > 0, "from_rows requires at least one row");
+  const size_t cols = rows.begin()->size();
+  BitMat m(rows.size(), cols);
+  size_t r = 0;
+  for (const auto& row : rows) {
+    FTQC_CHECK(row.size() == cols, "ragged rows in BitMat::from_rows");
+    m.data_[r] = BitVec::from_string(row);
+    ++r;
+  }
+  return m;
+}
+
+BitMat BitMat::hconcat(const BitMat& a, const BitMat& b) {
+  FTQC_CHECK(a.rows() == b.rows(), "hconcat row mismatch");
+  BitMat m(a.rows(), a.cols() + b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) m.set(r, c, a.get(r, c));
+    for (size_t c = 0; c < b.cols(); ++c) m.set(r, a.cols() + c, b.get(r, c));
+  }
+  return m;
+}
+
+}  // namespace ftqc::gf2

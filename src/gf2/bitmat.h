@@ -1,0 +1,75 @@
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "gf2/bitvec.h"
+
+namespace ftqc::gf2 {
+
+// Dense GF(2) matrix stored as a vector of bit-packed rows. Row operations
+// (the only ones Gaussian elimination needs) are word-parallel.
+class BitMat {
+ public:
+  BitMat() = default;
+  BitMat(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows, BitVec(cols)) {}
+
+  // Builds from rows of '0'/'1' strings, e.g. the Hamming matrix of Eq. (1).
+  [[nodiscard]] static BitMat from_rows(std::initializer_list<std::string> rows);
+
+  [[nodiscard]] size_t rows() const { return rows_; }
+  [[nodiscard]] size_t cols() const { return cols_; }
+
+  [[nodiscard]] bool get(size_t r, size_t c) const { return data_[r].get(c); }
+  void set(size_t r, size_t c, bool v) { data_[r].set(c, v); }
+
+  [[nodiscard]] const BitVec& row(size_t r) const { return data_[r]; }
+  [[nodiscard]] BitVec& row(size_t r) { return data_[r]; }
+
+  void xor_row_into(size_t src, size_t dst) { data_[dst] ^= data_[src]; }
+  void swap_rows(size_t a, size_t b) { std::swap(data_[a], data_[b]); }
+
+  // Matrix-vector product over GF(2): y_r = <row_r, x>.
+  [[nodiscard]] BitVec mul(const BitVec& x) const {
+    FTQC_DCHECK(x.size() == cols_, "dimension mismatch in BitMat::mul");
+    BitVec y(rows_);
+    for (size_t r = 0; r < rows_; ++r) y.set(r, data_[r].dot(x));
+    return y;
+  }
+
+  [[nodiscard]] BitMat transposed() const {
+    BitMat t(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r) {
+      for (size_t c = 0; c < cols_; ++c) {
+        if (get(r, c)) t.set(c, r, true);
+      }
+    }
+    return t;
+  }
+
+  // Horizontal concatenation [A | B]; used for the H̄ = (H_Z | H_X) checks of
+  // §3.6 and for augmented solves.
+  [[nodiscard]] static BitMat hconcat(const BitMat& a, const BitMat& b);
+
+  [[nodiscard]] bool operator==(const BitMat& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s;
+    for (size_t r = 0; r < rows_; ++r) {
+      s += data_[r].to_string();
+      s += '\n';
+    }
+    return s;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<BitVec> data_;
+};
+
+}  // namespace ftqc::gf2

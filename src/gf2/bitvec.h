@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ftqc::gf2 {
+
+// Dynamic bit vector over GF(2), packed 64 bits per word. This is the
+// fundamental container for Pauli X/Z parts, parity-check rows, syndromes and
+// Pauli frames; the word-level operations are the hot path of every
+// simulator in the library.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(size_t n_bits) : n_bits_(n_bits), words_((n_bits + 63) / 64, 0) {}
+
+  [[nodiscard]] static BitVec from_string(const std::string& bits) {
+    BitVec v(bits.size());
+    for (size_t i = 0; i < bits.size(); ++i) {
+      FTQC_CHECK(bits[i] == '0' || bits[i] == '1', "BitVec string must be 0/1");
+      if (bits[i] == '1') v.set(i, true);
+    }
+    return v;
+  }
+
+  [[nodiscard]] size_t size() const { return n_bits_; }
+  [[nodiscard]] size_t num_words() const { return words_.size(); }
+  [[nodiscard]] bool empty() const { return n_bits_ == 0; }
+
+  [[nodiscard]] bool get(size_t i) const {
+    FTQC_DCHECK(i < n_bits_, "bit index out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(size_t i, bool value) {
+    FTQC_DCHECK(i < n_bits_, "bit index out of range");
+    const uint64_t mask = uint64_t{1} << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  void flip(size_t i) {
+    FTQC_DCHECK(i < n_bits_, "bit index out of range");
+    words_[i >> 6] ^= uint64_t{1} << (i & 63);
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  void resize(size_t n_bits) {
+    n_bits_ = n_bits;
+    words_.resize((n_bits + 63) / 64, 0);
+    mask_tail();
+  }
+
+  BitVec& operator^=(const BitVec& other) {
+    FTQC_DCHECK(n_bits_ == other.n_bits_, "size mismatch in xor");
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+    return *this;
+  }
+
+  BitVec& operator&=(const BitVec& other) {
+    FTQC_DCHECK(n_bits_ == other.n_bits_, "size mismatch in and");
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+    return *this;
+  }
+
+  BitVec& operator|=(const BitVec& other) {
+    FTQC_DCHECK(n_bits_ == other.n_bits_, "size mismatch in or");
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+    return *this;
+  }
+
+  [[nodiscard]] friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
+  [[nodiscard]] friend BitVec operator&(BitVec a, const BitVec& b) { return a &= b; }
+  [[nodiscard]] friend BitVec operator|(BitVec a, const BitVec& b) { return a |= b; }
+
+  [[nodiscard]] bool operator==(const BitVec& other) const {
+    return n_bits_ == other.n_bits_ && words_ == other.words_;
+  }
+
+  // Hamming weight.
+  [[nodiscard]] size_t popcount() const {
+    size_t total = 0;
+    for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  [[nodiscard]] bool any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  // Parity of the AND with another vector: the GF(2) inner product.
+  [[nodiscard]] bool dot(const BitVec& other) const {
+    FTQC_DCHECK(n_bits_ == other.n_bits_, "size mismatch in dot");
+    uint64_t acc = 0;
+    for (size_t w = 0; w < words_.size(); ++w) acc ^= words_[w] & other.words_[w];
+    return (__builtin_popcountll(acc) & 1) != 0;
+  }
+
+  [[nodiscard]] bool parity() const { return (popcount() & 1) != 0; }
+
+  // Index of the lowest set bit, or size() if none.
+  [[nodiscard]] size_t first_set() const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] != 0) {
+        return (w << 6) + static_cast<size_t>(__builtin_ctzll(words_[w]));
+      }
+    }
+    return n_bits_;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s(n_bits_, '0');
+    for (size_t i = 0; i < n_bits_; ++i) {
+      if (get(i)) s[i] = '1';
+    }
+    return s;
+  }
+
+  [[nodiscard]] uint64_t word(size_t w) const { return words_[w]; }
+  void set_word(size_t w, uint64_t value) {
+    words_[w] = value;
+    if (w + 1 == words_.size()) mask_tail();
+  }
+
+  // Converts to an integer index (requires <= 64 bits); used by the dense
+  // simulators and lookup decoders.
+  [[nodiscard]] uint64_t to_u64() const {
+    FTQC_CHECK(n_bits_ <= 64, "BitVec too wide for u64 conversion");
+    return words_.empty() ? 0 : words_[0];
+  }
+
+ private:
+  void mask_tail() {
+    const size_t tail = n_bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  size_t n_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace ftqc::gf2

@@ -1,0 +1,78 @@
+#include "gf2/linalg.h"
+
+namespace ftqc::gf2 {
+
+Echelon rref(BitMat m) {
+  Echelon e;
+  const size_t rows = m.rows();
+  const size_t cols = m.cols();
+  size_t pivot_row = 0;
+  for (size_t col = 0; col < cols && pivot_row < rows; ++col) {
+    size_t found = rows;
+    for (size_t r = pivot_row; r < rows; ++r) {
+      if (m.get(r, col)) {
+        found = r;
+        break;
+      }
+    }
+    if (found == rows) continue;
+    m.swap_rows(pivot_row, found);
+    for (size_t r = 0; r < rows; ++r) {
+      if (r != pivot_row && m.get(r, col)) m.xor_row_into(pivot_row, r);
+    }
+    e.pivot_cols.push_back(col);
+    ++pivot_row;
+  }
+  e.rank = pivot_row;
+  e.mat = std::move(m);
+  return e;
+}
+
+size_t rank(const BitMat& m) { return rref(m).rank; }
+
+std::optional<BitVec> solve(const BitMat& m, const BitVec& b) {
+  FTQC_CHECK(b.size() == m.rows(), "solve: rhs dimension mismatch");
+  // Eliminate on the augmented matrix [M | b].
+  BitMat rhs(m.rows(), 1);
+  for (size_t r = 0; r < m.rows(); ++r) rhs.set(r, 0, b.get(r));
+  Echelon e = rref(BitMat::hconcat(m, rhs));
+
+  const size_t n = m.cols();
+  BitVec x(n);
+  for (size_t r = 0; r < e.rank; ++r) {
+    const size_t pivot = e.pivot_cols[r];
+    if (pivot == n) return std::nullopt;  // pivot in the augmented column: inconsistent
+    x.set(pivot, e.mat.get(r, n));
+  }
+  return x;
+}
+
+std::vector<BitVec> kernel_basis(const BitMat& m) {
+  Echelon e = rref(m);
+  const size_t n = m.cols();
+  std::vector<bool> is_pivot(n, false);
+  for (size_t p : e.pivot_cols) is_pivot[p] = true;
+
+  std::vector<BitVec> basis;
+  for (size_t free_col = 0; free_col < n; ++free_col) {
+    if (is_pivot[free_col]) continue;
+    BitVec v(n);
+    v.set(free_col, true);
+    for (size_t r = 0; r < e.rank; ++r) {
+      if (e.mat.get(r, free_col)) v.set(e.pivot_cols[r], true);
+    }
+    basis.push_back(std::move(v));
+  }
+  return basis;
+}
+
+bool in_row_space(const BitMat& m, const BitVec& v) {
+  FTQC_CHECK(v.size() == m.cols(), "in_row_space: dimension mismatch");
+  // v is in rowspace(M) iff rank([M; v]) == rank(M).
+  BitMat stacked(m.rows() + 1, m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) stacked.row(r) = m.row(r);
+  stacked.row(m.rows()) = v;
+  return rank(stacked) == rank(m);
+}
+
+}  // namespace ftqc::gf2

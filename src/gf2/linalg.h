@@ -1,0 +1,31 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gf2/bitmat.h"
+
+namespace ftqc::gf2 {
+
+// Result of reduction to row echelon form.
+struct Echelon {
+  BitMat mat;                      // reduced row-echelon form
+  std::vector<size_t> pivot_cols;  // pivot column of each nonzero row
+  size_t rank = 0;
+};
+
+// Reduced row-echelon form by Gaussian elimination (word-parallel row xors).
+[[nodiscard]] Echelon rref(BitMat m);
+
+[[nodiscard]] size_t rank(const BitMat& m);
+
+// Solves M x = b. Returns one solution if consistent, nullopt otherwise.
+[[nodiscard]] std::optional<BitVec> solve(const BitMat& m, const BitVec& b);
+
+// Basis of the null space {x : M x = 0}.
+[[nodiscard]] std::vector<BitVec> kernel_basis(const BitMat& m);
+
+// True if v lies in the row space of M.
+[[nodiscard]] bool in_row_space(const BitMat& m, const BitVec& v);
+
+}  // namespace ftqc::gf2

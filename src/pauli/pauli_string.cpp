@@ -1,0 +1,103 @@
+#include "pauli/pauli_string.h"
+
+#include "common/check.h"
+
+namespace ftqc::pauli {
+
+PauliString PauliString::from_string(const std::string& text) {
+  size_t start = 0;
+  uint8_t phase = 0;
+  if (start < text.size() && (text[start] == '+' || text[start] == '-')) {
+    if (text[start] == '-') phase = 2;
+    ++start;
+  }
+  if (start < text.size() && text[start] == 'i') {
+    phase = (phase + 1) & 3;
+    ++start;
+  }
+  PauliString p(text.size() - start);
+  p.phase_ = phase;
+  for (size_t q = 0; start + q < text.size(); ++q) {
+    p.set_pauli(q, text[start + q]);
+  }
+  return p;
+}
+
+PauliString PauliString::single(size_t n, size_t q, char pauli) {
+  PauliString p(n);
+  p.set_pauli(q, pauli);
+  return p;
+}
+
+char PauliString::pauli_at(size_t q) const {
+  const bool x = x_.get(q);
+  const bool z = z_.get(q);
+  if (x && z) return 'Y';
+  if (x) return 'X';
+  if (z) return 'Z';
+  return 'I';
+}
+
+void PauliString::set_pauli(size_t q, char pauli) {
+  switch (pauli) {
+    case 'I':
+      x_.set(q, false);
+      z_.set(q, false);
+      break;
+    case 'X':
+      x_.set(q, true);
+      z_.set(q, false);
+      break;
+    case 'Y':
+      x_.set(q, true);
+      z_.set(q, true);
+      break;
+    case 'Z':
+      x_.set(q, false);
+      z_.set(q, true);
+      break;
+    default:
+      FTQC_CHECK(false, std::string("invalid Pauli character: ") + pauli);
+  }
+}
+
+PauliString PauliString::operator*(const PauliString& other) const {
+  FTQC_CHECK(num_qubits() == other.num_qubits(), "Pauli product size mismatch");
+  PauliString out(num_qubits());
+  // Convention: the (x,z) = (1,1) pair is the literal Pauli Y (= iXZ), and
+  // phase_ is a global i^k prefactor. The per-qubit product then contributes
+  // i^(±1) whenever two distinct non-identity Paulis meet, with the cyclic
+  // order X->Y->Z->X giving +i (e.g. XY = iZ) and the reverse giving -i.
+  int phase = phase_ + other.phase_;
+  for (size_t q = 0; q < num_qubits(); ++q) {
+    const int x1 = x_.get(q), z1 = z_.get(q);
+    const int x2 = other.x_.get(q), z2 = other.z_.get(q);
+    phase += pauli_product_phase(x1 != 0, z1 != 0, x2 != 0, z2 != 0);
+  }
+  out.x_ = x_ ^ other.x_;
+  out.z_ = z_ ^ other.z_;
+  out.phase_ = static_cast<uint8_t>(((phase % 4) + 4) % 4);
+  return out;
+}
+
+std::string PauliString::to_string() const {
+  static const char* kPhase[] = {"+", "+i", "-", "-i"};
+  std::string s = kPhase[phase_];
+  for (size_t q = 0; q < num_qubits(); ++q) s += pauli_at(q);
+  return s;
+}
+
+int pauli_product_phase(bool x1, bool z1, bool x2, bool z2) {
+  // Encode each single-qubit Pauli as 0=I, 1=X, 2=Y, 3=Z and use the
+  // exhaustive multiplication table of exponents of i:
+  //   X*Y = iZ, Y*Z = iX, Z*X = iY, and reversed orders give -i.
+  static constexpr int kCode[2][2] = {{0, 3}, {1, 2}};  // [x][z]
+  const int a = kCode[x1][z1];
+  const int b = kCode[x2][z2];
+  if (a == 0 || b == 0 || a == b) return 0;
+  // Cyclic order X->Y->Z->X gives +i; anti-cyclic gives -i.
+  const bool cyclic = (b - a + 3) % 3 == 1;
+  return cyclic ? 1 : 3;
+}
+
+}  // namespace ftqc::pauli

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gf2/bitvec.h"
+
+namespace ftqc::pauli {
+
+// Exponent of i contributed by multiplying single-qubit Paulis
+// (x1,z1)·(x2,z2) under the literal-Y convention ((1,1) means Y): 0 when
+// either factor is I or both are equal, +1 for cyclic products (XY = iZ),
+// +3 for anti-cyclic ones (YX = -iZ).
+[[nodiscard]] int pauli_product_phase(bool x1, bool z1, bool x2, bool z2);
+
+// An n-qubit Pauli operator  i^phase · X^x · Z^z  stored as two bit vectors
+// (the binary-symplectic representation of §3.6) plus a phase exponent
+// mod 4. Qubit q carries:
+//   x=0,z=0 -> I    x=1,z=0 -> X    x=1,z=1 -> Y (= iXZ)    x=0,z=1 -> Z
+//
+// The paper's stabilizer formalism (Eq. 18, Eq. 21) works with exactly this
+// representation: H̄ = (H_Z | H_X).
+class PauliString {
+ public:
+  PauliString() = default;
+  explicit PauliString(size_t n) : x_(n), z_(n) {}
+
+  // Parses e.g. "IIIZZZZ" or "+XIXIXIX" or "-iYZ". Characters map per qubit.
+  [[nodiscard]] static PauliString from_string(const std::string& text);
+
+  // Single-qubit Pauli at position q of an otherwise-identity string.
+  [[nodiscard]] static PauliString single(size_t n, size_t q, char pauli);
+
+  [[nodiscard]] size_t num_qubits() const { return x_.size(); }
+
+  [[nodiscard]] bool x_bit(size_t q) const { return x_.get(q); }
+  [[nodiscard]] bool z_bit(size_t q) const { return z_.get(q); }
+  void set_x(size_t q, bool v) { x_.set(q, v); }
+  void set_z(size_t q, bool v) { z_.set(q, v); }
+
+  [[nodiscard]] const gf2::BitVec& x_part() const { return x_; }
+  [[nodiscard]] const gf2::BitVec& z_part() const { return z_; }
+  [[nodiscard]] gf2::BitVec& x_part() { return x_; }
+  [[nodiscard]] gf2::BitVec& z_part() { return z_; }
+
+  // Phase exponent k in i^k, k in {0,1,2,3}.
+  [[nodiscard]] uint8_t phase_exponent() const { return phase_; }
+  void set_phase_exponent(uint8_t k) { phase_ = k & 3; }
+
+  // 'I', 'X', 'Y' or 'Z' at qubit q.
+  [[nodiscard]] char pauli_at(size_t q) const;
+  void set_pauli(size_t q, char pauli);
+
+  // Number of non-identity positions (the "weight" of §3.6).
+  [[nodiscard]] size_t weight() const { return (x_ | z_).popcount(); }
+
+  [[nodiscard]] bool is_identity() const { return !x_.any() && !z_.any(); }
+
+  // True iff this commutes with other (symplectic inner product is 0).
+  [[nodiscard]] bool commutes_with(const PauliString& other) const {
+    return !(x_.dot(other.z_) ^ z_.dot(other.x_));
+  }
+
+  // Group product, tracking the i^k phase: (this) * (other).
+  [[nodiscard]] PauliString operator*(const PauliString& other) const;
+
+  // In-place multiply without phase tracking (sufficient for frame updates).
+  void xor_in(const PauliString& other) {
+    x_ ^= other.x_;
+    z_ ^= other.z_;
+  }
+
+  // Equal up to (and including) phase.
+  [[nodiscard]] bool operator==(const PauliString& other) const {
+    return phase_ == other.phase_ && x_ == other.x_ && z_ == other.z_;
+  }
+  [[nodiscard]] bool equals_up_to_phase(const PauliString& other) const {
+    return x_ == other.x_ && z_ == other.z_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  gf2::BitVec x_;
+  gf2::BitVec z_;
+  uint8_t phase_ = 0;  // exponent of i
+};
+
+}  // namespace ftqc::pauli

@@ -1,0 +1,170 @@
+#include "sim/batch_frame_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ftqc::sim {
+
+BatchFrameSim::BatchFrameSim(size_t num_qubits, size_t shots, uint64_t seed)
+    : n_(num_qubits),
+      shots_((shots + 63) & ~size_t{63}),
+      words_(shots_ / 64),
+      frames_(2 * num_qubits * words_, 0),
+      rng_(seed) {}
+
+void BatchFrameSim::clear() { std::fill(frames_.begin(), frames_.end(), 0); }
+
+void BatchFrameSim::apply_h(size_t q) {
+  uint64_t* xs = x_word(q);
+  uint64_t* zs = z_word(q);
+  for (size_t w = 0; w < words_; ++w) std::swap(xs[w], zs[w]);
+}
+
+void BatchFrameSim::apply_s(size_t q) {
+  const uint64_t* xs = x_word(q);
+  uint64_t* zs = z_word(q);
+  for (size_t w = 0; w < words_; ++w) zs[w] ^= xs[w];
+}
+
+void BatchFrameSim::apply_cx(size_t control, size_t target) {
+  const uint64_t* xc = x_word(control);
+  uint64_t* xt = x_word(target);
+  uint64_t* zc = z_word(control);
+  const uint64_t* zt = z_word(target);
+  for (size_t w = 0; w < words_; ++w) {
+    xt[w] ^= xc[w];
+    zc[w] ^= zt[w];
+  }
+}
+
+void BatchFrameSim::apply_cz(size_t a, size_t b) {
+  const uint64_t* xa = x_word(a);
+  const uint64_t* xb = x_word(b);
+  uint64_t* za = z_word(a);
+  uint64_t* zb = z_word(b);
+  for (size_t w = 0; w < words_; ++w) {
+    zb[w] ^= xa[w];
+    za[w] ^= xb[w];
+  }
+}
+
+uint64_t BatchFrameSim::random_mask(double p) {
+  if (p <= 0) return 0;
+  if (p >= 1) return ~uint64_t{0};
+  // Sample the set-bit count's positions via geometric skipping: for the
+  // small p of this library (1e-5..1e-2) this touches ~64*p bits on average
+  // instead of generating 64 bernoullis.
+  uint64_t mask = 0;
+  const double log1mp = std::log1p(-p);
+  double position = std::floor(std::log1p(-rng_.next_double()) / log1mp);
+  while (position < 64) {
+    mask |= uint64_t{1} << static_cast<int>(position);
+    position += 1 + std::floor(std::log1p(-rng_.next_double()) / log1mp);
+  }
+  return mask;
+}
+
+void BatchFrameSim::depolarize1(size_t q, double p) {
+  uint64_t* xs = x_word(q);
+  uint64_t* zs = z_word(q);
+  for (size_t w = 0; w < words_; ++w) {
+    uint64_t hit = random_mask(p);
+    if (hit == 0) continue;
+    // Hit lanes are sparse at this library's error rates, so picking the
+    // X/Y/Z flavor per lane keeps the three exactly equiprobable.
+    while (hit != 0) {
+      const int lane = __builtin_ctzll(hit);
+      hit &= hit - 1;
+      const uint64_t bit = uint64_t{1} << lane;
+      switch (rng_.next_below(3)) {
+        case 0: xs[w] ^= bit; break;
+        case 1: xs[w] ^= bit; zs[w] ^= bit; break;
+        default: zs[w] ^= bit; break;
+      }
+    }
+  }
+}
+
+void BatchFrameSim::depolarize2(size_t a, size_t b, double p) {
+  uint64_t* xa = x_word(a);
+  uint64_t* za = z_word(a);
+  uint64_t* xb = x_word(b);
+  uint64_t* zb = z_word(b);
+  for (size_t w = 0; w < words_; ++w) {
+    uint64_t hit = random_mask(p);
+    if (hit == 0) continue;
+    // Per hit lane pick one of 15 non-identity 2-qubit Paulis. The lanes are
+    // sparse at our error rates, so a per-bit loop is fine here.
+    while (hit != 0) {
+      const int lane = __builtin_ctzll(hit);
+      hit &= hit - 1;
+      const uint64_t which = rng_.next_below(15) + 1;
+      const uint64_t bit = uint64_t{1} << lane;
+      if (which & 1) xa[w] ^= bit;
+      if (which & 2) za[w] ^= bit;
+      if (which & 4) xb[w] ^= bit;
+      if (which & 8) zb[w] ^= bit;
+    }
+  }
+}
+
+void BatchFrameSim::x_error(size_t q, double p) {
+  uint64_t* xs = x_word(q);
+  for (size_t w = 0; w < words_; ++w) xs[w] ^= random_mask(p);
+}
+
+void BatchFrameSim::z_error(size_t q, double p) {
+  uint64_t* zs = z_word(q);
+  for (size_t w = 0; w < words_; ++w) zs[w] ^= random_mask(p);
+}
+
+void BatchFrameSim::run(const Circuit& circuit) {
+  FTQC_CHECK(circuit.num_qubits() <= n_, "circuit larger than frame register");
+  for (const Operation& op : circuit.ops()) {
+    switch (op.gate) {
+      case Gate::I:
+      case Gate::TICK:
+      case Gate::M:
+      case Gate::MX:
+        break;  // measurements: read flips via x_flip()/z_flip() afterwards
+      case Gate::X:
+      case Gate::Y:
+      case Gate::Z:
+        break;  // deterministic Paulis shift the reference, not the frame
+      case Gate::H: apply_h(op.targets[0]); break;
+      case Gate::S:
+      case Gate::S_DAG: apply_s(op.targets[0]); break;
+      case Gate::CX: apply_cx(op.targets[0], op.targets[1]); break;
+      case Gate::CZ: apply_cz(op.targets[0], op.targets[1]); break;
+      case Gate::SWAP: {
+        apply_cx(op.targets[0], op.targets[1]);
+        apply_cx(op.targets[1], op.targets[0]);
+        apply_cx(op.targets[0], op.targets[1]);
+        break;
+      }
+      case Gate::DEPOLARIZE1: depolarize1(op.targets[0], op.arg); break;
+      case Gate::DEPOLARIZE2:
+        depolarize2(op.targets[0], op.targets[1], op.arg);
+        break;
+      case Gate::X_ERROR: x_error(op.targets[0], op.arg); break;
+      case Gate::Z_ERROR: z_error(op.targets[0], op.arg); break;
+      case Gate::INJECT_X: {
+        uint64_t* xs = x_word(op.targets[0]);
+        for (size_t w = 0; w < words_; ++w) xs[w] = ~uint64_t{0};
+        break;
+      }
+      case Gate::INJECT_Z: {
+        uint64_t* zs = z_word(op.targets[0]);
+        for (size_t w = 0; w < words_; ++w) zs[w] = ~uint64_t{0};
+        break;
+      }
+      default:
+        FTQC_CHECK(false, std::string("BatchFrameSim cannot run gate ") +
+                              gate_name(op.gate));
+    }
+  }
+}
+
+}  // namespace ftqc::sim

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/circuit.h"
+
+namespace ftqc::sim {
+
+// Bit-parallel Pauli-frame sampler: 64 independent shots advance per word
+// operation. Qubit-major layout (one x-word and one z-word per qubit per
+// 64-shot block) keeps every gate a handful of word ops — the same design
+// trade Stim makes, sized for this library's block codes.
+//
+// Unlike FrameSim, this engine runs straight-line circuits only (no
+// per-shot control flow / postselection); it exists for the heavy
+// memory-channel sweeps and the kernel-throughput benchmark (E17).
+class BatchFrameSim {
+ public:
+  // shots is rounded up to a multiple of 64.
+  BatchFrameSim(size_t num_qubits, size_t shots, uint64_t seed = 1);
+
+  [[nodiscard]] size_t num_qubits() const { return n_; }
+  [[nodiscard]] size_t num_shots() const { return shots_; }
+  [[nodiscard]] size_t num_words() const { return words_; }
+
+  void clear();
+
+  void apply_h(size_t q);
+  void apply_s(size_t q);
+  void apply_cx(size_t control, size_t target);
+  void apply_cz(size_t a, size_t b);
+
+  void depolarize1(size_t q, double p);
+  void depolarize2(size_t a, size_t b, double p);
+  void x_error(size_t q, double p);
+  void z_error(size_t q, double p);
+
+  // Measurement flip masks for all shots (64 shots per word).
+  [[nodiscard]] const uint64_t* x_flips(size_t q) const { return x_word(q); }
+  [[nodiscard]] const uint64_t* z_flips(size_t q) const { return z_word(q); }
+  [[nodiscard]] bool x_flip(size_t q, size_t shot) const {
+    return (x_word(q)[shot >> 6] >> (shot & 63)) & 1u;
+  }
+  [[nodiscard]] bool z_flip(size_t q, size_t shot) const {
+    return (z_word(q)[shot >> 6] >> (shot & 63)) & 1u;
+  }
+
+  // Executes a straight-line circuit (unitaries + channels; measurements are
+  // ignored — read flips afterwards). Used by bench E17 and the memory sweeps.
+  void run(const Circuit& circuit);
+
+ private:
+  [[nodiscard]] uint64_t* x_word(size_t q) { return &frames_[2 * q * words_]; }
+  [[nodiscard]] const uint64_t* x_word(size_t q) const {
+    return &frames_[2 * q * words_];
+  }
+  [[nodiscard]] uint64_t* z_word(size_t q) {
+    return &frames_[(2 * q + 1) * words_];
+  }
+  [[nodiscard]] const uint64_t* z_word(size_t q) const {
+    return &frames_[(2 * q + 1) * words_];
+  }
+
+  // Word with each bit set independently with probability p.
+  uint64_t random_mask(double p);
+
+  size_t n_;
+  size_t shots_;
+  size_t words_;
+  std::vector<uint64_t> frames_;  // layout: [qubit][x|z][word]
+  Rng rng_;
+};
+
+}  // namespace ftqc::sim

@@ -1,0 +1,84 @@
+#include "sim/circuit.h"
+
+#include <algorithm>
+
+namespace ftqc::sim {
+
+std::string Operation::to_string() const {
+  std::string s = gate_name(gate);
+  if (cond >= 0) s = "if[m" + std::to_string(cond) + "] " + s;
+  for (uint32_t t : targets) s += " " + std::to_string(t);
+  if (gate_is_channel(gate) || gate == Gate::RX || gate == Gate::RZ) {
+    s += " (" + std::to_string(arg) + ")";
+  }
+  return s;
+}
+
+int32_t Circuit::append(Gate g, std::span<const uint32_t> targets, double arg,
+                        int32_t cond) {
+  FTQC_CHECK(static_cast<int>(targets.size()) == gate_arity(g),
+             std::string("bad target count for ") + gate_name(g));
+  if (g == Gate::CX || g == Gate::CZ || g == Gate::SWAP) {
+    FTQC_CHECK(targets[0] != targets[1], "2-qubit gate with equal targets");
+  }
+  for (uint32_t t : targets) ensure_qubits(t + 1);
+  Operation op;
+  op.gate = g;
+  op.targets.assign(targets.begin(), targets.end());
+  op.arg = arg;
+  op.cond = cond;
+  if (cond >= 0) {
+    FTQC_CHECK(static_cast<size_t>(cond) < num_measurements_,
+               "conditional references a measurement that does not exist yet");
+  }
+  ops_.push_back(std::move(op));
+  if (gate_records_measurement(g)) {
+    return static_cast<int32_t>(num_measurements_++);
+  }
+  return -1;
+}
+
+void Circuit::inject(uint32_t q, char pauli) {
+  switch (pauli) {
+    case 'X': append1(Gate::INJECT_X, q); break;
+    case 'Y': append1(Gate::INJECT_Y, q); break;
+    case 'Z': append1(Gate::INJECT_Z, q); break;
+    default: FTQC_CHECK(false, "inject expects X, Y or Z");
+  }
+}
+
+void Circuit::append_circuit(const Circuit& other,
+                             std::span<const uint32_t> qubit_map) {
+  FTQC_CHECK(qubit_map.size() >= other.num_qubits(),
+             "qubit map smaller than appended circuit");
+  const auto record_offset = static_cast<int32_t>(num_measurements_);
+  for (const Operation& op : other.ops()) {
+    Operation mapped = op;
+    for (auto& t : mapped.targets) t = qubit_map[t];
+    if (mapped.cond >= 0) mapped.cond += record_offset;
+    for (uint32_t t : mapped.targets) ensure_qubits(t + 1);
+    ops_.push_back(std::move(mapped));
+    if (gate_records_measurement(op.gate)) ++num_measurements_;
+  }
+}
+
+size_t Circuit::count(Gate g) const {
+  return static_cast<size_t>(
+      std::count_if(ops_.begin(), ops_.end(),
+                    [g](const Operation& op) { return op.gate == g; }));
+}
+
+size_t Circuit::depth_in_ticks() const {
+  return ops_.empty() ? 0 : count(Gate::TICK) + 1;
+}
+
+std::string Circuit::to_string() const {
+  std::string s;
+  for (const Operation& op : ops_) {
+    s += op.to_string();
+    s += '\n';
+  }
+  return s;
+}
+
+}  // namespace ftqc::sim

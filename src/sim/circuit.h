@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/gate.h"
+
+namespace ftqc::sim {
+
+// A single instruction. `targets` are qubit indices; `arg` is the channel
+// probability or rotation angle; `cond` (when >= 0) indexes a bit of the
+// measurement record and the operation is applied only when that bit is 1 —
+// this implements the measurement-conditioned corrections of Figs. 9 and 13.
+struct Operation {
+  Gate gate = Gate::I;
+  std::vector<uint32_t> targets;
+  double arg = 0.0;
+  int32_t cond = -1;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// A straight-line quantum circuit with classical feedforward. Built by the
+// gadget constructors in src/ft/ and consumed by the simulators in this
+// module. Gadgets insert TICKs between logical time steps so the noise model
+// can attach storage errors to idle qubits (§6 "maximal parallelism").
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(size_t num_qubits) : num_qubits_(num_qubits) {}
+
+  [[nodiscard]] size_t num_qubits() const { return num_qubits_; }
+  [[nodiscard]] const std::vector<Operation>& ops() const { return ops_; }
+  [[nodiscard]] size_t num_measurements() const { return num_measurements_; }
+
+  // Grows the qubit register if an op references beyond the current size.
+  void ensure_qubits(size_t n) {
+    if (n > num_qubits_) num_qubits_ = n;
+  }
+
+  // Appends an op and returns the measurement-record index it writes
+  // (or -1 for non-recording ops).
+  int32_t append(Gate g, std::span<const uint32_t> targets, double arg = 0.0,
+                 int32_t cond = -1);
+
+  // Convenience builders (see Fig. 1 for the diagram notation).
+  void i(uint32_t q) { append1(Gate::I, q); }
+  void x(uint32_t q, int32_t cond = -1) { append1(Gate::X, q, 0.0, cond); }
+  void y(uint32_t q, int32_t cond = -1) { append1(Gate::Y, q, 0.0, cond); }
+  void z(uint32_t q, int32_t cond = -1) { append1(Gate::Z, q, 0.0, cond); }
+  void h(uint32_t q) { append1(Gate::H, q); }
+  void s(uint32_t q) { append1(Gate::S, q); }
+  void s_dag(uint32_t q) { append1(Gate::S_DAG, q); }
+  void rx(uint32_t q, double theta) { append1(Gate::RX, q, theta); }
+  void rz(uint32_t q, double theta) { append1(Gate::RZ, q, theta); }
+  void cx(uint32_t control, uint32_t target, int32_t cond = -1) {
+    append2(Gate::CX, control, target, 0.0, cond);
+  }
+  void cz(uint32_t a, uint32_t b, int32_t cond = -1) {
+    append2(Gate::CZ, a, b, 0.0, cond);
+  }
+  void swap(uint32_t a, uint32_t b) { append2(Gate::SWAP, a, b); }
+  void ccx(uint32_t c0, uint32_t c1, uint32_t target) {
+    const uint32_t t[3] = {c0, c1, target};
+    append(Gate::CCX, t);
+  }
+  void ccz(uint32_t a, uint32_t b, uint32_t c) {
+    const uint32_t t[3] = {a, b, c};
+    append(Gate::CCZ, t);
+  }
+  int32_t m(uint32_t q) { return append1(Gate::M, q); }
+  int32_t mx(uint32_t q) { return append1(Gate::MX, q); }
+  int32_t mr(uint32_t q) { return append1(Gate::MR, q); }
+  void r(uint32_t q) { append1(Gate::R, q); }
+  void tick() { append(Gate::TICK, std::span<const uint32_t>{}); }
+
+  void depolarize1(uint32_t q, double p) { append1(Gate::DEPOLARIZE1, q, p); }
+  void depolarize2(uint32_t a, uint32_t b, double p) {
+    append2(Gate::DEPOLARIZE2, a, b, p);
+  }
+  void x_error(uint32_t q, double p) { append1(Gate::X_ERROR, q, p); }
+  void y_error(uint32_t q, double p) { append1(Gate::Y_ERROR, q, p); }
+  void z_error(uint32_t q, double p) { append1(Gate::Z_ERROR, q, p); }
+  void leak_error(uint32_t q, double p) { append1(Gate::LEAK_ERROR, q, p); }
+  void inject(uint32_t q, char pauli);
+
+  // Appends another circuit, remapping its qubit i to qubit_map[i] and
+  // offsetting its measurement-conditioned controls to this record.
+  void append_circuit(const Circuit& other, std::span<const uint32_t> qubit_map);
+
+  // Counts of each gate kind; used by the structural circuit tests and the
+  // resource accounting in bench E15.
+  [[nodiscard]] size_t count(Gate g) const;
+  // Number of time steps = TICK count + 1 (if nonempty).
+  [[nodiscard]] size_t depth_in_ticks() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  int32_t append1(Gate g, uint32_t q, double arg = 0.0, int32_t cond = -1) {
+    const uint32_t t[1] = {q};
+    return append(g, t, arg, cond);
+  }
+  int32_t append2(Gate g, uint32_t a, uint32_t b, double arg = 0.0,
+                  int32_t cond = -1) {
+    const uint32_t t[2] = {a, b};
+    return append(g, t, arg, cond);
+  }
+
+  size_t num_qubits_ = 0;
+  size_t num_measurements_ = 0;
+  std::vector<Operation> ops_;
+};
+
+}  // namespace ftqc::sim

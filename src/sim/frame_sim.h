@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "gf2/bitvec.h"
+#include "pauli/pauli_string.h"
+#include "sim/circuit.h"
+
+namespace ftqc::sim {
+
+// Pauli-frame simulator: tracks the Pauli difference between the actual noisy
+// run and a noiseless reference run of the same Clifford circuit. A frame is
+// a pair of bit vectors (X part, Z part). Measurement results are reported as
+// *flips* relative to the reference outcome; circuits used with this engine
+// are designed so the reference value of every decoded quantity (syndrome
+// bits, parities, verification checks) is zero, which makes the flip itself
+// the quantity of interest.
+//
+// After a Z measurement the physical state collapses, making the Z frame on
+// the measured qubit gauge; a fresh random Z is injected to keep frame
+// statistics faithful (the standard trick from Stim-style frame samplers).
+class FrameSim {
+ public:
+  explicit FrameSim(size_t num_qubits, uint64_t seed = 1);
+
+  [[nodiscard]] size_t num_qubits() const { return n_; }
+
+  void clear();
+
+  // --- Clifford frame propagation ----------------------------------------
+  void apply_h(size_t q);
+  void apply_s(size_t q);     // same frame action as S_DAG
+  void apply_cx(size_t control, size_t target);
+  void apply_cz(size_t a, size_t b);
+  void apply_swap(size_t a, size_t b);
+
+  // --- Errors -------------------------------------------------------------
+  void inject_x(size_t q) { x_.flip(q); }
+  void inject_y(size_t q) { x_.flip(q); z_.flip(q); }
+  void inject_z(size_t q) { z_.flip(q); }
+  void inject(const pauli::PauliString& p);
+  void depolarize1(size_t q, double p);
+  void depolarize2(size_t a, size_t b, double p);
+  void x_error(size_t q, double p);
+  void z_error(size_t q, double p);
+  void y_error(size_t q, double p);
+
+  // --- Measurement / reset (flip semantics) -------------------------------
+  // Flip of a Z-basis measurement outcome relative to the reference.
+  bool measure_z(size_t q);
+  bool measure_x(size_t q);
+  void reset(size_t q);
+
+  // Flip of a transversal Z-measurement parity over `qubits` (no collapse
+  // randomization; use when qubits are measured destructively en bloc).
+  [[nodiscard]] bool destructive_z_flip(size_t q) const { return x_.get(q); }
+  [[nodiscard]] bool destructive_x_flip(size_t q) const { return z_.get(q); }
+
+  // --- Leakage ------------------------------------------------------------
+  void leak_error(size_t q, double p);
+  void mark_leaked(size_t q) { leaked_[q] = true; }
+  [[nodiscard]] bool is_leaked(size_t q) const { return leaked_[q]; }
+
+  // --- Introspection -------------------------------------------------------
+  [[nodiscard]] const gf2::BitVec& x_frame() const { return x_; }
+  [[nodiscard]] const gf2::BitVec& z_frame() const { return z_; }
+  [[nodiscard]] pauli::PauliString frame() const;
+
+  Rng& rng() { return rng_; }
+
+ private:
+  size_t n_;
+  gf2::BitVec x_;
+  gf2::BitVec z_;
+  std::vector<bool> leaked_;
+  Rng rng_;
+};
+
+}  // namespace ftqc::sim

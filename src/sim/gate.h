@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ftqc::sim {
+
+// Instruction set of the circuit IR. The unitary subset (through SWAP) is
+// Clifford and supported by every simulator; CCX/CCZ and the rotation gates
+// are supported only by the dense state-vector simulator; the channels are
+// sampled by the runners at execution time.
+enum class Gate : uint8_t {
+  // 1-qubit Clifford unitaries. S is the paper's phase gate P (Eq. 22);
+  // H is the Hadamard rotation R (Eq. 9).
+  I,
+  X,
+  Y,
+  Z,
+  H,
+  S,
+  S_DAG,
+  // 1-qubit non-Clifford rotations (state-vector only); `arg` = angle.
+  RX,
+  RZ,
+  // Multi-qubit unitaries.
+  CX,
+  CZ,
+  SWAP,
+  CCX,  // Toffoli (Fig. 1); state-vector only
+  CCZ,  // state-vector only
+  // Measurement / reset. M/MR/MX append one bit to the measurement record.
+  M,    // destructive Z-basis measurement (qubit stays in the outcome state)
+  MX,   // X-basis measurement
+  MR,   // measure Z then reset to |0>
+  R,    // reset to |0>
+  // Stochastic channels; `arg` = probability.
+  DEPOLARIZE1,  // X, Y or Z with prob arg/3 each (the paper's §6 model)
+  DEPOLARIZE2,  // any of the 15 non-identity 2-qubit Paulis with prob arg/15
+  X_ERROR,
+  Y_ERROR,
+  Z_ERROR,
+  LEAK_ERROR,  // with prob arg, mark the qubit as leaked (§6, Fig. 15)
+  // Deterministic single-qubit fault injections used by the fault enumerator.
+  INJECT_X,
+  INJECT_Y,
+  INJECT_Z,
+  // Time-step barrier: the noise model attaches storage errors per TICK.
+  TICK,
+};
+
+[[nodiscard]] constexpr const char* gate_name(Gate g) {
+  switch (g) {
+    case Gate::I: return "I";
+    case Gate::X: return "X";
+    case Gate::Y: return "Y";
+    case Gate::Z: return "Z";
+    case Gate::H: return "H";
+    case Gate::S: return "S";
+    case Gate::S_DAG: return "S_DAG";
+    case Gate::RX: return "RX";
+    case Gate::RZ: return "RZ";
+    case Gate::CX: return "CX";
+    case Gate::CZ: return "CZ";
+    case Gate::SWAP: return "SWAP";
+    case Gate::CCX: return "CCX";
+    case Gate::CCZ: return "CCZ";
+    case Gate::M: return "M";
+    case Gate::MX: return "MX";
+    case Gate::MR: return "MR";
+    case Gate::R: return "R";
+    case Gate::DEPOLARIZE1: return "DEPOLARIZE1";
+    case Gate::DEPOLARIZE2: return "DEPOLARIZE2";
+    case Gate::X_ERROR: return "X_ERROR";
+    case Gate::Y_ERROR: return "Y_ERROR";
+    case Gate::Z_ERROR: return "Z_ERROR";
+    case Gate::LEAK_ERROR: return "LEAK_ERROR";
+    case Gate::INJECT_X: return "INJECT_X";
+    case Gate::INJECT_Y: return "INJECT_Y";
+    case Gate::INJECT_Z: return "INJECT_Z";
+    case Gate::TICK: return "TICK";
+  }
+  return "?";
+}
+
+// Number of qubit targets consumed per application.
+[[nodiscard]] constexpr int gate_arity(Gate g) {
+  switch (g) {
+    case Gate::CX:
+    case Gate::CZ:
+    case Gate::SWAP:
+    case Gate::DEPOLARIZE2:
+      return 2;
+    case Gate::CCX:
+    case Gate::CCZ:
+      return 3;
+    case Gate::TICK:
+      return 0;
+    default:
+      return 1;
+  }
+}
+
+[[nodiscard]] constexpr bool gate_is_unitary(Gate g) {
+  switch (g) {
+    case Gate::I:
+    case Gate::X:
+    case Gate::Y:
+    case Gate::Z:
+    case Gate::H:
+    case Gate::S:
+    case Gate::S_DAG:
+    case Gate::RX:
+    case Gate::RZ:
+    case Gate::CX:
+    case Gate::CZ:
+    case Gate::SWAP:
+    case Gate::CCX:
+    case Gate::CCZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] constexpr bool gate_is_channel(Gate g) {
+  switch (g) {
+    case Gate::DEPOLARIZE1:
+    case Gate::DEPOLARIZE2:
+    case Gate::X_ERROR:
+    case Gate::Y_ERROR:
+    case Gate::Z_ERROR:
+    case Gate::LEAK_ERROR:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] constexpr bool gate_records_measurement(Gate g) {
+  return g == Gate::M || g == Gate::MX || g == Gate::MR;
+}
+
+}  // namespace ftqc::sim

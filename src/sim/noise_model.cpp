@@ -1,0 +1,100 @@
+#include "sim/noise_model.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ftqc::sim {
+
+Circuit add_noise(const Circuit& ideal, const NoiseParams& params) {
+  Circuit noisy(ideal.num_qubits());
+  std::vector<bool> touched(ideal.num_qubits(), false);
+
+  const auto flush_storage = [&] {
+    if (params.eps_store > 0) {
+      for (size_t q = 0; q < ideal.num_qubits(); ++q) {
+        if (!touched[q]) {
+          noisy.depolarize1(static_cast<uint32_t>(q), params.eps_store);
+        }
+      }
+    }
+    std::fill(touched.begin(), touched.end(), false);
+  };
+
+  for (const Operation& op : ideal.ops()) {
+    for (uint32_t t : op.targets) touched[t] = true;
+    switch (op.gate) {
+      case Gate::TICK:
+        noisy.append(Gate::TICK, std::span<const uint32_t>{});
+        flush_storage();
+        continue;
+      case Gate::M:
+        if (params.eps_meas > 0) noisy.x_error(op.targets[0], params.eps_meas);
+        break;
+      case Gate::MX:
+        if (params.eps_meas > 0) noisy.z_error(op.targets[0], params.eps_meas);
+        break;
+      default:
+        break;
+    }
+
+    noisy.append(op.gate, op.targets, op.arg, op.cond);
+
+    switch (op.gate) {
+      case Gate::X:
+      case Gate::Y:
+      case Gate::Z:
+      case Gate::H:
+      case Gate::S:
+      case Gate::S_DAG:
+      case Gate::RX:
+      case Gate::RZ:
+        if (params.eps_gate1 > 0) {
+          noisy.depolarize1(op.targets[0], params.eps_gate1);
+        }
+        if (params.p_leak > 0) noisy.leak_error(op.targets[0], params.p_leak);
+        break;
+      case Gate::I:
+        // Explicit I marks a deliberately idle qubit inside a layer; it
+        // already receives storage noise at the TICK, not gate noise.
+        break;
+      case Gate::CX:
+      case Gate::CZ:
+      case Gate::SWAP:
+        if (params.eps_gate2 > 0) {
+          noisy.depolarize2(op.targets[0], op.targets[1], params.eps_gate2);
+        }
+        if (params.p_leak > 0) {
+          noisy.leak_error(op.targets[0], params.p_leak);
+          noisy.leak_error(op.targets[1], params.p_leak);
+        }
+        break;
+      case Gate::CCX:
+      case Gate::CCZ:
+        FTQC_CHECK(params.is_noiseless(),
+                   "stochastic channels for 3-qubit gates are not modelled; "
+                   "use fault injection (E12) for Toffoli gadgets");
+        break;
+      case Gate::R:
+      case Gate::MR:
+        if (params.eps_prep > 0) noisy.x_error(op.targets[0], params.eps_prep);
+        break;
+      default:
+        break;
+    }
+  }
+  // Note: ops after the final TICK form an unterminated time step and get no
+  // storage noise; gadget builders end every step with an explicit TICK.
+  return noisy;
+}
+
+size_t count_fault_locations(const Circuit& noisy) {
+  size_t count = 0;
+  for (const Operation& op : noisy.ops()) {
+    if (gate_is_channel(op.gate)) ++count;
+  }
+  return count;
+}
+
+}  // namespace ftqc::sim

@@ -1,0 +1,57 @@
+#pragma once
+
+#include "sim/circuit.h"
+
+namespace ftqc::sim {
+
+// The stochastic error model of §6, as knobs:
+//  * eps_store  — per qubit, per time step (TICK), equal X/Y/Z: applied to
+//                 every qubit that rested during the step ("storage errors
+//                 that afflict the resting qubits").
+//  * eps_gate1  — after each 1-qubit gate, equal X/Y/Z on its target.
+//  * eps_gate2  — after each 2-qubit gate, a uniform non-identity 2-qubit
+//                 Pauli on its targets (the pessimistic "a faulty XOR gate
+//                 introduces errors in both the source and the target").
+//  * eps_meas   — measurement-outcome flip (X before M, Z before MX).
+//  * eps_prep   — faulty |0> preparation (X after R / MR).
+//  * p_leak     — per-gate leakage out of the computational space (§6).
+//
+// Errors are spatially and temporally uncorrelated, matching the paper's
+// "uncorrelated errors" assumption.
+struct NoiseParams {
+  double eps_store = 0.0;
+  double eps_gate1 = 0.0;
+  double eps_gate2 = 0.0;
+  double eps_meas = 0.0;
+  double eps_prep = 0.0;
+  double p_leak = 0.0;
+
+  // The single-knob model used for the threshold estimates (Eq. 34/35):
+  // every gate-type error probability set to eps_gate, storage separate.
+  [[nodiscard]] static NoiseParams uniform_gate(double eps_gate,
+                                                double eps_store = 0.0) {
+    NoiseParams p;
+    p.eps_gate1 = eps_gate;
+    p.eps_gate2 = eps_gate;
+    p.eps_meas = eps_gate;
+    p.eps_prep = eps_gate;
+    p.eps_store = eps_store;
+    return p;
+  }
+
+  [[nodiscard]] bool is_noiseless() const {
+    return eps_store == 0 && eps_gate1 == 0 && eps_gate2 == 0 &&
+           eps_meas == 0 && eps_prep == 0 && p_leak == 0;
+  }
+};
+
+// Compiles an ideal circuit into a noisy one by inserting channel ops:
+// gate noise directly after each unitary, measurement/preparation noise
+// around M/R, and storage noise on the qubits that idled in each TICK layer.
+[[nodiscard]] Circuit add_noise(const Circuit& ideal, const NoiseParams& params);
+
+// Number of fault locations the model exposes in a circuit (used by the
+// fault enumerator and by the analytic coefficient counting in E6).
+[[nodiscard]] size_t count_fault_locations(const Circuit& noisy);
+
+}  // namespace ftqc::sim

@@ -1,0 +1,233 @@
+#include "sim/runner.h"
+
+#include "common/check.h"
+
+namespace ftqc::sim {
+
+namespace {
+
+// Samples a uniform non-identity single-qubit Pauli index: 0=X, 1=Y, 2=Z.
+template <typename Sim>
+void apply_sampled_pauli(Sim& sim, size_t q, uint64_t which) {
+  switch (which) {
+    case 0: sim.apply_x(q); break;
+    case 1: sim.apply_y(q); break;
+    default: sim.apply_z(q); break;
+  }
+}
+
+// Applies the Pauli encoded by two bits (1=X, 2=Z, 3=Y), as used by the
+// 15-way two-qubit depolarizing channel.
+template <typename Sim>
+void apply_coded_pauli(Sim& sim, size_t q, uint64_t code) {
+  switch (code) {
+    case 1: sim.apply_x(q); break;
+    case 2: sim.apply_z(q); break;
+    case 3: sim.apply_y(q); break;
+    default: break;
+  }
+}
+
+template <typename Sim>
+bool is_cond_satisfied(const Operation& op, const std::vector<uint8_t>& record) {
+  if (op.cond < 0) return true;
+  FTQC_CHECK(static_cast<size_t>(op.cond) < record.size(),
+             "conditional references future measurement");
+  return record[static_cast<size_t>(op.cond)] != 0;
+}
+
+}  // namespace
+
+std::vector<uint8_t> run_circuit(TableauSim& sim, const Circuit& circuit) {
+  FTQC_CHECK(circuit.num_qubits() <= sim.num_qubits(),
+             "circuit larger than simulator register");
+  std::vector<uint8_t> record;
+  record.reserve(circuit.num_measurements());
+  Rng& rng = sim.rng();
+
+  for (const Operation& op : circuit.ops()) {
+    if (!is_cond_satisfied<TableauSim>(op, record)) {
+      if (gate_records_measurement(op.gate)) {
+        FTQC_CHECK(false, "measurements cannot be conditional");
+      }
+      continue;
+    }
+    switch (op.gate) {
+      case Gate::I:
+      case Gate::TICK: break;
+      case Gate::X: sim.apply_x(op.targets[0]); break;
+      case Gate::Y: sim.apply_y(op.targets[0]); break;
+      case Gate::Z: sim.apply_z(op.targets[0]); break;
+      case Gate::H: sim.apply_h(op.targets[0]); break;
+      case Gate::S: sim.apply_s(op.targets[0]); break;
+      case Gate::S_DAG: sim.apply_s_dag(op.targets[0]); break;
+      case Gate::CX: sim.apply_cx(op.targets[0], op.targets[1]); break;
+      case Gate::CZ: sim.apply_cz(op.targets[0], op.targets[1]); break;
+      case Gate::SWAP: sim.apply_swap(op.targets[0], op.targets[1]); break;
+      case Gate::M: record.push_back(sim.measure_z(op.targets[0])); break;
+      case Gate::MX: record.push_back(sim.measure_x(op.targets[0])); break;
+      case Gate::MR: {
+        const bool out = sim.measure_z(op.targets[0]);
+        record.push_back(out);
+        if (out) sim.apply_x(op.targets[0]);
+        break;
+      }
+      case Gate::R: sim.reset(op.targets[0]); break;
+      case Gate::DEPOLARIZE1:
+        if (rng.bernoulli(op.arg)) {
+          apply_sampled_pauli(sim, op.targets[0], rng.next_below(3));
+        }
+        break;
+      case Gate::DEPOLARIZE2:
+        if (rng.bernoulli(op.arg)) {
+          const uint64_t which = rng.next_below(15) + 1;
+          apply_coded_pauli(sim, op.targets[0], which & 3);
+          apply_coded_pauli(sim, op.targets[1], (which >> 2) & 3);
+        }
+        break;
+      case Gate::X_ERROR:
+        if (rng.bernoulli(op.arg)) sim.apply_x(op.targets[0]);
+        break;
+      case Gate::Y_ERROR:
+        if (rng.bernoulli(op.arg)) sim.apply_y(op.targets[0]);
+        break;
+      case Gate::Z_ERROR:
+        if (rng.bernoulli(op.arg)) sim.apply_z(op.targets[0]);
+        break;
+      case Gate::LEAK_ERROR:
+        if (rng.bernoulli(op.arg)) sim.mark_leaked(op.targets[0]);
+        break;
+      case Gate::INJECT_X: sim.apply_x(op.targets[0]); break;
+      case Gate::INJECT_Y: sim.apply_y(op.targets[0]); break;
+      case Gate::INJECT_Z: sim.apply_z(op.targets[0]); break;
+      default:
+        FTQC_CHECK(false, std::string("TableauSim cannot run gate ") +
+                              gate_name(op.gate));
+    }
+  }
+  return record;
+}
+
+std::vector<uint8_t> run_circuit(StateVectorSim& sim, const Circuit& circuit) {
+  FTQC_CHECK(circuit.num_qubits() <= sim.num_qubits(),
+             "circuit larger than simulator register");
+  std::vector<uint8_t> record;
+  record.reserve(circuit.num_measurements());
+  Rng& rng = sim.rng();
+
+  for (const Operation& op : circuit.ops()) {
+    if (!is_cond_satisfied<StateVectorSim>(op, record)) continue;
+    switch (op.gate) {
+      case Gate::I:
+      case Gate::TICK: break;
+      case Gate::X: sim.apply_x(op.targets[0]); break;
+      case Gate::Y: sim.apply_y(op.targets[0]); break;
+      case Gate::Z: sim.apply_z(op.targets[0]); break;
+      case Gate::H: sim.apply_h(op.targets[0]); break;
+      case Gate::S: sim.apply_s(op.targets[0]); break;
+      case Gate::S_DAG: sim.apply_s_dag(op.targets[0]); break;
+      case Gate::RX: sim.apply_rx(op.targets[0], op.arg); break;
+      case Gate::RZ: sim.apply_rz(op.targets[0], op.arg); break;
+      case Gate::CX: sim.apply_cx(op.targets[0], op.targets[1]); break;
+      case Gate::CZ: sim.apply_cz(op.targets[0], op.targets[1]); break;
+      case Gate::SWAP: sim.apply_swap(op.targets[0], op.targets[1]); break;
+      case Gate::CCX:
+        sim.apply_ccx(op.targets[0], op.targets[1], op.targets[2]);
+        break;
+      case Gate::CCZ:
+        sim.apply_ccz(op.targets[0], op.targets[1], op.targets[2]);
+        break;
+      case Gate::M: record.push_back(sim.measure_z(op.targets[0])); break;
+      case Gate::MX: record.push_back(sim.measure_x(op.targets[0])); break;
+      case Gate::MR: {
+        const bool out = sim.measure_z(op.targets[0]);
+        record.push_back(out);
+        if (out) sim.apply_x(op.targets[0]);
+        break;
+      }
+      case Gate::R: sim.reset(op.targets[0]); break;
+      case Gate::DEPOLARIZE1:
+        if (rng.bernoulli(op.arg)) {
+          apply_sampled_pauli(sim, op.targets[0], rng.next_below(3));
+        }
+        break;
+      case Gate::DEPOLARIZE2:
+        if (rng.bernoulli(op.arg)) {
+          const uint64_t which = rng.next_below(15) + 1;
+          apply_coded_pauli(sim, op.targets[0], which & 3);
+          apply_coded_pauli(sim, op.targets[1], (which >> 2) & 3);
+        }
+        break;
+      case Gate::X_ERROR:
+        if (rng.bernoulli(op.arg)) sim.apply_x(op.targets[0]);
+        break;
+      case Gate::Y_ERROR:
+        if (rng.bernoulli(op.arg)) sim.apply_y(op.targets[0]);
+        break;
+      case Gate::Z_ERROR:
+        if (rng.bernoulli(op.arg)) sim.apply_z(op.targets[0]);
+        break;
+      case Gate::INJECT_X: sim.apply_x(op.targets[0]); break;
+      case Gate::INJECT_Y: sim.apply_y(op.targets[0]); break;
+      case Gate::INJECT_Z: sim.apply_z(op.targets[0]); break;
+      default:
+        FTQC_CHECK(false, std::string("StateVectorSim cannot run gate ") +
+                              gate_name(op.gate));
+    }
+  }
+  return record;
+}
+
+std::vector<uint8_t> run_circuit(FrameSim& sim, const Circuit& circuit) {
+  FTQC_CHECK(circuit.num_qubits() <= sim.num_qubits(),
+             "circuit larger than frame register");
+  std::vector<uint8_t> record;
+  record.reserve(circuit.num_measurements());
+  Rng& rng = sim.rng();
+
+  for (const Operation& op : circuit.ops()) {
+    FTQC_CHECK(op.cond < 0,
+               "frame execution does not support feedforward; decode flips "
+               "in the driver instead");
+    switch (op.gate) {
+      case Gate::I:
+      case Gate::TICK:
+      case Gate::X:
+      case Gate::Y:
+      case Gate::Z:
+        break;  // deterministic Paulis move the reference, not the frame
+      case Gate::H: sim.apply_h(op.targets[0]); break;
+      case Gate::S:
+      case Gate::S_DAG: sim.apply_s(op.targets[0]); break;
+      case Gate::CX: sim.apply_cx(op.targets[0], op.targets[1]); break;
+      case Gate::CZ: sim.apply_cz(op.targets[0], op.targets[1]); break;
+      case Gate::SWAP: sim.apply_swap(op.targets[0], op.targets[1]); break;
+      case Gate::M: record.push_back(sim.measure_z(op.targets[0])); break;
+      case Gate::MX: record.push_back(sim.measure_x(op.targets[0])); break;
+      case Gate::MR: {
+        record.push_back(sim.measure_z(op.targets[0]));
+        sim.reset(op.targets[0]);
+        break;
+      }
+      case Gate::R: sim.reset(op.targets[0]); break;
+      case Gate::DEPOLARIZE1: sim.depolarize1(op.targets[0], op.arg); break;
+      case Gate::DEPOLARIZE2:
+        sim.depolarize2(op.targets[0], op.targets[1], op.arg);
+        break;
+      case Gate::X_ERROR: sim.x_error(op.targets[0], op.arg); break;
+      case Gate::Y_ERROR: sim.y_error(op.targets[0], op.arg); break;
+      case Gate::Z_ERROR: sim.z_error(op.targets[0], op.arg); break;
+      case Gate::LEAK_ERROR: sim.leak_error(op.targets[0], op.arg); break;
+      case Gate::INJECT_X: sim.inject_x(op.targets[0]); break;
+      case Gate::INJECT_Y: sim.inject_y(op.targets[0]); break;
+      case Gate::INJECT_Z: sim.inject_z(op.targets[0]); break;
+      default:
+        FTQC_CHECK(false, std::string("FrameSim cannot run gate ") +
+                              gate_name(op.gate));
+    }
+  }
+  (void)rng;
+  return record;
+}
+
+}  // namespace ftqc::sim

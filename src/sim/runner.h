@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/circuit.h"
+#include "sim/frame_sim.h"
+#include "sim/statevector_sim.h"
+#include "sim/tableau_sim.h"
+
+namespace ftqc::sim {
+
+// Executes a circuit (unitaries, measurements, channels, classical
+// feedforward) on the exact Clifford engine. Returns the measurement record.
+// Channels are sampled with the simulator's RNG, so repeated calls on fresh
+// simulators give independent shots.
+std::vector<uint8_t> run_circuit(TableauSim& sim, const Circuit& circuit);
+
+// Same, on the dense engine (adds CCX/CCZ/RX/RZ support; channels become
+// trajectory sampling; leakage is not representable here).
+std::vector<uint8_t> run_circuit(StateVectorSim& sim, const Circuit& circuit);
+
+// Frame execution: the returned record holds measurement-outcome *flips*
+// relative to the noiseless reference run. Classical feedforward (`cond`) is
+// rejected — drivers that need feedback implement it against decoded flips.
+std::vector<uint8_t> run_circuit(FrameSim& sim, const Circuit& circuit);
+
+}  // namespace ftqc::sim

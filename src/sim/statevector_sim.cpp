@@ -1,0 +1,249 @@
+#include "sim/statevector_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ftqc::sim {
+
+namespace {
+using cd = std::complex<double>;
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+}  // namespace
+
+StateVectorSim::StateVectorSim(size_t num_qubits, uint64_t seed)
+    : n_(num_qubits), rng_(seed) {
+  FTQC_CHECK(n_ <= 24, "state-vector simulator capped at 24 qubits");
+  amps_.assign(size_t{1} << n_, cd(0, 0));
+  amps_[0] = cd(1, 0);
+}
+
+void StateVectorSim::set_state(uint64_t basis_index) {
+  FTQC_CHECK(basis_index < amps_.size(), "basis index out of range");
+  std::fill(amps_.begin(), amps_.end(), cd(0, 0));
+  amps_[basis_index] = cd(1, 0);
+}
+
+void StateVectorSim::apply_unitary1(size_t q, cd u00, cd u01, cd u10, cd u11) {
+  const uint64_t bit = uint64_t{1} << q;
+  const uint64_t dim = amps_.size();
+  for (uint64_t i = 0; i < dim; ++i) {
+    if ((i & bit) != 0) continue;
+    const cd a0 = amps_[i];
+    const cd a1 = amps_[i | bit];
+    amps_[i] = u00 * a0 + u01 * a1;
+    amps_[i | bit] = u10 * a0 + u11 * a1;
+  }
+}
+
+void StateVectorSim::apply_h(size_t q) {
+  apply_unitary1(q, kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2);
+}
+
+void StateVectorSim::apply_x(size_t q) {
+  const uint64_t bit = uint64_t{1} << q;
+  for (uint64_t i = 0; i < amps_.size(); ++i) {
+    if ((i & bit) == 0) std::swap(amps_[i], amps_[i | bit]);
+  }
+}
+
+void StateVectorSim::apply_y(size_t q) {
+  const uint64_t bit = uint64_t{1} << q;
+  for (uint64_t i = 0; i < amps_.size(); ++i) {
+    if ((i & bit) == 0) {
+      const cd a0 = amps_[i];
+      const cd a1 = amps_[i | bit];
+      amps_[i] = cd(0, -1) * a1;
+      amps_[i | bit] = cd(0, 1) * a0;
+    }
+  }
+}
+
+void StateVectorSim::apply_z(size_t q) {
+  const uint64_t bit = uint64_t{1} << q;
+  for (uint64_t i = 0; i < amps_.size(); ++i) {
+    if ((i & bit) != 0) amps_[i] = -amps_[i];
+  }
+}
+
+void StateVectorSim::apply_s(size_t q) {
+  const uint64_t bit = uint64_t{1} << q;
+  for (uint64_t i = 0; i < amps_.size(); ++i) {
+    if ((i & bit) != 0) amps_[i] *= cd(0, 1);
+  }
+}
+
+void StateVectorSim::apply_s_dag(size_t q) {
+  const uint64_t bit = uint64_t{1} << q;
+  for (uint64_t i = 0; i < amps_.size(); ++i) {
+    if ((i & bit) != 0) amps_[i] *= cd(0, -1);
+  }
+}
+
+void StateVectorSim::apply_rx(size_t q, double theta) {
+  const double c = std::cos(theta / 2);
+  const double s = std::sin(theta / 2);
+  apply_unitary1(q, cd(c, 0), cd(0, -s), cd(0, -s), cd(c, 0));
+}
+
+void StateVectorSim::apply_rz(size_t q, double theta) {
+  const cd e0 = std::polar(1.0, -theta / 2);
+  const cd e1 = std::polar(1.0, theta / 2);
+  apply_unitary1(q, e0, cd(0, 0), cd(0, 0), e1);
+}
+
+void StateVectorSim::apply_cx(size_t control, size_t target) {
+  const uint64_t cbit = uint64_t{1} << control;
+  const uint64_t tbit = uint64_t{1} << target;
+  for (uint64_t i = 0; i < amps_.size(); ++i) {
+    if ((i & cbit) != 0 && (i & tbit) == 0) std::swap(amps_[i], amps_[i | tbit]);
+  }
+}
+
+void StateVectorSim::apply_cz(size_t a, size_t b) {
+  const uint64_t mask = (uint64_t{1} << a) | (uint64_t{1} << b);
+  for (uint64_t i = 0; i < amps_.size(); ++i) {
+    if ((i & mask) == mask) amps_[i] = -amps_[i];
+  }
+}
+
+void StateVectorSim::apply_swap(size_t a, size_t b) {
+  apply_cx(a, b);
+  apply_cx(b, a);
+  apply_cx(a, b);
+}
+
+void StateVectorSim::apply_ccx(size_t c0, size_t c1, size_t target) {
+  const uint64_t cmask = (uint64_t{1} << c0) | (uint64_t{1} << c1);
+  const uint64_t tbit = uint64_t{1} << target;
+  for (uint64_t i = 0; i < amps_.size(); ++i) {
+    if ((i & cmask) == cmask && (i & tbit) == 0) {
+      std::swap(amps_[i], amps_[i | tbit]);
+    }
+  }
+}
+
+void StateVectorSim::apply_ccz(size_t a, size_t b, size_t c) {
+  const uint64_t mask =
+      (uint64_t{1} << a) | (uint64_t{1} << b) | (uint64_t{1} << c);
+  for (uint64_t i = 0; i < amps_.size(); ++i) {
+    if ((i & mask) == mask) amps_[i] = -amps_[i];
+  }
+}
+
+void StateVectorSim::apply_pauli(const pauli::PauliString& p) {
+  FTQC_CHECK(p.num_qubits() == n_, "apply_pauli size mismatch");
+  for (size_t q = 0; q < n_; ++q) {
+    switch (p.pauli_at(q)) {
+      case 'X': apply_x(q); break;
+      case 'Y': apply_y(q); break;
+      case 'Z': apply_z(q); break;
+      default: break;
+    }
+  }
+  switch (p.phase_exponent()) {
+    case 1:
+      for (auto& a : amps_) a *= cd(0, 1);
+      break;
+    case 2:
+      for (auto& a : amps_) a = -a;
+      break;
+    case 3:
+      for (auto& a : amps_) a *= cd(0, -1);
+      break;
+    default: break;
+  }
+}
+
+double StateVectorSim::prob_one(size_t q) const {
+  const uint64_t bit = uint64_t{1} << q;
+  double p = 0;
+  for (uint64_t i = 0; i < amps_.size(); ++i) {
+    if ((i & bit) != 0) p += std::norm(amps_[i]);
+  }
+  return p;
+}
+
+void StateVectorSim::collapse(size_t q, bool outcome, double prob_one) {
+  const uint64_t bit = uint64_t{1} << q;
+  const double keep = outcome ? prob_one : 1.0 - prob_one;
+  FTQC_CHECK(keep > 1e-12, "collapse onto a zero-probability branch");
+  const double scale = 1.0 / std::sqrt(keep);
+  for (uint64_t i = 0; i < amps_.size(); ++i) {
+    const bool is_one = (i & bit) != 0;
+    if (is_one == outcome) {
+      amps_[i] *= scale;
+    } else {
+      amps_[i] = cd(0, 0);
+    }
+  }
+}
+
+bool StateVectorSim::measure_z(size_t q) {
+  const double p1 = prob_one(q);
+  const bool outcome = rng_.next_double() < p1;
+  collapse(q, outcome, p1);
+  return outcome;
+}
+
+bool StateVectorSim::measure_x(size_t q) {
+  apply_h(q);
+  const bool outcome = measure_z(q);
+  apply_h(q);
+  return outcome;
+}
+
+void StateVectorSim::reset(size_t q) {
+  if (measure_z(q)) apply_x(q);
+}
+
+bool StateVectorSim::measure_pauli(const pauli::PauliString& p) {
+  FTQC_CHECK(p.phase_exponent() % 2 == 0, "cannot measure an imaginary Pauli");
+  // Probability of outcome 0 (+1 eigenvalue) is (1 + <P>)/2.
+  const double expect = expectation_pauli(p);
+  const double p_plus = std::min(1.0, std::max(0.0, (1.0 + expect) / 2.0));
+  const bool outcome = rng_.next_double() >= p_plus;
+  // Project: |psi> <- (I ± P)|psi> / norm.
+  StateVectorSim scratch = *this;
+  scratch.apply_pauli(p);
+  const double sign = outcome ? -1.0 : 1.0;
+  double norm2 = 0;
+  for (uint64_t i = 0; i < amps_.size(); ++i) {
+    amps_[i] = 0.5 * (amps_[i] + sign * scratch.amps_[i]);
+    norm2 += std::norm(amps_[i]);
+  }
+  FTQC_CHECK(norm2 > 1e-12, "projected onto a zero-probability eigenspace");
+  const double scale = 1.0 / std::sqrt(norm2);
+  for (auto& a : amps_) a *= scale;
+  return outcome;
+}
+
+double StateVectorSim::expectation_pauli(const pauli::PauliString& p) const {
+  StateVectorSim scratch = *this;
+  scratch.apply_pauli(p);
+  return inner_product(scratch).real();
+}
+
+std::complex<double> StateVectorSim::inner_product(
+    const StateVectorSim& other) const {
+  FTQC_CHECK(n_ == other.n_, "inner product size mismatch");
+  cd acc(0, 0);
+  for (uint64_t i = 0; i < amps_.size(); ++i) {
+    acc += std::conj(amps_[i]) * other.amps_[i];
+  }
+  return acc;
+}
+
+double StateVectorSim::fidelity_with(const StateVectorSim& other) const {
+  return std::norm(inner_product(other));
+}
+
+double StateVectorSim::norm() const {
+  double acc = 0;
+  for (const auto& a : amps_) acc += std::norm(a);
+  return std::sqrt(acc);
+}
+
+}  // namespace ftqc::sim

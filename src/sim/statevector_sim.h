@@ -1,0 +1,75 @@
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "pauli/pauli_string.h"
+#include "sim/circuit.h"
+
+namespace ftqc::sim {
+
+// Dense state-vector simulator (little-endian: qubit q toggles bit q of the
+// basis index). Capped at 24 qubits. This is the ground-truth engine: it
+// verifies the Clifford simulators on random circuits, executes the
+// non-Clifford Toffoli gadget of Fig. 13, and realizes the coherent
+// (systematic) error model of §6 that stabilizer methods cannot express.
+class StateVectorSim {
+ public:
+  explicit StateVectorSim(size_t num_qubits, uint64_t seed = 1);
+
+  [[nodiscard]] size_t num_qubits() const { return n_; }
+
+  void apply_h(size_t q);
+  void apply_x(size_t q);
+  void apply_y(size_t q);
+  void apply_z(size_t q);
+  void apply_s(size_t q);
+  void apply_s_dag(size_t q);
+  void apply_rx(size_t q, double theta);  // exp(-i theta X / 2)
+  void apply_rz(size_t q, double theta);  // exp(-i theta Z / 2)
+  void apply_cx(size_t control, size_t target);
+  void apply_cz(size_t a, size_t b);
+  void apply_swap(size_t a, size_t b);
+  void apply_ccx(size_t c0, size_t c1, size_t target);
+  void apply_ccz(size_t a, size_t b, size_t c);
+  void apply_pauli(const pauli::PauliString& p);
+
+  // Generic single-qubit unitary [[u00,u01],[u10,u11]].
+  void apply_unitary1(size_t q, std::complex<double> u00, std::complex<double> u01,
+                      std::complex<double> u10, std::complex<double> u11);
+
+  bool measure_z(size_t q);
+  bool measure_x(size_t q);
+  void reset(size_t q);
+
+  // Projective measurement of a ±1 Pauli observable, with collapse.
+  bool measure_pauli(const pauli::PauliString& p);
+  // Expectation value <psi|P|psi> (real for Hermitian P).
+  [[nodiscard]] double expectation_pauli(const pauli::PauliString& p) const;
+
+  // |<other|this>|^2.
+  [[nodiscard]] double fidelity_with(const StateVectorSim& other) const;
+  [[nodiscard]] std::complex<double> inner_product(const StateVectorSim& other) const;
+
+  [[nodiscard]] std::complex<double> amplitude(uint64_t basis_index) const {
+    return amps_[basis_index];
+  }
+  void set_state(uint64_t basis_index);  // reset to a computational basis state
+  [[nodiscard]] double norm() const;
+
+  // Probability that measuring qubit q yields 1.
+  [[nodiscard]] double prob_one(size_t q) const;
+
+  Rng& rng() { return rng_; }
+
+ private:
+  void collapse(size_t q, bool outcome, double prob_one);
+
+  size_t n_;
+  std::vector<std::complex<double>> amps_;
+  Rng rng_;
+};
+
+}  // namespace ftqc::sim

@@ -1,0 +1,253 @@
+#include "sim/tableau_sim.h"
+
+namespace ftqc::sim {
+
+using pauli::PauliString;
+
+TableauSim::TableauSim(size_t num_qubits, uint64_t seed)
+    : n_(num_qubits), leaked_(num_qubits, false), rng_(seed) {
+  rows_.resize(2 * n_);
+  for (size_t i = 0; i < 2 * n_; ++i) {
+    rows_[i].x = gf2::BitVec(n_);
+    rows_[i].z = gf2::BitVec(n_);
+  }
+  // |0...0>: destabilizer i = X_i, stabilizer i = Z_i.
+  for (size_t i = 0; i < n_; ++i) {
+    rows_[i].x.set(i, true);
+    rows_[n_ + i].z.set(i, true);
+  }
+}
+
+void TableauSim::apply_h(size_t q) {
+  if (leaked_[q]) return;
+  for (auto& row : rows_) {
+    const bool x = row.x.get(q);
+    const bool z = row.z.get(q);
+    if (x && z) row.sign = !row.sign;  // Y -> -Y
+    row.x.set(q, z);
+    row.z.set(q, x);
+  }
+}
+
+void TableauSim::apply_s(size_t q) {
+  if (leaked_[q]) return;
+  for (auto& row : rows_) {
+    const bool x = row.x.get(q);
+    const bool z = row.z.get(q);
+    if (x && z) row.sign = !row.sign;  // Y -> -X
+    if (x) row.z.set(q, !z);           // X -> Y
+  }
+}
+
+void TableauSim::apply_s_dag(size_t q) {
+  if (leaked_[q]) return;
+  for (auto& row : rows_) {
+    const bool x = row.x.get(q);
+    const bool z = row.z.get(q);
+    if (x && !z) row.sign = !row.sign;  // X -> -Y
+    if (x) row.z.set(q, !z);            // Y -> X
+  }
+}
+
+void TableauSim::apply_x(size_t q) {
+  if (leaked_[q]) return;
+  for (auto& row : rows_) {
+    if (row.z.get(q)) row.sign = !row.sign;  // Z -> -Z, Y -> -Y
+  }
+}
+
+void TableauSim::apply_z(size_t q) {
+  if (leaked_[q]) return;
+  for (auto& row : rows_) {
+    if (row.x.get(q)) row.sign = !row.sign;  // X -> -X, Y -> -Y
+  }
+}
+
+void TableauSim::apply_y(size_t q) {
+  if (leaked_[q]) return;
+  for (auto& row : rows_) {
+    if (row.x.get(q) != row.z.get(q)) row.sign = !row.sign;  // X,Z flip sign
+  }
+}
+
+void TableauSim::apply_cx(size_t control, size_t target) {
+  if (leaked_[control] || leaked_[target]) return;
+  for (auto& row : rows_) {
+    const bool xc = row.x.get(control);
+    const bool zc = row.z.get(control);
+    const bool xt = row.x.get(target);
+    const bool zt = row.z.get(target);
+    if (xc && zt && (xt == zc)) row.sign = !row.sign;
+    row.x.set(target, xt ^ xc);
+    row.z.set(control, zc ^ zt);
+  }
+}
+
+void TableauSim::apply_cz(size_t a, size_t b) {
+  if (leaked_[a] || leaked_[b]) return;
+  apply_h(b);
+  apply_cx(a, b);
+  apply_h(b);
+}
+
+void TableauSim::apply_swap(size_t a, size_t b) {
+  if (leaked_[a] || leaked_[b]) return;
+  for (auto& row : rows_) {
+    const bool xa = row.x.get(a), za = row.z.get(a);
+    const bool xb = row.x.get(b), zb = row.z.get(b);
+    row.x.set(a, xb);
+    row.z.set(a, zb);
+    row.x.set(b, xa);
+    row.z.set(b, za);
+  }
+}
+
+void TableauSim::apply_pauli(const PauliString& p) {
+  FTQC_CHECK(p.num_qubits() == n_, "apply_pauli size mismatch");
+  for (size_t q = 0; q < n_; ++q) {
+    if (leaked_[q]) continue;
+    const bool px = p.x_bit(q);
+    const bool pz = p.z_bit(q);
+    if (px && pz) {
+      apply_y(q);
+    } else if (px) {
+      apply_x(q);
+    } else if (pz) {
+      apply_z(q);
+    }
+  }
+}
+
+int TableauSim::phase_exponent_of_product(const Row& a, const Row& b) {
+  int phase = (a.sign ? 2 : 0) + (b.sign ? 2 : 0);
+  const size_t words = a.x.num_words();
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t overlap = (a.x.word(w) | a.z.word(w)) & (b.x.word(w) | b.z.word(w));
+    while (overlap != 0) {
+      const int bit = __builtin_ctzll(overlap);
+      overlap &= overlap - 1;
+      const size_t q = (w << 6) + static_cast<size_t>(bit);
+      phase += pauli::pauli_product_phase(a.x.get(q), a.z.get(q), b.x.get(q),
+                                          b.z.get(q));
+    }
+  }
+  return ((phase % 4) + 4) % 4;
+}
+
+void TableauSim::row_mult_into(const Row& src, Row& dst) const {
+  const int phase = phase_exponent_of_product(src, dst);
+  FTQC_DCHECK(phase % 2 == 0, "tableau row product acquired imaginary phase");
+  dst.x ^= src.x;
+  dst.z ^= src.z;
+  dst.sign = phase == 2;
+}
+
+void TableauSim::row_mult_into(size_t i, size_t h) {
+  row_mult_into(rows_[i], rows_[h]);
+}
+
+bool TableauSim::row_anticommutes(size_t row, const PauliString& p) const {
+  return rows_[row].x.dot(p.z_part()) ^ rows_[row].z.dot(p.x_part());
+}
+
+bool TableauSim::measure_pauli(const PauliString& p) {
+  FTQC_CHECK(p.num_qubits() == n_, "measure_pauli size mismatch");
+  FTQC_CHECK(p.phase_exponent() % 2 == 0, "cannot measure an imaginary Pauli");
+  const bool p_negative = p.phase_exponent() == 2;
+
+  // Find a stabilizer generator anticommuting with P.
+  size_t pivot = 2 * n_;
+  for (size_t row = n_; row < 2 * n_; ++row) {
+    if (row_anticommutes(row, p)) {
+      pivot = row;
+      break;
+    }
+  }
+
+  if (pivot != 2 * n_) {
+    // Random outcome. Fix up all other anticommuting rows, then install P.
+    for (size_t row = 0; row < 2 * n_; ++row) {
+      if (row != pivot && row_anticommutes(row, p)) row_mult_into(pivot, row);
+    }
+    rows_[pivot - n_] = rows_[pivot];
+    const bool outcome = (rng_.next_u64() & 1) != 0;
+    rows_[pivot].x = p.x_part();
+    rows_[pivot].z = p.z_part();
+    rows_[pivot].sign = outcome != p_negative;
+    return outcome;
+  }
+
+  // Deterministic outcome: accumulate the product of stabilizer rows whose
+  // destabilizer partner anticommutes with P; the result must be ±P.
+  Row scratch;
+  scratch.x = gf2::BitVec(n_);
+  scratch.z = gf2::BitVec(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    if (row_anticommutes(i, p)) row_mult_into(rows_[n_ + i], scratch);
+  }
+  FTQC_CHECK(scratch.x == p.x_part() && scratch.z == p.z_part(),
+             "deterministic measurement did not reproduce the observable");
+  return scratch.sign != p_negative;
+}
+
+std::optional<bool> TableauSim::peek_pauli(const PauliString& p) const {
+  FTQC_CHECK(p.num_qubits() == n_, "peek_pauli size mismatch");
+  for (size_t row = n_; row < 2 * n_; ++row) {
+    if (row_anticommutes(row, p)) return std::nullopt;
+  }
+  Row scratch;
+  scratch.x = gf2::BitVec(n_);
+  scratch.z = gf2::BitVec(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    if (row_anticommutes(i, p)) row_mult_into(rows_[n_ + i], scratch);
+  }
+  FTQC_CHECK(scratch.x == p.x_part() && scratch.z == p.z_part(),
+             "peeked observable not generated by the stabilizer");
+  return scratch.sign != (p.phase_exponent() == 2);
+}
+
+bool TableauSim::stabilizes(const PauliString& p, bool* sign_out) const {
+  for (size_t row = n_; row < 2 * n_; ++row) {
+    if (row_anticommutes(row, p)) return false;
+  }
+  const auto value = peek_pauli(p);
+  if (sign_out != nullptr) *sign_out = *value;
+  return true;
+}
+
+bool TableauSim::measure_z(size_t q) {
+  if (leaked_[q]) return (rng_.next_u64() & 1) != 0;
+  return measure_pauli(PauliString::single(n_, q, 'Z'));
+}
+
+bool TableauSim::measure_x(size_t q) {
+  if (leaked_[q]) return (rng_.next_u64() & 1) != 0;
+  return measure_pauli(PauliString::single(n_, q, 'X'));
+}
+
+void TableauSim::reset(size_t q) {
+  leaked_[q] = false;
+  if (measure_z(q)) apply_x(q);
+}
+
+PauliString TableauSim::stabilizer(size_t i) const {
+  FTQC_CHECK(i < n_, "stabilizer index out of range");
+  const Row& row = rows_[n_ + i];
+  PauliString p(n_);
+  p.x_part() = row.x;
+  p.z_part() = row.z;
+  p.set_phase_exponent(row.sign ? 2 : 0);
+  return p;
+}
+
+PauliString TableauSim::destabilizer(size_t i) const {
+  FTQC_CHECK(i < n_, "destabilizer index out of range");
+  const Row& row = rows_[i];
+  PauliString p(n_);
+  p.x_part() = row.x;
+  p.z_part() = row.z;
+  p.set_phase_exponent(row.sign ? 2 : 0);
+  return p;
+}
+
+}  // namespace ftqc::sim

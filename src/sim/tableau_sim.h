@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "gf2/bitvec.h"
+#include "pauli/pauli_string.h"
+#include "sim/circuit.h"
+
+namespace ftqc::sim {
+
+// Stabilizer-state simulator in the Aaronson–Gottesman tableau form: n
+// destabilizer rows and n stabilizer rows, each a signed Pauli. This is the
+// exact-Clifford engine used to validate gadgets and to cross-check the fast
+// Pauli-frame sampler. Initial state is |0...0>.
+//
+// Supports leakage (§6): a leaked qubit absorbs gates (they act as identity,
+// matching the assumption under Fig. 15), measures to a random outcome, and
+// is restored to |0> by R.
+class TableauSim {
+ public:
+  explicit TableauSim(size_t num_qubits, uint64_t seed = 1);
+
+  [[nodiscard]] size_t num_qubits() const { return n_; }
+
+  // --- Clifford unitaries -------------------------------------------------
+  void apply_h(size_t q);
+  void apply_s(size_t q);
+  void apply_s_dag(size_t q);
+  void apply_x(size_t q);
+  void apply_y(size_t q);
+  void apply_z(size_t q);
+  void apply_cx(size_t control, size_t target);
+  void apply_cz(size_t a, size_t b);
+  void apply_swap(size_t a, size_t b);
+  // Conjugates the state by an arbitrary Pauli (used for error injection).
+  void apply_pauli(const pauli::PauliString& p);
+
+  // --- Measurement / reset ------------------------------------------------
+  // Z-basis measurement with collapse; returns the outcome bit.
+  bool measure_z(size_t q);
+  bool measure_x(size_t q);
+  void reset(size_t q);
+
+  // Generalized projective measurement of a Pauli observable P with
+  // eigenvalues ±1; returns outcome bit b where the state is projected onto
+  // the (-1)^b eigenspace. Used for encoded-operator measurements (§3.6).
+  bool measure_pauli(const pauli::PauliString& p);
+
+  // Outcome of measuring P if it is deterministic, nullopt if it would be
+  // random. Does not disturb the state.
+  [[nodiscard]] std::optional<bool> peek_pauli(const pauli::PauliString& p) const;
+
+  // True iff P (ignoring its sign) is in the stabilizer group up to sign;
+  // `sign_out` receives the sign with which it stabilizes (0 => +P).
+  [[nodiscard]] bool stabilizes(const pauli::PauliString& p, bool* sign_out = nullptr) const;
+
+  // --- Leakage ------------------------------------------------------------
+  void mark_leaked(size_t q) { leaked_[q] = true; }
+  [[nodiscard]] bool is_leaked(size_t q) const { return leaked_[q]; }
+
+  // --- Introspection ------------------------------------------------------
+  // The i-th stabilizer generator of the current state, as a signed Pauli.
+  [[nodiscard]] pauli::PauliString stabilizer(size_t i) const;
+  [[nodiscard]] pauli::PauliString destabilizer(size_t i) const;
+
+  Rng& rng() { return rng_; }
+
+ private:
+  struct Row {
+    gf2::BitVec x;
+    gf2::BitVec z;
+    bool sign = false;  // false => +, true => -
+  };
+
+  // row_h <- row_i * row_h with exact sign tracking.
+  void row_mult_into(size_t i, size_t h);
+  void row_mult_into(const Row& src, Row& dst) const;
+  [[nodiscard]] static int phase_exponent_of_product(const Row& a, const Row& b);
+  [[nodiscard]] bool row_anticommutes(size_t row, const pauli::PauliString& p) const;
+
+  size_t n_;
+  std::vector<Row> rows_;  // [0,n) destabilizers, [n,2n) stabilizers
+  std::vector<bool> leaked_;
+  Rng rng_;
+};
+
+}  // namespace ftqc::sim

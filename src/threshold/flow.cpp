@@ -1,0 +1,53 @@
+#include "threshold/flow.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace ftqc::threshold {
+
+double QuadraticFlow::at_level_closed_form(double p0, size_t levels) const {
+  const double eps0 = threshold();
+  return eps0 * std::pow(p0 / eps0, std::pow(2.0, static_cast<double>(levels)));
+}
+
+size_t QuadraticFlow::levels_needed(double p0, double target) const {
+  if (p0 <= target) return 0;
+  if (p0 >= threshold()) return std::numeric_limits<size_t>::max();
+  double p = p0;
+  for (size_t level = 1; level <= 64; ++level) {
+    p = map(p);
+    if (p <= target) return level;
+  }
+  return std::numeric_limits<size_t>::max();
+}
+
+size_t concatenated_block_size(size_t levels) {
+  size_t size = 1;
+  for (size_t l = 0; l < levels; ++l) {
+    FTQC_CHECK(size <= std::numeric_limits<size_t>::max() / 7,
+               "block size overflow");
+    size *= 7;
+  }
+  return size;
+}
+
+double block_size_for_computation(double t_gates, double eps, double eps0) {
+  FTQC_CHECK(eps < eps0, "below-threshold operation required");
+  const double ratio = std::log(eps0 * t_gates) / std::log(eps0 / eps);
+  return std::pow(std::max(ratio, 1.0), std::log2(7.0));
+}
+
+std::vector<double> flow_trajectory(const QuadraticFlow& flow, double p0,
+                                    size_t levels) {
+  std::vector<double> traj = {p0};
+  double p = p0;
+  for (size_t l = 0; l < levels; ++l) {
+    p = flow.map(p);
+    traj.push_back(p);
+  }
+  return traj;
+}
+
+}  // namespace ftqc::threshold

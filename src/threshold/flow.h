@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ftqc::threshold {
+
+// The concatenation flow equations of §5. One level of concatenation maps
+// the block error probability p to A·p² (Eq. 33, with A = C(7,2) = 21 in the
+// combinatorial model); the fixed point 1/A is the accuracy threshold.
+struct QuadraticFlow {
+  double coefficient = 21.0;  // the "A" of p_{L+1} = A p_L²
+
+  [[nodiscard]] double map(double p) const { return coefficient * p * p; }
+
+  [[nodiscard]] double threshold() const { return 1.0 / coefficient; }
+
+  // p after L levels of concatenation, iterating the map.
+  [[nodiscard]] double at_level(double p0, size_t levels) const {
+    double p = p0;
+    for (size_t l = 0; l < levels; ++l) p = map(p);
+    return p;
+  }
+
+  // Closed form of Eq. (36): eps(L) = eps0 (eps/eps0)^{2^L} with
+  // eps0 = threshold().
+  [[nodiscard]] double at_level_closed_form(double p0, size_t levels) const;
+
+  // Smallest L with at_level(p0, L) <= target; SIZE_MAX when p0 is at or
+  // above threshold (the flow diverges: "coding makes things worse").
+  [[nodiscard]] size_t levels_needed(double p0, double target) const;
+};
+
+// Block size of the L-times concatenated [[7,1,3]] code.
+[[nodiscard]] size_t concatenated_block_size(size_t levels);
+
+// Eq. (37): the block size required to run a T-gate computation reliably,
+// given threshold eps0 and physical rate eps:
+//   blocksize ~ [ log(eps0·T) / log(eps0/eps) ]^{log2 7}.
+[[nodiscard]] double block_size_for_computation(double t_gates, double eps,
+                                                double eps0);
+
+// Iterated trajectory p0, p1, ..., pL (convenience for tables/plots).
+[[nodiscard]] std::vector<double> flow_trajectory(const QuadraticFlow& flow,
+                                                  double p0, size_t levels);
+
+}  // namespace ftqc::threshold

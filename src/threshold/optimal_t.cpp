@@ -1,0 +1,47 @@
+#include "threshold/optimal_t.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ftqc::threshold {
+
+double OptimalTAnalysis::block_error(double t, double eps) const {
+  return std::pow(std::pow(t, b) * eps, t + 1.0);
+}
+
+double OptimalTAnalysis::optimal_t(double eps) const {
+  return std::exp(-1.0) * std::pow(eps, -1.0 / b);
+}
+
+size_t OptimalTAnalysis::optimal_t_integer(double eps) const {
+  FTQC_CHECK(eps > 0 && eps < 1, "eps must be in (0,1)");
+  size_t best_t = 1;
+  double best = block_error(1.0, eps);
+  // The continuum optimum bounds the search window.
+  const size_t hi = static_cast<size_t>(std::ceil(4 * optimal_t(eps))) + 4;
+  for (size_t t = 1; t <= hi; ++t) {
+    const double e = block_error(static_cast<double>(t), eps);
+    if (e < best) {
+      best = e;
+      best_t = t;
+    }
+  }
+  return best_t;
+}
+
+double OptimalTAnalysis::min_block_error_asymptotic(double eps) const {
+  return std::exp(-std::exp(-1.0) * b * std::pow(eps, -1.0 / b));
+}
+
+double OptimalTAnalysis::min_block_error_exact(double eps) const {
+  return block_error(static_cast<double>(optimal_t_integer(eps)), eps);
+}
+
+double OptimalTAnalysis::required_accuracy(double t_cycles) const {
+  FTQC_CHECK(t_cycles > 1, "need more than one cycle");
+  // Solve exp(-e^{-1} b eps^{-1/b}) = 1/T for eps.
+  return std::pow(b / (std::exp(1.0) * std::log(t_cycles)), b);
+}
+
+}  // namespace ftqc::threshold

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+
+namespace ftqc::threshold {
+
+// The non-concatenated block-code analysis of §5, Eqs. (30)-(32): with a
+// code correcting t errors whose syndrome measurement takes ~t^b steps, the
+// block error probability behaves like (t^b ε)^{t+1}; there is an optimal t
+// beyond which recovery takes so long that errors accumulate faster than the
+// code can correct them.
+struct OptimalTAnalysis {
+  double b = 4.0;  // recovery-complexity exponent (Shor's procedure: b = 4)
+
+  // Eq. (30).
+  [[nodiscard]] double block_error(double t, double eps) const;
+
+  // The continuum optimum t* ~ e^{-1} eps^{-1/b}.
+  [[nodiscard]] double optimal_t(double eps) const;
+
+  // Integer t minimizing block_error, by direct search.
+  [[nodiscard]] size_t optimal_t_integer(double eps) const;
+
+  // Eq. (31): min block error ~ exp(-e^{-1} b eps^{-1/b}).
+  [[nodiscard]] double min_block_error_asymptotic(double eps) const;
+  [[nodiscard]] double min_block_error_exact(double eps) const;
+
+  // Eq. (32): the gate accuracy needed to survive T error-correction cycles,
+  // eps ~ (b / (e ln T))^b, i.e. eps ~ (log T)^{-b}.
+  [[nodiscard]] double required_accuracy(double t_cycles) const;
+};
+
+}  // namespace ftqc::threshold

@@ -1,0 +1,79 @@
+#include "threshold/pseudothreshold.h"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "ft/shor_recovery.h"
+#include "ft/steane_recovery.h"
+
+namespace ftqc::threshold {
+
+namespace {
+
+template <typename Driver>
+uint64_t run_shots(double eps_gate, double eps_store, size_t shots,
+                   uint64_t seed) {
+  const auto noise = sim::NoiseParams::uniform_gate(eps_gate, eps_store);
+  uint64_t failures = 0;
+#pragma omp parallel reduction(+ : failures)
+  {
+#ifdef _OPENMP
+    const int worker = omp_get_thread_num();
+    const int num_workers = omp_get_num_threads();
+#else
+    const int worker = 0;
+    const int num_workers = 1;
+#endif
+    for (size_t shot = static_cast<size_t>(worker); shot < shots;
+         shot += static_cast<size_t>(num_workers)) {
+      Driver rec(noise, ft::RecoveryPolicy{}, seed + 0x9E37 * shot);
+      rec.run_cycle();
+      failures += rec.any_logical_error() ? 1 : 0;
+    }
+  }
+  return failures;
+}
+
+}  // namespace
+
+CyclePoint measure_cycle_failure(RecoveryMethod method, double eps_gate,
+                                 size_t shots, uint64_t seed,
+                                 double eps_store) {
+  CyclePoint point;
+  point.eps = eps_gate;
+  point.failures.trials = shots;
+  point.failures.successes =
+      method == RecoveryMethod::kSteane
+          ? run_shots<ft::SteaneRecovery>(eps_gate, eps_store, shots, seed)
+          : run_shots<ft::ShorRecovery>(eps_gate, eps_store, shots, seed);
+  return point;
+}
+
+std::vector<CyclePoint> sweep_cycle_failure(RecoveryMethod method,
+                                            const std::vector<double>& eps_values,
+                                            size_t shots, uint64_t seed) {
+  std::vector<CyclePoint> points;
+  points.reserve(eps_values.size());
+  for (size_t i = 0; i < eps_values.size(); ++i) {
+    points.push_back(
+        measure_cycle_failure(method, eps_values[i], shots, seed + 131 * i));
+  }
+  return points;
+}
+
+double fit_quadratic_coefficient(const std::vector<CyclePoint>& points) {
+  // Least squares for failure = c·ε² (single parameter):
+  // c = Σ w f ε² / Σ w ε⁴ with w = trials (binomial weight ~ 1/variance up
+  // to the common factor f(1-f) which is nearly constant across the sweep).
+  double num = 0, denom = 0;
+  for (const auto& p : points) {
+    const double w = static_cast<double>(p.failures.trials);
+    const double e2 = p.eps * p.eps;
+    num += w * p.failures.mean() * e2;
+    denom += w * e2 * e2;
+  }
+  return denom > 0 ? num / denom : 0.0;
+}
+
+}  // namespace ftqc::threshold

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "ft/recovery.h"
+#include "sim/noise_model.h"
+
+namespace ftqc::threshold {
+
+// Circuit-level Monte Carlo for the level-1 pseudothreshold (E5): run one
+// fault-tolerant recovery cycle of the chosen method on a clean block under
+// the uniform gate-error model and report the logical failure probability
+// after an ideal final decode. The pseudothreshold is the ε where the
+// encoded cycle stops beating a bare physical gate (failure = ε).
+enum class RecoveryMethod { kSteane, kShor };
+
+struct CyclePoint {
+  double eps = 0;
+  Proportion failures;
+};
+
+// One sweep point; OpenMP-parallel over shots.
+[[nodiscard]] CyclePoint measure_cycle_failure(RecoveryMethod method,
+                                               double eps_gate, size_t shots,
+                                               uint64_t seed,
+                                               double eps_store = 0.0);
+
+// Sweep a list of ε values.
+[[nodiscard]] std::vector<CyclePoint> sweep_cycle_failure(
+    RecoveryMethod method, const std::vector<double>& eps_values, size_t shots,
+    uint64_t seed);
+
+// Quadratic-fit coefficient c from failure = c·ε² (least squares through the
+// sweep points, weighted by shots); 1/c estimates the pseudothreshold.
+[[nodiscard]] double fit_quadratic_coefficient(const std::vector<CyclePoint>& points);
+
+}  // namespace ftqc::threshold

@@ -1,0 +1,31 @@
+#include "threshold/resources.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ftqc::threshold {
+
+ResourcePlan ResourceModel::plan(const FactoringWorkload& load, double eps_gate,
+                                 double eps_store) const {
+  ResourcePlan out;
+  const size_t l_gate =
+      gate_flow.levels_needed(eps_gate, load.target_gate_error());
+  const size_t l_store =
+      storage_flow.levels_needed(eps_store, load.target_storage_error());
+  if (l_gate == std::numeric_limits<size_t>::max() ||
+      l_store == std::numeric_limits<size_t>::max()) {
+    out.feasible = false;
+    return out;
+  }
+  out.levels = std::max(l_gate, l_store);
+  out.block_size = concatenated_block_size(out.levels);
+  out.gate_error_achieved = gate_flow.at_level(eps_gate, out.levels);
+  out.storage_error_achieved = storage_flow.at_level(eps_store, out.levels);
+  out.data_qubits = load.logical_qubits() * out.block_size;
+  out.total_qubits = static_cast<size_t>(
+      static_cast<double>(out.data_qubits) * ancilla_factor);
+  out.feasible = true;
+  return out;
+}
+
+}  // namespace ftqc::threshold

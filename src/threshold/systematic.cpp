@@ -1,0 +1,67 @@
+#include "threshold/systematic.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/statevector_sim.h"
+
+namespace ftqc::threshold {
+
+double CoherentErrorModel::systematic_failure(size_t n) const {
+  const double phi = theta * static_cast<double>(n) / 2.0;
+  const double s = std::sin(phi);
+  return s * s;
+}
+
+double CoherentErrorModel::random_walk_failure(size_t n) const {
+  // S ~ sum of n iid ±1; failure = E[sin²(theta·S/2)]. Binomial sum; n is
+  // small enough (<= ~1e4) for the direct evaluation used by the bench.
+  double total = 0;
+  // log-binomial to stay stable for large n.
+  double log_binom = -static_cast<double>(n) * std::log(2.0);  // C(n,0)/2^n
+  for (size_t k = 0; k <= n; ++k) {
+    const double s = static_cast<double>(2.0 * static_cast<double>(k) -
+                                         static_cast<double>(n));
+    const double sin_term = std::sin(theta * s / 2.0);
+    total += std::exp(log_binom) * sin_term * sin_term;
+    // C(n,k+1)/2^n from C(n,k)/2^n.
+    log_binom += std::log(static_cast<double>(n - k)) -
+                 std::log(static_cast<double>(k + 1));
+  }
+  return total;
+}
+
+double CoherentErrorModel::systematic_failure_approx(size_t n) const {
+  const double nn = static_cast<double>(n);
+  return nn * nn * theta * theta / 4.0;
+}
+
+double CoherentErrorModel::random_walk_failure_approx(size_t n) const {
+  return static_cast<double>(n) * theta * theta / 4.0;
+}
+
+double simulate_random_walk_failure(double theta, size_t n, size_t shots,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  size_t failures = 0;
+  for (size_t shot = 0; shot < shots; ++shot) {
+    sim::StateVectorSim sim(1, seed * 7919 + shot);
+    sim.apply_h(0);
+    for (size_t g = 0; g < n; ++g) {
+      sim.apply_rz(0, rng.bernoulli(0.5) ? theta : -theta);
+    }
+    failures += sim.measure_x(0) ? 1 : 0;  // |-> outcome = failure
+  }
+  return static_cast<double>(failures) / static_cast<double>(shots);
+}
+
+double simulate_systematic_failure(double theta, size_t n, uint64_t seed) {
+  sim::StateVectorSim sim(1, seed);
+  sim.apply_h(0);
+  for (size_t g = 0; g < n; ++g) sim.apply_rz(0, theta);
+  // Probability of reading |->: project onto the X basis.
+  sim.apply_h(0);
+  return sim.prob_one(0);
+}
+
+}  // namespace ftqc::threshold

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ftqc::threshold {
+
+// The random-vs-systematic error comparison of §6 (first bullet): N gates
+// each over-rotating by angle theta. With random signs the phases perform a
+// random walk — failure probability grows ~ N·theta²/4 (linear in N, so the
+// *probability* per gate eps = theta²/4 adds up). With a systematic
+// (conspiring) sign the amplitude grows linearly — failure ~ sin²(N·theta/2)
+// ≈ N²·theta²/4 — so meeting a fixed budget requires theta ~ 1/N, i.e.
+// eps ~ 1/N²: the systematic threshold is the square of the random one.
+struct CoherentErrorModel {
+  double theta = 0.0;  // per-gate over-rotation angle
+
+  // Exact failure probability after n systematic rotations of |+> about Z.
+  [[nodiscard]] double systematic_failure(size_t n) const;
+
+  // Expected failure probability after n random-sign rotations (average of
+  // sin²(theta·S/2) over the ±1 random walk S); exact binomial sum.
+  [[nodiscard]] double random_walk_failure(size_t n) const;
+
+  // Small-angle approximations quoted above.
+  [[nodiscard]] double systematic_failure_approx(size_t n) const;
+  [[nodiscard]] double random_walk_failure_approx(size_t n) const;
+};
+
+// Monte Carlo verification of random_walk_failure via the dense simulator
+// (statevector RZ rotations on |+>, measured in the X basis).
+[[nodiscard]] double simulate_random_walk_failure(double theta, size_t n,
+                                                  size_t shots, uint64_t seed);
+[[nodiscard]] double simulate_systematic_failure(double theta, size_t n,
+                                                 uint64_t seed);
+
+}  // namespace ftqc::threshold

@@ -1,0 +1,144 @@
+#include "topo/anyon_gates.h"
+
+#include "common/check.h"
+
+namespace ftqc::topo {
+
+Perm computational_u0() { return Perm::from_cycles({{0, 1, 4}}); }   // (125)
+Perm computational_u1() { return Perm::from_cycles({{1, 2, 3}}); }   // (234)
+Perm not_conjugator() { return Perm::from_cycles({{0, 3}, {2, 4}}); }  // (14)(35)
+
+void apply_topological_not(AnyonSim& sim, size_t pair) {
+  // Pulling the computational pair through a calibrated |v, v^{-1}> pair
+  // conjugates its flux by v, swapping u0 and u1 (Fig. 21). The calibrated
+  // pair is unmodified (trivial total flux passes through) and returns to
+  // the reservoir; conjugate_by_constant models exactly that.
+  sim.conjugate_by_constant(pair, not_conjugator());
+}
+
+size_t create_computational_pair(AnyonSim& sim, bool value) {
+  return sim.create_pair(value ? computational_u1() : computational_u0());
+}
+
+bool measure_computational_flux(AnyonSim& sim, size_t pair) {
+  const Perm flux = sim.measure_flux(pair);
+  if (flux == computational_u1()) return true;
+  FTQC_CHECK(flux == computational_u0(),
+             "pair left the computational subspace");
+  return false;
+}
+
+bool measure_computational_charge(AnyonSim& sim, size_t pair) {
+  return sim.measure_charge_pm(pair, computational_u0(), computational_u1());
+}
+
+Perm BranchingProgram::eval_group(const std::vector<bool>& inputs) const {
+  Perm acc;
+  for (const BpInstruction& inst : instructions_) {
+    FTQC_CHECK(inst.variable < inputs.size(), "missing program input");
+    acc = acc * (inputs[inst.variable] ? inst.if_one : inst.if_zero);
+  }
+  return acc;
+}
+
+bool BranchingProgram::eval(const std::vector<bool>& inputs) const {
+  const Perm g = eval_group(inputs);
+  if (g == sigma_) return true;
+  FTQC_CHECK(g.is_identity(), "program output outside {e, sigma}");
+  return false;
+}
+
+BranchingProgram BranchingProgram::variable(size_t var, const Perm& sigma) {
+  return BranchingProgram({BpInstruction{var, sigma, Perm{}}}, sigma);
+}
+
+BranchingProgram BranchingProgram::retargeted(const A5& group,
+                                              const Perm& tau) const {
+  // Find h with h^{-1} sigma h = tau and conjugate every instruction: the
+  // product telescope keeps the word length unchanged (Barrington's trick).
+  for (const Perm& h : group.elements()) {
+    if (sigma_.conjugated_by(h) == tau) {
+      std::vector<BpInstruction> out;
+      out.reserve(instructions_.size());
+      for (const BpInstruction& inst : instructions_) {
+        out.push_back(BpInstruction{inst.variable, inst.if_one.conjugated_by(h),
+                                    inst.if_zero.conjugated_by(h)});
+      }
+      return BranchingProgram(std::move(out), tau);
+    }
+  }
+  FTQC_CHECK(false, "retarget failed: " + sigma_.to_string() +
+                        " not conjugate to " + tau.to_string() + " in A5");
+  return *this;
+}
+
+BranchingProgram BranchingProgram::inverted() const {
+  std::vector<BpInstruction> out;
+  out.reserve(instructions_.size());
+  for (auto it = instructions_.rbegin(); it != instructions_.rend(); ++it) {
+    out.push_back(
+        BpInstruction{it->variable, it->if_one.inverse(), it->if_zero.inverse()});
+  }
+  return BranchingProgram(std::move(out), sigma_.inverse());
+}
+
+BranchingProgram BranchingProgram::negation(const A5& group,
+                                            const BranchingProgram& p) {
+  // g -> g·sigma^{-1} maps {e, sigma} to {sigma^{-1}, e}: the function is
+  // negated with output sigma^{-1}; retarget back to sigma (5-cycles are
+  // inversion-conjugate in A5 via (15)(24)-type elements).
+  std::vector<BpInstruction> out = p.instructions_;
+  out.push_back(BpInstruction{0, p.sigma_.inverse(), p.sigma_.inverse()});
+  BranchingProgram negated(std::move(out), p.sigma_.inverse());
+  return negated.retargeted(group, p.sigma_);
+}
+
+BranchingProgram BranchingProgram::conjunction(const A5& group,
+                                               const BranchingProgram& p,
+                                               const BranchingProgram& q) {
+  // Find 5-cycles a ~ sigma_p, b ~ sigma_q with [a,b] ~ sigma_p; then
+  // P_a^{-1} Q_b^{-1} P_a Q_b evaluates to [a,b] iff both functions are 1
+  // and to e otherwise.
+  for (const Perm& a : group.elements()) {
+    if (a.cycle_type() != std::vector<uint8_t>{5}) continue;
+    if (!group.conjugate_in_group(p.sigma_, a)) continue;
+    for (const Perm& b : group.elements()) {
+      if (b.cycle_type() != std::vector<uint8_t>{5}) continue;
+      if (!group.conjugate_in_group(q.sigma_, b)) continue;
+      const Perm c = a.inverse() * b.inverse() * a * b;
+      if (c.cycle_type() != std::vector<uint8_t>{5}) continue;
+      if (!group.conjugate_in_group(c, p.sigma_)) continue;
+
+      const BranchingProgram pa = p.retargeted(group, a);
+      const BranchingProgram qb = q.retargeted(group, b);
+      std::vector<BpInstruction> word;
+      const auto append = [&word](const BranchingProgram& prog) {
+        word.insert(word.end(), prog.instructions_.begin(),
+                    prog.instructions_.end());
+      };
+      append(pa.inverted());
+      append(qb.inverted());
+      append(pa);
+      append(qb);
+      BranchingProgram conj(std::move(word), c);
+      return conj.retargeted(group, p.sigma_);
+    }
+  }
+  FTQC_CHECK(false, "no commutator witness found in A5");
+  return p;
+}
+
+std::pair<Perm, Perm> find_commutator_witness(const A5& group) {
+  for (const Perm& a : group.elements()) {
+    if (a.cycle_type() != std::vector<uint8_t>{5}) continue;
+    for (const Perm& b : group.elements()) {
+      if (b.cycle_type() != std::vector<uint8_t>{5}) continue;
+      const Perm c = a.inverse() * b.inverse() * a * b;
+      if (c.cycle_type() == std::vector<uint8_t>{5}) return {a, b};
+    }
+  }
+  FTQC_CHECK(false, "A5 must contain a 5-cycle commutator witness");
+  return {Perm{}, Perm{}};
+}
+
+}  // namespace ftqc::topo

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topo/anyon_sim.h"
+#include "topo/perm.h"
+
+namespace ftqc::topo {
+
+// The computational encoding of §7.4, Eq. (45): qubit basis states are flux
+// pairs carrying the three-cycles u0 = (125) and u1 = (234) (1-based cycle
+// notation), which share one moved point and are conjugate in A5.
+[[nodiscard]] Perm computational_u0();
+[[nodiscard]] Perm computational_u1();
+// v = (14)(35): pulling a computational pair through a |v, v^{-1}> pair
+// swaps u0 and u1 — the topological NOT gate (Fig. 21).
+[[nodiscard]] Perm not_conjugator();
+
+// Applies the NOT to a computational pair via a calibrated v-pair.
+void apply_topological_not(AnyonSim& sim, size_t pair);
+
+// Creates a computational pair in |x>.
+size_t create_computational_pair(AnyonSim& sim, bool value);
+
+// Measures a computational pair in the flux (Z) basis; true = |1>.
+[[nodiscard]] bool measure_computational_flux(AnyonSim& sim, size_t pair);
+
+// Measures in the |±> (X) basis via the charge interferometer (Fig. 22);
+// true = |->.
+[[nodiscard]] bool measure_computational_charge(AnyonSim& sim, size_t pair);
+
+// --- Universal classical computation by conjugation (§7.4 / Barrington) ---
+//
+// The paper grounds universality in the nonsolvability of A5, citing
+// Barrington's theorem (ref. 66): width-5 branching programs over a
+// nonsolvable group compute all of NC¹. A program is a word of instructions,
+// each contributing one of two fixed group elements depending on one input
+// bit; the program "outputs" a designated 5-cycle sigma when the function is
+// 1 and the identity when it is 0. AND is realized by the group commutator —
+// exactly the "computation by conjugation" the paper's Toffoli relies on.
+// (The specific 16-pull-through Toffoli of Ogburn-Preskill was never
+// published; see DESIGN.md.)
+struct BpInstruction {
+  size_t variable = 0;
+  Perm if_one;
+  Perm if_zero;
+};
+
+class BranchingProgram {
+ public:
+  BranchingProgram(std::vector<BpInstruction> instructions, Perm sigma)
+      : instructions_(std::move(instructions)), sigma_(sigma) {}
+
+  // The group element the word multiplies out to on the given inputs.
+  [[nodiscard]] Perm eval_group(const std::vector<bool>& inputs) const;
+  // The Boolean value: requires eval_group to be sigma or identity.
+  [[nodiscard]] bool eval(const std::vector<bool>& inputs) const;
+
+  [[nodiscard]] const Perm& sigma() const { return sigma_; }
+  [[nodiscard]] size_t length() const { return instructions_.size(); }
+  [[nodiscard]] const std::vector<BpInstruction>& instructions() const {
+    return instructions_;
+  }
+
+  // sigma-program reading a single variable.
+  [[nodiscard]] static BranchingProgram variable(size_t var, const Perm& sigma);
+  // Boolean combinators (Barrington's constructions).
+  [[nodiscard]] static BranchingProgram negation(const A5& group,
+                                                 const BranchingProgram& p);
+  [[nodiscard]] static BranchingProgram conjunction(const A5& group,
+                                                    const BranchingProgram& p,
+                                                    const BranchingProgram& q);
+
+ private:
+  // Program computing the same function but outputting tau instead of sigma
+  // (conjugation of every instruction); tau must be conjugate to sigma.
+  [[nodiscard]] BranchingProgram retargeted(const A5& group, const Perm& tau) const;
+  [[nodiscard]] BranchingProgram inverted() const;
+
+  std::vector<BpInstruction> instructions_;
+  Perm sigma_;
+};
+
+// Finds 5-cycles (a, b) whose commutator [a,b] = a^{-1} b^{-1} a b is again
+// a 5-cycle — the witness of nonsolvability that powers the AND gadget.
+[[nodiscard]] std::pair<Perm, Perm> find_commutator_witness(const A5& group);
+
+}  // namespace ftqc::topo

@@ -1,0 +1,212 @@
+#include "topo/anyon_sim.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ftqc::topo {
+
+namespace {
+constexpr size_t kBitsPerPair = 6;
+constexpr size_t kMaxPairs = 10;
+}  // namespace
+
+AnyonSim::AnyonSim(const A5& group, uint64_t seed) : group_(group), rng_(seed) {
+  amplitudes_.emplace(0, std::complex<double>(1, 0));
+}
+
+AnyonSim::Key AnyonSim::key_set(Key key, size_t pair, size_t element_index) const {
+  const size_t shift = kBitsPerPair * pair;
+  key &= ~(Key{0x3F} << shift);
+  key |= static_cast<Key>(element_index) << shift;
+  return key;
+}
+
+size_t AnyonSim::key_get(Key key, size_t pair) const {
+  return (key >> (kBitsPerPair * pair)) & 0x3F;
+}
+
+size_t AnyonSim::create_pair(const Perm& u) {
+  FTQC_CHECK(num_pairs_ < kMaxPairs, "pair register full");
+  const size_t pair = num_pairs_++;
+  const size_t idx = group_.index_of(u);
+  std::unordered_map<Key, std::complex<double>> next;
+  next.reserve(amplitudes_.size());
+  for (const auto& [key, amp] : amplitudes_) {
+    next.emplace(key_set(key, pair, idx), amp);
+  }
+  amplitudes_ = std::move(next);
+  return pair;
+}
+
+size_t AnyonSim::create_vacuum_pair(const Perm& representative) {
+  FTQC_CHECK(num_pairs_ < kMaxPairs, "pair register full");
+  const size_t pair = num_pairs_++;
+  const auto cls = group_.conjugacy_class(representative);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(cls.size()));
+  std::unordered_map<Key, std::complex<double>> next;
+  next.reserve(amplitudes_.size() * cls.size());
+  for (const auto& [key, amp] : amplitudes_) {
+    for (size_t idx : cls) {
+      next[key_set(key, pair, idx)] += amp * scale;
+    }
+  }
+  amplitudes_ = std::move(next);
+  return pair;
+}
+
+void AnyonSim::pull_through(size_t target, size_t through) {
+  FTQC_CHECK(target < num_pairs_ && through < num_pairs_ && target != through,
+             "bad pair indices");
+  std::unordered_map<Key, std::complex<double>> next;
+  next.reserve(amplitudes_.size());
+  for (const auto& [key, amp] : amplitudes_) {
+    const Perm u_t = group_.element(key_get(key, target));
+    const Perm u_c = group_.element(key_get(key, through));
+    const size_t idx = group_.index_of(u_t.conjugated_by(u_c));
+    next[key_set(key, target, idx)] += amp;
+  }
+  amplitudes_ = std::move(next);
+}
+
+void AnyonSim::pull_through_inverse(size_t target, size_t through) {
+  std::unordered_map<Key, std::complex<double>> next;
+  next.reserve(amplitudes_.size());
+  for (const auto& [key, amp] : amplitudes_) {
+    const Perm u_t = group_.element(key_get(key, target));
+    const Perm u_c = group_.element(key_get(key, through));
+    const size_t idx = group_.index_of(u_t.conjugated_by(u_c.inverse()));
+    next[key_set(key, target, idx)] += amp;
+  }
+  amplitudes_ = std::move(next);
+}
+
+void AnyonSim::exchange(size_t a, size_t b) {
+  FTQC_CHECK(a < num_pairs_ && b < num_pairs_ && a != b, "bad pair indices");
+  std::unordered_map<Key, std::complex<double>> next;
+  next.reserve(amplitudes_.size());
+  for (const auto& [key, amp] : amplitudes_) {
+    const Perm u_a = group_.element(key_get(key, a));
+    const Perm u_b = group_.element(key_get(key, b));
+    Key k = key_set(key, a, group_.index_of(u_b));
+    k = key_set(k, b, group_.index_of(u_a.conjugated_by(u_b)));
+    next[k] += amp;
+  }
+  amplitudes_ = std::move(next);
+}
+
+void AnyonSim::conjugate_by_constant(size_t target, const Perm& u) {
+  std::unordered_map<Key, std::complex<double>> next;
+  next.reserve(amplitudes_.size());
+  for (const auto& [key, amp] : amplitudes_) {
+    const Perm u_t = group_.element(key_get(key, target));
+    next[key_set(key, target, group_.index_of(u_t.conjugated_by(u)))] += amp;
+  }
+  amplitudes_ = std::move(next);
+}
+
+Perm AnyonSim::measure_flux(size_t p) {
+  FTQC_CHECK(p < num_pairs_, "bad pair index");
+  // Marginal distribution over the pair's flux.
+  std::unordered_map<size_t, double> probs;
+  for (const auto& [key, amp] : amplitudes_) {
+    probs[key_get(key, p)] += std::norm(amp);
+  }
+  double draw = rng_.next_double() * norm();
+  size_t chosen = probs.begin()->first;
+  for (const auto& [idx, prob] : probs) {
+    chosen = idx;
+    draw -= prob;
+    if (draw <= 0) break;
+  }
+  // Collapse and renormalize.
+  std::unordered_map<Key, std::complex<double>> next;
+  double kept = 0;
+  for (const auto& [key, amp] : amplitudes_) {
+    if (key_get(key, p) == chosen) {
+      next.emplace(key, amp);
+      kept += std::norm(amp);
+    }
+  }
+  FTQC_CHECK(kept > 1e-12, "flux collapse lost all amplitude");
+  const double scale = 1.0 / std::sqrt(kept);
+  for (auto& [key, amp] : next) amp *= scale;
+  amplitudes_ = std::move(next);
+  return group_.element(chosen);
+}
+
+bool AnyonSim::measure_charge_pm(size_t p, const Perm& u0, const Perm& u1) {
+  FTQC_CHECK(p < num_pairs_, "bad pair index");
+  const size_t i0 = group_.index_of(u0);
+  const size_t i1 = group_.index_of(u1);
+  // Projectors onto |±> = (|u0> ± |u1>)/sqrt2 within pair p. The pair must
+  // be supported on {u0, u1}.
+  std::unordered_map<Key, std::complex<double>> plus;
+  std::unordered_map<Key, std::complex<double>> minus;
+  double p_plus = 0, p_minus = 0;
+  for (const auto& [key, amp] : amplitudes_) {
+    const size_t idx = key_get(key, p);
+    FTQC_CHECK(idx == i0 || idx == i1,
+               "charge interferometer requires support on {u0, u1}");
+    const Key base = key_set(key, p, i0);       // representative: flux slot u0
+    const double sign = idx == i0 ? 1.0 : -1.0;  // u1 picks up - in |->
+    plus[base] += amp * 0.5;                     // <+|u> = 1/sqrt2 both
+    minus[base] += amp * 0.5 * sign;
+  }
+  for (const auto& [key, amp] : plus) {
+    (void)key;
+    p_plus += std::norm(amp) * 2.0;  // |+> components: norm accounting below
+  }
+  for (const auto& [key, amp] : minus) {
+    (void)key;
+    p_minus += std::norm(amp) * 2.0;
+  }
+  const double total = p_plus + p_minus;
+  FTQC_CHECK(total > 1e-12, "charge measurement on empty state");
+  const bool outcome_minus = rng_.next_double() * total >= p_plus;
+
+  // Rebuild the post-measurement state: outcome |s> replaces the pair's flux
+  // content with (|u0> + s|u1>)/sqrt2 times the projected coefficient.
+  const auto& keep = outcome_minus ? minus : plus;
+  const double kept = (outcome_minus ? p_minus : p_plus) / 2.0;
+  const double scale = 1.0 / std::sqrt(2.0 * kept);
+  const double s = outcome_minus ? -1.0 : 1.0;
+  std::unordered_map<Key, std::complex<double>> next;
+  for (const auto& [key, amp] : keep) {
+    next[key_set(key, p, i0)] += amp * scale;
+    next[key_set(key, p, i1)] += amp * scale * s;
+  }
+  amplitudes_ = std::move(next);
+  return outcome_minus;
+}
+
+std::complex<double> AnyonSim::amplitude(
+    const std::vector<Perm>& assignment) const {
+  FTQC_CHECK(assignment.size() == num_pairs_, "assignment size mismatch");
+  Key key = 0;
+  for (size_t p = 0; p < num_pairs_; ++p) {
+    key = key_set(key, p, group_.index_of(assignment[p]));
+  }
+  const auto it = amplitudes_.find(key);
+  return it == amplitudes_.end() ? std::complex<double>(0, 0) : it->second;
+}
+
+double AnyonSim::norm() const {
+  double total = 0;
+  for (const auto& [key, amp] : amplitudes_) {
+    (void)key;
+    total += std::norm(amp);
+  }
+  return total;
+}
+
+double AnyonSim::flux_probability(size_t p, const Perm& u) const {
+  const size_t idx = group_.index_of(u);
+  double total = 0;
+  for (const auto& [key, amp] : amplitudes_) {
+    if (key_get(key, p) == idx) total += std::norm(amp);
+  }
+  return total;
+}
+
+}  // namespace ftqc::topo

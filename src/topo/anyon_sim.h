@@ -1,0 +1,89 @@
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "topo/perm.h"
+
+namespace ftqc::topo {
+
+// Simulator for a register of fluxon-antifluxon pairs in a Kitaev spin
+// model with gauge group A5 (§7.3-7.4). Each pair carries trivial total
+// flux — the state |u, u^{-1}> is labeled by a single group element u — so a
+// basis state of the register is a tuple of group elements, and the physical
+// operations are:
+//   * pull-through (Eq. 41): pulling pair t through pair c conjugates the
+//     inside flux, u_t -> u_c^{-1} u_t u_c, a classical reversible gate
+//     extended linearly to superpositions;
+//   * flux measurement (Fig. 18/19): projective in the flux basis, realized
+//     by repeated charged-projectile interferometry;
+//   * charge measurement (Fig. 22): projects a pair supported on {u0, u1}
+//     (conjugate fluxes) onto |±> = (|u0> ± |u1>)/sqrt2;
+//   * vacuum pair creation (Eq. 44): the charge-zero superposition over a
+//     conjugacy class.
+//
+// Pull-throughs keep basis states sparse; charge measurements at most double
+// the support, so a hash-map state is exact and cheap.
+class AnyonSim {
+ public:
+  explicit AnyonSim(const A5& group, uint64_t seed = 1);
+
+  [[nodiscard]] size_t num_pairs() const { return num_pairs_; }
+
+  // Appends a calibrated pair |u, u^{-1}> ("withdrawn from the reservoir of
+  // calibrated flux pairs"); returns its index.
+  size_t create_pair(const Perm& u);
+
+  // Appends a charge-zero vacuum pair: the normalized sum over the whole
+  // conjugacy class of `representative` (Eq. 44).
+  size_t create_vacuum_pair(const Perm& representative);
+
+  // Eq. (41): pulls pair `target` through pair `through`; the target's flux
+  // is conjugated by the through-pair's flux.
+  void pull_through(size_t target, size_t through);
+  // The inverse motion (conjugation by the inverse flux).
+  void pull_through_inverse(size_t target, size_t through);
+
+  // Eq. (40): the exchange interaction on single fluxons, lifted to pairs:
+  // |u_a>|u_b> -> |u_b>|u_b^{-1} u_a u_b| — the two pairs swap roles and the
+  // one carried around picks up the conjugation.
+  void exchange(size_t a, size_t b);
+
+  // Conjugates pair `target` by a calibrated classical flux u (a pull
+  // through a freshly created |u, u^{-1}> pair that is then returned to the
+  // reservoir).
+  void conjugate_by_constant(size_t target, const Perm& u);
+
+  // Flux measurement: projects pair `p` onto a definite flux and returns it.
+  [[nodiscard]] Perm measure_flux(size_t p);
+
+  // Charge interferometer on a pair supported on exactly {u0, u1}: returns
+  // +1 (true => |->) ... false => projected onto |+>, true => onto |->.
+  [[nodiscard]] bool measure_charge_pm(size_t p, const Perm& u0, const Perm& u1);
+
+  // Amplitude of a basis assignment (for tests).
+  [[nodiscard]] std::complex<double> amplitude(
+      const std::vector<Perm>& assignment) const;
+  [[nodiscard]] double norm() const;
+  // Marginal probability that pair p holds flux u.
+  [[nodiscard]] double flux_probability(size_t p, const Perm& u) const;
+  [[nodiscard]] size_t support_size() const { return amplitudes_.size(); }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  using Key = uint64_t;  // 6 bits per pair, up to 10 pairs
+
+  [[nodiscard]] Key key_set(Key key, size_t pair, size_t element_index) const;
+  [[nodiscard]] size_t key_get(Key key, size_t pair) const;
+
+  const A5& group_;
+  size_t num_pairs_ = 0;
+  std::unordered_map<Key, std::complex<double>> amplitudes_;
+  Rng rng_;
+};
+
+}  // namespace ftqc::topo

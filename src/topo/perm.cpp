@@ -1,0 +1,166 @@
+#include "topo/perm.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace ftqc::topo {
+
+Perm Perm::from_cycles(const std::vector<std::vector<uint8_t>>& cycles) {
+  Perm p;
+  for (const auto& cycle : cycles) {
+    FTQC_CHECK(cycle.size() >= 2, "cycles need at least two points");
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      const uint8_t from = cycle[i];
+      const uint8_t to = cycle[(i + 1) % cycle.size()];
+      FTQC_CHECK(from < kPoints && to < kPoints, "cycle point out of range");
+      p.image_[from] = to;
+    }
+  }
+  return p;
+}
+
+bool Perm::is_even() const {
+  // Parity = (#points - #cycles) mod 2 over the full cycle decomposition.
+  std::array<bool, kPoints> seen{};
+  int transpositions = 0;
+  for (uint8_t start = 0; start < kPoints; ++start) {
+    if (seen[start]) continue;
+    int length = 0;
+    uint8_t cursor = start;
+    while (!seen[cursor]) {
+      seen[cursor] = true;
+      cursor = image_[cursor];
+      ++length;
+    }
+    transpositions += length - 1;
+  }
+  return transpositions % 2 == 0;
+}
+
+std::vector<uint8_t> Perm::cycle_type() const {
+  std::array<bool, kPoints> seen{};
+  std::vector<uint8_t> type;
+  for (uint8_t start = 0; start < kPoints; ++start) {
+    if (seen[start]) continue;
+    uint8_t length = 0;
+    uint8_t cursor = start;
+    while (!seen[cursor]) {
+      seen[cursor] = true;
+      cursor = image_[cursor];
+      ++length;
+    }
+    if (length > 1) type.push_back(length);
+  }
+  std::sort(type.begin(), type.end());
+  return type;
+}
+
+uint8_t Perm::lehmer_index() const {
+  // Lehmer code: position of image_[i] among the not-yet-used values.
+  uint8_t index = 0;
+  uint8_t factorial[] = {24, 6, 2, 1, 1};
+  std::array<bool, kPoints> used{};
+  for (uint8_t i = 0; i < kPoints; ++i) {
+    uint8_t rank = 0;
+    for (uint8_t v = 0; v < image_[i]; ++v) {
+      if (!used[v]) ++rank;
+    }
+    used[image_[i]] = true;
+    index = static_cast<uint8_t>(index + rank * factorial[i]);
+  }
+  return index;
+}
+
+std::string Perm::to_string() const {
+  if (is_identity()) return "e";
+  std::array<bool, kPoints> seen{};
+  std::string s;
+  for (uint8_t start = 0; start < kPoints; ++start) {
+    if (seen[start] || image_[start] == start) {
+      seen[start] = true;
+      continue;
+    }
+    s += '(';
+    uint8_t cursor = start;
+    while (!seen[cursor]) {
+      seen[cursor] = true;
+      s += static_cast<char>('1' + cursor);
+      cursor = image_[cursor];
+    }
+    s += ')';
+  }
+  return s;
+}
+
+A5::A5() {
+  index_by_lehmer_.fill(-1);
+  // Generate A5 from two standard generators by closure.
+  const Perm g1 = Perm::from_cycles({{0, 1, 2, 3, 4}});  // (12345)
+  const Perm g2 = Perm::from_cycles({{0, 1, 2}});        // (123)
+  std::set<Perm> closure = {Perm{}};
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    std::vector<Perm> current(closure.begin(), closure.end());
+    for (const Perm& p : current) {
+      for (const Perm* g : {&g1, &g2}) {
+        const Perm next = p * (*g);
+        if (closure.insert(next).second) grew = true;
+      }
+    }
+  }
+  elements_.assign(closure.begin(), closure.end());
+  FTQC_CHECK(elements_.size() == 60, "A5 must have 60 elements");
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    FTQC_CHECK(elements_[i].is_even(), "A5 element must be even");
+    index_by_lehmer_[elements_[i].lehmer_index()] = static_cast<int16_t>(i);
+  }
+}
+
+size_t A5::index_of(const Perm& p) const {
+  const int16_t idx = index_by_lehmer_[p.lehmer_index()];
+  FTQC_CHECK(idx >= 0, "permutation is not in A5");
+  return static_cast<size_t>(idx);
+}
+
+std::vector<size_t> A5::conjugacy_class(const Perm& p) const {
+  std::set<size_t> members;
+  for (const Perm& h : elements_) {
+    members.insert(index_of(p.conjugated_by(h)));
+  }
+  return {members.begin(), members.end()};
+}
+
+bool A5::conjugate_in_group(const Perm& a, const Perm& b) const {
+  for (const Perm& h : elements_) {
+    if (a.conjugated_by(h) == b) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> A5::commutator_subgroup() const {
+  std::set<size_t> closure;
+  // Seed with all commutators, then close under multiplication.
+  for (const Perm& a : elements_) {
+    for (const Perm& b : elements_) {
+      closure.insert(index_of(a.inverse() * b.inverse() * a * b));
+    }
+  }
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    std::vector<size_t> current(closure.begin(), closure.end());
+    for (size_t i : current) {
+      for (size_t j : current) {
+        if (closure.insert(index_of(elements_[i] * elements_[j])).second) {
+          grew = true;
+        }
+      }
+    }
+  }
+  return {closure.begin(), closure.end()};
+}
+
+}  // namespace ftqc::topo

@@ -1,0 +1,52 @@
+#include "topo/suppression.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ftqc::topo {
+
+double TopologicalMemoryModel::error_rate(double separation,
+                                          double temperature) const {
+  const double tunneling = std::exp(-mass * separation);
+  const double thermal =
+      temperature > 0 ? std::exp(-gap / temperature) : 0.0;
+  return attempt_rate * (tunneling + thermal);
+}
+
+double TopologicalMemoryModel::survival_probability(double separation,
+                                                    double temperature,
+                                                    double time) const {
+  return std::exp(-error_rate(separation, temperature) * time);
+}
+
+size_t TopologicalMemoryModel::sample_error_events(double separation,
+                                                   double temperature,
+                                                   double time,
+                                                   Rng& rng) const {
+  const double lambda = error_rate(separation, temperature) * time;
+  FTQC_CHECK(lambda < 700, "Poisson mean too large to sample by inversion");
+  // Knuth's method: multiply uniforms until the product drops below e^-λ.
+  const double threshold = std::exp(-lambda);
+  size_t count = 0;
+  double product = rng.next_double();
+  while (product > threshold) {
+    ++count;
+    product *= rng.next_double();
+  }
+  return count;
+}
+
+double TopologicalMemoryModel::separation_for_target(double target_rate) const {
+  FTQC_CHECK(target_rate > 0 && target_rate < attempt_rate,
+             "target must be below the attempt rate");
+  return std::log(attempt_rate / target_rate) / mass;
+}
+
+double TopologicalMemoryModel::temperature_for_target(double target_rate) const {
+  FTQC_CHECK(target_rate > 0 && target_rate < attempt_rate,
+             "target must be below the attempt rate");
+  return gap / std::log(attempt_rate / target_rate);
+}
+
+}  // namespace ftqc::topo

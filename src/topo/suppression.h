@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace ftqc::topo {
+
+// The quasiparticle error-rate model of §7.1: at zero temperature, encoded
+// charge leaks only by quantum tunneling, with amplitude ~ e^{-mL} for
+// quasiparticle separation L and lightest-charge mass m; at temperature T a
+// thermal plasma of density ~ e^{-Δ/T} (Boltzmann factor of the gap Δ)
+// occasionally slips a charge between the data anyons.
+struct TopologicalMemoryModel {
+  double mass = 1.0;          // m, in inverse length units
+  double gap = 1.0;           // Δ
+  double attempt_rate = 1.0;  // overall rate prefactor (per unit time)
+
+  // Instantaneous error rate per unit time.
+  [[nodiscard]] double error_rate(double separation, double temperature) const;
+
+  // Probability that the encoded pair survives `time` without an error
+  // (Poisson process: exp(-rate·time)).
+  [[nodiscard]] double survival_probability(double separation,
+                                            double temperature,
+                                            double time) const;
+
+  // Samples the number of error events in `time` (Poisson draw); the memory
+  // fails when at least one event occurs.
+  [[nodiscard]] size_t sample_error_events(double separation, double temperature,
+                                           double time, Rng& rng) const;
+
+  // Separation needed to push the T=0 error rate below `target_rate`:
+  // L = ln(attempt_rate/target)/m.
+  [[nodiscard]] double separation_for_target(double target_rate) const;
+
+  // Temperature needed to push the thermal rate below `target_rate`:
+  // T = Δ / ln(attempt_rate/target) — "keep the temperature well below the
+  // gap".
+  [[nodiscard]] double temperature_for_target(double target_rate) const;
+};
+
+}  // namespace ftqc::topo

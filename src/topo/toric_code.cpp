@@ -1,0 +1,285 @@
+#include "topo/toric_code.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace ftqc::topo {
+
+using pauli::PauliString;
+
+ToricCode::ToricCode(size_t lattice_size) : l_(lattice_size) {
+  FTQC_CHECK(l_ >= 2, "torus needs L >= 2");
+}
+
+uint32_t ToricCode::h_edge(size_t x, size_t y) const {
+  return static_cast<uint32_t>(2 * ((y % l_) * l_ + (x % l_)));
+}
+
+uint32_t ToricCode::v_edge(size_t x, size_t y) const {
+  return static_cast<uint32_t>(2 * ((y % l_) * l_ + (x % l_)) + 1);
+}
+
+PauliString ToricCode::star_operator(size_t x, size_t y) const {
+  PauliString p(num_qubits());
+  p.set_pauli(h_edge(x, y), 'X');
+  p.set_pauli(h_edge(x + l_ - 1, y), 'X');
+  p.set_pauli(v_edge(x, y), 'X');
+  p.set_pauli(v_edge(x, y + l_ - 1), 'X');
+  return p;
+}
+
+PauliString ToricCode::plaquette_operator(size_t x, size_t y) const {
+  PauliString p(num_qubits());
+  p.set_pauli(h_edge(x, y), 'Z');
+  p.set_pauli(h_edge(x, y + 1), 'Z');
+  p.set_pauli(v_edge(x, y), 'Z');
+  p.set_pauli(v_edge(x + 1, y), 'Z');
+  return p;
+}
+
+PauliString ToricCode::logical_z1() const {
+  PauliString p(num_qubits());
+  for (size_t x = 0; x < l_; ++x) p.set_pauli(h_edge(x, 0), 'Z');
+  return p;
+}
+
+PauliString ToricCode::logical_z2() const {
+  PauliString p(num_qubits());
+  for (size_t y = 0; y < l_; ++y) p.set_pauli(v_edge(0, y), 'Z');
+  return p;
+}
+
+PauliString ToricCode::logical_x1() const {
+  // Anticommutes with logical_z1 (crosses the h-row once): a vertical
+  // column of h-edges on the dual lattice = X on h(x0, y) for all y.
+  PauliString p(num_qubits());
+  for (size_t y = 0; y < l_; ++y) p.set_pauli(h_edge(0, y), 'X');
+  return p;
+}
+
+PauliString ToricCode::logical_x2() const {
+  PauliString p(num_qubits());
+  for (size_t x = 0; x < l_; ++x) p.set_pauli(v_edge(x, 0), 'X');
+  return p;
+}
+
+gf2::BitVec ToricCode::plaquette_syndrome(const gf2::BitVec& x_errors) const {
+  FTQC_CHECK(x_errors.size() == num_qubits(), "error pattern size mismatch");
+  gf2::BitVec syndrome(num_plaquettes());
+  for (size_t y = 0; y < l_; ++y) {
+    for (size_t x = 0; x < l_; ++x) {
+      bool violated = false;
+      violated ^= x_errors.get(h_edge(x, y));
+      violated ^= x_errors.get(h_edge(x, y + 1));
+      violated ^= x_errors.get(v_edge(x, y));
+      violated ^= x_errors.get(v_edge(x + 1, y));
+      syndrome.set(plaquette_index(x, y), violated);
+    }
+  }
+  return syndrome;
+}
+
+gf2::BitVec ToricCode::star_syndrome(const gf2::BitVec& z_errors) const {
+  FTQC_CHECK(z_errors.size() == num_qubits(), "error pattern size mismatch");
+  gf2::BitVec syndrome(num_vertices());
+  for (size_t y = 0; y < l_; ++y) {
+    for (size_t x = 0; x < l_; ++x) {
+      bool violated = false;
+      violated ^= z_errors.get(h_edge(x, y));
+      violated ^= z_errors.get(h_edge(x + l_ - 1, y));
+      violated ^= z_errors.get(v_edge(x, y));
+      violated ^= z_errors.get(v_edge(x, y + l_ - 1));
+      syndrome.set(y * l_ + x, violated);
+    }
+  }
+  return syndrome;
+}
+
+std::pair<bool, bool> ToricCode::logical_x_flips(
+    const gf2::BitVec& residual_x) const {
+  bool flip1 = false, flip2 = false;
+  for (size_t x = 0; x < l_; ++x) flip1 ^= residual_x.get(h_edge(x, 0));
+  for (size_t y = 0; y < l_; ++y) flip2 ^= residual_x.get(v_edge(0, y));
+  return {flip1, flip2};
+}
+
+std::pair<bool, bool> ToricCode::logical_z_flips(
+    const gf2::BitVec& residual_z) const {
+  // A residual Z flips logical qubit i when it overlaps the corresponding
+  // X loop (logical_x1 = h-column, logical_x2 = v-row) an odd number of
+  // times.
+  bool flip1 = false, flip2 = false;
+  for (size_t y = 0; y < l_; ++y) flip1 ^= residual_z.get(h_edge(0, y));
+  for (size_t x = 0; x < l_; ++x) flip2 ^= residual_z.get(v_edge(x, 0));
+  return {flip1, flip2};
+}
+
+void ToricCode::toggle_dual_path(size_t from, size_t to,
+                                 gf2::BitVec& correction) const {
+  // Walk on plaquettes: x then y, along the shorter way around the torus.
+  size_t x = from % l_, y = from / l_;
+  const size_t tx = to % l_, ty = to / l_;
+  const auto step_count = [this](size_t a, size_t b, bool* forward) {
+    const size_t fwd = (b + l_ - a) % l_;
+    const size_t back = (a + l_ - b) % l_;
+    *forward = fwd <= back;
+    return std::min(fwd, back);
+  };
+  bool forward = true;
+  size_t steps = step_count(x, tx, &forward);
+  for (size_t s = 0; s < steps; ++s) {
+    if (forward) {
+      // (x,y) -> (x+1,y): crossing the shared edge v(x+1, y).
+      correction.flip(v_edge(x + 1, y));
+      x = (x + 1) % l_;
+    } else {
+      correction.flip(v_edge(x, y));
+      x = (x + l_ - 1) % l_;
+    }
+  }
+  steps = step_count(y, ty, &forward);
+  for (size_t s = 0; s < steps; ++s) {
+    if (forward) {
+      // (x,y) -> (x,y+1): crossing h(x, y+1).
+      correction.flip(h_edge(x, y + 1));
+      y = (y + 1) % l_;
+    } else {
+      correction.flip(h_edge(x, y));
+      y = (y + l_ - 1) % l_;
+    }
+  }
+}
+
+void ToricCode::toggle_primal_path(size_t from, size_t to,
+                                   gf2::BitVec& support) const {
+  size_t x = from % l_, y = from / l_;
+  const size_t tx = to % l_, ty = to / l_;
+  const auto step_count = [this](size_t a, size_t b, bool* forward) {
+    const size_t fwd = (b + l_ - a) % l_;
+    const size_t back = (a + l_ - b) % l_;
+    *forward = fwd <= back;
+    return std::min(fwd, back);
+  };
+  bool forward = true;
+  size_t steps = step_count(x, tx, &forward);
+  for (size_t s = 0; s < steps; ++s) {
+    if (forward) {
+      support.flip(h_edge(x, y));  // (x,y) -> (x+1,y) along h(x,y)
+      x = (x + 1) % l_;
+    } else {
+      support.flip(h_edge(x + l_ - 1, y));
+      x = (x + l_ - 1) % l_;
+    }
+  }
+  steps = step_count(y, ty, &forward);
+  for (size_t s = 0; s < steps; ++s) {
+    if (forward) {
+      support.flip(v_edge(x, y));
+      y = (y + 1) % l_;
+    } else {
+      support.flip(v_edge(x, y + l_ - 1));
+      y = (y + l_ - 1) % l_;
+    }
+  }
+}
+
+gf2::BitVec ToricCode::decode_plaquette_syndrome(
+    const gf2::BitVec& syndrome) const {
+  std::vector<size_t> defects;
+  for (size_t p = 0; p < num_plaquettes(); ++p) {
+    if (syndrome.get(p)) defects.push_back(p);
+  }
+  FTQC_CHECK(defects.size() % 2 == 0, "fluxons come in pairs on a torus");
+
+  gf2::BitVec correction(num_qubits());
+  const auto torus_distance = [this](size_t a, size_t b) {
+    const size_t ax = a % l_, ay = a / l_;
+    const size_t bx = b % l_, by = b / l_;
+    const size_t dx = std::min((bx + l_ - ax) % l_, (ax + l_ - bx) % l_);
+    const size_t dy = std::min((by + l_ - ay) % l_, (ay + l_ - by) % l_);
+    return dx + dy;
+  };
+
+  // Greedy: repeatedly match the globally closest remaining pair.
+  std::vector<bool> used(defects.size(), false);
+  for (size_t matched = 0; matched < defects.size(); matched += 2) {
+    size_t best_i = 0, best_j = 0;
+    size_t best = num_qubits() + 1;
+    for (size_t i = 0; i < defects.size(); ++i) {
+      if (used[i]) continue;
+      for (size_t j = i + 1; j < defects.size(); ++j) {
+        if (used[j]) continue;
+        const size_t d = torus_distance(defects[i], defects[j]);
+        if (d < best) {
+          best = d;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    used[best_i] = used[best_j] = true;
+    toggle_dual_path(defects[best_i], defects[best_j], correction);
+  }
+  return correction;
+}
+
+gf2::BitVec ToricCode::decode_star_syndrome(const gf2::BitVec& syndrome) const {
+  std::vector<size_t> defects;
+  for (size_t v = 0; v < num_vertices(); ++v) {
+    if (syndrome.get(v)) defects.push_back(v);
+  }
+  FTQC_CHECK(defects.size() % 2 == 0, "charges come in pairs on a torus");
+
+  gf2::BitVec correction(num_qubits());
+  const auto torus_distance = [this](size_t a, size_t b) {
+    const size_t ax = a % l_, ay = a / l_;
+    const size_t bx = b % l_, by = b / l_;
+    const size_t dx = std::min((bx + l_ - ax) % l_, (ax + l_ - bx) % l_);
+    const size_t dy = std::min((by + l_ - ay) % l_, (ay + l_ - by) % l_);
+    return dx + dy;
+  };
+  std::vector<bool> used(defects.size(), false);
+  for (size_t matched = 0; matched < defects.size(); matched += 2) {
+    size_t best_i = 0, best_j = 0;
+    size_t best = num_qubits() + 1;
+    for (size_t i = 0; i < defects.size(); ++i) {
+      if (used[i]) continue;
+      for (size_t j = i + 1; j < defects.size(); ++j) {
+        if (used[j]) continue;
+        const size_t d = torus_distance(defects[i], defects[j]);
+        if (d < best) {
+          best = d;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    used[best_i] = used[best_j] = true;
+    toggle_primal_path(defects[best_i], defects[best_j], correction);
+  }
+  return correction;
+}
+
+void ToricCode::prepare_ground_state(sim::TableauSim& sim) const {
+  FTQC_CHECK(sim.num_qubits() >= num_qubits(), "simulator too small");
+  // |0...0> already satisfies every plaquette; measure the stars and pair up
+  // the -1 outcomes with Z strings (which commute with all plaquettes).
+  std::vector<size_t> bad;
+  for (size_t y = 0; y < l_; ++y) {
+    for (size_t x = 0; x < l_; ++x) {
+      if (sim.measure_pauli(star_operator(x, y))) bad.push_back(y * l_ + x);
+    }
+  }
+  FTQC_CHECK(bad.size() % 2 == 0, "electric charges come in pairs");
+  for (size_t i = 0; i + 1 < bad.size(); i += 2) {
+    gf2::BitVec support(num_qubits());
+    toggle_primal_path(bad[i], bad[i + 1], support);
+    for (size_t e = 0; e < num_qubits(); ++e) {
+      if (support.get(e)) sim.apply_z(e);
+    }
+  }
+}
+
+}  // namespace ftqc::topo

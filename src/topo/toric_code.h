@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "gf2/bitvec.h"
+#include "pauli/pauli_string.h"
+#include "sim/tableau_sim.h"
+
+namespace ftqc::topo {
+
+// Kitaev's Z2 spin model on an L×L torus (§7.2, Fig. 17): spins on the
+// lattice links, commuting four-body check operators on sites (stars, X
+// type — "Gauss's law") and plaquettes (Z type — "magnetic flux"). Violated
+// stars host electric quasiparticles, violated plaquettes magnetic fluxons;
+// the two logical qubits live in the homology of the torus.
+//
+// Edge layout: horizontal edge h(x,y) leaves vertex (x,y) in +x, vertical
+// edge v(x,y) leaves it in +y; indices are 2(yL+x) and 2(yL+x)+1.
+class ToricCode {
+ public:
+  explicit ToricCode(size_t lattice_size);
+
+  [[nodiscard]] size_t lattice() const { return l_; }
+  [[nodiscard]] size_t num_qubits() const { return 2 * l_ * l_; }
+  [[nodiscard]] size_t num_plaquettes() const { return l_ * l_; }
+  [[nodiscard]] size_t num_vertices() const { return l_ * l_; }
+
+  [[nodiscard]] uint32_t h_edge(size_t x, size_t y) const;
+  [[nodiscard]] uint32_t v_edge(size_t x, size_t y) const;
+
+  // Check operators as Pauli strings on the 2L² qubits.
+  [[nodiscard]] pauli::PauliString star_operator(size_t x, size_t y) const;
+  [[nodiscard]] pauli::PauliString plaquette_operator(size_t x, size_t y) const;
+  // Homologically nontrivial Z loops (the logical Z's for the two encoded
+  // qubits): a horizontal row of h-edges and a vertical column of v-edges.
+  [[nodiscard]] pauli::PauliString logical_z1() const;
+  [[nodiscard]] pauli::PauliString logical_z2() const;
+  [[nodiscard]] pauli::PauliString logical_x1() const;
+  [[nodiscard]] pauli::PauliString logical_x2() const;
+
+  // Syndrome of an X-error pattern: bit p = 1 iff plaquette p is violated
+  // (hosts a magnetic fluxon).
+  [[nodiscard]] gf2::BitVec plaquette_syndrome(const gf2::BitVec& x_errors) const;
+  // Syndrome of a Z-error pattern on the stars (electric charges).
+  [[nodiscard]] gf2::BitVec star_syndrome(const gf2::BitVec& z_errors) const;
+
+  // For a syndrome-free residual X pattern: which of the two logical qubits
+  // suffered an X flip (odd overlap with the corresponding Z loop).
+  [[nodiscard]] std::pair<bool, bool> logical_x_flips(
+      const gf2::BitVec& residual_x) const;
+  // Dual question for a residual Z pattern (odd overlap with the X loops).
+  [[nodiscard]] std::pair<bool, bool> logical_z_flips(
+      const gf2::BitVec& residual_z) const;
+
+  // Greedy minimum-distance matching decoder: pairs up fluxon defects by
+  // torus distance and returns the X correction along dual-lattice
+  // geodesics. (A simpler stand-in for MWPM; threshold ~8% instead of ~10.3%
+  // — the qualitative "intrinsic fault tolerance" claim is unaffected.)
+  [[nodiscard]] gf2::BitVec decode_plaquette_syndrome(
+      const gf2::BitVec& syndrome) const;
+  // The electric dual: matches violated stars (charge quasiparticles) and
+  // returns the Z correction along primal-lattice geodesics.
+  [[nodiscard]] gf2::BitVec decode_star_syndrome(
+      const gf2::BitVec& syndrome) const;
+
+  // Projects a tableau state onto the code space with all checks +1 (the
+  // model's ground state).
+  void prepare_ground_state(sim::TableauSim& sim) const;
+
+ private:
+  [[nodiscard]] size_t plaquette_index(size_t x, size_t y) const {
+    return y * l_ + x;
+  }
+  // Dual path between plaquettes, toggling crossed edges into `correction`.
+  void toggle_dual_path(size_t from, size_t to, gf2::BitVec& correction) const;
+  // Primal path between vertices, toggling crossed edges (Z-string support).
+  void toggle_primal_path(size_t from, size_t to, gf2::BitVec& support) const;
+
+  size_t l_;
+};
+
+}  // namespace ftqc::topo

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "classical/multiplexing.h"
+
+namespace ftqc::classical {
+namespace {
+
+TEST(RestorationMap, CleanBundleStaysClean) {
+  EXPECT_DOUBLE_EQ(restoration_map(0.0, 0.0), 0.0);
+}
+
+TEST(RestorationMap, MajorityAmplifiesBelowHalfSuppression) {
+  // Without gate noise, majority voting contracts small error fractions
+  // (quadratically) and leaves 1/2 fixed.
+  EXPECT_LT(restoration_map(0.1, 0.0), 0.1);
+  EXPECT_NEAR(restoration_map(0.5, 0.0), 0.5, 1e-12);
+  EXPECT_NEAR(restoration_map(0.01, 0.0) / (0.01 * 0.01), 3.0, 0.1);
+}
+
+TEST(RestorationMap, StableFixedPointExistsBelowThreshold) {
+  const double f = stable_error_fraction(0.01);
+  ASSERT_GT(f, 0.0);
+  EXPECT_NEAR(restoration_map(f, 0.01), f, 1e-10);
+  EXPECT_LT(f, 0.05);
+}
+
+TEST(RestorationMap, NoFixedPointAboveThreshold) {
+  EXPECT_LT(stable_error_fraction(0.2), 0.0);
+}
+
+TEST(Threshold, MatchesAnalyticOneSixth) {
+  // MAJ-3 organs with gate error eps evolve f' = eps + (1-2eps)(3f² - 2f³);
+  // the stable/unstable fixed points merge at exactly eps = 1/6 (the
+  // classical majority-multiplexing threshold).
+  EXPECT_NEAR(multiplexing_threshold(), 1.0 / 6.0, 1e-3);
+}
+
+TEST(Bundle, RestorationPinsErrorsBelowThreshold) {
+  MultiplexedBundle bundle(2001, true, 5);
+  bundle.corrupt(0.10);
+  for (int step = 0; step < 30; ++step) bundle.restore_step(0.005);
+  EXPECT_TRUE(bundle.majority_value());
+  EXPECT_LT(bundle.error_fraction(), 0.03);
+}
+
+TEST(Bundle, RestorationLosesAboveThreshold) {
+  MultiplexedBundle bundle(2001, true, 7);
+  for (int step = 0; step < 200; ++step) bundle.restore_step(0.25);
+  // Far above threshold the bundle is ~50/50 scrambled.
+  EXPECT_NEAR(bundle.error_fraction(), 0.5, 0.1);
+}
+
+TEST(Bundle, NandComputesThroughNoise) {
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      MultiplexedBundle x(1001, a != 0, 11);
+      MultiplexedBundle y(1001, b != 0, 13);
+      x.corrupt(0.02);
+      y.corrupt(0.02);
+      x.nand_with(y, 0.005);
+      x.restore_step(0.005);
+      x.restore_step(0.005);
+      EXPECT_EQ(x.majority_value(), !(a && b)) << a << "," << b;
+      EXPECT_LT(x.error_fraction(), 0.1);
+    }
+  }
+}
+
+TEST(Bundle, MonteCarloTracksMeanFieldMap) {
+  const double eps = 0.01;
+  MultiplexedBundle bundle(20001, false, 17);
+  bundle.corrupt(0.2);
+  double f = bundle.error_fraction();
+  for (int step = 0; step < 5; ++step) {
+    f = restoration_map(f, eps);
+    bundle.restore_step(eps);
+  }
+  EXPECT_NEAR(bundle.error_fraction(), f, 0.02);
+}
+
+}  // namespace
+}  // namespace ftqc::classical

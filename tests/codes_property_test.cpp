@@ -1,0 +1,168 @@
+// Deeper property suites for the codes layer: CSS construction invariants
+// on alternative matrices, decoder/logical-effect algebra, and the
+// concatenated hierarchy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codes/concatenated.h"
+#include "codes/css.h"
+#include "codes/library.h"
+#include "codes/lookup_decoder.h"
+#include "common/rng.h"
+#include "gf2/hamming.h"
+
+namespace ftqc::codes {
+namespace {
+
+using pauli::PauliString;
+
+TEST(CssBuilder, SystematicHammingFormGivesEquivalentSteane) {
+  // Eq. (15) is a column permutation of Eq. (1); the CSS construction on it
+  // must yield a [[7,1,3]] code with the same parameters.
+  const gf2::Hamming743 hamming;
+  const auto code = make_css_code("steane-sys", hamming.check_matrix_systematic(),
+                                  hamming.check_matrix_systematic());
+  EXPECT_EQ(code.n(), 7u);
+  EXPECT_EQ(code.k(), 1u);
+  EXPECT_EQ(code.brute_force_distance(), 3u);
+}
+
+TEST(CssBuilder, AsymmetricCssCodeValidates) {
+  // Shor's code as an explicitly asymmetric CSS construction: Z checks from
+  // the repetition code pairs, X checks from the coarse two-row matrix.
+  const auto hz = gf2::BitMat::from_rows({
+      "110000000", "011000000", "000110000",
+      "000011000", "000000110", "000000011",
+  });
+  const auto hx = gf2::BitMat::from_rows({
+      "111111000", "000111111",
+  });
+  const auto code = make_css_code("shor-css", hx, hz);
+  EXPECT_EQ(code.n(), 9u);
+  EXPECT_EQ(code.k(), 1u);
+  EXPECT_EQ(code.brute_force_distance(), 3u);
+  // Same stabilizer group as the library's hand-written Shor code.
+  for (const auto& g : code.generators()) {
+    EXPECT_TRUE(shor9().in_stabilizer_group(g)) << g.to_string();
+  }
+}
+
+TEST(CssBuilder, RejectsNonOrthogonalMatrices) {
+  const auto hx = gf2::BitMat::from_rows({"110"});
+  const auto hz = gf2::BitMat::from_rows({"100"});  // odd overlap with hx
+  EXPECT_DEATH((void)make_css_code("bad", hx, hz), "hx");
+}
+
+TEST(LogicalEffect, StabilizerElementsActTrivially) {
+  const auto& code = steane();
+  for (const auto& g : code.generators()) {
+    EXPECT_FALSE(code.logical_effect(g).any()) << g.to_string();
+  }
+  // Products of generators too.
+  const auto prod = code.generators()[0] * code.generators()[3];
+  EXPECT_FALSE(code.logical_effect(prod).any());
+}
+
+TEST(LogicalEffect, LogicalOperatorsReportThemselves) {
+  const auto& code = steane();
+  const auto ex = code.logical_effect(code.logical_x());
+  EXPECT_TRUE(ex.x_flips.get(0));
+  EXPECT_FALSE(ex.z_flips.get(0));
+  const auto ez = code.logical_effect(code.logical_z());
+  EXPECT_TRUE(ez.z_flips.get(0));
+  EXPECT_FALSE(ez.x_flips.get(0));
+  // Y-bar = X-bar * Z-bar flips both.
+  const auto ey = code.logical_effect(code.logical_x() * code.logical_z());
+  EXPECT_TRUE(ey.x_flips.get(0));
+  EXPECT_TRUE(ey.z_flips.get(0));
+}
+
+TEST(LookupDecoder, DecodedCorrectionAlwaysClearsSyndrome) {
+  // Property: for random errors of any weight, error * decode(syndrome) has
+  // trivial syndrome (lands back in the normalizer).
+  Rng rng(3);
+  const auto& code = steane();
+  const LookupDecoder decoder(code);
+  for (int trial = 0; trial < 300; ++trial) {
+    PauliString error(7);
+    for (size_t q = 0; q < 7; ++q) {
+      static constexpr char kChars[] = {'I', 'X', 'Y', 'Z'};
+      error.set_pauli(q, kChars[rng.next_below(4)]);
+    }
+    const auto correction = decoder.decode(code.syndrome(error));
+    EXPECT_FALSE(code.syndrome(error * correction).any());
+  }
+}
+
+TEST(LookupDecoder, WeightTwoErrorsNeverGoUndetectedOnSteane) {
+  // Distance 3: weight-2 errors always have nonzero syndrome OR are in the
+  // stabilizer... for Steane no weight-2 stabilizer exists, so every
+  // weight-2 error is detected.
+  const auto& code = steane();
+  for (size_t a = 0; a < 7; ++a) {
+    for (size_t b = a + 1; b < 7; ++b) {
+      for (char ca : {'X', 'Y', 'Z'}) {
+        for (char cb : {'X', 'Y', 'Z'}) {
+          PauliString e(7);
+          e.set_pauli(a, ca);
+          e.set_pauli(b, cb);
+          EXPECT_TRUE(code.syndrome(e).any())
+              << "undetected weight-2 error " << e.to_string();
+        }
+      }
+    }
+  }
+}
+
+TEST(ConcatenatedSteane, DecodeToLevelShapes) {
+  const ConcatenatedSteane code(3);
+  gf2::BitVec errors(343);
+  EXPECT_EQ(code.decode_to_level(errors, 0).size(), 343u);
+  EXPECT_EQ(code.decode_to_level(errors, 1).size(), 49u);
+  EXPECT_EQ(code.decode_to_level(errors, 2).size(), 7u);
+  EXPECT_EQ(code.decode_to_level(errors, 3).size(), 1u);
+}
+
+TEST(ConcatenatedSteane, HierarchyAbsorbsOneDeadSubblockPerLevel) {
+  // Level 3: kill one level-1 block (2 flips) inside each of up to three
+  // different level-2 blocks — still decodable as long as each level-2
+  // block has at most one dead child.
+  const ConcatenatedSteane code(3);
+  gf2::BitVec errors(343);
+  for (size_t super : {size_t{0}, size_t{3}, size_t{6}}) {
+    const size_t base = 49 * super;  // one subblock inside this superblock
+    errors.set(base + 0, true);
+    errors.set(base + 1, true);  // kills level-1 block 0 of this superblock
+  }
+  EXPECT_FALSE(code.decode_logical(errors));
+}
+
+TEST(ConcatenatedSteane, FlowMapMonotoneInP) {
+  double prev = 0;
+  for (double p = 0.001; p < 0.5; p += 0.013) {
+    const double f = ConcatenatedSteane::block_failure_exact(p);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+class ConcatenatedMcSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConcatenatedMcSweep, Level2MonteCarloMatchesIteratedExactMap) {
+  const double p = GetParam();
+  const ConcatenatedSteane code(2);
+  Rng rng(1234);
+  const double mc = code.logical_failure_rate(p, 60000, rng);
+  const double exact = ConcatenatedSteane::block_failure_exact(
+      ConcatenatedSteane::block_failure_exact(p));
+  // The iterated mean-field map neglects correlations between subblock
+  // failures (none exist for iid noise) — agreement should be tight.
+  EXPECT_NEAR(mc, exact, 5 * std::sqrt(exact / 60000 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, ConcatenatedMcSweep,
+                         ::testing::Values(0.01, 0.03, 0.05));
+
+}  // namespace
+}  // namespace ftqc::codes

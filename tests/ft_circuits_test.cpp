@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "codes/library.h"
+#include "ft/steane_circuits.h"
+#include "gf2/hamming.h"
+#include "pauli/pauli_string.h"
+#include "sim/runner.h"
+#include "sim/tableau_sim.h"
+
+namespace ftqc::ft {
+namespace {
+
+using pauli::PauliString;
+using sim::TableauSim;
+
+constexpr std::array<uint32_t, 7> kBlock = {0, 1, 2, 3, 4, 5, 6};
+
+// Places a 7-qubit code operator onto a wider register.
+PauliString on_block(const PauliString& p, size_t total,
+                     std::span<const uint32_t> block) {
+  PauliString out(total);
+  for (size_t i = 0; i < 7; ++i) out.set_pauli(block[i], p.pauli_at(i));
+  out.set_phase_exponent(p.phase_exponent());
+  return out;
+}
+
+void expect_in_code_space(TableauSim& sim, std::span<const uint32_t> block) {
+  for (const auto& g : codes::steane().generators()) {
+    bool sign = true;
+    EXPECT_TRUE(sim.stabilizes(on_block(g, sim.num_qubits(), block), &sign))
+        << g.to_string();
+    EXPECT_FALSE(sign) << "generator must stabilize with +1: " << g.to_string();
+  }
+}
+
+TEST(SteaneZeroPrep, ProducesLogicalZero) {
+  TableauSim sim(7, 3);
+  auto record = run_circuit(sim, steane_zero_prep(kBlock));
+  expect_in_code_space(sim, kBlock);
+  bool sign = true;
+  EXPECT_TRUE(sim.stabilizes(
+      on_block(codes::steane().logical_z(), 7, kBlock), &sign));
+  EXPECT_FALSE(sign);  // +Z̄: logical |0>
+}
+
+TEST(SteanePlusPrep, ProducesLogicalPlus) {
+  TableauSim sim(7, 4);
+  run_circuit(sim, steane_plus_prep(kBlock));
+  expect_in_code_space(sim, kBlock);
+  bool sign = true;
+  EXPECT_TRUE(sim.stabilizes(
+      on_block(codes::steane().logical_x(), 7, kBlock), &sign));
+  EXPECT_FALSE(sign);  // +X̄: logical |+> (the Steane state, Eq. 17)
+}
+
+TEST(SteaneEncoder, EncodesZeroAndOne) {
+  {
+    TableauSim sim(7, 5);
+    run_circuit(sim, steane_encoder(kBlock));  // input |0>
+    expect_in_code_space(sim, kBlock);
+    bool sign = true;
+    EXPECT_TRUE(sim.stabilizes(on_block(codes::steane().logical_z(), 7, kBlock),
+                               &sign));
+    EXPECT_FALSE(sign);
+  }
+  {
+    TableauSim sim(7, 6);
+    sim.apply_x(0);  // input |1>
+    run_circuit(sim, steane_encoder(kBlock));
+    expect_in_code_space(sim, kBlock);
+    bool sign = false;
+    EXPECT_TRUE(sim.stabilizes(
+        on_block(codes::steane().logical_z(), 7, kBlock), &sign));
+    EXPECT_TRUE(sign);  // -Z̄: logical |1>
+  }
+}
+
+TEST(SteaneEncoder, EncodesPlusAndMinus) {
+  {
+    TableauSim sim(7, 7);
+    sim.apply_h(0);  // input |+>
+    run_circuit(sim, steane_encoder(kBlock));
+    expect_in_code_space(sim, kBlock);
+    bool sign = true;
+    EXPECT_TRUE(sim.stabilizes(
+        on_block(codes::steane().logical_x(), 7, kBlock), &sign));
+    EXPECT_FALSE(sign);
+  }
+  {
+    TableauSim sim(7, 8);
+    sim.apply_x(0);
+    sim.apply_h(0);  // input |->
+    run_circuit(sim, steane_encoder(kBlock));
+    bool sign = false;
+    EXPECT_TRUE(sim.stabilizes(
+        on_block(codes::steane().logical_x(), 7, kBlock), &sign));
+    EXPECT_TRUE(sign);
+  }
+}
+
+TEST(CssZeroPrep, WorksForHamming15) {
+  const auto& code = codes::hamming15();
+  std::array<uint32_t, 15> qubits{};
+  for (uint32_t i = 0; i < 15; ++i) qubits[i] = i;
+  TableauSim sim(15, 9);
+  run_circuit(sim, css_zero_prep(gf2::hamming_check_matrix(4), qubits));
+  for (const auto& g : code.generators()) {
+    bool sign = true;
+    EXPECT_TRUE(sim.stabilizes(g, &sign)) << g.to_string();
+    EXPECT_FALSE(sign);
+  }
+  // Every logical qubit reads |0>.
+  for (size_t i = 0; i < code.k(); ++i) {
+    bool sign = true;
+    EXPECT_TRUE(sim.stabilizes(code.logical_z(i), &sign));
+    EXPECT_FALSE(sign);
+  }
+}
+
+TEST(CatPrep, ProducesCatState) {
+  TableauSim sim(5, 11);
+  const std::array<uint32_t, 4> cat = {0, 1, 2, 3};
+  auto record = run_circuit(sim, cat_prep_with_check(cat, 4, false));
+  EXPECT_EQ(record.size(), 1u);
+  EXPECT_EQ(record[0], 0);  // verification passes noiselessly
+  EXPECT_TRUE(sim.stabilizes(PauliString::from_string("XXXXI")));
+  EXPECT_TRUE(sim.stabilizes(PauliString::from_string("ZZIII")));
+  EXPECT_TRUE(sim.stabilizes(PauliString::from_string("IZZII")));
+  EXPECT_TRUE(sim.stabilizes(PauliString::from_string("IIZZI")));
+}
+
+TEST(CatPrep, ShorStateIsEvenWeightSuperposition) {
+  // After the final Hadamards the state is stabilized by the parity operator
+  // ZZZZ (even weight) and by the X-pair operators.
+  TableauSim sim(5, 12);
+  const std::array<uint32_t, 4> cat = {0, 1, 2, 3};
+  run_circuit(sim, cat_prep_with_check(cat, 4, true));
+  EXPECT_TRUE(sim.stabilizes(PauliString::from_string("ZZZZI")));
+  EXPECT_TRUE(sim.stabilizes(PauliString::from_string("XXIII")));
+  EXPECT_TRUE(sim.stabilizes(PauliString::from_string("IXXII")));
+  EXPECT_TRUE(sim.stabilizes(PauliString::from_string("IIXXI")));
+}
+
+TEST(CatPrep, VerificationCatchesChainFault) {
+  // An X fault on the target of the middle chain XOR spreads to two cat
+  // bits; the check qubit must flag it (§3.3: first and last bits disagree).
+  TableauSim sim(5, 13);
+  // Rebuild the prep circuit manually with the fault inserted after CX(1,2).
+  sim::Circuit c;
+  for (uint32_t q = 0; q < 5; ++q) c.r(q);
+  c.h(0);
+  c.cx(0, 1);
+  c.cx(1, 2);
+  c.inject(2, 'X');  // the bad fault: X on qubit 2 spreads through CX(2,3)
+  c.cx(2, 3);
+  c.cx(0, 4);
+  c.cx(3, 4);
+  c.m(4);
+  const auto record = run_circuit(sim, c);
+  EXPECT_EQ(record[0], 1);  // flagged
+}
+
+TEST(NonFtSyndrome, MeasuresTrivialSyndromeOnCodeword) {
+  TableauSim sim(8, 14);
+  run_circuit(sim, steane_zero_prep(kBlock));
+  const auto record = run_circuit(sim, nonft_bitflip_syndrome(kBlock, 7));
+  ASSERT_EQ(record.size(), 3u);
+  for (uint8_t bit : record) EXPECT_EQ(bit, 0);
+}
+
+TEST(NonFtSyndrome, DiagnosesBitFlip) {
+  const gf2::Hamming743 hamming;
+  for (uint32_t flipped = 0; flipped < 7; ++flipped) {
+    TableauSim sim(8, 15 + flipped);
+    run_circuit(sim, steane_zero_prep(kBlock));
+    sim.apply_x(flipped);
+    const auto record = run_circuit(sim, nonft_bitflip_syndrome(kBlock, 7));
+    gf2::BitVec syn(3);
+    for (size_t b = 0; b < 3; ++b) syn.set(b, record[b] != 0);
+    EXPECT_EQ(hamming.error_position(syn), flipped);
+  }
+}
+
+TEST(Fig4, NondestructiveParityCircuitReadsLogicalValue) {
+  TableauSim sim(8, 31);
+  run_circuit(sim, steane_zero_prep(kBlock));
+  auto record = run_circuit(sim, nondestructive_parity(kBlock, 7));
+  EXPECT_EQ(record[0], 0);
+  // Flip the logical qubit (bitwise NOT) and re-measure.
+  for (uint32_t q : kBlock) sim.apply_x(q);
+  record = run_circuit(sim, nondestructive_parity(kBlock, 7));
+  EXPECT_EQ(record[0], 1);
+  // The block is preserved: still in the code space.
+  expect_in_code_space(sim, kBlock);
+}
+
+TEST(Fig15, LeakDetectionDistinguishesHealthyFromLeaked) {
+  {
+    TableauSim sim(2, 33);
+    const auto record = run_circuit(sim, leak_detection(0, 1));
+    EXPECT_EQ(record[0], 1);  // healthy
+  }
+  {
+    TableauSim sim(2, 34);
+    sim.apply_x(0);  // healthy |1> data
+    const auto record = run_circuit(sim, leak_detection(0, 1));
+    EXPECT_EQ(record[0], 1);
+  }
+  {
+    TableauSim sim(2, 35);
+    sim.mark_leaked(0);
+    const auto record = run_circuit(sim, leak_detection(0, 1));
+    EXPECT_EQ(record[0], 0);  // leaked: both XORs inert
+  }
+}
+
+TEST(CircuitStructure, EncoderMatchesFig3GateBudget) {
+  // Fig. 3: 11 XORs and 3 Hadamard rotations.
+  const auto c = steane_encoder(kBlock);
+  EXPECT_EQ(c.count(sim::Gate::CX), 11u);
+  EXPECT_EQ(c.count(sim::Gate::H), 3u);
+}
+
+TEST(CircuitStructure, ShorSyndromeUsesOneXorPerAncillaBit) {
+  // Fig. 6 "Good!": four XORs, each with its own ancilla target.
+  const gf2::Hamming743 hamming;
+  const std::array<uint32_t, 4> anc = {7, 8, 9, 10};
+  const auto c =
+      shor_syndrome_bit(kBlock, anc, hamming.check_matrix().row(0), false);
+  EXPECT_EQ(c.count(sim::Gate::CX), 4u);
+  // All four XOR targets are distinct.
+  std::set<uint32_t> targets;
+  for (const auto& op : c.ops()) {
+    if (op.gate == sim::Gate::CX) targets.insert(op.targets[1]);
+  }
+  EXPECT_EQ(targets.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ftqc::ft

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "codes/library.h"
+#include "ft/encoded_measure.h"
+#include "ft/steane_circuits.h"
+#include "ft/toffoli_gadget.h"
+#include "ft/transversal.h"
+#include "pauli/pauli_string.h"
+#include "sim/runner.h"
+#include "sim/statevector_sim.h"
+#include "sim/tableau_sim.h"
+
+namespace ftqc::ft {
+namespace {
+
+using pauli::PauliString;
+using sim::StateVectorSim;
+using sim::TableauSim;
+
+constexpr std::array<uint32_t, 7> kBlockA = {0, 1, 2, 3, 4, 5, 6};
+constexpr std::array<uint32_t, 7> kBlockB = {7, 8, 9, 10, 11, 12, 13};
+
+PauliString on_block(const PauliString& p, size_t total,
+                     std::span<const uint32_t> block) {
+  PauliString out(total);
+  for (size_t i = 0; i < 7; ++i) out.set_pauli(block[i], p.pauli_at(i));
+  out.set_phase_exponent(p.phase_exponent());
+  return out;
+}
+
+bool logical_z_sign(TableauSim& sim, std::span<const uint32_t> block) {
+  bool sign = false;
+  EXPECT_TRUE(sim.stabilizes(
+      on_block(codes::steane().logical_z(), sim.num_qubits(), block), &sign));
+  return sign;
+}
+
+bool logical_x_sign(TableauSim& sim, std::span<const uint32_t> block) {
+  bool sign = false;
+  EXPECT_TRUE(sim.stabilizes(
+      on_block(codes::steane().logical_x(), sim.num_qubits(), block), &sign));
+  return sign;
+}
+
+TEST(TransversalGates, BitwiseNotFlipsLogicalQubit) {
+  TableauSim sim(7, 41);
+  run_circuit(sim, steane_zero_prep(kBlockA));
+  auto c = logical_x_bitwise(kBlockA);
+  run_circuit(sim, c);
+  EXPECT_TRUE(logical_z_sign(sim, kBlockA));  // -Z̄: logical |1>
+}
+
+TEST(TransversalGates, MinimalThreeGateNotMatchesBitwiseNot) {
+  TableauSim a(7, 42), b(7, 42);
+  run_circuit(a, steane_zero_prep(kBlockA));
+  run_circuit(b, steane_zero_prep(kBlockA));
+  run_circuit(a, logical_x_bitwise(kBlockA));
+  run_circuit(b, logical_x_minimal(kBlockA));
+  EXPECT_EQ(logical_z_sign(a, kBlockA), logical_z_sign(b, kBlockA));
+  EXPECT_TRUE(logical_z_sign(b, kBlockA));
+}
+
+TEST(TransversalGates, BitwiseHadamardMapsZeroToPlus) {
+  // Eq. (11): bitwise R implements the encoded Hadamard.
+  TableauSim sim(7, 43);
+  run_circuit(sim, steane_zero_prep(kBlockA));
+  run_circuit(sim, logical_h_bitwise(kBlockA));
+  EXPECT_FALSE(logical_x_sign(sim, kBlockA));  // +X̄: logical |+>
+}
+
+TEST(TransversalGates, BitwiseZFlipsPhaseOfPlus) {
+  TableauSim sim(7, 44);
+  run_circuit(sim, steane_plus_prep(kBlockA));
+  run_circuit(sim, logical_z_bitwise(kBlockA));
+  EXPECT_TRUE(logical_x_sign(sim, kBlockA));  // -X̄: logical |->
+}
+
+TEST(TransversalGates, BitwiseSDagImplementsLogicalPhaseGate) {
+  // S̄|+> = |+i>, the +1 eigenstate of logical Y = -Y^⊗7 (since
+  // X̄·Z̄ = (XZ)^⊗7 = (-iY)^⊗7 = +i·Y^⊗7 and Ȳ = iX̄Z̄).
+  TableauSim sim(7, 45);
+  run_circuit(sim, steane_plus_prep(kBlockA));
+  run_circuit(sim, logical_s_bitwise(kBlockA));
+  bool sign = true;
+  EXPECT_TRUE(sim.stabilizes(PauliString::from_string("-YYYYYYY"), &sign));
+  EXPECT_FALSE(sign);
+}
+
+TEST(TransversalGates, LogicalSSquaredIsLogicalZ) {
+  TableauSim sim(7, 46);
+  run_circuit(sim, steane_plus_prep(kBlockA));
+  run_circuit(sim, logical_s_bitwise(kBlockA));
+  run_circuit(sim, logical_s_bitwise(kBlockA));
+  EXPECT_TRUE(logical_x_sign(sim, kBlockA));  // Z̄|+> = |->
+}
+
+TEST(TransversalGates, TransversalXorActsAsEncodedXor) {
+  // |1>_A |0>_B -> |1>_A |1>_B.
+  TableauSim sim(14, 47);
+  run_circuit(sim, steane_zero_prep(kBlockA));
+  run_circuit(sim, steane_zero_prep(kBlockB));
+  run_circuit(sim, logical_x_bitwise(kBlockA));
+  run_circuit(sim, logical_cx_transversal(kBlockA, kBlockB));
+  EXPECT_TRUE(logical_z_sign(sim, kBlockA));
+  EXPECT_TRUE(logical_z_sign(sim, kBlockB));
+}
+
+TEST(TransversalGates, TransversalXorCreatesLogicalBellPair) {
+  TableauSim sim(14, 48);
+  run_circuit(sim, steane_plus_prep(kBlockA));
+  run_circuit(sim, steane_zero_prep(kBlockB));
+  run_circuit(sim, logical_cx_transversal(kBlockA, kBlockB));
+  // Logical ZZ and XX both stabilize.
+  const auto zz = on_block(codes::steane().logical_z(), 14, kBlockA) *
+                  on_block(codes::steane().logical_z(), 14, kBlockB);
+  const auto xx = on_block(codes::steane().logical_x(), 14, kBlockA) *
+                  on_block(codes::steane().logical_x(), 14, kBlockB);
+  bool sign = true;
+  EXPECT_TRUE(sim.stabilizes(zz, &sign));
+  EXPECT_FALSE(sign);
+  EXPECT_TRUE(sim.stabilizes(xx, &sign));
+  EXPECT_FALSE(sign);
+}
+
+TEST(EncodedMeasure, DestructiveReadsLogicalValue) {
+  for (int value = 0; value < 2; ++value) {
+    TableauSim sim(7, 50 + value);
+    run_circuit(sim, steane_zero_prep(kBlockA));
+    if (value) run_circuit(sim, logical_x_bitwise(kBlockA));
+    EXPECT_EQ(destructive_logical_measure(sim, kBlockA), value == 1);
+  }
+}
+
+TEST(EncodedMeasure, DestructiveToleratesOneBitFlip) {
+  for (uint32_t flipped = 0; flipped < 7; ++flipped) {
+    TableauSim sim(7, 60 + flipped);
+    run_circuit(sim, steane_zero_prep(kBlockA));
+    run_circuit(sim, logical_x_bitwise(kBlockA));
+    sim.apply_x(flipped);  // a single error must not corrupt the readout
+    EXPECT_TRUE(destructive_logical_measure(sim, kBlockA));
+  }
+}
+
+TEST(EncodedMeasure, NondestructivePreservesCodeSpace) {
+  TableauSim sim(8, 70);
+  run_circuit(sim, steane_zero_prep(kBlockA));
+  EXPECT_FALSE(nondestructive_logical_measure(sim, kBlockA, 7));
+  // Still a valid codeword afterwards; a second read agrees.
+  EXPECT_FALSE(nondestructive_logical_measure(sim, kBlockA, 7));
+  for (const auto& g : codes::steane().generators()) {
+    EXPECT_TRUE(sim.stabilizes(on_block(g, 8, kBlockA)));
+  }
+}
+
+TEST(EncodedMeasure, NondestructiveCollapsesSuperposition) {
+  // On |+>_code the parity measurement collapses to |0> or |1> and repeats
+  // consistently (§2: it "destroys" the superposition by collapsing).
+  int ones = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    TableauSim sim(8, 100 + seed);
+    run_circuit(sim, steane_plus_prep(kBlockA));
+    const bool first = nondestructive_logical_measure(sim, kBlockA, 7);
+    EXPECT_EQ(nondestructive_logical_measure(sim, kBlockA, 7), first);
+    ones += first;
+  }
+  EXPECT_GT(ones, 2);   // both outcomes occur
+  EXPECT_LT(ones, 18);
+}
+
+TEST(EncodedMeasure, ProjectToLogicalZeroFromGarbage) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    TableauSim sim(8, 200 + seed);
+    // Garbage state: random single-qubit gates.
+    for (uint32_t q = 0; q < 7; ++q) {
+      if (sim.rng().bernoulli(0.5)) sim.apply_h(q);
+      if (sim.rng().bernoulli(0.5)) sim.apply_x(q);
+      if (sim.rng().bernoulli(0.5)) sim.apply_s(q);
+    }
+    project_to_logical_zero(sim, kBlockA, 7);
+    bool sign = true;
+    EXPECT_TRUE(sim.stabilizes(
+        on_block(codes::steane().logical_z(), 8, kBlockA), &sign));
+    EXPECT_FALSE(sign);
+  }
+}
+
+// --- Shor's Toffoli gadget (Fig. 13), bare level ---------------------------
+
+// Runs the gadget on basis input |x,y,z> and checks the output block equals
+// |x, y, z^xy> exactly.
+class ToffoliGadgetBasis : public ::testing::TestWithParam<int> {};
+
+TEST_P(ToffoliGadgetBasis, MatchesTruthTable) {
+  const int in = GetParam();
+  const ToffoliGadget g = make_bare_toffoli_gadget();
+  StateVectorSim sim(7, 300 + static_cast<uint64_t>(in));
+  // Load |x,y,z> on the input data qubits 4,5,6.
+  if (in & 1) sim.apply_x(g.in_data[0]);
+  if (in & 2) sim.apply_x(g.in_data[1]);
+  if (in & 4) sim.apply_x(g.in_data[2]);
+  run_circuit(sim, g.circuit);
+  const int x = in & 1, y = (in >> 1) & 1, z = (in >> 2) & 1;
+  const int want = x | (y << 1) | ((z ^ (x & y)) << 2);
+  // Output lives on qubits 0,1,2; measure them.
+  int got = 0;
+  got |= sim.measure_z(g.out_data[0]) ? 1 : 0;
+  got |= sim.measure_z(g.out_data[1]) ? 2 : 0;
+  got |= sim.measure_z(g.out_data[2]) ? 4 : 0;
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBasisStates, ToffoliGadgetBasis,
+                         ::testing::Range(0, 8));
+
+TEST(ToffoliGadget, CorrectOnSuperpositionsIncludingPhases) {
+  // Compare gadget output against a direct CCX on a batch of random input
+  // states, checking full state fidelity (catches any phase errors that the
+  // truth-table test cannot see).
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    const ToffoliGadget g = make_bare_toffoli_gadget();
+    StateVectorSim sim(7, 400 + seed);
+    // Random product-ish input on qubits 4,5,6 built from H/S/X layers.
+    sim::Circuit prep(7);
+    ftqc::Rng rng(500 + seed);
+    for (uint32_t q = 4; q < 7; ++q) {
+      if (rng.bernoulli(0.5)) prep.h(q);
+      if (rng.bernoulli(0.5)) prep.s(q);
+      if (rng.bernoulli(0.5)) prep.x(q);
+      if (rng.bernoulli(0.5)) prep.h(q);
+    }
+    run_circuit(sim, prep);
+
+    // Reference: same input state, direct Toffoli, placed on qubits 4,5,6.
+    StateVectorSim ref(7, 400 + seed);
+    run_circuit(ref, prep);
+    ref.apply_ccx(4, 5, 6);
+
+    run_circuit(sim, g.circuit);
+    // The gadget leaves its output on qubits 0,1,2 (with 4,5,6 measured).
+    // Swap output into the reference position for comparison.
+    sim.apply_swap(0, 4);
+    sim.apply_swap(1, 5);
+    sim.apply_swap(2, 6);
+    // Qubits 0,1,2 (old data) and 3 (cat) are now in measured basis states;
+    // reset them so both states live on the same factor space.
+    for (uint32_t q = 0; q < 4; ++q) sim.reset(q);
+    const double fidelity = sim.fidelity_with(ref);
+    EXPECT_NEAR(fidelity, 1.0, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(ToffoliGadget, GateBudget) {
+  const ToffoliGadget g = make_bare_toffoli_gadget();
+  EXPECT_EQ(g.circuit.count(sim::Gate::CCZ), 1u);  // one bitwise Toffoli
+  EXPECT_EQ(g.circuit.count(sim::Gate::M), 4u);    // cat + three data blocks
+  EXPECT_EQ(encoded_gadget_gate_count(7), 7u * 21u);
+}
+
+}  // namespace
+}  // namespace ftqc::ft

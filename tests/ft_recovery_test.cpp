@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "ft/fault_enumeration.h"
+#include "ft/shor_recovery.h"
+#include "ft/steane_recovery.h"
+
+namespace ftqc::ft {
+namespace {
+
+const sim::NoiseParams kNoiseless{};
+
+RecoveryPolicy full_policy() { return RecoveryPolicy{}; }
+
+TEST(SteaneRecovery, NoiselessCycleIsClean) {
+  SteaneRecovery rec(kNoiseless, full_policy(), 1);
+  rec.run_cycle();
+  EXPECT_FALSE(rec.any_logical_error());
+  EXPECT_EQ(rec.residual_x_weight(), 0u);
+  EXPECT_EQ(rec.residual_z_weight(), 0u);
+}
+
+TEST(SteaneRecovery, CorrectsEverySingleDataError) {
+  for (uint32_t q = 0; q < 7; ++q) {
+    for (char pauli : {'X', 'Y', 'Z'}) {
+      SteaneRecovery rec(kNoiseless, full_policy(), 10 + q);
+      rec.inject_data(q, pauli);
+      rec.run_cycle();
+      EXPECT_FALSE(rec.any_logical_error())
+          << pauli << " on qubit " << q << " not corrected";
+      EXPECT_EQ(rec.residual_x_weight() + rec.residual_z_weight(), 0u)
+          << pauli << " on qubit " << q << " left residual errors";
+    }
+  }
+}
+
+TEST(SteaneRecovery, TwoBitFlipsCauseLogicalError) {
+  // The code only corrects one error: two X's in the block end up as a
+  // logical X after recovery (Eq. 12).
+  SteaneRecovery rec(kNoiseless, full_policy(), 21);
+  rec.inject_data(1, 'X');
+  rec.inject_data(4, 'X');
+  rec.run_cycle();
+  EXPECT_TRUE(rec.logical_x_error());
+}
+
+TEST(SteaneRecovery, MixedPairOnDistinctQubitsIsCorrected) {
+  // One bit flip plus one phase flip on different qubits: recoverable (§2).
+  SteaneRecovery rec(kNoiseless, full_policy(), 22);
+  rec.inject_data(2, 'X');
+  rec.inject_data(5, 'Z');
+  rec.run_cycle();
+  EXPECT_FALSE(rec.any_logical_error());
+}
+
+TEST(ShorRecovery, NoiselessCycleIsClean) {
+  ShorRecovery rec(kNoiseless, full_policy(), 2);
+  rec.run_cycle();
+  EXPECT_FALSE(rec.any_logical_error());
+  EXPECT_EQ(rec.cats_discarded(), 0u);
+}
+
+TEST(ShorRecovery, CorrectsEverySingleDataError) {
+  for (uint32_t q = 0; q < 7; ++q) {
+    for (char pauli : {'X', 'Y', 'Z'}) {
+      ShorRecovery rec(kNoiseless, full_policy(), 30 + q);
+      rec.inject_data(q, pauli);
+      rec.run_cycle();
+      EXPECT_FALSE(rec.any_logical_error())
+          << pauli << " on qubit " << q << " not corrected";
+    }
+  }
+}
+
+// ---- The central fault-tolerance property (§3): no single fault anywhere
+// ---- in the recovery circuit may leave the block with a logical error.
+
+bool steane_cycle_fails_under(NoiseInjector& injector, uint64_t seed) {
+  SteaneRecovery rec(kNoiseless, full_policy(), seed);
+  rec.set_injector(&injector);
+  rec.run_cycle();
+  rec.set_injector(nullptr);
+  return rec.any_logical_error();
+}
+
+TEST(FaultTolerance, SteaneRecoverySurvivesEverySingleFault) {
+  const auto scan = scan_single_faults(
+      [](NoiseInjector& injector) {
+        return steane_cycle_fails_under(injector, 77);
+      },
+      all_kinds());
+  EXPECT_GT(scan.num_locations, 100u);  // Fig. 9 is a real circuit
+  EXPECT_GT(scan.faults_tried, 300u);
+  EXPECT_EQ(scan.faults_failing, 0u)
+      << "a single fault caused a logical error: not fault tolerant";
+}
+
+TEST(FaultTolerance, SteaneRecoveryLeavesAtMostOneErrorPerTypePerFault) {
+  // Stronger property: a single fault leaves a residual correctable by the
+  // next ideal recovery — at most one X and one Z on the data block, counted
+  // modulo the stabilizer (frame patterns equal to a generator's support act
+  // trivially on the code space).
+  const auto scan = scan_single_faults(
+      [](NoiseInjector& injector) {
+        SteaneRecovery rec(kNoiseless, full_policy(), 78);
+        rec.set_injector(&injector);
+        rec.run_cycle();
+        rec.set_injector(nullptr);
+        return rec.residual_x_coset_weight() > 1 ||
+               rec.residual_z_coset_weight() > 1;
+      },
+      all_kinds());
+  EXPECT_EQ(scan.faults_failing, 0u)
+      << "a single fault left two same-type errors in the block";
+}
+
+TEST(FaultTolerance, ShorRecoverySurvivesEverySingleFault) {
+  const auto scan = scan_single_faults(
+      [](NoiseInjector& injector) {
+        ShorRecovery rec(kNoiseless, full_policy(), 79);
+        rec.set_injector(&injector);
+        rec.run_cycle();
+        rec.set_injector(nullptr);
+        return rec.any_logical_error();
+      },
+      all_kinds());
+  EXPECT_GT(scan.num_locations, 100u);
+  EXPECT_EQ(scan.faults_failing, 0u);
+}
+
+TEST(FaultTolerance, UnverifiedAncillaBreaksSingleFaultSafety) {
+  // Switching §3.3 verification off must expose single-fault failures —
+  // this is the paper's argument for why verification is necessary.
+  RecoveryPolicy no_verify = full_policy();
+  no_verify.verify_ancilla = false;
+  const auto scan = scan_single_faults(
+      [&no_verify](NoiseInjector& injector) {
+        SteaneRecovery rec(kNoiseless, no_verify, 80);
+        rec.set_injector(&injector);
+        rec.run_cycle();
+        rec.set_injector(nullptr);
+        return rec.residual_x_coset_weight() > 1 ||
+               rec.residual_z_coset_weight() > 1;
+      },
+      all_kinds());
+  EXPECT_GT(scan.faults_failing, 0u)
+      << "expected unverified ancillas to propagate multi-errors";
+}
+
+TEST(FaultTolerance, SingleSyndromeReadingRisksMiscorrection) {
+  // §3.4: without repetition, one measurement fault plus the resulting
+  // mis-correction leaves two errors... a single fault alone must still not
+  // produce a LOGICAL error (it adds at most one wrong correction on top of
+  // zero real errors), but it can leave the block with a nonzero residual
+  // where the repeating protocol leaves none.
+  RecoveryPolicy no_repeat = full_policy();
+  no_repeat.repeat_nontrivial_syndrome = false;
+  const auto scan_residual = scan_single_faults(
+      [&no_repeat](NoiseInjector& injector) {
+        SteaneRecovery rec(kNoiseless, no_repeat, 81);
+        rec.set_injector(&injector);
+        rec.run_cycle();
+        rec.set_injector(nullptr);
+        return rec.residual_x_coset_weight() + rec.residual_z_coset_weight() > 1;
+      },
+      all_kinds());
+  const auto scan_repeat = scan_single_faults(
+      [](NoiseInjector& injector) {
+        SteaneRecovery rec(kNoiseless, full_policy(), 81);
+        rec.set_injector(&injector);
+        rec.run_cycle();
+        rec.set_injector(nullptr);
+        return rec.residual_x_coset_weight() + rec.residual_z_coset_weight() > 1;
+      },
+      all_kinds());
+  // Repetition strictly reduces the single-fault residual-error exposure.
+  EXPECT_LE(scan_repeat.weighted_failing, scan_residual.weighted_failing);
+}
+
+TEST(FaultEnumeration, RecorderCountsLocationsDeterministically) {
+  FaultPointInjector rec1, rec2;
+  steane_cycle_fails_under(rec1, 99);
+  steane_cycle_fails_under(rec2, 99);
+  EXPECT_EQ(rec1.num_locations(), rec2.num_locations());
+  EXPECT_EQ(rec1.kinds().size(), rec1.num_locations());
+}
+
+TEST(StochasticRecovery, LowNoiseRarelyFails) {
+  const auto noise = sim::NoiseParams::uniform_gate(1e-4);
+  Proportion failures;
+  for (uint64_t shot = 0; shot < 2000; ++shot) {
+    SteaneRecovery rec(noise, full_policy(), 1000 + shot);
+    rec.run_cycle();
+    failures.trials++;
+    failures.successes += rec.any_logical_error();
+  }
+  // Failure is O(eps^2) ~ 1e-8-ish per cycle; 2000 shots should see none.
+  EXPECT_EQ(failures.successes, 0u);
+}
+
+TEST(StochasticRecovery, MemoryChannelFidelityIsQuadratic) {
+  // E1's core claim in miniature: with ideal recovery gadget (noiseless
+  // gadget, noisy memory), the logical failure rate scales ~ c p².
+  const double p1 = 0.02, p2 = 0.04;
+  const size_t shots = 30000;
+  auto failure_rate = [&](double p) {
+    size_t fails = 0;
+    for (uint64_t shot = 0; shot < shots; ++shot) {
+      SteaneRecovery rec(kNoiseless, full_policy(), 5000 + shot);
+      rec.apply_memory_noise(p);
+      rec.run_cycle();
+      fails += rec.any_logical_error();
+    }
+    return static_cast<double>(fails) / static_cast<double>(shots);
+  };
+  const double r1 = failure_rate(p1);
+  const double r2 = failure_rate(p2);
+  // Doubling p should roughly quadruple the failure rate.
+  EXPECT_GT(r2 / r1, 2.5);
+  EXPECT_LT(r2 / r1, 6.5);
+}
+
+}  // namespace
+}  // namespace ftqc::ft

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gf2/bitmat.h"
+#include "gf2/bitvec.h"
+#include "gf2/hamming.h"
+#include "gf2/linalg.h"
+
+namespace ftqc::gf2 {
+namespace {
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_FALSE(v.any());
+  v.set(0, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 3u);
+  v.flip(64);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(BitVec, FromToString) {
+  const auto v = BitVec::from_string("1011001");
+  EXPECT_EQ(v.to_string(), "1011001");
+  EXPECT_EQ(v.popcount(), 4u);
+  EXPECT_FALSE(v.parity());
+  EXPECT_TRUE(BitVec::from_string("11100").parity());  // three ones
+}
+
+TEST(BitVec, XorAndOr) {
+  const auto a = BitVec::from_string("1100");
+  const auto b = BitVec::from_string("1010");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+  EXPECT_EQ((a & b).to_string(), "1000");
+  EXPECT_EQ((a | b).to_string(), "1110");
+}
+
+TEST(BitVec, DotProduct) {
+  const auto a = BitVec::from_string("1101");
+  const auto b = BitVec::from_string("1011");
+  // overlap = 1001 -> two ones -> parity 0
+  EXPECT_FALSE(a.dot(b));
+  const auto c = BitVec::from_string("0111");
+  // overlap with a = 0101 -> parity 0; with b = 0011 -> parity 0
+  EXPECT_FALSE(a.dot(c));
+  const auto d = BitVec::from_string("1000");
+  EXPECT_TRUE(a.dot(d));
+}
+
+TEST(BitVec, FirstSet) {
+  BitVec v(200);
+  EXPECT_EQ(v.first_set(), 200u);
+  v.set(130, true);
+  EXPECT_EQ(v.first_set(), 130u);
+  v.set(7, true);
+  EXPECT_EQ(v.first_set(), 7u);
+}
+
+TEST(BitVec, TailMaskingAfterResize) {
+  BitVec v(70);
+  v.set(69, true);
+  v.resize(65);
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitMat, MulMatchesManualParity) {
+  const auto h = BitMat::from_rows({"110", "011"});
+  const auto x = BitVec::from_string("111");
+  const auto y = h.mul(x);
+  EXPECT_EQ(y.to_string(), "00");
+  const auto x2 = BitVec::from_string("100");
+  EXPECT_EQ(h.mul(x2).to_string(), "10");
+}
+
+TEST(BitMat, TransposeRoundTrip) {
+  const auto m = BitMat::from_rows({"101", "010"});
+  const auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(Linalg, RankOfIdentityAndSingular) {
+  const auto id = BitMat::from_rows({"100", "010", "001"});
+  EXPECT_EQ(rank(id), 3u);
+  const auto sing = BitMat::from_rows({"110", "110", "001"});
+  EXPECT_EQ(rank(sing), 2u);
+}
+
+TEST(Linalg, SolveConsistentSystem) {
+  const auto m = BitMat::from_rows({"110", "011"});
+  const auto b = BitVec::from_string("10");
+  const auto x = solve(m, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(m.mul(*x), b);
+}
+
+TEST(Linalg, SolveInconsistentSystem) {
+  const auto m = BitMat::from_rows({"110", "110"});
+  const auto b = BitVec::from_string("10");
+  EXPECT_FALSE(solve(m, b).has_value());
+}
+
+TEST(Linalg, KernelBasisAnnihilated) {
+  const auto h = BitMat::from_rows({"0001111", "0110011", "1010101"});
+  const auto basis = kernel_basis(h);
+  EXPECT_EQ(basis.size(), 4u);  // Hamming code has k = 4
+  for (const auto& v : basis) {
+    EXPECT_FALSE(h.mul(v).any());
+  }
+  // Basis vectors are linearly independent: stack and check rank.
+  BitMat stacked(basis.size(), 7);
+  for (size_t i = 0; i < basis.size(); ++i) stacked.row(i) = basis[i];
+  EXPECT_EQ(rank(stacked), 4u);
+}
+
+TEST(Linalg, InRowSpace) {
+  const auto m = BitMat::from_rows({"110", "011"});
+  EXPECT_TRUE(in_row_space(m, BitVec::from_string("101")));  // sum of rows
+  EXPECT_FALSE(in_row_space(m, BitVec::from_string("111")));
+}
+
+// Property test: solve() returns a valid solution on random consistent
+// systems of many shapes.
+class LinalgRandomSolve : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinalgRandomSolve, RandomConsistentSystems) {
+  Rng rng(42 + static_cast<uint64_t>(GetParam()));
+  const size_t rows = 1 + rng.next_below(12);
+  const size_t cols = 1 + rng.next_below(12);
+  BitMat m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m.set(r, c, rng.bernoulli(0.5));
+  }
+  BitVec x0(cols);
+  for (size_t c = 0; c < cols; ++c) x0.set(c, rng.bernoulli(0.5));
+  const BitVec b = m.mul(x0);
+  const auto x = solve(m, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(m.mul(*x), b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LinalgRandomSolve, ::testing::Range(0, 25));
+
+TEST(Hamming, MatrixShapesMatchPaper) {
+  const Hamming743 code;
+  // Eq. (1): column i is the binary expansion of i+1.
+  const auto& h = code.check_matrix();
+  EXPECT_EQ(h.rows(), 3u);
+  EXPECT_EQ(h.cols(), 7u);
+  for (size_t col = 0; col < 7; ++col) {
+    const size_t value = (h.get(0, col) ? 4u : 0u) | (h.get(1, col) ? 2u : 0u) |
+                         (h.get(2, col) ? 1u : 0u);
+    EXPECT_EQ(value, col + 1);
+  }
+}
+
+TEST(Hamming, SystematicFormIsEquivalentCode) {
+  const Hamming743 code;
+  // Eq. (15) is a column permutation of Eq. (1): same code size & distance.
+  const LinearCode sys(code.check_matrix_systematic());
+  EXPECT_EQ(sys.k(), 4u);
+  EXPECT_EQ(sys.brute_force_distance(), 3u);
+}
+
+TEST(Hamming, SixteenCodewordsSplitEvenOdd) {
+  const Hamming743 code;
+  EXPECT_EQ(code.codewords().size(), 16u);
+  EXPECT_EQ(code.even_codewords().size(), 8u);
+  EXPECT_EQ(code.odd_codewords().size(), 8u);
+}
+
+TEST(Hamming, DistanceIsThree) {
+  const Hamming743 code;
+  EXPECT_EQ(code.brute_force_distance(), 3u);
+}
+
+TEST(Hamming, OddWordsAreComplementsOfEvenWords) {
+  // §4.1: "each odd parity Hamming codeword is the complement of an even
+  // parity Hamming codeword" — this is why transversal NOT works.
+  const Hamming743 code;
+  for (uint8_t even : code.even_codewords()) {
+    const uint8_t complement = static_cast<uint8_t>(~even & 0x7F);
+    bool found = false;
+    for (uint8_t odd : code.odd_codewords()) found |= (odd == complement);
+    EXPECT_TRUE(found) << "complement of even word " << int(even)
+                       << " is not an odd codeword";
+  }
+}
+
+TEST(Hamming, WeightsModFour) {
+  // §4.1: odd codewords have weight ≡ 3 (mod 4), even ones ≡ 0 (mod 4)
+  // (this is why the phase gate is implemented by bitwise P^{-1}).
+  const Hamming743 code;
+  for (uint8_t w : code.even_codewords()) {
+    EXPECT_EQ(__builtin_popcount(w) % 4, 0);
+  }
+  for (uint8_t w : code.odd_codewords()) {
+    EXPECT_EQ(__builtin_popcount(w) % 4, 3);
+  }
+}
+
+// Every single-bit error on every codeword is corrected (Eq. 3).
+class HammingSingleError : public ::testing::TestWithParam<int> {};
+
+TEST_P(HammingSingleError, Corrected) {
+  const Hamming743 code;
+  const int param = GetParam();
+  const uint8_t word = code.codewords()[static_cast<size_t>(param) / 7];
+  const size_t flip = static_cast<size_t>(param) % 7;
+  BitVec v(7);
+  for (size_t i = 0; i < 7; ++i) v.set(i, (word >> i) & 1);
+  const BitVec original = v;
+  v.flip(flip);
+  EXPECT_EQ(code.error_position(code.syndrome(v)), flip);
+  EXPECT_EQ(code.correct(v), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodewordsAllPositions, HammingSingleError,
+                         ::testing::Range(0, 16 * 7));
+
+TEST(Hamming, DoubleErrorsMisdecodeToLogicalFlip) {
+  // §2: two bit flips cause the parity check to misdiagnose; recovery lands
+  // back in the code but with flipped parity (Eq. 12).
+  const Hamming743 code;
+  BitVec v(7);  // |0000000>, an even codeword
+  v.flip(1);
+  v.flip(4);
+  const BitVec recovered = code.correct(v);
+  EXPECT_TRUE(code.is_codeword(recovered));
+  EXPECT_TRUE(recovered.parity());  // decoded as logical 1: a logical error
+}
+
+TEST(Hamming, DecodeLogical) {
+  const Hamming743 code;
+  for (uint8_t w : code.odd_codewords()) {
+    BitVec v(7);
+    for (size_t i = 0; i < 7; ++i) v.set(i, (w >> i) & 1);
+    EXPECT_TRUE(code.decode_logical(v));
+    v.flip(3);  // one measurement error should not change the logical read
+    EXPECT_TRUE(code.decode_logical(v));
+  }
+}
+
+TEST(HammingFamily, CheckMatrixGeneratesHammingCodes) {
+  for (size_t r = 2; r <= 5; ++r) {
+    const LinearCode code{hamming_check_matrix(r)};
+    const size_t n = (size_t{1} << r) - 1;
+    EXPECT_EQ(code.n(), n);
+    EXPECT_EQ(code.k(), n - r);
+    if (r <= 4) {
+      EXPECT_EQ(code.brute_force_distance(), 3u);
+    }
+  }
+}
+
+TEST(HammingFamily, R3MatchesHamming743) {
+  const Hamming743 code;
+  EXPECT_EQ(hamming_check_matrix(3).to_string(),
+            code.check_matrix().to_string());
+}
+
+}  // namespace
+}  // namespace ftqc::gf2

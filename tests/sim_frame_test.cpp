@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "sim/batch_frame_sim.h"
+#include "sim/frame_sim.h"
+#include "sim/noise_model.h"
+#include "sim/runner.h"
+#include "sim/tableau_sim.h"
+
+namespace ftqc::sim {
+namespace {
+
+TEST(FrameSim, XErrorFlipsZMeasurement) {
+  FrameSim sim(2);
+  sim.inject_x(0);
+  EXPECT_TRUE(sim.measure_z(0));
+  EXPECT_FALSE(sim.measure_z(1));
+}
+
+TEST(FrameSim, ZErrorFlipsXMeasurementOnly) {
+  FrameSim sim(1);
+  sim.inject_z(0);
+  EXPECT_TRUE(sim.destructive_x_flip(0));
+  EXPECT_FALSE(sim.destructive_z_flip(0));
+}
+
+TEST(FrameSim, ForwardXPropagationThroughCX) {
+  // §3.1: a bit flip on the source of an XOR propagates to the target.
+  FrameSim sim(2);
+  sim.inject_x(0);
+  sim.apply_cx(0, 1);
+  EXPECT_TRUE(sim.destructive_z_flip(0));
+  EXPECT_TRUE(sim.destructive_z_flip(1));
+}
+
+TEST(FrameSim, BackwardZPropagationThroughCX) {
+  // §3.1: a phase error on the target propagates backward to the source.
+  FrameSim sim(2);
+  sim.inject_z(1);
+  sim.apply_cx(0, 1);
+  EXPECT_TRUE(sim.destructive_x_flip(0));
+  EXPECT_TRUE(sim.destructive_x_flip(1));
+}
+
+TEST(FrameSim, HadamardExchangesXAndZ) {
+  FrameSim sim(1);
+  sim.inject_x(0);
+  sim.apply_h(0);
+  EXPECT_TRUE(sim.destructive_x_flip(0));
+  EXPECT_FALSE(sim.destructive_z_flip(0));
+}
+
+TEST(FrameSim, ResetClearsFrame) {
+  FrameSim sim(1);
+  sim.inject_x(0);
+  sim.inject_z(0);
+  sim.reset(0);
+  EXPECT_FALSE(sim.destructive_z_flip(0));
+  EXPECT_FALSE(sim.destructive_x_flip(0));
+}
+
+TEST(FrameSim, LeakedQubitFreezesFrame) {
+  FrameSim sim(2);
+  sim.mark_leaked(0);
+  sim.inject_x(1);
+  sim.apply_cx(1, 0);  // absorbed: target leaked
+  EXPECT_FALSE(sim.destructive_z_flip(0));
+  sim.reset(0);
+  EXPECT_FALSE(sim.is_leaked(0));
+}
+
+// Statistical agreement between FrameSim and TableauSim on a noisy circuit:
+// the marginal flip probability of a measurement matches the full simulation.
+TEST(FrameSim, AgreesWithTableauOnNoisyMemory) {
+  // One qubit, depolarizing storage noise over 4 ticks, then measure.
+  Circuit ideal(1);
+  for (int t = 0; t < 4; ++t) ideal.tick();
+  ideal.m(0);
+  NoiseParams params;
+  params.eps_store = 0.2;
+  const Circuit noisy = add_noise(ideal, params);
+
+  const size_t shots = 20000;
+  Proportion tableau_flips;
+  Proportion frame_flips;
+  for (size_t s = 0; s < shots; ++s) {
+    TableauSim tab(1, 10'000 + s);
+    tableau_flips.trials++;
+    tableau_flips.successes += run_circuit(tab, noisy)[0];
+
+    FrameSim frame(1, 20'000 + s);
+    frame_flips.trials++;
+    frame_flips.successes += run_circuit(frame, noisy)[0];
+  }
+  // Both estimate the same physical flip probability.
+  EXPECT_NEAR(tableau_flips.mean(), frame_flips.mean(),
+              3 * (tableau_flips.wilson_halfwidth() +
+                   frame_flips.wilson_halfwidth()));
+}
+
+TEST(BatchFrameSim, MatchesSingleFrameStatistics) {
+  // X_ERROR(p) on one qubit: batch lanes should hit at rate ~p.
+  const double p = 0.05;
+  BatchFrameSim batch(1, 64 * 512, 99);
+  Circuit c(1);
+  c.x_error(0, p);
+  batch.run(c);
+  size_t hits = 0;
+  for (size_t shot = 0; shot < batch.num_shots(); ++shot) {
+    hits += batch.x_flip(0, shot);
+  }
+  const double rate = static_cast<double>(hits) / batch.num_shots();
+  EXPECT_NEAR(rate, p, 0.01);
+}
+
+TEST(BatchFrameSim, CXPropagatesAllLanes) {
+  BatchFrameSim batch(2, 128, 7);
+  Circuit c(2);
+  c.inject(0, 'X');
+  c.cx(0, 1);
+  batch.run(c);
+  for (size_t shot = 0; shot < batch.num_shots(); ++shot) {
+    EXPECT_TRUE(batch.x_flip(0, shot));
+    EXPECT_TRUE(batch.x_flip(1, shot));
+  }
+}
+
+TEST(BatchFrameSim, Depolarize1FlavorBalance) {
+  // X:Y:Z flavors should be equally likely; Y contributes to both X and Z
+  // flips, so P(x flip) = P(z flip) = 2p/3.
+  const double p = 0.3;
+  BatchFrameSim batch(1, 64 * 2048, 123);
+  Circuit c(1);
+  c.depolarize1(0, p);
+  batch.run(c);
+  size_t x_hits = 0, z_hits = 0;
+  for (size_t shot = 0; shot < batch.num_shots(); ++shot) {
+    x_hits += batch.x_flip(0, shot);
+    z_hits += batch.z_flip(0, shot);
+  }
+  const double n = static_cast<double>(batch.num_shots());
+  EXPECT_NEAR(x_hits / n, 2 * p / 3, 0.01);
+  EXPECT_NEAR(z_hits / n, 2 * p / 3, 0.01);
+}
+
+TEST(NoiseModel, InsertsGateNoiseAfterEveryGate) {
+  Circuit ideal(2);
+  ideal.h(0);
+  ideal.cx(0, 1);
+  ideal.tick();
+  ideal.m(0);
+  const auto noisy = add_noise(ideal, NoiseParams::uniform_gate(1e-3));
+  EXPECT_EQ(noisy.count(Gate::DEPOLARIZE1), 1u);  // after H
+  EXPECT_EQ(noisy.count(Gate::DEPOLARIZE2), 1u);  // after CX
+  EXPECT_EQ(noisy.count(Gate::X_ERROR), 1u);      // before M
+}
+
+TEST(NoiseModel, StorageNoiseOnlyOnIdleQubits) {
+  Circuit ideal(3);
+  ideal.h(0);
+  ideal.tick();  // qubits 1, 2 idle
+  NoiseParams params;
+  params.eps_store = 1e-3;
+  const auto noisy = add_noise(ideal, params);
+  EXPECT_EQ(noisy.count(Gate::DEPOLARIZE1), 2u);
+  // The storage errors land on qubits 1 and 2.
+  for (const auto& op : noisy.ops()) {
+    if (op.gate == Gate::DEPOLARIZE1) {
+      EXPECT_NE(op.targets[0], 0u);
+    }
+  }
+}
+
+TEST(NoiseModel, NoiselessParamsLeaveCircuitUnchanged) {
+  Circuit ideal(2);
+  ideal.h(0);
+  ideal.cx(0, 1);
+  ideal.m(1);
+  const auto noisy = add_noise(ideal, NoiseParams{});
+  EXPECT_EQ(noisy.ops().size(), ideal.ops().size());
+  EXPECT_EQ(count_fault_locations(noisy), 0u);
+}
+
+}  // namespace
+}  // namespace ftqc::sim

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "pauli/pauli_string.h"
+#include "sim/runner.h"
+#include "sim/statevector_sim.h"
+#include "sim/tableau_sim.h"
+
+namespace ftqc::sim {
+namespace {
+
+using pauli::PauliString;
+
+TEST(StateVectorSim, HadamardSuperposition) {
+  StateVectorSim sim(1);
+  sim.apply_h(0);
+  EXPECT_NEAR(std::norm(sim.amplitude(0)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(sim.amplitude(1)), 0.5, 1e-12);
+}
+
+TEST(StateVectorSim, ToffoliTruthTable) {
+  for (uint64_t in = 0; in < 8; ++in) {
+    StateVectorSim sim(3);
+    sim.set_state(in);
+    sim.apply_ccx(0, 1, 2);
+    const uint64_t expect =
+        ((in & 3) == 3) ? (in ^ 4) : in;  // z ⊕ xy with x,y = bits 0,1
+    EXPECT_NEAR(std::norm(sim.amplitude(expect)), 1.0, 1e-12) << "in=" << in;
+  }
+}
+
+TEST(StateVectorSim, CCZPhasesOnlyAllOnes) {
+  StateVectorSim sim(3);
+  // uniform superposition
+  for (size_t q = 0; q < 3; ++q) sim.apply_h(q);
+  sim.apply_ccz(0, 1, 2);
+  for (uint64_t i = 0; i < 8; ++i) {
+    const double expected_sign = (i == 7) ? -1.0 : 1.0;
+    EXPECT_NEAR(sim.amplitude(i).real(), expected_sign / std::sqrt(8.0), 1e-12);
+  }
+}
+
+TEST(StateVectorSim, ToffoliEqualsHCCZH) {
+  StateVectorSim a(3, 1);
+  StateVectorSim b(3, 1);
+  for (size_t q = 0; q < 3; ++q) {
+    a.apply_h(q);
+    b.apply_h(q);
+  }
+  a.apply_ccx(0, 1, 2);
+  b.apply_h(2);
+  b.apply_ccz(0, 1, 2);
+  b.apply_h(2);
+  EXPECT_NEAR(a.fidelity_with(b), 1.0, 1e-12);
+}
+
+TEST(StateVectorSim, RzPhases) {
+  StateVectorSim sim(1);
+  sim.apply_h(0);
+  sim.apply_rz(0, M_PI);  // RZ(pi) = -iZ up to global phase
+  sim.apply_h(0);
+  // H RZ(pi) H |0> = X-ish: should be |1> up to phase
+  EXPECT_NEAR(std::norm(sim.amplitude(1)), 1.0, 1e-12);
+}
+
+TEST(StateVectorSim, RxSmallAngleErrorProbability) {
+  // The systematic-error model of §6/E9: RX(theta) on |0> leaves
+  // P(1) = sin^2(theta/2).
+  const double theta = 0.02;
+  StateVectorSim sim(1);
+  sim.apply_rx(0, theta);
+  EXPECT_NEAR(sim.prob_one(0), std::pow(std::sin(theta / 2), 2), 1e-12);
+}
+
+TEST(StateVectorSim, MeasureCollapsesAndNormalizes) {
+  StateVectorSim sim(2, 5);
+  sim.apply_h(0);
+  sim.apply_cx(0, 1);
+  const bool m0 = sim.measure_z(0);
+  EXPECT_NEAR(sim.norm(), 1.0, 1e-12);
+  EXPECT_EQ(sim.measure_z(1), m0);  // Bell correlation
+}
+
+TEST(StateVectorSim, MeasurePauliOnBellState) {
+  StateVectorSim sim(2, 7);
+  sim.apply_h(0);
+  sim.apply_cx(0, 1);
+  EXPECT_NEAR(sim.expectation_pauli(PauliString::from_string("XX")), 1.0, 1e-12);
+  EXPECT_NEAR(sim.expectation_pauli(PauliString::from_string("ZZ")), 1.0, 1e-12);
+  EXPECT_NEAR(sim.expectation_pauli(PauliString::from_string("YY")), -1.0, 1e-12);
+  EXPECT_NEAR(sim.expectation_pauli(PauliString::from_string("ZI")), 0.0, 1e-12);
+  EXPECT_FALSE(sim.measure_pauli(PauliString::from_string("XX")));  // +1 branch
+}
+
+TEST(StateVectorSim, PauliPhaseConvention) {
+  // Y|0> = i|1>.
+  StateVectorSim sim(1);
+  sim.apply_y(0);
+  EXPECT_NEAR(std::abs(sim.amplitude(1) - std::complex<double>(0, 1)), 0.0,
+              1e-12);
+}
+
+// Cross-validation: random Clifford circuits agree between the tableau and
+// state-vector engines on every stabilizer expectation value.
+class CliffordCrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(CliffordCrossValidation, RandomCircuitsAgree) {
+  const uint64_t seed = 1000 + static_cast<uint64_t>(GetParam());
+  Rng rng(seed);
+  const size_t n = 2 + rng.next_below(4);  // 2..5 qubits
+  TableauSim tab(n, seed);
+  StateVectorSim vec(n, seed);
+
+  // Random Clifford circuit of 40 gates.
+  for (int step = 0; step < 40; ++step) {
+    switch (rng.next_below(6)) {
+      case 0: {
+        const size_t q = rng.next_below(n);
+        tab.apply_h(q);
+        vec.apply_h(q);
+        break;
+      }
+      case 1: {
+        const size_t q = rng.next_below(n);
+        tab.apply_s(q);
+        vec.apply_s(q);
+        break;
+      }
+      case 2: {
+        const size_t q = rng.next_below(n);
+        tab.apply_s_dag(q);
+        vec.apply_s_dag(q);
+        break;
+      }
+      case 3: {
+        const size_t q = rng.next_below(n);
+        tab.apply_x(q);
+        vec.apply_x(q);
+        break;
+      }
+      case 4: {
+        const size_t q = rng.next_below(n);
+        tab.apply_y(q);
+        vec.apply_y(q);
+        break;
+      }
+      default: {
+        const size_t a = rng.next_below(n);
+        size_t b = rng.next_below(n);
+        while (b == a) b = rng.next_below(n);
+        tab.apply_cx(a, b);
+        vec.apply_cx(a, b);
+        break;
+      }
+    }
+  }
+
+  // Every tableau stabilizer must have expectation +1 (resp. -1 with sign)
+  // in the state vector.
+  for (size_t i = 0; i < n; ++i) {
+    const auto stab = tab.stabilizer(i);
+    PauliString unsigned_stab = stab;
+    unsigned_stab.set_phase_exponent(0);
+    const double expect = vec.expectation_pauli(unsigned_stab);
+    const double sign = stab.phase_exponent() == 2 ? -1.0 : 1.0;
+    EXPECT_NEAR(expect, sign, 1e-9) << "stabilizer " << stab.to_string();
+  }
+
+  // Random Pauli expectations must agree: deterministic peeks match the
+  // state vector; random peeks have expectation 0.
+  for (int trial = 0; trial < 10; ++trial) {
+    PauliString p(n);
+    for (size_t q = 0; q < n; ++q) {
+      const char chars[] = {'I', 'X', 'Y', 'Z'};
+      p.set_pauli(q, chars[rng.next_below(4)]);
+    }
+    const auto peek = tab.peek_pauli(p);
+    const double expect = vec.expectation_pauli(p);
+    if (peek.has_value()) {
+      EXPECT_NEAR(expect, *peek ? -1.0 : 1.0, 1e-9) << p.to_string();
+    } else {
+      EXPECT_NEAR(expect, 0.0, 1e-9) << p.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CliffordCrossValidation, ::testing::Range(0, 20));
+
+TEST(RunnerStateVector, ConditionalToffoliCircuit) {
+  // Measurement-conditioned X, as used inside the Fig. 13 gadget.
+  Circuit c(2);
+  c.h(0);
+  const int32_t m = c.m(0);
+  c.x(1, m);
+  c.m(1);
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    StateVectorSim sim(2, seed);
+    const auto record = run_circuit(sim, c);
+    EXPECT_EQ(record[0], record[1]);
+  }
+}
+
+}  // namespace
+}  // namespace ftqc::sim

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "threshold/flow.h"
+#include "threshold/optimal_t.h"
+#include "threshold/pseudothreshold.h"
+#include "threshold/resources.h"
+#include "threshold/systematic.h"
+
+namespace ftqc::threshold {
+namespace {
+
+TEST(QuadraticFlow, ThresholdIsInverseCoefficient) {
+  const QuadraticFlow flow{21.0};
+  EXPECT_DOUBLE_EQ(flow.threshold(), 1.0 / 21.0);
+  // At the fixed point the map is stationary.
+  EXPECT_NEAR(flow.map(flow.threshold()), flow.threshold(), 1e-15);
+}
+
+TEST(QuadraticFlow, BelowThresholdContractsAboveExpands) {
+  const QuadraticFlow flow{21.0};
+  EXPECT_LT(flow.map(0.01), 0.01);
+  EXPECT_GT(flow.map(0.1), 0.1);
+}
+
+TEST(QuadraticFlow, ClosedFormMatchesIteration) {
+  // Eq. (36) is exactly the iterated Eq. (33).
+  const QuadraticFlow flow{21.0};
+  for (const double p0 : {1e-3, 5e-3, 0.02}) {
+    for (size_t levels : {1u, 2u, 3u, 5u}) {
+      const double iterated = flow.at_level(p0, levels);
+      const double closed = flow.at_level_closed_form(p0, levels);
+      EXPECT_NEAR(iterated / closed, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(QuadraticFlow, LevelsNeededMonotone) {
+  const QuadraticFlow flow{21.0};
+  EXPECT_EQ(flow.levels_needed(1e-3, 1e-3), 0u);
+  const size_t l9 = flow.levels_needed(1e-3, 1e-9);
+  const size_t l15 = flow.levels_needed(1e-3, 1e-15);
+  EXPECT_GE(l15, l9);
+  EXPECT_GT(l9, 0u);
+  // Above threshold: impossible.
+  EXPECT_EQ(flow.levels_needed(0.2, 1e-9), std::numeric_limits<size_t>::max());
+}
+
+TEST(QuadraticFlow, BlockSizes) {
+  EXPECT_EQ(concatenated_block_size(0), 1u);
+  EXPECT_EQ(concatenated_block_size(3), 343u);
+}
+
+TEST(QuadraticFlow, Eq37BlockSizeScalesPolylogarithmically) {
+  // block size ~ [log(eps0 T)/log(eps0/eps)]^{log2 7}: the growth between
+  // two computation sizes is the log-ratio raised to log2(7) ≈ 2.81.
+  const double b1 = block_size_for_computation(1e9, 1e-5, 1e-3);
+  const double b2 = block_size_for_computation(1e18, 1e-5, 1e-3);
+  EXPECT_GT(b2, b1);
+  const double log_ratio = std::log(1e-3 * 1e18) / std::log(1e-3 * 1e9);
+  EXPECT_NEAR(b2 / b1, std::pow(log_ratio, std::log2(7.0)), 0.05);
+}
+
+TEST(OptimalT, BlockErrorFormula) {
+  const OptimalTAnalysis analysis{4.0};
+  // (t^b eps)^(t+1) with t=2, b=4, eps=1e-3: (16e-3)^3.
+  EXPECT_NEAR(analysis.block_error(2.0, 1e-3), std::pow(16e-3, 3.0), 1e-12);
+}
+
+TEST(OptimalT, OptimalTGrowsAsEpsShrinks) {
+  const OptimalTAnalysis analysis{4.0};
+  const size_t t1 = analysis.optimal_t_integer(1e-4);
+  const size_t t2 = analysis.optimal_t_integer(1e-8);
+  EXPECT_GT(t2, t1);
+  // Continuum formula t* = e^{-1} eps^{-1/4}: at eps=1e-8, t* = 10/e ≈ 3.7.
+  EXPECT_NEAR(analysis.optimal_t(1e-8), 100.0 / std::exp(1.0), 1e-9);
+}
+
+TEST(OptimalT, IntegerOptimumBeatsNeighbors) {
+  const OptimalTAnalysis analysis{4.0};
+  for (const double eps : {1e-5, 1e-7, 1e-9}) {
+    const size_t t = analysis.optimal_t_integer(eps);
+    const double at_t = analysis.block_error(static_cast<double>(t), eps);
+    if (t > 1) {
+      EXPECT_LE(at_t, analysis.block_error(static_cast<double>(t - 1), eps));
+    }
+    EXPECT_LE(at_t, analysis.block_error(static_cast<double>(t + 1), eps));
+  }
+}
+
+TEST(OptimalT, RequiredAccuracyIsPolylog) {
+  // Eq. (32): eps ~ (log T)^{-b}; check the exact inversion round-trips.
+  const OptimalTAnalysis analysis{4.0};
+  const double t_cycles = 1e12;
+  const double eps = analysis.required_accuracy(t_cycles);
+  EXPECT_NEAR(analysis.min_block_error_asymptotic(eps), 1.0 / t_cycles,
+              1e-12 / t_cycles * 1e3);
+  // Longer computations need better accuracy.
+  EXPECT_LT(analysis.required_accuracy(1e15), eps);
+}
+
+TEST(Resources, PaperFactoringWorkload) {
+  const FactoringWorkload load;  // 432 bits
+  EXPECT_EQ(load.logical_qubits(), 2160u);          // 5·432
+  EXPECT_NEAR(load.toffoli_gates(), 3.06e9, 5e7);   // 38·432³ ≈ 3·10⁹
+  EXPECT_LT(load.target_gate_error(), 1e-9);        // "less than about 1e-9"
+  EXPECT_LT(load.target_storage_error(), 1e-12);
+}
+
+TEST(Resources, PaperCalibrationReproducesLevel3Block343) {
+  const FactoringWorkload load;
+  const ResourceModel model;
+  const auto plan = model.plan(load, 1e-6, 1e-6);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.levels, 3u);
+  EXPECT_EQ(plan.block_size, 343u);
+  EXPECT_GT(plan.total_qubits, 700'000u);
+  EXPECT_LT(plan.total_qubits, 2'000'000u);  // "of order 10^6"
+}
+
+TEST(Resources, BetterHardwareNeedsFewerLevels) {
+  const FactoringWorkload load;
+  const ResourceModel model;
+  const auto coarse = model.plan(load, 1e-6, 1e-6);
+  const auto fine = model.plan(load, 1e-8, 1e-8);
+  ASSERT_TRUE(fine.feasible);
+  EXPECT_LT(fine.levels, coarse.levels);
+  EXPECT_LT(fine.total_qubits, coarse.total_qubits);
+}
+
+TEST(Resources, AboveThresholdIsInfeasible) {
+  const FactoringWorkload load;
+  const ResourceModel model;
+  EXPECT_FALSE(model.plan(load, 1e-3, 1e-3).feasible);
+}
+
+TEST(Systematic, ApproximationsMatchExactForms) {
+  const CoherentErrorModel model{0.001};
+  EXPECT_NEAR(model.systematic_failure(100) /
+                  model.systematic_failure_approx(100),
+              1.0, 1e-2);
+  EXPECT_NEAR(model.random_walk_failure(100) /
+                  model.random_walk_failure_approx(100),
+              1.0, 1e-2);
+}
+
+TEST(Systematic, SystematicBeatsRandomQuadratically) {
+  // After N steps the systematic failure is ~N× the random-walk failure.
+  const CoherentErrorModel model{0.002};
+  const size_t n = 400;
+  const double ratio =
+      model.systematic_failure(n) / model.random_walk_failure(n);
+  EXPECT_NEAR(ratio, static_cast<double>(n), static_cast<double>(n) * 0.1);
+}
+
+TEST(Systematic, SimulationMatchesAnalyticRandomWalk) {
+  const double theta = 0.2;
+  const size_t n = 50;
+  const CoherentErrorModel model{theta};
+  const double analytic = model.random_walk_failure(n);
+  const double mc = simulate_random_walk_failure(theta, n, 4000, 7);
+  EXPECT_NEAR(mc, analytic, 0.03);
+}
+
+TEST(Systematic, SimulationMatchesAnalyticSystematic) {
+  const double theta = 0.05;
+  const size_t n = 20;
+  const CoherentErrorModel model{theta};
+  EXPECT_NEAR(simulate_systematic_failure(theta, n, 11),
+              model.systematic_failure(n), 1e-9);
+}
+
+TEST(Pseudothreshold, FailureRateIsQuadraticInEps) {
+  const auto p1 = measure_cycle_failure(RecoveryMethod::kSteane, 2e-3, 20000, 3);
+  const auto p2 = measure_cycle_failure(RecoveryMethod::kSteane, 4e-3, 20000, 5);
+  ASSERT_GT(p1.failures.successes, 5u);
+  const double ratio = p2.failures.mean() / p1.failures.mean();
+  EXPECT_GT(ratio, 2.0);  // quadratic scaling: expect ~4
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(Pseudothreshold, QuadraticFitRecoversPlantedCoefficient) {
+  std::vector<CyclePoint> points;
+  for (const double eps : {1e-3, 2e-3, 4e-3}) {
+    CyclePoint p;
+    p.eps = eps;
+    p.failures.trials = 100000;
+    p.failures.successes = static_cast<uint64_t>(250.0 * eps * eps * 100000);
+    points.push_back(p);
+  }
+  EXPECT_NEAR(fit_quadratic_coefficient(points), 250.0, 1.0);
+}
+
+}  // namespace
+}  // namespace ftqc::threshold
