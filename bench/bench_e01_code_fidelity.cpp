@@ -3,6 +3,7 @@
 // Regenerates the quadratic-improvement series and the crossover.
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "codes/library.h"
 #include "codes/lookup_decoder.h"
 #include "common/rng.h"
@@ -53,23 +54,34 @@ double mc_encoded_failure(const LookupDecoder& decoder, double eps,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "E01");
   std::printf(
       "E1: Steane-encoded vs bare storage fidelity (paper §2, Eq. 14)\n"
       "Claim: bare failure = eps; encoded failure = O(eps^2), so encoding\n"
       "wins once eps is small; the coefficient is ~ C(7,2)-like.\n\n");
   const LookupDecoder decoder(ftqc::codes::steane());
+  const size_t shots = ftqc::bench::scaled(200000, 2000);
   ftqc::Table table({"eps", "bare (1-F)", "encoded exact", "encoded MC",
                      "encoded/eps^2", "improvement x"});
+  ftqc::bench::JsonResult json;
   for (const double eps : {0.05, 0.02, 0.01, 0.005, 0.002, 0.001, 0.0005}) {
     const double exact = exact_encoded_failure(decoder, eps);
-    const double mc = mc_encoded_failure(decoder, eps, 200000, 42);
+    const double mc = mc_encoded_failure(decoder, eps, shots, 42);
     table.add_row({ftqc::strfmt("%.4g", eps), ftqc::strfmt("%.4g", eps),
                    ftqc::strfmt("%.4g", exact), ftqc::strfmt("%.4g", mc),
                    ftqc::strfmt("%.2f", exact / (eps * eps)),
                    ftqc::strfmt("%.1f", eps / exact)});
+    if (eps == 0.01) {
+      json.add("eps", eps);
+      json.add("encoded_exact", exact);
+      json.add("encoded_mc", mc);
+      json.add("quadratic_coeff", exact / (eps * eps));
+    }
   }
   table.print();
+  json.add("shots", shots);
+  json.write();
   std::printf(
       "\nShape check: encoded/eps^2 is ~constant (quadratic law) and the\n"
       "improvement factor grows like 1/eps, as §2 claims.\n");

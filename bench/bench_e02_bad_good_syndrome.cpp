@@ -5,6 +5,7 @@
 #include <array>
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "common/table.h"
 #include "ft/fault_enumeration.h"
 #include "ft/gadget_runner.h"
@@ -92,7 +93,8 @@ double mc_rate(bool good, double eps, size_t shots, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "E02");
   std::printf(
       "E2: shared-ancilla (Fig. 2/6 'Bad!') vs Shor-state ('Good!') syndrome\n"
       "extraction. Metric: P(>=2 phase errors fed into the data block).\n\n");
@@ -105,16 +107,23 @@ int main() {
   std::printf("  good circuit: %zu locations, weighted failing = %.2f  -> O(eps^2)\n\n",
               good_scan.num_locations, good_scan.weighted_failing);
 
+  ftqc::bench::JsonResult json;
+  json.add("bad_single_fault_coeff", bad_scan.weighted_failing);
+  json.add("good_single_fault_coeff", good_scan.weighted_failing);
+
+  const size_t shots = ftqc::bench::scaled(40000, 500);
   ftqc::Table table({"eps", "bad: P(>=2 Z)", "good: P(>=2 Z)", "bad/eps",
                      "good/eps^2"});
   for (const double eps : {0.02, 0.01, 0.005, 0.002}) {
-    const double bad = mc_rate(false, eps, 40000, 7);
-    const double good = mc_rate(true, eps, 40000, 11);
+    const double bad = mc_rate(false, eps, shots, 7);
+    const double good = mc_rate(true, eps, shots, 11);
     table.add_row({ftqc::strfmt("%.3g", eps), ftqc::strfmt("%.4g", bad),
                    ftqc::strfmt("%.4g", good), ftqc::strfmt("%.2f", bad / eps),
                    ftqc::strfmt("%.1f", good / (eps * eps))});
   }
   table.print();
+  json.add("shots", shots);
+  json.write();
   std::printf(
       "\nShape check: bad/eps is ~constant (first-order failure); good/eps^2\n"
       "is ~constant (fault tolerance achieved), matching §3.1-3.2.\n");

@@ -4,6 +4,7 @@
 // syndrome removes those order-eps miscorrections.
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "ft/steane_recovery.h"
@@ -37,23 +38,35 @@ RepeatStats run(bool repeat, double eps, size_t shots, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "E04");
   std::printf(
       "E4: syndrome repetition (§3.4). One recovery cycle on a clean block\n"
       "at gate error eps; compare acting on every nontrivial syndrome vs\n"
       "acting only on a repeated, agreeing one.\n\n");
+  const size_t shots = ftqc::bench::scaled(60000, 1000);
+  ftqc::bench::JsonResult json;
   ftqc::Table table({"eps", "P(residual) once", "P(residual) repeat",
                      "P(logical) once", "P(logical) repeat"});
   for (const double eps : {0.01, 0.005, 0.002, 0.001}) {
-    const auto once = run(false, eps, 60000, 1000);
-    const auto twice = run(true, eps, 60000, 2000);
+    const auto once = run(false, eps, shots, 1000);
+    const auto twice = run(true, eps, shots, 2000);
     table.add_row({ftqc::strfmt("%.3g", eps),
                    ftqc::strfmt("%.4f", once.residual.mean()),
                    ftqc::strfmt("%.4f", twice.residual.mean()),
                    ftqc::strfmt("%.2e", once.logical.mean()),
                    ftqc::strfmt("%.2e", twice.logical.mean())});
+    if (eps == 0.01) {
+      json.add("eps", eps);
+      json.add("p_residual_once", once.residual.mean());
+      json.add("p_residual_repeat", twice.residual.mean());
+      json.add("p_logical_once", once.logical.mean());
+      json.add("p_logical_repeat", twice.logical.mean());
+    }
   }
   table.print();
+  json.add("shots", shots);
+  json.write();
   std::printf(
       "\nShape check: repetition lowers the leftover-error rate (fewer\n"
       "miscorrections) at every eps; logical failures stay O(eps^2) for both\n"

@@ -6,6 +6,7 @@
 // errors because "a gate acts on each qubit in almost every step".
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "common/table.h"
 #include "threshold/pseudothreshold.h"
 
@@ -14,12 +15,13 @@ using namespace ftqc;
 using namespace ftqc::threshold;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "E05");
   std::printf(
       "E5: logical failure per FT recovery cycle (Fig. 9), Steane vs Shor\n"
       "syndrome extraction, uniform gate error model of §6.\n\n");
   const std::vector<double> eps_values = {0.008, 0.004, 0.002, 0.001};
-  const size_t shots = 60000;
+  const size_t shots = ftqc::bench::scaled(60000, 400);
 
   ftqc::Table table({"eps", "Steane: P(logical)", "Steane/eps^2",
                      "Shor: P(logical)", "Shor/eps^2"});
@@ -41,6 +43,14 @@ int main() {
       "\nQuadratic fit: Steane c = %.0f (pseudothreshold 1/c = %.2e)\n"
       "               Shor   c = %.0f (pseudothreshold 1/c = %.2e)\n",
       c_steane, 1 / c_steane, c_shor, 1 / c_shor);
+
+  ftqc::bench::JsonResult json;
+  json.add("shots", shots);
+  json.add("steane_quadratic_coeff", c_steane);
+  json.add("shor_quadratic_coeff", c_shor);
+  json.add("steane_pseudothreshold", 1 / c_steane);
+  json.add("shor_pseudothreshold", 1 / c_shor);
+  json.write();
 
   std::printf(
       "\nStorage-error sensitivity (gate error fixed at 1e-3):\n");

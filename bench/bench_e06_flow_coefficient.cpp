@@ -8,6 +8,7 @@
 // threshold.
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "codes/concatenated.h"
 #include "common/table.h"
 #include "ft/fault_enumeration.h"
@@ -20,7 +21,8 @@ using namespace ftqc::ft;
 using namespace ftqc::threshold;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "E06");
   std::printf("E6: the Eq. 33 flow coefficient p1 = A p0^2 and its threshold.\n\n");
 
   // (a) combinatorial: C(7,2).
@@ -33,28 +35,44 @@ int main() {
   std::printf("(b) exact Hamming-decoder flow map      = %.2f\n", a_code);
 
   // (c) circuit level: weighted failing fault pairs over one full recovery
-  // cycle (gate faults only, matching the eps_gate-only model).
-  const auto pair_scan = scan_fault_pairs(
-      [](NoiseInjector& injector) {
-        SteaneRecovery rec(sim::NoiseParams{}, RecoveryPolicy{}, 7);
-        rec.set_injector(&injector);
-        rec.run_cycle();
-        rec.set_injector(nullptr);
-        return rec.any_logical_error();
-      },
-      gate_kinds_only());
-  std::printf(
-      "(c) circuit-level two-fault enumeration = %.1f  (%zu pairs tried, "
-      "%zu failing)\n\n",
-      pair_scan.weighted_failing, pair_scan.pairs_tried, pair_scan.pairs_failing);
+  // cycle (gate faults only, matching the eps_gate-only model). The pair
+  // enumeration is quadratic in fault locations, so smoke mode skips it.
+  double a_circuit = 0;
+  if (!ftqc::bench::smoke()) {
+    const auto pair_scan = scan_fault_pairs(
+        [](NoiseInjector& injector) {
+          SteaneRecovery rec(sim::NoiseParams{}, RecoveryPolicy{}, 7);
+          rec.set_injector(&injector);
+          rec.run_cycle();
+          rec.set_injector(nullptr);
+          return rec.any_logical_error();
+        },
+        gate_kinds_only());
+    a_circuit = pair_scan.weighted_failing;
+    std::printf(
+        "(c) circuit-level two-fault enumeration = %.1f  (%zu pairs tried, "
+        "%zu failing)\n\n",
+        pair_scan.weighted_failing, pair_scan.pairs_tried,
+        pair_scan.pairs_failing);
+  } else {
+    std::printf("(c) circuit-level two-fault enumeration skipped in smoke mode\n\n");
+  }
 
   std::printf("Thresholds 1/A:\n");
   std::printf("  combinatorial  : %.4f  (the paper's 1/21 = %.4f)\n", 1.0 / 21,
               1.0 / 21);
   std::printf("  code capacity  : %.4f (exact fixed point %.4f)\n", 1.0 / a_code,
               codes::ConcatenatedSteane::code_capacity_threshold());
-  std::printf("  circuit level  : %.2e (per-gate eps)\n\n",
-              1.0 / pair_scan.weighted_failing);
+  if (a_circuit > 0) {
+    std::printf("  circuit level  : %.2e (per-gate eps)\n\n", 1.0 / a_circuit);
+  }
+
+  ftqc::bench::JsonResult json;
+  json.add("flow_coeff_code_capacity", a_code);
+  if (a_circuit > 0) json.add("flow_coeff_circuit_level", a_circuit);
+  json.add("threshold_code_capacity",
+           codes::ConcatenatedSteane::code_capacity_threshold());
+  json.write();
 
   // Flow cascade (Eq. 36): iterate from p0 = 1e-3.
   const QuadraticFlow flow{21.0};

@@ -4,10 +4,12 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "common/table.h"
 #include "threshold/optimal_t.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "E07");
   using ftqc::threshold::OptimalTAnalysis;
   const OptimalTAnalysis analysis{4.0};  // b = 4: Shor's procedure (§5)
 
@@ -34,6 +36,11 @@ int main() {
                  ftqc::strfmt("%.3f", eps * std::pow(std::log(t), 4.0))});
   }
   acc.print();
+  ftqc::bench::JsonResult json;
+  json.add("optimal_t_at_1e-6", analysis.optimal_t(1e-6));
+  json.add("min_block_error_at_1e-6", analysis.min_block_error_exact(1e-6));
+  json.add("required_eps_T1e9", analysis.required_accuracy(1e9));
+  json.write();
   std::printf(
       "\nShape check: t* grows as eps^{-1/4}; the last column is constant\n"
       "(eps ~ (log T)^{-4}), so longer computations need only polylog-better\n"

@@ -5,11 +5,13 @@
 // block-55-code alternative (4e5 qubits at 1e-5).
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "common/table.h"
 #include "threshold/flow.h"
 #include "threshold/resources.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "E08");
   using namespace ftqc::threshold;
 
   std::printf("E8: factoring resource estimates (§6).\n\n");
@@ -20,10 +22,16 @@ int main() {
               load.target_gate_error(), load.target_storage_error());
 
   const ResourceModel model;
+  ftqc::bench::JsonResult json;
   ftqc::Table table({"eps (gate=storage)", "levels L", "block 7^L",
                      "gate err @L", "storage err @L", "total qubits"});
   for (const double eps : {1e-5, 1e-6, 1e-7, 1e-8}) {
     const auto plan = model.plan(load, eps, eps);
+    if (eps == 1e-6 && plan.feasible) {
+      json.add("levels_at_1e-6", plan.levels);
+      json.add("block_size_at_1e-6", plan.block_size);
+      json.add("total_qubits_at_1e-6", static_cast<double>(plan.total_qubits));
+    }
     if (!plan.feasible) {
       table.add_row({ftqc::strfmt("%.0e", eps), "-", "-", "-", "-",
                      "above threshold"});
@@ -57,6 +65,7 @@ int main() {
                  ftqc::strfmt("%.0f", block_size_for_computation(t, 1e-6, 1e-3))});
   }
   b37.print();
+  json.write();
   std::printf(
       "\nShape check: levels fall as hardware improves; block size grows\n"
       "polylogarithmically in T and shrinks with better eps (Eq. 37).\n");

@@ -5,10 +5,12 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "common/table.h"
 #include "threshold/systematic.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "E09");
   using ftqc::threshold::CoherentErrorModel;
   using ftqc::threshold::simulate_random_walk_failure;
   using ftqc::threshold::simulate_systematic_failure;
@@ -20,20 +22,30 @@ int main() {
       " %.3g\n(equivalent per-gate error probability eps = theta^2/4 = %.2e).\n\n",
       theta, theta * theta / 4);
 
+  const size_t shots = ftqc::bench::scaled(3000, 300);
+  ftqc::bench::JsonResult json;
   ftqc::Table table({"N gates", "random: analytic", "random: MC",
                      "systematic: analytic", "systematic: statevector",
                      "systematic/random"});
   for (const size_t n : {100u, 400u, 1600u, 6400u}) {
     const double rw = model.random_walk_failure(n);
-    const double rw_mc = simulate_random_walk_failure(theta, n, 3000, 5);
+    const double rw_mc = simulate_random_walk_failure(theta, n, shots, 5);
     const double sys = model.systematic_failure(n);
     const double sys_sv = simulate_systematic_failure(theta, n, 7);
     table.add_row({ftqc::strfmt("%zu", n), ftqc::strfmt("%.3e", rw),
                    ftqc::strfmt("%.3e", rw_mc), ftqc::strfmt("%.3e", sys),
                    ftqc::strfmt("%.3e", sys_sv),
                    ftqc::strfmt("%.0f", sys / rw)});
+    if (n == 1600u) {
+      json.add("n_gates", n);
+      json.add("random_walk_mc", rw_mc);
+      json.add("systematic_statevector", sys_sv);
+      json.add("systematic_over_random", sys / rw);
+    }
   }
   table.print();
+  json.add("shots", shots);
+  json.write();
 
   std::printf(
       "\nThreshold consequence: to keep failure below a budget after N gates,"

@@ -5,6 +5,7 @@
 #include <array>
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "ft/gadget_runner.h"
@@ -100,28 +101,44 @@ double recovery_failure(double p_leak, bool detect_and_replace, size_t shots,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "E10");
   std::printf(
       "E10: leakage detection (Fig. 15) and replacement (§6).\n\n");
+  const size_t detect_shots = ftqc::bench::scaled(200000, 5000);
+  const size_t recovery_shots = ftqc::bench::scaled(40000, 300);
+  ftqc::bench::JsonResult json;
   ftqc::Table table({"p_leak", "P(leaked)", "P(detect | leaked)",
                      "P(false alarm)"});
   for (const double p : {0.05, 0.01, 0.002}) {
-    const auto stats = run(p, 1e-3, 200000, 3);
+    const auto stats = run(p, 1e-3, detect_shots, 3);
     table.add_row({ftqc::strfmt("%.3g", p),
                    ftqc::strfmt("%.4f", stats.leaked.mean()),
                    ftqc::strfmt("%.4f", stats.detected_given_leaked.mean()),
                    ftqc::strfmt("%.2e", stats.false_alarm.mean())});
+    if (p == 0.01) {
+      json.add("p_detect_given_leaked", stats.detected_given_leaked.mean());
+      json.add("p_false_alarm", stats.false_alarm.mean());
+    }
   }
   table.print();
 
   std::printf("\nRecovery with vs without leak replacement (gate eps = 3e-4, 5 cycles):\n");
   ftqc::Table rec({"p_leak", "P(logical) ignored", "P(logical) replaced"});
   for (const double p : {0.01, 0.003, 0.001}) {
-    rec.add_row({ftqc::strfmt("%.3g", p),
-                 ftqc::strfmt("%.3e", recovery_failure(p, false, 40000, 11)),
-                 ftqc::strfmt("%.3e", recovery_failure(p, true, 40000, 13))});
+    const double ignored = recovery_failure(p, false, recovery_shots, 11);
+    const double replaced = recovery_failure(p, true, recovery_shots, 13);
+    rec.add_row({ftqc::strfmt("%.3g", p), ftqc::strfmt("%.3e", ignored),
+                 ftqc::strfmt("%.3e", replaced)});
+    if (p == 0.003) {
+      json.add("p_logical_ignored", ignored);
+      json.add("p_logical_replaced", replaced);
+    }
   }
   rec.print();
+  json.add("detect_shots", detect_shots);
+  json.add("recovery_shots", recovery_shots);
+  json.write();
   std::printf(
       "\nShape check: detection is near-perfect (limited only by measurement\n"
       "error), false alarms are O(eps_meas), and replacing leaked qubits\n"

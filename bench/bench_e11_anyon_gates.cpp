@@ -5,6 +5,7 @@
 // nonsolvability).
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "common/table.h"
 #include "topo/anyon_gates.h"
 #include "topo/anyon_sim.h"
@@ -14,7 +15,8 @@ using namespace ftqc;
 using namespace ftqc::topo;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "E11");
   const A5 group;
   std::printf("E11: Aharonov-Bohm quantum logic in the A5 Kitaev model.\n\n");
   std::printf("Group facts: |A5| = %zu, commutator subgroup order = %zu\n",
@@ -43,7 +45,7 @@ int main() {
   // Charge interferometer statistics: flux eigenstate splits 50/50 into |±>,
   // repeated measurement is stable (Fig. 22).
   size_t minus_count = 0, stable = 0;
-  const size_t trials = 400;
+  const size_t trials = ftqc::bench::scaled(400, 50);
   for (size_t t = 0; t < trials; ++t) {
     AnyonSim sim(group, 100 + t);
     const size_t q = create_computational_pair(sim, false);
@@ -88,6 +90,12 @@ int main() {
                  toffoli.eval({a, b, c}) ? "1" : "0"});
   }
   tof.print();
+  ftqc::bench::JsonResult json;
+  json.add("interferometer_trials", trials);
+  json.add("p_minus", static_cast<double>(minus_count) / trials);
+  json.add("repeat_agreement", static_cast<double>(stable) / trials);
+  json.add("and_program_length", and_prog.length());
+  json.write();
   std::printf(
       "\nShape check: the NOT is an involution realized purely by a\n"
       "pull-through; charge measurement prepares |±> with the right Born\n"

@@ -4,6 +4,7 @@
 // encoded version.
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "ft/toffoli_gadget.h"
@@ -15,7 +16,8 @@ using namespace ftqc;
 using namespace ftqc::ft;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "E12");
   std::printf("E12: Shor's Toffoli gadget (Fig. 13), bare-level verification.\n\n");
 
   // Truth table.
@@ -42,8 +44,9 @@ int main() {
   table.print();
 
   // Fidelity on random superposition inputs.
+  const uint64_t num_inputs = ftqc::bench::scaled(50, 8);
   double min_fidelity = 1.0;
-  for (uint64_t seed = 0; seed < 50; ++seed) {
+  for (uint64_t seed = 0; seed < num_inputs; ++seed) {
     const ToffoliGadget g = make_bare_toffoli_gadget();
     sim::Circuit prep(7);
     Rng rng(900 + seed);
@@ -65,8 +68,13 @@ int main() {
     for (uint32_t q = 0; q < 4; ++q) sim.reset(q);
     min_fidelity = std::min(min_fidelity, sim.fidelity_with(ref));
   }
-  std::printf("\nMinimum fidelity vs direct CCX over 50 random inputs: %.12f\n",
-              min_fidelity);
+  std::printf("\nMinimum fidelity vs direct CCX over %zu random inputs: %.12f\n",
+              static_cast<size_t>(num_inputs), min_fidelity);
+
+  ftqc::bench::JsonResult json;
+  json.add("random_inputs", static_cast<size_t>(num_inputs));
+  json.add("min_fidelity", min_fidelity);
+  json.write();
 
   const ToffoliGadget g = make_bare_toffoli_gadget();
   std::printf(

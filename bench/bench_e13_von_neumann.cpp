@@ -3,10 +3,12 @@
 // below and above threshold, and the threshold itself.
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "classical/multiplexing.h"
 #include "common/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "E13");
   using namespace ftqc::classical;
 
   std::printf(
@@ -37,6 +39,13 @@ int main() {
   std::printf("\nStable error fractions (mean field): eps=0.01 -> %.4f, "
               "eps=0.05 -> %.4f, eps=0.25 -> none\n",
               stable_error_fraction(0.01), stable_error_fraction(0.05));
+
+  ftqc::bench::JsonResult json;
+  json.add("threshold", multiplexing_threshold());
+  json.add("stable_fraction_eps_0.01", stable_error_fraction(0.01));
+  json.add("final_fraction_below", below.error_fraction());
+  json.add("final_fraction_above", above.error_fraction());
+  json.write();
   std::printf(
       "\nShape check: below threshold the bundle cleans itself up to a small\n"
       "pinned fraction; above threshold it scrambles toward 1/2 — the same\n"

@@ -4,6 +4,7 @@
 // below a threshold — Kitaev's "intrinsically fault-tolerant hardware".
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "topo/toric_code.h"
@@ -30,13 +31,15 @@ double failure_rate(const ftqc::topo::ToricCode& code, double p, size_t shots,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "E14");
   using ftqc::topo::ToricCode;
   std::printf(
       "E14: toric-code memory under iid X noise, greedy-matching decoder.\n"
       "Rows: physical error rate p; columns: lattice size L (2L^2 qubits).\n\n");
 
-  const size_t shots = 3000;
+  const size_t shots = ftqc::bench::scaled(3000, 300);
+  ftqc::bench::JsonResult json;
   ftqc::Table table({"p", "L=4", "L=6", "L=8", "trend"});
   for (const double p : {0.12, 0.10, 0.08, 0.06, 0.04, 0.02, 0.01}) {
     const double f4 = failure_rate(ToricCode(4), p, shots, 11);
@@ -47,8 +50,16 @@ int main() {
                                                : "crossover";
     table.add_row({ftqc::strfmt("%.2f", p), ftqc::strfmt("%.4f", f4),
                    ftqc::strfmt("%.4f", f6), ftqc::strfmt("%.4f", f8), trend});
+    if (p == 0.02) {
+      json.add("p", p);
+      json.add("failure_L4", f4);
+      json.add("failure_L6", f6);
+      json.add("failure_L8", f8);
+    }
   }
   table.print();
+  json.add("shots", shots);
+  json.write();
   std::printf(
       "\nShape check: below ~0.05-0.08 growing the lattice suppresses the\n"
       "logical failure (exponentially in L); above it, larger lattices are\n"

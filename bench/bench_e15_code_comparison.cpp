@@ -5,6 +5,7 @@
 // support, plus exact code-capacity failure rates.
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "codes/library.h"
 #include "codes/lookup_decoder.h"
 #include "common/table.h"
@@ -39,7 +40,8 @@ double exact_failure(const StabilizerCode& code, const LookupDecoder& decoder,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "E15");
   std::printf("E15: library code comparison (§4.2, §3.6).\n\n");
   const StabilizerCode* codes[] = {&five_qubit(), &steane(), &shor9(),
                                    &hamming15()};
@@ -64,13 +66,22 @@ int main() {
   const LookupDecoder d5(five_qubit());
   const LookupDecoder d7(steane());
   const LookupDecoder d9(shor9());
+  ftqc::bench::JsonResult json;
   for (const double eps : {0.02, 0.01, 0.005, 0.002}) {
-    failure.add_row({ftqc::strfmt("%.3g", eps),
-                     ftqc::strfmt("%.3e", exact_failure(five_qubit(), d5, eps)),
-                     ftqc::strfmt("%.3e", exact_failure(steane(), d7, eps)),
-                     ftqc::strfmt("%.3e", exact_failure(shor9(), d9, eps))});
+    const double f5 = exact_failure(five_qubit(), d5, eps);
+    const double f7 = exact_failure(steane(), d7, eps);
+    const double f9 = exact_failure(shor9(), d9, eps);
+    failure.add_row({ftqc::strfmt("%.3g", eps), ftqc::strfmt("%.3e", f5),
+                     ftqc::strfmt("%.3e", f7), ftqc::strfmt("%.3e", f9)});
+    if (eps == 0.01) {
+      json.add("eps", eps);
+      json.add("failure_5qubit", f5);
+      json.add("failure_steane", f7);
+      json.add("failure_shor9", f9);
+    }
   }
   failure.print();
+  json.write();
   std::printf(
       "\nShape check: all three distance-3 codes fail at O(eps^2); the\n"
       "5-qubit code has the best raw rate (smallest block), Shor's benefits\n"

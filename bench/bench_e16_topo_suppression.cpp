@@ -4,11 +4,13 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "topo/suppression.h"
 
-int main() {
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "E16");
   using ftqc::topo::TopologicalMemoryModel;
   const TopologicalMemoryModel model{/*mass=*/1.0, /*gap=*/1.0,
                                      /*attempt_rate=*/1.0};
@@ -26,7 +28,7 @@ int main() {
     const double rate = model.error_rate(l, 0);
     const double survive = model.survival_probability(l, 0, 100);
     size_t ok = 0;
-    const size_t shots = 20000;
+    const size_t shots = ftqc::bench::scaled(20000, 2000);
     for (size_t s = 0; s < shots; ++s) {
       ok += model.sample_error_events(l, 0, 100, rng) == 0 ? 1 : 0;
     }
@@ -46,7 +48,7 @@ int main() {
     const double rate = model.error_rate(100, t);
     const double survive = model.survival_probability(100, t, 100);
     size_t ok = 0;
-    const size_t shots = 20000;
+    const size_t shots = ftqc::bench::scaled(20000, 2000);
     for (size_t s = 0; s < shots; ++s) {
       ok += model.sample_error_events(100, t, 100, rng) == 0 ? 1 : 0;
     }
@@ -60,6 +62,12 @@ int main() {
               "temperature T <= %.4f Δ\n",
               model.separation_for_target(1e-9),
               model.temperature_for_target(1e-9));
+
+  ftqc::bench::JsonResult json;
+  json.add("separation_for_1e-9", model.separation_for_target(1e-9));
+  json.add("temperature_for_1e-9", model.temperature_for_target(1e-9));
+  json.add("rate_L8_T0", model.error_rate(8, 0));
+  json.write();
   std::printf(
       "\nShape check: exponential suppression in both L and 1/T — the §7.1\n"
       "argument that topological hardware can be operated 'relatively\n"

@@ -3,6 +3,9 @@
 // batch frames, state-vector Toffolis and anyon pull-throughs.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "ft/steane_recovery.h"
 #include "sim/batch_frame_sim.h"
 #include "sim/frame_sim.h"
@@ -101,4 +104,24 @@ BENCHMARK(BM_AnyonPullThrough);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): `--smoke` (used by the CTest
+// bench-smoke tier) maps onto a minimal-iteration benchmark run.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  static char min_time_flag[] = "--benchmark_min_time=0.01";
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::string(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (smoke) args.push_back(min_time_flag);
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

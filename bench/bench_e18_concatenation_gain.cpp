@@ -6,6 +6,7 @@
 // grows as eps shrinks — the mechanism behind the accuracy threshold.
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "ft/concatenated_recovery.h"
@@ -42,7 +43,8 @@ Proportion level2_failure(double eps, size_t shots, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "E18");
   std::printf(
       "E18: level-1 vs level-2 concatenated recovery, full circuit level.\n"
       "One FT recovery cycle per level; failure after ideal decode.\n\n");
@@ -52,19 +54,28 @@ int main() {
     double eps;
     size_t shots;
   };
+  // Smoke mode divides shot counts by 100 (and still exercises both levels).
+  const size_t div = ftqc::bench::smoke() ? 100 : 1;
+  ftqc::bench::JsonResult json;
   for (const Point pt : {Point{4e-3, 20000}, Point{2e-3, 20000},
                          Point{1e-3, 30000}, Point{5e-4, 40000},
                          Point{2.5e-4, 40000}}) {
-    const auto l1 = level1_failure(pt.eps, pt.shots, 1000);
-    const auto l2 = level2_failure(pt.eps, pt.shots / 4, 2000);
+    const auto l1 = level1_failure(pt.eps, pt.shots / div, 1000);
+    const auto l2 = level2_failure(pt.eps, pt.shots / div / 4, 2000);
     const double f1 = l1.mean();
     const double f2 = l2.mean();
     const char* winner = f2 < f1 ? "level 2" : "level 1";
     table.add_row({ftqc::strfmt("%.2e", pt.eps), ftqc::strfmt("%.3e", f1),
                    ftqc::strfmt("%.3e", f2), winner,
                    ftqc::strfmt("%.2fx", f2 > 0 ? f1 / f2 : -1.0)});
+    if (pt.eps == 1e-3) {
+      json.add("eps", pt.eps);
+      json.add("level1_failure", f1);
+      json.add("level2_failure", f2);
+    }
   }
   table.print();
+  json.write();
   std::printf(
       "\nShape check: the level-2/level-1 failure ratio falls steadily as eps\n"
       "drops (the level-2 curve is steeper), extrapolating to a crossover\n"

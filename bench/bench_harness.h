@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+// Shared harness for the E01-E18 paper benchmarks.
+//
+//   int main(int argc, char** argv) {
+//     ftqc::bench::init(argc, argv, "E05");
+//     const size_t shots = ftqc::bench::scaled(200000, 500);
+//     ...
+//     ftqc::bench::JsonResult json;
+//     json.add("p_fail", p_fail);
+//     json.write();
+//   }
+//
+// `--smoke` (or FTQC_BENCH_SMOKE=1) switches every benchmark to a <=1s
+// configuration so CTest's bench-smoke tier catches bit-rot cheaply.
+// JsonResult::write() appends one self-describing line to stdout
+// (`BENCH_JSON {...}`) and writes a BENCH_<name>.json artifact next to the
+// working directory so perf trajectories can be diffed across PRs.
+namespace ftqc::bench {
+
+struct Options {
+  bool smoke = false;
+  std::string name;      // benchmark id, e.g. "E05"
+  std::string json_dir;  // defaults to the working directory
+};
+
+inline Options& options() {
+  static Options opts;
+  return opts;
+}
+
+inline bool smoke() { return options().smoke; }
+
+// Pick `full` normally, `smoke_value` under --smoke.
+inline size_t scaled(size_t full, size_t smoke_value) {
+  return options().smoke ? smoke_value : full;
+}
+
+inline void init(int argc, char** argv, const char* name) {
+  Options& opts = options();
+  opts.name = name;
+  if (const char* env = std::getenv("FTQC_BENCH_SMOKE")) {
+    opts.smoke = env[0] != '\0' && env[0] != '0';
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--smoke") == 0) {
+      opts.smoke = true;
+    } else if (std::strcmp(arg, "--full") == 0) {
+      opts.smoke = false;
+    } else if (std::strncmp(arg, "--json-dir=", 11) == 0) {
+      opts.json_dir = arg + 11;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::printf("usage: %s [--smoke] [--full] [--json-dir=DIR]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
+      std::exit(2);
+    }
+  }
+  if (opts.smoke) std::printf("[smoke mode: reduced shot counts]\n");
+}
+
+// Accumulates flat key/value metrics and emits them as one JSON object.
+class JsonResult {
+ public:
+  void add(const std::string& key, double value) {
+    char buf[64];
+    // %.12g would print bare nan/inf tokens, which are not valid JSON.
+    if (std::isfinite(value)) {
+      std::snprintf(buf, sizeof buf, "%.12g", value);
+    } else {
+      std::snprintf(buf, sizeof buf, "null");
+    }
+    fields_.emplace_back(key, buf);
+  }
+  void add(const std::string& key, size_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void add(const std::string& key, int value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void add_string(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + escaped(value) + "\"");
+  }
+
+  // Serializes {"bench":"E05","smoke":...,<fields>}, prints a BENCH_JSON
+  // line, and writes BENCH_<name>.json for machine consumption.
+  void write() const {
+    const Options& opts = options();
+    FTQC_CHECK(!opts.name.empty(), "bench::init must run before write()");
+    std::string json = "{\"bench\":\"" + escaped(opts.name) + "\"";
+    json += ",\"smoke\":";
+    json += opts.smoke ? "true" : "false";
+    for (const auto& [key, value] : fields_) {
+      json += ",\"" + escaped(key) + "\":" + value;
+    }
+    json += "}";
+    std::printf("BENCH_JSON %s\n", json.c_str());
+    std::string path = opts.json_dir.empty() ? "" : opts.json_dir + "/";
+    path += "BENCH_" + opts.name + ".json";
+    if (std::FILE* out = std::fopen(path.c_str(), "w")) {
+      std::fprintf(out, "%s\n", json.c_str());
+      std::fclose(out);
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    }
+  }
+
+ private:
+  static std::string escaped(const std::string& raw) {
+    std::string out;
+    for (char c : raw) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace ftqc::bench

@@ -2,14 +2,18 @@
 // from the vacuum, run NOT gates by pull-through, build superpositions with
 // the charge interferometer, and compute AND purely by conjugation.
 //
-//   ./build/examples/anyon_computer
+//   ./build/examples/anyon_computer [--smoke]
 #include <cstdio>
 
+#include "example_util.h"
 #include "topo/anyon_gates.h"
 #include "topo/anyon_sim.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ftqc::topo;
+  // The walkthrough is already sub-second; --smoke is accepted (contract
+  // shared by every example) but changes nothing.
+  strip_smoke_flag(argc, argv);
   const A5 group;
 
   std::printf("== Topological quantum computing with A5 fluxons (§7) ==\n\n");

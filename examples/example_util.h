@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstring>
+
+// Removes every "--smoke" occurrence from argv (so positional-argument
+// parsing stays intact) and reports whether one was present. The CTest
+// bench-smoke tier runs each example with --smoke; examples shrink their
+// statistical shot counts accordingly.
+inline bool strip_smoke_flag(int& argc, char** argv) {
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;  // preserve the argv[argc] == NULL contract
+  return smoke;
+}

@@ -2,17 +2,19 @@
 // fault-tolerant quantum computer factors your number, at your hardware
 // quality?
 //
-//   ./build/examples/factoring_resources [bits] [eps_gate] [eps_store]
+//   ./build/examples/factoring_resources [--smoke] [bits] [eps_gate] [eps_store]
 #include <cstdio>
 #include <cstdlib>
 
 #include "common/table.h"
+#include "example_util.h"
 #include "threshold/resources.h"
 
 int main(int argc, char** argv) {
   using namespace ftqc;
   using namespace ftqc::threshold;
 
+  strip_smoke_flag(argc, argv);  // analytic: smoke changes nothing
   FactoringWorkload load;
   load.bits = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 432;
   const double eps_gate = argc > 2 ? std::atof(argv[2]) : 1e-6;

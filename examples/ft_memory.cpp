@@ -2,19 +2,22 @@
 // recovery cycles and watch the survival curve — the paper's core promise
 // (§5): below threshold, encoded information outlives any bare qubit.
 //
-//   ./build/examples/ft_memory [eps] [cycles] [shots]
+//   ./build/examples/ft_memory [--smoke] [eps] [cycles] [shots]
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
 #include "common/table.h"
+#include "example_util.h"
 #include "ft/steane_recovery.h"
 
 int main(int argc, char** argv) {
   using namespace ftqc;
+  const bool smoke = strip_smoke_flag(argc, argv);
   const double eps = argc > 1 ? std::atof(argv[1]) : 2e-3;
-  const int cycles = argc > 2 ? std::atoi(argv[2]) : 50;
-  const size_t shots = argc > 3 ? static_cast<size_t>(std::atoll(argv[3])) : 2000;
+  const int cycles = argc > 2 ? std::atoi(argv[2]) : (smoke ? 10 : 50);
+  const size_t shots = argc > 3 ? static_cast<size_t>(std::atoll(argv[3]))
+                                : (smoke ? 200 : 2000);
 
   std::printf(
       "Logical memory: Steane block, gate error %.2e, %d recovery cycles,\n"

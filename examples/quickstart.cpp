@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "codes/library.h"
+#include "example_util.h"
 #include "ft/encoded_measure.h"
 #include "ft/steane_circuits.h"
 #include "ft/steane_recovery.h"
@@ -14,8 +15,9 @@
 #include "sim/runner.h"
 #include "sim/tableau_sim.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ftqc;
+  const bool smoke = strip_smoke_flag(argc, argv);
   constexpr std::array<uint32_t, 7> kBlock = {0, 1, 2, 3, 4, 5, 6};
 
   std::printf("== 1. Encode |1> with the Fig. 3 circuit (exact simulation) ==\n");
@@ -40,7 +42,7 @@ int main() {
   const double eps = 2e-4;  // comfortably below the ~9e-4 pseudothreshold
   const auto noise = sim::NoiseParams::uniform_gate(eps);
   size_t failures = 0;
-  const size_t shots = 100000;
+  const size_t shots = smoke ? 1000 : 100000;
   for (size_t s = 0; s < shots; ++s) {
     ft::SteaneRecovery rec(noise, ft::RecoveryPolicy{}, 1000 + s);
     rec.apply_memory_noise(eps);  // one storage step

@@ -2,13 +2,14 @@
 // and locate the level-1 pseudothreshold, then project the concatenation
 // cascade from your measured point (Eqs. 33/36).
 //
-//   ./build/examples/threshold_explorer [steane|shor] [shots]
+//   ./build/examples/threshold_explorer [--smoke] [steane|shor] [shots]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include "common/table.h"
+#include "example_util.h"
 #include "threshold/flow.h"
 #include "threshold/pseudothreshold.h"
 
@@ -16,9 +17,10 @@ int main(int argc, char** argv) {
   using namespace ftqc;
   using namespace ftqc::threshold;
 
+  const bool smoke = strip_smoke_flag(argc, argv);
   const bool shor = argc > 1 && std::strcmp(argv[1], "shor") == 0;
-  const size_t shots =
-      argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 40000;
+  const size_t shots = argc > 2 ? static_cast<size_t>(std::atoll(argv[2]))
+                                : (smoke ? 400 : 40000);
   const RecoveryMethod method =
       shor ? RecoveryMethod::kShor : RecoveryMethod::kSteane;
 

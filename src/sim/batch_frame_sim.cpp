@@ -115,6 +115,16 @@ void BatchFrameSim::x_error(size_t q, double p) {
   for (size_t w = 0; w < words_; ++w) xs[w] ^= random_mask(p);
 }
 
+void BatchFrameSim::y_error(size_t q, double p) {
+  uint64_t* xs = x_word(q);
+  uint64_t* zs = z_word(q);
+  for (size_t w = 0; w < words_; ++w) {
+    const uint64_t mask = random_mask(p);
+    xs[w] ^= mask;
+    zs[w] ^= mask;
+  }
+}
+
 void BatchFrameSim::z_error(size_t q, double p) {
   uint64_t* zs = z_word(q);
   for (size_t w = 0; w < words_; ++w) zs[w] ^= random_mask(p);
@@ -149,15 +159,27 @@ void BatchFrameSim::run(const Circuit& circuit) {
         depolarize2(op.targets[0], op.targets[1], op.arg);
         break;
       case Gate::X_ERROR: x_error(op.targets[0], op.arg); break;
+      case Gate::Y_ERROR: y_error(op.targets[0], op.arg); break;
       case Gate::Z_ERROR: z_error(op.targets[0], op.arg); break;
+      // Injections flip (not set) the frame, matching FrameSim::inject_*:
+      // two injections of the same Pauli cancel.
       case Gate::INJECT_X: {
         uint64_t* xs = x_word(op.targets[0]);
-        for (size_t w = 0; w < words_; ++w) xs[w] = ~uint64_t{0};
+        for (size_t w = 0; w < words_; ++w) xs[w] ^= ~uint64_t{0};
+        break;
+      }
+      case Gate::INJECT_Y: {
+        uint64_t* xs = x_word(op.targets[0]);
+        uint64_t* zs = z_word(op.targets[0]);
+        for (size_t w = 0; w < words_; ++w) {
+          xs[w] ^= ~uint64_t{0};
+          zs[w] ^= ~uint64_t{0};
+        }
         break;
       }
       case Gate::INJECT_Z: {
         uint64_t* zs = z_word(op.targets[0]);
-        for (size_t w = 0; w < words_; ++w) zs[w] = ~uint64_t{0};
+        for (size_t w = 0; w < words_; ++w) zs[w] ^= ~uint64_t{0};
         break;
       }
       default:

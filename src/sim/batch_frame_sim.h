@@ -35,6 +35,7 @@ class BatchFrameSim {
   void depolarize1(size_t q, double p);
   void depolarize2(size_t a, size_t b, double p);
   void x_error(size_t q, double p);
+  void y_error(size_t q, double p);
   void z_error(size_t q, double p);
 
   // Measurement flip masks for all shots (64 shots per word).

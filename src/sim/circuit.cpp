@@ -6,10 +6,17 @@ namespace ftqc::sim {
 
 std::string Operation::to_string() const {
   std::string s = gate_name(gate);
-  if (cond >= 0) s = "if[m" + std::to_string(cond) + "] " + s;
-  for (uint32_t t : targets) s += " " + std::to_string(t);
+  // insert() instead of `"..." + s`: the latter trips GCC 12's -Wrestrict
+  // false positive (PR 105651) at -O3 under -Werror.
+  if (cond >= 0) s.insert(0, "if[m" + std::to_string(cond) + "] ");
+  for (uint32_t t : targets) {
+    s += ' ';
+    s += std::to_string(t);
+  }
   if (gate_is_channel(gate) || gate == Gate::RX || gate == Gate::RZ) {
-    s += " (" + std::to_string(arg) + ")";
+    s += " (";
+    s += std::to_string(arg);
+    s += ')';
   }
   return s;
 }

@@ -166,8 +166,13 @@ bool TableauSim::measure_pauli(const PauliString& p) {
 
   if (pivot != 2 * n_) {
     // Random outcome. Fix up all other anticommuting rows, then install P.
+    // The pivot's destabilizer partner is skipped: it anticommutes with the
+    // pivot (their product would carry an imaginary phase) and is overwritten
+    // with the old pivot row immediately below.
     for (size_t row = 0; row < 2 * n_; ++row) {
-      if (row != pivot && row_anticommutes(row, p)) row_mult_into(pivot, row);
+      if (row != pivot && row != pivot - n_ && row_anticommutes(row, p)) {
+        row_mult_into(pivot, row);
+      }
     }
     rows_[pivot - n_] = rows_[pivot];
     const bool outcome = (rng_.next_u64() & 1) != 0;

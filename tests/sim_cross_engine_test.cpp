@@ -1,0 +1,218 @@
+// Cross-engine consistency: the exact tableau engine, the Pauli-frame
+// sampler, and the bit-parallel batch sampler must tell the same story for a
+// shared Clifford circuit — and each engine must be reproducible from its
+// seed alone.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/batch_frame_sim.h"
+#include "sim/circuit.h"
+#include "sim/frame_sim.h"
+#include "sim/runner.h"
+#include "sim/tableau_sim.h"
+
+namespace ftqc::sim {
+namespace {
+
+// A representative 5-qubit Clifford mixing circuit with noise channels and a
+// full terminal Z-measurement layer.
+Circuit noisy_clifford_circuit() {
+  Circuit c(5);
+  for (uint32_t q = 0; q < 5; ++q) c.h(q);
+  c.cx(0, 1);
+  c.cx(2, 3);
+  c.cz(1, 2);
+  c.swap(3, 4);
+  for (uint32_t q = 0; q < 5; ++q) c.depolarize1(q, 0.2);
+  c.depolarize2(0, 4, 0.2);
+  c.tick();
+  c.cx(4, 0);
+  for (uint32_t q = 0; q < 5; ++q) c.h(q);
+  for (uint32_t q = 0; q < 5; ++q) c.m(q);
+  return c;
+}
+
+// Self-inverting Clifford circuit with a deterministic Pauli error pattern
+// injected at the midpoint. The noiseless version is the identity, so every
+// terminal measurement is deterministic (reference outcome 0) and the frame
+// flips must reproduce the exact engine's record bit for bit.
+Circuit injected_clifford_circuit() {
+  Circuit c(5);
+  for (uint32_t q = 0; q < 5; ++q) c.h(q);
+  c.cx(0, 1);
+  c.cx(2, 3);
+  c.cz(1, 2);
+  c.swap(3, 4);
+  c.inject(0, 'X');
+  c.inject(2, 'Y');
+  c.inject(3, 'Z');
+  c.tick();
+  c.swap(3, 4);
+  c.cz(1, 2);
+  c.cx(2, 3);
+  c.cx(0, 1);
+  for (uint32_t q = 0; q < 5; ++q) c.h(q);
+  for (uint32_t q = 0; q < 5; ++q) c.m(q);
+  return c;
+}
+
+TEST(CrossEngine, TableauSameSeedSameRecord) {
+  const Circuit c = noisy_clifford_circuit();
+  TableauSim a(5, /*seed=*/1234), b(5, /*seed=*/1234);
+  EXPECT_EQ(run_circuit(a, c), run_circuit(b, c));
+}
+
+TEST(CrossEngine, FrameSameSeedSameRecord) {
+  const Circuit c = noisy_clifford_circuit();
+  FrameSim a(5, /*seed=*/77), b(5, /*seed=*/77);
+  EXPECT_EQ(run_circuit(a, c), run_circuit(b, c));
+}
+
+TEST(CrossEngine, BatchFrameSameSeedSameFlips) {
+  Circuit c(5);
+  for (uint32_t q = 0; q < 5; ++q) c.h(q);
+  c.cx(0, 1);
+  c.cz(1, 2);
+  for (uint32_t q = 0; q < 5; ++q) c.depolarize1(q, 0.2);
+  c.x_error(3, 0.5);
+  c.z_error(4, 0.5);
+
+  BatchFrameSim a(5, 256, /*seed=*/99), b(5, 256, /*seed=*/99);
+  a.run(c);
+  b.run(c);
+  for (size_t q = 0; q < 5; ++q) {
+    for (size_t shot = 0; shot < 256; ++shot) {
+      ASSERT_EQ(a.x_flip(q, shot), b.x_flip(q, shot)) << q << "," << shot;
+      ASSERT_EQ(a.z_flip(q, shot), b.z_flip(q, shot)) << q << "," << shot;
+    }
+  }
+}
+
+// With no noise at all, the frame engine must report zero flips regardless of
+// seed: the noisy run *is* the reference run.
+TEST(CrossEngine, NoiselessFrameRecordIsAllZero) {
+  Circuit c = injected_clifford_circuit();
+  Circuit clean(5);
+  for (const auto& op : c.ops()) {
+    if (op.gate == Gate::INJECT_X || op.gate == Gate::INJECT_Y ||
+        op.gate == Gate::INJECT_Z) {
+      continue;  // strip the injected errors
+    }
+    clean.append(op.gate, op.targets, op.arg, op.cond);
+  }
+  for (uint64_t seed : {1ull, 2ull, 983ull}) {
+    FrameSim f(5, seed);
+    const auto record = run_circuit(f, clean);
+    ASSERT_EQ(record.size(), 5u);
+    for (uint8_t bit : record) EXPECT_EQ(bit, 0);
+  }
+}
+
+// The frame record of a deterministically injected error must equal the
+// exact engine's record bit for bit: the circuit is self-inverting, so the
+// noiseless reference outcome of every measurement is a deterministic 0 and
+// the flip IS the outcome. This pins FrameSim's flip semantics (and its
+// Pauli propagation) to the tableau engine's.
+TEST(CrossEngine, FrameFlipsMatchTableauDifference) {
+  const Circuit noisy = injected_clifford_circuit();
+  Circuit clean(5);
+  for (const auto& op : noisy.ops()) {
+    if (op.gate == Gate::INJECT_X || op.gate == Gate::INJECT_Y ||
+        op.gate == Gate::INJECT_Z) {
+      continue;
+    }
+    clean.append(op.gate, op.targets, op.arg, op.cond);
+  }
+
+  for (uint64_t seed : {5ull, 6ull, 7ull}) {
+    TableauSim noisy_sim(5, seed), clean_sim(5, seed);
+    const auto noisy_rec = run_circuit(noisy_sim, noisy);
+    const auto clean_rec = run_circuit(clean_sim, clean);
+    ASSERT_EQ(noisy_rec.size(), clean_rec.size());
+    // Sanity: the clean circuit really is the identity on |00000>.
+    for (uint8_t bit : clean_rec) ASSERT_EQ(bit, 0);
+
+    FrameSim frame(5, seed);
+    const auto flips = run_circuit(frame, noisy);
+    ASSERT_EQ(flips.size(), noisy_rec.size());
+    for (size_t i = 0; i < flips.size(); ++i) {
+      EXPECT_EQ(flips[i], noisy_rec[i]) << "measurement " << i;
+    }
+    // The injected pattern is not trivial: at least one bit must flip.
+    size_t weight = 0;
+    for (uint8_t bit : flips) weight += bit;
+    EXPECT_GT(weight, 0u);
+  }
+}
+
+// For a straight-line circuit the batch sampler's destructive flip masks
+// must agree with FrameSim's destructive flips when the error pattern is
+// deterministic (every shot identical).
+TEST(CrossEngine, BatchFlipsMatchFrameSimDestructiveFlips) {
+  Circuit c(4);
+  for (uint32_t q = 0; q < 4; ++q) c.h(q);
+  c.cx(0, 1);
+  c.cx(1, 2);
+  c.cz(2, 3);
+  c.inject(1, 'X');
+  c.inject(3, 'Y');
+
+  FrameSim frame(4, /*seed=*/11);
+  for (const auto& op : c.ops()) {
+    switch (op.gate) {
+      case Gate::H: frame.apply_h(op.targets[0]); break;
+      case Gate::CX: frame.apply_cx(op.targets[0], op.targets[1]); break;
+      case Gate::CZ: frame.apply_cz(op.targets[0], op.targets[1]); break;
+      case Gate::INJECT_X: frame.inject_x(op.targets[0]); break;
+      case Gate::INJECT_Y: frame.inject_y(op.targets[0]); break;
+      case Gate::INJECT_Z: frame.inject_z(op.targets[0]); break;
+      default: break;
+    }
+  }
+
+  BatchFrameSim batch(4, 128, /*seed=*/22);
+  batch.run(c);
+  for (size_t q = 0; q < 4; ++q) {
+    for (size_t shot = 0; shot < 128; ++shot) {
+      ASSERT_EQ(batch.x_flip(q, shot), frame.destructive_z_flip(q))
+          << q << "," << shot;
+      ASSERT_EQ(batch.z_flip(q, shot), frame.destructive_x_flip(q))
+          << q << "," << shot;
+    }
+  }
+
+  // Double injection cancels (flip semantics, matching FrameSim::inject_*).
+  Circuit cancel(2);
+  cancel.inject(0, 'Y');
+  cancel.inject(0, 'Y');
+  BatchFrameSim batch2(2, 64, /*seed=*/23);
+  batch2.run(cancel);
+  EXPECT_FALSE(batch2.x_flip(0, 0));
+  EXPECT_FALSE(batch2.z_flip(0, 0));
+}
+
+// Different seeds must (overwhelmingly) produce different records on a
+// random-outcome circuit — guards against an RNG that ignores its seed.
+TEST(CrossEngine, DifferentSeedsDiverge) {
+  Circuit c(8);
+  for (uint32_t q = 0; q < 8; ++q) c.h(q);
+  for (uint32_t q = 0; q < 8; ++q) c.m(q);
+
+  // 8 random bits collide with probability 2^-8 per pair; run three rounds so
+  // a spurious failure is ~2^-24.
+  std::vector<uint8_t> rec_a, rec_b;
+  for (int round = 0; round < 3; ++round) {
+    TableauSim fresh_a(8, static_cast<uint64_t>(round) * 2 + 1);
+    TableauSim fresh_b(8, static_cast<uint64_t>(round) * 2 + 2);
+    const auto ra = run_circuit(fresh_a, c);
+    const auto rb = run_circuit(fresh_b, c);
+    rec_a.insert(rec_a.end(), ra.begin(), ra.end());
+    rec_b.insert(rec_b.end(), rb.begin(), rb.end());
+  }
+  EXPECT_NE(rec_a, rec_b);
+}
+
+}  // namespace
+}  // namespace ftqc::sim
