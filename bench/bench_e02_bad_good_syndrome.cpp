@@ -12,6 +12,7 @@
 #include "ft/steane_circuits.h"
 #include "gf2/hamming.h"
 #include "sim/frame_sim.h"
+#include "sim/shot_runner.h"
 
 namespace {
 
@@ -75,20 +76,26 @@ bool run_good(NoiseInjector& injector) {
   return data_z_coset_weight(frame) >= 2;
 }
 
+// The Shor-state retry loop is data-dependent per shot, so this bench stays
+// on the serial frame engine; ShotRunner still supplies the seeding, the
+// OpenMP shot distribution and the timing.
 double mc_rate(bool good, double eps, size_t shots, uint64_t seed) {
   const auto noise = sim::NoiseParams::uniform_gate(eps);
-  size_t bad_events = 0;
-  for (size_t s = 0; s < shots; ++s) {
+  sim::ShotPlan plan;
+  plan.shots = shots;
+  plan.seed = seed;
+  const sim::ShotRunner runner(plan);
+  const auto result = runner.run([&](uint64_t shot_seed) {
     StochasticInjector injector(noise);
-    sim::FrameSim frame(12, seed + s);
+    sim::FrameSim frame(12, shot_seed);
     if (good) {
       execute_good(frame, injector);
     } else {
       execute_bad(frame, injector);
     }
-    bad_events += data_z_coset_weight(frame) >= 2 ? 1 : 0;
-  }
-  return static_cast<double>(bad_events) / static_cast<double>(shots);
+    return data_z_coset_weight(frame) >= 2;
+  });
+  return result.failure_rate();
 }
 
 }  // namespace

@@ -4,6 +4,13 @@
 // and the level-1 pseudothreshold 1/c. Also compares storage-error
 // sensitivity: §5 claims the Steane method is better optimized for storage
 // errors because "a gate acts on each qubit in almost every step".
+//
+// The Steane sweep runs twice — serial FrameSim shots and the bit-parallel
+// BatchSteaneRecovery (64 shots/word) — to pin the two engines against each
+// other: estimates must agree within binomial error while the batch path
+// delivers an order-of-magnitude throughput win (the ShotRunner refactor's
+// acceptance gate).
+#include <cmath>
 #include <cstdio>
 
 #include "bench_harness.h"
@@ -13,6 +20,15 @@
 namespace {
 using namespace ftqc;
 using namespace ftqc::threshold;
+
+// |p1 - p2| in units of the combined binomial standard error.
+double agreement_sigma(const Proportion& a, const Proportion& b) {
+  const double pa = a.mean(), pb = b.mean();
+  const double va = pa * (1 - pa) / static_cast<double>(a.trials);
+  const double vb = pb * (1 - pb) / static_cast<double>(b.trials);
+  const double se = std::sqrt(va + vb);
+  return se > 0 ? std::fabs(pa - pb) / se : 0.0;
+}
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -23,33 +39,66 @@ int main(int argc, char** argv) {
   const std::vector<double> eps_values = {0.008, 0.004, 0.002, 0.001};
   const size_t shots = ftqc::bench::scaled(60000, 400);
 
-  ftqc::Table table({"eps", "Steane: P(logical)", "Steane/eps^2",
-                     "Shor: P(logical)", "Shor/eps^2"});
-  auto steane = sweep_cycle_failure(RecoveryMethod::kSteane, eps_values, shots, 1);
+  auto steane = sweep_cycle_failure(RecoveryMethod::kSteane, eps_values, shots,
+                                    1, sim::ShotEngine::kFrame);
+  auto steane_batch = sweep_cycle_failure(RecoveryMethod::kSteane, eps_values,
+                                          shots, 17, sim::ShotEngine::kBatch);
   auto shor = sweep_cycle_failure(RecoveryMethod::kShor, eps_values, shots, 2);
+
+  ftqc::Table table({"eps", "Steane frame", "Steane batch", "agree(sigma)",
+                     "Shor: P(logical)", "Shor/eps^2"});
+  double max_sigma = 0;
   for (size_t i = 0; i < eps_values.size(); ++i) {
     const double e = eps_values[i];
+    const double sigma =
+        agreement_sigma(steane[i].failures, steane_batch[i].failures);
+    max_sigma = std::max(max_sigma, sigma);
     table.add_row({ftqc::strfmt("%.3g", e),
                    ftqc::strfmt("%.3e", steane[i].failures.mean()),
-                   ftqc::strfmt("%.1f", steane[i].failures.mean() / (e * e)),
+                   ftqc::strfmt("%.3e", steane_batch[i].failures.mean()),
+                   ftqc::strfmt("%.2f", sigma),
                    ftqc::strfmt("%.3e", shor[i].failures.mean()),
                    ftqc::strfmt("%.1f", shor[i].failures.mean() / (e * e))});
   }
   table.print();
 
+  double frame_seconds = 0, batch_seconds = 0;
+  uint64_t sweep_shots = 0;
+  for (size_t i = 0; i < eps_values.size(); ++i) {
+    frame_seconds += steane[i].seconds;
+    batch_seconds += steane_batch[i].seconds;
+    sweep_shots += steane[i].failures.trials;
+  }
+  const double frame_sps =
+      frame_seconds > 0 ? static_cast<double>(sweep_shots) / frame_seconds : 0;
+  const double batch_sps =
+      batch_seconds > 0 ? static_cast<double>(sweep_shots) / batch_seconds : 0;
+  const double speedup = frame_sps > 0 ? batch_sps / frame_sps : 0;
+  std::printf(
+      "\nThroughput (Steane sweep, %zu shots/point): frame %.3g shots/s,\n"
+      "batch %.3g shots/s -> %.1fx; worst cross-engine deviation %.2f sigma.\n",
+      shots, frame_sps, batch_sps, speedup, max_sigma);
+
   const double c_steane = fit_quadratic_coefficient(steane);
+  const double c_batch = fit_quadratic_coefficient(steane_batch);
   const double c_shor = fit_quadratic_coefficient(shor);
   std::printf(
       "\nQuadratic fit: Steane c = %.0f (pseudothreshold 1/c = %.2e)\n"
+      "               batch  c = %.0f (pseudothreshold 1/c = %.2e)\n"
       "               Shor   c = %.0f (pseudothreshold 1/c = %.2e)\n",
-      c_steane, 1 / c_steane, c_shor, 1 / c_shor);
+      c_steane, 1 / c_steane, c_batch, 1 / c_batch, c_shor, 1 / c_shor);
 
   ftqc::bench::JsonResult json;
   json.add("shots", shots);
   json.add("steane_quadratic_coeff", c_steane);
+  json.add("steane_batch_quadratic_coeff", c_batch);
   json.add("shor_quadratic_coeff", c_shor);
   json.add("steane_pseudothreshold", 1 / c_steane);
   json.add("shor_pseudothreshold", 1 / c_shor);
+  json.add("frame_shots_per_sec", frame_sps);
+  json.add("batch_shots_per_sec", batch_sps);
+  json.add("batch_speedup", speedup);
+  json.add("max_cross_engine_sigma", max_sigma);
   json.write();
 
   std::printf(
@@ -57,7 +106,7 @@ int main(int argc, char** argv) {
   ftqc::Table storage({"eps_store", "Steane: P(logical)", "Shor: P(logical)"});
   for (const double es : {0.0, 1e-3, 2e-3}) {
     const auto st = measure_cycle_failure(RecoveryMethod::kSteane, 1e-3, shots,
-                                          31, es);
+                                          31, es, sim::ShotEngine::kBatch);
     const auto sh = measure_cycle_failure(RecoveryMethod::kShor, 1e-3, shots,
                                           37, es);
     storage.add_row({ftqc::strfmt("%.3g", es),

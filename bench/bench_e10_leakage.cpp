@@ -13,6 +13,7 @@
 #include "ft/steane_circuits.h"
 #include "ft/steane_recovery.h"
 #include "sim/frame_sim.h"
+#include "sim/shot_runner.h"
 
 namespace {
 
@@ -25,13 +26,20 @@ struct LeakStats {
   Proportion false_alarm;
 };
 
+// Leakage is a per-qubit classical mark the bit-parallel engine cannot
+// carry, so both loops here run the serial frame engine via ShotRunner.
+// Event bits: 0 = leaked, 1 = leaked AND flagged, 2 = healthy AND flagged.
 LeakStats run(double p_leak, double eps_meas, size_t shots, uint64_t seed) {
-  LeakStats stats;
   sim::NoiseParams noise;
   noise.eps_meas = eps_meas;
   const sim::Circuit detect = leak_detection(0, 1);
-  for (size_t s = 0; s < shots; ++s) {
-    sim::FrameSim frame(2, seed + s);
+
+  sim::ShotPlan plan;
+  plan.shots = shots;
+  plan.seed = seed;
+  const sim::ShotRunner runner(plan);
+  const auto result = runner.run([&](uint64_t shot_seed) -> uint32_t {
+    sim::FrameSim frame(2, shot_seed);
     frame.leak_error(0, p_leak);
     const bool is_leaked = frame.is_leaked(0);
     StochasticInjector injector(noise);
@@ -43,16 +51,18 @@ LeakStats run(double p_leak, double eps_meas, size_t shots, uint64_t seed) {
     // reference. The driver reconstructs the actual outcome:
     const bool outcome = (is_leaked ? false : true) ^ (record[0] != 0);
     const bool flagged = !outcome;
-    stats.leaked.trials++;
-    stats.leaked.successes += is_leaked;
-    if (is_leaked) {
-      stats.detected_given_leaked.trials++;
-      stats.detected_given_leaked.successes += flagged;
-    } else {
-      stats.false_alarm.trials++;
-      stats.false_alarm.successes += flagged;
-    }
-  }
+    uint32_t events = is_leaked ? 1u : 0u;
+    if (is_leaked && flagged) events |= 2u;
+    if (!is_leaked && flagged) events |= 4u;
+    return events;
+  });
+
+  LeakStats stats;
+  stats.leaked = result.proportion(0);
+  stats.detected_given_leaked =
+      Proportion{result.counts[1], result.counts[0]};
+  stats.false_alarm =
+      Proportion{result.counts[2], result.trials - result.counts[0]};
   return stats;
 }
 
@@ -66,9 +76,12 @@ double recovery_failure(double p_leak, bool detect_and_replace, size_t shots,
                         uint64_t seed) {
   const auto noise = sim::NoiseParams::uniform_gate(3e-4);
   const int cycles = 5;
-  size_t failures = 0;
-  for (size_t s = 0; s < shots; ++s) {
-    SteaneRecovery rec(noise, RecoveryPolicy{}, seed + s);
+  sim::ShotPlan plan;
+  plan.shots = shots;
+  plan.seed = seed;
+  const sim::ShotRunner runner(plan);
+  const auto result = runner.run([&](uint64_t shot_seed) {
+    SteaneRecovery rec(noise, RecoveryPolicy{}, shot_seed);
     for (int c = 0; c < cycles; ++c) {
       for (uint32_t q = 0; q < 7; ++q) rec.frame().leak_error(q, p_leak);
       if (detect_and_replace) {
@@ -94,9 +107,9 @@ double recovery_failure(double p_leak, bool detect_and_replace, size_t shots,
         if (rec.frame().rng().next_u64() & 1) rec.frame().inject_z(q);
       }
     }
-    failures += rec.any_logical_error() ? 1 : 0;
-  }
-  return static_cast<double>(failures) / static_cast<double>(shots);
+    return rec.any_logical_error();
+  });
+  return result.failure_rate();
 }
 
 }  // namespace

@@ -11,43 +11,53 @@
 #include "common/table.h"
 #include "ft/concatenated_recovery.h"
 #include "ft/steane_recovery.h"
+#include "sim/shot_runner.h"
+#include "threshold/pseudothreshold.h"
 
 namespace {
 
 using namespace ftqc;
 using namespace ftqc::ft;
 
-Proportion level1_failure(double eps, size_t shots, uint64_t seed) {
-  const auto noise = sim::NoiseParams::uniform_gate(eps);
-  Proportion p;
-  for (size_t s = 0; s < shots; ++s) {
-    SteaneRecovery rec(noise, RecoveryPolicy{}, seed + 7 * s);
-    rec.run_cycle();
-    p.trials++;
-    p.successes += rec.any_logical_error();
-  }
-  return p;
+// Level 1 is exactly the pseudothreshold cycle measurement, so it rides the
+// shared ShotRunner path and its engine parameter (batch by default: the
+// level-1 curve is the shot-hungry side of this comparison).
+Proportion level1_failure(double eps, size_t shots, uint64_t seed,
+                          sim::ShotEngine engine) {
+  return threshold::measure_cycle_failure(threshold::RecoveryMethod::kSteane,
+                                          eps, shots, seed, 0.0, engine)
+      .failures;
 }
 
+// The 49-qubit level-2 gadget stays serial per shot (its recovery drivers
+// are frame-native and branch per shot); ShotRunner still parallelizes.
 Proportion level2_failure(double eps, size_t shots, uint64_t seed) {
   const auto noise = sim::NoiseParams::uniform_gate(eps);
-  Proportion p;
-  for (size_t s = 0; s < shots; ++s) {
-    Level2Recovery rec(noise, RecoveryPolicy{}, seed + 11 * s);
+  sim::ShotPlan plan;
+  plan.shots = shots;
+  plan.seed = seed;
+  plan.seed_stride = 11;
+  const sim::ShotRunner runner(plan);
+  const auto result = runner.run([&](uint64_t shot_seed) {
+    Level2Recovery rec(noise, RecoveryPolicy{}, shot_seed);
     rec.run_cycle();
-    p.trials++;
-    p.successes += rec.any_logical_error();
-  }
-  return p;
+    return rec.any_logical_error();
+  });
+  return result.proportion();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  ftqc::bench::init(argc, argv, "E18");
+  ftqc::bench::init(argc, argv, "E18",
+                    {sim::ShotEngine::kFrame, sim::ShotEngine::kBatch});
+  const sim::ShotEngine engine =
+      ftqc::bench::engine_or(sim::ShotEngine::kBatch);
   std::printf(
       "E18: level-1 vs level-2 concatenated recovery, full circuit level.\n"
-      "One FT recovery cycle per level; failure after ideal decode.\n\n");
+      "One FT recovery cycle per level; failure after ideal decode.\n"
+      "[level-1 engine: %s]\n\n",
+      sim::shot_engine_name(engine));
   ftqc::Table table({"eps", "level-1 P(fail)", "level-2 P(fail)",
                      "winner", "gain"});
   struct Point {
@@ -60,7 +70,7 @@ int main(int argc, char** argv) {
   for (const Point pt : {Point{4e-3, 20000}, Point{2e-3, 20000},
                          Point{1e-3, 30000}, Point{5e-4, 40000},
                          Point{2.5e-4, 40000}}) {
-    const auto l1 = level1_failure(pt.eps, pt.shots / div, 1000);
+    const auto l1 = level1_failure(pt.eps, pt.shots / div, 1000, engine);
     const auto l2 = level2_failure(pt.eps, pt.shots / div / 4, 2000);
     const double f1 = l1.mean();
     const double f2 = l2.mean();

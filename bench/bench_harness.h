@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "sim/shot_runner.h"
 
 // Shared harness for the E01-E18 paper benchmarks.
 //
@@ -32,6 +34,11 @@ struct Options {
   bool smoke = false;
   std::string name;      // benchmark id, e.g. "E05"
   std::string json_dir;  // defaults to the working directory
+  std::string engine;    // --engine value ("" = bench default)
+  // Engines this benchmark honors; init() rejects --engine when empty and
+  // rejects values outside the set, so the flag can never be silently
+  // ignored or crash deep inside a driver.
+  std::vector<sim::ShotEngine> supported_engines;
 };
 
 inline Options& options() {
@@ -46,11 +53,21 @@ inline size_t scaled(size_t full, size_t smoke_value) {
   return options().smoke ? smoke_value : full;
 }
 
-inline void init(int argc, char** argv, const char* name) {
+// `supported_engines` lists the engines the benchmark honors via
+// engine_or(); benchmarks whose loops have no engine choice leave it empty
+// and --engine becomes an unknown-flag error for them.
+inline void init(int argc, char** argv, const char* name,
+                 std::vector<sim::ShotEngine> supported_engines = {}) {
   Options& opts = options();
   opts.name = name;
+  opts.supported_engines = std::move(supported_engines);
   if (const char* env = std::getenv("FTQC_BENCH_SMOKE")) {
     opts.smoke = env[0] != '\0' && env[0] != '0';
+  }
+  std::string engine_usage;
+  for (const sim::ShotEngine e : opts.supported_engines) {
+    engine_usage += engine_usage.empty() ? "" : "|";
+    engine_usage += sim::shot_engine_name(e);
   }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -60,8 +77,28 @@ inline void init(int argc, char** argv, const char* name) {
       opts.smoke = false;
     } else if (std::strncmp(arg, "--json-dir=", 11) == 0) {
       opts.json_dir = arg + 11;
+    } else if (std::strncmp(arg, "--engine=", 9) == 0 &&
+               !opts.supported_engines.empty()) {
+      opts.engine = arg + 9;
+      const auto parsed = sim::parse_shot_engine(opts.engine);
+      const bool supported =
+          parsed && std::find(opts.supported_engines.begin(),
+                              opts.supported_engines.end(),
+                              *parsed) != opts.supported_engines.end();
+      if (!supported) {
+        std::fprintf(stderr, "unsupported engine: %s (want %s)\n",
+                     opts.engine.c_str(), engine_usage.c_str());
+        std::exit(2);
+      }
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
-      std::printf("usage: %s [--smoke] [--full] [--json-dir=DIR]\n", argv[0]);
+      if (engine_usage.empty()) {
+        std::printf("usage: %s [--smoke] [--full] [--json-dir=DIR]\n",
+                    argv[0]);
+      } else {
+        std::printf("usage: %s [--smoke] [--full] [--json-dir=DIR] "
+                    "[--engine=%s]\n",
+                    argv[0], engine_usage.c_str());
+      }
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
@@ -69,6 +106,14 @@ inline void init(int argc, char** argv, const char* name) {
     }
   }
   if (opts.smoke) std::printf("[smoke mode: reduced shot counts]\n");
+}
+
+// Shot engine requested via --engine (already validated against the
+// supported set in init), or `fallback` when the flag is absent.
+inline sim::ShotEngine engine_or(sim::ShotEngine fallback) {
+  const Options& opts = options();
+  if (opts.engine.empty()) return fallback;
+  return *sim::parse_shot_engine(opts.engine);
 }
 
 // Accumulates flat key/value metrics and emits them as one JSON object.
@@ -91,7 +136,11 @@ class JsonResult {
     fields_.emplace_back(key, std::to_string(value));
   }
   void add_string(const std::string& key, const std::string& value) {
-    fields_.emplace_back(key, "\"" + escaped(value) + "\"");
+    // Built up in place: GCC 12's -Wrestrict misfires on `"..." + temporary`.
+    std::string quoted = "\"";
+    quoted += escaped(value);
+    quoted += '"';
+    fields_.emplace_back(key, std::move(quoted));
   }
 
   // Serializes {"bench":"E05","smoke":...,<fields>}, prints a BENCH_JSON

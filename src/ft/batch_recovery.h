@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ft/recovery.h"
+#include "gf2/hamming.h"
+#include "sim/batch_frame_sim.h"
+#include "sim/noise_model.h"
+
+namespace ftqc::ft {
+
+// Bit-parallel SteaneRecovery: one full fault-tolerant recovery cycle
+// (Fig. 9) on 64 shots per word, replayed gadget by gadget on a
+// BatchFrameSim. Statistically equivalent to running `shots` independent
+// SteaneRecovery instances under the same NoiseParams/RecoveryPolicy:
+//
+//  * the same ideal circuits (steane_circuits.h builders) drive every lane;
+//  * the §6 noise hooks of ft::run_gadget (gate/prep/meas/storage) are
+//    applied as per-lane random masks;
+//  * per-shot control flow — syndrome repetition, the §3.3 verification fix,
+//    and the final correction — becomes lane masking: gates of a
+//    conditionally executed gadget are frame-linear, so lanes whose
+//    ancillas carry no noise pass through it unchanged, and masking the
+//    NOISE to the lanes that "really" execute the gadget reproduces the
+//    serial branch exactly;
+//  * Hamming decoding is bit-sliced: syndrome rows are XORs of measurement
+//    record rows, and the corrected-parity logical readout is
+//    parity(word) ^ (syndrome != 0), all word ops.
+//
+// Leakage is not representable in the bit-parallel engine; constructing with
+// p_leak > 0 is an error. Use the serial SteaneRecovery for leakage studies.
+class BatchSteaneRecovery {
+ public:
+  static constexpr uint32_t kNumQubits = 21;
+
+  // shots is rounded up to a multiple of 64.
+  BatchSteaneRecovery(const sim::NoiseParams& noise, RecoveryPolicy policy,
+                      size_t shots, uint64_t seed);
+
+  [[nodiscard]] size_t num_shots() const { return sim_.num_shots(); }
+  [[nodiscard]] size_t num_words() const { return sim_.num_words(); }
+
+  // Returns every lane to the all-clean state.
+  void reset();
+
+  // Injects a Pauli on a data qubit, every lane (error-channel input).
+  void inject_data(uint32_t q, char pauli);
+  // iid depolarizing channel on every data qubit, every lane.
+  void apply_memory_noise(double p);
+
+  // One full fault-tolerant recovery cycle (Fig. 9) across all lanes.
+  void run_cycle();
+
+  // Lanes (among the first `num_lanes`; SIZE_MAX = all) whose residual data
+  // error defeats ideal decoding — the batch analogue of
+  // SteaneRecovery::any_logical_error summed over shots.
+  [[nodiscard]] uint64_t count_any_logical_error(
+      size_t num_lanes = SIZE_MAX) const;
+  // Lanes carrying any residual error (nonzero coset weight, X or Z side).
+  [[nodiscard]] uint64_t count_residual(size_t num_lanes = SIZE_MAX) const;
+
+  // Per-lane introspection for tests.
+  [[nodiscard]] bool logical_x_error(size_t shot) const;
+  [[nodiscard]] bool logical_z_error(size_t shot) const;
+  [[nodiscard]] bool any_logical_error(size_t shot) const {
+    return logical_x_error(shot) || logical_z_error(shot);
+  }
+
+  [[nodiscard]] sim::BatchFrameSim& frames() { return sim_; }
+
+ private:
+  // Executes an ideal gadget on all lanes, applying the §6 noise hooks
+  // masked to `lane_mask` (nullptr = every lane). Returns the indices of the
+  // record rows the gadget measured. The record is cleared first, so row
+  // indices from earlier gadgets do not survive this call.
+  std::vector<size_t> run_gadget(const sim::Circuit& circuit,
+                                 std::span<const uint32_t> active_qubits,
+                                 const uint64_t* lane_mask);
+
+  void prepare_verified_zero_ancilla(const uint64_t* lane_mask);
+  // Writes 3 syndrome rows (3 * num_words words) into `syndrome_rows`.
+  void extract_syndrome(bool phase_type, const uint64_t* lane_mask,
+                        uint64_t* syndrome_rows);
+  // Applies the per-lane correction for lanes in `act_mask`, whose positions
+  // are decoded from `syndrome_rows`, with the serial path's fault
+  // opportunities (gate noise on the corrected qubit, storage on the rest).
+  void correct(bool phase_type, const uint64_t* syndrome_rows,
+               const uint64_t* act_mask);
+
+  // OR of per-position decode masks = act_mask; also fills pos_masks
+  // (7 * num_words words): lanes whose syndrome points at each position.
+  void decode_positions(const uint64_t* syndrome_rows, const uint64_t* act_mask,
+                        uint64_t* pos_masks) const;
+
+  // Bit-sliced classical decode over 7 record/frame rows into `out`
+  // (num_words words). logical=true computes decode_logical (corrected-word
+  // parity); logical=false computes "any residual" (the word is not an
+  // even-weight Hamming codeword, i.e. nonzero coset weight).
+  void decode_rows(const uint64_t* const rows[7], bool logical,
+                   uint64_t* out) const;
+  // Shared body of count_any_logical_error / count_residual.
+  uint64_t count_frames(bool logical, size_t num_lanes) const;
+
+  sim::BatchFrameSim sim_;
+  sim::NoiseParams noise_;
+  RecoveryPolicy policy_;
+  gf2::Hamming743 hamming_;
+  size_t words_;
+  std::vector<bool> touched_;  // gadget-runner scratch
+};
+
+}  // namespace ftqc::ft

@@ -229,6 +229,31 @@ Circuit transversal_cx(std::span<const uint32_t> source,
   return c;
 }
 
+Circuit steane_syndrome_gadget(bool phase_type, std::span<const uint32_t> data,
+                               std::span<const uint32_t> ancilla) {
+  FTQC_CHECK(data.size() == 7 && ancilla.size() == 7,
+             "Steane blocks have seven qubits");
+  Circuit c;
+  if (phase_type) {
+    // Phase syndrome: |0>_code ancilla as XOR source, data as target; data Z
+    // errors propagate backward onto the ancilla; read it in the X basis.
+    for (size_t i = 0; i < 7; ++i) c.cx(ancilla[i], data[i]);
+    c.tick();
+    for (uint32_t q : ancilla) c.mx(q);
+    c.tick();
+  } else {
+    // Bit-flip syndrome: rotate the verified |0>_code into the Steane state
+    // (Eq. 17), XOR the data in, and measure in the Z basis.
+    for (uint32_t q : ancilla) c.h(q);
+    c.tick();
+    for (size_t i = 0; i < 7; ++i) c.cx(data[i], ancilla[i]);
+    c.tick();
+    for (uint32_t q : ancilla) c.m(q);
+    c.tick();
+  }
+  return c;
+}
+
 Circuit nondestructive_parity(std::span<const uint32_t> data, uint32_t ancilla) {
   FTQC_CHECK(data.size() == 7, "Steane block has seven qubits");
   Circuit c;

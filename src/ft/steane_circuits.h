@@ -60,6 +60,15 @@ namespace ftqc::ft {
 [[nodiscard]] sim::Circuit transversal_cx(std::span<const uint32_t> source,
                                           std::span<const uint32_t> target);
 
+// Fig. 9 syndrome-extraction gadget, assuming a verified |0>_code already
+// sits on `ancilla`. phase_type=false: rotate the ancilla to the Steane
+// state (Eq. 17), XOR the data in, measure Z. phase_type=true: XOR the
+// ancilla onto the data (Z errors propagate backward), measure X. Shared by
+// the serial and batch recovery drivers so their circuits cannot drift.
+[[nodiscard]] sim::Circuit steane_syndrome_gadget(
+    bool phase_type, std::span<const uint32_t> data,
+    std::span<const uint32_t> ancilla);
+
 // Fig. 4 (right): nondestructive encoded-Z measurement by copying the parity
 // onto one ancilla via the weight-3 logical-Z support {0,1,2}.
 [[nodiscard]] sim::Circuit nondestructive_parity(std::span<const uint32_t> data,

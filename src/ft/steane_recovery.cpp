@@ -6,23 +6,16 @@
 #include "common/check.h"
 #include "ft/gadget_runner.h"
 #include "ft/steane_circuits.h"
+#include "ft/steane_layout.h"
 
 namespace ftqc::ft {
 
 namespace {
-
-constexpr std::array<uint32_t, 7> kData = {0, 1, 2, 3, 4, 5, 6};
-constexpr std::array<uint32_t, 7> kAncA = {7, 8, 9, 10, 11, 12, 13};
-constexpr std::array<uint32_t, 7> kAncB = {14, 15, 16, 17, 18, 19, 20};
-
-// Active sets for storage accounting: the data block always idles through
-// ancilla work; ancilla blocks join once they are in flight.
-constexpr std::array<uint32_t, 14> kDataAndA = {0, 1, 2,  3,  4,  5,  6,
-                                                7, 8, 9, 10, 11, 12, 13};
-constexpr std::array<uint32_t, 21> kAll = {0,  1,  2,  3,  4,  5,  6,
-                                           7,  8,  9,  10, 11, 12, 13,
-                                           14, 15, 16, 17, 18, 19, 20};
-
+using steane_layout::kAll;
+using steane_layout::kAncA;
+using steane_layout::kAncB;
+using steane_layout::kData;
+using steane_layout::kDataAndA;
 }  // namespace
 
 SteaneRecovery::SteaneRecovery(const sim::NoiseParams& noise,
@@ -88,26 +81,9 @@ void SteaneRecovery::prepare_verified_zero_ancilla() {
 
 gf2::BitVec SteaneRecovery::extract_syndrome(bool phase_type) {
   prepare_verified_zero_ancilla();
-
-  sim::Circuit gadget;
-  if (phase_type) {
-    // Phase syndrome: |0>_code ancilla as XOR source, data as target; data Z
-    // errors propagate backward onto the ancilla; read it in the X basis.
-    for (size_t i = 0; i < 7; ++i) gadget.cx(kAncA[i], kData[i]);
-    gadget.tick();
-    for (uint32_t q : kAncA) gadget.mx(q);
-    gadget.tick();
-  } else {
-    // Bit-flip syndrome: rotate the verified |0>_code into the Steane state
-    // (Eq. 17), XOR the data in, and measure in the Z basis.
-    for (uint32_t q : kAncA) gadget.h(q);
-    gadget.tick();
-    for (size_t i = 0; i < 7; ++i) gadget.cx(kData[i], kAncA[i]);
-    gadget.tick();
-    for (uint32_t q : kAncA) gadget.m(q);
-    gadget.tick();
-  }
-  const auto flips = run_gadget(frame_, gadget, *injector_, kDataAndA);
+  const auto flips =
+      run_gadget(frame_, steane_syndrome_gadget(phase_type, kData, kAncA),
+                 *injector_, kDataAndA);
   for (uint32_t q : kAncA) frame_.reset(q);
   return hamming_syndrome_of_flips(hamming_, flips.data());
 }

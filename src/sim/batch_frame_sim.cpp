@@ -12,9 +12,17 @@ BatchFrameSim::BatchFrameSim(size_t num_qubits, size_t shots, uint64_t seed)
       shots_((shots + 63) & ~size_t{63}),
       words_(shots_ / 64),
       frames_(2 * num_qubits * words_, 0),
+      record_(words_),
+      abort_(words_, 0),
       rng_(seed) {}
 
-void BatchFrameSim::clear() { std::fill(frames_.begin(), frames_.end(), 0); }
+void BatchFrameSim::clear() {
+  std::fill(frames_.begin(), frames_.end(), 0);
+  std::fill(abort_.begin(), abort_.end(), 0);
+  record_.clear();
+}
+
+void BatchFrameSim::clear_record() { record_.clear(); }
 
 void BatchFrameSim::apply_h(size_t q) {
   uint64_t* xs = x_word(q);
@@ -50,6 +58,17 @@ void BatchFrameSim::apply_cz(size_t a, size_t b) {
   }
 }
 
+void BatchFrameSim::apply_swap(size_t a, size_t b) {
+  uint64_t* xa = x_word(a);
+  uint64_t* xb = x_word(b);
+  uint64_t* za = z_word(a);
+  uint64_t* zb = z_word(b);
+  for (size_t w = 0; w < words_; ++w) {
+    std::swap(xa[w], xb[w]);
+    std::swap(za[w], zb[w]);
+  }
+}
+
 uint64_t BatchFrameSim::random_mask(double p) {
   if (p <= 0) return 0;
   if (p >= 1) return ~uint64_t{0};
@@ -66,11 +85,12 @@ uint64_t BatchFrameSim::random_mask(double p) {
   return mask;
 }
 
-void BatchFrameSim::depolarize1(size_t q, double p) {
+void BatchFrameSim::depolarize1(size_t q, double p, const uint64_t* lane_mask) {
   uint64_t* xs = x_word(q);
   uint64_t* zs = z_word(q);
   for (size_t w = 0; w < words_; ++w) {
     uint64_t hit = random_mask(p);
+    if (lane_mask != nullptr) hit &= lane_mask[w];
     if (hit == 0) continue;
     // Hit lanes are sparse at this library's error rates, so picking the
     // X/Y/Z flavor per lane keeps the three exactly equiprobable.
@@ -87,13 +107,15 @@ void BatchFrameSim::depolarize1(size_t q, double p) {
   }
 }
 
-void BatchFrameSim::depolarize2(size_t a, size_t b, double p) {
+void BatchFrameSim::depolarize2(size_t a, size_t b, double p,
+                                const uint64_t* lane_mask) {
   uint64_t* xa = x_word(a);
   uint64_t* za = z_word(a);
   uint64_t* xb = x_word(b);
   uint64_t* zb = z_word(b);
   for (size_t w = 0; w < words_; ++w) {
     uint64_t hit = random_mask(p);
+    if (lane_mask != nullptr) hit &= lane_mask[w];
     if (hit == 0) continue;
     // Per hit lane pick one of 15 non-identity 2-qubit Paulis. The lanes are
     // sparse at our error rates, so a per-bit loop is fine here.
@@ -110,35 +132,155 @@ void BatchFrameSim::depolarize2(size_t a, size_t b, double p) {
   }
 }
 
-void BatchFrameSim::x_error(size_t q, double p) {
+void BatchFrameSim::x_error(size_t q, double p, const uint64_t* lane_mask) {
   uint64_t* xs = x_word(q);
-  for (size_t w = 0; w < words_; ++w) xs[w] ^= random_mask(p);
-}
-
-void BatchFrameSim::y_error(size_t q, double p) {
-  uint64_t* xs = x_word(q);
-  uint64_t* zs = z_word(q);
   for (size_t w = 0; w < words_; ++w) {
-    const uint64_t mask = random_mask(p);
-    xs[w] ^= mask;
-    zs[w] ^= mask;
+    uint64_t hit = random_mask(p);
+    if (lane_mask != nullptr) hit &= lane_mask[w];
+    xs[w] ^= hit;
   }
 }
 
-void BatchFrameSim::z_error(size_t q, double p) {
+void BatchFrameSim::y_error(size_t q, double p, const uint64_t* lane_mask) {
+  uint64_t* xs = x_word(q);
   uint64_t* zs = z_word(q);
-  for (size_t w = 0; w < words_; ++w) zs[w] ^= random_mask(p);
+  for (size_t w = 0; w < words_; ++w) {
+    uint64_t hit = random_mask(p);
+    if (lane_mask != nullptr) hit &= lane_mask[w];
+    xs[w] ^= hit;
+    zs[w] ^= hit;
+  }
+}
+
+void BatchFrameSim::z_error(size_t q, double p, const uint64_t* lane_mask) {
+  uint64_t* zs = z_word(q);
+  for (size_t w = 0; w < words_; ++w) {
+    uint64_t hit = random_mask(p);
+    if (lane_mask != nullptr) hit &= lane_mask[w];
+    zs[w] ^= hit;
+  }
+}
+
+void BatchFrameSim::inject_x(size_t q) {
+  uint64_t* xs = x_word(q);
+  for (size_t w = 0; w < words_; ++w) xs[w] ^= ~uint64_t{0};
+}
+
+void BatchFrameSim::inject_y(size_t q) {
+  uint64_t* xs = x_word(q);
+  uint64_t* zs = z_word(q);
+  for (size_t w = 0; w < words_; ++w) {
+    xs[w] ^= ~uint64_t{0};
+    zs[w] ^= ~uint64_t{0};
+  }
+}
+
+void BatchFrameSim::inject_z(size_t q) {
+  uint64_t* zs = z_word(q);
+  for (size_t w = 0; w < words_; ++w) zs[w] ^= ~uint64_t{0};
+}
+
+void BatchFrameSim::inject_x_masked(size_t q, const uint64_t* lane_mask) {
+  uint64_t* xs = x_word(q);
+  for (size_t w = 0; w < words_; ++w) xs[w] ^= lane_mask[w];
+}
+
+void BatchFrameSim::inject_y_masked(size_t q, const uint64_t* lane_mask) {
+  uint64_t* xs = x_word(q);
+  uint64_t* zs = z_word(q);
+  for (size_t w = 0; w < words_; ++w) {
+    xs[w] ^= lane_mask[w];
+    zs[w] ^= lane_mask[w];
+  }
+}
+
+void BatchFrameSim::inject_z_masked(size_t q, const uint64_t* lane_mask) {
+  uint64_t* zs = z_word(q);
+  for (size_t w = 0; w < words_; ++w) zs[w] ^= lane_mask[w];
+}
+
+void BatchFrameSim::randomize_gauge(uint64_t* component) {
+  for (size_t w = 0; w < words_; ++w) component[w] ^= rng_.next_u64();
+}
+
+size_t BatchFrameSim::measure_z(size_t q) {
+  record_.append_row(x_word(q));
+  // Collapse gauge: the post-measurement Z frame is unobservable. One fresh
+  // random bit per lane (FrameSim draws one bit per shot).
+  randomize_gauge(z_word(q));
+  return record_.size() - 1;
+}
+
+size_t BatchFrameSim::measure_x(size_t q) {
+  record_.append_row(z_word(q));
+  randomize_gauge(x_word(q));
+  return record_.size() - 1;
+}
+
+size_t BatchFrameSim::measure_reset(size_t q) {
+  record_.append_row(x_word(q));
+  reset(q);
+  return record_.size() - 1;
+}
+
+void BatchFrameSim::reset(size_t q) {
+  std::fill_n(x_word(q), words_, 0);
+  std::fill_n(z_word(q), words_, 0);
+}
+
+void BatchFrameSim::classical_x(size_t q, size_t record_index) {
+  inject_x_masked(q, record_.row(record_index));
+}
+
+void BatchFrameSim::classical_y(size_t q, size_t record_index) {
+  inject_y_masked(q, record_.row(record_index));
+}
+
+void BatchFrameSim::classical_z(size_t q, size_t record_index) {
+  inject_z_masked(q, record_.row(record_index));
+}
+
+void BatchFrameSim::discard_where(size_t record_index, bool value) {
+  const uint64_t* row = record_.row(record_index);
+  for (size_t w = 0; w < words_; ++w) {
+    abort_[w] |= value ? row[w] : ~row[w];
+  }
+}
+
+size_t BatchFrameSim::num_kept() const {
+  size_t discarded = 0;
+  for (uint64_t w : abort_) discarded += __builtin_popcountll(w);
+  return shots_ - discarded;
 }
 
 void BatchFrameSim::run(const Circuit& circuit) {
   FTQC_CHECK(circuit.num_qubits() <= n_, "circuit larger than frame register");
+  const size_t record_base = record_.size();
+  const auto cond_row = [&](const Operation& op) -> size_t {
+    const size_t row = record_base + static_cast<size_t>(op.cond);
+    FTQC_CHECK(row < record_.size(),
+               "conditional references future measurement");
+    return row;
+  };
   for (const Operation& op : circuit.ops()) {
+    if (op.cond >= 0) {
+      // Only Pauli feedforward can be bit-sliced: a conditional Clifford
+      // would need a different frame map per lane.
+      switch (op.gate) {
+        case Gate::X: classical_x(op.targets[0], cond_row(op)); continue;
+        case Gate::Y: classical_y(op.targets[0], cond_row(op)); continue;
+        case Gate::Z: classical_z(op.targets[0], cond_row(op)); continue;
+        default:
+          FTQC_CHECK(false,
+                     std::string("BatchFrameSim feedforward supports only "
+                                 "Pauli corrections, got ") +
+                         gate_name(op.gate));
+      }
+    }
     switch (op.gate) {
       case Gate::I:
       case Gate::TICK:
-      case Gate::M:
-      case Gate::MX:
-        break;  // measurements: read flips via x_flip()/z_flip() afterwards
+        break;
       case Gate::X:
       case Gate::Y:
       case Gate::Z:
@@ -148,12 +290,11 @@ void BatchFrameSim::run(const Circuit& circuit) {
       case Gate::S_DAG: apply_s(op.targets[0]); break;
       case Gate::CX: apply_cx(op.targets[0], op.targets[1]); break;
       case Gate::CZ: apply_cz(op.targets[0], op.targets[1]); break;
-      case Gate::SWAP: {
-        apply_cx(op.targets[0], op.targets[1]);
-        apply_cx(op.targets[1], op.targets[0]);
-        apply_cx(op.targets[0], op.targets[1]);
-        break;
-      }
+      case Gate::SWAP: apply_swap(op.targets[0], op.targets[1]); break;
+      case Gate::M: measure_z(op.targets[0]); break;
+      case Gate::MX: measure_x(op.targets[0]); break;
+      case Gate::MR: measure_reset(op.targets[0]); break;
+      case Gate::R: reset(op.targets[0]); break;
       case Gate::DEPOLARIZE1: depolarize1(op.targets[0], op.arg); break;
       case Gate::DEPOLARIZE2:
         depolarize2(op.targets[0], op.targets[1], op.arg);
@@ -163,25 +304,9 @@ void BatchFrameSim::run(const Circuit& circuit) {
       case Gate::Z_ERROR: z_error(op.targets[0], op.arg); break;
       // Injections flip (not set) the frame, matching FrameSim::inject_*:
       // two injections of the same Pauli cancel.
-      case Gate::INJECT_X: {
-        uint64_t* xs = x_word(op.targets[0]);
-        for (size_t w = 0; w < words_; ++w) xs[w] ^= ~uint64_t{0};
-        break;
-      }
-      case Gate::INJECT_Y: {
-        uint64_t* xs = x_word(op.targets[0]);
-        uint64_t* zs = z_word(op.targets[0]);
-        for (size_t w = 0; w < words_; ++w) {
-          xs[w] ^= ~uint64_t{0};
-          zs[w] ^= ~uint64_t{0};
-        }
-        break;
-      }
-      case Gate::INJECT_Z: {
-        uint64_t* zs = z_word(op.targets[0]);
-        for (size_t w = 0; w < words_; ++w) zs[w] ^= ~uint64_t{0};
-        break;
-      }
+      case Gate::INJECT_X: inject_x(op.targets[0]); break;
+      case Gate::INJECT_Y: inject_y(op.targets[0]); break;
+      case Gate::INJECT_Z: inject_z(op.targets[0]); break;
       default:
         FTQC_CHECK(false, std::string("BatchFrameSim cannot run gate ") +
                               gate_name(op.gate));

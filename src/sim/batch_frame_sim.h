@@ -3,19 +3,58 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "sim/circuit.h"
 
 namespace ftqc::sim {
+
+// Word-packed measurement record: one row per recorded measurement, 64 shots
+// per word. Rows hold outcome *flips* relative to the noiseless reference run
+// (the same flip semantics as FrameSim's record).
+class BatchRecord {
+ public:
+  BatchRecord() = default;
+  explicit BatchRecord(size_t words_per_row) : words_(words_per_row) {}
+
+  [[nodiscard]] size_t size() const {
+    return words_ == 0 ? 0 : bits_.size() / words_;
+  }
+  [[nodiscard]] size_t num_words() const { return words_; }
+
+  [[nodiscard]] const uint64_t* row(size_t m) const {
+    FTQC_DCHECK(m < size(), "record row out of range");
+    return &bits_[m * words_];
+  }
+  [[nodiscard]] bool bit(size_t m, size_t shot) const {
+    return (row(m)[shot >> 6] >> (shot & 63)) & 1u;
+  }
+
+  // Appends one row copied from `src` (words_per_row words).
+  void append_row(const uint64_t* src) {
+    bits_.insert(bits_.end(), src, src + words_);
+  }
+  void clear() { bits_.clear(); }
+
+ private:
+  size_t words_ = 0;
+  std::vector<uint64_t> bits_;
+};
 
 // Bit-parallel Pauli-frame sampler: 64 independent shots advance per word
 // operation. Qubit-major layout (one x-word and one z-word per qubit per
 // 64-shot block) keeps every gate a handful of word ops — the same design
 // trade Stim makes, sized for this library's block codes.
 //
-// Unlike FrameSim, this engine runs straight-line circuits only (no
-// per-shot control flow / postselection); it exists for the heavy
-// memory-channel sweeps and the kernel-throughput benchmark (E17).
+// Unlike the original straight-line-only version, this engine now replays
+// full gadgets: M/MX/MR/R append word-packed rows to a measurement record
+// (with the post-measurement gauge randomization FrameSim does), classical
+// feedforward is bit-sliced (conditional Pauli corrections keyed on record
+// rows), and per-shot postselection accumulates into an abort mask. Every
+// stochastic channel takes an optional per-lane mask so drivers can model
+// per-shot control flow (lanes that skipped a gadget must not collect its
+// faults). Non-Pauli conditional gates remain unsupported: they cannot be
+// bit-sliced.
 class BatchFrameSim {
  public:
   // shots is rounded up to a multiple of 64.
@@ -25,18 +64,70 @@ class BatchFrameSim {
   [[nodiscard]] size_t num_shots() const { return shots_; }
   [[nodiscard]] size_t num_words() const { return words_; }
 
+  // Zeroes frames, the record, and the abort mask.
   void clear();
+  // Drops recorded rows only (frames keep evolving); invalidates indices
+  // previously returned by the measurement methods.
+  void clear_record();
 
   void apply_h(size_t q);
   void apply_s(size_t q);
   void apply_cx(size_t control, size_t target);
   void apply_cz(size_t a, size_t b);
+  void apply_swap(size_t a, size_t b);
 
-  void depolarize1(size_t q, double p);
-  void depolarize2(size_t a, size_t b, double p);
-  void x_error(size_t q, double p);
-  void y_error(size_t q, double p);
-  void z_error(size_t q, double p);
+  // Stochastic channels. `lane_mask` (words() words), when non-null,
+  // restricts the error to the lanes whose bit is set — the bit-sliced
+  // equivalent of "this shot did not execute the faulty gate".
+  void depolarize1(size_t q, double p, const uint64_t* lane_mask = nullptr);
+  void depolarize2(size_t a, size_t b, double p,
+                   const uint64_t* lane_mask = nullptr);
+  void x_error(size_t q, double p, const uint64_t* lane_mask = nullptr);
+  void y_error(size_t q, double p, const uint64_t* lane_mask = nullptr);
+  void z_error(size_t q, double p, const uint64_t* lane_mask = nullptr);
+
+  // Deterministic frame flips on every lane (flip semantics: two injections
+  // of the same Pauli cancel, matching FrameSim::inject_*).
+  void inject_x(size_t q);
+  void inject_y(size_t q);
+  void inject_z(size_t q);
+  // Masked variants: flip only the lanes set in `lane_mask` — the bit-sliced
+  // form of a per-shot conditional correction.
+  void inject_x_masked(size_t q, const uint64_t* lane_mask);
+  void inject_y_masked(size_t q, const uint64_t* lane_mask);
+  void inject_z_masked(size_t q, const uint64_t* lane_mask);
+
+  // --- Measurement / reset (flip semantics, all lanes at once) ------------
+  // Each measurement appends one row to record() and returns its row index.
+  // measure_z/measure_x inject a fresh random gauge on the collapsed
+  // component per lane (the standard frame-sampler trick; see FrameSim).
+  size_t measure_z(size_t q);
+  size_t measure_x(size_t q);
+  // Measure Z then reset to |0> (no gauge needed: the frame is cleared).
+  size_t measure_reset(size_t q);
+  void reset(size_t q);
+
+  [[nodiscard]] const BatchRecord& record() const { return record_; }
+
+  // --- Classical feedforward ----------------------------------------------
+  // Applies a Pauli on the lanes where record row `record_index` is 1. The
+  // noiseless reference (whose record is all-zero) never fires the
+  // conditional, so in flip space the correction simply XORs the record row
+  // into the frame.
+  void classical_x(size_t q, size_t record_index);
+  void classical_y(size_t q, size_t record_index);
+  void classical_z(size_t q, size_t record_index);
+
+  // --- Postselection / abort ----------------------------------------------
+  // Marks as aborted every lane whose record bit equals `value` (e.g. a
+  // failed verification measurement). Aborts accumulate until clear().
+  void discard_where(size_t record_index, bool value);
+  [[nodiscard]] const uint64_t* abort_mask() const { return abort_.data(); }
+  [[nodiscard]] bool aborted(size_t shot) const {
+    return (abort_[shot >> 6] >> (shot & 63)) & 1u;
+  }
+  // Lanes that survived every discard_where so far.
+  [[nodiscard]] size_t num_kept() const;
 
   // Measurement flip masks for all shots (64 shots per word).
   [[nodiscard]] const uint64_t* x_flips(size_t q) const { return x_word(q); }
@@ -48,9 +139,13 @@ class BatchFrameSim {
     return (z_word(q)[shot >> 6] >> (shot & 63)) & 1u;
   }
 
-  // Executes a straight-line circuit (unitaries + channels; measurements are
-  // ignored — read flips afterwards). Used by bench E17 and the memory sweeps.
+  // Executes a circuit with full gadget replay: unitaries, channels,
+  // measurements (recorded), resets, and measurement-conditioned Pauli
+  // corrections. Conditional non-Pauli gates are rejected. Measurement rows
+  // append to record() in circuit order starting at the current record size.
   void run(const Circuit& circuit);
+
+  Rng& rng() { return rng_; }
 
  private:
   [[nodiscard]] uint64_t* x_word(size_t q) { return &frames_[2 * q * words_]; }
@@ -66,11 +161,14 @@ class BatchFrameSim {
 
   // Word with each bit set independently with probability p.
   uint64_t random_mask(double p);
+  void randomize_gauge(uint64_t* component);
 
   size_t n_;
   size_t shots_;
   size_t words_;
   std::vector<uint64_t> frames_;  // layout: [qubit][x|z][word]
+  BatchRecord record_;
+  std::vector<uint64_t> abort_;
   Rng rng_;
 };
 

@@ -39,6 +39,16 @@ struct NoiseParams {
     return p;
   }
 
+  // Measurement-error-only model: every gate, preparation and storage step
+  // is perfect and only the readout flips. Isolates the §3.4 question of how
+  // much syndrome repetition buys when the syndrome itself is the unreliable
+  // ingredient (bench E04).
+  [[nodiscard]] static NoiseParams measurement_only(double eps_meas) {
+    NoiseParams p;
+    p.eps_meas = eps_meas;
+    return p;
+  }
+
   [[nodiscard]] bool is_noiseless() const {
     return eps_store == 0 && eps_gate1 == 0 && eps_gate2 == 0 &&
            eps_meas == 0 && eps_prep == 0 && p_leak == 0;

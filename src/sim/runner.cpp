@@ -230,4 +230,9 @@ std::vector<uint8_t> run_circuit(FrameSim& sim, const Circuit& circuit) {
   return record;
 }
 
+const BatchRecord& run_circuit(BatchFrameSim& sim, const Circuit& circuit) {
+  sim.run(circuit);
+  return sim.record();
+}
+
 }  // namespace ftqc::sim

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/batch_frame_sim.h"
 #include "sim/circuit.h"
 #include "sim/frame_sim.h"
 #include "sim/statevector_sim.h"
@@ -24,5 +25,13 @@ std::vector<uint8_t> run_circuit(StateVectorSim& sim, const Circuit& circuit);
 // relative to the noiseless reference run. Classical feedforward (`cond`) is
 // rejected — drivers that need feedback implement it against decoded flips.
 std::vector<uint8_t> run_circuit(FrameSim& sim, const Circuit& circuit);
+
+// Bit-parallel frame execution, 64 shots per word: full gadget replay with
+// measurements, resets and Pauli feedforward. Returns the engine's
+// word-packed record (one row per measurement, flips relative to the
+// reference); rows recorded by this call start at the record size the engine
+// had on entry. Conditional non-Pauli gates are rejected — they cannot be
+// bit-sliced across lanes.
+const BatchRecord& run_circuit(BatchFrameSim& sim, const Circuit& circuit);
 
 }  // namespace ftqc::sim

@@ -1,9 +1,6 @@
 #include "threshold/pseudothreshold.h"
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
+#include "ft/batch_recovery.h"
 #include "ft/shor_recovery.h"
 #include "ft/steane_recovery.h"
 
@@ -11,53 +8,66 @@ namespace ftqc::threshold {
 
 namespace {
 
+// Per-shot seed spacing: kept from the original hand-rolled loop so frame
+// sweeps stay reproducible against pre-ShotRunner results.
+constexpr uint64_t kSeedStride = 0x9E37;
+
 template <typename Driver>
-uint64_t run_shots(double eps_gate, double eps_store, size_t shots,
-                   uint64_t seed) {
-  const auto noise = sim::NoiseParams::uniform_gate(eps_gate, eps_store);
-  uint64_t failures = 0;
-#pragma omp parallel reduction(+ : failures)
-  {
-#ifdef _OPENMP
-    const int worker = omp_get_thread_num();
-    const int num_workers = omp_get_num_threads();
-#else
-    const int worker = 0;
-    const int num_workers = 1;
-#endif
-    for (size_t shot = static_cast<size_t>(worker); shot < shots;
-         shot += static_cast<size_t>(num_workers)) {
-      Driver rec(noise, ft::RecoveryPolicy{}, seed + 0x9E37 * shot);
-      rec.run_cycle();
-      failures += rec.any_logical_error() ? 1 : 0;
-    }
-  }
-  return failures;
+bool one_cycle_fails(const sim::NoiseParams& noise, uint64_t seed) {
+  Driver rec(noise, ft::RecoveryPolicy{}, seed);
+  rec.run_cycle();
+  return rec.any_logical_error();
 }
 
 }  // namespace
 
 CyclePoint measure_cycle_failure(RecoveryMethod method, double eps_gate,
-                                 size_t shots, uint64_t seed,
-                                 double eps_store) {
+                                 size_t shots, uint64_t seed, double eps_store,
+                                 sim::ShotEngine engine) {
+  FTQC_CHECK(engine != sim::ShotEngine::kExact,
+             "recovery cycles are frame-native; use frame or batch");
+  FTQC_CHECK(engine != sim::ShotEngine::kBatch ||
+                 method == RecoveryMethod::kSteane,
+             "batch recovery supports the Steane method only (the Shor "
+             "cat-retry loop is data-dependent per shot)");
+  const auto noise = sim::NoiseParams::uniform_gate(eps_gate, eps_store);
+
+  sim::ShotPlan plan;
+  plan.shots = shots;
+  plan.seed = seed;
+  plan.seed_stride = kSeedStride;
+  plan.engine = engine;
+  const sim::ShotRunner runner(plan);
+
+  const auto shot_fails = [&](uint64_t shot_seed) {
+    return method == RecoveryMethod::kSteane
+               ? one_cycle_fails<ft::SteaneRecovery>(noise, shot_seed)
+               : one_cycle_fails<ft::ShorRecovery>(noise, shot_seed);
+  };
+  const auto block_fails = [&](uint64_t block_seed, size_t block_shots) {
+    ft::BatchSteaneRecovery rec(noise, ft::RecoveryPolicy{}, block_shots,
+                                block_seed);
+    rec.run_cycle();
+    return rec.count_any_logical_error(block_shots);
+  };
+  const sim::ShotResult result = runner.run(shot_fails, block_fails);
+
   CyclePoint point;
   point.eps = eps_gate;
-  point.failures.trials = shots;
-  point.failures.successes =
-      method == RecoveryMethod::kSteane
-          ? run_shots<ft::SteaneRecovery>(eps_gate, eps_store, shots, seed)
-          : run_shots<ft::ShorRecovery>(eps_gate, eps_store, shots, seed);
+  point.failures = result.proportion();
+  point.seconds = result.seconds;
   return point;
 }
 
 std::vector<CyclePoint> sweep_cycle_failure(RecoveryMethod method,
                                             const std::vector<double>& eps_values,
-                                            size_t shots, uint64_t seed) {
+                                            size_t shots, uint64_t seed,
+                                            sim::ShotEngine engine) {
   std::vector<CyclePoint> points;
   points.reserve(eps_values.size());
   for (size_t i = 0; i < eps_values.size(); ++i) {
-    points.push_back(
-        measure_cycle_failure(method, eps_values[i], shots, seed + 131 * i));
+    points.push_back(measure_cycle_failure(method, eps_values[i], shots,
+                                           seed + 131 * i, 0.0, engine));
   }
   return points;
 }

@@ -6,6 +6,7 @@
 #include "common/stats.h"
 #include "ft/recovery.h"
 #include "sim/noise_model.h"
+#include "sim/shot_runner.h"
 
 namespace ftqc::threshold {
 
@@ -19,18 +20,26 @@ enum class RecoveryMethod { kSteane, kShor };
 struct CyclePoint {
   double eps = 0;
   Proportion failures;
+  // Wall-clock of the shot loop, for the BENCH_*.json trend artifacts.
+  double seconds = 0;
+  [[nodiscard]] double shots_per_sec() const {
+    return seconds > 0 ? static_cast<double>(failures.trials) / seconds : 0.0;
+  }
 };
 
-// One sweep point; OpenMP-parallel over shots.
-[[nodiscard]] CyclePoint measure_cycle_failure(RecoveryMethod method,
-                                               double eps_gate, size_t shots,
-                                               uint64_t seed,
-                                               double eps_store = 0.0);
+// One sweep point, driven by a ShotRunner. Engine selection:
+//  * kFrame — one serial FrameSim recovery per shot (OpenMP over shots);
+//  * kBatch — BatchSteaneRecovery, 64 shots per word (OpenMP over blocks);
+//    Steane only: the Shor cat-retry loop is data-dependent per shot.
+// kExact is rejected: the recovery gadgets are frame-native.
+[[nodiscard]] CyclePoint measure_cycle_failure(
+    RecoveryMethod method, double eps_gate, size_t shots, uint64_t seed,
+    double eps_store = 0.0, sim::ShotEngine engine = sim::ShotEngine::kFrame);
 
 // Sweep a list of ε values.
 [[nodiscard]] std::vector<CyclePoint> sweep_cycle_failure(
     RecoveryMethod method, const std::vector<double>& eps_values, size_t shots,
-    uint64_t seed);
+    uint64_t seed, sim::ShotEngine engine = sim::ShotEngine::kFrame);
 
 // Quadratic-fit coefficient c from failure = c·ε² (least squares through the
 // sweep points, weighted by shots); 1/c estimates the pseudothreshold.

@@ -1,0 +1,146 @@
+// BatchSteaneRecovery vs the serial SteaneRecovery: the bit-parallel
+// recovery cycle must (a) reproduce the serial engine's deterministic
+// outcomes exactly for injected error patterns under noiseless execution,
+// and (b) match its failure statistics under the stochastic §6 model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "ft/batch_recovery.h"
+#include "ft/steane_recovery.h"
+#include "sim/noise_model.h"
+#include "threshold/pseudothreshold.h"
+
+namespace ftqc::ft {
+namespace {
+
+const sim::NoiseParams kNoiseless;
+
+// Noiseless cycles are deterministic (gauge draws never touch the data
+// block), so every lane must agree with a serial reference run.
+void expect_matches_serial(const char paulis[2], uint32_t qa, uint32_t qb) {
+  SteaneRecovery serial(kNoiseless, RecoveryPolicy{}, /*seed=*/1);
+  serial.inject_data(qa, paulis[0]);
+  serial.inject_data(qb, paulis[1]);
+  serial.run_cycle();
+
+  BatchSteaneRecovery batch(kNoiseless, RecoveryPolicy{}, /*shots=*/128,
+                            /*seed=*/77);
+  batch.inject_data(qa, paulis[0]);
+  batch.inject_data(qb, paulis[1]);
+  batch.run_cycle();
+
+  for (size_t shot : {size_t{0}, size_t{63}, size_t{64}, size_t{127}}) {
+    EXPECT_EQ(batch.logical_x_error(shot), serial.logical_x_error())
+        << paulis[0] << qa << " " << paulis[1] << qb << " shot " << shot;
+    EXPECT_EQ(batch.logical_z_error(shot), serial.logical_z_error())
+        << paulis[0] << qa << " " << paulis[1] << qb << " shot " << shot;
+  }
+  const uint64_t expected =
+      serial.any_logical_error() ? batch.num_shots() : 0u;
+  EXPECT_EQ(batch.count_any_logical_error(), expected);
+}
+
+TEST(BatchRecovery, CorrectsEverySingleError) {
+  for (const char pauli : {'X', 'Y', 'Z'}) {
+    for (uint32_t q = 0; q < 7; ++q) {
+      BatchSteaneRecovery rec(kNoiseless, RecoveryPolicy{}, 64, /*seed=*/5);
+      rec.inject_data(q, pauli);
+      rec.run_cycle();
+      EXPECT_EQ(rec.count_residual(), 0u) << pauli << q;
+      EXPECT_EQ(rec.count_any_logical_error(), 0u) << pauli << q;
+    }
+  }
+}
+
+TEST(BatchRecovery, TwoErrorOutcomeMatchesSerial) {
+  for (uint32_t qa = 0; qa < 7; ++qa) {
+    for (uint32_t qb = qa + 1; qb < 7; ++qb) {
+      expect_matches_serial("XX", qa, qb);
+      expect_matches_serial("ZZ", qa, qb);
+      expect_matches_serial("XZ", qa, qb);
+    }
+  }
+}
+
+TEST(BatchRecovery, LogicalImpliesResidualAndAccessorsAgree) {
+  const auto noise = sim::NoiseParams::uniform_gate(8e-3);
+  BatchSteaneRecovery rec(noise, RecoveryPolicy{}, 64 * 32, /*seed=*/31);
+  rec.run_cycle();
+  uint64_t per_shot_logical = 0;
+  for (size_t shot = 0; shot < rec.num_shots(); ++shot) {
+    per_shot_logical += rec.any_logical_error(shot) ? 1 : 0;
+  }
+  EXPECT_EQ(rec.count_any_logical_error(), per_shot_logical);
+  EXPECT_LE(rec.count_any_logical_error(), rec.count_residual());
+  // Lane-limited counting only sees the front of the register.
+  EXPECT_LE(rec.count_any_logical_error(64), rec.count_any_logical_error());
+}
+
+// Stochastic agreement with the serial engine, via the shared threshold
+// driver: both estimates target the same failure probability, so their
+// difference should be a few combined standard errors at most (the bound
+// here is ~5 sigma; a semantics bug shows up as tens of sigma).
+TEST(BatchRecovery, FailureRateMatchesSerialEngine) {
+  const double eps = 8e-3;
+  const size_t shots = 6000;
+  const auto serial = threshold::measure_cycle_failure(
+      threshold::RecoveryMethod::kSteane, eps, shots, /*seed=*/3, 0.0,
+      sim::ShotEngine::kFrame);
+  const auto batch = threshold::measure_cycle_failure(
+      threshold::RecoveryMethod::kSteane, eps, shots, /*seed=*/19, 0.0,
+      sim::ShotEngine::kBatch);
+  const double pf = serial.failures.mean();
+  const double pb = batch.failures.mean();
+  EXPECT_GT(pf, 0.02);  // the point is alive at this eps
+  const double se = std::sqrt(pf * (1 - pf) / shots + pb * (1 - pb) / shots);
+  EXPECT_LT(std::fabs(pf - pb), 5.0 * se)
+      << "frame " << pf << " vs batch " << pb;
+}
+
+// Under measurement error alone, §3.4 says acting on a single nontrivial
+// syndrome miscorrects at O(eps_meas) while the repeat policy defers; the
+// batch engine must reproduce that separation.
+TEST(BatchRecovery, MeasurementOnlyNoiseRepeatPolicySeparation) {
+  const auto noise = sim::NoiseParams::measurement_only(0.02);
+  const size_t shots = 64 * 64;
+
+  RecoveryPolicy once;
+  once.repeat_nontrivial_syndrome = false;
+  BatchSteaneRecovery rec_once(noise, once, shots, /*seed=*/7);
+  rec_once.run_cycle();
+
+  BatchSteaneRecovery rec_repeat(noise, RecoveryPolicy{}, shots, /*seed=*/9);
+  rec_repeat.run_cycle();
+
+  const double p_once =
+      static_cast<double>(rec_once.count_residual()) / shots;
+  const double p_repeat =
+      static_cast<double>(rec_repeat.count_residual()) / shots;
+  EXPECT_GT(p_once, 0.1);     // ~0.25 expected: O(eps_meas) miscorrections
+  EXPECT_LT(p_repeat, 0.05);  // ~4e-3 expected: demoted to O(eps_meas^2)
+}
+
+TEST(BatchRecovery, SeedDeterminism) {
+  const auto noise = sim::NoiseParams::uniform_gate(5e-3);
+  BatchSteaneRecovery a(noise, RecoveryPolicy{}, 256, /*seed=*/123);
+  BatchSteaneRecovery b(noise, RecoveryPolicy{}, 256, /*seed=*/123);
+  a.run_cycle();
+  b.run_cycle();
+  for (size_t shot = 0; shot < a.num_shots(); ++shot) {
+    ASSERT_EQ(a.logical_x_error(shot), b.logical_x_error(shot)) << shot;
+    ASSERT_EQ(a.logical_z_error(shot), b.logical_z_error(shot)) << shot;
+  }
+  EXPECT_EQ(a.count_residual(), b.count_residual());
+}
+
+TEST(BatchRecovery, RejectsLeakage) {
+  sim::NoiseParams noise;
+  noise.p_leak = 1e-3;
+  EXPECT_DEATH(BatchSteaneRecovery(noise, RecoveryPolicy{}, 64, 1),
+               "leakage");
+}
+
+}  // namespace
+}  // namespace ftqc::ft

@@ -193,6 +193,186 @@ TEST(CrossEngine, BatchFlipsMatchFrameSimDestructiveFlips) {
   EXPECT_FALSE(batch2.z_flip(0, 0));
 }
 
+// --- Full gadget replay: BatchFrameSim records --------------------------
+
+// Deterministic gadget exercising the whole replay surface: SWAP, M, MX,
+// MR, R and Pauli feedforward. Measurement rows are gauge-independent by
+// construction (no qubit is re-measured in the conjugate basis without an
+// intervening reset), so every lane and every FrameSim seed must agree.
+struct ReplayCircuit {
+  Circuit c{4};
+  int32_t r0, r1, r2, r3, r4, r5;
+
+  ReplayCircuit() {
+    c.inject(0, 'X');
+    c.inject(1, 'Y');
+    c.swap(0, 1);    // q0 <- Y, q1 <- X
+    c.cx(1, 2);      // q2 picks up the X
+    r0 = c.m(1);     // flip 1
+    c.x(2, r0);      // feedforward: cancels q2's X on the lanes that saw 1
+    r1 = c.m(2);     // flip 0
+    r2 = c.mr(0);    // flip 1, then reset
+    r3 = c.m(0);     // flip 0
+    c.r(3);
+    c.inject(3, 'Z');
+    r4 = c.mx(3);    // flip 1
+    c.r(2);
+    c.z(2, r4);      // feedforward onto a fresh qubit, read in the X basis
+    r5 = c.mx(2);    // flip 1
+  }
+};
+
+// Executes the replay circuit on a FrameSim by hand (run_circuit rejects
+// feedforward for the serial frame engine), pinning the reference semantics
+// the batch engine must reproduce.
+void frame_replay_record(const Circuit& c, uint64_t seed,
+                         std::vector<uint8_t>& record) {
+  FrameSim f(c.num_qubits(), seed);
+  record.clear();
+  for (const auto& op : c.ops()) {
+    if (op.cond >= 0) {
+      ASSERT_LT(static_cast<size_t>(op.cond), record.size()) << "bad cond";
+      if (record[static_cast<size_t>(op.cond)] == 0) continue;
+      switch (op.gate) {
+        case Gate::X: f.inject_x(op.targets[0]); break;
+        case Gate::Y: f.inject_y(op.targets[0]); break;
+        case Gate::Z: f.inject_z(op.targets[0]); break;
+        default: FAIL() << "non-Pauli feedforward";
+      }
+      continue;
+    }
+    switch (op.gate) {
+      case Gate::H: f.apply_h(op.targets[0]); break;
+      case Gate::S: f.apply_s(op.targets[0]); break;
+      case Gate::CX: f.apply_cx(op.targets[0], op.targets[1]); break;
+      case Gate::CZ: f.apply_cz(op.targets[0], op.targets[1]); break;
+      case Gate::SWAP: f.apply_swap(op.targets[0], op.targets[1]); break;
+      case Gate::M: record.push_back(f.measure_z(op.targets[0])); break;
+      case Gate::MX: record.push_back(f.measure_x(op.targets[0])); break;
+      case Gate::MR:
+        record.push_back(f.measure_z(op.targets[0]));
+        f.reset(op.targets[0]);
+        break;
+      case Gate::R: f.reset(op.targets[0]); break;
+      case Gate::INJECT_X: f.inject_x(op.targets[0]); break;
+      case Gate::INJECT_Y: f.inject_y(op.targets[0]); break;
+      case Gate::INJECT_Z: f.inject_z(op.targets[0]); break;
+      default: break;
+    }
+  }
+}
+
+// The batch record must match 64 independent FrameSim shots bit for bit.
+TEST(CrossEngine, BatchRecordMatchesFrameShots) {
+  const ReplayCircuit replay;
+
+  BatchFrameSim batch(4, 64, /*seed=*/5);
+  const BatchRecord& record = run_circuit(batch, replay.c);
+  ASSERT_EQ(record.size(), 6u);
+
+  for (uint64_t seed = 100; seed < 164; ++seed) {
+    std::vector<uint8_t> frame_record;
+    frame_replay_record(replay.c, seed, frame_record);
+    ASSERT_EQ(frame_record.size(), record.size());
+    const size_t shot = static_cast<size_t>(seed - 100);
+    for (size_t m = 0; m < record.size(); ++m) {
+      EXPECT_EQ(record.bit(m, shot), frame_record[m] != 0)
+          << "measurement " << m << ", shot " << shot;
+    }
+  }
+  // Expected flips, spelled out (gauge-free by construction).
+  const uint8_t expected[6] = {1, 0, 1, 0, 1, 1};
+  for (size_t m = 0; m < 6; ++m) {
+    for (size_t shot = 0; shot < 64; ++shot) {
+      ASSERT_EQ(record.bit(m, shot), expected[m] != 0) << m << "," << shot;
+    }
+  }
+}
+
+// Same seed, same record — including noise channels and gauge draws.
+TEST(CrossEngine, BatchRecordSeedDeterminism) {
+  Circuit c(3);
+  c.x_error(0, 0.3);
+  c.depolarize1(1, 0.4);
+  c.m(0);
+  c.m(1);
+  c.h(2);
+  c.depolarize2(1, 2, 0.2);
+  c.mx(2);
+  c.mr(1);
+
+  BatchFrameSim a(3, 256, /*seed=*/42), b(3, 256, /*seed=*/42);
+  BatchFrameSim d(3, 256, /*seed=*/43);
+  const BatchRecord& ra = run_circuit(a, c);
+  const BatchRecord& rb = run_circuit(b, c);
+  const BatchRecord& rd = run_circuit(d, c);
+  ASSERT_EQ(ra.size(), rb.size());
+  bool differs_from_d = false;
+  for (size_t m = 0; m < ra.size(); ++m) {
+    for (size_t shot = 0; shot < 256; ++shot) {
+      ASSERT_EQ(ra.bit(m, shot), rb.bit(m, shot)) << m << "," << shot;
+      differs_from_d |= ra.bit(m, shot) != rd.bit(m, shot);
+    }
+  }
+  EXPECT_TRUE(differs_from_d);
+}
+
+// Feedforward keyed on a noisy measurement must cancel the error lane by
+// lane: after `M q; X q if flip`, re-measuring reads all-zero flips.
+TEST(CrossEngine, BatchFeedforwardCancelsPerLane) {
+  Circuit c(1);
+  c.x_error(0, 0.5);
+  const int32_t r0 = c.m(0);
+  c.x(0, r0);
+  c.m(0);
+
+  BatchFrameSim batch(1, 4096, /*seed=*/9);
+  const BatchRecord& record = run_circuit(batch, c);
+  ASSERT_EQ(record.size(), 2u);
+  size_t first_hits = 0;
+  for (size_t shot = 0; shot < batch.num_shots(); ++shot) {
+    first_hits += record.bit(0, shot);
+    ASSERT_FALSE(record.bit(1, shot)) << "shot " << shot;
+  }
+  // The first row really was random (~half the lanes flipped).
+  EXPECT_GT(first_hits, batch.num_shots() / 3);
+  EXPECT_LT(first_hits, 2 * batch.num_shots() / 3);
+}
+
+// Postselection: discarding on a verification bit must mark exactly the
+// lanes whose record bit matched, and num_kept must account for them.
+TEST(CrossEngine, BatchPostselectionMask) {
+  Circuit c(2);
+  c.x_error(0, 0.5);
+  const int32_t r0 = c.m(0);
+  (void)r0;
+  BatchFrameSim batch(2, 4096, /*seed=*/13);
+  const BatchRecord& record = run_circuit(batch, c);
+  batch.discard_where(0, /*value=*/true);
+
+  size_t discarded = 0;
+  for (size_t shot = 0; shot < batch.num_shots(); ++shot) {
+    EXPECT_EQ(batch.aborted(shot), record.bit(0, shot)) << "shot " << shot;
+    discarded += record.bit(0, shot);
+  }
+  EXPECT_EQ(batch.num_kept(), batch.num_shots() - discarded);
+  EXPECT_GT(batch.num_kept(), batch.num_shots() / 3);
+  EXPECT_LT(batch.num_kept(), 2 * batch.num_shots() / 3);
+
+  // Discarding on the complementary value aborts everything.
+  batch.discard_where(0, /*value=*/false);
+  EXPECT_EQ(batch.num_kept(), 0u);
+}
+
+// Conditional non-Pauli gates cannot be bit-sliced and must be rejected.
+TEST(CrossEngine, BatchRejectsConditionalClifford) {
+  Circuit c(2);
+  const int32_t r0 = c.m(0);
+  c.cx(0, 1, r0);
+  BatchFrameSim batch(2, 64, /*seed=*/3);
+  EXPECT_DEATH(batch.run(c), "feedforward supports only Pauli");
+}
+
 // Different seeds must (overwhelmingly) produce different records on a
 // random-outcome circuit — guards against an RNG that ignores its seed.
 TEST(CrossEngine, DifferentSeedsDiverge) {

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Diff BENCH_*.json artifacts between two runs and flag regressions.
+
+Usage:
+    compare_bench.py BASELINE_DIR CURRENT_DIR [--threshold 0.2] [--strict]
+
+Both directories are searched recursively for BENCH_<name>.json files (one
+flat JSON object per file, as written by bench/bench_harness.h). Benchmarks
+are paired by name; numeric fields are compared by relative change.
+
+Field classes:
+  * throughput  — names ending in shots_per_sec (higher is better): flagged
+    when the current value drops by more than the threshold;
+  * wall-clock  — names ending in seconds (lower is better): flagged when
+    the current value grows by more than the threshold;
+  * accuracy    — every other numeric field: flagged when it moves by more
+    than the threshold in either direction. Monte Carlo estimates wobble, so
+    accuracy flags are advisory; rerun with more shots before reverting.
+
+Exit status is 0 unless --strict is given, in which case any flagged
+regression exits 1. The CI step runs without --strict (non-blocking trend
+tracking); humans comparing two local runs can opt into enforcement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_benchmarks(root: Path) -> dict[str, dict]:
+    """Maps bench name -> parsed JSON for every BENCH_*.json under root."""
+    benches: dict[str, dict] = {}
+    for path in sorted(root.rglob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: skipping unreadable {path}: {err}")
+            continue
+        name = data.get("bench", path.stem.removeprefix("BENCH_"))
+        benches[name] = data
+    return benches
+
+
+def classify(field: str) -> str:
+    if field.endswith("shots_per_sec"):
+        return "throughput"
+    if field.endswith("seconds"):
+        return "wall-clock"
+    return "accuracy"
+
+
+def relative_change(base: float, cur: float) -> float | None:
+    """Relative change, or None when a zero baseline makes it meaningless.
+
+    Zero-valued Monte Carlo estimates (a failure count of 0 at smoke shot
+    counts) flip between 0 and nonzero run to run; flagging them as infinite
+    regressions would bury genuine signals, so they are skipped.
+    """
+    if base == cur:
+        return 0.0
+    if base == 0:
+        return None
+    return (cur - base) / abs(base)
+
+
+def compare(base: dict, cur: dict, threshold: float) -> list[str]:
+    """Returns human-readable regression lines for one benchmark pair."""
+    flags: list[str] = []
+    for field, base_value in base.items():
+        if field in ("bench", "smoke") or field not in cur:
+            continue
+        cur_value = cur[field]
+        if not isinstance(base_value, (int, float)) or isinstance(
+            base_value, bool
+        ):
+            continue
+        if not isinstance(cur_value, (int, float)) or cur_value is None:
+            continue
+        change = relative_change(float(base_value), float(cur_value))
+        if change is None:
+            continue
+        kind = classify(field)
+        regressed = (
+            (kind == "throughput" and change < -threshold)
+            or (kind == "wall-clock" and change > threshold)
+            or (kind == "accuracy" and abs(change) > threshold)
+        )
+        if regressed:
+            flags.append(
+                f"  {field} [{kind}]: {base_value:g} -> {cur_value:g} "
+                f"({change:+.1%})"
+            )
+    return flags
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="relative change that counts as a regression (default 0.20)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when any regression is flagged",
+    )
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cur = load_benchmarks(args.current)
+    if not base:
+        print(f"no BENCH_*.json under {args.baseline}; nothing to compare")
+        return 0
+    if not cur:
+        print(f"no BENCH_*.json under {args.current}; nothing to compare")
+        return 0
+
+    total_flags = 0
+    compared = 0
+    for name in sorted(base):
+        if name not in cur:
+            print(f"{name}: present in baseline only (skipped)")
+            continue
+        if base[name].get("smoke") != cur[name].get("smoke"):
+            print(f"{name}: smoke/full mode mismatch (skipped)")
+            continue
+        compared += 1
+        flags = compare(base[name], cur[name], args.threshold)
+        if flags:
+            total_flags += len(flags)
+            print(f"{name}: {len(flags)} regression(s) beyond "
+                  f"{args.threshold:.0%}")
+            print("\n".join(flags))
+        else:
+            print(f"{name}: ok")
+    for name in sorted(set(cur) - set(base)):
+        print(f"{name}: new benchmark (no baseline)")
+
+    print(
+        f"\ncompared {compared} benchmark(s); {total_flags} flagged "
+        f"regression(s) at threshold {args.threshold:.0%}"
+    )
+    return 1 if (args.strict and total_flags) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
