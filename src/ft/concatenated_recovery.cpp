@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "ft/gadget_runner.h"
 #include "ft/steane_circuits.h"
+#include "ft/steane_recovery.h"
 #include "gf2/linalg.h"
 
 namespace ftqc::ft {
@@ -32,7 +33,10 @@ Level2Recovery::Level2Recovery(const sim::NoiseParams& noise,
       stochastic_(noise),
       injector_(&stochastic_) {
   for (uint32_t q = 0; q < kAncB; ++q) data_and_a_.push_back(q);
-  for (uint32_t q = 0; q < kNumQubits; ++q) all_.push_back(q);
+  // The scratch ancillas [kScratchA, kNumQubits) are alive only inside the
+  // interleaved level-1 cycles, which do their own storage accounting; the
+  // level-2 active set stays the three 49-qubit blocks.
+  for (uint32_t q = 0; q < kAncB + kBlock; ++q) all_.push_back(q);
 }
 
 void Level2Recovery::reset() { frame_.clear(); }
@@ -55,7 +59,8 @@ void Level2Recovery::apply_memory_noise(double p) {
   for (uint32_t q = 0; q < kBlock; ++q) frame_.depolarize1(q, p);
 }
 
-sim::Circuit Level2Recovery::level2_zero_prep(uint32_t base) const {
+sim::Circuit Level2Recovery::level2_zero_prep(const gf2::Hamming743& hamming,
+                                              uint32_t base) {
   sim::Circuit c;
   // Seven level-1 |0>_code preparations (built on local qubits 0..6 and
   // remapped onto the subblock).
@@ -73,7 +78,7 @@ sim::Circuit Level2Recovery::level2_zero_prep(uint32_t base) const {
   for (uint32_t a : avoid) avoided[a] = true;
   // Re-derive the pivoted rows (same algorithm as steane_zero_prep).
   std::vector<gf2::BitVec> rows;
-  for (size_t r = 0; r < 3; ++r) rows.push_back(hamming_.check_matrix().row(r));
+  for (size_t r = 0; r < 3; ++r) rows.push_back(hamming.check_matrix().row(r));
   std::vector<size_t> pivots;
   size_t next = 0;
   for (size_t col = 0; col < 7 && next < rows.size(); ++col) {
@@ -126,20 +131,72 @@ bool Level2Recovery::DecodedSyndrome::operator==(
   return true;
 }
 
+void Level2Recovery::run_subblock_recoveries(uint32_t base) {
+  static constexpr std::array<uint32_t, 7> kScrA = {147, 148, 149, 150,
+                                                    151, 152, 153};
+  static constexpr std::array<uint32_t, 7> kScrB = {154, 155, 156, 157,
+                                                    158, 159, 160};
+  static_assert(kScrA[0] == kScratchA && kScrB[0] == kScratchB);
+  struct SubblockCycle {
+    SteaneCycleLayout layout;
+    SteaneCycleCircuits circuits;
+  };
+  // The fault scans replay this gadget ~200k times, so the per-subblock
+  // circuits are compiled exactly once per base (thread-safe static init;
+  // read-only afterwards).
+  static const std::array<std::array<SubblockCycle, 7>, 2> kCycles = [] {
+    std::array<std::array<SubblockCycle, 7>, 2> cycles;
+    for (const uint32_t b : {kData, kAncA}) {
+      for (size_t sub = 0; sub < 7; ++sub) {
+        SubblockCycle& cy = cycles[b == kData ? 0 : 1][sub];
+        cy.layout = SteaneCycleLayout{subblock(b, sub), kScrA, kScrB};
+        cy.circuits = compile_steane_cycle(cy.layout);
+      }
+    }
+    return cycles;
+  }();
+  FTQC_CHECK(base == kData || base == kAncA,
+             "subblock recoveries run on the data block or ancilla A");
+  for (const SubblockCycle& cy : kCycles[base == kData ? 0 : 1]) {
+    run_steane_cycle(frame_, *injector_, policy_, hamming_, cy.layout,
+                     cy.circuits);
+  }
+}
+
 void Level2Recovery::prepare_verified_zero_ancilla() {
-  run_gadget(frame_, level2_zero_prep(kAncA), *injector_, data_and_a_);
+  // Compiled once: identical for every instance (the Hamming code is
+  // stateless) and replayed ~200k times by the exhaustive fault scans.
+  static const sim::Circuit kPrepA =
+      level2_zero_prep(gf2::Hamming743{}, kAncA);
+  static const sim::Circuit kPrepB =
+      level2_zero_prep(gf2::Hamming743{}, kAncB);
+  injector_->on_marker("prep:A");
+  run_gadget(frame_, kPrepA, *injector_, data_and_a_);
+  injector_->on_marker("prep:A:end");
+  if (policy_.level2_discipline == Level2Discipline::kExRec) {
+    // Extended rectangle: scrub every ancilla subblock with a level-1
+    // recovery before the §3.3 verification, so a fan-out fault pair can no
+    // longer seed two subblocks that later defeat the hierarchy.
+    injector_->on_marker("exrec:A");
+    run_subblock_recoveries(kAncA);
+    injector_->on_marker("exrec:A:end");
+  }
   if (!policy_.verify_ancilla) return;
+  injector_->on_marker("verify");
 
   int votes_one = 0;
   int rounds = 0;
-  for (int round = 0; round < policy_.verification_rounds; ++round) {
-    run_gadget(frame_, level2_zero_prep(kAncB), *injector_, all_);
+  static const sim::Circuit kVerifyCnots = [] {
     sim::Circuit cnots;
     for (uint32_t i = 0; i < kBlock; ++i) cnots.cx(kAncA + i, kAncB + i);
     cnots.tick();
     for (uint32_t i = 0; i < kBlock; ++i) cnots.m(kAncB + i);
     cnots.tick();
-    const auto flips = run_gadget(frame_, cnots, *injector_, all_);
+    return cnots;
+  }();
+  for (int round = 0; round < policy_.verification_rounds; ++round) {
+    run_gadget(frame_, kPrepB, *injector_, all_);
+    const auto flips = run_gadget(frame_, kVerifyCnots, *injector_, all_);
     // Hierarchical decode of the measured block.
     gf2::BitVec logicals(7);
     for (size_t sub = 0; sub < 7; ++sub) {
@@ -167,28 +224,38 @@ void Level2Recovery::prepare_verified_zero_ancilla() {
     run_gadget(frame_, fix, *injector_, data_and_a_);
     for (uint32_t q : touched) frame_.inject_x(q);
   }
+  injector_->on_marker("verify:end");
 }
 
 Level2Recovery::DecodedSyndrome Level2Recovery::extract_syndrome(
     bool phase_type) {
   prepare_verified_zero_ancilla();
+  injector_->on_marker("extract");
 
-  sim::Circuit gadget;
-  if (phase_type) {
-    for (uint32_t i = 0; i < kBlock; ++i) gadget.cx(kAncA + i, kData + i);
-    gadget.tick();
-    for (uint32_t i = 0; i < kBlock; ++i) gadget.mx(kAncA + i);
-    gadget.tick();
-  } else {
-    for (uint32_t i = 0; i < kBlock; ++i) gadget.h(kAncA + i);
-    gadget.tick();
-    for (uint32_t i = 0; i < kBlock; ++i) gadget.cx(kData + i, kAncA + i);
-    gadget.tick();
-    for (uint32_t i = 0; i < kBlock; ++i) gadget.m(kAncA + i);
-    gadget.tick();
-  }
-  const auto flips = run_gadget(frame_, gadget, *injector_, data_and_a_);
+  static const std::array<sim::Circuit, 2> kExtract = [] {
+    std::array<sim::Circuit, 2> gadgets;
+    for (const bool phase : {false, true}) {
+      sim::Circuit& gadget = gadgets[phase];
+      if (phase) {
+        for (uint32_t i = 0; i < kBlock; ++i) gadget.cx(kAncA + i, kData + i);
+        gadget.tick();
+        for (uint32_t i = 0; i < kBlock; ++i) gadget.mx(kAncA + i);
+        gadget.tick();
+      } else {
+        for (uint32_t i = 0; i < kBlock; ++i) gadget.h(kAncA + i);
+        gadget.tick();
+        for (uint32_t i = 0; i < kBlock; ++i) gadget.cx(kData + i, kAncA + i);
+        gadget.tick();
+        for (uint32_t i = 0; i < kBlock; ++i) gadget.m(kAncA + i);
+        gadget.tick();
+      }
+    }
+    return gadgets;
+  }();
+  const auto flips =
+      run_gadget(frame_, kExtract[phase_type], *injector_, data_and_a_);
   for (uint32_t i = 0; i < kBlock; ++i) frame_.reset(kAncA + i);
+  injector_->on_marker("extract:end");
 
   // One measurement, both levels (§5): per-subblock Hamming syndromes plus
   // the level-2 syndrome of the subblock logical values.
@@ -205,19 +272,28 @@ Level2Recovery::DecodedSyndrome Level2Recovery::extract_syndrome(
 }
 
 void Level2Recovery::correct(bool phase_type, const DecodedSyndrome& syndrome) {
+  // With interleaved data recoveries the per-subblock physical errors were
+  // already scrubbed between extraction and this point; re-applying the
+  // extraction's level-1 corrections would re-inject them, so only the
+  // top-level logical fix remains ours to apply.
+  const bool delegate_sub_corrections =
+      policy_.level2_discipline == Level2Discipline::kExRec &&
+      policy_.exrec_data_recoveries;
   sim::Circuit fix;
   std::vector<uint32_t> targets;
-  // Level-1 corrections: one physical Pauli per flagged subblock.
-  for (size_t sub = 0; sub < 7; ++sub) {
-    const size_t pos = hamming_.error_position(syndrome.sub[sub]);
-    if (pos >= 7) continue;
-    const uint32_t q = subblock(kData, sub)[pos];
-    if (phase_type) {
-      fix.z(q);
-    } else {
-      fix.x(q);
+  if (!delegate_sub_corrections) {
+    // Level-1 corrections: one physical Pauli per flagged subblock.
+    for (size_t sub = 0; sub < 7; ++sub) {
+      const size_t pos = hamming_.error_position(syndrome.sub[sub]);
+      if (pos >= 7) continue;
+      const uint32_t q = subblock(kData, sub)[pos];
+      if (phase_type) {
+        fix.z(q);
+      } else {
+        fix.x(q);
+      }
+      targets.push_back(q);
     }
-    targets.push_back(q);
   }
   // Level-2 correction: a logical Pauli on the flagged subblock.
   const size_t bad_sub = hamming_.error_position(syndrome.top);
@@ -247,14 +323,28 @@ void Level2Recovery::correct(bool phase_type, const DecodedSyndrome& syndrome) {
 }
 
 void Level2Recovery::run_cycle() {
+  const auto correct_exrec = [this](bool phase_type,
+                                    const DecodedSyndrome& syndrome) {
+    if (policy_.level2_discipline == Level2Discipline::kExRec &&
+        policy_.exrec_data_recoveries) {
+      // Optional trailing leg of the extended rectangle: level-1 recoveries
+      // on the data subblocks between extraction and correction. They clear
+      // the physical errors the extraction saw; correct() then applies the
+      // top-level logical fix only.
+      injector_->on_marker("exrec:data");
+      run_subblock_recoveries(kData);
+      injector_->on_marker("exrec:data:end");
+    }
+    correct(phase_type, syndrome);
+  };
   for (const bool phase_type : {false, true}) {
     const DecodedSyndrome syndrome = extract_syndrome(phase_type);
     if (!syndrome.any()) continue;
     if (policy_.repeat_nontrivial_syndrome) {
       const DecodedSyndrome again = extract_syndrome(phase_type);
-      if (again == syndrome) correct(phase_type, syndrome);
+      if (again == syndrome) correct_exrec(phase_type, syndrome);
     } else {
-      correct(phase_type, syndrome);
+      correct_exrec(phase_type, syndrome);
     }
   }
 }

@@ -29,11 +29,26 @@ namespace ftqc::ft {
 //     gives the level-2 syndrome — corrections are then applied at both
 //     levels (physical Paulis and 3-qubit logical Paulis).
 //
-// Register: data [0,49), ancilla A [49,98), verification ancilla B [98,147).
+// Under RecoveryPolicy::level2_discipline == kExRec the gadget runs the
+// extended-rectangle discipline instead: after the logical fan-out layers
+// of the ancilla-A preparation (and, with exrec_data_recoveries, between
+// extraction and correction on the data block) a full verified level-1
+// Steane recovery cycle (run_steane_cycle) is interleaved on every 7-qubit
+// subblock, scrubbing physical errors before they can pair up across
+// subblocks. The seven subblock recoveries are physically concurrent under
+// the §6 maximal-parallelism assumption, so each accounts storage noise
+// only over its own 21-qubit register; the simulation serializes them
+// through one shared pair of 7-qubit scratch ancilla blocks.
+//
+// Register: data [0,49), ancilla A [49,98), verification ancilla B
+// [98,147), level-1 scratch ancillas [147,161) (exRec only; the bare
+// discipline never touches them).
 class Level2Recovery {
  public:
   static constexpr size_t kBlock = 49;
-  static constexpr uint32_t kNumQubits = 147;
+  static constexpr uint32_t kScratchA = 147;
+  static constexpr uint32_t kScratchB = 154;
+  static constexpr uint32_t kNumQubits = 161;
 
   Level2Recovery(const sim::NoiseParams& noise, RecoveryPolicy policy,
                  uint64_t seed);
@@ -66,7 +81,12 @@ class Level2Recovery {
   };
 
   // Builds the level-2 |0>_code preparation circuit on a 49-qubit block.
-  [[nodiscard]] sim::Circuit level2_zero_prep(uint32_t base) const;
+  [[nodiscard]] static sim::Circuit level2_zero_prep(
+      const gf2::Hamming743& hamming, uint32_t base);
+  // exRec interleave: one verified level-1 recovery cycle per 7-qubit
+  // subblock of the block starting at `base`, on the shared scratch
+  // ancillas.
+  void run_subblock_recoveries(uint32_t base);
   void prepare_verified_zero_ancilla();
   [[nodiscard]] DecodedSyndrome extract_syndrome(bool phase_type);
   void correct(bool phase_type, const DecodedSyndrome& syndrome);

@@ -1,11 +1,16 @@
 #include "ft/fault_enumeration.h"
 
+#include <algorithm>
+#include <random>
 #include <vector>
+
+#include "common/check.h"
 
 namespace ftqc::ft {
 
 SingleFaultScan scan_single_faults(const GadgetExperiment& run,
-                                   const KindFilter& filter) {
+                                   const ScanOptions& options) {
+  FTQC_CHECK(options.location_stride > 0, "location stride must be positive");
   // Recording pass: learn the noiseless path's locations.
   FaultPointInjector recorder;
   (void)run(recorder);
@@ -13,11 +18,13 @@ SingleFaultScan scan_single_faults(const GadgetExperiment& run,
 
   SingleFaultScan scan;
   scan.num_locations = kinds.size();
-  for (size_t loc = 0; loc < kinds.size(); ++loc) {
-    if (!filter(kinds[loc])) continue;
+  const size_t last = std::min(options.last_location, kinds.size());
+  for (size_t loc = options.first_location; loc < last;
+       loc += options.location_stride) {
+    if (!options.filter(kinds[loc])) continue;
     const int variants = location_variants(kinds[loc]);
     for (int v = 0; v < variants; ++v) {
-      FaultPointInjector injector({{loc, v}});
+      FaultPointInjector injector({{loc, v}}, /*record_kinds=*/false);
       const bool failed = run(injector);
       ++scan.faults_tried;
       if (failed) {
@@ -27,6 +34,13 @@ SingleFaultScan scan_single_faults(const GadgetExperiment& run,
     }
   }
   return scan;
+}
+
+SingleFaultScan scan_single_faults(const GadgetExperiment& run,
+                                   const KindFilter& filter) {
+  ScanOptions options;
+  options.filter = filter;
+  return scan_single_faults(run, options);
 }
 
 PairFaultScan scan_fault_pairs(const GadgetExperiment& run,
@@ -51,7 +65,8 @@ PairFaultScan scan_fault_pairs(const GadgetExperiment& run,
         if (!filter(path_kinds[loc2])) continue;
         const int variants2 = location_variants(path_kinds[loc2]);
         for (int v2 = 0; v2 < variants2; ++v2) {
-          FaultPointInjector injector({{loc1, v1}, {loc2, v2}});
+          FaultPointInjector injector({{loc1, v1}, {loc2, v2}},
+                                      /*record_kinds=*/false);
           const bool failed = run(injector);
           const double w = w1 * variant_weight(path_kinds[loc2]);
           ++scan.pairs_tried;
@@ -65,6 +80,76 @@ PairFaultScan scan_fault_pairs(const GadgetExperiment& run,
     }
   }
   return scan;
+}
+
+namespace {
+
+// Window locations passing the kind filter, in order.
+std::vector<size_t> eligible_locations(const std::vector<LocationKind>& kinds,
+                                       const ScanOptions& options) {
+  std::vector<size_t> eligible;
+  const size_t last = std::min(options.last_location, kinds.size());
+  for (size_t loc = options.first_location; loc < last; ++loc) {
+    if (options.filter(kinds[loc])) eligible.push_back(loc);
+  }
+  return eligible;
+}
+
+// Draws (loc1 from pool1) < (loc2 from pool2) pairs with uniform variants
+// and replays the gadget with both armed. With pool1 == pool2 any distinct
+// ordered pair from the pool is possible.
+PairSampleScan sample_pairs_from(const GadgetExperiment& run,
+                                 const std::vector<LocationKind>& kinds,
+                                 const std::vector<size_t>& pool1,
+                                 const std::vector<size_t>& pool2,
+                                 size_t num_samples, uint64_t seed) {
+  FTQC_CHECK(!pool1.empty() && !pool2.empty(),
+             "pair sampling needs nonempty location pools");
+  std::mt19937_64 rng(seed);
+  PairSampleScan scan;
+  for (size_t s = 0; s < num_samples; ++s) {
+    size_t loc1 = pool1[rng() % pool1.size()];
+    size_t loc2 = pool2[rng() % pool2.size()];
+    while (loc1 == loc2) loc2 = pool2[rng() % pool2.size()];
+    if (loc1 > loc2) std::swap(loc1, loc2);
+    const int v1 = static_cast<int>(
+        rng() % static_cast<uint64_t>(location_variants(kinds[loc1])));
+    const int v2 = static_cast<int>(
+        rng() % static_cast<uint64_t>(location_variants(kinds[loc2])));
+    FaultPointInjector injector({{loc1, v1}, {loc2, v2}},
+                                /*record_kinds=*/false);
+    injector.set_clamp_variants(true);
+    ++scan.pairs_sampled;
+    if (run(injector)) ++scan.pairs_failing;
+  }
+  return scan;
+}
+
+}  // namespace
+
+PairSampleScan sample_fault_pairs(const GadgetExperiment& run,
+                                  const ScanOptions& options,
+                                  size_t num_samples, uint64_t seed) {
+  FaultPointInjector recorder;
+  (void)run(recorder);
+  const std::vector<LocationKind> kinds = recorder.kinds();
+  const std::vector<size_t> eligible = eligible_locations(kinds, options);
+  FTQC_CHECK(eligible.size() >= 2, "pair sampling needs >= 2 locations");
+  return sample_pairs_from(run, kinds, eligible, eligible, num_samples, seed);
+}
+
+PairSampleScan sample_fault_pairs(const GadgetExperiment& run,
+                                  const ScanOptions& first,
+                                  const ScanOptions& second,
+                                  size_t num_samples, uint64_t seed) {
+  FTQC_CHECK(first.last_location <= second.first_location,
+             "pair-sample windows must be ordered and disjoint");
+  FaultPointInjector recorder;
+  (void)run(recorder);
+  const std::vector<LocationKind> kinds = recorder.kinds();
+  const std::vector<size_t> pool1 = eligible_locations(kinds, first);
+  const std::vector<size_t> pool2 = eligible_locations(kinds, second);
+  return sample_pairs_from(run, kinds, pool1, pool2, num_samples, seed);
 }
 
 }  // namespace ftqc::ft

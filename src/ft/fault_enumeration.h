@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "ft/noise_injector.h"
@@ -26,6 +27,23 @@ using KindFilter = std::function<bool(LocationKind)>;
   return [](LocationKind k) { return k != LocationKind::kStorage; };
 }
 
+// Restricts a scan to part of the gadget. The window [first_location,
+// last_location) is expressed in the recorder's location indices; gadget
+// drivers publish sub-gadget boundaries as markers (see
+// FaultPointInjector::marker_window), so a scan can be aimed at, say, one
+// level-2 ancilla preparation ("prep:A".."prep:A:end") or the block of
+// interleaved level-1 recoveries ("exrec:A".."exrec:A:end") instead of the
+// whole ~50k-location level-2 cycle.
+// `location_stride > 1` subsamples every stride-th location for cheap
+// smoke-level coverage of a gadget too large to scan exhaustively in a
+// unit-tier test.
+struct ScanOptions {
+  KindFilter filter = all_kinds();
+  size_t first_location = 0;
+  size_t last_location = SIZE_MAX;
+  size_t location_stride = 1;
+};
+
 struct SingleFaultScan {
   size_t num_locations = 0;       // fault opportunities on the noiseless path
   size_t faults_tried = 0;        // (location, variant) pairs executed
@@ -34,6 +52,8 @@ struct SingleFaultScan {
                                   // the coefficient of ε¹ in P(fail)
 };
 
+[[nodiscard]] SingleFaultScan scan_single_faults(const GadgetExperiment& run,
+                                                 const ScanOptions& options);
 [[nodiscard]] SingleFaultScan scan_single_faults(const GadgetExperiment& run,
                                                  const KindFilter& filter);
 
@@ -51,5 +71,42 @@ struct PairFaultScan {
 // are enumerated too).
 [[nodiscard]] PairFaultScan scan_fault_pairs(const GadgetExperiment& run,
                                              const KindFilter& filter);
+
+struct PairSampleScan {
+  size_t pairs_sampled = 0;
+  size_t pairs_failing = 0;  // malignant pairs among the samples
+  [[nodiscard]] double malignant_fraction() const {
+    return pairs_sampled > 0
+               ? static_cast<double>(pairs_failing) /
+                     static_cast<double>(pairs_sampled)
+               : 0.0;
+  }
+};
+
+// Monte Carlo estimate of the malignant-pair fraction: draws `num_samples`
+// ordered fault pairs (location and variant uniform over the options
+// window of the RECORDED noiseless path) and replays the gadget with both
+// armed. Deterministic for a fixed seed. Exhaustive pair scans over a
+// level-2 gadget are ~1e10 runs; sampling inside a marker window makes the
+// bare-vs-exRec malignancy comparison affordable. Variants are clamped
+// (FaultPointInjector::set_clamp_variants) in case the first fault reroutes
+// control flow across the second location; windows that stay inside one
+// straight-line sub-gadget are unaffected.
+[[nodiscard]] PairSampleScan sample_fault_pairs(const GadgetExperiment& run,
+                                                const ScanOptions& options,
+                                                size_t num_samples,
+                                                uint64_t seed);
+
+// Two-window variant: the first fault is drawn from `first`, the second
+// from `second` (windows must be ordered and disjoint: first.last_location
+// <= second.first_location). This is how the cross-extraction malignancy of
+// the bare level-2 gadget is measured — its failing pairs put one fault in
+// EACH of the two ancilla preparations, a region pairing that uniform
+// whole-cycle sampling rarely hits.
+[[nodiscard]] PairSampleScan sample_fault_pairs(const GadgetExperiment& run,
+                                                const ScanOptions& first,
+                                                const ScanOptions& second,
+                                                size_t num_samples,
+                                                uint64_t seed);
 
 }  // namespace ftqc::ft

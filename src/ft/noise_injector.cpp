@@ -6,8 +6,9 @@
 
 namespace ftqc::ft {
 
-FaultPointInjector::FaultPointInjector(std::vector<Fault> faults)
-    : faults_(std::move(faults)) {
+FaultPointInjector::FaultPointInjector(std::vector<Fault> faults,
+                                       bool record_kinds)
+    : faults_(std::move(faults)), record_kinds_(record_kinds) {
   std::sort(faults_.begin(), faults_.end(),
             [](const Fault& a, const Fault& b) { return a.location < b.location; });
   for (size_t i = 1; i < faults_.size(); ++i) {
@@ -17,16 +18,44 @@ FaultPointInjector::FaultPointInjector(std::vector<Fault> faults)
 }
 
 int FaultPointInjector::step(LocationKind kind) {
-  kinds_.push_back(kind);
+  if (record_kinds_) kinds_.push_back(kind);
   const size_t loc = counter_++;
   if (cursor_ < faults_.size() && faults_[cursor_].location == loc) {
-    const int variant = faults_[cursor_].variant;
-    FTQC_CHECK(variant >= 0 && variant < location_variants(kind),
-               "fault variant out of range for location kind");
+    int variant = faults_[cursor_].variant;
+    if (clamp_variants_) {
+      variant %= location_variants(kind);
+    } else {
+      FTQC_CHECK(variant >= 0 && variant < location_variants(kind),
+                 "fault variant out of range for location kind");
+    }
     ++cursor_;
     return variant;
   }
   return -1;
+}
+
+void FaultPointInjector::on_marker(std::string_view label) {
+  markers_.emplace_back(std::string(label), counter_);
+}
+
+std::pair<size_t, size_t> FaultPointInjector::marker_window(
+    std::string_view begin, std::string_view end, size_t occurrence) const {
+  size_t lo = 0, hi = 0;
+  bool have_lo = false, have_hi = false;
+  size_t seen = 0;
+  for (const auto& [label, loc] : markers_) {
+    if (!have_lo && label == begin) {
+      if (seen++ < occurrence) continue;
+      lo = loc;
+      have_lo = true;
+    } else if (have_lo && !have_hi && label == end) {
+      hi = loc;
+      have_hi = true;
+      break;
+    }
+  }
+  FTQC_CHECK(have_lo && have_hi, "marker window not found");
+  return {lo, hi};
 }
 
 void FaultPointInjector::inject_pauli1(sim::FrameSim& sim, uint32_t q,

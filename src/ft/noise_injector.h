@@ -1,6 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "sim/frame_sim.h"
@@ -50,6 +53,10 @@ class NoiseInjector {
   // basis-appropriate flip of the outcome.
   virtual void on_meas(sim::FrameSim& sim, uint32_t q, bool x_basis) = 0;
   virtual void on_storage(sim::FrameSim& sim, uint32_t q) = 0;
+  // Span boundary announcement: gadget drivers name the sub-gadget that is
+  // about to run (e.g. "prep:A", "exrec:A") so fault scans can be windowed
+  // onto it. Not a fault opportunity; stochastic injectors ignore it.
+  virtual void on_marker(std::string_view label) { (void)label; }
 };
 
 // Samples the stochastic model: every hook is an independent Bernoulli draw
@@ -100,18 +107,42 @@ class FaultPointInjector final : public NoiseInjector {
   };
 
   FaultPointInjector() = default;  // recording mode
-  explicit FaultPointInjector(std::vector<Fault> faults);
+  // Replay mode. `record_kinds=false` skips the per-location kind log (a
+  // measurable saving when a scan replays a ~50k-location gadget thousands
+  // of times and only cares about the experiment's verdict).
+  explicit FaultPointInjector(std::vector<Fault> faults,
+                              bool record_kinds = true);
 
   void on_gate1(sim::FrameSim& sim, uint32_t q) override;
   void on_gate2(sim::FrameSim& sim, uint32_t a, uint32_t b) override;
   void on_prep(sim::FrameSim& sim, uint32_t q) override;
   void on_meas(sim::FrameSim& sim, uint32_t q, bool x_basis) override;
   void on_storage(sim::FrameSim& sim, uint32_t q) override;
+  void on_marker(std::string_view label) override;
+
+  // Sampled pair scans draw a variant for the location kind seen on the
+  // RECORDED path; if the armed first fault reroutes control flow so a
+  // different kind sits at that location, reduce the variant modulo the new
+  // kind's variant count instead of aborting. Off by default: exhaustive
+  // scans want the hard check.
+  void set_clamp_variants(bool clamp) { clamp_variants_ = clamp; }
 
   // Locations seen so far (valid in both modes).
   [[nodiscard]] size_t num_locations() const { return counter_; }
   // Kinds recorded during this run (recording mode fills it fully).
   [[nodiscard]] const std::vector<LocationKind>& kinds() const { return kinds_; }
+  // (label, location counter at emission) pairs, in execution order. The
+  // location is the index of the NEXT fault opportunity, so two markers
+  // bracket the half-open location window of the sub-gadget between them.
+  [[nodiscard]] const std::vector<std::pair<std::string, size_t>>& markers()
+      const {
+    return markers_;
+  }
+  // Location window of the `occurrence`-th emission of `begin`..`end`
+  // markers; FTQC_CHECKs that both exist.
+  [[nodiscard]] std::pair<size_t, size_t> marker_window(
+      std::string_view begin, std::string_view end,
+      size_t occurrence = 0) const;
 
  private:
   // Returns the variant to inject at the current location, or -1.
@@ -121,7 +152,10 @@ class FaultPointInjector final : public NoiseInjector {
   std::vector<Fault> faults_;  // sorted by location
   size_t cursor_ = 0;
   size_t counter_ = 0;
+  bool record_kinds_ = true;
+  bool clamp_variants_ = false;
   std::vector<LocationKind> kinds_;
+  std::vector<std::pair<std::string, size_t>> markers_;
 };
 
 }  // namespace ftqc::ft

@@ -8,6 +8,22 @@
 
 namespace ftqc::ft {
 
+// How a level-2 concatenated gadget treats its level-1 subblocks.
+enum class Level2Discipline : uint8_t {
+  // §5 "all levels simultaneously": bare level-1 subblocks, one 49-qubit
+  // extraction serves both levels. A pair of transversal-XOR faults during
+  // ancilla preparation can seed two subblocks at once and defeat the
+  // hierarchy at O(eps^2) with a large constant.
+  kBare,
+  // Extended-rectangle discipline (Aliferis-Gottesman-Preskill, after the
+  // malignant-pair counting in Gottesman's stabilizer framework): verified
+  // level-1 Steane recoveries are interleaved on every 7-qubit subblock of
+  // the level-2 ancilla after the logical-H/transversal-XOR fan-out layers
+  // and before verification, so physical errors are scrubbed before they
+  // can pair up across subblocks.
+  kExRec,
+};
+
 // Knobs of the fault-tolerant recovery protocols of §3. Disabling a knob
 // reproduces the paper's "what goes wrong without this precaution"
 // comparisons (benches E2-E4).
@@ -24,6 +40,15 @@ struct RecoveryPolicy {
   // Maximum cat-state preparation attempts before giving up the discard
   // loop and using the last cat unverified.
   int max_cat_attempts = 8;
+  // Level-2 gadgets only: bare subblocks or the extended-rectangle
+  // interleave. kBare reproduces the original gadget bit for bit.
+  Level2Discipline level2_discipline = Level2Discipline::kBare;
+  // kExRec only: additionally run level-1 recoveries on the DATA subblocks
+  // between syndrome extraction and correction. The level-2 correction then
+  // applies only the top-level logical fix and delegates the per-subblock
+  // physical fixes to those recoveries (re-applying the now-stale level-1
+  // corrections would re-inject the very errors the recoveries removed).
+  bool exrec_data_recoveries = false;
 };
 
 // Decodes 7 measurement flips into the 3-bit Hamming syndrome (Eq. 3)

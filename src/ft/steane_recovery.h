@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -11,6 +12,56 @@
 #include "sim/noise_model.h"
 
 namespace ftqc::ft {
+
+// Qubit placement of one Fig. 9 recovery cycle inside a caller-owned frame:
+// the block under recovery plus its syndrome and verification ancilla
+// blocks. SteaneRecovery uses the fixed steane_layout register; the level-2
+// extended-rectangle interleave (concatenated_recovery) aims the same cycle
+// at each 7-qubit subblock of a 49-qubit block with shared scratch ancillas.
+struct SteaneCycleLayout {
+  std::array<uint32_t, 7> data{};
+  std::array<uint32_t, 7> anc_a{};
+  std::array<uint32_t, 7> anc_b{};
+};
+
+// Every circuit one cycle executes, precompiled for a fixed layout. The
+// exhaustive fault scans replay a level-2 cycle — which nests 14+ level-1
+// cycles — hundreds of thousands of times, so rebuilding these per call
+// would triple the scan's wall clock.
+struct SteaneCycleCircuits {
+  sim::Circuit zero_prep_a;
+  sim::Circuit zero_prep_b;
+  sim::Circuit cx_ab;
+  sim::Circuit measure_b;
+  sim::Circuit ancilla_flip_fix;
+  // Indexed by phase_type (false=bit-flip, true=phase-flip).
+  std::array<sim::Circuit, 2> syndrome;
+  // Indexed by [phase_type][error position].
+  std::array<std::array<sim::Circuit, 7>, 2> correction;
+};
+
+[[nodiscard]] SteaneCycleCircuits compile_steane_cycle(
+    const SteaneCycleLayout& layout);
+
+// One full fault-tolerant Steane recovery cycle (Fig. 9) on `layout`,
+// announcing every fault opportunity to `injector`. Storage accounting is
+// local to the 21 named qubits: data+anc_a idle during syndrome-ancilla
+// work, all 21 during verification — the §6 "maximal parallelism" rule
+// applied to this cycle's own register. Corrections land in place; the
+// caller decodes the residual frame. This is THE cycle implementation:
+// SteaneRecovery::run_cycle delegates here, so the standalone level-1
+// driver and the level-2 interleave cannot drift apart. `circuits` must be
+// compile_steane_cycle(layout); the convenience overload compiles it on the
+// fly.
+void run_steane_cycle(sim::FrameSim& frame, NoiseInjector& injector,
+                      const RecoveryPolicy& policy,
+                      const gf2::Hamming743& hamming,
+                      const SteaneCycleLayout& layout,
+                      const SteaneCycleCircuits& circuits);
+void run_steane_cycle(sim::FrameSim& frame, NoiseInjector& injector,
+                      const RecoveryPolicy& policy,
+                      const gf2::Hamming743& hamming,
+                      const SteaneCycleLayout& layout);
 
 // Fault-tolerant error recovery for one Steane block using Steane's
 // encoded-ancilla method — the complete circuit of Fig. 9:
@@ -75,12 +126,6 @@ class SteaneRecovery {
   [[nodiscard]] sim::FrameSim& frame() { return frame_; }
 
  private:
-  // 3-bit Hamming syndrome (as flips) for the given error type.
-  gf2::BitVec extract_syndrome(bool phase_type);
-  // Verified |0>_code on the syndrome ancilla block (§3.3).
-  void prepare_verified_zero_ancilla();
-  void correct(bool phase_type, const gf2::BitVec& syndrome);
-
   sim::FrameSim frame_;
   sim::NoiseParams noise_;
   RecoveryPolicy policy_;

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+
 #include "ft/concatenated_recovery.h"
 #include "ft/fault_enumeration.h"
 
@@ -7,6 +10,20 @@ namespace ftqc::ft {
 namespace {
 
 const sim::NoiseParams kNoiseless{};
+
+RecoveryPolicy exrec_policy() {
+  RecoveryPolicy policy;
+  policy.level2_discipline = Level2Discipline::kExRec;
+  return policy;
+}
+
+bool cycle_fails_under(NoiseInjector& injector, const RecoveryPolicy& policy,
+                       uint64_t seed) {
+  Level2Recovery rec(kNoiseless, policy, seed);
+  rec.set_injector(&injector);
+  rec.run_cycle();
+  return rec.any_logical_error();
+}
 
 TEST(Level2Recovery, NoiselessCycleIsClean) {
   Level2Recovery rec(kNoiseless, RecoveryPolicy{}, 1);
@@ -99,6 +116,211 @@ TEST(Level2Recovery, StochasticLowNoiseIsQuiet) {
     failures += rec.any_logical_error();
   }
   EXPECT_EQ(failures, 0u);
+}
+
+// ---- Extended-rectangle discipline ---------------------------------------
+
+TEST(Level2ExRec, NoiselessCycleIsClean) {
+  for (const bool data_recoveries : {false, true}) {
+    RecoveryPolicy policy = exrec_policy();
+    policy.exrec_data_recoveries = data_recoveries;
+    Level2Recovery rec(kNoiseless, policy, 1);
+    rec.run_cycle();
+    EXPECT_FALSE(rec.any_logical_error());
+    EXPECT_FALSE(rec.frame().x_frame().any());
+    EXPECT_FALSE(rec.frame().z_frame().any());
+  }
+}
+
+TEST(Level2ExRec, CorrectsSinglePhysicalErrors) {
+  for (const bool data_recoveries : {false, true}) {
+    RecoveryPolicy policy = exrec_policy();
+    policy.exrec_data_recoveries = data_recoveries;
+    for (uint32_t q : {0u, 5u, 13u, 24u, 30u, 48u}) {
+      for (char pauli : {'X', 'Y', 'Z'}) {
+        Level2Recovery rec(kNoiseless, policy, 10 + q);
+        rec.inject_data(q, pauli);
+        rec.run_cycle();
+        EXPECT_FALSE(rec.any_logical_error())
+            << pauli << " on qubit " << q << " not corrected (data_recoveries="
+            << data_recoveries << ")";
+        EXPECT_FALSE(rec.frame().x_frame().any() || rec.frame().z_frame().any())
+            << pauli << " on qubit " << q << " left residuals";
+      }
+    }
+  }
+}
+
+TEST(Level2ExRec, CorrectsSubblockLogicalError) {
+  Level2Recovery rec(kNoiseless, exrec_policy(), 22);
+  rec.inject_data(0, 'X');
+  rec.inject_data(1, 'X');
+  rec.run_cycle();
+  EXPECT_FALSE(rec.any_logical_error());
+}
+
+TEST(Level2ExRec, MarkersExposeSubgadgetWindows) {
+  // The recorder's markers bracket every sub-gadget so scans can target
+  // them; the prep:A window is the same circuit under both disciplines, and
+  // only exRec has the interleave window.
+  FaultPointInjector bare_rec, exrec_rec;
+  cycle_fails_under(bare_rec, RecoveryPolicy{}, 31);
+  cycle_fails_under(exrec_rec, exrec_policy(), 31);
+
+  const auto bare_prep = bare_rec.marker_window("prep:A", "prep:A:end");
+  const auto exrec_prep = exrec_rec.marker_window("prep:A", "prep:A:end");
+  EXPECT_EQ(bare_prep.first, 0u);
+  EXPECT_EQ(bare_prep, exrec_prep);
+  EXPECT_GT(bare_prep.second, 1000u);
+
+  const auto interleave = exrec_rec.marker_window("exrec:A", "exrec:A:end");
+  EXPECT_EQ(interleave.first, exrec_prep.second);
+  EXPECT_GT(interleave.second - interleave.first, 4000u)
+      << "seven level-1 cycles should dominate the interleave window";
+  for (const auto& [label, loc] : bare_rec.markers()) {
+    EXPECT_NE(label, "exrec:A") << "bare discipline must not interleave";
+  }
+  // Both extractions expose a second prep window, further along the path.
+  const auto bare_prep2 = bare_rec.marker_window("prep:A", "prep:A:end", 1);
+  const auto exrec_prep2 = exrec_rec.marker_window("prep:A", "prep:A:end", 1);
+  EXPECT_GT(bare_prep2.first, bare_prep.second);
+  EXPECT_EQ(bare_prep2.second - bare_prep2.first,
+            exrec_prep2.second - exrec_prep2.first);
+}
+
+TEST(Level2ExRec, SingleFaultStridedSampleSurvives) {
+  // Strided cross-section of the full scan (the exhaustive version runs in
+  // the integration tier; see Level2ExRecIntegration).
+  FaultPointInjector recorder;
+  cycle_fails_under(recorder, exrec_policy(), 31);
+  ASSERT_GT(recorder.kinds().size(), 50000u);
+  ScanOptions options;
+  options.location_stride = 211;
+  const auto scan = scan_single_faults(
+      [](NoiseInjector& injector) {
+        return cycle_fails_under(injector, exrec_policy(), 31);
+      },
+      options);
+  EXPECT_GT(scan.faults_tried, 500u);
+  EXPECT_EQ(scan.faults_failing, 0u)
+      << "a single fault defeated the exRec gadget";
+}
+
+// ---- Seed determinism and bare-path regression ---------------------------
+
+TEST(Level2Determinism, SameSeedSameOutcomePerDiscipline) {
+  const auto noise = sim::NoiseParams::uniform_gate(3e-3);
+  for (const auto& policy : {RecoveryPolicy{}, exrec_policy()}) {
+    for (uint64_t seed : {7u, 1234u, 999u}) {
+      Level2Recovery a(noise, policy, seed);
+      Level2Recovery b(noise, policy, seed);
+      a.run_cycle();
+      b.run_cycle();
+      EXPECT_EQ(a.logical_x_error(), b.logical_x_error());
+      EXPECT_EQ(a.logical_z_error(), b.logical_z_error());
+      EXPECT_TRUE(a.frame().x_frame() == b.frame().x_frame());
+      EXPECT_TRUE(a.frame().z_frame() == b.frame().z_frame());
+    }
+  }
+}
+
+TEST(Level2Determinism, BareDisciplineReproducesPinnedResults) {
+  // Pinned against the pre-exRec gadget: the bare path must stay bit-for-bit
+  // identical so every published E18 bare-discipline number remains valid.
+  size_t fails = 0;
+  uint64_t mask = 0;
+  const auto noise = sim::NoiseParams::uniform_gate(2e-3);
+  for (uint64_t i = 0; i < 200; ++i) {
+    Level2Recovery rec(noise, RecoveryPolicy{}, 9000 + i);
+    rec.run_cycle();
+    if (rec.any_logical_error()) {
+      ++fails;
+      if (i < 64) mask |= uint64_t{1} << i;
+    }
+  }
+  EXPECT_EQ(fails, 9u);
+  EXPECT_EQ(mask, 0x8000000000000000ull);
+
+  size_t fx = 0, fz = 0;
+  const auto noisier = sim::NoiseParams::uniform_gate(4e-3);
+  for (uint64_t i = 0; i < 100; ++i) {
+    Level2Recovery rec(noisier, RecoveryPolicy{}, 5000 + i);
+    rec.run_cycle();
+    fx += rec.logical_x_error();
+    fz += rec.logical_z_error();
+  }
+  EXPECT_EQ(fx, 6u);
+  EXPECT_EQ(fz, 8u);
+}
+
+// ---- Integration tier: the exhaustive fault-enumeration battery ----------
+// (tests/CMakeLists.txt labels this suite `integration`; everything above
+// stays in the unit tier.)
+
+TEST(Level2ExRecIntegration, ExhaustiveSingleFaultScanIsClean) {
+  // Every circuit location x every Pauli variant across the FULL exRec
+  // level-2 cycle — interleaved level-1 recoveries included — must leave no
+  // logical error. This is the §3 fault-tolerance property verified
+  // exhaustively rather than statistically (~200k gadget replays).
+  const auto scan = scan_single_faults(
+      [](NoiseInjector& injector) {
+        return cycle_fails_under(injector, exrec_policy(), 77);
+      },
+      all_kinds());
+  EXPECT_GT(scan.num_locations, 50000u);
+  EXPECT_GT(scan.faults_tried, 190000u);
+  EXPECT_EQ(scan.faults_failing, 0u)
+      << "a single fault caused a level-2 logical error: not fault tolerant";
+}
+
+TEST(Level2ExRecIntegration, MalignantPairFractionStrictlyBelowBare) {
+  // The bare gadget's malignant pairs put one fault in EACH of the two
+  // level-2 ancilla preparations (one per syndrome type); the interleaved
+  // recoveries scrub the first prep's damage before it can combine with the
+  // second's. Sample that cross-extraction region with fixed seeds: the
+  // exRec fraction must be strictly below the bare fraction.
+  const auto sample = [](const RecoveryPolicy& policy) {
+    FaultPointInjector recorder;
+    cycle_fails_under(recorder, policy, 77);
+    const auto w1 = recorder.marker_window("prep:A", "prep:A:end", 0);
+    const auto w2 = recorder.marker_window("prep:A", "prep:A:end", 1);
+    ScanOptions first, second;
+    first.filter = second.filter = gate_kinds_only();
+    first.first_location = w1.first;
+    first.last_location = w1.second;
+    second.first_location = w2.first;
+    second.last_location = w2.second;
+    return sample_fault_pairs(
+        [&policy](NoiseInjector& injector) {
+          return cycle_fails_under(injector, policy, 77);
+        },
+        first, second, 2500, 20260729);
+  };
+  const auto bare = sample(RecoveryPolicy{});
+  const auto exrec = sample(exrec_policy());
+  EXPECT_GT(bare.pairs_failing, 20u)
+      << "expected the bare gadget to expose cross-extraction malignant pairs";
+  EXPECT_LT(exrec.malignant_fraction(), bare.malignant_fraction());
+  EXPECT_LT(exrec.pairs_failing * 10, bare.pairs_failing)
+      << "the interleave should suppress malignancy by an order of magnitude";
+}
+
+TEST(Level2ExRecIntegration, DataRecoveryVariantStridedScanIsClean) {
+  // The optional trailing leg (level-1 recoveries between extraction and
+  // correction) must preserve single-fault tolerance too. Its extra
+  // sub-gadgets only execute on fault-bearing paths, so a strided scan
+  // covers representative locations cheaply.
+  RecoveryPolicy policy = exrec_policy();
+  policy.exrec_data_recoveries = true;
+  ScanOptions options;
+  options.location_stride = 23;
+  const auto scan = scan_single_faults(
+      [&policy](NoiseInjector& injector) {
+        return cycle_fails_under(injector, policy, 77);
+      },
+      options);
+  EXPECT_GT(scan.faults_tried, 5000u);
+  EXPECT_EQ(scan.faults_failing, 0u);
 }
 
 }  // namespace
