@@ -1,0 +1,109 @@
+// Decoder micro-benchmark: raw decode throughput of the src/decode matching
+// strategies on fixed pre-sampled workloads, so decoder-side regressions show
+// up in the BENCH_DECODE.json trend line independently of the Monte Carlo
+// physics sweeps in E14.
+//   2D: L=8 toric lattice at p = 0.08 (near the greedy threshold, mean ~14
+//       defects — the exact-DP regime with occasional union-find fallbacks)
+//   3D: L=6, T=6 rounds of phenomenological noise at p = q = 0.02
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_harness.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "decode/decoder.h"
+#include "decode/matching.h"
+#include "decode/spacetime.h"
+#include "topo/toric_code.h"
+
+namespace {
+
+using namespace ftqc;
+using Clock = std::chrono::steady_clock;
+
+double decodes_per_sec(const decode::Decoder& dec,
+                       const std::vector<gf2::BitVec>& syndromes) {
+  const auto start = Clock::now();
+  size_t sink = 0;
+  for (const gf2::BitVec& s : syndromes) sink += dec.decode(s).popcount();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  // Fold the sink into the result's noise floor so the loop cannot be
+  // optimized away.
+  return (static_cast<double>(syndromes.size()) + (sink == SIZE_MAX ? 1 : 0)) /
+         seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "DECODE");
+  std::printf(
+      "DECODE: matching-decoder micro-benchmark (fixed workloads, decode\n"
+      "time only; sampling excluded).\n\n");
+  const size_t shots = ftqc::bench::scaled(3000, 300);
+
+  const topo::ToricCode code(8);
+  const double p = 0.08;
+  Rng rng(2024);
+  std::vector<gf2::BitVec> syndromes;
+  syndromes.reserve(shots);
+  size_t total_defects = 0;
+  for (size_t s = 0; s < shots; ++s) {
+    gf2::BitVec errors(code.num_qubits());
+    for (size_t e = 0; e < code.num_qubits(); ++e) {
+      if (rng.bernoulli(p)) errors.set(e, true);
+    }
+    syndromes.push_back(code.plaquette_syndrome(errors));
+    total_defects += syndromes.back().popcount();
+  }
+
+  const auto greedy = std::make_shared<const decode::GreedyMatching>();
+  const auto mwpm = std::make_shared<const decode::MwpmMatching>();
+  const decode::ToricMatchingDecoder greedy_dec(
+      code, decode::ToricSide::kPlaquette, greedy);
+  const decode::ToricMatchingDecoder mwpm_dec(
+      code, decode::ToricSide::kPlaquette, mwpm);
+  const double greedy_rate = decodes_per_sec(greedy_dec, syndromes);
+  const double mwpm_rate = decodes_per_sec(mwpm_dec, syndromes);
+
+  // Space-time: time whole phenomenological shots (T noisy rounds + decode);
+  // the matcher dominates, and whole-shot rate is what E14's sweep pays.
+  const topo::ToricCode code_st(6);
+  const decode::SpacetimeToricDecoder st_dec(
+      code_st, decode::ToricSide::kPlaquette, mwpm);
+  const size_t st_shots = shots / 2;
+  const auto st_start = Clock::now();
+  size_t st_fails = 0;
+  for (size_t s = 0; s < st_shots; ++s) {
+    st_fails += decode::run_phenomenological_memory(st_dec, 0.02, 0.02, 6,
+                                                    3000 + s)
+                    .logical_fail
+                    ? 1
+                    : 0;
+  }
+  const double st_seconds =
+      std::chrono::duration<double>(Clock::now() - st_start).count();
+  const double st_rate = static_cast<double>(st_shots) / st_seconds;
+
+  ftqc::Table table({"decoder", "workload", "decodes/sec"});
+  table.add_row({"greedy", "2D L=8 p=0.08", ftqc::strfmt("%.3g", greedy_rate)});
+  table.add_row({"mwpm", "2D L=8 p=0.08", ftqc::strfmt("%.3g", mwpm_rate)});
+  table.add_row(
+      {"spacetime mwpm", "3D L=6 T=6 p=q=0.02", ftqc::strfmt("%.3g", st_rate)});
+  table.print();
+  std::printf("mean defects per 2D syndrome: %.1f\n",
+              static_cast<double>(total_defects) / static_cast<double>(shots));
+
+  ftqc::bench::JsonResult json;
+  json.add("greedy_decodes_per_sec", greedy_rate);
+  json.add("mwpm_decodes_per_sec", mwpm_rate);
+  json.add("spacetime_shots_per_sec", st_rate);
+  json.add("mean_defects_2d",
+           static_cast<double>(total_defects) / static_cast<double>(shots));
+  json.add("shots", shots);
+  json.write();
+  return 0;
+}

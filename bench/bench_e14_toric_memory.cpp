@@ -1,71 +1,236 @@
-// E14 (§7.1-7.2): topological memory. The toric code stores two logical
-// qubits in the torus homology; under iid X noise with matching-based
-// decoding the logical failure rate falls exponentially with lattice size
-// below a threshold — Kitaev's "intrinsically fault-tolerant hardware".
+// E14 (§7.1-7.2): topological memory, decoder A/B/C. The toric code stores
+// two logical qubits in the torus homology; below a decoder-dependent
+// threshold the logical failure rate falls exponentially with lattice size —
+// Kitaev's "intrinsically fault-tolerant hardware". Three decoders from
+// src/decode compete on the same noise:
+//   greedy     — closest-pair matching, perfect measurement (threshold ~8%)
+//   mwpm       — minimum-weight perfect matching, perfect measurement
+//                (optimal matching reaches ~10.3%)
+//   space-time — MWPM over 3D (site, round) defects: T = L rounds of FAULTY
+//                syndrome extraction (measured bits flip at q = p), the
+//                phenomenological-noise workload (threshold ~3%).
+// Each sweep's L-small vs L-large failure ratio is extrapolated to its
+// crossing, and the threshold estimates land in BENCH_E14.json for the CI
+// trend step.
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench_harness.h"
 #include "common/rng.h"
+#include "common/stats.h"
 #include "common/table.h"
+#include "decode/decoder.h"
+#include "decode/matching.h"
+#include "decode/spacetime.h"
+#include "sim/shot_runner.h"
 #include "topo/toric_code.h"
 
 namespace {
 
-double failure_rate(const ftqc::topo::ToricCode& code, double p, size_t shots,
-                    uint64_t seed) {
-  ftqc::Rng rng(seed);
-  size_t failures = 0;
-  ftqc::gf2::BitVec errors(code.num_qubits());
-  for (size_t s = 0; s < shots; ++s) {
-    errors.clear();
-    for (size_t e = 0; e < code.num_qubits(); ++e) {
-      if (rng.bernoulli(p)) errors.set(e, true);
-    }
-    ftqc::gf2::BitVec residual = errors;
-    residual ^= code.decode_plaquette_syndrome(code.plaquette_syndrome(errors));
-    const auto [f1, f2] = code.logical_x_flips(residual);
-    failures += (f1 || f2) ? 1 : 0;
+using namespace ftqc;
+
+// 2D memory shot: iid X noise, one perfect syndrome snapshot, decode, check
+// the residual against both logical Z loops.
+bool memory_shot_2d(const topo::ToricCode& code, const decode::Decoder& dec,
+                    double p, Rng& rng) {
+  gf2::BitVec errors(code.num_qubits());
+  for (size_t e = 0; e < code.num_qubits(); ++e) {
+    if (rng.bernoulli(p)) errors.set(e, true);
   }
-  return static_cast<double>(failures) / static_cast<double>(shots);
+  gf2::BitVec residual = errors;
+  residual ^= dec.decode(code.plaquette_syndrome(errors));
+  const auto [f1, f2] = code.logical_x_flips(residual);
+  return f1 || f2;
+}
+
+// All Monte Carlo loops ride ShotRunner: kFrame runs one seeded shot per
+// index, kBatch hands a whole block to one Rng stream (the sampling here is
+// classical, so "batch" means block-amortized RNG + dynamic scheduling).
+double failure_rate_2d(const topo::ToricCode& code, const decode::Decoder& dec,
+                       double p, size_t shots, uint64_t seed,
+                       sim::ShotEngine engine) {
+  sim::ShotPlan plan;
+  plan.shots = shots;
+  plan.seed = seed;
+  plan.seed_stride = 7;
+  plan.engine = engine;
+  const sim::ShotRunner runner(plan);
+  const auto result = runner.run(
+      [&](uint64_t shot_seed) {
+        Rng rng(shot_seed);
+        return memory_shot_2d(code, dec, p, rng);
+      },
+      [&](uint64_t block_seed, size_t n) {
+        Rng rng(block_seed);
+        uint64_t fails = 0;
+        for (size_t i = 0; i < n; ++i) {
+          fails += memory_shot_2d(code, dec, p, rng) ? 1 : 0;
+        }
+        return fails;
+      });
+  return result.failure_rate();
+}
+
+double failure_rate_spacetime(const decode::SpacetimeToricDecoder& dec,
+                              double p, size_t rounds, size_t shots,
+                              uint64_t seed, sim::ShotEngine engine) {
+  sim::ShotPlan plan;
+  plan.shots = shots;
+  plan.seed = seed;
+  plan.seed_stride = 7;
+  plan.engine = engine;
+  const sim::ShotRunner runner(plan);
+  const auto result = runner.run(
+      [&](uint64_t shot_seed) {
+        return decode::run_phenomenological_memory(dec, p, p, rounds, shot_seed)
+            .logical_fail;
+      },
+      [&](uint64_t block_seed, size_t n) {
+        Rng rng(block_seed);
+        uint64_t fails = 0;
+        for (size_t i = 0; i < n; ++i) {
+          fails += decode::run_phenomenological_memory(dec, p, p, rounds,
+                                                      rng.next_u64())
+                       .logical_fail
+                       ? 1
+                       : 0;
+        }
+        return fails;
+      });
+  return result.failure_rate();
+}
+
+const char* trend_label(double f_small, double f_mid, double f_large) {
+  if (f_large < f_mid && f_mid < f_small) return "bigger is better";
+  if (f_large > f_mid && f_mid > f_small) return "bigger is WORSE";
+  return "crossover";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  ftqc::bench::init(argc, argv, "E14");
+  ftqc::bench::init(argc, argv, "E14",
+                    {sim::ShotEngine::kFrame, sim::ShotEngine::kBatch});
+  const sim::ShotEngine engine = ftqc::bench::engine_or(sim::ShotEngine::kBatch);
   using ftqc::topo::ToricCode;
   std::printf(
-      "E14: toric-code memory under iid X noise, greedy-matching decoder.\n"
-      "Rows: physical error rate p; columns: lattice size L (2L^2 qubits).\n\n");
+      "E14: toric-code memory, decoder A/B/C sweep (greedy vs MWPM vs 3D\n"
+      "space-time MWPM under faulty syndrome measurement). Rows: physical\n"
+      "error rate p; columns: lattice size L (2L^2 qubits). [engine: %s]\n\n",
+      sim::shot_engine_name(engine));
 
-  const size_t shots = ftqc::bench::scaled(3000, 300);
+  const size_t shots = ftqc::bench::scaled(4000, 300);
+  const size_t shots_st = ftqc::bench::scaled(2500, 150);
+  const ToricCode code4(4), code6(6), code8(8);
+
+  const auto greedy = std::make_shared<const decode::GreedyMatching>();
+  const auto mwpm = std::make_shared<const decode::MwpmMatching>();
+  struct Strategy {
+    const char* label;
+    const char* json_suffix;
+    std::shared_ptr<const decode::MatchingStrategy> matching;
+  };
+  const std::vector<Strategy> strategies = {
+      {"greedy matching", "", greedy},
+      {"minimum-weight perfect matching", "_mwpm", mwpm},
+  };
+
   ftqc::bench::JsonResult json;
-  ftqc::Table table({"p", "L=4", "L=6", "L=8", "trend"});
-  for (const double p : {0.12, 0.10, 0.08, 0.06, 0.04, 0.02, 0.01}) {
-    const double f4 = failure_rate(ToricCode(4), p, shots, 11);
-    const double f6 = failure_rate(ToricCode(6), p, shots, 13);
-    const double f8 = failure_rate(ToricCode(8), p, shots, 17);
-    const char* trend = (f8 < f6 && f6 < f4) ? "bigger is better"
-                        : (f8 > f6 && f6 > f4) ? "bigger is WORSE"
-                                               : "crossover";
-    table.add_row({ftqc::strfmt("%.2f", p), ftqc::strfmt("%.4f", f4),
-                   ftqc::strfmt("%.4f", f6), ftqc::strfmt("%.4f", f8), trend});
-    if (p == 0.02) {
-      json.add("p", p);
-      json.add("failure_L4", f4);
-      json.add("failure_L6", f6);
-      json.add("failure_L8", f8);
+  const std::vector<double> p_grid = {0.12, 0.11, 0.10, 0.09, 0.08,
+                                      0.07, 0.06, 0.04, 0.02};
+  for (const Strategy& strat : strategies) {
+    const decode::ToricMatchingDecoder dec4(code4, decode::ToricSide::kPlaquette,
+                                            strat.matching);
+    const decode::ToricMatchingDecoder dec6(code6, decode::ToricSide::kPlaquette,
+                                            strat.matching);
+    const decode::ToricMatchingDecoder dec8(code8, decode::ToricSide::kPlaquette,
+                                            strat.matching);
+    std::printf("Perfect measurement, %s decoder:\n", strat.label);
+    ftqc::Table table({"p", "L=4", "L=6", "L=8", "trend"});
+    std::vector<double> grid, ratio;
+    for (const double p : p_grid) {
+      const double f4 = failure_rate_2d(code4, dec4, p, shots, 11, engine);
+      const double f6 = failure_rate_2d(code6, dec6, p, shots, 13, engine);
+      const double f8 = failure_rate_2d(code8, dec8, p, shots, 17, engine);
+      table.add_row({ftqc::strfmt("%.2f", p), ftqc::strfmt("%.4f", f4),
+                     ftqc::strfmt("%.4f", f6), ftqc::strfmt("%.4f", f8),
+                     trend_label(f4, f6, f8)});
+      // The L=8/L=4 failure ratio crosses 1 at the threshold.
+      grid.push_back(p);
+      ratio.push_back(f4 > 0 && f8 > 0 ? f8 / f4 : 0.0);
+      if (p == 0.02) {
+        json.add(std::string("failure_L4") + strat.json_suffix, f4);
+        json.add(std::string("failure_L6") + strat.json_suffix, f6);
+        json.add(std::string("failure_L8") + strat.json_suffix, f8);
+      }
+      if (p == 0.08) {
+        json.add(std::string("failure_L8_p08") + strat.json_suffix, f8);
+      }
+    }
+    table.print();
+    const double threshold = ftqc::loglog_unit_crossing(grid, ratio);
+    json.add(std::string("threshold") +
+                 (strat.json_suffix[0] ? strat.json_suffix : "_greedy"),
+             threshold);
+    if (threshold > 0) {
+      std::printf("  extrapolated threshold (L8/L4 ratio -> 1): p ~ %.3f\n\n",
+                  threshold);
+    } else {
+      std::printf("  threshold not resolved at these shot counts\n\n");
     }
   }
-  table.print();
+
+  // Faulty measurement: T = L rounds of noisy extraction (q = p), then one
+  // trusted readout; defects are syndrome changes between rounds and the
+  // matching runs in 3D. The threshold survives — smaller (~3%), but finite:
+  // below it, growing L still suppresses the logical failure even though no
+  // single syndrome snapshot can be trusted.
+  std::printf(
+      "Faulty syndrome measurement (q = p), space-time MWPM, T = L rounds:\n");
+  const decode::SpacetimeToricDecoder st4(code4, decode::ToricSide::kPlaquette,
+                                          mwpm);
+  const decode::SpacetimeToricDecoder st6(code6, decode::ToricSide::kPlaquette,
+                                          mwpm);
+  ftqc::Table st_table({"p", "L=4", "L=6", "trend"});
+  std::vector<double> st_grid, st_ratio;
+  for (const double p :
+       {0.05, 0.04, 0.032, 0.026, 0.02, 0.015, 0.01}) {
+    const double f4 = failure_rate_spacetime(st4, p, 4, shots_st, 101, engine);
+    const double f6 = failure_rate_spacetime(st6, p, 6, shots_st, 103, engine);
+    st_table.add_row({ftqc::strfmt("%.3f", p), ftqc::strfmt("%.4f", f4),
+                      ftqc::strfmt("%.4f", f6),
+                      f6 < f4   ? "bigger is better"
+                      : f6 > f4 ? "bigger is WORSE"
+                                : "tie"});
+    st_grid.push_back(p);
+    st_ratio.push_back(f4 > 0 && f6 > 0 ? f6 / f4 : 0.0);
+    if (p == 0.02) {
+      json.add("spacetime_p", p);
+      json.add("spacetime_failure_L4", f4);
+      json.add("spacetime_failure_L6", f6);
+    }
+  }
+  st_table.print();
+  const double st_threshold = ftqc::loglog_unit_crossing(st_grid, st_ratio);
+  json.add("threshold_spacetime", st_threshold);
+  if (st_threshold > 0) {
+    std::printf("  extrapolated threshold (L6/L4 ratio -> 1): p ~ %.3f\n",
+                st_threshold);
+  }
+
+  json.add("p", 0.02);
   json.add("shots", shots);
+  json.add("shots_spacetime", shots_st);
   json.write();
   std::printf(
-      "\nShape check: below ~0.05-0.08 growing the lattice suppresses the\n"
-      "logical failure (exponentially in L); above it, larger lattices are\n"
-      "worse — a topological accuracy threshold. (The optimal MWPM decoder\n"
-      "reaches ~0.103; greedy matching trades a few points of threshold for\n"
-      "simplicity. The §7 claim — macroscopic protection from local noise —\n"
-      "is decoder-independent.)\n");
+      "\nShape check: with perfect measurement MWPM pushes the crossover from\n"
+      "the greedy matcher's ~0.08 toward the optimal ~0.103 — same hardware,\n"
+      "same noise, better pairing. With every syndrome bit itself unreliable\n"
+      "the 2D picture collapses (one snapshot cannot tell a data error from\n"
+      "a misread), yet matching syndrome CHANGES across repeated rounds in 3D\n"
+      "restores a finite threshold — the repeated-measurement workhorse of\n"
+      "surface-code fault tolerance, and the quantitative completion of the\n"
+      "§7 'intrinsically fault-tolerant hardware' claim.\n");
   return 0;
 }

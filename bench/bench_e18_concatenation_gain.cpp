@@ -58,33 +58,6 @@ Proportion level2_failure(double eps, size_t shots, uint64_t seed,
   return result.proportion();
 }
 
-// Log-log extrapolation of the level-2/level-1 failure ratio to ratio = 1:
-// the eps where the disciplines' level-2 curve crosses the level-1 curve.
-// Returns 0 when fewer than two grid points have nonzero failures on both
-// curves (smoke-mode shot counts).
-double crossover_estimate(const std::vector<double>& eps,
-                          const std::vector<double>& ratio) {
-  double sx = 0, sy = 0, sxx = 0, sxy = 0;
-  size_t n = 0;
-  for (size_t i = 0; i < eps.size(); ++i) {
-    if (ratio[i] <= 0) continue;
-    const double x = std::log(eps[i]);
-    const double y = std::log(ratio[i]);
-    sx += x;
-    sy += y;
-    sxx += x * x;
-    sxy += x * y;
-    ++n;
-  }
-  if (n < 2) return 0.0;
-  const double denom = static_cast<double>(n) * sxx - sx * sx;
-  if (denom == 0) return 0.0;
-  const double slope = (static_cast<double>(n) * sxy - sx * sy) / denom;
-  const double intercept = (sy - slope * sx) / static_cast<double>(n);
-  if (slope <= 0) return 0.0;
-  return std::exp(-intercept / slope);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -138,8 +111,10 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
-  const double cross_bare = crossover_estimate(grid, bare_ratio);
-  const double cross_exrec = crossover_estimate(grid, exrec_ratio);
+  // Log-log extrapolation of the level-2/level-1 failure ratio to ratio = 1:
+  // the eps where each discipline's level-2 curve crosses the level-1 curve.
+  const double cross_bare = ftqc::loglog_unit_crossing(grid, bare_ratio);
+  const double cross_exrec = ftqc::loglog_unit_crossing(grid, exrec_ratio);
   if (cross_bare > 0) json.add("crossover_bare", cross_bare);
   if (cross_exrec > 0) json.add("crossover_exrec", cross_exrec);
   json.write();

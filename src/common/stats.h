@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 namespace ftqc {
 
@@ -35,5 +36,33 @@ struct Proportion {
     return (p + z * z / (2 * n)) / (1.0 + z * z / n);
   }
 };
+
+// Log-log least-squares extrapolation of a failure-ratio curve to ratio = 1:
+// the threshold benches (E14, E18) fit ln(ratio) against ln(x) over the
+// points where both curves resolved (ratio > 0) and solve for the x at which
+// the bigger code stops helping. Returns 0 when fewer than two points are
+// usable or the fitted slope is non-positive (no crossing in range).
+[[nodiscard]] inline double loglog_unit_crossing(
+    const std::vector<double>& xs, const std::vector<double>& ratios) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < xs.size() && i < ratios.size(); ++i) {
+    if (ratios[i] <= 0 || xs[i] <= 0) continue;
+    const double x = std::log(xs[i]);
+    const double y = std::log(ratios[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  if (denom == 0) return 0.0;
+  const double slope = (static_cast<double>(n) * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / static_cast<double>(n);
+  if (slope <= 0) return 0.0;
+  return std::exp(-intercept / slope);
+}
 
 }  // namespace ftqc

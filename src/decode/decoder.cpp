@@ -1,0 +1,44 @@
+#include "decode/decoder.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ftqc::decode {
+
+ToricMatchingDecoder::ToricMatchingDecoder(
+    const topo::ToricCode& code, ToricSide side,
+    std::shared_ptr<const MatchingStrategy> strategy)
+    : code_(code), side_(side), strategy_(std::move(strategy)) {
+  FTQC_CHECK(strategy_ != nullptr, "matching strategy required");
+}
+
+const char* ToricMatchingDecoder::name() const { return strategy_->name(); }
+
+gf2::BitVec ToricMatchingDecoder::decode(const gf2::BitVec& syndrome) const {
+  const size_t sites = side_ == ToricSide::kPlaquette ? code_.num_plaquettes()
+                                                      : code_.num_vertices();
+  FTQC_CHECK(syndrome.size() == sites, "syndrome size mismatch");
+  std::vector<uint32_t> defects;
+  for (size_t s = syndrome.first_set(); s < sites; s = syndrome.next_set(s + 1)) {
+    defects.push_back(static_cast<uint32_t>(s));
+  }
+  FTQC_CHECK(defects.size() % 2 == 0, "defects come in pairs on a torus");
+
+  const auto matches =
+      strategy_->match(defects.size(), [&](size_t a, size_t b) {
+        return code_.torus_site_distance(defects[a], defects[b]);
+      });
+  gf2::BitVec correction(code_.num_qubits());
+  for (const Match& m : matches) {
+    if (side_ == ToricSide::kPlaquette) {
+      code_.toggle_dual_path(defects[m.a], defects[m.b], correction);
+    } else {
+      code_.toggle_primal_path(defects[m.a], defects[m.b], correction);
+    }
+  }
+  return correction;
+}
+
+}  // namespace ftqc::decode

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <memory>
+
+#include "decode/matching.h"
+#include "gf2/bitvec.h"
+#include "topo/toric_code.h"
+
+namespace ftqc::decode {
+
+// Syndrome -> correction. Implementations own their code geometry; callers
+// XOR the returned correction into the error frame and ask the code for the
+// residual's logical action. Every decoder in the subsystem is pluggable
+// through this interface so benches can A/B strategies shot-for-shot.
+class Decoder {
+ public:
+  virtual ~Decoder() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual gf2::BitVec decode(
+      const gf2::BitVec& syndrome) const = 0;
+};
+
+// Which half of the toric code's CSS structure a decoder corrects: violated
+// plaquettes (magnetic fluxons, X errors, dual-lattice geodesics) or violated
+// stars (electric charges, Z errors, primal-lattice geodesics).
+enum class ToricSide : uint8_t {
+  kPlaquette,
+  kStar,
+};
+
+// 2D perfect-measurement matching decoder: collects defects from one
+// syndrome snapshot, pairs them with the injected strategy under the
+// torus-periodic site metric, and toggles a geodesic per pair.
+class ToricMatchingDecoder final : public Decoder {
+ public:
+  ToricMatchingDecoder(const topo::ToricCode& code, ToricSide side,
+                       std::shared_ptr<const MatchingStrategy> strategy);
+
+  [[nodiscard]] const char* name() const override;
+  [[nodiscard]] gf2::BitVec decode(const gf2::BitVec& syndrome) const override;
+
+  [[nodiscard]] const topo::ToricCode& code() const { return code_; }
+  [[nodiscard]] ToricSide side() const { return side_; }
+  [[nodiscard]] const MatchingStrategy& strategy() const { return *strategy_; }
+
+ private:
+  const topo::ToricCode& code_;
+  ToricSide side_;
+  std::shared_ptr<const MatchingStrategy> strategy_;
+};
+
+}  // namespace ftqc::decode

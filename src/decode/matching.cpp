@@ -1,0 +1,207 @@
+#include "decode/matching.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace ftqc::decode {
+namespace {
+
+constexpr size_t kInf = std::numeric_limits<size_t>::max() / 2;
+
+// Greedy core shared by the standalone strategy and the oversized-cluster
+// fallback: repeatedly match the globally closest remaining pair, first
+// lexicographic pair winning ties (the historical ToricCode behavior).
+template <typename Dist>
+void greedy_match_into(const std::vector<uint32_t>& members, Dist&& distance,
+                       std::vector<Match>& out) {
+  std::vector<bool> used(members.size(), false);
+  for (size_t matched = 0; matched < members.size(); matched += 2) {
+    size_t best_i = 0, best_j = 0;
+    size_t best = kInf;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (used[i]) continue;
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (used[j]) continue;
+        const size_t d = distance(members[i], members[j]);
+        if (d < best) {
+          best = d;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    used[best_i] = used[best_j] = true;
+    out.push_back({members[best_i], members[best_j]});
+  }
+}
+
+// Exact minimum-weight perfect matching over one cluster via DP on defect
+// subsets: dp[S] = cheapest pairing of subset S, always extending by the
+// lowest-indexed unmatched defect. O(2^k · k) time, O(2^k) space, so callers
+// bound k by MwpmOptions::exact_limit.
+void exact_match_into(const std::vector<uint32_t>& members,
+                      const std::vector<size_t>& dist_matrix, size_t stride,
+                      std::vector<Match>& out) {
+  const size_t k = members.size();
+  const uint32_t full = static_cast<uint32_t>((uint64_t{1} << k) - 1);
+  std::vector<size_t> dp(static_cast<size_t>(full) + 1, kInf);
+  std::vector<uint8_t> choice(static_cast<size_t>(full) + 1, 0);
+  dp[0] = 0;
+  for (uint32_t s = 1; s <= full; ++s) {
+    if ((__builtin_popcount(s) & 1) != 0) continue;  // odd subsets unreachable
+    const int i = __builtin_ctz(s);
+    size_t best = kInf;
+    uint8_t best_j = 0;
+    for (uint32_t rest = s ^ (1u << i); rest != 0; rest &= rest - 1) {
+      const int j = __builtin_ctz(rest);
+      const size_t cost =
+          dp[s ^ (1u << i) ^ (1u << j)] +
+          dist_matrix[members[static_cast<size_t>(i)] * stride +
+                      members[static_cast<size_t>(j)]];
+      if (cost < best) {
+        best = cost;
+        best_j = static_cast<uint8_t>(j);
+      }
+    }
+    dp[s] = best;
+    choice[s] = best_j;
+  }
+  for (uint32_t s = full; s != 0;) {
+    const int i = __builtin_ctz(s);
+    const int j = choice[s];
+    out.push_back({members[static_cast<size_t>(i)],
+                   members[static_cast<size_t>(j)]});
+    s ^= (1u << i) ^ (1u << j);
+  }
+}
+
+struct Dsu {
+  explicit Dsu(size_t n) : parent(n), odd(n, true) {
+    for (size_t i = 0; i < n; ++i) parent[i] = static_cast<uint32_t>(i);
+  }
+  uint32_t find(uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  // Returns true when the union merged two odd-parity clusters.
+  bool unite(uint32_t a, uint32_t b) {
+    a = find(a);
+    b = find(b);
+    const bool both_odd = odd[a] && odd[b];
+    parent[a] = b;
+    odd[b] = odd[a] != odd[b];
+    return both_odd;
+  }
+  std::vector<uint32_t> parent;
+  std::vector<bool> odd;
+};
+
+}  // namespace
+
+std::vector<Match> GreedyMatching::match(size_t num_defects,
+                                         const DistanceFn& distance) const {
+  FTQC_CHECK(num_defects % 2 == 0, "defects come in pairs");
+  std::vector<uint32_t> members(num_defects);
+  for (size_t i = 0; i < num_defects; ++i) members[i] = static_cast<uint32_t>(i);
+  std::vector<Match> out;
+  out.reserve(num_defects / 2);
+  greedy_match_into(members, distance, out);
+  return out;
+}
+
+MwpmMatching::MwpmMatching(MwpmOptions options) : options_(options) {
+  FTQC_CHECK(options_.exact_limit <= 26,
+             "exact_limit above 26 needs >600MB DP tables (and 32-bit masks)");
+}
+
+std::vector<Match> MwpmMatching::match(size_t num_defects,
+                                       const DistanceFn& distance) const {
+  FTQC_CHECK(num_defects % 2 == 0, "defects come in pairs");
+  std::vector<Match> out;
+  if (num_defects == 0) return out;
+  out.reserve(num_defects / 2);
+
+  // One dense metric evaluation up front; both the DP and the clustering
+  // reuse it, so the (possibly expensive) DistanceFn runs O(n^2) times total.
+  std::vector<size_t> dist_matrix(num_defects * num_defects, 0);
+  for (size_t i = 0; i < num_defects; ++i) {
+    for (size_t j = i + 1; j < num_defects; ++j) {
+      const size_t d = distance(i, j);
+      dist_matrix[i * num_defects + j] = d;
+      dist_matrix[j * num_defects + i] = d;
+    }
+  }
+
+  if (num_defects <= options_.exact_limit) {
+    std::vector<uint32_t> members(num_defects);
+    for (size_t i = 0; i < num_defects; ++i) {
+      members[i] = static_cast<uint32_t>(i);
+    }
+    exact_match_into(members, dist_matrix, num_defects, out);
+    return out;
+  }
+
+  // Large instance: Kruskal-ordered union-find clustering. Cheap edges merge
+  // clusters while at least one side still holds an odd defect count; once
+  // every cluster is even the matching decomposes cluster-by-cluster.
+  struct Edge {
+    size_t d;
+    uint32_t i;
+    uint32_t j;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(num_defects * (num_defects - 1) / 2);
+  for (uint32_t i = 0; i < num_defects; ++i) {
+    for (uint32_t j = i + 1; j < num_defects; ++j) {
+      edges.push_back({dist_matrix[i * num_defects + j], i, j});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.d != b.d) return a.d < b.d;
+    if (a.i != b.i) return a.i < b.i;
+    return a.j < b.j;
+  });
+  Dsu dsu(num_defects);
+  size_t odd_clusters = num_defects;
+  for (const Edge& e : edges) {
+    if (odd_clusters == 0) break;
+    const uint32_t ra = dsu.find(e.i);
+    const uint32_t rb = dsu.find(e.j);
+    if (ra == rb || (!dsu.odd[ra] && !dsu.odd[rb])) continue;
+    if (dsu.unite(ra, rb)) odd_clusters -= 2;
+  }
+  FTQC_CHECK(odd_clusters == 0, "even defect total must cluster evenly");
+
+  std::vector<std::vector<uint32_t>> clusters(num_defects);
+  for (uint32_t i = 0; i < num_defects; ++i) {
+    clusters[dsu.find(i)].push_back(i);
+  }
+  for (const auto& members : clusters) {
+    if (members.empty()) continue;
+    if (members.size() <= options_.exact_limit) {
+      exact_match_into(members, dist_matrix, num_defects, out);
+    } else {
+      greedy_match_into(
+          members,
+          [&](uint32_t a, uint32_t b) {
+            return dist_matrix[a * num_defects + b];
+          },
+          out);
+    }
+  }
+  return out;
+}
+
+size_t matching_cost(const std::vector<Match>& matches,
+                     const DistanceFn& distance) {
+  size_t total = 0;
+  for (const Match& m : matches) total += distance(m.a, m.b);
+  return total;
+}
+
+}  // namespace ftqc::decode

@@ -1,0 +1,107 @@
+#include "decode/spacetime.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ftqc::decode {
+
+SpacetimeToricDecoder::SpacetimeToricDecoder(
+    const topo::ToricCode& code, ToricSide side,
+    std::shared_ptr<const MatchingStrategy> strategy, SpacetimeOptions options)
+    : code_(code),
+      side_(side),
+      strategy_(std::move(strategy)),
+      options_(options) {
+  FTQC_CHECK(strategy_ != nullptr, "matching strategy required");
+  FTQC_CHECK(options_.space_weight > 0 && options_.time_weight > 0,
+             "edge weights must be positive");
+}
+
+gf2::BitVec SpacetimeToricDecoder::decode(
+    const std::vector<gf2::BitVec>& syndromes) const {
+  const size_t sites = side_ == ToricSide::kPlaquette ? code_.num_plaquettes()
+                                                      : code_.num_vertices();
+  FTQC_CHECK(!syndromes.empty(), "need at least the final trusted round");
+
+  // Defects are the XOR of consecutive rounds (round -1 is the all-clear
+  // reference state). Each defect site carries its round for the time metric.
+  std::vector<uint32_t> defect_site;
+  std::vector<uint32_t> defect_round;
+  gf2::BitVec prev(sites);
+  for (size_t t = 0; t < syndromes.size(); ++t) {
+    FTQC_CHECK(syndromes[t].size() == sites, "syndrome size mismatch");
+    gf2::BitVec diff = syndromes[t];
+    diff ^= prev;
+    for (size_t s = diff.first_set(); s < sites; s = diff.next_set(s + 1)) {
+      defect_site.push_back(static_cast<uint32_t>(s));
+      defect_round.push_back(static_cast<uint32_t>(t));
+    }
+    prev = syndromes[t];
+  }
+  FTQC_CHECK(defect_site.size() % 2 == 0,
+             "space-time defects come in pairs when the last round is trusted");
+
+  const auto matches =
+      strategy_->match(defect_site.size(), [&](size_t a, size_t b) {
+        const size_t dt = defect_round[a] > defect_round[b]
+                              ? defect_round[a] - defect_round[b]
+                              : defect_round[b] - defect_round[a];
+        return options_.space_weight *
+                   code_.torus_site_distance(defect_site[a], defect_site[b]) +
+               options_.time_weight * dt;
+      });
+  gf2::BitVec correction(code_.num_qubits());
+  for (const Match& m : matches) {
+    // Purely time-like pairs (same site) are measurement-error explanations;
+    // toggle_*_path is a no-op for them.
+    if (side_ == ToricSide::kPlaquette) {
+      code_.toggle_dual_path(defect_site[m.a], defect_site[m.b], correction);
+    } else {
+      code_.toggle_primal_path(defect_site[m.a], defect_site[m.b], correction);
+    }
+  }
+  return correction;
+}
+
+PhenomenologicalResult run_phenomenological_memory(
+    const SpacetimeToricDecoder& decoder, double data_error, double meas_error,
+    size_t rounds, uint64_t seed) {
+  const topo::ToricCode& code = decoder.code();
+  const bool plaquette = decoder.side() == ToricSide::kPlaquette;
+  const size_t sites =
+      plaquette ? code.num_plaquettes() : code.num_vertices();
+  Rng rng(seed);
+
+  gf2::BitVec errors(code.num_qubits());
+  std::vector<gf2::BitVec> syndromes;
+  syndromes.reserve(rounds + 1);
+  for (size_t t = 0; t < rounds; ++t) {
+    for (size_t e = 0; e < code.num_qubits(); ++e) {
+      if (rng.bernoulli(data_error)) errors.flip(e);
+    }
+    gf2::BitVec measured = plaquette ? code.plaquette_syndrome(errors)
+                                     : code.star_syndrome(errors);
+    for (size_t s = 0; s < sites; ++s) {
+      if (rng.bernoulli(meas_error)) measured.flip(s);
+    }
+    syndromes.push_back(std::move(measured));
+  }
+  syndromes.push_back(plaquette ? code.plaquette_syndrome(errors)
+                                : code.star_syndrome(errors));
+
+  PhenomenologicalResult result;
+  gf2::BitVec residual = errors;
+  residual ^= decoder.decode(syndromes);
+  result.cleared = !(plaquette ? code.plaquette_syndrome(residual)
+                               : code.star_syndrome(residual))
+                        .any();
+  const auto [f1, f2] = plaquette ? code.logical_x_flips(residual)
+                                  : code.logical_z_flips(residual);
+  result.logical_fail = f1 || f2;
+  return result;
+}
+
+}  // namespace ftqc::decode

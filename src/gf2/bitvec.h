@@ -111,13 +111,20 @@ class BitVec {
   [[nodiscard]] bool parity() const { return (popcount() & 1) != 0; }
 
   // Index of the lowest set bit, or size() if none.
-  [[nodiscard]] size_t first_set() const {
-    for (size_t w = 0; w < words_.size(); ++w) {
-      if (words_[w] != 0) {
-        return (w << 6) + static_cast<size_t>(__builtin_ctzll(words_[w]));
-      }
+  [[nodiscard]] size_t first_set() const { return next_set(0); }
+
+  // Index of the lowest set bit at or after `start`, or size() if none. With
+  // first_set() this streams a sparse syndrome's defect sites word-at-a-time:
+  //   for (size_t s = v.first_set(); s < v.size(); s = v.next_set(s + 1))
+  [[nodiscard]] size_t next_set(size_t start) const {
+    if (start >= n_bits_) return n_bits_;
+    size_t w = start >> 6;
+    uint64_t word = words_[w] & (~uint64_t{0} << (start & 63));
+    while (word == 0) {
+      if (++w == words_.size()) return n_bits_;
+      word = words_[w];
     }
-    return n_bits_;
+    return (w << 6) + static_cast<size_t>(__builtin_ctzll(word));
   }
 
   [[nodiscard]] std::string to_string() const {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <memory>
 
 #include "common/check.h"
+#include "decode/decoder.h"
 
 namespace ftqc::topo {
 
@@ -116,6 +118,14 @@ std::pair<bool, bool> ToricCode::logical_z_flips(
   return {flip1, flip2};
 }
 
+size_t ToricCode::torus_site_distance(size_t a, size_t b) const {
+  const size_t ax = a % l_, ay = a / l_;
+  const size_t bx = b % l_, by = b / l_;
+  const size_t dx = std::min((bx + l_ - ax) % l_, (ax + l_ - bx) % l_);
+  const size_t dy = std::min((by + l_ - ay) % l_, (ay + l_ - by) % l_);
+  return dx + dy;
+}
+
 void ToricCode::toggle_dual_path(size_t from, size_t to,
                                  gf2::BitVec& correction) const {
   // Walk on plaquettes: x then y, along the shorter way around the torus.
@@ -187,79 +197,16 @@ void ToricCode::toggle_primal_path(size_t from, size_t to,
 
 gf2::BitVec ToricCode::decode_plaquette_syndrome(
     const gf2::BitVec& syndrome) const {
-  std::vector<size_t> defects;
-  for (size_t p = 0; p < num_plaquettes(); ++p) {
-    if (syndrome.get(p)) defects.push_back(p);
-  }
-  FTQC_CHECK(defects.size() % 2 == 0, "fluxons come in pairs on a torus");
-
-  gf2::BitVec correction(num_qubits());
-  const auto torus_distance = [this](size_t a, size_t b) {
-    const size_t ax = a % l_, ay = a / l_;
-    const size_t bx = b % l_, by = b / l_;
-    const size_t dx = std::min((bx + l_ - ax) % l_, (ax + l_ - bx) % l_);
-    const size_t dy = std::min((by + l_ - ay) % l_, (ay + l_ - by) % l_);
-    return dx + dy;
-  };
-
-  // Greedy: repeatedly match the globally closest remaining pair.
-  std::vector<bool> used(defects.size(), false);
-  for (size_t matched = 0; matched < defects.size(); matched += 2) {
-    size_t best_i = 0, best_j = 0;
-    size_t best = num_qubits() + 1;
-    for (size_t i = 0; i < defects.size(); ++i) {
-      if (used[i]) continue;
-      for (size_t j = i + 1; j < defects.size(); ++j) {
-        if (used[j]) continue;
-        const size_t d = torus_distance(defects[i], defects[j]);
-        if (d < best) {
-          best = d;
-          best_i = i;
-          best_j = j;
-        }
-      }
-    }
-    used[best_i] = used[best_j] = true;
-    toggle_dual_path(defects[best_i], defects[best_j], correction);
-  }
-  return correction;
+  static const auto greedy = std::make_shared<const decode::GreedyMatching>();
+  return decode::ToricMatchingDecoder(*this, decode::ToricSide::kPlaquette,
+                                      greedy)
+      .decode(syndrome);
 }
 
 gf2::BitVec ToricCode::decode_star_syndrome(const gf2::BitVec& syndrome) const {
-  std::vector<size_t> defects;
-  for (size_t v = 0; v < num_vertices(); ++v) {
-    if (syndrome.get(v)) defects.push_back(v);
-  }
-  FTQC_CHECK(defects.size() % 2 == 0, "charges come in pairs on a torus");
-
-  gf2::BitVec correction(num_qubits());
-  const auto torus_distance = [this](size_t a, size_t b) {
-    const size_t ax = a % l_, ay = a / l_;
-    const size_t bx = b % l_, by = b / l_;
-    const size_t dx = std::min((bx + l_ - ax) % l_, (ax + l_ - bx) % l_);
-    const size_t dy = std::min((by + l_ - ay) % l_, (ay + l_ - by) % l_);
-    return dx + dy;
-  };
-  std::vector<bool> used(defects.size(), false);
-  for (size_t matched = 0; matched < defects.size(); matched += 2) {
-    size_t best_i = 0, best_j = 0;
-    size_t best = num_qubits() + 1;
-    for (size_t i = 0; i < defects.size(); ++i) {
-      if (used[i]) continue;
-      for (size_t j = i + 1; j < defects.size(); ++j) {
-        if (used[j]) continue;
-        const size_t d = torus_distance(defects[i], defects[j]);
-        if (d < best) {
-          best = d;
-          best_i = i;
-          best_j = j;
-        }
-      }
-    }
-    used[best_i] = used[best_j] = true;
-    toggle_primal_path(defects[best_i], defects[best_j], correction);
-  }
-  return correction;
+  static const auto greedy = std::make_shared<const decode::GreedyMatching>();
+  return decode::ToricMatchingDecoder(*this, decode::ToricSide::kStar, greedy)
+      .decode(syndrome);
 }
 
 void ToricCode::prepare_ground_state(sim::TableauSim& sim) const {

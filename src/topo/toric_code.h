@@ -54,16 +54,26 @@ class ToricCode {
   [[nodiscard]] std::pair<bool, bool> logical_z_flips(
       const gf2::BitVec& residual_z) const;
 
-  // Greedy minimum-distance matching decoder: pairs up fluxon defects by
-  // torus distance and returns the X correction along dual-lattice
-  // geodesics. (A simpler stand-in for MWPM; threshold ~8% instead of ~10.3%
-  // — the qualitative "intrinsic fault tolerance" claim is unaffected.)
+  // Convenience decoders: greedy minimum-distance matching through the
+  // src/decode subsystem (decode::ToricMatchingDecoder with GreedyMatching).
+  // Benches that A/B strategies — greedy vs exact MWPM vs 3D space-time —
+  // construct decoders from src/decode directly; these wrappers keep the
+  // historical one-call path (and its ~8% threshold) for casual users.
   [[nodiscard]] gf2::BitVec decode_plaquette_syndrome(
       const gf2::BitVec& syndrome) const;
   // The electric dual: matches violated stars (charge quasiparticles) and
   // returns the Z correction along primal-lattice geodesics.
   [[nodiscard]] gf2::BitVec decode_star_syndrome(
       const gf2::BitVec& syndrome) const;
+
+  // Geometry shared with the decode subsystem. Sites are plaquette or vertex
+  // indices y*L + x; the metric is the L1 torus distance (both sublattices
+  // share it by translation symmetry).
+  [[nodiscard]] size_t torus_site_distance(size_t a, size_t b) const;
+  // Dual path between plaquettes, toggling crossed edges into `correction`.
+  void toggle_dual_path(size_t from, size_t to, gf2::BitVec& correction) const;
+  // Primal path between vertices, toggling crossed edges (Z-string support).
+  void toggle_primal_path(size_t from, size_t to, gf2::BitVec& support) const;
 
   // Projects a tableau state onto the code space with all checks +1 (the
   // model's ground state).
@@ -73,10 +83,6 @@ class ToricCode {
   [[nodiscard]] size_t plaquette_index(size_t x, size_t y) const {
     return y * l_ + x;
   }
-  // Dual path between plaquettes, toggling crossed edges into `correction`.
-  void toggle_dual_path(size_t from, size_t to, gf2::BitVec& correction) const;
-  // Primal path between vertices, toggling crossed edges (Z-string support).
-  void toggle_primal_path(size_t from, size_t to, gf2::BitVec& support) const;
 
   size_t l_;
 };

@@ -63,6 +63,21 @@ TEST(BitVec, FirstSet) {
   EXPECT_EQ(v.first_set(), 7u);
 }
 
+TEST(BitVec, NextSetStreamsSparseBitsAcrossWords) {
+  BitVec v(200);
+  v.set(7, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(130, true);
+  std::vector<size_t> seen;
+  for (size_t i = v.first_set(); i < v.size(); i = v.next_set(i + 1)) {
+    seen.push_back(i);
+  }
+  EXPECT_EQ(seen, (std::vector<size_t>{7, 63, 64, 130}));
+  EXPECT_EQ(v.next_set(131), 200u);
+  EXPECT_EQ(v.next_set(500), 200u);
+}
+
 TEST(BitVec, TailMaskingAfterResize) {
   BitVec v(70);
   v.set(69, true);

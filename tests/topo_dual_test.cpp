@@ -1,9 +1,18 @@
 // The electric (Z-error / star-defect) side of the toric code: duality with
-// the magnetic side, decoder correctness, and the combined depolarizing
-// memory.
+// the magnetic side, decoder correctness through the src/decode interface
+// (greedy, exact MWPM and the 3D space-time variant), and the combined
+// depolarizing memory.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <vector>
+
 #include "common/rng.h"
+#include "decode/decoder.h"
+#include "decode/matching.h"
+#include "decode/spacetime.h"
 #include "topo/toric_code.h"
 
 namespace ftqc::topo {
@@ -84,6 +93,106 @@ TEST(ToricDual, ZMemoryFailureDropsWithLatticeSize) {
     return static_cast<double>(failures) / static_cast<double>(shots);
   };
   EXPECT_LT(failure_rate(8, 1500), failure_rate(4, 1500) + 1e-9);
+}
+
+TEST(ToricDual, StarMwpmDecoderClearsSyndromeAtOrBelowGreedyCost) {
+  // The electric side through the pluggable Decoder interface: exact MWPM
+  // clears every charge syndrome and never pays more total geodesic length
+  // than the greedy strategy.
+  const ToricCode code(6);
+  const auto mwpm = std::make_shared<const decode::MwpmMatching>();
+  const auto greedy = std::make_shared<const decode::GreedyMatching>();
+  const decode::ToricMatchingDecoder mwpm_dec(code, decode::ToricSide::kStar,
+                                              mwpm);
+  const decode::ToricMatchingDecoder greedy_dec(code, decode::ToricSide::kStar,
+                                                greedy);
+  Rng rng(47);
+  for (int trial = 0; trial < 50; ++trial) {
+    gf2::BitVec errors(code.num_qubits());
+    for (size_t e = 0; e < code.num_qubits(); ++e) {
+      if (rng.bernoulli(0.05)) errors.set(e, true);
+    }
+    const gf2::BitVec syndrome = code.star_syndrome(errors);
+    const gf2::BitVec mwpm_corr = mwpm_dec.decode(syndrome);
+    EXPECT_FALSE(code.star_syndrome(errors ^ mwpm_corr).any());
+    EXPECT_LE(mwpm_corr.popcount(), greedy_dec.decode(syndrome).popcount());
+  }
+}
+
+TEST(ToricDual, StarMwpmMatchesBruteForceMinimumWeightL2) {
+  // Dual of the plaquette-side exhaustive pin (tests/decode_test.cpp): on the
+  // L=2 torus, enumerate all 2^8 Z-error patterns, record the minimum weight
+  // per star syndrome, and demand the MWPM correction meets it exactly.
+  const ToricCode code(2);
+  const auto mwpm = std::make_shared<const decode::MwpmMatching>();
+  const decode::ToricMatchingDecoder decoder(code, decode::ToricSide::kStar,
+                                             mwpm);
+  constexpr size_t kUnreachable = std::numeric_limits<size_t>::max();
+  std::vector<size_t> min_weight(size_t{1} << code.num_vertices(), kUnreachable);
+  for (uint64_t pattern = 0; pattern < (uint64_t{1} << code.num_qubits());
+       ++pattern) {
+    gf2::BitVec errors(code.num_qubits());
+    for (size_t e = 0; e < code.num_qubits(); ++e) {
+      errors.set(e, ((pattern >> e) & 1) != 0);
+    }
+    const size_t s = code.star_syndrome(errors).to_u64();
+    min_weight[s] = std::min(min_weight[s],
+                             static_cast<size_t>(__builtin_popcountll(pattern)));
+  }
+  for (size_t s = 0; s < min_weight.size(); ++s) {
+    if (min_weight[s] == kUnreachable) continue;
+    gf2::BitVec syndrome(code.num_vertices());
+    for (size_t b = 0; b < code.num_vertices(); ++b) {
+      syndrome.set(b, ((s >> b) & 1) != 0);
+    }
+    const gf2::BitVec correction = decoder.decode(syndrome);
+    EXPECT_EQ(code.star_syndrome(correction), syndrome);
+    EXPECT_EQ(correction.popcount(), min_weight[s]) << "syndrome " << s;
+  }
+}
+
+TEST(ToricDual, StarSpacetimeSingleZErrorIsCorrectedExactly) {
+  const ToricCode code(4);
+  const auto mwpm = std::make_shared<const decode::MwpmMatching>();
+  const decode::SpacetimeToricDecoder decoder(code, decode::ToricSide::kStar,
+                                              mwpm);
+  gf2::BitVec errors(code.num_qubits());
+  errors.set(code.v_edge(2, 1), true);
+  const gf2::BitVec truth = code.star_syndrome(errors);
+  const std::vector<gf2::BitVec> syndromes = {gf2::BitVec(code.num_vertices()),
+                                              truth, truth, truth};
+  const gf2::BitVec correction = decoder.decode(syndromes);
+  EXPECT_EQ(correction.popcount(), 1u);
+  EXPECT_TRUE(correction.get(code.v_edge(2, 1)));
+}
+
+TEST(ToricDual, StarSpacetimeMeasurementErrorNeedsNoCorrection) {
+  const ToricCode code(4);
+  const auto mwpm = std::make_shared<const decode::MwpmMatching>();
+  const decode::SpacetimeToricDecoder decoder(code, decode::ToricSide::kStar,
+                                              mwpm);
+  const gf2::BitVec vacuum(code.num_vertices());
+  gf2::BitVec misread = vacuum;
+  misread.set(7, true);
+  const std::vector<gf2::BitVec> syndromes = {vacuum, misread, vacuum, vacuum};
+  EXPECT_FALSE(decoder.decode(syndromes).any());
+}
+
+TEST(ToricDual, StarSpacetimePhenomenologicalMemoryStaysBelowThreshold) {
+  // Faulty charge measurement: every run must clear the trusted final
+  // syndrome, and at p = q = 1% the logical Z failure stays rare.
+  const ToricCode code(4);
+  const auto mwpm = std::make_shared<const decode::MwpmMatching>();
+  const decode::SpacetimeToricDecoder decoder(code, decode::ToricSide::kStar,
+                                              mwpm);
+  size_t failures = 0;
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    const auto result =
+        decode::run_phenomenological_memory(decoder, 0.01, 0.01, 4, 500 + seed);
+    EXPECT_TRUE(result.cleared) << "seed " << seed;
+    failures += result.logical_fail ? 1 : 0;
+  }
+  EXPECT_LT(failures, 20u);
 }
 
 TEST(ToricDual, ChargeAharonovBohmSeenByXLoop) {
