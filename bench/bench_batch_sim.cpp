@@ -1,0 +1,81 @@
+// Micro-benchmark for the BatchFrameSim hot paths: the stochastic channels
+// (whose RNG now runs one geometric-skip stream per channel call into a
+// reusable hit buffer, instead of restarting the stream per 64-lane word)
+// and the full bit-parallel Fig. 9 recovery cycle they feed. Reports
+// lane-channel applications per second so the rolling-baseline trend step
+// catches regressions in the word-op kernels themselves, independently of
+// any recovery driver.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_harness.h"
+#include "common/table.h"
+#include "ft/batch_recovery.h"
+#include "sim/batch_frame_sim.h"
+#include "sim/noise_model.h"
+
+namespace {
+
+using namespace ftqc;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ftqc::bench::init(argc, argv, "BATCHSIM");
+  std::printf(
+      "BATCHSIM: BatchFrameSim channel kernels + bit-parallel recovery\n"
+      "cycle. Channel rows are lane-applications/sec (qubits x shots x reps\n"
+      "/ wall clock) at the library's typical error rates.\n\n");
+
+  constexpr size_t kQubits = 32;
+  const size_t shots = ftqc::bench::scaled(1 << 18, 1 << 13);
+  const size_t reps = ftqc::bench::scaled(64, 8);
+  sim::BatchFrameSim sim(kQubits, shots, /*seed=*/12345);
+  const double lanes =
+      static_cast<double>(sim.num_shots()) * kQubits * static_cast<double>(reps);
+
+  ftqc::bench::JsonResult json;
+  ftqc::Table table({"channel", "p", "lane-apps/sec"});
+  const auto bench_channel = [&](const char* name, double p, auto&& apply) {
+    const auto start = Clock::now();
+    for (size_t r = 0; r < reps; ++r) {
+      for (size_t q = 0; q < kQubits; ++q) apply(q, p);
+    }
+    const double rate = lanes / seconds_since(start);
+    table.add_row({name, ftqc::strfmt("%.0e", p), ftqc::strfmt("%.3g", rate)});
+    json.add(std::string(name) + "_lanes_per_sec", rate);
+  };
+  bench_channel("depolarize1", 1e-3,
+                [&](size_t q, double p) { sim.depolarize1(q, p); });
+  bench_channel("x_error", 1e-3,
+                [&](size_t q, double p) { sim.x_error(q, p); });
+  bench_channel("depolarize2", 1e-3, [&](size_t q, double p) {
+    sim.depolarize2(q, (q + 1) % kQubits, p);
+  });
+  // A denser regime (storage-noise scale sweeps) to catch regressions in
+  // the per-hit-lane flavor picking, not just the skip stream.
+  bench_channel("depolarize1_dense", 2e-2,
+                [&](size_t q, double p) { sim.depolarize1(q, p); });
+  table.print();
+
+  // End-to-end: the full bit-parallel recovery cycle these kernels feed.
+  const size_t cycle_shots = ftqc::bench::scaled(1 << 16, 1 << 10);
+  const auto noise = sim::NoiseParams::uniform_gate(1e-3);
+  const auto start = Clock::now();
+  ft::BatchSteaneRecovery rec(noise, ft::RecoveryPolicy{}, cycle_shots,
+                              /*seed=*/7);
+  rec.run_cycle();
+  const double cycle_sps =
+      static_cast<double>(rec.num_shots()) / seconds_since(start);
+  (void)rec.count_any_logical_error();
+  std::printf("\nBatchSteaneRecovery cycle: %.3g shots/sec (%zu shots)\n",
+              cycle_sps, rec.num_shots());
+  json.add("cycle_shots_per_sec", cycle_sps);
+  json.write();
+  return 0;
+}

@@ -2,15 +2,26 @@
 // target of four successive XORs, so a single ancilla phase error feeds back
 // into several data qubits: block phase errors at O(eps). The "Good!"
 // circuit (one Shor-state bit per XOR) pushes that to O(eps²).
+//
+// The Monte Carlo section rides ShotRunner's engine parameter. The "Good!"
+// path's cat-retry loop is data-dependent per shot; under --engine=batch
+// (the default) it runs as masked re-replay through BatchCatRetry, the same
+// machinery as BatchShorRecovery. The failure metric bit-slices too: for
+// the self-dual Steane code, Z-coset weight >= 2 is exactly the Hamming
+// decode_logical of the Z-frame word (coset weight 0 -> trivial, 1 -> a
+// correctable single error; both decode to logical 0).
 #include <array>
 #include <cstdio>
 
 #include "bench_harness.h"
 #include "common/table.h"
+#include "ft/batch_recovery.h"
+#include "ft/batch_shor.h"
 #include "ft/fault_enumeration.h"
 #include "ft/gadget_runner.h"
 #include "ft/steane_circuits.h"
 #include "gf2/hamming.h"
+#include "sim/batch_frame_sim.h"
 #include "sim/frame_sim.h"
 #include "sim/shot_runner.h"
 
@@ -22,7 +33,9 @@ using namespace ftqc::ft;
 constexpr std::array<uint32_t, 7> kData = {0, 1, 2, 3, 4, 5, 6};
 constexpr std::array<uint32_t, 4> kCat = {7, 8, 9, 10};
 constexpr uint32_t kCheck = 11;
-constexpr std::array<uint32_t, 12> kAll = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+constexpr std::array<uint32_t, 8> kBadAll = {0, 1, 2, 3, 4, 5, 6, 7};
+constexpr std::array<uint32_t, 12> kAll = {0, 1, 2, 3, 4, 5,
+                                           6, 7, 8, 9, 10, 11};
 
 // Z-coset weight of the data block after extraction (>=2 means the gadget
 // injected a multi-qubit phase error: the §3.1 catastrophe).
@@ -40,7 +53,7 @@ size_t data_z_coset_weight(const sim::FrameSim& frame) {
 }
 
 void execute_bad(sim::FrameSim& frame, NoiseInjector& injector) {
-  run_gadget(frame, nonft_bitflip_syndrome(kData, 7), injector, kAll);
+  run_gadget(frame, nonft_bitflip_syndrome(kData, 7), injector, kBadAll);
 }
 
 void execute_good(sim::FrameSim& frame, NoiseInjector& injector) {
@@ -76,35 +89,88 @@ bool run_good(NoiseInjector& injector) {
   return data_z_coset_weight(frame) >= 2;
 }
 
-// The Shor-state retry loop is data-dependent per shot, so this bench stays
-// on the serial frame engine; ShotRunner still supplies the seeding, the
-// OpenMP shot distribution and the timing.
-double mc_rate(bool good, double eps, size_t shots, uint64_t seed) {
+// Lanes among the first n whose data Z frame has coset weight >= 2 — the
+// bit-sliced data_z_coset_weight(frame) >= 2 (see the header comment).
+uint64_t count_bad_lanes(const sim::BatchFrameSim& sim, size_t n) {
+  static const gf2::Hamming743 hamming;
+  const size_t words = sim.num_words();
+  const uint64_t* z_rows[7];
+  for (size_t q = 0; q < 7; ++q) z_rows[q] = sim.z_flips(q);
+  std::vector<uint64_t> logical(words);
+  batch_decode_rows(hamming, z_rows, /*logical=*/true, logical.data(), words);
+  return batch_count_lanes(logical.data(), words, n);
+}
+
+uint64_t bad_block(const sim::NoiseParams& noise, uint64_t seed, size_t n) {
+  sim::BatchFrameSim sim(8, n, seed);
+  BatchGadgetRunner gadgets(sim, noise);
+  static const sim::Circuit kBad = nonft_bitflip_syndrome(kData, 7);
+  gadgets.run(kBad, kBadAll, /*lane_mask=*/nullptr);
+  return count_bad_lanes(sim, n);
+}
+
+uint64_t good_block(const sim::NoiseParams& noise, uint64_t seed, size_t n) {
+  static const gf2::Hamming743 hamming;
+  static const sim::Circuit kPrep = cat_prep_with_check(kCat, kCheck, true);
+  static const std::array<sim::Circuit, 3> kSyndrome = [] {
+    std::array<sim::Circuit, 3> c;
+    for (size_t row = 0; row < 3; ++row) {
+      c[row] = shor_syndrome_bit(kData, kCat, hamming.check_matrix().row(row),
+                                 /*x_type=*/false);
+    }
+    return c;
+  }();
+  sim::BatchFrameSim sim(12, n, seed);
+  BatchGadgetRunner gadgets(sim, noise);
+  BatchCatRetry retry(sim);
+  for (size_t row = 0; row < 3; ++row) {
+    retry.prepare(gadgets, kPrep, kCat, kAll, /*max_attempts=*/8,
+                  /*verify=*/true, /*active=*/nullptr);
+    gadgets.run(kSyndrome[row], kAll, /*lane_mask=*/nullptr);
+    for (uint32_t q : kCat) sim.reset(q);
+    sim.reset(kCheck);
+  }
+  return count_bad_lanes(sim, n);
+}
+
+double mc_rate(bool good, double eps, size_t shots, uint64_t seed,
+               sim::ShotEngine engine) {
   const auto noise = sim::NoiseParams::uniform_gate(eps);
   sim::ShotPlan plan;
   plan.shots = shots;
   plan.seed = seed;
+  plan.engine = engine;
   const sim::ShotRunner runner(plan);
-  const auto result = runner.run([&](uint64_t shot_seed) {
-    StochasticInjector injector(noise);
-    sim::FrameSim frame(12, shot_seed);
-    if (good) {
-      execute_good(frame, injector);
-    } else {
-      execute_bad(frame, injector);
-    }
-    return data_z_coset_weight(frame) >= 2;
-  });
+  const auto result = runner.run(
+      [&](uint64_t shot_seed) {
+        StochasticInjector injector(noise);
+        sim::FrameSim frame(12, shot_seed);
+        if (good) {
+          execute_good(frame, injector);
+        } else {
+          execute_bad(frame, injector);
+        }
+        return data_z_coset_weight(frame) >= 2;
+      },
+      [&](uint64_t block_seed, size_t block_shots) {
+        return good ? good_block(noise, block_seed, block_shots)
+                    : bad_block(noise, block_seed, block_shots);
+      });
   return result.failure_rate();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  ftqc::bench::init(argc, argv, "E02");
+  ftqc::bench::init(argc, argv, "E02",
+                    {sim::ShotEngine::kFrame, sim::ShotEngine::kBatch});
+  const sim::ShotEngine engine =
+      ftqc::bench::engine_or(sim::ShotEngine::kBatch);
   std::printf(
       "E2: shared-ancilla (Fig. 2/6 'Bad!') vs Shor-state ('Good!') syndrome\n"
-      "extraction. Metric: P(>=2 phase errors fed into the data block).\n\n");
+      "extraction. Metric: P(>=2 phase errors fed into the data block).\n"
+      "[engine: %s]\n\n",
+      sim::shot_engine_name(engine));
 
   const auto bad_scan = scan_single_faults(run_bad, gate_kinds_only());
   const auto good_scan = scan_single_faults(run_good, gate_kinds_only());
@@ -122,14 +188,15 @@ int main(int argc, char** argv) {
   ftqc::Table table({"eps", "bad: P(>=2 Z)", "good: P(>=2 Z)", "bad/eps",
                      "good/eps^2"});
   for (const double eps : {0.02, 0.01, 0.005, 0.002}) {
-    const double bad = mc_rate(false, eps, shots, 7);
-    const double good = mc_rate(true, eps, shots, 11);
+    const double bad = mc_rate(false, eps, shots, 7, engine);
+    const double good = mc_rate(true, eps, shots, 11, engine);
     table.add_row({ftqc::strfmt("%.3g", eps), ftqc::strfmt("%.4g", bad),
                    ftqc::strfmt("%.4g", good), ftqc::strfmt("%.2f", bad / eps),
                    ftqc::strfmt("%.1f", good / (eps * eps))});
   }
   table.print();
   json.add("shots", shots);
+  json.add_string("engine", sim::shot_engine_name(engine));
   json.write();
   std::printf(
       "\nShape check: bad/eps is ~constant (first-order failure); good/eps^2\n"

@@ -11,6 +11,13 @@
 // The exhaustive fault enumeration (tests/ft_concatenated_test.cpp) shows
 // why the disciplines differ at O(eps^2): the bare gadget's malignant
 // pairs put one fault in each of the two ancilla preparations.
+//
+// Both levels ride the ShotRunner engine parameter. Under --engine=batch
+// (the default) the level-2 sweep runs BatchLevel2Recovery — the whole
+// exRec cycle at 64 shots/word, nested level-1 recoveries included — which
+// buys 4x the level-2 shot budget AND a frame-vs-batch cross-check at
+// eps = 1e-3 whose speedup and agreement land in BENCH_E18.json
+// (batch_speedup, cross_engine_sigma).
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -18,6 +25,7 @@
 #include "bench_harness.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "ft/batch_level2.h"
 #include "ft/concatenated_recovery.h"
 #include "ft/steane_recovery.h"
 #include "sim/shot_runner.h"
@@ -38,10 +46,20 @@ Proportion level1_failure(double eps, size_t shots, uint64_t seed,
       .failures;
 }
 
-// The 49-qubit level-2 gadget stays serial per shot (its recovery drivers
-// are frame-native and branch per shot); ShotRunner still parallelizes.
-Proportion level2_failure(double eps, size_t shots, uint64_t seed,
-                          Level2Discipline discipline) {
+struct Level2Point {
+  Proportion failures;
+  double seconds = 0;
+  [[nodiscard]] double shots_per_sec() const {
+    return seconds > 0 ? static_cast<double>(failures.trials) / seconds : 0.0;
+  }
+};
+
+// The 49-qubit level-2 gadget on either engine: serial Level2Recovery per
+// shot, or BatchLevel2Recovery replaying the whole (exRec) cycle at 64
+// shots/word with nested lane-masked level-1 recoveries.
+Level2Point level2_failure(double eps, size_t shots, uint64_t seed,
+                           Level2Discipline discipline,
+                           sim::ShotEngine engine) {
   const auto noise = sim::NoiseParams::uniform_gate(eps);
   RecoveryPolicy policy;
   policy.level2_discipline = discipline;
@@ -49,13 +67,30 @@ Proportion level2_failure(double eps, size_t shots, uint64_t seed,
   plan.shots = shots;
   plan.seed = seed;
   plan.seed_stride = 11;
+  plan.engine = engine;
+  plan.block_shots = 1024;  // 161-qubit registers: keep per-block memory flat
   const sim::ShotRunner runner(plan);
-  const auto result = runner.run([&](uint64_t shot_seed) {
-    Level2Recovery rec(noise, policy, shot_seed);
-    rec.run_cycle();
-    return rec.any_logical_error();
-  });
-  return result.proportion();
+  const auto result = runner.run(
+      [&](uint64_t shot_seed) {
+        Level2Recovery rec(noise, policy, shot_seed);
+        rec.run_cycle();
+        return rec.any_logical_error();
+      },
+      [&](uint64_t block_seed, size_t block_shots) {
+        BatchLevel2Recovery rec(noise, policy, block_shots, block_seed);
+        rec.run_cycle();
+        return rec.count_any_logical_error(block_shots);
+      });
+  return Level2Point{result.proportion(), result.seconds};
+}
+
+// |p1 - p2| in units of the combined binomial standard error.
+double agreement_sigma(const Proportion& a, const Proportion& b) {
+  const double pa = a.mean(), pb = b.mean();
+  const double va = pa * (1 - pa) / static_cast<double>(a.trials);
+  const double vb = pb * (1 - pb) / static_cast<double>(b.trials);
+  const double se = std::sqrt(va + vb);
+  return se > 0 ? std::fabs(pa - pb) / se : 0.0;
 }
 
 }  // namespace
@@ -65,35 +100,41 @@ int main(int argc, char** argv) {
                     {sim::ShotEngine::kFrame, sim::ShotEngine::kBatch});
   const sim::ShotEngine engine =
       ftqc::bench::engine_or(sim::ShotEngine::kBatch);
+  const bool batch = engine == sim::ShotEngine::kBatch;
   std::printf(
       "E18: level-1 vs level-2 concatenated recovery, full circuit level.\n"
       "One FT recovery cycle per level; failure after ideal decode. The\n"
       "level-2 gadget runs both disciplines: bare subblocks vs the\n"
       "extended-rectangle (exRec) interleave of level-1 recoveries.\n"
-      "[level-1 engine: %s]\n\n",
-      sim::shot_engine_name(engine));
+      "[engine: %s%s]\n\n",
+      sim::shot_engine_name(engine),
+      batch ? ", level-2 shot budget x4" : "");
   ftqc::Table table({"eps", "level-1 P(fail)", "L2 bare", "L2 exRec",
                      "bare/L1", "exRec/L1", "exRec gain"});
   struct Point {
     double eps;
     size_t shots;
   };
-  // Smoke mode divides shot counts by 100 (and still exercises both levels
-  // and both disciplines).
+  // Smoke mode divides shot counts by 100 (and still exercises both levels,
+  // both disciplines and — under batch — the cross-engine check).
   const size_t div = ftqc::bench::smoke() ? 100 : 1;
   ftqc::bench::JsonResult json;
   std::vector<double> grid, bare_ratio, exrec_ratio;
   for (const Point pt : {Point{4e-3, 20000}, Point{2e-3, 20000},
                          Point{1e-3, 30000}, Point{5e-4, 40000},
                          Point{2.5e-4, 40000}}) {
+    // The batch engine reclaims enough wall-clock to run the level-2 sweep
+    // at the full level-1 shot budget (4x the serial sweep), tightening the
+    // crossover extrapolation's error bars.
+    const size_t l2_shots = batch ? pt.shots / div : pt.shots / div / 4;
     const auto l1 = level1_failure(pt.eps, pt.shots / div, 1000, engine);
-    const auto bare = level2_failure(pt.eps, pt.shots / div / 4, 2000,
-                                     Level2Discipline::kBare);
-    const auto exrec = level2_failure(pt.eps, pt.shots / div / 4, 2000,
-                                      Level2Discipline::kExRec);
+    const auto bare =
+        level2_failure(pt.eps, l2_shots, 2000, Level2Discipline::kBare, engine);
+    const auto exrec = level2_failure(pt.eps, l2_shots, 2000,
+                                      Level2Discipline::kExRec, engine);
     const double f1 = l1.mean();
-    const double fb = bare.mean();
-    const double fx = exrec.mean();
+    const double fb = bare.failures.mean();
+    const double fx = exrec.failures.mean();
     grid.push_back(pt.eps);
     bare_ratio.push_back(f1 > 0 && fb > 0 ? fb / f1 : 0.0);
     exrec_ratio.push_back(f1 > 0 && fx > 0 ? fx / f1 : 0.0);
@@ -108,6 +149,27 @@ int main(int argc, char** argv) {
       json.add("level2_failure", fb);  // historical name: bare discipline
       json.add("level2_exrec_failure", fx);
       if (fx > 0) json.add("exrec_gain", fb / fx);
+      if (batch) {
+        // Cross-engine acceptance gate: the exRec sweep's batch estimate
+        // must match a serial frame run within binomial error while
+        // delivering an order-of-magnitude throughput win.
+        const auto serial = level2_failure(pt.eps, pt.shots / div / 4, 2000,
+                                           Level2Discipline::kExRec,
+                                           sim::ShotEngine::kFrame);
+        const double sigma = agreement_sigma(serial.failures, exrec.failures);
+        const double speedup =
+            serial.shots_per_sec() > 0
+                ? exrec.shots_per_sec() / serial.shots_per_sec()
+                : 0.0;
+        std::printf(
+            "\nexRec cross-engine check at eps = %.0e: frame %.3e vs batch "
+            "%.3e\n(%.2f sigma), frame %.3g shots/s vs batch %.3g shots/s -> "
+            "%.1fx\n\n",
+            pt.eps, serial.failures.mean(), fx, sigma,
+            serial.shots_per_sec(), exrec.shots_per_sec(), speedup);
+        json.add("batch_speedup", speedup);
+        json.add("cross_engine_sigma", sigma);
+      }
     }
   }
   table.print();
@@ -117,6 +179,7 @@ int main(int argc, char** argv) {
   const double cross_exrec = ftqc::loglog_unit_crossing(grid, exrec_ratio);
   if (cross_bare > 0) json.add("crossover_bare", cross_bare);
   if (cross_exrec > 0) json.add("crossover_exrec", cross_exrec);
+  json.add_string("engine", sim::shot_engine_name(engine));
   json.write();
   if (cross_bare > 0 || cross_exrec > 0) {
     std::printf(

@@ -9,64 +9,115 @@
 
 namespace ftqc::ft {
 
-namespace {
+void batch_nontrivial_mask(const uint64_t* syndrome_rows, size_t num_rows,
+                           const uint64_t* active, uint64_t* out,
+                           size_t words) {
+  std::fill_n(out, words, 0);
+  for (size_t r = 0; r < num_rows; ++r) {
+    const uint64_t* row = syndrome_rows + r * words;
+    for (size_t w = 0; w < words; ++w) out[w] |= row[w];
+  }
+  if (active != nullptr) {
+    for (size_t w = 0; w < words; ++w) out[w] &= active[w];
+  }
+}
 
-using steane_layout::kAll;
-using steane_layout::kAncA;
-using steane_layout::kAncB;
-using steane_layout::kData;
-using steane_layout::kDataAndA;
+void batch_agreement_mask(const uint64_t* syn1, const uint64_t* syn2,
+                          size_t num_rows, const uint64_t* nontrivial,
+                          uint64_t* out, size_t words) {
+  std::copy_n(nontrivial, words, out);
+  for (size_t r = 0; r < num_rows; ++r) {
+    const uint64_t* a = syn1 + r * words;
+    const uint64_t* b = syn2 + r * words;
+    for (size_t w = 0; w < words; ++w) out[w] &= ~(a[w] ^ b[w]);
+  }
+}
 
-bool any_bit(const uint64_t* mask, size_t words) {
+void batch_decode_rows(const gf2::Hamming743& hamming,
+                       const uint64_t* const rows[7], bool logical,
+                       uint64_t* out, size_t words) {
+  const gf2::BitMat& h = hamming.check_matrix();
   for (size_t w = 0; w < words; ++w) {
-    if (mask[w] != 0) return true;
-  }
-  return false;
-}
-
-uint64_t popcount_lanes(const uint64_t* mask, size_t words, size_t num_lanes) {
-  uint64_t count = 0;
-  const size_t full = std::min(words, num_lanes / 64);
-  for (size_t w = 0; w < full; ++w) count += __builtin_popcountll(mask[w]);
-  if (full < words && num_lanes % 64 != 0) {
-    const uint64_t tail = (uint64_t{1} << (num_lanes % 64)) - 1;
-    count += __builtin_popcountll(mask[full] & tail);
-  }
-  return count;
-}
-
-}  // namespace
-
-BatchSteaneRecovery::BatchSteaneRecovery(const sim::NoiseParams& noise,
-                                         RecoveryPolicy policy, size_t shots,
-                                         uint64_t seed)
-    : sim_(kNumQubits, shots, seed),
-      noise_(noise),
-      policy_(policy),
-      words_(sim_.num_words()),
-      touched_(kNumQubits, false) {
-  FTQC_CHECK(noise.p_leak == 0,
-             "BatchSteaneRecovery cannot model leakage; use the serial "
-             "SteaneRecovery for p_leak > 0");
-}
-
-void BatchSteaneRecovery::reset() { sim_.clear(); }
-
-void BatchSteaneRecovery::inject_data(uint32_t q, char pauli) {
-  FTQC_CHECK(q < 7, "data qubit index out of range");
-  switch (pauli) {
-    case 'X': sim_.inject_x(q); break;
-    case 'Y': sim_.inject_y(q); break;
-    case 'Z': sim_.inject_z(q); break;
-    default: FTQC_CHECK(false, "inject_data expects X, Y or Z");
+    uint64_t syn[3] = {0, 0, 0};
+    uint64_t parity = 0;
+    for (size_t i = 0; i < 7; ++i) {
+      const uint64_t r = rows[i][w];
+      parity ^= r;
+      for (size_t j = 0; j < 3; ++j) {
+        if (h.row(j).get(i)) syn[j] ^= r;
+      }
+    }
+    const uint64_t nonzero_syndrome = syn[0] | syn[1] | syn[2];
+    // logical: decode_logical = parity(corrected word); correcting flips
+    // exactly one bit iff the syndrome is nontrivial, so the corrected
+    // parity is parity ^ (syndrome != 0).
+    // residual: coset weight 0 means the word IS a stabilizer support — an
+    // even-weight Hamming codeword, i.e. zero syndrome and even parity.
+    out[w] = logical ? parity ^ nonzero_syndrome : nonzero_syndrome | parity;
   }
 }
 
-void BatchSteaneRecovery::apply_memory_noise(double p) {
-  for (uint32_t q : kData) sim_.depolarize1(q, p);
+void batch_decode_positions(const uint64_t* syndrome_rows,
+                            const uint64_t* act_mask, uint64_t* pos_masks,
+                            size_t words) {
+  const uint64_t* s0 = syndrome_rows;
+  const uint64_t* s1 = syndrome_rows + words;
+  const uint64_t* s2 = syndrome_rows + 2 * words;
+  // Syndrome bits (s0,s1,s2) spell the 1-based position s0*4 + s1*2 + s2
+  // (Eq. 3); position value-1 gets the correction.
+  for (size_t value = 1; value <= 7; ++value) {
+    uint64_t* out = pos_masks + (value - 1) * words;
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t m = act_mask[w];
+      m &= (value & 4) ? s0[w] : ~s0[w];
+      m &= (value & 2) ? s1[w] : ~s1[w];
+      m &= (value & 1) ? s2[w] : ~s2[w];
+      out[w] = m;
+    }
+  }
 }
 
-std::vector<size_t> BatchSteaneRecovery::run_gadget(
+void batch_correct_data_block(sim::BatchFrameSim& sim,
+                              const sim::NoiseParams& noise, bool phase_type,
+                              std::span<const uint32_t> data,
+                              const uint64_t* syndrome_rows,
+                              const uint64_t* act_mask) {
+  FTQC_CHECK(data.size() == 7, "Hamming correction needs a 7-qubit block");
+  const size_t words = sim.num_words();
+  if (!batch_any_lane(act_mask, words)) return;
+  std::vector<uint64_t> pos_masks(7 * words);
+  batch_decode_positions(syndrome_rows, act_mask, pos_masks.data(), words);
+
+  // The serial correction is a one-gate circuit over the data block: gate
+  // noise lands on the corrected qubit, storage noise on the other six, and
+  // only for the lanes that actually correct (§3.4 lanes that deferred take
+  // no fault opportunity at all).
+  for (size_t p = 0; p < 7; ++p) {
+    sim.depolarize1(data[p], noise.eps_gate1, pos_masks.data() + p * words);
+  }
+  std::vector<uint64_t> storage_mask(words);
+  for (size_t q = 0; q < 7; ++q) {
+    const uint64_t* pos = pos_masks.data() + q * words;
+    for (size_t w = 0; w < words; ++w) {
+      storage_mask[w] = act_mask[w] & ~pos[w];
+    }
+    sim.depolarize1(data[q], noise.eps_store, storage_mask.data());
+  }
+  for (size_t p = 0; p < 7; ++p) {
+    const uint64_t* pos = pos_masks.data() + p * words;
+    if (phase_type) {
+      sim.inject_z_masked(data[p], pos);
+    } else {
+      sim.inject_x_masked(data[p], pos);
+    }
+  }
+}
+
+BatchGadgetRunner::BatchGadgetRunner(sim::BatchFrameSim& sim,
+                                     const sim::NoiseParams& noise)
+    : sim_(sim), noise_(noise), touched_(sim.num_qubits(), false) {}
+
+std::vector<size_t> BatchGadgetRunner::run(
     const sim::Circuit& circuit, std::span<const uint32_t> active_qubits,
     const uint64_t* lane_mask) {
   using sim::Gate;
@@ -158,163 +209,181 @@ std::vector<size_t> BatchSteaneRecovery::run_gadget(
   return rows;
 }
 
-void BatchSteaneRecovery::decode_rows(const uint64_t* const rows[7],
-                                      bool logical, uint64_t* out) const {
-  const gf2::BitMat& h = hamming_.check_matrix();
-  for (size_t w = 0; w < words_; ++w) {
-    uint64_t syn[3] = {0, 0, 0};
-    uint64_t parity = 0;
+namespace {
+
+// The Fig. 9 cycle on an arbitrary layout, all lanes at once — the batch
+// mirror of SteaneCycleRunner (steane_recovery.cpp). Holds the active-qubit
+// sets (data+anc_a during syndrome-ancilla work, all 21 during
+// verification) so storage-noise accounting matches the serial driver
+// location for location; every derived lane mask is composed with the
+// incoming `active` mask so the cycle nests under a caller's own per-lane
+// control flow.
+class BatchSteaneCycleRunner {
+ public:
+  BatchSteaneCycleRunner(sim::BatchFrameSim& sim,
+                         const sim::NoiseParams& noise,
+                         const RecoveryPolicy& policy,
+                         const gf2::Hamming743& hamming,
+                         const SteaneCycleLayout& layout,
+                         const SteaneCycleCircuits& circuits)
+      : sim_(sim),
+        gadgets_(sim, noise),
+        noise_(noise),
+        policy_(policy),
+        hamming_(hamming),
+        layout_(layout),
+        circuits_(circuits),
+        words_(sim.num_words()) {
     for (size_t i = 0; i < 7; ++i) {
-      const uint64_t r = rows[i][w];
-      parity ^= r;
-      for (size_t j = 0; j < 3; ++j) {
-        if (h.row(j).get(i)) syn[j] ^= r;
+      data_and_a_[i] = layout.data[i];
+      data_and_a_[7 + i] = layout.anc_a[i];
+      all_[i] = layout.data[i];
+      all_[7 + i] = layout.anc_a[i];
+      all_[14 + i] = layout.anc_b[i];
+    }
+  }
+
+  void run_cycle(const uint64_t* active) {
+    for (const bool phase_type : {false, true}) {
+      run_batch_repeat_policy(
+          3, words_, policy_.repeat_nontrivial_syndrome, active,
+          [&](const uint64_t* mask, uint64_t* out) {
+            extract_syndrome(phase_type, mask, out);
+          },
+          [&](const uint64_t* syn, const uint64_t* act) {
+            batch_correct_data_block(sim_, noise_, phase_type, layout_.data,
+                                     syn, act);
+          });
+    }
+  }
+
+ private:
+  void prepare_verified_zero_ancilla(const uint64_t* lane_mask) {
+    // Fresh |0>_code on the syndrome ancilla.
+    gadgets_.run(circuits_.zero_prep_a, data_and_a_, lane_mask);
+    if (!policy_.verify_ancilla || policy_.verification_rounds <= 0) return;
+
+    // §3.3: compare against freshly encoded blocks; a lane is fixed only
+    // when EVERY round votes "logically flipped" (serial votes_one ==
+    // rounds).
+    std::vector<uint64_t> votes(words_, ~uint64_t{0});
+    for (int round = 0; round < policy_.verification_rounds; ++round) {
+      gadgets_.run(circuits_.zero_prep_b, all_, lane_mask);
+      gadgets_.run(circuits_.cx_ab, all_, lane_mask);
+      const auto rows = gadgets_.run(circuits_.measure_b, all_, lane_mask);
+      FTQC_CHECK(rows.size() == 7, "destructive measure must read 7 qubits");
+      const uint64_t* flip_rows[7];
+      for (size_t i = 0; i < 7; ++i) flip_rows[i] = sim_.record().row(rows[i]);
+      std::vector<uint64_t> vote(words_);
+      batch_decode_rows(hamming_, flip_rows, /*logical=*/true, vote.data(),
+                        words_);
+      for (size_t w = 0; w < words_; ++w) votes[w] &= vote[w];
+      for (uint32_t q : layout_.anc_b) sim_.reset(q);
+    }
+    if (lane_mask != nullptr) {
+      for (size_t w = 0; w < words_; ++w) votes[w] &= lane_mask[w];
+    }
+    if (!batch_any_lane(votes.data(), words_)) return;
+
+    // Confident the ancilla is (logically) flipped: bitwise fix on the
+    // logical-X support. The serial path runs a 3-NOT circuit through
+    // run_gadget (gate noise on the three targets, storage on the rest of
+    // data+anc_a) and then flips the frame; replay that masked per lane.
+    for (size_t i = 0; i < 3; ++i) {
+      sim_.depolarize1(layout_.anc_a[i], noise_.eps_gate1, votes.data());
+    }
+    for (uint32_t q : layout_.data) {
+      sim_.depolarize1(q, noise_.eps_store, votes.data());
+    }
+    for (size_t i = 3; i < 7; ++i) {
+      sim_.depolarize1(layout_.anc_a[i], noise_.eps_store, votes.data());
+    }
+    for (size_t i = 0; i < 3; ++i) {
+      sim_.inject_x_masked(layout_.anc_a[i], votes.data());
+    }
+  }
+
+  // Writes 3 syndrome rows (3 * words words) into `syndrome_rows`.
+  void extract_syndrome(bool phase_type, const uint64_t* lane_mask,
+                        uint64_t* syndrome_rows) {
+    prepare_verified_zero_ancilla(lane_mask);
+    const auto rows =
+        gadgets_.run(circuits_.syndrome[phase_type], data_and_a_, lane_mask);
+    FTQC_CHECK(rows.size() == 7, "syndrome extraction must read 7 qubits");
+
+    const gf2::BitMat& h = hamming_.check_matrix();
+    for (size_t j = 0; j < 3; ++j) {
+      uint64_t* out = syndrome_rows + j * words_;
+      std::fill_n(out, words_, 0);
+      for (size_t i = 0; i < 7; ++i) {
+        if (!h.row(j).get(i)) continue;
+        const uint64_t* row = sim_.record().row(rows[i]);
+        for (size_t w = 0; w < words_; ++w) out[w] ^= row[w];
       }
     }
-    const uint64_t nonzero_syndrome = syn[0] | syn[1] | syn[2];
-    // logical: decode_logical = parity(corrected word); correcting flips
-    // exactly one bit iff the syndrome is nontrivial, so the corrected
-    // parity is parity ^ (syndrome != 0).
-    // residual: coset weight 0 means the word IS a stabilizer support — an
-    // even-weight Hamming codeword, i.e. zero syndrome and even parity.
-    out[w] = logical ? parity ^ nonzero_syndrome : nonzero_syndrome | parity;
+    for (uint32_t q : layout_.anc_a) sim_.reset(q);
+  }
+
+  sim::BatchFrameSim& sim_;
+  BatchGadgetRunner gadgets_;
+  const sim::NoiseParams& noise_;
+  const RecoveryPolicy& policy_;
+  const gf2::Hamming743& hamming_;
+  const SteaneCycleLayout& layout_;
+  const SteaneCycleCircuits& circuits_;
+  size_t words_;
+  std::array<uint32_t, 14> data_and_a_{};
+  std::array<uint32_t, 21> all_{};
+};
+
+}  // namespace
+
+void run_batch_steane_cycle(sim::BatchFrameSim& sim,
+                            const sim::NoiseParams& noise,
+                            const RecoveryPolicy& policy,
+                            const gf2::Hamming743& hamming,
+                            const SteaneCycleLayout& layout,
+                            const SteaneCycleCircuits& circuits,
+                            const uint64_t* active) {
+  BatchSteaneCycleRunner(sim, noise, policy, hamming, layout, circuits)
+      .run_cycle(active);
+}
+
+BatchSteaneRecovery::BatchSteaneRecovery(const sim::NoiseParams& noise,
+                                         RecoveryPolicy policy, size_t shots,
+                                         uint64_t seed)
+    : sim_(kNumQubits, shots, seed),
+      noise_(noise),
+      policy_(policy),
+      words_(sim_.num_words()) {
+  FTQC_CHECK(noise.p_leak == 0,
+             "BatchSteaneRecovery cannot model leakage; use the serial "
+             "SteaneRecovery for p_leak > 0");
+}
+
+void BatchSteaneRecovery::reset() { sim_.clear(); }
+
+void BatchSteaneRecovery::inject_data(uint32_t q, char pauli) {
+  FTQC_CHECK(q < 7, "data qubit index out of range");
+  switch (pauli) {
+    case 'X': sim_.inject_x(q); break;
+    case 'Y': sim_.inject_y(q); break;
+    case 'Z': sim_.inject_z(q); break;
+    default: FTQC_CHECK(false, "inject_data expects X, Y or Z");
   }
 }
 
-void BatchSteaneRecovery::prepare_verified_zero_ancilla(
-    const uint64_t* lane_mask) {
-  // Fresh |0>_code on the syndrome ancilla.
-  run_gadget(steane_zero_prep(kAncA), kDataAndA, lane_mask);
-  if (!policy_.verify_ancilla || policy_.verification_rounds <= 0) return;
-
-  // §3.3: compare against freshly encoded blocks; a lane is fixed only when
-  // EVERY round votes "logically flipped" (the serial votes_one == rounds).
-  std::vector<uint64_t> votes(words_, ~uint64_t{0});
-  for (int round = 0; round < policy_.verification_rounds; ++round) {
-    run_gadget(steane_zero_prep(kAncB), kAll, lane_mask);
-    run_gadget(transversal_cx(kAncA, kAncB), kAll, lane_mask);
-    const auto rows =
-        run_gadget(destructive_measure(kAncB), kAll, lane_mask);
-    FTQC_CHECK(rows.size() == 7, "destructive measure must read 7 qubits");
-    const uint64_t* flip_rows[7];
-    for (size_t i = 0; i < 7; ++i) flip_rows[i] = sim_.record().row(rows[i]);
-    std::vector<uint64_t> vote(words_);
-    decode_rows(flip_rows, /*logical=*/true, vote.data());
-    for (size_t w = 0; w < words_; ++w) votes[w] &= vote[w];
-    for (uint32_t q : kAncB) sim_.reset(q);
-  }
-  if (lane_mask != nullptr) {
-    for (size_t w = 0; w < words_; ++w) votes[w] &= lane_mask[w];
-  }
-  if (!any_bit(votes.data(), words_)) return;
-
-  // Confident the ancilla is (logically) flipped: bitwise fix on the
-  // logical-X support. The serial path runs a 3-NOT circuit through
-  // run_gadget (gate noise on the three targets, storage on the rest of
-  // kDataAndA) and then flips the frame; replay that masked per lane.
-  for (size_t i = 0; i < 3; ++i) {
-    sim_.depolarize1(kAncA[i], noise_.eps_gate1, votes.data());
-  }
-  for (uint32_t q : kData) sim_.depolarize1(q, noise_.eps_store, votes.data());
-  for (size_t i = 3; i < 7; ++i) {
-    sim_.depolarize1(kAncA[i], noise_.eps_store, votes.data());
-  }
-  for (size_t i = 0; i < 3; ++i) sim_.inject_x_masked(kAncA[i], votes.data());
-}
-
-void BatchSteaneRecovery::extract_syndrome(bool phase_type,
-                                           const uint64_t* lane_mask,
-                                           uint64_t* syndrome_rows) {
-  prepare_verified_zero_ancilla(lane_mask);
-  const auto rows = run_gadget(steane_syndrome_gadget(phase_type, kData, kAncA),
-                               kDataAndA, lane_mask);
-  FTQC_CHECK(rows.size() == 7, "syndrome extraction must read 7 qubits");
-
-  const gf2::BitMat& h = hamming_.check_matrix();
-  for (size_t j = 0; j < 3; ++j) {
-    uint64_t* out = syndrome_rows + j * words_;
-    std::fill_n(out, words_, 0);
-    for (size_t i = 0; i < 7; ++i) {
-      if (!h.row(j).get(i)) continue;
-      const uint64_t* row = sim_.record().row(rows[i]);
-      for (size_t w = 0; w < words_; ++w) out[w] ^= row[w];
-    }
-  }
-  for (uint32_t q : kAncA) sim_.reset(q);
-}
-
-void BatchSteaneRecovery::decode_positions(const uint64_t* syndrome_rows,
-                                           const uint64_t* act_mask,
-                                           uint64_t* pos_masks) const {
-  const uint64_t* s0 = syndrome_rows;
-  const uint64_t* s1 = syndrome_rows + words_;
-  const uint64_t* s2 = syndrome_rows + 2 * words_;
-  // Syndrome bits (s0,s1,s2) spell the 1-based position s0*4 + s1*2 + s2
-  // (Eq. 3); position value-1 gets the correction.
-  for (size_t value = 1; value <= 7; ++value) {
-    uint64_t* out = pos_masks + (value - 1) * words_;
-    for (size_t w = 0; w < words_; ++w) {
-      uint64_t m = act_mask[w];
-      m &= (value & 4) ? s0[w] : ~s0[w];
-      m &= (value & 2) ? s1[w] : ~s1[w];
-      m &= (value & 1) ? s2[w] : ~s2[w];
-      out[w] = m;
-    }
-  }
-}
-
-void BatchSteaneRecovery::correct(bool phase_type,
-                                  const uint64_t* syndrome_rows,
-                                  const uint64_t* act_mask) {
-  if (!any_bit(act_mask, words_)) return;
-  std::vector<uint64_t> pos_masks(7 * words_);
-  decode_positions(syndrome_rows, act_mask, pos_masks.data());
-
-  // The serial correction is a one-gate circuit over the data block: gate
-  // noise lands on the corrected qubit, storage noise on the other six, and
-  // only for the lanes that actually correct (§3.4 lanes that deferred take
-  // no fault opportunity at all).
-  for (size_t p = 0; p < 7; ++p) {
-    sim_.depolarize1(kData[p], noise_.eps_gate1, pos_masks.data() + p * words_);
-  }
-  std::vector<uint64_t> storage_mask(words_);
-  for (size_t q = 0; q < 7; ++q) {
-    const uint64_t* pos = pos_masks.data() + q * words_;
-    for (size_t w = 0; w < words_; ++w) storage_mask[w] = act_mask[w] & ~pos[w];
-    sim_.depolarize1(kData[q], noise_.eps_store, storage_mask.data());
-  }
-  for (size_t p = 0; p < 7; ++p) {
-    const uint64_t* pos = pos_masks.data() + p * words_;
-    if (phase_type) {
-      sim_.inject_z_masked(kData[p], pos);
-    } else {
-      sim_.inject_x_masked(kData[p], pos);
-    }
-  }
+void BatchSteaneRecovery::apply_memory_noise(double p) {
+  for (uint32_t q : steane_layout::kData) sim_.depolarize1(q, p);
 }
 
 void BatchSteaneRecovery::run_cycle() {
-  std::vector<uint64_t> syn1(3 * words_), syn2(3 * words_);
-  std::vector<uint64_t> nontrivial(words_), agree(words_);
-  for (const bool phase_type : {false, true}) {
-    extract_syndrome(phase_type, nullptr, syn1.data());
-    for (size_t w = 0; w < words_; ++w) {
-      nontrivial[w] = syn1[w] | syn1[words_ + w] | syn1[2 * words_ + w];
-    }
-    if (!any_bit(nontrivial.data(), words_)) continue;  // §3.4: no action
-    if (policy_.repeat_nontrivial_syndrome) {
-      // Only the nontrivial lanes pay for (and can be hurt by) the repeat.
-      extract_syndrome(phase_type, nontrivial.data(), syn2.data());
-      for (size_t w = 0; w < words_; ++w) {
-        agree[w] = nontrivial[w] & ~(syn1[w] ^ syn2[w]) &
-                   ~(syn1[words_ + w] ^ syn2[words_ + w]) &
-                   ~(syn1[2 * words_ + w] ^ syn2[2 * words_ + w]);
-      }
-      correct(phase_type, syn1.data(), agree.data());
-    } else {
-      correct(phase_type, syn1.data(), nontrivial.data());
-    }
-  }
+  static const SteaneCycleLayout kLayout{steane_layout::kData,
+                                         steane_layout::kAncA,
+                                         steane_layout::kAncB};
+  static const SteaneCycleCircuits kCircuits = compile_steane_cycle(kLayout);
+  run_batch_steane_cycle(sim_, noise_, policy_, hamming_, kLayout, kCircuits,
+                         /*active=*/nullptr);
 }
 
 uint64_t BatchSteaneRecovery::count_frames(bool logical,
@@ -322,15 +391,15 @@ uint64_t BatchSteaneRecovery::count_frames(bool logical,
   const uint64_t* x_rows[7];
   const uint64_t* z_rows[7];
   for (size_t i = 0; i < 7; ++i) {
-    x_rows[i] = sim_.x_flips(kData[i]);
-    z_rows[i] = sim_.z_flips(kData[i]);
+    x_rows[i] = sim_.x_flips(steane_layout::kData[i]);
+    z_rows[i] = sim_.z_flips(steane_layout::kData[i]);
   }
   std::vector<uint64_t> lx(words_), lz(words_);
-  decode_rows(x_rows, logical, lx.data());
-  decode_rows(z_rows, logical, lz.data());
+  batch_decode_rows(hamming_, x_rows, logical, lx.data(), words_);
+  batch_decode_rows(hamming_, z_rows, logical, lz.data(), words_);
   for (size_t w = 0; w < words_; ++w) lx[w] |= lz[w];
-  return popcount_lanes(lx.data(), words_,
-                        std::min(num_lanes, sim_.num_shots()));
+  return batch_count_lanes(lx.data(), words_,
+                           std::min(num_lanes, sim_.num_shots()));
 }
 
 uint64_t BatchSteaneRecovery::count_any_logical_error(size_t num_lanes) const {
@@ -343,13 +412,17 @@ uint64_t BatchSteaneRecovery::count_residual(size_t num_lanes) const {
 
 bool BatchSteaneRecovery::logical_x_error(size_t shot) const {
   gf2::BitVec word(7);
-  for (size_t q = 0; q < 7; ++q) word.set(q, sim_.x_flip(kData[q], shot));
+  for (size_t q = 0; q < 7; ++q) {
+    word.set(q, sim_.x_flip(steane_layout::kData[q], shot));
+  }
   return hamming_.decode_logical(word);
 }
 
 bool BatchSteaneRecovery::logical_z_error(size_t shot) const {
   gf2::BitVec word(7);
-  for (size_t q = 0; q < 7; ++q) word.set(q, sim_.z_flip(kData[q], shot));
+  for (size_t q = 0; q < 7; ++q) {
+    word.set(q, sim_.z_flip(steane_layout::kData[q], shot));
+  }
   return hamming_.decode_logical(word);
 }
 

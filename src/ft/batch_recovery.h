@@ -5,11 +5,167 @@
 #include <vector>
 
 #include "ft/recovery.h"
+#include "ft/steane_recovery.h"
 #include "gf2/hamming.h"
 #include "sim/batch_frame_sim.h"
 #include "sim/noise_model.h"
 
 namespace ftqc::ft {
+
+// --- Shared bit-parallel building blocks ------------------------------------
+//
+// Every batched recovery driver (level-1 Steane, the level-2 exRec cycle,
+// the Shor/generic cat-retry paths) replays the same ideal gadget circuits
+// on a BatchFrameSim with the §6 noise hooks masked to the lanes that
+// "really" execute the gadget. These helpers are the common substrate, so
+// the drivers cannot drift apart on noise accounting or decode conventions.
+
+// True if any lane bit is set in `mask` (words words).
+[[nodiscard]] inline bool batch_any_lane(const uint64_t* mask, size_t words) {
+  for (size_t w = 0; w < words; ++w) {
+    if (mask[w] != 0) return true;
+  }
+  return false;
+}
+
+// Popcount of `mask` restricted to the first `num_lanes` lanes.
+[[nodiscard]] inline uint64_t batch_count_lanes(const uint64_t* mask,
+                                                size_t words,
+                                                size_t num_lanes) {
+  uint64_t count = 0;
+  const size_t full = words < num_lanes / 64 ? words : num_lanes / 64;
+  for (size_t w = 0; w < full; ++w) count += __builtin_popcountll(mask[w]);
+  if (full < words && num_lanes % 64 != 0) {
+    const uint64_t tail = (uint64_t{1} << (num_lanes % 64)) - 1;
+    count += __builtin_popcountll(mask[full] & tail);
+  }
+  return count;
+}
+
+// §3.4 mask algebra, shared by every batched driver's run_cycle so the
+// repeat-policy convention cannot drift between them. `syndrome_rows` is
+// num_rows * words words.
+//
+// Lanes whose syndrome has any set bit, intersected with `active`
+// (nullptr = all lanes).
+void batch_nontrivial_mask(const uint64_t* syndrome_rows, size_t num_rows,
+                           const uint64_t* active, uint64_t* out,
+                           size_t words);
+// Lanes of `nontrivial` whose two syndrome readings agree on every row —
+// the lanes that act; the §3.4 conflicted lanes defer.
+void batch_agreement_mask(const uint64_t* syn1, const uint64_t* syn2,
+                          size_t num_rows, const uint64_t* nontrivial,
+                          uint64_t* out, size_t words);
+
+// One full §3.4 repeat-policy round, the control-flow skeleton every batched
+// run_cycle shares: extract the syndrome on the active lanes, stop if every
+// lane read trivial, optionally re-extract on just the nontrivial lanes and
+// keep the agreeing ones, then hand (first syndrome, acting mask) to
+// `correct`. `extract(mask, out)` writes num_rows * words syndrome words for
+// the lanes of `mask` (nullptr = all); `correct(syn, act)` applies the
+// driver's correction (including any pre-correction hooks, e.g. the exRec
+// data-subblock recoveries).
+template <typename ExtractFn, typename CorrectFn>
+void run_batch_repeat_policy(size_t num_rows, size_t words, bool repeat,
+                             const uint64_t* active, ExtractFn&& extract,
+                             CorrectFn&& correct) {
+  std::vector<uint64_t> syn1(num_rows * words), syn2(num_rows * words);
+  std::vector<uint64_t> nontrivial(words), act(words);
+  extract(active, syn1.data());
+  batch_nontrivial_mask(syn1.data(), num_rows, active, nontrivial.data(),
+                        words);
+  if (!batch_any_lane(nontrivial.data(), words)) return;  // §3.4: no action
+  if (repeat) {
+    // Only the nontrivial lanes pay for (and can be hurt by) the repeat.
+    extract(nontrivial.data(), syn2.data());
+    batch_agreement_mask(syn1.data(), syn2.data(), num_rows,
+                         nontrivial.data(), act.data(), words);
+  } else {
+    std::copy(nontrivial.begin(), nontrivial.end(), act.begin());
+  }
+  correct(syn1.data(), act.data());
+}
+
+// Bit-sliced classical Hamming decode over 7 record/frame rows into `out`
+// (words words). logical=true computes decode_logical (corrected-word
+// parity); logical=false computes "any residual" (the word is not an
+// even-weight Hamming codeword, i.e. nonzero coset weight).
+void batch_decode_rows(const gf2::Hamming743& hamming,
+                       const uint64_t* const rows[7], bool logical,
+                       uint64_t* out, size_t words);
+
+// Per-position decode masks from 3 bit-sliced syndrome rows (Eq. 3: bits
+// (s0,s1,s2) spell the 1-based position s0*4 + s1*2 + s2). Fills pos_masks
+// (7 * words words): lanes of `act_mask` whose syndrome points at each
+// position. The union of the position masks is act_mask minus the
+// trivial-syndrome lanes.
+void batch_decode_positions(const uint64_t* syndrome_rows,
+                            const uint64_t* act_mask, uint64_t* pos_masks,
+                            size_t words);
+
+// The serial one-Pauli data-block correction, bit-sliced: gate noise on the
+// corrected qubit, storage noise on the other six, and only for the lanes
+// of `act_mask` that actually correct (§3.4 lanes that deferred take no
+// fault opportunity at all). `syndrome_rows` is 3*words words.
+void batch_correct_data_block(sim::BatchFrameSim& sim,
+                              const sim::NoiseParams& noise, bool phase_type,
+                              std::span<const uint32_t> data,
+                              const uint64_t* syndrome_rows,
+                              const uint64_t* act_mask);
+
+// Executes an ideal gadget on all lanes of `sim`, applying the §6 noise
+// hooks of ft::run_gadget (gate/prep/meas/storage) as per-lane random masks
+// restricted to `lane_mask` (nullptr = every lane). Returns the indices of
+// the record rows the gadget measured. The record is cleared first, so row
+// indices from earlier gadgets do not survive a call — consume rows (or
+// copy them out) before running the next gadget.
+//
+// Unconditional unitaries run on EVERY lane: gadget circuits are
+// frame-linear, so lanes whose gadget qubits carry no noise pass through
+// unchanged, and masking the noise to the active lanes reproduces the
+// serial per-shot branch exactly. That requires inactive lanes to enter
+// with clean frames on the gadget's qubits — gadgets that start from R
+// resets (all the prep circuits) or that follow an unmasked reset satisfy
+// this by construction.
+class BatchGadgetRunner {
+ public:
+  BatchGadgetRunner(sim::BatchFrameSim& sim, const sim::NoiseParams& noise);
+
+  std::vector<size_t> run(const sim::Circuit& circuit,
+                          std::span<const uint32_t> active_qubits,
+                          const uint64_t* lane_mask);
+
+  [[nodiscard]] sim::BatchFrameSim& sim() { return sim_; }
+  [[nodiscard]] const sim::NoiseParams& noise() const { return noise_; }
+
+ private:
+  sim::BatchFrameSim& sim_;
+  sim::NoiseParams noise_;
+  std::vector<bool> touched_;  // per-layer storage-accounting scratch
+};
+
+// --- The Fig. 9 cycle, bit-parallel -----------------------------------------
+
+// One full fault-tolerant Steane recovery cycle on a caller-owned
+// BatchFrameSim, 64 shots per word, on an arbitrary layout — the batch
+// analogue of run_steane_cycle. `active` (nullptr = all lanes) is the
+// incoming active-lane mask: lanes cleared in it collect no noise, no
+// verification fixes and no corrections, exactly as if their serial shot
+// had skipped the cycle. Every mask the cycle derives internally
+// (verification votes, nontrivial syndromes, §3.4 agreement) is composed
+// with `active`, which is what lets a level-2 driver nest this cycle inside
+// its own per-lane control flow (the exRec interleave).
+//
+// `circuits` must be compile_steane_cycle(layout); precompiling lets the
+// level-2 exRec driver replay 14+ nested cycles per level-2 cycle without
+// rebuilding circuits.
+void run_batch_steane_cycle(sim::BatchFrameSim& sim,
+                            const sim::NoiseParams& noise,
+                            const RecoveryPolicy& policy,
+                            const gf2::Hamming743& hamming,
+                            const SteaneCycleLayout& layout,
+                            const SteaneCycleCircuits& circuits,
+                            const uint64_t* active);
 
 // Bit-parallel SteaneRecovery: one full fault-tolerant recovery cycle
 // (Fig. 9) on 64 shots per word, replayed gadget by gadget on a
@@ -71,35 +227,6 @@ class BatchSteaneRecovery {
   [[nodiscard]] sim::BatchFrameSim& frames() { return sim_; }
 
  private:
-  // Executes an ideal gadget on all lanes, applying the §6 noise hooks
-  // masked to `lane_mask` (nullptr = every lane). Returns the indices of the
-  // record rows the gadget measured. The record is cleared first, so row
-  // indices from earlier gadgets do not survive this call.
-  std::vector<size_t> run_gadget(const sim::Circuit& circuit,
-                                 std::span<const uint32_t> active_qubits,
-                                 const uint64_t* lane_mask);
-
-  void prepare_verified_zero_ancilla(const uint64_t* lane_mask);
-  // Writes 3 syndrome rows (3 * num_words words) into `syndrome_rows`.
-  void extract_syndrome(bool phase_type, const uint64_t* lane_mask,
-                        uint64_t* syndrome_rows);
-  // Applies the per-lane correction for lanes in `act_mask`, whose positions
-  // are decoded from `syndrome_rows`, with the serial path's fault
-  // opportunities (gate noise on the corrected qubit, storage on the rest).
-  void correct(bool phase_type, const uint64_t* syndrome_rows,
-               const uint64_t* act_mask);
-
-  // OR of per-position decode masks = act_mask; also fills pos_masks
-  // (7 * num_words words): lanes whose syndrome points at each position.
-  void decode_positions(const uint64_t* syndrome_rows, const uint64_t* act_mask,
-                        uint64_t* pos_masks) const;
-
-  // Bit-sliced classical decode over 7 record/frame rows into `out`
-  // (num_words words). logical=true computes decode_logical (corrected-word
-  // parity); logical=false computes "any residual" (the word is not an
-  // even-weight Hamming codeword, i.e. nonzero coset weight).
-  void decode_rows(const uint64_t* const rows[7], bool logical,
-                   uint64_t* out) const;
   // Shared body of count_any_logical_error / count_residual.
   uint64_t count_frames(bool logical, size_t num_lanes) const;
 
@@ -108,7 +235,6 @@ class BatchSteaneRecovery {
   RecoveryPolicy policy_;
   gf2::Hamming743 hamming_;
   size_t words_;
-  std::vector<bool> touched_;  // gadget-runner scratch
 };
 
 }  // namespace ftqc::ft

@@ -1,0 +1,403 @@
+#include "ft/batch_shor.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "common/check.h"
+#include "ft/generic_recovery.h"
+#include "ft/steane_circuits.h"
+
+namespace ftqc::ft {
+
+namespace {
+
+constexpr std::array<uint32_t, 7> kData = {0, 1, 2, 3, 4, 5, 6};
+constexpr std::array<uint32_t, 4> kCat = {7, 8, 9, 10};
+constexpr uint32_t kCheck = 11;
+constexpr std::array<uint32_t, 12> kAll = {0, 1, 2, 3, 4, 5,
+                                           6, 7, 8, 9, 10, 11};
+
+// Number of frame qubits a generic Shor driver needs for `code`.
+size_t generic_register_size(const codes::StabilizerCode& code) {
+  size_t max_weight = 0;
+  for (const auto& g : code.generators()) {
+    max_weight = std::max(max_weight, g.weight());
+  }
+  return code.n() + max_weight + 1;  // data + cat + check
+}
+
+}  // namespace
+
+BatchCatRetry::BatchCatRetry(sim::BatchFrameSim& sim) : sim_(sim) {}
+
+uint64_t BatchCatRetry::prepare(BatchGadgetRunner& gadgets,
+                                const sim::Circuit& prep,
+                                std::span<const uint32_t> cat,
+                                std::span<const uint32_t> active_qubits,
+                                int max_attempts, bool verify,
+                                const uint64_t* active) {
+  const size_t words = sim_.num_words();
+  need_.assign(words, ~uint64_t{0});
+  if (active != nullptr) {
+    for (size_t w = 0; w < words; ++w) need_[w] = active[w];
+  }
+  passed_any_.assign(words, 0);
+  failed_.assign(words, 0);
+  parked_.assign(2 * cat.size() * words, 0);
+  uint64_t discarded = 0;
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (!batch_any_lane(need_.data(), words)) break;
+    // The prep's leading R gates reset cat+check on EVERY lane, which is
+    // exactly what makes whole-word replay safe: passed lanes are parked,
+    // inactive lanes are scrubbed clean so the unitaries act trivially.
+    const auto rows = gadgets.run(prep, active_qubits, need_.data());
+    FTQC_CHECK(rows.size() == 1,
+               "cat prep must measure exactly the check qubit");
+    if (!verify) {
+      // §3.3 disabled: the first attempt always passes; frames are already
+      // in place, so no parking round-trip is needed.
+      need_.assign(words, 0);
+      break;
+    }
+    // Reference check outcome is 0 (the cat bits agree); a flip means the
+    // verification failed and the cat is discarded (§3.3).
+    const uint64_t* flip = sim_.record().row(rows[0]);
+    for (size_t w = 0; w < words; ++w) failed_[w] = flip[w] & need_[w];
+    discarded += batch_count_lanes(failed_.data(), words, sim_.num_shots());
+    for (size_t w = 0; w < words; ++w) {
+      const uint64_t passed_now = need_[w] & ~failed_[w];
+      need_[w] = failed_[w];
+      passed_any_[w] |= passed_now;
+      if (passed_now == 0) continue;
+      // Park the just-passed lanes' cat frames: later attempts will clobber
+      // the sim's copies.
+      for (size_t c = 0; c < cat.size(); ++c) {
+        uint64_t* px = &parked_[2 * c * words];
+        uint64_t* pz = &parked_[(2 * c + 1) * words];
+        px[w] = (px[w] & ~passed_now) | (sim_.x_flips(cat[c])[w] & passed_now);
+        pz[w] = (pz[w] & ~passed_now) | (sim_.z_flips(cat[c])[w] & passed_now);
+      }
+    }
+  }
+  if (batch_any_lane(need_.data(), words)) {
+    // Retry budget exhausted: the serial path uses the last cat unverified;
+    // these lanes keep their last-attempt frames AND are surfaced in the
+    // abort mask so downstream consumers can postselect them out.
+    sim_.discard_lanes(need_.data());
+  }
+  // Restore the parked frames: XOR-inject the difference between what the
+  // last attempt left behind and what each passed lane actually prepared.
+  scratch_.assign(words, 0);
+  for (size_t c = 0; c < cat.size(); ++c) {
+    const uint64_t* px = &parked_[2 * c * words];
+    const uint64_t* pz = &parked_[(2 * c + 1) * words];
+    for (size_t w = 0; w < words; ++w) {
+      scratch_[w] = (sim_.x_flips(cat[c])[w] ^ px[w]) & passed_any_[w];
+    }
+    sim_.inject_x_masked(cat[c], scratch_.data());
+    for (size_t w = 0; w < words; ++w) {
+      scratch_[w] = (sim_.z_flips(cat[c])[w] ^ pz[w]) & passed_any_[w];
+    }
+    sim_.inject_z_masked(cat[c], scratch_.data());
+  }
+  return discarded;
+}
+
+// --- BatchShorRecovery ------------------------------------------------------
+
+BatchShorRecovery::BatchShorRecovery(const sim::NoiseParams& noise,
+                                     RecoveryPolicy policy, size_t shots,
+                                     uint64_t seed)
+    : sim_(kNumQubits, shots, seed),
+      gadgets_(sim_, noise),
+      retry_(sim_),
+      noise_(noise),
+      policy_(policy),
+      words_(sim_.num_words()) {
+  FTQC_CHECK(noise.p_leak == 0,
+             "BatchShorRecovery cannot model leakage; use the serial "
+             "ShorRecovery for p_leak > 0");
+}
+
+void BatchShorRecovery::reset() {
+  sim_.clear();
+  cats_discarded_ = 0;
+}
+
+void BatchShorRecovery::inject_data(uint32_t q, char pauli) {
+  FTQC_CHECK(q < 7, "data qubit index out of range");
+  switch (pauli) {
+    case 'X': sim_.inject_x(q); break;
+    case 'Y': sim_.inject_y(q); break;
+    case 'Z': sim_.inject_z(q); break;
+    default: FTQC_CHECK(false, "inject_data expects X, Y or Z");
+  }
+}
+
+void BatchShorRecovery::apply_memory_noise(double p) {
+  for (uint32_t q : kData) sim_.depolarize1(q, p);
+}
+
+void BatchShorRecovery::measure_syndrome_bit(size_t row, bool x_type,
+                                             const uint64_t* active,
+                                             uint64_t* out) {
+  // Compiled once; same builders as the serial driver.
+  static const std::array<sim::Circuit, 2> kCatPrep = {
+      cat_prep_with_check(kCat, kCheck, /*final_hadamards=*/false),
+      cat_prep_with_check(kCat, kCheck, /*final_hadamards=*/true)};
+  static const std::array<std::array<sim::Circuit, 3>, 2> kSyndromeBit = [] {
+    const gf2::Hamming743 hamming;
+    std::array<std::array<sim::Circuit, 3>, 2> gadgets;
+    for (const bool x_t : {false, true}) {
+      for (size_t r = 0; r < 3; ++r) {
+        gadgets[x_t][r] = shor_syndrome_bit(
+            kData, kCat, hamming.check_matrix().row(r), x_t);
+      }
+    }
+    return gadgets;
+  }();
+
+  cats_discarded_ +=
+      retry_.prepare(gadgets_, kCatPrep[!x_type], kCat, kAll,
+                     policy_.max_cat_attempts, policy_.verify_ancilla, active);
+  const auto rows = gadgets_.run(kSyndromeBit[x_type][row], kAll, active);
+  FTQC_CHECK(rows.size() == 4, "Shor syndrome bit reads the 4 cat qubits");
+  std::fill_n(out, words_, 0);
+  for (const size_t r : rows) {
+    const uint64_t* flip = sim_.record().row(r);
+    for (size_t w = 0; w < words_; ++w) out[w] ^= flip[w];
+  }
+}
+
+void BatchShorRecovery::extract_syndrome(bool phase_type,
+                                         const uint64_t* active,
+                                         uint64_t* syndrome_rows) {
+  // Bit-flip errors are diagnosed by the Z-type generators (measured with
+  // Shor-state ancillas); phase errors by the X-type generators.
+  for (size_t row = 0; row < 3; ++row) {
+    measure_syndrome_bit(row, /*x_type=*/phase_type, active,
+                         syndrome_rows + row * words_);
+  }
+}
+
+void BatchShorRecovery::run_cycle() {
+  for (const bool phase_type : {false, true}) {
+    run_batch_repeat_policy(
+        3, words_, policy_.repeat_nontrivial_syndrome, /*active=*/nullptr,
+        [&](const uint64_t* mask, uint64_t* out) {
+          extract_syndrome(phase_type, mask, out);
+        },
+        [&](const uint64_t* syn, const uint64_t* act) {
+          batch_correct_data_block(sim_, noise_, phase_type, kData, syn, act);
+        });
+  }
+}
+
+uint64_t BatchShorRecovery::count_any_logical_error(size_t num_lanes) const {
+  const uint64_t* x_rows[7];
+  const uint64_t* z_rows[7];
+  for (size_t i = 0; i < 7; ++i) {
+    x_rows[i] = sim_.x_flips(kData[i]);
+    z_rows[i] = sim_.z_flips(kData[i]);
+  }
+  std::vector<uint64_t> lx(words_), lz(words_);
+  batch_decode_rows(hamming_, x_rows, /*logical=*/true, lx.data(), words_);
+  batch_decode_rows(hamming_, z_rows, /*logical=*/true, lz.data(), words_);
+  for (size_t w = 0; w < words_; ++w) lx[w] |= lz[w];
+  return batch_count_lanes(lx.data(), words_,
+                           std::min(num_lanes, sim_.num_shots()));
+}
+
+uint64_t BatchShorRecovery::count_retry_exhausted() const {
+  return batch_count_lanes(sim_.abort_mask(), words_, sim_.num_shots());
+}
+
+bool BatchShorRecovery::logical_x_error(size_t shot) const {
+  gf2::BitVec word(7);
+  for (size_t q = 0; q < 7; ++q) word.set(q, sim_.x_flip(kData[q], shot));
+  return hamming_.decode_logical(word);
+}
+
+bool BatchShorRecovery::logical_z_error(size_t shot) const {
+  gf2::BitVec word(7);
+  for (size_t q = 0; q < 7; ++q) word.set(q, sim_.z_flip(kData[q], shot));
+  return hamming_.decode_logical(word);
+}
+
+// --- BatchGenericShorRecovery -----------------------------------------------
+
+BatchGenericShorRecovery::BatchGenericShorRecovery(
+    const codes::StabilizerCode& code, const sim::NoiseParams& noise,
+    RecoveryPolicy policy, size_t shots, uint64_t seed)
+    : code_(code),
+      decoder_(code),
+      sim_(generic_register_size(code), shots, seed),
+      gadgets_(sim_, noise),
+      retry_(sim_),
+      noise_(noise),
+      policy_(policy),
+      words_(sim_.num_words()) {
+  FTQC_CHECK(noise.p_leak == 0,
+             "BatchGenericShorRecovery cannot model leakage; use the serial "
+             "GenericShorRecovery for p_leak > 0");
+  max_weight_ = 0;
+  for (const auto& g : code.generators()) {
+    max_weight_ = std::max(max_weight_, g.weight());
+  }
+  const auto n = static_cast<uint32_t>(code.n());
+  for (uint32_t i = 0; i < max_weight_; ++i) cat_.push_back(n + i);
+  check_ = n + static_cast<uint32_t>(max_weight_);
+  for (uint32_t q = 0; q < check_ + 1; ++q) all_qubits_.push_back(q);
+
+  // Per-generator circuits, compiled once per driver: the cat prep sized to
+  // the generator weight and the controlled-Pauli comb of the serial
+  // measure_generator.
+  for (const auto& generator : code.generators()) {
+    const size_t width = generator.weight();
+    const std::span<const uint32_t> cat(cat_.data(), width);
+    cat_preps_.push_back(cat_prep_with_check(cat, check_, false));
+    sim::Circuit gadget;
+    size_t a = 0;
+    for (size_t q = 0; q < code.n(); ++q) {
+      const char p = generator.pauli_at(q);
+      if (p == 'I') continue;
+      append_controlled_pauli(gadget, cat_[a], static_cast<uint32_t>(q), p);
+      gadget.tick();
+      ++a;
+    }
+    for (size_t i = 0; i < width; ++i) gadget.mx(cat_[i]);
+    gadget.tick();
+    gen_gadgets_.push_back(std::move(gadget));
+  }
+}
+
+void BatchGenericShorRecovery::reset() {
+  sim_.clear();
+  cats_discarded_ = 0;
+}
+
+void BatchGenericShorRecovery::inject_data(uint32_t q, char pauli) {
+  FTQC_CHECK(q < code_.n(), "data qubit index out of range");
+  switch (pauli) {
+    case 'X': sim_.inject_x(q); break;
+    case 'Y': sim_.inject_y(q); break;
+    case 'Z': sim_.inject_z(q); break;
+    default: FTQC_CHECK(false, "inject_data expects X, Y or Z");
+  }
+}
+
+void BatchGenericShorRecovery::apply_memory_noise(double p) {
+  for (uint32_t q = 0; q < code_.n(); ++q) sim_.depolarize1(q, p);
+}
+
+void BatchGenericShorRecovery::measure_generator(size_t g,
+                                                 const uint64_t* active,
+                                                 uint64_t* out) {
+  const size_t width = code_.generators()[g].weight();
+  const std::span<const uint32_t> cat(cat_.data(), width);
+  cats_discarded_ +=
+      retry_.prepare(gadgets_, cat_preps_[g], cat, all_qubits_,
+                     policy_.max_cat_attempts, policy_.verify_ancilla, active);
+  const auto rows = gadgets_.run(gen_gadgets_[g], all_qubits_, active);
+  FTQC_CHECK(rows.size() == width, "generator readout width mismatch");
+  std::fill_n(out, words_, 0);
+  for (const size_t r : rows) {
+    const uint64_t* flip = sim_.record().row(r);
+    for (size_t w = 0; w < words_; ++w) out[w] ^= flip[w];
+  }
+  for (size_t i = 0; i < width; ++i) sim_.reset(cat_[i]);
+}
+
+void BatchGenericShorRecovery::extract_syndrome(const uint64_t* active,
+                                                uint64_t* syndrome_rows) {
+  for (size_t g = 0; g < code_.num_generators(); ++g) {
+    measure_generator(g, active, syndrome_rows + g * words_);
+  }
+}
+
+void BatchGenericShorRecovery::correct(const uint64_t* syndrome_rows,
+                                       const uint64_t* act_mask) {
+  const size_t num_gen = code_.num_generators();
+  FTQC_CHECK(num_gen <= 64, "syndrome gather packs into one word");
+  // Gather the distinct syndrome values among the acting lanes. Acting
+  // lanes are sparse below threshold, so per-lane bit reads are cheap; each
+  // distinct value is decoded exactly once.
+  std::map<uint64_t, std::vector<uint64_t>> groups;
+  for (size_t w = 0; w < words_; ++w) {
+    uint64_t lanes = act_mask[w];
+    while (lanes != 0) {
+      const int lane = __builtin_ctzll(lanes);
+      lanes &= lanes - 1;
+      uint64_t value = 0;
+      for (size_t g = 0; g < num_gen; ++g) {
+        value |= ((syndrome_rows[g * words_ + w] >> lane) & 1u) << g;
+      }
+      auto [it, inserted] = groups.try_emplace(value);
+      if (inserted) it->second.assign(words_, 0);
+      it->second[w] |= uint64_t{1} << lane;
+    }
+  }
+  for (const auto& [value, mask] : groups) {
+    gf2::BitVec syndrome(num_gen);
+    for (size_t g = 0; g < num_gen; ++g) {
+      syndrome.set(g, (value >> g) & 1u);
+    }
+    const pauli::PauliString correction = decoder_.decode(syndrome);
+    // The serial fix is a one-layer circuit over the data block run through
+    // run_gadget: gate noise on each corrected qubit, storage on the rest,
+    // then the frame shift (the noiseless run never corrects).
+    for (size_t q = 0; q < code_.n(); ++q) {
+      if (correction.pauli_at(q) != 'I') {
+        sim_.depolarize1(q, noise_.eps_gate1, mask.data());
+      }
+    }
+    for (size_t q = 0; q < code_.n(); ++q) {
+      if (correction.pauli_at(q) == 'I') {
+        sim_.depolarize1(q, noise_.eps_store, mask.data());
+      }
+    }
+    for (size_t q = 0; q < code_.n(); ++q) {
+      switch (correction.pauli_at(q)) {
+        case 'X': sim_.inject_x_masked(q, mask.data()); break;
+        case 'Y': sim_.inject_y_masked(q, mask.data()); break;
+        case 'Z': sim_.inject_z_masked(q, mask.data()); break;
+        default: break;
+      }
+    }
+  }
+}
+
+void BatchGenericShorRecovery::run_cycle() {
+  run_batch_repeat_policy(
+      code_.num_generators(), words_, policy_.repeat_nontrivial_syndrome,
+      /*active=*/nullptr,
+      [&](const uint64_t* mask, uint64_t* out) { extract_syndrome(mask, out); },
+      [&](const uint64_t* syn, const uint64_t* act) { correct(syn, act); });
+}
+
+pauli::PauliString BatchGenericShorRecovery::residual(size_t shot) const {
+  pauli::PauliString r(code_.n());
+  for (size_t q = 0; q < code_.n(); ++q) {
+    r.set_x(q, sim_.x_flip(q, shot));
+    r.set_z(q, sim_.z_flip(q, shot));
+  }
+  return r;
+}
+
+bool BatchGenericShorRecovery::any_logical_error(size_t shot) const {
+  return decoder_.residual_effect(residual(shot)).any();
+}
+
+uint64_t BatchGenericShorRecovery::count_any_logical_error(
+    size_t num_lanes) const {
+  const size_t lanes = std::min(num_lanes, sim_.num_shots());
+  uint64_t count = 0;
+  for (size_t shot = 0; shot < lanes; ++shot) {
+    count += any_logical_error(shot) ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace ftqc::ft

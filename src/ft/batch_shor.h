@@ -1,0 +1,165 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codes/lookup_decoder.h"
+#include "codes/stabilizer_code.h"
+#include "ft/batch_recovery.h"
+#include "ft/recovery.h"
+#include "gf2/hamming.h"
+#include "pauli/pauli_string.h"
+#include "sim/batch_frame_sim.h"
+#include "sim/noise_model.h"
+
+namespace ftqc::ft {
+
+// Batched §3.3 cat-retry: replays a cat_prep_with_check circuit at 64 shots
+// per word with the data-dependent discard loop expressed as masked
+// re-replay. Attempt k re-runs ONLY the lanes that failed attempts 0..k-1:
+// later attempts replay the gadget's unitaries over the whole word (the
+// prep's R resets make that safe for lanes with clean frames), so lanes
+// that already passed park their cat-qubit frames in a side buffer while
+// the stragglers retry and are restored afterwards — a scatter/compact over
+// the handful of cat qubits instead of the whole register.
+//
+// Retry-cap semantics: the serial path silently uses the last cat
+// unverified when the budget runs out. The batch path keeps those lanes'
+// last-attempt frames (same statistics) but ALSO surfaces them in the sim's
+// abort mask via discard_lanes, so a forced-failure pathology (e.g. a
+// deliberately broken verification) cannot masquerade as a verified
+// ancilla; at this library's noise scales the cap is unreachable and the
+// mask stays empty.
+class BatchCatRetry {
+ public:
+  explicit BatchCatRetry(sim::BatchFrameSim& sim);
+
+  // `prep` must measure exactly one qubit (the cat check); `cat` names the
+  // qubits whose frames carry the prepared state past the retry loop.
+  // `active` (nullptr = all) restricts the whole loop to the lanes whose
+  // shot is executing this preparation. Returns the number of discarded
+  // cats summed over lanes (the serial cats_discarded counter).
+  uint64_t prepare(BatchGadgetRunner& gadgets, const sim::Circuit& prep,
+                   std::span<const uint32_t> cat,
+                   std::span<const uint32_t> active_qubits, int max_attempts,
+                   bool verify, const uint64_t* active);
+
+ private:
+  sim::BatchFrameSim& sim_;
+  std::vector<uint64_t> need_, passed_any_, failed_, scratch_;
+  std::vector<uint64_t> parked_;  // [cat qubit][x|z][word]
+};
+
+// Bit-parallel ShorRecovery: one full cat-state recovery cycle (§3.2-§3.4)
+// on 64 shots per word. Each of the six generators is measured with a
+// verified 4-bit cat prepared through BatchCatRetry; syndrome bits are
+// bit-sliced parities of the cat readout rows; the §3.4 repeat and the
+// correction become lane masking, exactly as in BatchSteaneRecovery.
+// Register layout matches ShorRecovery: data [0,7), cat [7,11), check 11.
+class BatchShorRecovery {
+ public:
+  static constexpr uint32_t kNumQubits = 12;
+
+  // shots is rounded up to a multiple of 64.
+  BatchShorRecovery(const sim::NoiseParams& noise, RecoveryPolicy policy,
+                    size_t shots, uint64_t seed);
+
+  [[nodiscard]] size_t num_shots() const { return sim_.num_shots(); }
+  [[nodiscard]] size_t num_words() const { return sim_.num_words(); }
+
+  void reset();
+  void inject_data(uint32_t q, char pauli);
+  void apply_memory_noise(double p);
+
+  void run_cycle();
+
+  [[nodiscard]] uint64_t count_any_logical_error(
+      size_t num_lanes = SIZE_MAX) const;
+  [[nodiscard]] bool logical_x_error(size_t shot) const;
+  [[nodiscard]] bool logical_z_error(size_t shot) const;
+  [[nodiscard]] bool any_logical_error(size_t shot) const {
+    return logical_x_error(shot) || logical_z_error(shot);
+  }
+
+  // Cat preparations discarded by verification, summed over lanes (E3).
+  [[nodiscard]] uint64_t cats_discarded() const { return cats_discarded_; }
+  // Lanes whose retry budget ran out without a verified cat (also set in
+  // frames().abort_mask(); empty at realistic noise).
+  [[nodiscard]] uint64_t count_retry_exhausted() const;
+
+  [[nodiscard]] sim::BatchFrameSim& frames() { return sim_; }
+
+ private:
+  // Writes one bit-sliced syndrome bit (words words) into `out`.
+  void measure_syndrome_bit(size_t row, bool x_type, const uint64_t* active,
+                            uint64_t* out);
+  // Writes 3 syndrome rows (3 * words words) into `syndrome_rows`.
+  void extract_syndrome(bool phase_type, const uint64_t* active,
+                        uint64_t* syndrome_rows);
+
+  sim::BatchFrameSim sim_;
+  BatchGadgetRunner gadgets_;
+  BatchCatRetry retry_;
+  sim::NoiseParams noise_;
+  RecoveryPolicy policy_;
+  gf2::Hamming743 hamming_;
+  size_t words_;
+  uint64_t cats_discarded_ = 0;
+};
+
+// Bit-parallel GenericShorRecovery (§3.6/§4.2): fault-tolerant recovery for
+// an arbitrary stabilizer code, 64 shots per word. Generator measurement
+// and the cat-retry loop are bit-sliced as in BatchShorRecovery; the
+// correction step gathers the per-lane syndrome values among the acting
+// lanes, decodes each DISTINCT value once through the code's lookup
+// decoder, and applies the resulting Pauli as masked injections (acting
+// lanes are sparse below threshold, so the gather costs a handful of bit
+// reads per correcting shot).
+class BatchGenericShorRecovery {
+ public:
+  BatchGenericShorRecovery(const codes::StabilizerCode& code,
+                           const sim::NoiseParams& noise,
+                           RecoveryPolicy policy, size_t shots, uint64_t seed);
+
+  [[nodiscard]] size_t num_shots() const { return sim_.num_shots(); }
+  [[nodiscard]] size_t num_words() const { return sim_.num_words(); }
+
+  void reset();
+  void inject_data(uint32_t q, char pauli);
+  void apply_memory_noise(double p);
+
+  void run_cycle();
+
+  // Residual error of one lane, as a signed-free Pauli.
+  [[nodiscard]] pauli::PauliString residual(size_t shot) const;
+  [[nodiscard]] bool any_logical_error(size_t shot) const;
+  [[nodiscard]] uint64_t count_any_logical_error(
+      size_t num_lanes = SIZE_MAX) const;
+
+  [[nodiscard]] uint64_t cats_discarded() const { return cats_discarded_; }
+  [[nodiscard]] sim::BatchFrameSim& frames() { return sim_; }
+
+ private:
+  void measure_generator(size_t g, const uint64_t* active, uint64_t* out);
+  void extract_syndrome(const uint64_t* active, uint64_t* syndrome_rows);
+  void correct(const uint64_t* syndrome_rows, const uint64_t* act_mask);
+
+  const codes::StabilizerCode& code_;
+  codes::LookupDecoder decoder_;
+  sim::BatchFrameSim sim_;
+  BatchGadgetRunner gadgets_;
+  BatchCatRetry retry_;
+  sim::NoiseParams noise_;
+  RecoveryPolicy policy_;
+  size_t words_;
+  size_t max_weight_;
+  std::vector<uint32_t> cat_;
+  uint32_t check_;
+  std::vector<uint32_t> all_qubits_;
+  std::vector<sim::Circuit> cat_preps_;    // per generator (width-matched)
+  std::vector<sim::Circuit> gen_gadgets_;  // per generator
+  uint64_t cats_discarded_ = 0;
+};
+
+}  // namespace ftqc::ft

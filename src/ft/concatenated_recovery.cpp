@@ -14,16 +14,15 @@ constexpr uint32_t kData = 0;
 constexpr uint32_t kAncA = 49;
 constexpr uint32_t kAncB = 98;
 
-// Physical qubits of subblock `sub` within the block starting at `base`.
-std::array<uint32_t, 7> subblock(uint32_t base, size_t sub) {
+}  // namespace
+
+std::array<uint32_t, 7> level2_subblock(uint32_t base, size_t sub) {
   std::array<uint32_t, 7> q{};
   for (uint32_t i = 0; i < 7; ++i) {
     q[i] = base + static_cast<uint32_t>(7 * sub) + i;
   }
   return q;
 }
-
-}  // namespace
 
 Level2Recovery::Level2Recovery(const sim::NoiseParams& noise,
                                RecoveryPolicy policy, uint64_t seed)
@@ -59,15 +58,15 @@ void Level2Recovery::apply_memory_noise(double p) {
   for (uint32_t q = 0; q < kBlock; ++q) frame_.depolarize1(q, p);
 }
 
-sim::Circuit Level2Recovery::level2_zero_prep(const gf2::Hamming743& hamming,
-                                              uint32_t base) {
+sim::Circuit level2_zero_prep(const gf2::Hamming743& hamming,
+                              uint32_t base) {
   sim::Circuit c;
   // Seven level-1 |0>_code preparations (built on local qubits 0..6 and
   // remapped onto the subblock).
   static const std::array<uint32_t, 7> kLocal = {0, 1, 2, 3, 4, 5, 6};
   const sim::Circuit local_prep = steane_zero_prep(kLocal);
   for (size_t sub = 0; sub < 7; ++sub) {
-    const auto q = subblock(base, sub);
+    const auto q = level2_subblock(base, sub);
     c.append_circuit(local_prep, std::vector<uint32_t>(q.begin(), q.end()));
   }
   // Fig. 3 at the logical level: pivot the Hamming rows away from the
@@ -99,14 +98,14 @@ sim::Circuit Level2Recovery::level2_zero_prep(const gf2::Hamming743& hamming,
     ++next;
   }
   for (size_t r = 0; r < rows.size(); ++r) {
-    for (uint32_t q : subblock(base, pivots[r])) c.h(q);  // logical H
+    for (uint32_t q : level2_subblock(base, pivots[r])) c.h(q);  // logical H
   }
   c.tick();
   for (size_t r = 0; r < rows.size(); ++r) {
     for (size_t col = 0; col < 7; ++col) {
       if (col == pivots[r] || !rows[r].get(col)) continue;
-      const auto src = subblock(base, pivots[r]);
-      const auto dst = subblock(base, col);
+      const auto src = level2_subblock(base, pivots[r]);
+      const auto dst = level2_subblock(base, col);
       for (size_t i = 0; i < 7; ++i) c.cx(src[i], dst[i]);  // logical XOR
       c.tick();
     }
@@ -149,7 +148,7 @@ void Level2Recovery::run_subblock_recoveries(uint32_t base) {
     for (const uint32_t b : {kData, kAncA}) {
       for (size_t sub = 0; sub < 7; ++sub) {
         SubblockCycle& cy = cycles[b == kData ? 0 : 1][sub];
-        cy.layout = SteaneCycleLayout{subblock(b, sub), kScrA, kScrB};
+        cy.layout = SteaneCycleLayout{level2_subblock(b, sub), kScrA, kScrB};
         cy.circuits = compile_steane_cycle(cy.layout);
       }
     }
@@ -214,7 +213,7 @@ void Level2Recovery::prepare_verified_zero_ancilla() {
     sim::Circuit fix;
     std::vector<uint32_t> touched;
     for (size_t sub : {size_t{0}, size_t{1}, size_t{2}}) {
-      const auto q = subblock(kAncA, sub);
+      const auto q = level2_subblock(kAncA, sub);
       for (size_t i : {size_t{0}, size_t{1}, size_t{2}}) {
         fix.x(q[i]);
         touched.push_back(q[i]);
@@ -286,7 +285,7 @@ void Level2Recovery::correct(bool phase_type, const DecodedSyndrome& syndrome) {
     for (size_t sub = 0; sub < 7; ++sub) {
       const size_t pos = hamming_.error_position(syndrome.sub[sub]);
       if (pos >= 7) continue;
-      const uint32_t q = subblock(kData, sub)[pos];
+      const uint32_t q = level2_subblock(kData, sub)[pos];
       if (phase_type) {
         fix.z(q);
       } else {
@@ -298,7 +297,7 @@ void Level2Recovery::correct(bool phase_type, const DecodedSyndrome& syndrome) {
   // Level-2 correction: a logical Pauli on the flagged subblock.
   const size_t bad_sub = hamming_.error_position(syndrome.top);
   if (bad_sub < 7) {
-    const auto q = subblock(kData, bad_sub);
+    const auto q = level2_subblock(kData, bad_sub);
     for (size_t i : {size_t{0}, size_t{1}, size_t{2}}) {
       if (phase_type) {
         fix.z(q[i]);

@@ -12,6 +12,19 @@
 
 namespace ftqc::ft {
 
+// Physical qubits of level-1 subblock `sub` within the 49-qubit block
+// starting at `base`. Shared by the serial and batch level-2 drivers.
+[[nodiscard]] std::array<uint32_t, 7> level2_subblock(uint32_t base,
+                                                      size_t sub);
+
+// The level-2 |0>_code preparation circuit on a 49-qubit block at `base`:
+// seven level-1 |0>_code preparations followed by the Fig. 3 structure
+// applied with LOGICAL gates (bitwise H on pivot subblocks, transversal XOR
+// fan-outs). One builder so the serial and batch engines replay the exact
+// same circuit.
+[[nodiscard]] sim::Circuit level2_zero_prep(const gf2::Hamming743& hamming,
+                                            uint32_t base);
+
 // Fault-tolerant recovery for a LEVEL-2 concatenated Steane block (§5,
 // Fig. 14): 49 data qubits arranged as seven level-1 subblocks. Because the
 // Steane method is transversal at every level, one 49-qubit extraction
@@ -80,9 +93,6 @@ class Level2Recovery {
     [[nodiscard]] bool operator==(const DecodedSyndrome& other) const;
   };
 
-  // Builds the level-2 |0>_code preparation circuit on a 49-qubit block.
-  [[nodiscard]] static sim::Circuit level2_zero_prep(
-      const gf2::Hamming743& hamming, uint32_t base);
   // exRec interleave: one verified level-1 recovery cycle per 7-qubit
   // subblock of the block starting at `base`, on the shared scratch
   // ancillas.

@@ -14,6 +14,7 @@ BatchFrameSim::BatchFrameSim(size_t num_qubits, size_t shots, uint64_t seed)
       frames_(2 * num_qubits * words_, 0),
       record_(words_),
       abort_(words_, 0),
+      hit_(words_, 0),
       rng_(seed) {}
 
 void BatchFrameSim::clear() {
@@ -69,27 +70,35 @@ void BatchFrameSim::apply_swap(size_t a, size_t b) {
   }
 }
 
-uint64_t BatchFrameSim::random_mask(double p) {
-  if (p <= 0) return 0;
-  if (p >= 1) return ~uint64_t{0};
-  // Sample the set-bit count's positions via geometric skipping: for the
-  // small p of this library (1e-5..1e-2) this touches ~64*p bits on average
-  // instead of generating 64 bernoullis.
-  uint64_t mask = 0;
+const uint64_t* BatchFrameSim::fill_hit_words(double p) {
+  if (p <= 0) return nullptr;
+  if (p >= 1) {
+    std::fill(hit_.begin(), hit_.end(), ~uint64_t{0});
+    return hit_.data();
+  }
+  std::fill(hit_.begin(), hit_.end(), 0);
+  // Sample the set-bit positions via geometric skipping over the whole shot
+  // register: for the small p of this library (1e-5..1e-2) this draws
+  // ~shots*p + 1 uniforms per channel call, not one per word (the previous
+  // per-word restart) and not one per bit.
   const double log1mp = std::log1p(-p);
+  const auto total = static_cast<double>(shots_);
   double position = std::floor(std::log1p(-rng_.next_double()) / log1mp);
-  while (position < 64) {
-    mask |= uint64_t{1} << static_cast<int>(position);
+  while (position < total) {
+    const auto bit = static_cast<size_t>(position);
+    hit_[bit >> 6] |= uint64_t{1} << (bit & 63);
     position += 1 + std::floor(std::log1p(-rng_.next_double()) / log1mp);
   }
-  return mask;
+  return hit_.data();
 }
 
 void BatchFrameSim::depolarize1(size_t q, double p, const uint64_t* lane_mask) {
+  const uint64_t* hits = fill_hit_words(p);
+  if (hits == nullptr) return;
   uint64_t* xs = x_word(q);
   uint64_t* zs = z_word(q);
   for (size_t w = 0; w < words_; ++w) {
-    uint64_t hit = random_mask(p);
+    uint64_t hit = hits[w];
     if (lane_mask != nullptr) hit &= lane_mask[w];
     if (hit == 0) continue;
     // Hit lanes are sparse at this library's error rates, so picking the
@@ -109,12 +118,14 @@ void BatchFrameSim::depolarize1(size_t q, double p, const uint64_t* lane_mask) {
 
 void BatchFrameSim::depolarize2(size_t a, size_t b, double p,
                                 const uint64_t* lane_mask) {
+  const uint64_t* hits = fill_hit_words(p);
+  if (hits == nullptr) return;
   uint64_t* xa = x_word(a);
   uint64_t* za = z_word(a);
   uint64_t* xb = x_word(b);
   uint64_t* zb = z_word(b);
   for (size_t w = 0; w < words_; ++w) {
-    uint64_t hit = random_mask(p);
+    uint64_t hit = hits[w];
     if (lane_mask != nullptr) hit &= lane_mask[w];
     if (hit == 0) continue;
     // Per hit lane pick one of 15 non-identity 2-qubit Paulis. The lanes are
@@ -133,19 +144,23 @@ void BatchFrameSim::depolarize2(size_t a, size_t b, double p,
 }
 
 void BatchFrameSim::x_error(size_t q, double p, const uint64_t* lane_mask) {
+  const uint64_t* hits = fill_hit_words(p);
+  if (hits == nullptr) return;
   uint64_t* xs = x_word(q);
   for (size_t w = 0; w < words_; ++w) {
-    uint64_t hit = random_mask(p);
+    uint64_t hit = hits[w];
     if (lane_mask != nullptr) hit &= lane_mask[w];
     xs[w] ^= hit;
   }
 }
 
 void BatchFrameSim::y_error(size_t q, double p, const uint64_t* lane_mask) {
+  const uint64_t* hits = fill_hit_words(p);
+  if (hits == nullptr) return;
   uint64_t* xs = x_word(q);
   uint64_t* zs = z_word(q);
   for (size_t w = 0; w < words_; ++w) {
-    uint64_t hit = random_mask(p);
+    uint64_t hit = hits[w];
     if (lane_mask != nullptr) hit &= lane_mask[w];
     xs[w] ^= hit;
     zs[w] ^= hit;
@@ -153,9 +168,11 @@ void BatchFrameSim::y_error(size_t q, double p, const uint64_t* lane_mask) {
 }
 
 void BatchFrameSim::z_error(size_t q, double p, const uint64_t* lane_mask) {
+  const uint64_t* hits = fill_hit_words(p);
+  if (hits == nullptr) return;
   uint64_t* zs = z_word(q);
   for (size_t w = 0; w < words_; ++w) {
-    uint64_t hit = random_mask(p);
+    uint64_t hit = hits[w];
     if (lane_mask != nullptr) hit &= lane_mask[w];
     zs[w] ^= hit;
   }
@@ -245,6 +262,10 @@ void BatchFrameSim::discard_where(size_t record_index, bool value) {
   for (size_t w = 0; w < words_; ++w) {
     abort_[w] |= value ? row[w] : ~row[w];
   }
+}
+
+void BatchFrameSim::discard_lanes(const uint64_t* lane_mask) {
+  for (size_t w = 0; w < words_; ++w) abort_[w] |= lane_mask[w];
 }
 
 size_t BatchFrameSim::num_kept() const {

@@ -122,6 +122,10 @@ class BatchFrameSim {
   // Marks as aborted every lane whose record bit equals `value` (e.g. a
   // failed verification measurement). Aborts accumulate until clear().
   void discard_where(size_t record_index, bool value);
+  // ORs an arbitrary lane mask into the abort mask. Drivers with per-lane
+  // control flow (batched cat-retry loops) use this to surface lanes whose
+  // retry budget ran out without a verified ancilla.
+  void discard_lanes(const uint64_t* lane_mask);
   [[nodiscard]] const uint64_t* abort_mask() const { return abort_.data(); }
   [[nodiscard]] bool aborted(size_t shot) const {
     return (abort_[shot >> 6] >> (shot & 63)) & 1u;
@@ -159,8 +163,12 @@ class BatchFrameSim {
     return &frames_[(2 * q + 1) * words_];
   }
 
-  // Word with each bit set independently with probability p.
-  uint64_t random_mask(double p);
+  // Fills the reusable hit buffer with bits set iid with probability p,
+  // running ONE geometric-skip stream across the whole 64*num_words() bit
+  // register (instead of restarting the stream per word, which costs a
+  // log1p division per word even when no bit lands there). Returns the
+  // buffer, or nullptr when p <= 0 (no hits; callers skip the channel).
+  const uint64_t* fill_hit_words(double p);
   void randomize_gauge(uint64_t* component);
 
   size_t n_;
@@ -169,6 +177,7 @@ class BatchFrameSim {
   std::vector<uint64_t> frames_;  // layout: [qubit][x|z][word]
   BatchRecord record_;
   std::vector<uint64_t> abort_;
+  std::vector<uint64_t> hit_;  // scratch for fill_hit_words
   Rng rng_;
 };
 

@@ -1,6 +1,7 @@
 #include "threshold/pseudothreshold.h"
 
 #include "ft/batch_recovery.h"
+#include "ft/batch_shor.h"
 #include "ft/shor_recovery.h"
 #include "ft/steane_recovery.h"
 
@@ -26,10 +27,6 @@ CyclePoint measure_cycle_failure(RecoveryMethod method, double eps_gate,
                                  sim::ShotEngine engine) {
   FTQC_CHECK(engine != sim::ShotEngine::kExact,
              "recovery cycles are frame-native; use frame or batch");
-  FTQC_CHECK(engine != sim::ShotEngine::kBatch ||
-                 method == RecoveryMethod::kSteane,
-             "batch recovery supports the Steane method only (the Shor "
-             "cat-retry loop is data-dependent per shot)");
   const auto noise = sim::NoiseParams::uniform_gate(eps_gate, eps_store);
 
   sim::ShotPlan plan;
@@ -45,8 +42,16 @@ CyclePoint measure_cycle_failure(RecoveryMethod method, double eps_gate,
                : one_cycle_fails<ft::ShorRecovery>(noise, shot_seed);
   };
   const auto block_fails = [&](uint64_t block_seed, size_t block_shots) {
-    ft::BatchSteaneRecovery rec(noise, ft::RecoveryPolicy{}, block_shots,
-                                block_seed);
+    if (method == RecoveryMethod::kSteane) {
+      ft::BatchSteaneRecovery rec(noise, ft::RecoveryPolicy{}, block_shots,
+                                  block_seed);
+      rec.run_cycle();
+      return rec.count_any_logical_error(block_shots);
+    }
+    // The Shor cat-retry loop is data-dependent per shot; BatchShorRecovery
+    // replays it as masked re-replay of the failed lanes.
+    ft::BatchShorRecovery rec(noise, ft::RecoveryPolicy{}, block_shots,
+                              block_seed);
     rec.run_cycle();
     return rec.count_any_logical_error(block_shots);
   };

@@ -29,8 +29,9 @@ struct CyclePoint {
 
 // One sweep point, driven by a ShotRunner. Engine selection:
 //  * kFrame — one serial FrameSim recovery per shot (OpenMP over shots);
-//  * kBatch — BatchSteaneRecovery, 64 shots per word (OpenMP over blocks);
-//    Steane only: the Shor cat-retry loop is data-dependent per shot.
+//  * kBatch — BatchSteaneRecovery / BatchShorRecovery, 64 shots per word
+//    (OpenMP over blocks). The Shor cat-retry loop is data-dependent per
+//    shot; the batch driver replays it as masked re-replay of failed lanes.
 // kExact is rejected: the recovery gadgets are frame-native.
 [[nodiscard]] CyclePoint measure_cycle_failure(
     RecoveryMethod method, double eps_gate, size_t shots, uint64_t seed,

@@ -1,0 +1,302 @@
+// Batch-vs-serial pins for the level-2 exRec cycle and the cat-retry
+// recovery paths: (a) noiseless injected-error patterns must decode
+// bit-for-bit identically on every lane, for both level-2 disciplines and
+// both cat-retry drivers; (b) stochastic failure estimates must agree
+// within one combined standard error over >= 4k shots; (c) the batched
+// retry loop's cap-exhaustion edge case must surface in the abort mask
+// instead of silently passing as verified.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "codes/library.h"
+#include "ft/batch_level2.h"
+#include "ft/batch_shor.h"
+#include "ft/concatenated_recovery.h"
+#include "ft/generic_recovery.h"
+#include "ft/shor_recovery.h"
+#include "sim/noise_model.h"
+#include "threshold/pseudothreshold.h"
+
+namespace ftqc::ft {
+namespace {
+
+const sim::NoiseParams kNoiseless;
+
+RecoveryPolicy policy_for(Level2Discipline discipline,
+                          bool data_recoveries = false) {
+  RecoveryPolicy policy;
+  policy.level2_discipline = discipline;
+  policy.exrec_data_recoveries = data_recoveries;
+  return policy;
+}
+
+// Noiseless cycles are deterministic (gauge draws never touch the data
+// block), so every lane must agree with a serial reference run.
+void expect_level2_matches_serial(const RecoveryPolicy& policy,
+                                  const std::vector<std::pair<uint32_t, char>>&
+                                      injections) {
+  Level2Recovery serial(kNoiseless, policy, /*seed=*/1);
+  for (const auto& [q, p] : injections) serial.inject_data(q, p);
+  serial.run_cycle();
+
+  BatchLevel2Recovery batch(kNoiseless, policy, /*shots=*/128, /*seed=*/77);
+  for (const auto& [q, p] : injections) batch.inject_data(q, p);
+  batch.run_cycle();
+
+  for (size_t shot : {size_t{0}, size_t{63}, size_t{64}, size_t{127}}) {
+    EXPECT_EQ(batch.logical_x_error(shot), serial.logical_x_error())
+        << "shot " << shot;
+    EXPECT_EQ(batch.logical_z_error(shot), serial.logical_z_error())
+        << "shot " << shot;
+  }
+  const uint64_t expected = serial.any_logical_error() ? batch.num_shots() : 0u;
+  EXPECT_EQ(batch.count_any_logical_error(), expected);
+}
+
+TEST(BatchLevel2Pins, NoiselessPatternsMatchSerialBareDiscipline) {
+  const auto policy = policy_for(Level2Discipline::kBare);
+  for (const char pauli : {'X', 'Z'}) {
+    // Single errors across subblocks; the hierarchy must clean all of them.
+    for (uint32_t q : {0u, 6u, 7u, 24u, 48u}) {
+      expect_level2_matches_serial(policy, {{q, pauli}});
+    }
+  }
+  // Pairs within one subblock (level-1 miscorrection -> level-2 catches)
+  // and across subblocks (the §5 failure channel).
+  expect_level2_matches_serial(policy, {{0, 'X'}, {1, 'X'}});
+  expect_level2_matches_serial(policy, {{0, 'Z'}, {1, 'Z'}});
+  expect_level2_matches_serial(policy, {{3, 'X'}, {10, 'X'}});
+  expect_level2_matches_serial(policy, {{5, 'Z'}, {47, 'Z'}});
+  expect_level2_matches_serial(policy, {{2, 'X'}, {2, 'Z'}});
+  expect_level2_matches_serial(
+      policy, {{0, 'X'}, {1, 'X'}, {7, 'X'}, {8, 'X'}, {14, 'X'}, {15, 'X'}});
+}
+
+TEST(BatchLevel2Pins, NoiselessPatternsMatchSerialExRecDiscipline) {
+  const auto policy = policy_for(Level2Discipline::kExRec);
+  for (const char pauli : {'X', 'Z'}) {
+    for (uint32_t q : {0u, 7u, 30u, 48u}) {
+      expect_level2_matches_serial(policy, {{q, pauli}});
+    }
+  }
+  expect_level2_matches_serial(policy, {{0, 'X'}, {1, 'X'}});
+  expect_level2_matches_serial(policy, {{5, 'Z'}, {47, 'Z'}});
+  expect_level2_matches_serial(policy, {{12, 'X'}, {12, 'Z'}});
+}
+
+TEST(BatchLevel2Pins, NoiselessPatternsMatchSerialExRecDataRecoveries) {
+  const auto policy = policy_for(Level2Discipline::kExRec,
+                                 /*data_recoveries=*/true);
+  for (uint32_t q : {0u, 20u, 48u}) {
+    expect_level2_matches_serial(policy, {{q, 'X'}});
+    expect_level2_matches_serial(policy, {{q, 'Z'}});
+  }
+  expect_level2_matches_serial(policy, {{0, 'X'}, {8, 'X'}});
+}
+
+// Stochastic agreement with the serial engine: both estimates target the
+// same failure probability, so with the pinned seeds the difference must
+// sit within one combined binomial standard error (a semantics bug shows
+// up as tens of sigma; the seeds are fixed, so this is deterministic).
+void expect_level2_statistics_match(Level2Discipline discipline, double eps,
+                                    size_t shots, uint64_t serial_seed,
+                                    uint64_t batch_seed) {
+  const auto noise = sim::NoiseParams::uniform_gate(eps);
+  const auto policy = policy_for(discipline);
+  size_t serial_failures = 0;
+  for (size_t s = 0; s < shots; ++s) {
+    Level2Recovery rec(noise, policy, serial_seed + 11 * s);
+    rec.run_cycle();
+    serial_failures += rec.any_logical_error() ? 1 : 0;
+  }
+  BatchLevel2Recovery batch(noise, policy, shots, batch_seed);
+  batch.run_cycle();
+  const double n = static_cast<double>(shots);
+  const double pf = static_cast<double>(serial_failures) / n;
+  const double pb =
+      static_cast<double>(batch.count_any_logical_error(shots)) / n;
+  EXPECT_GT(pf, 0.01);  // the point is alive at this eps
+  const double se = std::sqrt(pf * (1 - pf) / n + pb * (1 - pb) / n);
+  EXPECT_LE(std::fabs(pf - pb), 1.0 * se)
+      << "serial " << pf << " vs batch " << pb << " (se " << se << ")";
+}
+
+TEST(BatchLevel2Pins, FailureRateMatchesSerialBare) {
+  expect_level2_statistics_match(Level2Discipline::kBare, 4e-3, 4096,
+                                 /*serial_seed=*/3, /*batch_seed=*/19);
+}
+
+TEST(BatchLevel2Pins, FailureRateMatchesSerialExRec) {
+  expect_level2_statistics_match(Level2Discipline::kExRec, 4e-3, 4096,
+                                 /*serial_seed=*/5, /*batch_seed=*/23);
+}
+
+// --- Shor cat-retry path ----------------------------------------------------
+
+void expect_shor_matches_serial(const std::vector<std::pair<uint32_t, char>>&
+                                    injections) {
+  ShorRecovery serial(kNoiseless, RecoveryPolicy{}, /*seed=*/1);
+  for (const auto& [q, p] : injections) serial.inject_data(q, p);
+  serial.run_cycle();
+
+  BatchShorRecovery batch(kNoiseless, RecoveryPolicy{}, /*shots=*/128,
+                          /*seed=*/77);
+  for (const auto& [q, p] : injections) batch.inject_data(q, p);
+  batch.run_cycle();
+
+  EXPECT_EQ(batch.cats_discarded(), 0u);
+  EXPECT_EQ(batch.count_retry_exhausted(), 0u);
+  for (size_t shot : {size_t{0}, size_t{63}, size_t{64}, size_t{127}}) {
+    EXPECT_EQ(batch.logical_x_error(shot), serial.logical_x_error())
+        << "shot " << shot;
+    EXPECT_EQ(batch.logical_z_error(shot), serial.logical_z_error())
+        << "shot " << shot;
+  }
+  const uint64_t expected = serial.any_logical_error() ? batch.num_shots() : 0u;
+  EXPECT_EQ(batch.count_any_logical_error(), expected);
+}
+
+TEST(BatchShorPins, NoiselessPatternsMatchSerial) {
+  for (const char pauli : {'X', 'Y', 'Z'}) {
+    for (uint32_t q = 0; q < 7; ++q) {
+      expect_shor_matches_serial({{q, pauli}});
+    }
+  }
+  for (uint32_t qa = 0; qa < 7; ++qa) {
+    for (uint32_t qb = qa + 1; qb < 7; ++qb) {
+      expect_shor_matches_serial({{qa, 'X'}, {qb, 'X'}});
+      expect_shor_matches_serial({{qa, 'Z'}, {qb, 'Z'}});
+      expect_shor_matches_serial({{qa, 'X'}, {qb, 'Z'}});
+    }
+  }
+}
+
+// The threshold driver now dispatches kShor to BatchShorRecovery; the two
+// engines must agree statistically through the shared path.
+TEST(BatchShorPins, FailureRateMatchesSerialEngine) {
+  const double eps = 8e-3;
+  const size_t shots = 4096;
+  const auto serial = threshold::measure_cycle_failure(
+      threshold::RecoveryMethod::kShor, eps, shots, /*seed=*/3, 0.0,
+      sim::ShotEngine::kFrame);
+  const auto batch = threshold::measure_cycle_failure(
+      threshold::RecoveryMethod::kShor, eps, shots, /*seed=*/19, 0.0,
+      sim::ShotEngine::kBatch);
+  const double pf = serial.failures.mean();
+  const double pb = batch.failures.mean();
+  EXPECT_GT(pf, 0.005);  // the point is alive at this eps
+  const double n = static_cast<double>(shots);
+  const double se = std::sqrt(pf * (1 - pf) / n + pb * (1 - pb) / n);
+  EXPECT_LE(std::fabs(pf - pb), 1.0 * se)
+      << "frame " << pf << " vs batch " << pb << " (se " << se << ")";
+}
+
+// Regression for the retry-cap edge case: with every cat verification
+// forced to fail (measurement error probability 1 flips the check readout
+// on every attempt), lanes must surface in the abort/postselection mask —
+// not silently pass as verified.
+TEST(BatchShorPins, RetryCapExhaustionSurfacesInAbortMask) {
+  sim::NoiseParams always_fail;
+  always_fail.eps_meas = 1.0;
+  RecoveryPolicy policy;
+  BatchShorRecovery rec(always_fail, policy, /*shots=*/128, /*seed=*/5);
+  rec.run_cycle();
+  EXPECT_EQ(rec.count_retry_exhausted(), rec.num_shots());
+  EXPECT_EQ(rec.frames().num_kept(), 0u);
+  // Every lane burned the full retry budget on every cat preparation: 6
+  // generator measurements (+ repeats) x max_cat_attempts discards/lane.
+  EXPECT_GE(rec.cats_discarded(),
+            static_cast<uint64_t>(policy.max_cat_attempts) * 6 *
+                rec.num_shots());
+}
+
+TEST(BatchShorPins, RetryLoopDiscardStatisticsMatchSerial) {
+  // At a noise level where discards are common, the summed discard counter
+  // must agree with the serial loop's within a few standard errors.
+  const auto noise = sim::NoiseParams::uniform_gate(0.02);
+  const size_t shots = 2048;
+  uint64_t serial_discards = 0;
+  for (size_t s = 0; s < shots; ++s) {
+    ShorRecovery rec(noise, RecoveryPolicy{}, 100 + 7 * s);
+    rec.run_cycle();
+    serial_discards += rec.cats_discarded();
+  }
+  BatchShorRecovery batch(noise, RecoveryPolicy{}, shots, /*seed=*/42);
+  batch.run_cycle();
+  const double per_shot_serial =
+      static_cast<double>(serial_discards) / static_cast<double>(shots);
+  const double per_shot_batch = static_cast<double>(batch.cats_discarded()) /
+                                static_cast<double>(shots);
+  EXPECT_GT(per_shot_serial, 0.1);
+  EXPECT_NEAR(per_shot_batch, per_shot_serial, 0.25 * per_shot_serial);
+}
+
+// --- Generic (arbitrary stabilizer code) cat-retry path ---------------------
+
+void expect_generic_matches_serial(const codes::StabilizerCode& code,
+                                   uint32_t q, char pauli) {
+  GenericShorRecovery serial(code, kNoiseless, RecoveryPolicy{}, /*seed=*/3);
+  serial.inject_data(q, pauli);
+  serial.run_cycle();
+
+  BatchGenericShorRecovery batch(code, kNoiseless, RecoveryPolicy{},
+                                 /*shots=*/128, /*seed=*/77);
+  batch.inject_data(q, pauli);
+  batch.run_cycle();
+
+  for (size_t shot : {size_t{0}, size_t{63}, size_t{64}, size_t{127}}) {
+    EXPECT_EQ(batch.any_logical_error(shot), serial.any_logical_error())
+        << code.n() << "-qubit code, " << pauli << q << " shot " << shot;
+  }
+}
+
+TEST(BatchGenericPins, NoiselessSingleErrorsMatchSerialOnLibraryCodes) {
+  for (const auto* code : {&codes::five_qubit(), &codes::steane()}) {
+    for (uint32_t q = 0; q < code->n(); ++q) {
+      for (const char pauli : {'X', 'Y', 'Z'}) {
+        expect_generic_matches_serial(*code, q, pauli);
+      }
+    }
+  }
+}
+
+TEST(BatchGenericPins, NoiselessCycleCleanAndDeterministic) {
+  const auto& code = codes::hamming15();
+  BatchGenericShorRecovery a(code, kNoiseless, RecoveryPolicy{}, 128, 9);
+  BatchGenericShorRecovery b(code, kNoiseless, RecoveryPolicy{}, 128, 9);
+  a.run_cycle();
+  b.run_cycle();
+  EXPECT_EQ(a.count_any_logical_error(), 0u);
+  for (size_t shot = 0; shot < a.num_shots(); ++shot) {
+    ASSERT_EQ(a.any_logical_error(shot), b.any_logical_error(shot)) << shot;
+  }
+}
+
+TEST(BatchGenericPins, FailureRateMatchesSerialOnFiveQubitCode) {
+  const auto& code = codes::five_qubit();
+  const auto noise = sim::NoiseParams::uniform_gate(8e-3);
+  const size_t shots = 4096;
+  size_t serial_failures = 0;
+  for (size_t s = 0; s < shots; ++s) {
+    GenericShorRecovery rec(code, noise, RecoveryPolicy{}, 1000 + 13 * s);
+    rec.run_cycle();
+    serial_failures += rec.any_logical_error() ? 1 : 0;
+  }
+  BatchGenericShorRecovery batch(code, noise, RecoveryPolicy{}, shots,
+                                 /*seed=*/31);
+  batch.run_cycle();
+  const double n = static_cast<double>(shots);
+  const double pf = static_cast<double>(serial_failures) / n;
+  const double pb =
+      static_cast<double>(batch.count_any_logical_error(shots)) / n;
+  EXPECT_GT(pf, 0.005);
+  const double se = std::sqrt(pf * (1 - pf) / n + pb * (1 - pb) / n);
+  EXPECT_LE(std::fabs(pf - pb), 1.0 * se)
+      << "serial " << pf << " vs batch " << pb << " (se " << se << ")";
+}
+
+}  // namespace
+}  // namespace ftqc::ft

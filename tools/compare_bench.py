@@ -9,13 +9,19 @@ flat JSON object per file, as written by bench/bench_harness.h). Benchmarks
 are paired by name; numeric fields are compared by relative change.
 
 Field classes:
-  * throughput  — names ending in shots_per_sec (higher is better): flagged
-    when the current value drops by more than the threshold;
+  * throughput  — names ending in shots_per_sec, _per_sec or speedup
+    (higher is better): flagged when the current value drops by more than
+    the threshold. This covers the cross-engine `batch_speedup` gates
+    (BENCH_E05/BENCH_E18) and the BATCHSIM kernel rates — a faster batch
+    engine must never be reported as a regression;
   * wall-clock  — names ending in seconds (lower is better): flagged when
     the current value grows by more than the threshold;
   * accuracy    — every other numeric field: flagged when it moves by more
     than the threshold in either direction. Monte Carlo estimates wobble, so
     accuracy flags are advisory; rerun with more shots before reverting.
+    The extrapolated `crossover_*` fields of BENCH_E18.json ride this
+    class: they are the headline Eq. 34 quantities, so a >threshold drift
+    of the exRec crossover deserves a rerun at full statistics.
 
 Exit status is 0 unless --strict is given, in which case any flagged
 regression exits 1. The CI step runs without --strict (non-blocking trend
@@ -45,7 +51,7 @@ def load_benchmarks(root: Path) -> dict[str, dict]:
 
 
 def classify(field: str) -> str:
-    if field.endswith("shots_per_sec"):
+    if field.endswith(("_per_sec", "speedup")):
         return "throughput"
     if field.endswith("seconds"):
         return "wall-clock"
