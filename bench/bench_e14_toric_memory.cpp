@@ -47,9 +47,11 @@ bool memory_shot_2d(const topo::ToricCode& code, const decode::Decoder& dec,
 // All Monte Carlo loops ride ShotRunner: kFrame runs one seeded shot per
 // index, kBatch hands a whole block to one Rng stream (the sampling here is
 // classical, so "batch" means block-amortized RNG + dynamic scheduling).
-double failure_rate_2d(const topo::ToricCode& code, const decode::Decoder& dec,
-                       double p, size_t shots, uint64_t seed,
-                       sim::ShotEngine engine) {
+// Returns the full Proportion rather than a bare rate so the threshold fit
+// can tell "0 failures in n shots" apart from "never measured".
+Proportion failure_rate_2d(const topo::ToricCode& code,
+                           const decode::Decoder& dec, double p, size_t shots,
+                           uint64_t seed, sim::ShotEngine engine) {
   sim::ShotPlan plan;
   plan.shots = shots;
   plan.seed = seed;
@@ -69,12 +71,12 @@ double failure_rate_2d(const topo::ToricCode& code, const decode::Decoder& dec,
         }
         return fails;
       });
-  return result.failure_rate();
+  return result.proportion();
 }
 
-double failure_rate_spacetime(const decode::SpacetimeToricDecoder& dec,
-                              double p, size_t rounds, size_t shots,
-                              uint64_t seed, sim::ShotEngine engine) {
+Proportion failure_rate_spacetime(const decode::SpacetimeToricDecoder& dec,
+                                  double p, size_t rounds, size_t shots,
+                                  uint64_t seed, sim::ShotEngine engine) {
   sim::ShotPlan plan;
   plan.shots = shots;
   plan.seed = seed;
@@ -98,7 +100,7 @@ double failure_rate_spacetime(const decode::SpacetimeToricDecoder& dec,
         }
         return fails;
       });
-  return result.failure_rate();
+  return result.proportion();
 }
 
 const char* trend_label(double f_small, double f_mid, double f_large) {
@@ -150,32 +152,44 @@ int main(int argc, char** argv) {
     ftqc::Table table({"p", "L=4", "L=6", "L=8", "trend"});
     std::vector<double> grid, ratio;
     for (const double p : p_grid) {
-      const double f4 = failure_rate_2d(code4, dec4, p, shots, 11, engine);
-      const double f6 = failure_rate_2d(code6, dec6, p, shots, 13, engine);
-      const double f8 = failure_rate_2d(code8, dec8, p, shots, 17, engine);
-      table.add_row({ftqc::strfmt("%.2f", p), ftqc::strfmt("%.4f", f4),
-                     ftqc::strfmt("%.4f", f6), ftqc::strfmt("%.4f", f8),
-                     trend_label(f4, f6, f8)});
-      // The L=8/L=4 failure ratio crosses 1 at the threshold.
+      const auto f4 = failure_rate_2d(code4, dec4, p, shots, 11, engine);
+      const auto f6 = failure_rate_2d(code6, dec6, p, shots, 13, engine);
+      const auto f8 = failure_rate_2d(code8, dec8, p, shots, 17, engine);
+      table.add_row({ftqc::strfmt("%.2f", p), ftqc::strfmt("%.4f", f4.mean()),
+                     ftqc::strfmt("%.4f", f6.mean()),
+                     ftqc::strfmt("%.4f", f8.mean()),
+                     trend_label(f4.mean(), f6.mean(), f8.mean())});
+      // The L=8/L=4 failure ratio crosses 1 at the threshold. Only points
+      // where BOTH proportions resolved with at least one failure enter the
+      // fit: a zero mean can be "0 of 4000" (real, but log-unfittable) or
+      // "0 of 0" (never measured), and neither is a measured ratio.
       grid.push_back(p);
-      ratio.push_back(f4 > 0 && f8 > 0 ? f8 / f4 : 0.0);
+      ratio.push_back(f4.resolved() && f8.resolved() && f4.mean() > 0 &&
+                              f8.mean() > 0
+                          ? f8.mean() / f4.mean()
+                          : 0.0);
       if (p == 0.02) {
-        json.add(std::string("failure_L4") + strat.json_suffix, f4);
-        json.add(std::string("failure_L6") + strat.json_suffix, f6);
-        json.add(std::string("failure_L8") + strat.json_suffix, f8);
+        json.add(std::string("failure_L4") + strat.json_suffix, f4.mean());
+        json.add(std::string("failure_L6") + strat.json_suffix, f6.mean());
+        json.add(std::string("failure_L8") + strat.json_suffix, f8.mean());
       }
       if (p == 0.08) {
-        json.add(std::string("failure_L8_p08") + strat.json_suffix, f8);
+        json.add(std::string("failure_L8_p08") + strat.json_suffix,
+                 f8.mean());
       }
     }
     table.print();
-    const double threshold = ftqc::loglog_unit_crossing(grid, ratio);
-    json.add(std::string("threshold") +
-                 (strat.json_suffix[0] ? strat.json_suffix : "_greedy"),
-             threshold);
-    if (threshold > 0) {
-      std::printf("  extrapolated threshold (L8/L4 ratio -> 1): p ~ %.3f\n\n",
-                  threshold);
+    const std::string field =
+        std::string("threshold") +
+        (strat.json_suffix[0] ? strat.json_suffix : "_greedy");
+    const ftqc::UnitCrossing crossing =
+        ftqc::loglog_unit_crossing_ex(grid, ratio);
+    json.add(field, crossing.valid ? crossing.x : 0.0);
+    json.add(field + "_extrapolated", !crossing.valid || crossing.extrapolated);
+    if (crossing.valid) {
+      std::printf("  %s threshold (L8/L4 ratio -> 1): p ~ %.3f\n\n",
+                  crossing.extrapolated ? "extrapolated" : "bracketed",
+                  crossing.x);
     } else {
       std::printf("  threshold not resolved at these shot counts\n\n");
     }
@@ -196,27 +210,35 @@ int main(int argc, char** argv) {
   std::vector<double> st_grid, st_ratio;
   for (const double p :
        {0.05, 0.04, 0.032, 0.026, 0.02, 0.015, 0.01}) {
-    const double f4 = failure_rate_spacetime(st4, p, 4, shots_st, 101, engine);
-    const double f6 = failure_rate_spacetime(st6, p, 6, shots_st, 103, engine);
-    st_table.add_row({ftqc::strfmt("%.3f", p), ftqc::strfmt("%.4f", f4),
-                      ftqc::strfmt("%.4f", f6),
-                      f6 < f4   ? "bigger is better"
-                      : f6 > f4 ? "bigger is WORSE"
-                                : "tie"});
+    const auto f4 = failure_rate_spacetime(st4, p, 4, shots_st, 101, engine);
+    const auto f6 = failure_rate_spacetime(st6, p, 6, shots_st, 103, engine);
+    st_table.add_row({ftqc::strfmt("%.3f", p),
+                      ftqc::strfmt("%.4f", f4.mean()),
+                      ftqc::strfmt("%.4f", f6.mean()),
+                      f6.mean() < f4.mean()   ? "bigger is better"
+                      : f6.mean() > f4.mean() ? "bigger is WORSE"
+                                              : "tie"});
     st_grid.push_back(p);
-    st_ratio.push_back(f4 > 0 && f6 > 0 ? f6 / f4 : 0.0);
+    st_ratio.push_back(f4.resolved() && f6.resolved() && f4.mean() > 0 &&
+                               f6.mean() > 0
+                           ? f6.mean() / f4.mean()
+                           : 0.0);
     if (p == 0.02) {
       json.add("spacetime_p", p);
-      json.add("spacetime_failure_L4", f4);
-      json.add("spacetime_failure_L6", f6);
+      json.add("spacetime_failure_L4", f4.mean());
+      json.add("spacetime_failure_L6", f6.mean());
     }
   }
   st_table.print();
-  const double st_threshold = ftqc::loglog_unit_crossing(st_grid, st_ratio);
-  json.add("threshold_spacetime", st_threshold);
-  if (st_threshold > 0) {
-    std::printf("  extrapolated threshold (L6/L4 ratio -> 1): p ~ %.3f\n",
-                st_threshold);
+  const ftqc::UnitCrossing st_crossing =
+      ftqc::loglog_unit_crossing_ex(st_grid, st_ratio);
+  json.add("threshold_spacetime", st_crossing.valid ? st_crossing.x : 0.0);
+  json.add("threshold_spacetime_extrapolated",
+           !st_crossing.valid || st_crossing.extrapolated);
+  if (st_crossing.valid) {
+    std::printf("  %s threshold (L6/L4 ratio -> 1): p ~ %.3f\n",
+                st_crossing.extrapolated ? "extrapolated" : "bracketed",
+                st_crossing.x);
   }
 
   json.add("p", 0.02);

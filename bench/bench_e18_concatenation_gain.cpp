@@ -20,6 +20,8 @@
 // (batch_speedup, cross_engine_sigma).
 #include <cmath>
 #include <cstdio>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "bench_harness.h"
@@ -27,6 +29,7 @@
 #include "common/table.h"
 #include "ft/batch_level2.h"
 #include "ft/concatenated_recovery.h"
+#include "ft/fault_enumeration.h"
 #include "ft/steane_recovery.h"
 #include "sim/shot_runner.h"
 #include "threshold/pseudothreshold.h"
@@ -93,6 +96,128 @@ double agreement_sigma(const Proportion& a, const Proportion& b) {
   return se > 0 ? std::fabs(pa - pb) / se : 0.0;
 }
 
+// ---- Rare-event strata -----------------------------------------------------
+// Injector-driven replays of the same gadgets for the importance-sampled
+// fault-set strata: all noise comes from the armed fault set (or, during
+// N_eff calibration, from the injector's own stochastic stream), so the
+// driver's RNG seed is fixed for the replay form.
+
+GadgetExperiment level1_experiment() {
+  return [](NoiseInjector& injector) {
+    SteaneRecovery rec(sim::NoiseParams{}, RecoveryPolicy{}, /*seed=*/77);
+    rec.set_injector(&injector);
+    rec.run_cycle();
+    rec.set_injector(nullptr);
+    return rec.any_logical_error();
+  };
+}
+
+SeededGadgetExperiment level1_seeded() {
+  return [](NoiseInjector& injector, uint64_t seed) {
+    SteaneRecovery rec(sim::NoiseParams{}, RecoveryPolicy{}, seed);
+    rec.set_injector(&injector);
+    rec.run_cycle();
+    rec.set_injector(nullptr);
+    return rec.any_logical_error();
+  };
+}
+
+GadgetExperiment level2_experiment(Level2Discipline discipline) {
+  return [discipline](NoiseInjector& injector) {
+    RecoveryPolicy policy;
+    policy.level2_discipline = discipline;
+    Level2Recovery rec(sim::NoiseParams{}, policy, /*seed=*/77);
+    rec.set_injector(&injector);
+    rec.run_cycle();
+    rec.set_injector(nullptr);
+    return rec.any_logical_error();
+  };
+}
+
+SeededGadgetExperiment level2_seeded(Level2Discipline discipline) {
+  return [discipline](NoiseInjector& injector, uint64_t seed) {
+    RecoveryPolicy policy;
+    policy.level2_discipline = discipline;
+    Level2Recovery rec(sim::NoiseParams{}, policy, seed);
+    rec.set_injector(&injector);
+    rec.run_cycle();
+    rec.set_injector(nullptr);
+    return rec.any_logical_error();
+  };
+}
+
+// Sub-pseudothreshold eps points no direct shot budget can resolve: at
+// eps = 1e-5 the level-1 cycle fails about once per 1e10 shots.
+constexpr double kRareEps[] = {1e-4, 5e-5, 1e-5};
+constexpr const char* kRareLabels[] = {"1em4", "5em5", "1em5"};
+
+struct RareConfig {
+  size_t low_max_faults;   // strata for the kRareEps sweep (small N*eps)
+  size_t low_budget;
+  size_t agree_max_faults; // strata for the eps = 1e-3 agreement point
+  size_t agree_budget;
+  size_t calib_shots;      // stochastic runs for the N_eff calibration
+};
+
+struct RareOutcome {
+  ft::RareEventSweep low;       // one estimate per kRareEps entry
+  double agree_mean = 0;        // stratified P(fail) at eps = 1e-3
+  double agree_relerr = 0;
+  double sigma = 0;             // |stratified - direct| / combined SE
+  double n_eff = 0;             // calibrated prior N at eps = 1e-3
+};
+
+// Runs the two stratified sweeps for one gadget: the low-eps sweep on the
+// noiseless location count (retries are vanishingly rare there) and the
+// eps = 1e-3 cross-validation point on the calibrated N_eff prior, compared
+// against the direct Monte Carlo measurement from the main sweep.
+RareOutcome run_rare(const GadgetExperiment& experiment,
+                     const SeededGadgetExperiment& seeded,
+                     const RareConfig& cfg, const Proportion& direct_1em3,
+                     uint64_t seed) {
+  RareEventOptions options;
+  options.scan.filter = gate_kinds_only();  // the sweeps run eps_store = 0
+  options.max_faults = cfg.low_max_faults;
+  options.budget = cfg.low_budget;
+  // Single-fault tolerance is proven by the fault-enumeration test suites
+  // (exhaustively for the level-1 cycle and the exRec cycle, strided for
+  // the bare level-2 cycle), so the k = 1 stratum is pinned to zero.
+  options.known_zero_max_k = 1;
+  options.seed = seed;
+  RareOutcome out;
+  out.low = estimate_rare_failure_sweep(
+      experiment, {kRareEps[0], kRareEps[1], kRareEps[2]}, options);
+
+  // At eps = 1e-3 fault-triggered retries measurably extend the realized
+  // path, so the agreement point's binomial prior uses the calibrated mean
+  // location count instead of the noiseless one.
+  options.max_faults = cfg.agree_max_faults;
+  options.budget = cfg.agree_budget;
+  options.seed = seed + 1;
+  options.n_eff_override = calibrate_mean_locations(
+      seeded, sim::NoiseParams::uniform_gate(1e-3), gate_kinds_only(),
+      cfg.calib_shots, seed + 2);
+  const ft::RareEventSweep agree =
+      estimate_rare_failure_sweep(experiment, {1e-3}, options);
+  out.n_eff = agree.n_eff;
+  out.agree_mean = agree.estimates[0].mean;
+  out.agree_relerr = agree.estimates[0].relative_halfwidth();
+  const double se_strat = agree.estimates[0].halfwidth / 1.96;
+  const double se_direct = direct_1em3.wilson_halfwidth() / 1.96;
+  const double se = std::sqrt(se_strat * se_strat + se_direct * se_direct);
+  out.sigma =
+      se > 0 ? std::fabs(out.agree_mean - direct_1em3.mean()) / se : 0.0;
+  return out;
+}
+
+// An estimate tight enough to use as a data point (finite interval no wider
+// than ~75% of the mean); looser strata still get reported with their
+// relerr, they just stay out of the crossover fit.
+bool rare_usable(const sim::StratifiedEstimate& estimate) {
+  const double rel = estimate.relative_halfwidth();
+  return std::isfinite(rel) && rel < 0.75;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -120,6 +245,9 @@ int main(int argc, char** argv) {
   const size_t div = ftqc::bench::smoke() ? 100 : 1;
   ftqc::bench::JsonResult json;
   std::vector<double> grid, bare_ratio, exrec_ratio;
+  // Direct measurements at eps = 1e-3, kept for the rare-event strata's
+  // cross-validation below.
+  Proportion l1_1em3, bare_1em3, exrec_1em3;
   for (const Point pt : {Point{4e-3, 20000}, Point{2e-3, 20000},
                          Point{1e-3, 30000}, Point{5e-4, 40000},
                          Point{2.5e-4, 40000}}) {
@@ -136,14 +264,27 @@ int main(int argc, char** argv) {
     const double fb = bare.failures.mean();
     const double fx = exrec.failures.mean();
     grid.push_back(pt.eps);
-    bare_ratio.push_back(f1 > 0 && fb > 0 ? fb / f1 : 0.0);
-    exrec_ratio.push_back(f1 > 0 && fx > 0 ? fx / f1 : 0.0);
+    // Only points where both proportions RESOLVED with at least one failure
+    // enter the crossover fit: a zero mean is either "0 failures in n shots"
+    // (real data, but log-unfittable) or "0 trials" (never measured), and
+    // conflating the two would let an unmeasured point masquerade as data.
+    bare_ratio.push_back(l1.resolved() && bare.failures.resolved() &&
+                                 f1 > 0 && fb > 0
+                             ? fb / f1
+                             : 0.0);
+    exrec_ratio.push_back(l1.resolved() && exrec.failures.resolved() &&
+                                  f1 > 0 && fx > 0
+                              ? fx / f1
+                              : 0.0);
     table.add_row({ftqc::strfmt("%.2e", pt.eps), ftqc::strfmt("%.3e", f1),
                    ftqc::strfmt("%.3e", fb), ftqc::strfmt("%.3e", fx),
                    ftqc::strfmt("%.2f", bare_ratio.back()),
                    ftqc::strfmt("%.2f", exrec_ratio.back()),
                    ftqc::strfmt("%.2fx", fx > 0 ? fb / fx : -1.0)});
     if (pt.eps == 1e-3) {
+      l1_1em3 = l1;
+      bare_1em3 = bare.failures;
+      exrec_1em3 = exrec.failures;
       json.add("eps", pt.eps);
       json.add("level1_failure", f1);
       json.add("level2_failure", fb);  // historical name: bare discipline
@@ -173,20 +314,116 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
-  // Log-log extrapolation of the level-2/level-1 failure ratio to ratio = 1:
-  // the eps where each discipline's level-2 curve crosses the level-1 curve.
-  const double cross_bare = ftqc::loglog_unit_crossing(grid, bare_ratio);
-  const double cross_exrec = ftqc::loglog_unit_crossing(grid, exrec_ratio);
-  if (cross_bare > 0) json.add("crossover_bare", cross_bare);
-  if (cross_exrec > 0) json.add("crossover_exrec", cross_exrec);
+
+  // ---- Importance-sampled rare-event strata ------------------------------
+  // Weight-stratified fault-set sampling (ft/fault_enumeration.h) resolves
+  // the deep sub-pseudothreshold regime no direct shot budget can reach:
+  // P(fail) = sum_k w_k(eps) P(fail|k), where the stratum weights are
+  // empirical likelihood-ratio estimates of P(K = k) under runtime-
+  // conditioned sampling — gadgets here stretch their fault path when
+  // faults trigger retries, so the realized fault-count law is over-
+  // dispersed relative to any fixed-N binomial. The eps-free conditionals
+  // are measured once per gadget and reused across the whole eps grid. The
+  // eps = 1e-3 point cross-validates each stratified estimate against the
+  // direct Monte Carlo column above. Smoke mode keeps the
+  // level-1 sweep (microsecond replays); the level-2 strata need tens of
+  // thousands of millisecond-scale replays and run in full mode only.
+  std::printf("\nRare-event strata (importance-sampled fault sets):\n");
+  const size_t rare_div = ftqc::bench::smoke() ? 20 : 1;
+  const RareOutcome rare_l1 =
+      run_rare(level1_experiment(), level1_seeded(),
+               RareConfig{/*low_max_faults=*/4, /*low_budget=*/24000 / rare_div,
+                          /*agree_max_faults=*/6,
+                          /*agree_budget=*/12000 / rare_div,
+                          /*calib_shots=*/ftqc::bench::smoke() ? 20u : 200u},
+               l1_1em3, /*seed=*/29);
+  std::optional<RareOutcome> rare_bare, rare_exrec;
+  if (!ftqc::bench::smoke()) {
+    // Bare cycle: ~3k gate locations, so N*eps stays small everywhere. The
+    // exRec cycle's ~4.8k gate locations (calibrated to ~7.6k at eps = 1e-3
+    // by fault-triggered retries) put the agreement point's mean fault
+    // count near 8; its strata must cover the realized K distribution out
+    // to where the conditional mass dies, which sits well past the
+    // binomial's reach because the path stretches with the fault count.
+    rare_bare = run_rare(level2_experiment(Level2Discipline::kBare),
+                         level2_seeded(Level2Discipline::kBare),
+                         RareConfig{6, 24000, 18, 32000, 100}, bare_1em3, 43);
+    // The exRec agreement point is the hardest in the file: failures
+    // spread thinly over ~40 live strata (mean fault count ~8, conditional
+    // rates ~1e-3 each), so it needs the largest raw budget to pull the
+    // per-stratum counts off the 0-or-1-failure floor.
+    rare_exrec = run_rare(level2_experiment(Level2Discipline::kExRec),
+                          level2_seeded(Level2Discipline::kExRec),
+                          RareConfig{24, 24000, 40, 160000, 200}, exrec_1em3,
+                          57);
+  }
+  ftqc::Table rare_table(
+      {"gadget", "eps", "stratified P(fail)", "rel 95% hw", "sigma vs MC"});
+  const auto add_rare = [&](const char* key, const RareOutcome& out) {
+    for (size_t i = 0; i < 3; ++i) {
+      const auto& est = out.low.estimates[i];
+      const std::string base =
+          std::string("rare_") + key + "_" + kRareLabels[i];
+      json.add(base, est.mean);
+      json.add(base + "_relerr", est.relative_halfwidth());
+      rare_table.add_row({key, ftqc::strfmt("%.1e", kRareEps[i]),
+                          ftqc::strfmt("%.3e", est.mean),
+                          ftqc::strfmt("%.0f%%",
+                                       100 * est.relative_halfwidth()),
+                          "-"});
+    }
+    json.add(std::string("rare_") + key + "_1em3", out.agree_mean);
+    json.add(std::string("rare_") + key + "_1em3_relerr", out.agree_relerr);
+    json.add(std::string("rare_agreement_sigma_") + key, out.sigma);
+    json.add(std::string("rare_") + key + "_n_eff", out.n_eff);
+    rare_table.add_row({key, "1.0e-03", ftqc::strfmt("%.3e", out.agree_mean),
+                        ftqc::strfmt("%.0f%%", 100 * out.agree_relerr),
+                        ftqc::strfmt("%.2f", out.sigma)});
+  };
+  add_rare("level1", rare_l1);
+  if (rare_bare) add_rare("bare", *rare_bare);
+  if (rare_exrec) add_rare("exrec", *rare_exrec);
+  rare_table.print();
+
+  // The stratified points extend the ratio curves below the direct grid, so
+  // the crossover fit can be BRACKETED by measured data instead of pure
+  // extrapolation. Only estimates tight enough to be data participate.
+  if (rare_bare && rare_exrec) {
+    for (size_t i = 0; i < 3; ++i) {
+      const auto& e1 = rare_l1.low.estimates[i];
+      if (!rare_usable(e1)) continue;
+      const auto& eb = rare_bare->low.estimates[i];
+      const auto& ex = rare_exrec->low.estimates[i];
+      grid.push_back(kRareEps[i]);
+      bare_ratio.push_back(rare_usable(eb) ? eb.mean / e1.mean : 0.0);
+      exrec_ratio.push_back(rare_usable(ex) ? ex.mean / e1.mean : 0.0);
+    }
+  }
+
+  // Log-log fit of the level-2/level-1 failure ratio to ratio = 1: the eps
+  // where each discipline's level-2 curve crosses the level-1 curve. The
+  // _extrapolated flags record whether the fitted crossing fell outside the
+  // sampled eps range (compare_bench.py skips flagged crossovers).
+  const ftqc::UnitCrossing cross_bare =
+      ftqc::loglog_unit_crossing_ex(grid, bare_ratio);
+  const ftqc::UnitCrossing cross_exrec =
+      ftqc::loglog_unit_crossing_ex(grid, exrec_ratio);
+  if (cross_bare.valid) json.add("crossover_bare", cross_bare.x);
+  if (cross_exrec.valid) json.add("crossover_exrec", cross_exrec.x);
+  json.add("crossover_bare_extrapolated",
+           !cross_bare.valid || cross_bare.extrapolated);
+  json.add("crossover_exrec_extrapolated",
+           !cross_exrec.valid || cross_exrec.extrapolated);
   json.add_string("engine", sim::shot_engine_name(engine));
   json.write();
-  if (cross_bare > 0 || cross_exrec > 0) {
+  if (cross_bare.valid || cross_exrec.valid) {
     std::printf(
-        "\nExtrapolated level-2-beats-level-1 crossover (ratio->1, log-log):\n"
-        "  bare  : eps ~ %.1e\n"
-        "  exRec : eps ~ %.1e   (paper's Eq. 34 threshold estimate ~ 6e-4)\n",
-        cross_bare, cross_exrec);
+        "\nLevel-2-beats-level-1 crossover (ratio->1, log-log fit):\n"
+        "  bare  : eps ~ %.1e (%s)\n"
+        "  exRec : eps ~ %.1e (%s)   (paper's Eq. 34 estimate ~ 6e-4)\n",
+        cross_bare.x, cross_bare.extrapolated ? "extrapolated" : "bracketed",
+        cross_exrec.x,
+        cross_exrec.extrapolated ? "extrapolated" : "bracketed");
   }
   std::printf(
       "\nShape check: both level-2 curves are steeper than level 1. Below\n"

@@ -135,6 +135,11 @@ class JsonResult {
   void add(const std::string& key, int value) {
     fields_.emplace_back(key, std::to_string(value));
   }
+  void add(const std::string& key, bool value) {
+    // Real JSON booleans (the crossover_*_extrapolated flags): tooling can
+    // gate numeric comparisons on them without sentinel-value conventions.
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
   void add_string(const std::string& key, const std::string& value) {
     // Built up in place: GCC 12's -Wrestrict misfires on `"..." + temporary`.
     std::string quoted = "\"";

@@ -1,10 +1,23 @@
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace ftqc {
+
+// Half-width of the 95% Wilson interval at proportion `p` over `n` trials.
+// `n` is a double so importance-weighted samples can report their Kish
+// effective sample size (sum w)^2 / (sum w^2), which is fractional; n <= 0
+// means "nothing measured" and returns the whole unit interval.
+[[nodiscard]] inline double wilson_halfwidth_at(double p, double n) {
+  if (n <= 0) return 1.0;
+  constexpr double z = 1.959963984540054;  // 97.5th normal percentile
+  const double denom = 1.0 + z * z / n;
+  return (z / denom) * std::sqrt(p * (1 - p) / n + z * z / (4 * n * n));
+}
 
 // Binomial proportion estimate with a Wilson-score interval. Threshold
 // experiments report logical failure rates; the interval lets benches flag
@@ -13,6 +26,11 @@ struct Proportion {
   uint64_t successes = 0;
   uint64_t trials = 0;
 
+  // A zero-trial Proportion is NOT a measured zero: mean() returns 0.0 for
+  // both "no failures in n trials" and "never ran", so fit loops must gate
+  // on resolved() before treating a point as data (the E14/E18 sweeps do).
+  [[nodiscard]] bool resolved() const { return trials > 0; }
+
   [[nodiscard]] double mean() const {
     return trials == 0 ? 0.0
                        : static_cast<double>(successes) / static_cast<double>(trials);
@@ -20,12 +38,7 @@ struct Proportion {
 
   // Half-width of the 95% Wilson interval around the Wilson midpoint.
   [[nodiscard]] double wilson_halfwidth() const {
-    if (trials == 0) return 1.0;
-    constexpr double z = 1.959963984540054;  // 97.5th normal percentile
-    const double n = static_cast<double>(trials);
-    const double p = mean();
-    const double denom = 1.0 + z * z / n;
-    return (z / denom) * std::sqrt(p * (1 - p) / n + z * z / (4 * n * n));
+    return wilson_halfwidth_at(mean(), static_cast<double>(trials));
   }
 
   [[nodiscard]] double wilson_center() const {
@@ -35,16 +48,40 @@ struct Proportion {
     const double p = mean();
     return (p + z * z / (2 * n)) / (1.0 + z * z / n);
   }
+
+  // Wilson half-width in units of the mean — the "is this point resolved
+  // enough to fit" figure the rare-event benches report as *_relerr.
+  // Infinite when the mean is zero (including the zero-trial case).
+  [[nodiscard]] double relative_halfwidth() const {
+    const double p = mean();
+    if (p <= 0) return std::numeric_limits<double>::infinity();
+    return wilson_halfwidth() / p;
+  }
+};
+
+// Result of extrapolating a ratio curve to its unit crossing. `valid` means
+// a crossing was fitted at all; `extrapolated` means the fitted crossing
+// lies OUTSIDE [x_min, x_max], the sampled range of usable points — i.e. the
+// curve never actually straddled ratio = 1 and the number is a log-log
+// extrapolation, not a measurement. Benches surface the flag next to every
+// crossover_* field so trend tracking can tell the two apart.
+struct UnitCrossing {
+  double x = 0;
+  bool valid = false;
+  bool extrapolated = true;
+  double x_min = 0;  // smallest / largest x that entered the fit
+  double x_max = 0;
 };
 
 // Log-log least-squares extrapolation of a failure-ratio curve to ratio = 1:
 // the threshold benches (E14, E18) fit ln(ratio) against ln(x) over the
 // points where both curves resolved (ratio > 0) and solve for the x at which
-// the bigger code stops helping. Returns 0 when fewer than two points are
+// the bigger code stops helping. Invalid when fewer than two points are
 // usable or the fitted slope is non-positive (no crossing in range).
-[[nodiscard]] inline double loglog_unit_crossing(
+[[nodiscard]] inline UnitCrossing loglog_unit_crossing_ex(
     const std::vector<double>& xs, const std::vector<double>& ratios) {
   double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  UnitCrossing crossing;
   size_t n = 0;
   for (size_t i = 0; i < xs.size() && i < ratios.size(); ++i) {
     if (ratios[i] <= 0 || xs[i] <= 0) continue;
@@ -54,15 +91,33 @@ struct Proportion {
     sy += y;
     sxx += x * x;
     sxy += x * y;
+    if (n == 0) {
+      crossing.x_min = crossing.x_max = xs[i];
+    } else {
+      crossing.x_min = std::min(crossing.x_min, xs[i]);
+      crossing.x_max = std::max(crossing.x_max, xs[i]);
+    }
     ++n;
   }
-  if (n < 2) return 0.0;
+  if (n < 2) return crossing;
   const double denom = static_cast<double>(n) * sxx - sx * sx;
-  if (denom == 0) return 0.0;
+  if (denom == 0) return crossing;
   const double slope = (static_cast<double>(n) * sxy - sx * sy) / denom;
   const double intercept = (sy - slope * sx) / static_cast<double>(n);
-  if (slope <= 0) return 0.0;
-  return std::exp(-intercept / slope);
+  if (slope <= 0) return crossing;
+  crossing.x = std::exp(-intercept / slope);
+  crossing.valid = true;
+  crossing.extrapolated =
+      crossing.x < crossing.x_min || crossing.x > crossing.x_max;
+  return crossing;
+}
+
+// Historical scalar form: the crossing, or 0 when none was fitted. Callers
+// that care whether the value was measured or extrapolated use the _ex form.
+[[nodiscard]] inline double loglog_unit_crossing(
+    const std::vector<double>& xs, const std::vector<double>& ratios) {
+  const UnitCrossing crossing = loglog_unit_crossing_ex(xs, ratios);
+  return crossing.valid ? crossing.x : 0.0;
 }
 
 }  // namespace ftqc

@@ -1,10 +1,13 @@
 #include "ft/fault_enumeration.h"
 
 #include <algorithm>
+#include <cmath>
+#include <numeric>
 #include <random>
 #include <vector>
 
 #include "common/check.h"
+#include "sim/shot_runner.h"
 
 namespace ftqc::ft {
 
@@ -150,6 +153,544 @@ PairSampleScan sample_fault_pairs(const GadgetExperiment& run,
   const std::vector<size_t> pool1 = eligible_locations(kinds, first);
   const std::vector<size_t> pool2 = eligible_locations(kinds, second);
   return sample_pairs_from(run, kinds, pool1, pool2, num_samples, seed);
+}
+
+FaultUniverse record_fault_universe(const GadgetExperiment& run,
+                                    const ScanOptions& options) {
+  FaultPointInjector recorder;
+  (void)run(recorder);
+  FaultUniverse universe;
+  universe.kinds = recorder.kinds();
+  universe.eligible = eligible_locations(universe.kinds, options);
+  return universe;
+}
+
+FaultSetScan sample_fault_sets(const GadgetExperiment& run,
+                               const FaultUniverse& universe, size_t k,
+                               size_t num_shots, size_t first_shot,
+                               uint64_t seed, uint64_t seed_stride) {
+  FTQC_CHECK(universe.size() >= k, "fault-set sampling needs >= k locations");
+  sim::ShotPlan plan;
+  plan.shots = num_shots;
+  plan.seed = seed;
+  plan.seed_stride = seed_stride;
+  const sim::ShotRunner runner(plan);
+  const sim::ShotResult result = runner.run_range(
+      first_shot, num_shots, [&](uint64_t shot_seed) -> bool {
+        // The whole configuration comes from the shot seed; the replay
+        // itself is deterministic, so chunking cannot change the estimate.
+        std::mt19937_64 rng(shot_seed);
+        std::vector<size_t> chosen;
+        chosen.reserve(k);
+        while (chosen.size() < k) {
+          const size_t idx = static_cast<size_t>(
+              rng() % static_cast<uint64_t>(universe.eligible.size()));
+          if (std::find(chosen.begin(), chosen.end(), idx) == chosen.end()) {
+            chosen.push_back(idx);
+          }
+        }
+        std::sort(chosen.begin(), chosen.end());
+        std::vector<FaultPointInjector::Fault> faults;
+        faults.reserve(k);
+        for (const size_t idx : chosen) {
+          const size_t loc = universe.eligible[idx];
+          const int v = static_cast<int>(
+              rng() %
+              static_cast<uint64_t>(location_variants(universe.kinds[loc])));
+          faults.push_back({loc, v});
+        }
+        FaultPointInjector injector(std::move(faults), /*record_kinds=*/false);
+        injector.set_clamp_variants(true);
+        return run(injector);
+      });
+  return FaultSetScan{result.trials, result.failures()};
+}
+
+namespace {
+
+// Per-location Bernoulli(q) proposal injector for runtime-conditioned
+// stratum sampling: every filter-passing location faults independently with
+// probability q, with a uniform variant applied through the same
+// inject_*_fault helpers FaultPointInjector uses, so the accepted shots of
+// sample_conditioned_fault_sets realize exactly the enumerated fault model.
+// Counts the eligible locations seen (the realized path length N_s) and the
+// faults landed (K_s); locations failing the filter neither fault nor
+// count, mirroring the universe restriction of the fixed-path samplers.
+class BernoulliFaultInjector final : public NoiseInjector {
+ public:
+  BernoulliFaultInjector(double q, const KindFilter& filter, uint64_t seed)
+      : q_(q), filter_(filter), rng_(seed) {}
+
+  void on_gate1(sim::FrameSim& sim, uint32_t q) override {
+    if (step(LocationKind::kGate1)) {
+      inject_pauli1_fault(sim, q, variant(3));
+    }
+  }
+  void on_gate2(sim::FrameSim& sim, uint32_t a, uint32_t b) override {
+    if (step(LocationKind::kGate2)) {
+      inject_pauli2_fault(sim, a, b, variant(15));
+    }
+  }
+  void on_prep(sim::FrameSim& sim, uint32_t q) override {
+    if (step(LocationKind::kPrep)) inject_prep_fault(sim, q);
+  }
+  void on_meas(sim::FrameSim& sim, uint32_t q, bool x_basis) override {
+    if (step(LocationKind::kMeas)) inject_meas_fault(sim, q, x_basis);
+  }
+  void on_storage(sim::FrameSim& sim, uint32_t q) override {
+    if (step(LocationKind::kStorage)) {
+      inject_pauli1_fault(sim, q, variant(3));
+    }
+  }
+
+  [[nodiscard]] size_t locations() const { return locations_; }
+  [[nodiscard]] size_t faults() const { return faults_; }
+
+ private:
+  // Advances the path and decides whether this location faults.
+  bool step(LocationKind kind) {
+    if (!filter_(kind)) return false;
+    ++locations_;
+    if (dist_(rng_) >= q_) return false;
+    ++faults_;
+    return true;
+  }
+  int variant(int num_variants) {
+    return static_cast<int>(rng_() % static_cast<uint64_t>(num_variants));
+  }
+
+  double q_;
+  const KindFilter& filter_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> dist_{0.0, 1.0};
+  size_t locations_ = 0;
+  size_t faults_ = 0;
+};
+
+}  // namespace
+
+ConditionedSetScan sample_conditioned_fault_sets(
+    const GadgetExperiment& run, const KindFilter& filter, double q, size_t k,
+    size_t num_shots, size_t first_shot, uint64_t seed, uint64_t seed_stride) {
+  FTQC_CHECK(q > 0.0 && q < 1.0, "proposal probability must lie in (0, 1)");
+  ConditionedSetScan scan;
+  scan.raw_shots = num_shots;
+  // Serial on purpose: each accepted shot contributes its realized path
+  // length, and the acceptance decision needs the injector's state after
+  // the run — ShotRunner's bool-only contract doesn't carry either.
+  for (size_t i = 0; i < num_shots; ++i) {
+    const uint64_t shot_seed = seed + seed_stride * (first_shot + i);
+    BernoulliFaultInjector injector(q, filter, shot_seed);
+    const bool failed = run(injector);
+    if (injector.faults() != k) continue;
+    ++scan.accepted;
+    if (failed) ++scan.accepted_failing;
+    scan.accepted_locations.push_back(injector.locations());
+    scan.accepted_failing_mask.push_back(failed ? 1 : 0);
+  }
+  return scan;
+}
+
+ExhaustiveSetScan scan_fault_sets(const GadgetExperiment& run,
+                                  const FaultUniverse& universe, size_t k) {
+  ExhaustiveSetScan scan;
+  const size_t n = universe.size();
+  if (k > n) return scan;
+
+  // Enumerates the k-subsets of the NOISELESS path's eligible locations
+  // (unlike scan_fault_pairs this does not re-probe rerouted paths, so
+  // variants are clamped); intended for toy universes and k <= 1.
+  std::vector<size_t> combo(k);
+  std::iota(combo.begin(), combo.end(), 0);
+  const auto next_combination = [&]() -> bool {
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (combo[i] != i + n - k) {
+        ++combo[i];
+        for (size_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<int> radix(k), variant(k);
+  do {
+    double weight = 1.0;
+    for (size_t i = 0; i < k; ++i) {
+      const LocationKind kind = universe.kinds[universe.eligible[combo[i]]];
+      radix[i] = location_variants(kind);
+      variant[i] = 0;
+      weight *= variant_weight(kind);
+    }
+    bool more = true;
+    while (more) {
+      std::vector<FaultPointInjector::Fault> faults;
+      faults.reserve(k);
+      for (size_t i = 0; i < k; ++i) {
+        faults.push_back({universe.eligible[combo[i]], variant[i]});
+      }
+      FaultPointInjector injector(std::move(faults), /*record_kinds=*/false);
+      injector.set_clamp_variants(true);
+      const bool failed = run(injector);
+      ++scan.sets_tried;
+      scan.weighted_total += weight;
+      if (failed) {
+        ++scan.sets_failing;
+        scan.weighted_failing += weight;
+      }
+      more = false;
+      for (size_t i = 0; i < k; ++i) {
+        if (++variant[i] < radix[i]) {
+          more = true;
+          break;
+        }
+        variant[i] = 0;
+      }
+    }
+  } while (next_combination());
+  return scan;
+}
+
+namespace {
+
+// StochasticInjector that also counts the eligible fault opportunities it
+// passes — the measuring stick for the N of the binomial prior when fault-
+// dependent control flow stretches the path.
+class CountingStochasticInjector final : public NoiseInjector {
+ public:
+  CountingStochasticInjector(const sim::NoiseParams& params,
+                             const KindFilter& filter)
+      : noise_(params), filter_(filter) {}
+
+  void on_gate1(sim::FrameSim& sim, uint32_t q) override {
+    count(LocationKind::kGate1);
+    noise_.on_gate1(sim, q);
+  }
+  void on_gate2(sim::FrameSim& sim, uint32_t a, uint32_t b) override {
+    count(LocationKind::kGate2);
+    noise_.on_gate2(sim, a, b);
+  }
+  void on_prep(sim::FrameSim& sim, uint32_t q) override {
+    count(LocationKind::kPrep);
+    noise_.on_prep(sim, q);
+  }
+  void on_meas(sim::FrameSim& sim, uint32_t q, bool x_basis) override {
+    count(LocationKind::kMeas);
+    noise_.on_meas(sim, q, x_basis);
+  }
+  void on_storage(sim::FrameSim& sim, uint32_t q) override {
+    count(LocationKind::kStorage);
+    noise_.on_storage(sim, q);
+  }
+
+  [[nodiscard]] size_t locations() const { return locations_; }
+
+ private:
+  void count(LocationKind kind) {
+    if (filter_(kind)) ++locations_;
+  }
+
+  StochasticInjector noise_;
+  const KindFilter& filter_;
+  size_t locations_ = 0;
+};
+
+}  // namespace
+
+double calibrate_mean_locations(const SeededGadgetExperiment& run,
+                                const sim::NoiseParams& params,
+                                const KindFilter& filter, size_t num_shots,
+                                uint64_t seed) {
+  FTQC_CHECK(num_shots > 0, "calibration needs at least one shot");
+  size_t total = 0;
+  for (size_t s = 0; s < num_shots; ++s) {
+    CountingStochasticInjector injector(params, filter);
+    (void)run(injector, seed + 0x9E3779B97F4A7C15ull * s);
+    total += injector.locations();
+  }
+  return static_cast<double>(total) / static_cast<double>(num_shots);
+}
+
+RareEventSweep estimate_rare_failure_sweep(const GadgetExperiment& run,
+                                           const std::vector<double>& eps_points,
+                                           const RareEventOptions& options) {
+  // Runtime conditioning drives the whole gadget; a location window would
+  // silently mean something different here than in the recorded-path scans.
+  FTQC_CHECK(options.scan.first_location == 0 &&
+                 options.scan.last_location == SIZE_MAX &&
+                 options.scan.location_stride == 1,
+             "rare-event sweeps condition over the whole path; location "
+             "windows are not supported");
+  const FaultUniverse universe = record_fault_universe(run, options.scan);
+  FTQC_CHECK(universe.size() > options.max_faults,
+             "rare-event sweep needs more locations than strata");
+  FTQC_CHECK(options.known_zero_max_k <= options.max_faults,
+             "known-zero strata must exist");
+
+  // Stratum 0 is a deterministic replay of the noiseless path; sampling it
+  // would charge a Wilson interval for a certainty, so resolve it once and
+  // pin it. A failure here means the experiment is broken, not rare.
+  {
+    FaultPointInjector noiseless({}, /*record_kinds=*/false);
+    FTQC_CHECK(!run(noiseless), "gadget fails its noiseless replay");
+  }
+
+  const double n0 = static_cast<double>(universe.size());
+  const double n_eff = options.n_eff_override > 0 ? options.n_eff_override : n0;
+  const size_t num_strata = options.max_faults + 1;
+  const size_t num_views = eps_points.size();
+
+  // Proposal fault probability per stratum: q_k = k / N_eff aims the
+  // proposal's modal fault count at k. Any value is unbiased (the
+  // likelihood ratio uses the q actually sampled); this choice just keeps
+  // the exactly-k acceptance rate near its 1/sqrt(2 pi k) optimum.
+  std::vector<double> proposal(num_strata, 0.0);
+  for (size_t k = 1; k < num_strata; ++k) {
+    proposal[k] =
+        std::min(static_cast<double>(k) / std::max(n_eff, 1.0), 0.5);
+  }
+
+  // View weights start at the Binomial(N_eff, eps) fallback — except k = 0,
+  // where P(K = 0) = (1-eps)^{N0} is exact (zero faults leave the noiseless
+  // path untouched) — and are replaced by the likelihood-ratio estimate
+  //   w_k(eps) = (eps/q_k)^k * mean over raw shots of 1{K=k} r^(N_s - k),
+  //   r = (1-eps)/(1-q_k),
+  // as strata accept shots. The tail bound stays on the ANALYTIC fallback
+  // prior throughout: the empirical weights carry sampling noise of a few
+  // parts per thousand, which would masquerade as tail mass if the tail
+  // were recomputed as 1 - sum(weights). Choose max_faults so the binomial
+  // beyond it is negligible at every view; path-extension overdispersion
+  // past the last stratum is then second-order too.
+  std::vector<std::vector<double>> weights(
+      num_views, std::vector<double>(num_strata, 0.0));
+  std::vector<double> tail(num_views, 0.0);
+  for (size_t v = 0; v < num_views; ++v) {
+    weights[v][0] = sim::binomial_pmf(n0, 0, eps_points[v]);
+    double covered = weights[v][0];
+    for (size_t k = 1; k < num_strata; ++k) {
+      weights[v][k] = sim::binomial_pmf(n_eff, k, eps_points[v]);
+      covered += weights[v][k];
+    }
+    tail[v] = std::max(0.0, 1.0 - covered);
+  }
+
+  std::vector<size_t> raw(num_strata, 0);
+  std::vector<size_t> accepted(num_strata, 0);
+  // Per-(stratum, view) sufficient statistics over accepted shots, with
+  // per-shot likelihood weight u_s = r_v^(N_s - k):
+  //   lr_sum  = sum u_s            -> the weight estimate,
+  //   lr_fail = sum u_s over FAILING shots -> the weighted conditional,
+  //   lr_sq   = sum u_s^2          -> Kish effective sample size.
+  // The estimator's product w_k * p_k then equals
+  //   (eps/q)^k * lr_fail / raw  =  the plain importance estimate of
+  // P_eps(fail AND K = k) — exactly unbiased even when the likelihood
+  // weight correlates with failure inside the stratum (it does: failing
+  // configurations preferentially open retries, changing N_s).
+  std::vector<std::vector<double>> lr_sum(num_strata,
+                                          std::vector<double>(num_views, 0.0));
+  std::vector<std::vector<double>> lr_fail(
+      num_strata, std::vector<double>(num_views, 0.0));
+  std::vector<std::vector<double>> lr_sq(num_strata,
+                                         std::vector<double>(num_views, 0.0));
+  std::vector<std::vector<double>> lr_fail_sq(
+      num_strata, std::vector<double>(num_views, 0.0));
+  // Mirror of the conditional half-widths pushed to the estimator (1.0 =
+  // unsampled, the whole unit interval); read back by the stage-2 split.
+  std::vector<std::vector<double>> cond_hw(num_strata,
+                                           std::vector<double>(num_views, 1.0));
+
+  sim::StratifiedEstimator* est = nullptr;
+  const auto sampler = [&](size_t stratum, size_t shots,
+                           size_t first_shot) -> sim::StratumChunk {
+    sim::ShotPlan base;
+    base.seed = options.seed;
+    const ConditionedSetScan scan = sample_conditioned_fault_sets(
+        run, options.scan.filter, proposal[stratum], stratum, shots,
+        first_shot, base.for_stratum(stratum).seed);
+    raw[stratum] += scan.raw_shots;
+    accepted[stratum] += scan.accepted;
+    for (size_t v = 0; v < num_views; ++v) {
+      const double log_r =
+          std::log1p(-eps_points[v]) - std::log1p(-proposal[stratum]);
+      for (size_t s = 0; s < scan.accepted_locations.size(); ++s) {
+        const double u = std::exp(
+            static_cast<double>(scan.accepted_locations[s] - stratum) * log_r);
+        lr_sum[stratum][v] += u;
+        lr_sq[stratum][v] += u * u;
+        if (scan.accepted_failing_mask[s]) {
+          lr_fail[stratum][v] += u;
+          lr_fail_sq[stratum][v] += u * u;
+        }
+      }
+    }
+    if (est != nullptr && accepted[stratum] > 0) {
+      const double n = static_cast<double>(raw[stratum]);
+      for (size_t v = 0; v < num_views; ++v) {
+        const double log_ratio =
+            static_cast<double>(stratum) *
+            (std::log(eps_points[v]) - std::log(proposal[stratum]));
+        weights[v][stratum] =
+            std::exp(log_ratio) * lr_sum[stratum][v] / n;
+        est->set_weight(v, stratum, weights[v][stratum]);
+        const double mean = lr_fail[stratum][v] / lr_sum[stratum][v];
+        const double ess = lr_sum[stratum][v] * lr_sum[stratum][v] /
+                           lr_sq[stratum][v];
+        // Two half-width estimates for the stratum's CONTRIBUTION w * p,
+        // expressed as conditional widths (the estimator multiplies by w):
+        //  - Wilson at the Kish effective sample size — nonzero even with
+        //    zero observed failures, so unresolved strata stay honestly
+        //    wide and keep attracting budget;
+        //  - the delta-method width of the unbiased product estimate
+        //    (eps/q)^k * lr_fail / raw, whose per-raw-shot variance
+        //    lr_fail_sq/n - (lr_fail/n)^2 covers the WEIGHT noise the
+        //    conditional-only Wilson width cannot see.
+        // Take the max: each underestimates in a regime the other covers.
+        const double mean_fail = lr_fail[stratum][v] / n;
+        const double var_fail = std::max(
+            0.0, lr_fail_sq[stratum][v] / n - mean_fail * mean_fail);
+        constexpr double z95 = 1.959963984540054;
+        const double product_hw =
+            z95 * std::sqrt(var_fail * n) / lr_sum[stratum][v];
+        cond_hw[stratum][v] =
+            std::max(wilson_halfwidth_at(mean, ess), product_hw);
+        est->set_conditional(v, stratum, mean, cond_hw[stratum][v]);
+      }
+    }
+    return sim::StratumChunk{scan.proportion(), scan.raw_shots};
+  };
+
+  sim::StratifiedEstimator estimator(num_strata, sampler);
+  est = &estimator;
+  estimator.mark_known_zero(0);
+  for (size_t k = 1; k <= options.known_zero_max_k; ++k) {
+    estimator.mark_known_zero(k);
+  }
+  for (size_t v = 0; v < num_views; ++v) {
+    (void)estimator.add_view(weights[v], tail[v]);
+  }
+
+  // ---- Stage 1: deterministic pilot --------------------------------------
+  // Every live stratum gets a grant sized for roughly kPilotAccepted
+  // accepted shots (exactly-k acceptance is ~1/sqrt(2 pi k) at q_k =
+  // k/N_eff), floored at an equal 1/8th budget share. The likelihood-ratio
+  // weight is heavy-tailed upward — its typical value at a handful of
+  // accepted shots sits well BELOW its mean — so a split seeded from a
+  // few-shot weight would starve exactly the overdispersed high-k strata
+  // this sampler exists to measure. The grants depend only on k and the
+  // budget, never on sampled values: stage 2's unbiasedness leans on that.
+  constexpr size_t kPilotAccepted = 24;
+  constexpr double kTwoPi = 6.283185307179586;
+  const size_t first_live = options.known_zero_max_k + 1;
+  const size_t num_live = num_strata - first_live;
+  const size_t pilot_floor =
+      num_live > 0 ? options.budget / (8 * num_live) : 0;
+  std::vector<size_t> pilot(num_strata, 0);
+  size_t pilot_total = 0;
+  for (size_t k = first_live; k < num_strata; ++k) {
+    pilot[k] = std::max(
+        static_cast<size_t>(std::ceil(
+            kPilotAccepted * std::sqrt(kTwoPi * static_cast<double>(k)))),
+        pilot_floor);
+    pilot_total += pilot[k];
+  }
+  // Cap the pilot at half the budget (wide stratum ranges would otherwise
+  // spend everything warming up); the scale factor depends only on the
+  // budget and the stratum count, so the pilot stays value-independent.
+  if (pilot_total > options.budget / 2 && pilot_total > 0) {
+    const double scale = static_cast<double>(options.budget / 2) /
+                         static_cast<double>(pilot_total);
+    for (size_t k = first_live; k < num_strata; ++k) {
+      pilot[k] = static_cast<size_t>(
+          std::max(1.0, std::floor(static_cast<double>(pilot[k]) * scale)));
+    }
+  }
+  for (size_t k = first_live; k < num_strata; ++k) {
+    const size_t room = options.budget - estimator.total_shots();
+    if (room == 0) break;
+    estimator.add_shots(k, std::min(pilot[k], room));
+  }
+
+  // ---- Stage 2: one-shot split of the remainder --------------------------
+  // Chunk-by-chunk adaptive routing re-reads the estimates it is growing,
+  // and with a self-reweighting sampler that optional-stopping feedback is
+  // BIASED: a stratum whose interim likelihood-ratio weight fluctuates low
+  // is starved and keeps its low estimate, while one that fluctuates high
+  // earns shots that regress it back — a systematic undershoot (~13% on the
+  // level-1 cycle at eps = 3e-3 with a 16k budget, far outside the reported
+  // interval). Instead the remaining budget is split ONCE, proportional to
+  // each stratum's largest relative interval contribution as measured by
+  // the pilot. The split never sees the shots it buys, so conditioned on
+  // the pilot every stage-2 stratum estimate is unbiased; what remains is a
+  // second-order pilot-fraction effect, not the first-order feedback bias.
+  const auto max_relative_halfwidth = [&]() {
+    double widest = 0;
+    for (size_t v = 0; v < num_views; ++v) {
+      widest = std::max(widest, estimator.estimate(v).relative_halfwidth());
+    }
+    return widest;
+  };
+  size_t remaining = options.budget - estimator.total_shots();
+  if (options.target_relative_halfwidth > 0 &&
+      max_relative_halfwidth() <= options.target_relative_halfwidth) {
+    remaining = 0;  // pilot already resolved every view
+  }
+  if (remaining > 0 && num_live > 0) {
+    std::vector<double> view_mean(num_views, 0.0);
+    for (size_t v = 0; v < num_views; ++v) {
+      view_mean[v] = estimator.estimate(v).mean;
+    }
+    std::vector<double> priority(num_strata, 0.0);
+    double total_priority = 0;
+    for (size_t k = first_live; k < num_strata; ++k) {
+      for (size_t v = 0; v < num_views; ++v) {
+        const double contrib = weights[v][k] * cond_hw[k][v];
+        if (contrib <= 0) continue;
+        // Same relative-width metric the estimator routes on: strata
+        // compete on how much of each view's interval they own.
+        const double rel =
+            view_mean[v] > 0 ? contrib / view_mean[v] : contrib * 1e12;
+        priority[k] = std::max(priority[k], rel);
+      }
+      total_priority += priority[k];
+    }
+    std::vector<size_t> grant(num_strata, 0);
+    if (total_priority > 0) {
+      size_t granted = 0;
+      size_t top = first_live;
+      for (size_t k = first_live; k < num_strata; ++k) {
+        grant[k] = static_cast<size_t>(static_cast<double>(remaining) *
+                                       priority[k] / total_priority);
+        granted += grant[k];
+        if (priority[k] > priority[top]) top = k;
+      }
+      grant[top] += remaining - granted;  // rounding leftover
+    } else {
+      // Nothing measurable stands out (e.g. every weight is zero at every
+      // view) — spread evenly rather than refuse the budget.
+      for (size_t k = first_live; k < num_strata; ++k) {
+        grant[k] = remaining / num_live;
+      }
+      grant[first_live] += remaining - (remaining / num_live) * num_live;
+    }
+    for (size_t k = first_live; k < num_strata; ++k) {
+      if (grant[k] > 0) estimator.add_shots(k, grant[k]);
+    }
+  }
+
+  RareEventSweep sweep;
+  sweep.n_eff = n_eff;
+  sweep.eps = eps_points;
+  sweep.shots = estimator.total_shots();
+  for (size_t v = 0; v < num_views; ++v) {
+    sweep.estimates.push_back(estimator.estimate(v));
+  }
+  for (size_t k = 0; k < num_strata; ++k) {
+    sweep.strata.push_back(estimator.stratum(k).sampled);
+  }
+  sweep.raw_shots = raw;
+  return sweep;
 }
 
 }  // namespace ftqc::ft

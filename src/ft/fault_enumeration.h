@@ -2,8 +2,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
+#include "common/stats.h"
 #include "ft/noise_injector.h"
+#include "sim/rare_event.h"
 
 namespace ftqc::ft {
 
@@ -81,6 +84,11 @@ struct PairSampleScan {
                      static_cast<double>(pairs_sampled)
                : 0.0;
   }
+  // Interval-carrying form; benches report the Wilson width next to the
+  // point estimate instead of a bare fraction.
+  [[nodiscard]] Proportion proportion() const {
+    return Proportion{pairs_failing, pairs_sampled};
+  }
 };
 
 // Monte Carlo estimate of the malignant-pair fraction: draws `num_samples`
@@ -108,5 +116,209 @@ struct PairSampleScan {
                                                 const ScanOptions& second,
                                                 size_t num_samples,
                                                 uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Rare-event stratum sampling (the importance half of sim/rare_event.h).
+//
+// Under the §6 model with every ε knob equal, each eligible location of a
+// run faults independently with probability ε, so conditioning on the fault
+// multiplicity K gives
+//
+//   P(fail) = Σ_k P_ε(K = k) · P(fail | exactly k faults),
+//
+// where the conditionals are ε-free and one stratum table serves a whole ε
+// sweep. For a FIXED execution path of N locations, P_ε(K = k) is the
+// binomial C(N,k) ε^k (1-ε)^(N-k) and sampling a uniform k-subset of the
+// noiseless path IS the conditional fault distribution.
+//
+// Real gadgets retry: a detected fault reroutes control flow (cat-state
+// re-preparation, syndrome repeats) and LENGTHENS the path, which breaks
+// the fixed-path picture in two measured ways. (1) Funneling: arming
+// noiseless-path indices makes later faults land inside the retry windows
+// that earlier faults opened, piling multi-fault mass onto the retried
+// region and inflating the conditionals (~14x for the level-2 exRec at
+// k = 8). (2) Prior mismatch: K under the true process is overdispersed
+// relative to any Binomial(N_eff, ε), because the path length itself grows
+// with the number of faults. Both biases push the estimate the same
+// direction, and no calibrated scalar N_eff fixes them.
+//
+// The sampler below therefore conditions AT RUNTIME: each proposal shot
+// drives the gadget with per-location Bernoulli(q) faults (uniform
+// variants, exactly the physical errors FaultPointInjector injects), keeps
+// the shots whose realized fault count equals k, and records each kept
+// shot's realized path length N_s. Accepted shots are EXACT draws from the
+// conditional fault distribution — faults land on the path the gadget
+// actually takes. The prior weight comes from the same shots by likelihood
+// ratio: since the path is a deterministic function of the per-location
+// fault decisions,
+//
+//   P_ε(K = k) = E_q[ 1{K = k} · (ε/q)^k ((1-ε)/(1-q))^(N_s-k) ],
+//
+// estimated by averaging the ratio over the raw proposal shots. For a
+// fixed-length path this reduces exactly to the binomial above; for an
+// adaptive gadget it IS the overdispersed mass the binomial misses.
+//
+// Within a stratum, N_s correlates with failure (failing configurations
+// preferentially open retries), so the conditional is importance-weighted
+// by the same per-shot ratio rather than counted: the per-view product
+// weight × conditional then equals (ε/q)^k · Σ_fail ratio / raw — the
+// plain unbiased importance estimate of P_ε(fail AND K = k). And because
+// the shot allocation could re-introduce bias through optional stopping,
+// the sweep budgets in two stages: a value-independent pilot, then one
+// proportional split computed from the pilot alone (see the .cpp).
+// ---------------------------------------------------------------------------
+
+// Recorded fault-opportunity universe of a gadget: the kinds of the full
+// noiseless path plus the window locations passing the scan filter. One
+// recording pass serves every stratum of every sweep point.
+struct FaultUniverse {
+  std::vector<LocationKind> kinds;
+  std::vector<size_t> eligible;
+  [[nodiscard]] size_t size() const { return eligible.size(); }
+};
+
+[[nodiscard]] FaultUniverse record_fault_universe(const GadgetExperiment& run,
+                                                  const ScanOptions& options);
+
+struct FaultSetScan {
+  size_t sets_sampled = 0;
+  size_t sets_failing = 0;
+  [[nodiscard]] Proportion proportion() const {
+    return Proportion{sets_failing, sets_sampled};
+  }
+};
+
+// Fixed-path Monte Carlo estimate of P(fail | exactly k faults): each shot
+// draws k distinct locations from the recorded universe (uniform), a
+// uniform variant at each, and replays the gadget with the set armed
+// (clamped variants, as in sample_fault_pairs). Shot i derives its
+// configuration from seed + seed_stride * (first_shot + i) alone, so
+// splitting a total into incremental grants changes nothing. k = 0 replays
+// the noiseless path. Runs
+// through ShotRunner::run_range. Exact only for gadgets WITHOUT fault-
+// dependent control flow (see the funneling bias above); rare-event sweeps
+// use sample_conditioned_fault_sets instead.
+[[nodiscard]] FaultSetScan sample_fault_sets(
+    const GadgetExperiment& run, const FaultUniverse& universe, size_t k,
+    size_t num_shots, size_t first_shot, uint64_t seed,
+    uint64_t seed_stride = 0x9E3779B97F4A7C15ull);
+
+struct ConditionedSetScan {
+  size_t raw_shots = 0;  // proposal replays executed — the true cost
+  size_t accepted = 0;   // of those, shots whose realized fault count == k
+  size_t accepted_failing = 0;
+  // Per accepted shot, in shot order: the realized eligible-location count
+  // N_s and whether the gadget failed. Together they feed the likelihood-
+  // ratio weight and the importance-weighted conditional.
+  std::vector<size_t> accepted_locations;
+  std::vector<uint8_t> accepted_failing_mask;
+  [[nodiscard]] Proportion proportion() const {
+    return Proportion{accepted_failing, accepted};
+  }
+};
+
+// Runtime-conditioned estimate of P(fail | exactly k faults) for gadgets
+// with fault-dependent control flow: each proposal shot replays the gadget
+// with independent Bernoulli(q) faults at every filter-passing location
+// (uniform variants via the shared inject_*_fault helpers) and is accepted
+// when its realized fault count equals k. Accepted shots are exact
+// conditional draws over the path the gadget actually takes. Choose q so
+// the proposal's modal fault count sits near k (q ≈ k / N_eff); any
+// q ∈ (0,1) is correct, q only sets the acceptance rate. Shot i is fully
+// determined by seed + seed_stride * (first_shot + i), so chunking cannot
+// change the sample.
+[[nodiscard]] ConditionedSetScan sample_conditioned_fault_sets(
+    const GadgetExperiment& run, const KindFilter& filter, double q, size_t k,
+    size_t num_shots, size_t first_shot, uint64_t seed,
+    uint64_t seed_stride = 0x9E3779B97F4A7C15ull);
+
+// Exhaustive companion: every k-subset of the universe crossed with every
+// variant assignment, weighted by the product of variant weights. Exact
+// P(fail | k) for toy gadgets (the property tests pin the sampled estimator
+// against it) and for k <= 1 on real gadgets. Cost is C(N,k) · ~15^k runs —
+// keep N tiny for k >= 2.
+struct ExhaustiveSetScan {
+  size_t sets_tried = 0;
+  size_t sets_failing = 0;
+  double weighted_failing = 0.0;  // Σ Π variant_weight over failing sets
+  double weighted_total = 0.0;    // Σ Π variant_weight over all sets (= C(N,k))
+  [[nodiscard]] double conditional_failure() const {
+    return weighted_total > 0 ? weighted_failing / weighted_total : 0.0;
+  }
+};
+
+[[nodiscard]] ExhaustiveSetScan scan_fault_sets(const GadgetExperiment& run,
+                                                const FaultUniverse& universe,
+                                                size_t k);
+
+// Gadget experiment whose stochastic-noise runs need per-shot seeds (the
+// injector carries no RNG of its own; the experiment seeds its FrameSim).
+using SeededGadgetExperiment =
+    std::function<bool(NoiseInjector&, uint64_t seed)>;
+
+// Mean eligible-location count under the stochastic model at `params`.
+// Fault-dependent control flow (ancilla verification retries) lengthens the
+// realized path as ε grows, so the binomial prior of a rare-event sweep
+// should use this calibrated N_eff rather than the noiseless count when the
+// gadget retries. Counts locations passing `filter` while a real
+// StochasticInjector drives the noise.
+[[nodiscard]] double calibrate_mean_locations(
+    const SeededGadgetExperiment& run, const sim::NoiseParams& params,
+    const KindFilter& filter, size_t num_shots, uint64_t seed);
+
+// One fully-wired rare-event sweep: strata k = 0..max_faults share a single
+// conditional table; every ε point is a view of it. Conditionals come from
+// sample_conditioned_fault_sets (runtime Bernoulli proposals at
+// q_k = k / N_eff); prior weights start at the Binomial(N_eff, ε) fallback
+// and are replaced per stratum by the likelihood-ratio estimate of
+// P_ε(K = k) as soon as the stratum has accepted shots, so adaptive-path
+// overdispersion is captured where it is measured and conservatively
+// bounded (via the tail mass) where it is not. The budget is spent in two
+// stages — a deterministic pilot across all live strata, then a single
+// proportional split of the remainder driven by the pilot's relative
+// interval contributions — so the allocation never feeds back on the shots
+// it buys (chunked adaptive routing systematically undershoots with a
+// self-reweighting sampler; see the .cpp).
+struct RareEventOptions {
+  ScanOptions scan;            // eligible-location filter (whole-path only)
+  size_t max_faults = 3;       // strata k = 0..max_faults
+  size_t budget = 20000;       // raw proposal replays across all strata
+  // Sampler-call granularity for direct StratifiedEstimator drives; the
+  // two-stage sweep issues stage-sized grants and ignores it (chunk
+  // boundaries never change the sample — the samplers seed per shot).
+  size_t chunk = 64;
+  double target_relative_halfwidth = 0;  // 0 = spend the whole budget
+  uint64_t seed = 1;
+  // Strata 1..known_zero_max_k are pinned to P(fail|k) = 0 — supply only
+  // when an exhaustive scan has PROVEN them malignancy-free (e.g. k = 1 on
+  // a verified fault-tolerant gadget; with K = 1 total the path up to the
+  // fault is the noiseless path, so the noiseless-path scan covers every
+  // reachable single-fault configuration). Stratum 0 is auto-pinned by a
+  // single noiseless replay (deterministic), checked to not fail.
+  size_t known_zero_max_k = 0;
+  // Location count steering the proposal probabilities q_k = k / N_eff and
+  // the Binomial fallback prior of strata that never accept a shot
+  // (calibrated N_eff from calibrate_mean_locations); 0 = the universe's
+  // noiseless count. Sampled strata replace the fallback with the
+  // likelihood-ratio weight, so this only tunes acceptance rates and the
+  // unsampled-tail bound, not the estimate's center.
+  double n_eff_override = 0;
+};
+
+struct RareEventSweep {
+  double n_eff = 0;         // N_eff steering proposals and fallback prior
+  std::vector<double> eps;  // sweep points, as given
+  std::vector<sim::StratifiedEstimate> estimates;  // one per ε
+  // Accepted conditional P(fail|k) draws, k = 0..max_faults.
+  std::vector<Proportion> strata;
+  // Raw proposal replays spent per stratum (cost next to the accepted
+  // trials above), and their total.
+  std::vector<size_t> raw_shots;
+  size_t shots = 0;
+};
+
+[[nodiscard]] RareEventSweep estimate_rare_failure_sweep(
+    const GadgetExperiment& run, const std::vector<double>& eps_points,
+    const RareEventOptions& options);
 
 }  // namespace ftqc::ft

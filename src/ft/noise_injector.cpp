@@ -58,8 +58,7 @@ std::pair<size_t, size_t> FaultPointInjector::marker_window(
   return {lo, hi};
 }
 
-void FaultPointInjector::inject_pauli1(sim::FrameSim& sim, uint32_t q,
-                                       int variant) {
+void inject_pauli1_fault(sim::FrameSim& sim, uint32_t q, int variant) {
   switch (variant) {
     case 0: sim.inject_x(q); break;
     case 1: sim.inject_y(q); break;
@@ -68,16 +67,10 @@ void FaultPointInjector::inject_pauli1(sim::FrameSim& sim, uint32_t q,
   }
 }
 
-void FaultPointInjector::on_gate1(sim::FrameSim& sim, uint32_t q) {
-  const int v = step(LocationKind::kGate1);
-  if (v >= 0) inject_pauli1(sim, q, v);
-}
-
-void FaultPointInjector::on_gate2(sim::FrameSim& sim, uint32_t a, uint32_t b) {
-  const int v = step(LocationKind::kGate2);
-  if (v < 0) return;
-  // variant 1..15 encodes (code_a, code_b) with 1=X, 2=Z, 3=Y per qubit.
-  const int which = v + 1;
+void inject_pauli2_fault(sim::FrameSim& sim, uint32_t a, uint32_t b,
+                         int variant) {
+  FTQC_CHECK(variant >= 0 && variant < 15, "bad 2-qubit fault variant");
+  const int which = variant + 1;
   const auto apply_code = [&sim](uint32_t q, int code) {
     switch (code) {
       case 1: sim.inject_x(q); break;
@@ -90,23 +83,37 @@ void FaultPointInjector::on_gate2(sim::FrameSim& sim, uint32_t a, uint32_t b) {
   apply_code(b, (which >> 2) & 3);
 }
 
+void inject_prep_fault(sim::FrameSim& sim, uint32_t q) { sim.inject_x(q); }
+
+void inject_meas_fault(sim::FrameSim& sim, uint32_t q, bool x_basis) {
+  if (x_basis) {
+    sim.inject_z(q);
+  } else {
+    sim.inject_x(q);
+  }
+}
+
+void FaultPointInjector::on_gate1(sim::FrameSim& sim, uint32_t q) {
+  const int v = step(LocationKind::kGate1);
+  if (v >= 0) inject_pauli1_fault(sim, q, v);
+}
+
+void FaultPointInjector::on_gate2(sim::FrameSim& sim, uint32_t a, uint32_t b) {
+  const int v = step(LocationKind::kGate2);
+  if (v >= 0) inject_pauli2_fault(sim, a, b, v);
+}
+
 void FaultPointInjector::on_prep(sim::FrameSim& sim, uint32_t q) {
-  if (step(LocationKind::kPrep) >= 0) sim.inject_x(q);
+  if (step(LocationKind::kPrep) >= 0) inject_prep_fault(sim, q);
 }
 
 void FaultPointInjector::on_meas(sim::FrameSim& sim, uint32_t q, bool x_basis) {
-  if (step(LocationKind::kMeas) >= 0) {
-    if (x_basis) {
-      sim.inject_z(q);
-    } else {
-      sim.inject_x(q);
-    }
-  }
+  if (step(LocationKind::kMeas) >= 0) inject_meas_fault(sim, q, x_basis);
 }
 
 void FaultPointInjector::on_storage(sim::FrameSim& sim, uint32_t q) {
   const int v = step(LocationKind::kStorage);
-  if (v >= 0) inject_pauli1(sim, q, v);
+  if (v >= 0) inject_pauli1_fault(sim, q, v);
 }
 
 }  // namespace ftqc::ft

@@ -43,6 +43,22 @@ enum class LocationKind : uint8_t {
   return 1.0 / location_variants(kind);
 }
 
+// Shared variant semantics: every injector that realizes enumerated faults
+// (FaultPointInjector replays, the Bernoulli proposal injector behind the
+// rare-event sampler) applies variants through these, so "variant v at a
+// kind-K location" names the same physical error everywhere.
+//
+// 1-qubit fault (kGate1/kStorage): variant 0..2 = X, Y, Z.
+void inject_pauli1_fault(sim::FrameSim& sim, uint32_t q, int variant);
+// 2-qubit fault (kGate2): variant 0..14; variant+1 encodes (code_a, code_b)
+// in base 4 with 1=X, 2=Z, 3=Y per qubit (00 excluded — that is "no fault").
+void inject_pauli2_fault(sim::FrameSim& sim, uint32_t a, uint32_t b,
+                         int variant);
+// Faulty |0> preparation flips the prepared qubit.
+void inject_prep_fault(sim::FrameSim& sim, uint32_t q);
+// Faulty measurement is a basis-appropriate flip of the outcome.
+void inject_meas_fault(sim::FrameSim& sim, uint32_t q, bool x_basis);
+
 class NoiseInjector {
  public:
   virtual ~NoiseInjector() = default;
@@ -147,7 +163,6 @@ class FaultPointInjector final : public NoiseInjector {
  private:
   // Returns the variant to inject at the current location, or -1.
   int step(LocationKind kind);
-  static void inject_pauli1(sim::FrameSim& sim, uint32_t q, int variant);
 
   std::vector<Fault> faults_;  // sorted by location
   size_t cursor_ = 0;

@@ -58,6 +58,7 @@ void FrameSim::inject(const pauli::PauliString& p) {
 }
 
 void FrameSim::depolarize1(size_t q, double p) {
+  if (p <= 0) return;  // keep the RNG stream aligned with the batch engine
   if (!rng_.bernoulli(p)) return;
   // X, Y or Z with equal probability (the §6 storage model).
   switch (rng_.next_below(3)) {
@@ -68,6 +69,7 @@ void FrameSim::depolarize1(size_t q, double p) {
 }
 
 void FrameSim::depolarize2(size_t a, size_t b, double p) {
+  if (p <= 0) return;
   if (!rng_.bernoulli(p)) return;
   // One of the 15 non-identity two-qubit Paulis, uniformly: the paper's
   // pessimistic rule that a faulty gate may damage every qubit it touches.
@@ -85,14 +87,17 @@ void FrameSim::depolarize2(size_t a, size_t b, double p) {
 }
 
 void FrameSim::x_error(size_t q, double p) {
+  if (p <= 0) return;
   if (rng_.bernoulli(p)) inject_x(q);
 }
 
 void FrameSim::z_error(size_t q, double p) {
+  if (p <= 0) return;
   if (rng_.bernoulli(p)) inject_z(q);
 }
 
 void FrameSim::y_error(size_t q, double p) {
+  if (p <= 0) return;
   if (rng_.bernoulli(p)) inject_y(q);
 }
 
@@ -116,6 +121,7 @@ void FrameSim::reset(size_t q) {
 }
 
 void FrameSim::leak_error(size_t q, double p) {
+  if (p <= 0) return;
   if (rng_.bernoulli(p)) leaked_[q] = true;
 }
 

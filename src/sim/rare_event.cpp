@@ -1,0 +1,180 @@
+#include "sim/rare_event.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ftqc::sim {
+
+double binomial_pmf(double n, size_t k, double p) {
+  const double kd = static_cast<double>(k);
+  if (n < kd || p < 0 || p > 1) return 0.0;
+  if (p == 0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1) return kd == n ? 1.0 : 0.0;
+  const double log_choose = std::lgamma(n + 1) - std::lgamma(kd + 1) -
+                            std::lgamma(n - kd + 1);
+  const double log_pmf =
+      log_choose + kd * std::log(p) + (n - kd) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+size_t BudgetRouter::run(size_t budget, size_t chunk, double target) {
+  spent_.assign(arms_.size(), 0);
+  if (arms_.empty() || chunk == 0) return 0;
+  std::vector<bool> retired(arms_.size(), false);
+  size_t total = 0;
+  while (total < budget) {
+    size_t best = arms_.size();
+    double best_width = -1;
+    for (size_t i = 0; i < arms_.size(); ++i) {
+      if (retired[i]) continue;
+      const double w = arms_[i].width();
+      if (w <= target) continue;  // arm resolved to target — done with it
+      if (w > best_width) {
+        best = i;
+        best_width = w;
+      }
+    }
+    if (best == arms_.size()) break;  // every live arm within target
+    const size_t grant = std::min(chunk, budget - total);
+    const size_t used = arms_[best].spend(grant);
+    if (used == 0) {
+      retired[best] = true;
+      continue;
+    }
+    spent_[best] += used;
+    total += used;
+  }
+  return total;
+}
+
+StratifiedEstimator::StratifiedEstimator(size_t num_strata,
+                                         StratumSampler sampler)
+    : strata_(num_strata),
+      sampler_(std::move(sampler)),
+      shots_per_stratum_(num_strata, 0) {}
+
+size_t StratifiedEstimator::add_view(std::vector<double> weights,
+                                     double tail_weight) {
+  assert(weights.size() == strata_.size());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  views_.push_back(View{std::move(weights), tail_weight,
+                        std::vector<double>(strata_.size(), nan),
+                        std::vector<double>(strata_.size(), nan)});
+  return views_.size() - 1;
+}
+
+void StratifiedEstimator::mark_known_zero(size_t stratum) {
+  strata_[stratum].known_zero = true;
+}
+
+void StratifiedEstimator::add_shots(size_t stratum, size_t shots) {
+  if (shots == 0 || strata_[stratum].known_zero) return;
+  const StratumChunk chunk =
+      sampler_(stratum, shots, shots_per_stratum_[stratum]);
+  strata_[stratum].sampled.successes += chunk.sampled.successes;
+  strata_[stratum].sampled.trials += chunk.sampled.trials;
+  shots_per_stratum_[stratum] += chunk.raw;
+  total_shots_ += chunk.raw;
+}
+
+double StratifiedEstimator::view_conditional_mean(size_t view,
+                                                  size_t stratum) const {
+  if (strata_[stratum].known_zero) return 0.0;
+  const double override_mean = views_[view].cond_mean[stratum];
+  return std::isnan(override_mean) ? strata_[stratum].conditional_mean()
+                                   : override_mean;
+}
+
+double StratifiedEstimator::view_conditional_halfwidth(size_t view,
+                                                       size_t stratum) const {
+  if (strata_[stratum].known_zero) return 0.0;
+  const double override_hw = views_[view].cond_halfwidth[stratum];
+  return std::isnan(override_hw) ? strata_[stratum].conditional_halfwidth()
+                                 : override_hw;
+}
+
+StratifiedEstimate StratifiedEstimator::estimate(size_t view) const {
+  const View& v = views_[view];
+  StratifiedEstimate out;
+  out.tail_weight = v.tail_weight;
+  out.shots = total_shots_;
+  double var = 0;  // sum of squared w_k * halfwidth_k contributions
+  for (size_t k = 0; k < strata_.size(); ++k) {
+    const double w = v.weights[k];
+    out.mean += w * view_conditional_mean(view, k);
+    const double contrib = w * view_conditional_halfwidth(view, k);
+    var += contrib * contrib;
+  }
+  out.halfwidth = std::sqrt(var) + v.tail_weight;
+  return out;
+}
+
+double StratifiedEstimator::contribution(size_t stratum, size_t view) const {
+  const View& v = views_[view];
+  const double contrib =
+      v.weights[stratum] * view_conditional_halfwidth(view, stratum);
+  if (contrib <= 0) return 0;
+  // Normalize by the view's mean so strata compete on RELATIVE width; a
+  // still-zero mean leaves the raw contribution, which preserves the
+  // ordering (all strata of that view share the same denominator anyway).
+  const double mean = estimate(view).mean;
+  return mean > 0 ? contrib / mean : contrib * 1e12;
+}
+
+double StratifiedEstimator::max_contribution(size_t stratum) const {
+  double best = 0;
+  for (size_t v = 0; v < views_.size(); ++v) {
+    best = std::max(best, contribution(stratum, v));
+  }
+  return best;
+}
+
+double StratifiedEstimator::max_view_relative_halfwidth() const {
+  double widest = 0;
+  for (size_t v = 0; v < views_.size(); ++v) {
+    widest = std::max(widest, estimate(v).relative_halfwidth());
+  }
+  return widest;
+}
+
+void StratifiedEstimator::run(const StratifiedPlan& plan) {
+  if (views_.empty() || plan.budget == 0 || plan.chunk == 0) return;
+  size_t spent = 0;
+  // Initialization pass: pull every live, never-sampled stratum once before
+  // routing adaptively. Routing priorities start from the caller's prior
+  // weights, and a prior that badly underweights a stratum (e.g. the
+  // underdispersed binomial fallback of a gadget whose path stretches with
+  // its fault count) would otherwise starve it forever — the router can
+  // only correct a weight the sampler has had one chunk to measure.
+  for (size_t k = 0; k < strata_.size() && spent < plan.budget; ++k) {
+    if (strata_[k].known_zero || shots_per_stratum_[k] > 0) continue;
+    const size_t before = total_shots_;
+    add_shots(k, std::min(plan.chunk, plan.budget - spent));
+    spent += total_shots_ - before;
+  }
+  while (spent < plan.budget) {
+    if (plan.target_relative_halfwidth > 0 &&
+        max_view_relative_halfwidth() <= plan.target_relative_halfwidth) {
+      return;
+    }
+    size_t best = strata_.size();
+    double best_metric = 0;
+    for (size_t k = 0; k < strata_.size(); ++k) {
+      if (strata_[k].known_zero) continue;
+      const double m = max_contribution(k);
+      if (m > best_metric) {
+        best_metric = m;
+        best = k;
+      }
+    }
+    if (best == strata_.size()) return;  // nothing left to tighten
+    const size_t before = total_shots_;
+    add_shots(best, std::min(plan.chunk, plan.budget - spent));
+    const size_t used = total_shots_ - before;
+    if (used == 0) return;  // sampler refused; avoid spinning
+    spent += used;
+  }
+}
+
+}  // namespace ftqc::sim

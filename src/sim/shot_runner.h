@@ -52,6 +52,20 @@ struct ShotPlan {
   // OpenMP over shots (serial engines) or blocks (batch engine) when the
   // library was built with it; a plan can opt out for deterministic ordering.
   bool parallel = true;
+
+  // Decorrelated sub-plan for one importance stratum: same budget, engine
+  // and stride, but the base seed is offset by a splitmix64-mixed function
+  // of the stratum index, so stratum k's shot i never replays stratum j's
+  // seed stream. The rare-event samplers pair this with run_range so each
+  // stratum is an independent, chunk-boundary-reproducible shot sequence.
+  [[nodiscard]] ShotPlan for_stratum(size_t stratum) const {
+    ShotPlan sub = *this;
+    uint64_t z = (static_cast<uint64_t>(stratum) + 1) * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    sub.seed = seed + (z ^ (z >> 31));
+    return sub;
+  }
 };
 
 // Outcome of a run: event counts plus wall-clock throughput, ready for the
@@ -66,6 +80,10 @@ struct ShotResult {
   double seconds = 0;
 
   [[nodiscard]] uint64_t failures() const { return counts[0]; }
+  // False until at least one shot actually ran. failure_rate() returns 0.0
+  // either way, so sweep fit loops must skip unresolved points instead of
+  // treating "never measured" as a perfect zero.
+  [[nodiscard]] bool resolved() const { return trials > 0; }
   [[nodiscard]] double failure_rate() const {
     return trials == 0 ? 0.0
                        : static_cast<double>(counts[0]) /
@@ -113,6 +131,76 @@ class ShotRunner {
       return run_blocks(std::forward<BlockFn>(block));
     }
     return run_serial(std::forward<ShotFn>(shot));
+  }
+
+  // Runs shots [first_shot, first_shot + num_shots) of the plan's seed
+  // sequence, ignoring plan.shots. Sequential samplers (the rare-event
+  // budget router grants chunks one at a time) use this so the estimate is
+  // identical no matter how the total was split into chunks: shot i always
+  // sees seed_for(i).
+  template <typename ShotFn>
+  ShotResult run_range(size_t first_shot, size_t num_shots,
+                       ShotFn&& shot) const {
+    ShotResult result;
+    result.trials = num_shots;
+    const auto start = Clock::now();
+    uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+    const int64_t shots = static_cast<int64_t>(num_shots);
+    const bool par = plan_.parallel;
+    (void)par;
+    // clang-format off
+    FTQC_OMP_PRAGMA("omp parallel for schedule(static) reduction(+:c0,c1,c2,c3) if(par)")
+    // clang-format on
+    for (int64_t s = 0; s < shots; ++s) {
+      const uint32_t mask = static_cast<uint32_t>(
+          shot(seed_for(first_shot + static_cast<size_t>(s))));
+      c0 += mask & 1u;
+      c1 += (mask >> 1) & 1u;
+      c2 += (mask >> 2) & 1u;
+      c3 += (mask >> 3) & 1u;
+    }
+    result.counts = {c0, c1, c2, c3};
+    result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    return result;
+  }
+
+  // Batch-engine range: whole blocks anchored at absolute shot indices, so
+  // block k of a range starting at first_shot covers
+  // [first_shot + k*block_shots, ...) and seeds from that first index.
+  // Chunk-boundary independence holds when chunks are multiples of
+  // block_shots (the rare-event samplers size their chunks that way).
+  template <typename BlockFn>
+  ShotResult run_range_blocks(size_t first_shot, size_t num_shots,
+                              BlockFn&& block) const {
+    const size_t block_shots = plan_.block_shots > 0 ? plan_.block_shots : 4096;
+    const size_t num_blocks = (num_shots + block_shots - 1) / block_shots;
+    ShotResult result;
+    const auto start = Clock::now();
+    uint64_t trials = 0, c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+    const int64_t blocks = static_cast<int64_t>(num_blocks);
+    const bool par = plan_.parallel;
+    (void)par;
+    // clang-format off
+    FTQC_OMP_PRAGMA("omp parallel for schedule(dynamic) reduction(+:trials,c0,c1,c2,c3) if(par)")
+    // clang-format on
+    for (int64_t b = 0; b < blocks; ++b) {
+      const size_t offset = static_cast<size_t>(b) * block_shots;
+      const size_t n = std::min(block_shots, num_shots - offset);
+      const auto counts = block(seed_for(first_shot + offset), n);
+      if constexpr (std::is_integral_v<std::decay_t<decltype(counts)>>) {
+        c0 += static_cast<uint64_t>(counts);
+      } else {
+        c0 += counts[0];
+        c1 += counts[1];
+        c2 += counts[2];
+        c3 += counts[3];
+      }
+      trials += n;
+    }
+    result.counts = {c0, c1, c2, c3};
+    result.trials = trials;
+    result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    return result;
   }
 
  private:

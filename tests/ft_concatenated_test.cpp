@@ -225,8 +225,12 @@ TEST(Level2Determinism, SameSeedSameOutcomePerDiscipline) {
 }
 
 TEST(Level2Determinism, BareDisciplineReproducesPinnedResults) {
-  // Pinned against the pre-exRec gadget: the bare path must stay bit-for-bit
-  // identical so every published E18 bare-discipline number remains valid.
+  // Bit-for-bit pin of the bare path so RNG-stream drift cannot slip in
+  // unnoticed. Re-pinned once, deliberately, when FrameSim stopped consuming
+  // RNG draws for p <= 0 channels (aligning the serial stream with the batch
+  // engine's fill_hit_words short-circuit); the per-seed outcomes shifted
+  // but the statistics stayed within binomial error of the published
+  // E18 bare-discipline numbers.
   size_t fails = 0;
   uint64_t mask = 0;
   const auto noise = sim::NoiseParams::uniform_gate(2e-3);
@@ -238,8 +242,8 @@ TEST(Level2Determinism, BareDisciplineReproducesPinnedResults) {
       if (i < 64) mask |= uint64_t{1} << i;
     }
   }
-  EXPECT_EQ(fails, 9u);
-  EXPECT_EQ(mask, 0x8000000000000000ull);
+  EXPECT_EQ(fails, 6u);
+  EXPECT_EQ(mask, 0x40000000010ull);
 
   size_t fx = 0, fz = 0;
   const auto noisier = sim::NoiseParams::uniform_gate(4e-3);
@@ -249,8 +253,8 @@ TEST(Level2Determinism, BareDisciplineReproducesPinnedResults) {
     fx += rec.logical_x_error();
     fz += rec.logical_z_error();
   }
-  EXPECT_EQ(fx, 6u);
-  EXPECT_EQ(fz, 8u);
+  EXPECT_EQ(fx, 8u);
+  EXPECT_EQ(fz, 13u);
 }
 
 // ---- Integration tier: the exhaustive fault-enumeration battery ----------

@@ -373,6 +373,109 @@ TEST(CrossEngine, BatchRejectsConditionalClifford) {
   EXPECT_DEATH(batch.run(c), "feedforward supports only Pauli");
 }
 
+// --- Probability-boundary edge cases ------------------------------------
+//
+// p = 0 channels must be exact no-ops that consume NO RNG state (the batch
+// engine's fill_hit_words already short-circuits; the serial engine used to
+// burn a bernoulli draw, desynchronizing the two engines' streams), and
+// p >= 1 must not feed log1p(-1) = -inf into the batch geometric skip.
+
+// Observable probe of FrameSim's RNG stream: measure_z burns one gauge draw
+// that flips the Z frame half the time, and measure_x reads that frame back.
+std::vector<uint8_t> frame_rng_probe(FrameSim& f, int rounds) {
+  std::vector<uint8_t> stream;
+  for (int i = 0; i < rounds; ++i) {
+    (void)f.measure_z(0);
+    stream.push_back(f.measure_x(0) ? 1 : 0);
+    f.reset(0);
+  }
+  return stream;
+}
+
+TEST(BoundaryChannels, FrameZeroProbabilityConsumesNoRng) {
+  FrameSim with_zero(2, /*seed=*/314), plain(2, /*seed=*/314);
+  with_zero.depolarize1(0, 0.0);
+  with_zero.depolarize2(0, 1, 0.0);
+  with_zero.x_error(0, 0.0);
+  with_zero.y_error(0, 0.0);
+  with_zero.z_error(1, 0.0);
+  with_zero.leak_error(0, 0.0);
+  // No flips were injected...
+  EXPECT_FALSE(with_zero.destructive_z_flip(0));
+  EXPECT_FALSE(with_zero.destructive_x_flip(0));
+  EXPECT_FALSE(with_zero.destructive_z_flip(1));
+  // ...and the RNG stream is exactly where an untouched sim's is.
+  EXPECT_EQ(frame_rng_probe(with_zero, 64), frame_rng_probe(plain, 64));
+}
+
+TEST(BoundaryChannels, FrameCertainErrorsAreDeterministic) {
+  for (uint64_t seed : {1ull, 17ull, 900ull}) {
+    FrameSim f(2, seed);
+    f.x_error(0, 1.0);
+    EXPECT_TRUE(f.destructive_z_flip(0)) << "seed " << seed;
+    f.z_error(1, 1.0);
+    EXPECT_TRUE(f.destructive_x_flip(1)) << "seed " << seed;
+    f.leak_error(0, 1.0);
+    // A leaked qubit ignores gates: H would otherwise swap X<->Z.
+    f.apply_h(0);
+    EXPECT_TRUE(f.destructive_z_flip(0)) << "seed " << seed;
+  }
+}
+
+TEST(BoundaryChannels, BatchZeroProbabilityConsumesNoRng) {
+  // Interleaving p = 0 channels must not shift the stream feeding the
+  // genuinely random channel: both circuits see identical lane patterns.
+  Circuit with_zero(2), plain(2);
+  with_zero.depolarize1(0, 0.0);
+  with_zero.x_error(1, 0.0);
+  with_zero.depolarize2(0, 1, 0.0);
+  with_zero.x_error(0, 0.25);
+  plain.x_error(0, 0.25);
+
+  BatchFrameSim a(2, 4096, /*seed=*/55), b(2, 4096, /*seed=*/55);
+  a.run(with_zero);
+  b.run(plain);
+  size_t hits = 0;
+  for (size_t shot = 0; shot < 4096; ++shot) {
+    ASSERT_EQ(a.x_flip(0, shot), b.x_flip(0, shot)) << "shot " << shot;
+    EXPECT_FALSE(a.x_flip(1, shot)) << "shot " << shot;
+    hits += a.x_flip(0, shot);
+  }
+  EXPECT_GT(hits, 0u);  // the p = 0.25 channel really fired
+}
+
+TEST(BoundaryChannels, BatchCertainHitFillsEveryLane) {
+  // p >= 1 must terminate (no -inf geometric skip) and hit every lane.
+  Circuit c(2);
+  c.x_error(0, 1.0);
+  c.depolarize1(1, 1.0);
+  BatchFrameSim batch(2, 1000, /*seed=*/7);
+  batch.run(c);
+  for (size_t shot = 0; shot < batch.num_shots(); ++shot) {
+    EXPECT_TRUE(batch.x_flip(0, shot)) << "shot " << shot;
+    // A certain depolarization lands SOME Pauli on every lane.
+    EXPECT_TRUE(batch.x_flip(1, shot) || batch.z_flip(1, shot))
+        << "shot " << shot;
+  }
+}
+
+TEST(BoundaryChannels, EnginesAgreeAtBoundaries) {
+  // At p = 0 and p = 1 the hit pattern is deterministic, so the serial and
+  // batch engines must agree shot for shot with no seed coordination.
+  Circuit c(2);
+  c.x_error(0, 0.0);
+  c.x_error(1, 1.0);
+  BatchFrameSim batch(2, 128, /*seed=*/101);
+  batch.run(c);
+  FrameSim frame(2, /*seed=*/202);
+  frame.x_error(0, 0.0);
+  frame.x_error(1, 1.0);
+  for (size_t shot = 0; shot < 128; ++shot) {
+    ASSERT_EQ(batch.x_flip(0, shot), frame.destructive_z_flip(0));
+    ASSERT_EQ(batch.x_flip(1, shot), frame.destructive_z_flip(1));
+  }
+}
+
 // Different seeds must (overwhelmingly) produce different records on a
 // random-outcome circuit — guards against an RNG that ignores its seed.
 TEST(CrossEngine, DifferentSeedsDiverge) {

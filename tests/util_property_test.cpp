@@ -94,6 +94,59 @@ TEST(Proportion, EmptyTrialsAreSafe) {
   EXPECT_EQ(p.wilson_halfwidth(), 1.0);
 }
 
+TEST(Proportion, ZeroTrialsAreNotAMeasuredZero) {
+  // mean() returns 0.0 both for "never ran" and "0 failures in n shots";
+  // resolved() is the bit fit loops must gate on (regression: the E14/E18
+  // sweeps used to feed unresolved points into their crossover fits).
+  const Proportion never_ran;
+  EXPECT_FALSE(never_ran.resolved());
+  EXPECT_EQ(never_ran.mean(), 0.0);
+  EXPECT_TRUE(std::isinf(never_ran.relative_halfwidth()));
+
+  const Proportion measured_zero{0, 1000};
+  EXPECT_TRUE(measured_zero.resolved());
+  EXPECT_EQ(measured_zero.mean(), 0.0);
+
+  const Proportion resolved{25, 1000};
+  EXPECT_TRUE(resolved.resolved());
+  EXPECT_NEAR(resolved.relative_halfwidth(),
+              resolved.wilson_halfwidth() / 0.025, 1e-12);
+}
+
+TEST(UnitCrossing, FlagsExtrapolationOutsideSampledRange) {
+  // Ratios straddle 1 inside the sampled x range: a measured crossing.
+  const std::vector<double> xs = {1e-4, 2e-4, 4e-4, 8e-4};
+  const std::vector<double> straddling = {0.25, 0.5, 1.0, 2.0};
+  const UnitCrossing measured = loglog_unit_crossing_ex(xs, straddling);
+  EXPECT_TRUE(measured.valid);
+  EXPECT_FALSE(measured.extrapolated);
+  EXPECT_GE(measured.x, measured.x_min);
+  EXPECT_LE(measured.x, measured.x_max);
+
+  // All ratios below 1: the fitted crossing lies beyond x_max and must be
+  // flagged (this was silently reported as a measurement before).
+  const std::vector<double> below = {0.01, 0.02, 0.04, 0.08};
+  const UnitCrossing extrapolated = loglog_unit_crossing_ex(xs, below);
+  EXPECT_TRUE(extrapolated.valid);
+  EXPECT_TRUE(extrapolated.extrapolated);
+  EXPECT_GT(extrapolated.x, extrapolated.x_max);
+
+  // The scalar wrapper keeps its historical contract.
+  EXPECT_EQ(loglog_unit_crossing(xs, straddling), measured.x);
+
+  // Unusable inputs: fewer than two positive points -> invalid.
+  const UnitCrossing invalid = loglog_unit_crossing_ex({1e-4}, {0.5});
+  EXPECT_FALSE(invalid.valid);
+  EXPECT_EQ(loglog_unit_crossing({1e-4}, {0.5}), 0.0);
+
+  // Zero-ratio points (unresolved Monte Carlo zeros) are excluded from the
+  // fit and from the sampled range.
+  const std::vector<double> with_zeros = {0.0, 0.5, 1.0, 2.0};
+  const UnitCrossing skip_zeros = loglog_unit_crossing_ex(xs, with_zeros);
+  EXPECT_TRUE(skip_zeros.valid);
+  EXPECT_EQ(skip_zeros.x_min, 2e-4);
+}
+
 TEST(Strfmt, FormatsLikePrintf) {
   EXPECT_EQ(strfmt("%d/%d", 3, 7), "3/7");
   EXPECT_EQ(strfmt("%.2f", 1.5), "1.50");

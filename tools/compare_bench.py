@@ -16,12 +16,23 @@ Field classes:
     engine must never be reported as a regression;
   * wall-clock  — names ending in seconds (lower is better): flagged when
     the current value grows by more than the threshold;
+  * precision   — names ending in _relerr (relative 95% interval half-width
+    of a rare-event estimate; lower is better): flagged when the current
+    interval widens by more than the threshold. A widening relerr means the
+    stratified estimator lost resolution — budget router drift or a
+    conditional-table regression;
   * accuracy    — every other numeric field: flagged when it moves by more
     than the threshold in either direction. Monte Carlo estimates wobble, so
     accuracy flags are advisory; rerun with more shots before reverting.
-    The extrapolated `crossover_*` fields of BENCH_E18.json ride this
-    class: they are the headline Eq. 34 quantities, so a >threshold drift
-    of the exRec crossover deserves a rerun at full statistics.
+    The `crossover_*` fields of BENCH_E18.json ride this class: they are
+    the headline Eq. 34 quantities, so a >threshold drift of the exRec
+    crossover deserves a rerun at full statistics.
+
+Fields with a boolean `<field>_extrapolated` companion (the E14/E18
+crossing estimates) are compared only when NEITHER run flags them as
+extrapolated: a log-log extrapolation and a data-bracketed measurement of
+the same crossing are different quantities, and diffing them produces
+noise, not signal.
 
 Exit status is 0 unless --strict is given, in which case any flagged
 regression exits 1. The CI step runs without --strict (non-blocking trend
@@ -55,6 +66,8 @@ def classify(field: str) -> str:
         return "throughput"
     if field.endswith("seconds"):
         return "wall-clock"
+    if field.endswith("_relerr"):
+        return "precision"
     return "accuracy"
 
 
@@ -85,6 +98,13 @@ def compare(base: dict, cur: dict, threshold: float) -> list[str]:
             continue
         if not isinstance(cur_value, (int, float)) or cur_value is None:
             continue
+        if base.get(f"{field}_extrapolated") is True or (
+            cur.get(f"{field}_extrapolated") is True
+        ):
+            # The crossing was not bracketed by measured data in at least
+            # one run; comparing an extrapolation against a measurement (or
+            # another extrapolation) is noise.
+            continue
         change = relative_change(float(base_value), float(cur_value))
         if change is None:
             continue
@@ -92,6 +112,7 @@ def compare(base: dict, cur: dict, threshold: float) -> list[str]:
         regressed = (
             (kind == "throughput" and change < -threshold)
             or (kind == "wall-clock" and change > threshold)
+            or (kind == "precision" and change > threshold)
             or (kind == "accuracy" and abs(change) > threshold)
         )
         if regressed:
