@@ -1,18 +1,26 @@
-// Micro-benchmark for the BatchFrameSim hot paths: the stochastic channels
-// (whose RNG now runs one geometric-skip stream per channel call into a
-// reusable hit buffer, instead of restarting the stream per 64-lane word)
-// and the full bit-parallel Fig. 9 recovery cycle they feed. Reports
-// lane-channel applications per second so the rolling-baseline trend step
-// catches regressions in the word-op kernels themselves, independently of
-// any recovery driver.
+// Micro-benchmark for the BatchFrameSim hot paths, broken down per kernel
+// class so the rolling-baseline trend step can tell WHICH layer regressed:
+//   fill    — the geometric-skip RNG hit-word fill (fill_hit_words), the
+//             stochastic channels' dominant cost at physical error rates;
+//   laneop  — the streaming SIMD word kernels (simd::xor_into) that move
+//             frames around once the hit words exist;
+//   decode  — the bit-sliced Hamming [7,4,3] decode (batch_decode_rows);
+//   channel — the assembled stochastic channels at typical error rates;
+//   cycle   — the full bit-parallel Fig. 9 recovery those kernels feed.
+// Also reports the active SIMD dispatch level (simd_level / simd_width) and
+// the measured laneop speedup of that level over the forced-scalar path
+// (simd_speedup) — the dispatch is bit-exact, so this is pure throughput.
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "bench_harness.h"
 #include "common/table.h"
 #include "ft/batch_recovery.h"
+#include "gf2/hamming.h"
 #include "sim/batch_frame_sim.h"
 #include "sim/noise_model.h"
+#include "sim/simd.h"
 
 namespace {
 
@@ -23,24 +31,98 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+// Streams dst ^= src over `words`-word rows `reps` times and returns
+// lane-ops/sec (64 * words * reps / wall). The xor kernel stands in for the
+// whole streaming family (xor2/blend/and_eq/...): they share the one
+// vector-extension stamp, so one measurement tracks them all.
+double laneop_rate(uint64_t* dst, const uint64_t* src, size_t words,
+                   size_t reps) {
+  const auto start = Clock::now();
+  for (size_t r = 0; r < reps; ++r) sim::simd::xor_into(dst, src, words);
+  return 64.0 * static_cast<double>(words) * static_cast<double>(reps) /
+         seconds_since(start);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ftqc::bench::init(argc, argv, "BATCHSIM");
+  const sim::simd::Level level = sim::simd::active_level();
   std::printf(
-      "BATCHSIM: BatchFrameSim channel kernels + bit-parallel recovery\n"
-      "cycle. Channel rows are lane-applications/sec (qubits x shots x reps\n"
-      "/ wall clock) at the library's typical error rates.\n\n");
+      "BATCHSIM: BatchFrameSim kernel breakdown + bit-parallel recovery\n"
+      "cycle. Kernel rows are lane-ops/sec; channel rows are\n"
+      "lane-applications/sec (qubits x shots x reps / wall clock) at the\n"
+      "library's typical error rates. [simd: %s, %zu-bit]\n\n",
+      sim::simd::level_name(level), sim::simd::width_bits(level));
 
   constexpr size_t kQubits = 32;
   const size_t shots = ftqc::bench::scaled(1 << 18, 1 << 13);
   const size_t reps = ftqc::bench::scaled(64, 8);
   sim::BatchFrameSim sim(kQubits, shots, /*seed=*/12345);
+  const size_t words = sim.num_words();
   const double lanes =
       static_cast<double>(sim.num_shots()) * kQubits * static_cast<double>(reps);
 
   ftqc::bench::JsonResult json;
-  ftqc::Table table({"channel", "p", "lane-apps/sec"});
+  json.add_string("simd_level", sim::simd::level_name(level));
+  json.add("simd_width", sim::simd::width_bits(level));
+  ftqc::Table table({"kernel", "p", "lanes/sec"});
+
+  // --- fill: the RNG hit-word fill alone (no frame updates) ----------------
+  {
+    const double p = 1e-3;
+    const size_t fill_reps = reps * kQubits;  // same draw volume as a channel
+    const auto start = Clock::now();
+    for (size_t r = 0; r < fill_reps; ++r) (void)sim.fill_hit_words(p);
+    const double rate = lanes / seconds_since(start);
+    table.add_row({"fill", "1e-03", ftqc::strfmt("%.3g", rate)});
+    json.add("fill_lanes_per_sec", rate);
+  }
+
+  // --- laneop: the streaming word kernels, at the active and the scalar
+  // dispatch level. The frame rows of real gadgets are a few words long, so
+  // measure at the sim's own row width (cache-hot), many rows deep.
+  {
+    std::vector<uint64_t> dst(words, 0x5555555555555555ull);
+    std::vector<uint64_t> src(words, 0x0123456789abcdefull);
+    const size_t op_reps = reps * kQubits * 64;
+    const double active_rate = laneop_rate(dst.data(), src.data(), words, op_reps);
+    sim::simd::set_level(sim::simd::Level::kScalar);
+    const double scalar_rate = laneop_rate(dst.data(), src.data(), words, op_reps);
+    sim::simd::set_level(level);
+    table.add_row({"laneop", "-", ftqc::strfmt("%.3g", active_rate)});
+    json.add("laneop_lanes_per_sec", active_rate);
+    const double speedup = scalar_rate > 0 ? active_rate / scalar_rate : 0.0;
+    std::printf("laneop simd speedup: %.2fx (%s vs scalar)\n\n", speedup,
+                sim::simd::level_name(level));
+    json.add("simd_speedup", speedup);
+  }
+
+  // --- decode: bit-sliced Hamming [7,4,3] over 7 frame rows ----------------
+  {
+    const gf2::Hamming743 hamming;
+    std::vector<uint64_t> row_data(7 * words);
+    const uint64_t* rows[7];
+    for (size_t j = 0; j < 7; ++j) {
+      for (size_t w = 0; w < words; ++w) {
+        row_data[j * words + w] = 0x9e3779b97f4a7c15ull * (j * words + w + 1);
+      }
+      rows[j] = &row_data[j * words];
+    }
+    std::vector<uint64_t> out(words);
+    const size_t decode_reps = reps * kQubits;
+    const auto start = Clock::now();
+    for (size_t r = 0; r < decode_reps; ++r) {
+      ft::batch_decode_rows(hamming, rows, /*logical=*/true, out.data(), words);
+    }
+    const double rate = 64.0 * static_cast<double>(words) *
+                        static_cast<double>(decode_reps) /
+                        seconds_since(start);
+    table.add_row({"decode", "-", ftqc::strfmt("%.3g", rate)});
+    json.add("decode_lanes_per_sec", rate);
+  }
+
+  // --- channels: the assembled stochastic paths ----------------------------
   const auto bench_channel = [&](const char* name, double p, auto&& apply) {
     const auto start = Clock::now();
     for (size_t r = 0; r < reps; ++r) {

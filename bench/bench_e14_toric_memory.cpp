@@ -12,8 +12,18 @@
 // Each sweep's L-small vs L-large failure ratio is extrapolated to its
 // crossing, and the threshold estimates land in BENCH_E14.json for the CI
 // trend step.
+//
+// The whole decoder x lattice x p matrix runs on the work-stealing sweep
+// scheduler (sim/sweep_scheduler.h): one point per (decoder, L, p) cell,
+// each with its legacy per-cell seed so the measured values match the
+// pre-scheduler sweep bit for bit. Under --checkpoint-dir every completed
+// cell shards to BENCH_E14.<id>.json and a killed run resumes from the
+// shards; --max-points simulates the kill.
 #include <cstdio>
+#include <deque>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_harness.h"
@@ -24,6 +34,7 @@
 #include "decode/matching.h"
 #include "decode/spacetime.h"
 #include "sim/shot_runner.h"
+#include "sim/sweep_scheduler.h"
 #include "topo/toric_code.h"
 
 namespace {
@@ -47,6 +58,8 @@ bool memory_shot_2d(const topo::ToricCode& code, const decode::Decoder& dec,
 // All Monte Carlo loops ride ShotRunner: kFrame runs one seeded shot per
 // index, kBatch hands a whole block to one Rng stream (the sampling here is
 // classical, so "batch" means block-amortized RNG + dynamic scheduling).
+// parallel = false: the sweep scheduler's worker pool owns all parallelism,
+// so the per-point shot loop stays serial (and schedule-independent).
 // Returns the full Proportion rather than a bare rate so the threshold fit
 // can tell "0 failures in n shots" apart from "never measured".
 Proportion failure_rate_2d(const topo::ToricCode& code,
@@ -57,6 +70,7 @@ Proportion failure_rate_2d(const topo::ToricCode& code,
   plan.seed = seed;
   plan.seed_stride = 7;
   plan.engine = engine;
+  plan.parallel = false;
   const sim::ShotRunner runner(plan);
   const auto result = runner.run(
       [&](uint64_t shot_seed) {
@@ -82,6 +96,7 @@ Proportion failure_rate_spacetime(const decode::SpacetimeToricDecoder& dec,
   plan.seed = seed;
   plan.seed_stride = 7;
   plan.engine = engine;
+  plan.parallel = false;
   const sim::ShotRunner runner(plan);
   const auto result = runner.run(
       [&](uint64_t shot_seed) {
@@ -125,36 +140,107 @@ int main(int argc, char** argv) {
   const size_t shots = ftqc::bench::scaled(4000, 300);
   const size_t shots_st = ftqc::bench::scaled(2500, 150);
   const ToricCode code4(4), code6(6), code8(8);
+  const ToricCode* const codes[] = {&code4, &code6, &code8};
+  constexpr size_t kL[] = {4, 6, 8};
+  // Legacy per-lattice seeds, kept so the scheduler port reproduces the
+  // hand-rolled sweep's values exactly (the compare_bench trend would read
+  // a reseed as accuracy drift).
+  constexpr uint64_t kSeed2d[] = {11, 13, 17};
 
   const auto greedy = std::make_shared<const decode::GreedyMatching>();
   const auto mwpm = std::make_shared<const decode::MwpmMatching>();
   struct Strategy {
+    const char* key;  // sweep-point id component
     const char* label;
     const char* json_suffix;
     std::shared_ptr<const decode::MatchingStrategy> matching;
   };
   const std::vector<Strategy> strategies = {
-      {"greedy matching", "", greedy},
-      {"minimum-weight perfect matching", "_mwpm", mwpm},
+      {"greedy", "greedy matching", "", greedy},
+      {"mwpm", "minimum-weight perfect matching", "_mwpm", mwpm},
   };
-
-  ftqc::bench::JsonResult json;
   const std::vector<double> p_grid = {0.12, 0.11, 0.10, 0.09, 0.08,
                                       0.07, 0.06, 0.04, 0.02};
+  const std::vector<double> st_grid = {0.05, 0.04, 0.032, 0.026,
+                                       0.02, 0.015, 0.01};
+
+  // Decoders outlive the sweep: points capture them by reference.
+  std::deque<decode::ToricMatchingDecoder> decoders;
   for (const Strategy& strat : strategies) {
-    const decode::ToricMatchingDecoder dec4(code4, decode::ToricSide::kPlaquette,
-                                            strat.matching);
-    const decode::ToricMatchingDecoder dec6(code6, decode::ToricSide::kPlaquette,
-                                            strat.matching);
-    const decode::ToricMatchingDecoder dec8(code8, decode::ToricSide::kPlaquette,
-                                            strat.matching);
+    for (const ToricCode* code : codes) {
+      decoders.emplace_back(*code, decode::ToricSide::kPlaquette,
+                            strat.matching);
+    }
+  }
+  const decode::SpacetimeToricDecoder st4(code4, decode::ToricSide::kPlaquette,
+                                          mwpm);
+  const decode::SpacetimeToricDecoder st6(code6, decode::ToricSide::kPlaquette,
+                                          mwpm);
+
+  // --- Build the sweep: one point per measured Proportion -------------------
+  std::vector<sim::SweepPoint> points;
+  std::map<std::string, size_t> index;
+  const auto add_point = [&](std::string id,
+                             std::function<Proportion()> measure) {
+    index.emplace(id, points.size());
+    points.push_back(sim::SweepPoint{
+        "E14", std::move(id),
+        [measure = std::move(measure)]() -> std::optional<sim::SweepMetrics> {
+          const auto result = measure();
+          sim::SweepMetrics metrics;
+          metrics.add("failures", static_cast<double>(result.successes));
+          metrics.add("trials", static_cast<double>(result.trials));
+          return metrics;
+        }});
+  };
+  for (size_t s = 0; s < strategies.size(); ++s) {
+    for (size_t l = 0; l < 3; ++l) {
+      const decode::ToricMatchingDecoder& dec = decoders[s * 3 + l];
+      for (const double p : p_grid) {
+        add_point(ftqc::strfmt("%s_L%zu_p%.3f", strategies[s].key, kL[l], p),
+                  [&, p, l] {
+                    return failure_rate_2d(*codes[l], dec, p, shots, kSeed2d[l],
+                                           engine);
+                  });
+      }
+    }
+  }
+  for (const double p : st_grid) {
+    add_point(ftqc::strfmt("spacetime_L4_p%.3f", p), [&, p] {
+      return failure_rate_spacetime(st4, p, 4, shots_st, 101, engine);
+    });
+    add_point(ftqc::strfmt("spacetime_L6_p%.3f", p), [&, p] {
+      return failure_rate_spacetime(st6, p, 6, shots_st, 103, engine);
+    });
+  }
+
+  sim::CheckpointStore store(ftqc::bench::checkpoint_dir());
+  const sim::SweepReport report = sim::run_sweep(
+      points, ftqc::bench::sweep_options(),
+      ftqc::bench::checkpoint_dir().empty() ? nullptr : &store);
+  if (!report.finished()) {
+    std::printf(
+        "E14 sweep checkpointed: %zu done, %zu remaining (rerun with the "
+        "same --checkpoint-dir to resume; no BENCH_E14.json written)\n",
+        report.completed + report.skipped, report.remaining + report.failed);
+    return report.failed > 0 ? 1 : 0;
+  }
+  const auto prop = [&](const std::string& id) {
+    const auto& metrics = report.results[index.at(id)];
+    return Proportion{static_cast<uint64_t>(metrics->at("failures")),
+                      static_cast<uint64_t>(metrics->at("trials"))};
+  };
+
+  // --- Tables, fits and the BENCH_E14.json artifact -------------------------
+  ftqc::bench::JsonResult json;
+  for (const Strategy& strat : strategies) {
     std::printf("Perfect measurement, %s decoder:\n", strat.label);
     ftqc::Table table({"p", "L=4", "L=6", "L=8", "trend"});
     std::vector<double> grid, ratio;
     for (const double p : p_grid) {
-      const auto f4 = failure_rate_2d(code4, dec4, p, shots, 11, engine);
-      const auto f6 = failure_rate_2d(code6, dec6, p, shots, 13, engine);
-      const auto f8 = failure_rate_2d(code8, dec8, p, shots, 17, engine);
+      const auto f4 = prop(ftqc::strfmt("%s_L4_p%.3f", strat.key, p));
+      const auto f6 = prop(ftqc::strfmt("%s_L6_p%.3f", strat.key, p));
+      const auto f8 = prop(ftqc::strfmt("%s_L8_p%.3f", strat.key, p));
       table.add_row({ftqc::strfmt("%.2f", p), ftqc::strfmt("%.4f", f4.mean()),
                      ftqc::strfmt("%.4f", f6.mean()),
                      ftqc::strfmt("%.4f", f8.mean()),
@@ -202,23 +288,18 @@ int main(int argc, char** argv) {
   // single syndrome snapshot can be trusted.
   std::printf(
       "Faulty syndrome measurement (q = p), space-time MWPM, T = L rounds:\n");
-  const decode::SpacetimeToricDecoder st4(code4, decode::ToricSide::kPlaquette,
-                                          mwpm);
-  const decode::SpacetimeToricDecoder st6(code6, decode::ToricSide::kPlaquette,
-                                          mwpm);
   ftqc::Table st_table({"p", "L=4", "L=6", "trend"});
-  std::vector<double> st_grid, st_ratio;
-  for (const double p :
-       {0.05, 0.04, 0.032, 0.026, 0.02, 0.015, 0.01}) {
-    const auto f4 = failure_rate_spacetime(st4, p, 4, shots_st, 101, engine);
-    const auto f6 = failure_rate_spacetime(st6, p, 6, shots_st, 103, engine);
+  std::vector<double> st_fit_grid, st_ratio;
+  for (const double p : st_grid) {
+    const auto f4 = prop(ftqc::strfmt("spacetime_L4_p%.3f", p));
+    const auto f6 = prop(ftqc::strfmt("spacetime_L6_p%.3f", p));
     st_table.add_row({ftqc::strfmt("%.3f", p),
                       ftqc::strfmt("%.4f", f4.mean()),
                       ftqc::strfmt("%.4f", f6.mean()),
                       f6.mean() < f4.mean()   ? "bigger is better"
                       : f6.mean() > f4.mean() ? "bigger is WORSE"
                                               : "tie"});
-    st_grid.push_back(p);
+    st_fit_grid.push_back(p);
     st_ratio.push_back(f4.resolved() && f6.resolved() && f4.mean() > 0 &&
                                f6.mean() > 0
                            ? f6.mean() / f4.mean()
@@ -231,7 +312,7 @@ int main(int argc, char** argv) {
   }
   st_table.print();
   const ftqc::UnitCrossing st_crossing =
-      ftqc::loglog_unit_crossing_ex(st_grid, st_ratio);
+      ftqc::loglog_unit_crossing_ex(st_fit_grid, st_ratio);
   json.add("threshold_spacetime", st_crossing.valid ? st_crossing.x : 0.0);
   json.add("threshold_spacetime_extrapolated",
            !st_crossing.valid || st_crossing.extrapolated);

@@ -18,8 +18,18 @@
 // buys 4x the level-2 shot budget AND a frame-vs-batch cross-check at
 // eps = 1e-3 whose speedup and agreement land in BENCH_E18.json
 // (batch_speedup, cross_engine_sigma).
+//
+// Every measurement — each (level, discipline, eps) cell and each
+// rare-event stratification — is one point on the work-stealing sweep
+// scheduler (sim/sweep_scheduler.h). Points keep their legacy seeds and run
+// their shot loops serially, so the sweep's values are independent of the
+// worker count and of kill/resume splits: under --checkpoint-dir a killed
+// run resumes from its BENCH_E18.<id>.json shards and reproduces the
+// straight-through BENCH_E18.json statistics exactly.
 #include <cmath>
 #include <cstdio>
+#include <limits>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,6 +42,7 @@
 #include "ft/fault_enumeration.h"
 #include "ft/steane_recovery.h"
 #include "sim/shot_runner.h"
+#include "sim/sweep_scheduler.h"
 #include "threshold/pseudothreshold.h"
 
 namespace {
@@ -41,20 +52,18 @@ using namespace ftqc::ft;
 
 // Level 1 is exactly the pseudothreshold cycle measurement, so it rides the
 // shared ShotRunner path and its engine parameter (batch by default: the
-// level-1 curve is the shot-hungry side of this comparison).
-Proportion level1_failure(double eps, size_t shots, uint64_t seed,
-                          sim::ShotEngine engine) {
+// level-1 curve is the shot-hungry side of this comparison). The shot loop
+// runs serial (parallel = false): the sweep scheduler owns the threads.
+threshold::CyclePoint level1_failure(double eps, size_t shots, uint64_t seed,
+                                     sim::ShotEngine engine) {
   return threshold::measure_cycle_failure(threshold::RecoveryMethod::kSteane,
-                                          eps, shots, seed, 0.0, engine)
-      .failures;
+                                          eps, shots, seed, 0.0, engine,
+                                          /*parallel=*/false);
 }
 
 struct Level2Point {
   Proportion failures;
   double seconds = 0;
-  [[nodiscard]] double shots_per_sec() const {
-    return seconds > 0 ? static_cast<double>(failures.trials) / seconds : 0.0;
-  }
 };
 
 // The 49-qubit level-2 gadget on either engine: serial Level2Recovery per
@@ -72,6 +81,7 @@ Level2Point level2_failure(double eps, size_t shots, uint64_t seed,
   plan.seed_stride = 11;
   plan.engine = engine;
   plan.block_shots = 1024;  // 161-qubit registers: keep per-block memory flat
+  plan.parallel = false;
   const sim::ShotRunner runner(plan);
   const auto result = runner.run(
       [&](uint64_t shot_seed) {
@@ -159,22 +169,15 @@ struct RareConfig {
   size_t calib_shots;      // stochastic runs for the N_eff calibration
 };
 
-struct RareOutcome {
-  ft::RareEventSweep low;       // one estimate per kRareEps entry
-  double agree_mean = 0;        // stratified P(fail) at eps = 1e-3
-  double agree_relerr = 0;
-  double sigma = 0;             // |stratified - direct| / combined SE
-  double n_eff = 0;             // calibrated prior N at eps = 1e-3
-};
-
 // Runs the two stratified sweeps for one gadget: the low-eps sweep on the
 // noiseless location count (retries are vanishingly rare there) and the
-// eps = 1e-3 cross-validation point on the calibrated N_eff prior, compared
-// against the direct Monte Carlo measurement from the main sweep.
-RareOutcome run_rare(const GadgetExperiment& experiment,
-                     const SeededGadgetExperiment& seeded,
-                     const RareConfig& cfg, const Proportion& direct_1em3,
-                     uint64_t seed) {
+// eps = 1e-3 cross-validation point on the calibrated N_eff prior. The
+// comparison against the direct Monte Carlo measurement happens OUTSIDE
+// the sweep point (it needs the direct point's metrics), so the point stays
+// dependency-free and checkpoints on its own.
+sim::SweepMetrics run_rare(const GadgetExperiment& experiment,
+                           const SeededGadgetExperiment& seeded,
+                           const RareConfig& cfg, uint64_t seed) {
   RareEventOptions options;
   options.scan.filter = gate_kinds_only();  // the sweeps run eps_store = 0
   options.max_faults = cfg.low_max_faults;
@@ -184,8 +187,7 @@ RareOutcome run_rare(const GadgetExperiment& experiment,
   // the bare level-2 cycle), so the k = 1 stratum is pinned to zero.
   options.known_zero_max_k = 1;
   options.seed = seed;
-  RareOutcome out;
-  out.low = estimate_rare_failure_sweep(
+  const ft::RareEventSweep low = estimate_rare_failure_sweep(
       experiment, {kRareEps[0], kRareEps[1], kRareEps[2]}, options);
 
   // At eps = 1e-3 fault-triggered retries measurably extend the realized
@@ -199,23 +201,51 @@ RareOutcome run_rare(const GadgetExperiment& experiment,
       cfg.calib_shots, seed + 2);
   const ft::RareEventSweep agree =
       estimate_rare_failure_sweep(experiment, {1e-3}, options);
-  out.n_eff = agree.n_eff;
-  out.agree_mean = agree.estimates[0].mean;
-  out.agree_relerr = agree.estimates[0].relative_halfwidth();
-  const double se_strat = agree.estimates[0].halfwidth / 1.96;
-  const double se_direct = direct_1em3.wilson_halfwidth() / 1.96;
-  const double se = std::sqrt(se_strat * se_strat + se_direct * se_direct);
-  out.sigma =
-      se > 0 ? std::fabs(out.agree_mean - direct_1em3.mean()) / se : 0.0;
-  return out;
+
+  sim::SweepMetrics metrics;
+  for (size_t i = 0; i < 3; ++i) {
+    const std::string base = std::string("low_") + kRareLabels[i];
+    metrics.add(base + "_mean", low.estimates[i].mean);
+    metrics.add(base + "_relerr", low.estimates[i].relative_halfwidth());
+  }
+  metrics.add("agree_mean", agree.estimates[0].mean);
+  metrics.add("agree_relerr", agree.estimates[0].relative_halfwidth());
+  metrics.add("agree_halfwidth", agree.estimates[0].halfwidth);
+  metrics.add("n_eff", agree.n_eff);
+  return metrics;
+}
+
+// The rare-point metrics as numbers again (checkpointed shards drop
+// non-finite values, so absent relerrs read back as infinity = unusable).
+struct RareView {
+  double low_mean[3] = {0, 0, 0};
+  double low_relerr[3] = {0, 0, 0};
+  double agree_mean = 0;
+  double agree_relerr = 0;
+  double agree_halfwidth = 0;
+  double n_eff = 0;
+};
+
+RareView rare_view(const sim::SweepMetrics& metrics) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  RareView view;
+  for (size_t i = 0; i < 3; ++i) {
+    const std::string base = std::string("low_") + kRareLabels[i];
+    view.low_mean[i] = metrics.get(base + "_mean").value_or(0.0);
+    view.low_relerr[i] = metrics.get(base + "_relerr").value_or(kInf);
+  }
+  view.agree_mean = metrics.at("agree_mean");
+  view.agree_relerr = metrics.get("agree_relerr").value_or(kInf);
+  view.agree_halfwidth = metrics.get("agree_halfwidth").value_or(0.0);
+  view.n_eff = metrics.at("n_eff");
+  return view;
 }
 
 // An estimate tight enough to use as a data point (finite interval no wider
 // than ~75% of the mean); looser strata still get reported with their
 // relerr, they just stay out of the crossover fit.
-bool rare_usable(const sim::StratifiedEstimate& estimate) {
-  const double rel = estimate.relative_halfwidth();
-  return std::isfinite(rel) && rel < 0.75;
+bool rare_usable(double relerr) {
+  return std::isfinite(relerr) && relerr < 0.75;
 }
 
 }  // namespace
@@ -234,46 +264,169 @@ int main(int argc, char** argv) {
       "[engine: %s%s]\n\n",
       sim::shot_engine_name(engine),
       batch ? ", level-2 shot budget x4" : "");
-  ftqc::Table table({"eps", "level-1 P(fail)", "L2 bare", "L2 exRec",
-                     "bare/L1", "exRec/L1", "exRec gain"});
   struct Point {
+    const char* tag;
     double eps;
     size_t shots;
   };
+  const std::vector<Point> eps_grid = {{"4em3", 4e-3, 20000},
+                                       {"2em3", 2e-3, 20000},
+                                       {"1em3", 1e-3, 30000},
+                                       {"5em4", 5e-4, 40000},
+                                       {"2p5em4", 2.5e-4, 40000}};
   // Smoke mode divides shot counts by 100 (and still exercises both levels,
   // both disciplines and — under batch — the cross-engine check).
   const size_t div = ftqc::bench::smoke() ? 100 : 1;
+  const size_t rare_div = ftqc::bench::smoke() ? 20 : 1;
+
+  // --- Build the sweep ------------------------------------------------------
+  std::vector<sim::SweepPoint> points;
+  std::map<std::string, size_t> index;
+  const auto add_point =
+      [&](std::string id,
+          std::function<std::optional<sim::SweepMetrics>()> run) {
+        index.emplace(id, points.size());
+        points.push_back(sim::SweepPoint{"E18", std::move(id), std::move(run)});
+      };
+  const auto proportion_metrics = [](const Proportion& p, double seconds) {
+    sim::SweepMetrics metrics;
+    metrics.add("failures", static_cast<double>(p.successes));
+    metrics.add("trials", static_cast<double>(p.trials));
+    metrics.add("seconds", seconds);
+    return metrics;
+  };
+  for (const Point& pt : eps_grid) {
+    // The batch engine reclaims enough wall-clock to run the level-2 sweep
+    // at the full level-1 shot budget (4x the serial sweep), tightening the
+    // crossover extrapolation's error bars. Legacy seeds (1000 level 1,
+    // 2000 level 2, stride 11, 1024-shot blocks) carry over from the
+    // pre-scheduler loop so the measured values are unchanged.
+    const size_t l2_shots = batch ? pt.shots / div : pt.shots / div / 4;
+    add_point(std::string("l1_") + pt.tag,
+              [&pt, div, engine, proportion_metrics]()
+                  -> std::optional<sim::SweepMetrics> {
+                const auto l1 =
+                    level1_failure(pt.eps, pt.shots / div, 1000, engine);
+                return proportion_metrics(l1.failures, l1.seconds);
+              });
+    add_point(std::string("bare_") + pt.tag,
+              [&pt, l2_shots, engine, proportion_metrics]()
+                  -> std::optional<sim::SweepMetrics> {
+                const auto bare = level2_failure(
+                    pt.eps, l2_shots, 2000, Level2Discipline::kBare, engine);
+                return proportion_metrics(bare.failures, bare.seconds);
+              });
+    add_point(std::string("exrec_") + pt.tag,
+              [&pt, l2_shots, engine, proportion_metrics]()
+                  -> std::optional<sim::SweepMetrics> {
+                const auto exrec = level2_failure(
+                    pt.eps, l2_shots, 2000, Level2Discipline::kExRec, engine);
+                return proportion_metrics(exrec.failures, exrec.seconds);
+              });
+  }
+  if (batch) {
+    // Cross-engine acceptance gate: the exRec sweep's batch estimate must
+    // match a serial frame run within binomial error while delivering an
+    // order-of-magnitude throughput win.
+    add_point("exrec_frame_1em3",
+              [div, proportion_metrics]() -> std::optional<sim::SweepMetrics> {
+                const auto serial = level2_failure(
+                    1e-3, 30000 / div / 4, 2000, Level2Discipline::kExRec,
+                    sim::ShotEngine::kFrame);
+                return proportion_metrics(serial.failures, serial.seconds);
+              });
+  }
+  // Importance-sampled rare-event strata (ft/fault_enumeration.h): resolve
+  // the deep sub-pseudothreshold regime no direct shot budget can reach —
+  // P(fail) = sum_k w_k(eps) P(fail|k) with empirical likelihood-ratio
+  // stratum weights measured once per gadget and reused across the eps
+  // grid. Smoke mode keeps the level-1 sweep (microsecond replays); the
+  // level-2 strata need tens of thousands of millisecond-scale replays and
+  // run in full mode only.
+  add_point("rare_level1", [rare_div]() -> std::optional<sim::SweepMetrics> {
+    return run_rare(level1_experiment(), level1_seeded(),
+                    RareConfig{/*low_max_faults=*/4,
+                               /*low_budget=*/24000 / rare_div,
+                               /*agree_max_faults=*/6,
+                               /*agree_budget=*/12000 / rare_div,
+                               /*calib_shots=*/ftqc::bench::smoke() ? 20u
+                                                                    : 200u},
+                    /*seed=*/29);
+  });
+  if (!ftqc::bench::smoke()) {
+    // Bare cycle: ~3k gate locations, so N*eps stays small everywhere. The
+    // exRec cycle's ~4.8k gate locations (calibrated to ~7.6k at eps = 1e-3
+    // by fault-triggered retries) put the agreement point's mean fault
+    // count near 8; its strata must cover the realized K distribution out
+    // to where the conditional mass dies, which sits well past the
+    // binomial's reach because the path stretches with the fault count.
+    add_point("rare_bare", []() -> std::optional<sim::SweepMetrics> {
+      return run_rare(level2_experiment(Level2Discipline::kBare),
+                      level2_seeded(Level2Discipline::kBare),
+                      RareConfig{6, 24000, 18, 32000, 100}, 43);
+    });
+    // The exRec agreement point is the hardest in the file: failures
+    // spread thinly over ~40 live strata (mean fault count ~8, conditional
+    // rates ~1e-3 each), so it needs the largest raw budget to pull the
+    // per-stratum counts off the 0-or-1-failure floor.
+    add_point("rare_exrec", []() -> std::optional<sim::SweepMetrics> {
+      return run_rare(level2_experiment(Level2Discipline::kExRec),
+                      level2_seeded(Level2Discipline::kExRec),
+                      RareConfig{24, 24000, 40, 160000, 200}, 57);
+    });
+  }
+
+  sim::CheckpointStore store(ftqc::bench::checkpoint_dir());
+  const sim::SweepReport report = sim::run_sweep(
+      points, ftqc::bench::sweep_options(),
+      ftqc::bench::checkpoint_dir().empty() ? nullptr : &store);
+  if (!report.finished()) {
+    std::printf(
+        "E18 sweep checkpointed: %zu done, %zu remaining (rerun with the "
+        "same --checkpoint-dir to resume; no BENCH_E18.json written)\n",
+        report.completed + report.skipped, report.remaining + report.failed);
+    return report.failed > 0 ? 1 : 0;
+  }
+  const auto metrics_of =
+      [&](const std::string& id) -> const sim::SweepMetrics& {
+    return *report.results[index.at(id)];
+  };
+  const auto prop = [&](const std::string& id) {
+    const auto& m = metrics_of(id);
+    return Proportion{static_cast<uint64_t>(m.at("failures")),
+                      static_cast<uint64_t>(m.at("trials"))};
+  };
+  const auto shots_per_sec = [&](const std::string& id) {
+    const auto& m = metrics_of(id);
+    const double seconds = m.at("seconds");
+    return seconds > 0 ? m.at("trials") / seconds : 0.0;
+  };
+
+  // --- Tables, fits and the BENCH_E18.json artifact -------------------------
   ftqc::bench::JsonResult json;
+  ftqc::Table table({"eps", "level-1 P(fail)", "L2 bare", "L2 exRec",
+                     "bare/L1", "exRec/L1", "exRec gain"});
   std::vector<double> grid, bare_ratio, exrec_ratio;
   // Direct measurements at eps = 1e-3, kept for the rare-event strata's
   // cross-validation below.
   Proportion l1_1em3, bare_1em3, exrec_1em3;
-  for (const Point pt : {Point{4e-3, 20000}, Point{2e-3, 20000},
-                         Point{1e-3, 30000}, Point{5e-4, 40000},
-                         Point{2.5e-4, 40000}}) {
-    // The batch engine reclaims enough wall-clock to run the level-2 sweep
-    // at the full level-1 shot budget (4x the serial sweep), tightening the
-    // crossover extrapolation's error bars.
-    const size_t l2_shots = batch ? pt.shots / div : pt.shots / div / 4;
-    const auto l1 = level1_failure(pt.eps, pt.shots / div, 1000, engine);
-    const auto bare =
-        level2_failure(pt.eps, l2_shots, 2000, Level2Discipline::kBare, engine);
-    const auto exrec = level2_failure(pt.eps, l2_shots, 2000,
-                                      Level2Discipline::kExRec, engine);
+  for (const Point& pt : eps_grid) {
+    const auto l1 = prop(std::string("l1_") + pt.tag);
+    const auto bare = prop(std::string("bare_") + pt.tag);
+    const auto exrec = prop(std::string("exrec_") + pt.tag);
     const double f1 = l1.mean();
-    const double fb = bare.failures.mean();
-    const double fx = exrec.failures.mean();
+    const double fb = bare.mean();
+    const double fx = exrec.mean();
     grid.push_back(pt.eps);
     // Only points where both proportions RESOLVED with at least one failure
     // enter the crossover fit: a zero mean is either "0 failures in n shots"
     // (real data, but log-unfittable) or "0 trials" (never measured), and
     // conflating the two would let an unmeasured point masquerade as data.
-    bare_ratio.push_back(l1.resolved() && bare.failures.resolved() &&
-                                 f1 > 0 && fb > 0
+    bare_ratio.push_back(l1.resolved() && bare.resolved() && f1 > 0 && fb > 0
                              ? fb / f1
                              : 0.0);
-    exrec_ratio.push_back(l1.resolved() && exrec.failures.resolved() &&
-                                  f1 > 0 && fx > 0
+    exrec_ratio.push_back(l1.resolved() && exrec.resolved() && f1 > 0 &&
+                                  fx > 0
                               ? fx / f1
                               : 0.0);
     table.add_row({ftqc::strfmt("%.2e", pt.eps), ftqc::strfmt("%.3e", f1),
@@ -283,31 +436,24 @@ int main(int argc, char** argv) {
                    ftqc::strfmt("%.2fx", fx > 0 ? fb / fx : -1.0)});
     if (pt.eps == 1e-3) {
       l1_1em3 = l1;
-      bare_1em3 = bare.failures;
-      exrec_1em3 = exrec.failures;
+      bare_1em3 = bare;
+      exrec_1em3 = exrec;
       json.add("eps", pt.eps);
       json.add("level1_failure", f1);
       json.add("level2_failure", fb);  // historical name: bare discipline
       json.add("level2_exrec_failure", fx);
       if (fx > 0) json.add("exrec_gain", fb / fx);
       if (batch) {
-        // Cross-engine acceptance gate: the exRec sweep's batch estimate
-        // must match a serial frame run within binomial error while
-        // delivering an order-of-magnitude throughput win.
-        const auto serial = level2_failure(pt.eps, pt.shots / div / 4, 2000,
-                                           Level2Discipline::kExRec,
-                                           sim::ShotEngine::kFrame);
-        const double sigma = agreement_sigma(serial.failures, exrec.failures);
-        const double speedup =
-            serial.shots_per_sec() > 0
-                ? exrec.shots_per_sec() / serial.shots_per_sec()
-                : 0.0;
+        const auto serial = prop("exrec_frame_1em3");
+        const double sigma = agreement_sigma(serial, exrec);
+        const double frame_sps = shots_per_sec("exrec_frame_1em3");
+        const double batch_sps = shots_per_sec("exrec_1em3");
+        const double speedup = frame_sps > 0 ? batch_sps / frame_sps : 0.0;
         std::printf(
             "\nexRec cross-engine check at eps = %.0e: frame %.3e vs batch "
             "%.3e\n(%.2f sigma), frame %.3g shots/s vs batch %.3g shots/s -> "
             "%.1fx\n\n",
-            pt.eps, serial.failures.mean(), fx, sigma,
-            serial.shots_per_sec(), exrec.shots_per_sec(), speedup);
+            pt.eps, serial.mean(), fx, sigma, frame_sps, batch_sps, speedup);
         json.add("batch_speedup", speedup);
         json.add("cross_engine_sigma", sigma);
       }
@@ -315,74 +461,47 @@ int main(int argc, char** argv) {
   }
   table.print();
 
-  // ---- Importance-sampled rare-event strata ------------------------------
-  // Weight-stratified fault-set sampling (ft/fault_enumeration.h) resolves
-  // the deep sub-pseudothreshold regime no direct shot budget can reach:
-  // P(fail) = sum_k w_k(eps) P(fail|k), where the stratum weights are
-  // empirical likelihood-ratio estimates of P(K = k) under runtime-
-  // conditioned sampling — gadgets here stretch their fault path when
-  // faults trigger retries, so the realized fault-count law is over-
-  // dispersed relative to any fixed-N binomial. The eps-free conditionals
-  // are measured once per gadget and reused across the whole eps grid. The
-  // eps = 1e-3 point cross-validates each stratified estimate against the
-  // direct Monte Carlo column above. Smoke mode keeps the
-  // level-1 sweep (microsecond replays); the level-2 strata need tens of
-  // thousands of millisecond-scale replays and run in full mode only.
+  // --- Rare-event strata reporting ------------------------------------------
   std::printf("\nRare-event strata (importance-sampled fault sets):\n");
-  const size_t rare_div = ftqc::bench::smoke() ? 20 : 1;
-  const RareOutcome rare_l1 =
-      run_rare(level1_experiment(), level1_seeded(),
-               RareConfig{/*low_max_faults=*/4, /*low_budget=*/24000 / rare_div,
-                          /*agree_max_faults=*/6,
-                          /*agree_budget=*/12000 / rare_div,
-                          /*calib_shots=*/ftqc::bench::smoke() ? 20u : 200u},
-               l1_1em3, /*seed=*/29);
-  std::optional<RareOutcome> rare_bare, rare_exrec;
+  const RareView rare_l1 = rare_view(metrics_of("rare_level1"));
+  std::optional<RareView> rare_bare, rare_exrec;
   if (!ftqc::bench::smoke()) {
-    // Bare cycle: ~3k gate locations, so N*eps stays small everywhere. The
-    // exRec cycle's ~4.8k gate locations (calibrated to ~7.6k at eps = 1e-3
-    // by fault-triggered retries) put the agreement point's mean fault
-    // count near 8; its strata must cover the realized K distribution out
-    // to where the conditional mass dies, which sits well past the
-    // binomial's reach because the path stretches with the fault count.
-    rare_bare = run_rare(level2_experiment(Level2Discipline::kBare),
-                         level2_seeded(Level2Discipline::kBare),
-                         RareConfig{6, 24000, 18, 32000, 100}, bare_1em3, 43);
-    // The exRec agreement point is the hardest in the file: failures
-    // spread thinly over ~40 live strata (mean fault count ~8, conditional
-    // rates ~1e-3 each), so it needs the largest raw budget to pull the
-    // per-stratum counts off the 0-or-1-failure floor.
-    rare_exrec = run_rare(level2_experiment(Level2Discipline::kExRec),
-                          level2_seeded(Level2Discipline::kExRec),
-                          RareConfig{24, 24000, 40, 160000, 200}, exrec_1em3,
-                          57);
+    rare_bare = rare_view(metrics_of("rare_bare"));
+    rare_exrec = rare_view(metrics_of("rare_exrec"));
   }
   ftqc::Table rare_table(
       {"gadget", "eps", "stratified P(fail)", "rel 95% hw", "sigma vs MC"});
-  const auto add_rare = [&](const char* key, const RareOutcome& out) {
+  const auto add_rare = [&](const char* key, const RareView& view,
+                            const Proportion& direct) {
     for (size_t i = 0; i < 3; ++i) {
-      const auto& est = out.low.estimates[i];
       const std::string base =
           std::string("rare_") + key + "_" + kRareLabels[i];
-      json.add(base, est.mean);
-      json.add(base + "_relerr", est.relative_halfwidth());
+      json.add(base, view.low_mean[i]);
+      json.add(base + "_relerr", view.low_relerr[i]);
       rare_table.add_row({key, ftqc::strfmt("%.1e", kRareEps[i]),
-                          ftqc::strfmt("%.3e", est.mean),
-                          ftqc::strfmt("%.0f%%",
-                                       100 * est.relative_halfwidth()),
+                          ftqc::strfmt("%.3e", view.low_mean[i]),
+                          ftqc::strfmt("%.0f%%", 100 * view.low_relerr[i]),
                           "-"});
     }
-    json.add(std::string("rare_") + key + "_1em3", out.agree_mean);
-    json.add(std::string("rare_") + key + "_1em3_relerr", out.agree_relerr);
-    json.add(std::string("rare_agreement_sigma_") + key, out.sigma);
-    json.add(std::string("rare_") + key + "_n_eff", out.n_eff);
-    rare_table.add_row({key, "1.0e-03", ftqc::strfmt("%.3e", out.agree_mean),
-                        ftqc::strfmt("%.0f%%", 100 * out.agree_relerr),
-                        ftqc::strfmt("%.2f", out.sigma)});
+    // The |stratified - direct| agreement sigma, recomputed here from the
+    // rare point's interval and the direct point's Wilson interval (the
+    // rare sweep point itself never sees the direct measurement).
+    const double se_strat = view.agree_halfwidth / 1.96;
+    const double se_direct = direct.wilson_halfwidth() / 1.96;
+    const double se = std::sqrt(se_strat * se_strat + se_direct * se_direct);
+    const double sigma =
+        se > 0 ? std::fabs(view.agree_mean - direct.mean()) / se : 0.0;
+    json.add(std::string("rare_") + key + "_1em3", view.agree_mean);
+    json.add(std::string("rare_") + key + "_1em3_relerr", view.agree_relerr);
+    json.add(std::string("rare_agreement_sigma_") + key, sigma);
+    json.add(std::string("rare_") + key + "_n_eff", view.n_eff);
+    rare_table.add_row({key, "1.0e-03", ftqc::strfmt("%.3e", view.agree_mean),
+                        ftqc::strfmt("%.0f%%", 100 * view.agree_relerr),
+                        ftqc::strfmt("%.2f", sigma)});
   };
-  add_rare("level1", rare_l1);
-  if (rare_bare) add_rare("bare", *rare_bare);
-  if (rare_exrec) add_rare("exrec", *rare_exrec);
+  add_rare("level1", rare_l1, l1_1em3);
+  if (rare_bare) add_rare("bare", *rare_bare, bare_1em3);
+  if (rare_exrec) add_rare("exrec", *rare_exrec, exrec_1em3);
   rare_table.print();
 
   // The stratified points extend the ratio curves below the direct grid, so
@@ -390,13 +509,14 @@ int main(int argc, char** argv) {
   // extrapolation. Only estimates tight enough to be data participate.
   if (rare_bare && rare_exrec) {
     for (size_t i = 0; i < 3; ++i) {
-      const auto& e1 = rare_l1.low.estimates[i];
-      if (!rare_usable(e1)) continue;
-      const auto& eb = rare_bare->low.estimates[i];
-      const auto& ex = rare_exrec->low.estimates[i];
+      if (!rare_usable(rare_l1.low_relerr[i])) continue;
       grid.push_back(kRareEps[i]);
-      bare_ratio.push_back(rare_usable(eb) ? eb.mean / e1.mean : 0.0);
-      exrec_ratio.push_back(rare_usable(ex) ? ex.mean / e1.mean : 0.0);
+      bare_ratio.push_back(rare_usable(rare_bare->low_relerr[i])
+                               ? rare_bare->low_mean[i] / rare_l1.low_mean[i]
+                               : 0.0);
+      exrec_ratio.push_back(rare_usable(rare_exrec->low_relerr[i])
+                                ? rare_exrec->low_mean[i] / rare_l1.low_mean[i]
+                                : 0.0);
     }
   }
 

@@ -11,6 +11,7 @@
 
 #include "common/check.h"
 #include "sim/shot_runner.h"
+#include "sim/sweep_scheduler.h"
 
 // Shared harness for the E01-E18 paper benchmarks.
 //
@@ -35,6 +36,16 @@ struct Options {
   std::string name;      // benchmark id, e.g. "E05"
   std::string json_dir;  // defaults to the working directory
   std::string engine;    // --engine value ("" = bench default)
+  // Sweep-scheduler controls (benches whose sweeps ride run_sweep honor
+  // them; elsewhere they are accepted and unused so run_campaign can pass
+  // them uniformly):
+  //   --checkpoint-dir=DIR  shard completed points to DIR and resume by
+  //                         skipping the ones already present;
+  //   --workers=N           scheduler worker threads (0 = auto);
+  //   --max-points=N        stop after N fresh points (simulated kill).
+  std::string checkpoint_dir;
+  size_t workers = 0;
+  size_t max_points = 0;
   // Engines this benchmark honors; init() rejects --engine when empty and
   // rejects values outside the set, so the flag can never be silently
   // ignored or crash deep inside a driver.
@@ -77,6 +88,13 @@ inline void init(int argc, char** argv, const char* name,
       opts.smoke = false;
     } else if (std::strncmp(arg, "--json-dir=", 11) == 0) {
       opts.json_dir = arg + 11;
+    } else if (std::strncmp(arg, "--checkpoint-dir=", 17) == 0) {
+      opts.checkpoint_dir = arg + 17;
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      opts.workers = static_cast<size_t>(std::strtoull(arg + 10, nullptr, 10));
+    } else if (std::strncmp(arg, "--max-points=", 13) == 0) {
+      opts.max_points =
+          static_cast<size_t>(std::strtoull(arg + 13, nullptr, 10));
     } else if (std::strncmp(arg, "--engine=", 9) == 0 &&
                !opts.supported_engines.empty()) {
       opts.engine = arg + 9;
@@ -92,10 +110,12 @@ inline void init(int argc, char** argv, const char* name,
       }
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       if (engine_usage.empty()) {
-        std::printf("usage: %s [--smoke] [--full] [--json-dir=DIR]\n",
+        std::printf("usage: %s [--smoke] [--full] [--json-dir=DIR] "
+                    "[--checkpoint-dir=DIR] [--workers=N] [--max-points=N]\n",
                     argv[0]);
       } else {
         std::printf("usage: %s [--smoke] [--full] [--json-dir=DIR] "
+                    "[--checkpoint-dir=DIR] [--workers=N] [--max-points=N] "
                     "[--engine=%s]\n",
                     argv[0], engine_usage.c_str());
       }
@@ -114,6 +134,16 @@ inline sim::ShotEngine engine_or(sim::ShotEngine fallback) {
   const Options& opts = options();
   if (opts.engine.empty()) return fallback;
   return *sim::parse_shot_engine(opts.engine);
+}
+
+// Sweep-scheduler options assembled from the --checkpoint-dir / --workers /
+// --max-points flags, for benches whose sweeps ride sim::run_sweep.
+inline const std::string& checkpoint_dir() { return options().checkpoint_dir; }
+inline sim::SweepOptions sweep_options() {
+  sim::SweepOptions sweep;
+  sweep.workers = options().workers;
+  sweep.max_points = options().max_points;
+  return sweep;
 }
 
 // Accumulates flat key/value metrics and emits them as one JSON object.

@@ -7,6 +7,7 @@
 #include "ft/concatenated_recovery.h"
 #include "ft/steane_circuits.h"
 #include "ft/steane_recovery.h"
+#include "sim/simd.h"
 
 namespace ftqc::ft {
 
@@ -134,11 +135,11 @@ void BatchLevel2Recovery::prepare_verified_zero_ancilla(
       flip_rows[i] = sim_.record().row(rows[i]);
     }
     hierarchical_decode(flip_rows, logicals.data(), vote.data());
-    for (size_t w = 0; w < words_; ++w) votes[w] &= vote[w];
+    sim::simd::and_into(votes.data(), vote.data(), words_);
     for (uint32_t i = 0; i < kBlock; ++i) sim_.reset(kAncB + i);
   }
   if (lane_mask != nullptr) {
-    for (size_t w = 0; w < words_; ++w) votes[w] &= lane_mask[w];
+    sim::simd::and_into(votes.data(), lane_mask, words_);
   }
   if (!batch_any_lane(votes.data(), words_)) return;
 
@@ -210,7 +211,7 @@ void BatchLevel2Recovery::extract_syndrome(bool phase_type,
       std::fill_n(out, words_, 0);
       for (size_t i = 0; i < 7; ++i) {
         if (!h.row(j).get(i)) continue;
-        for (size_t w = 0; w < words_; ++w) out[w] ^= sub_rows[i][w];
+        sim::simd::xor_into(out, sub_rows[i], words_);
       }
     }
     batch_decode_rows(hamming_, sub_rows, /*logical=*/true,
@@ -221,8 +222,7 @@ void BatchLevel2Recovery::extract_syndrome(bool phase_type,
     std::fill_n(out, words_, 0);
     for (size_t sub = 0; sub < 7; ++sub) {
       if (!h.row(j).get(sub)) continue;
-      const uint64_t* l = logicals.data() + sub * words_;
-      for (size_t w = 0; w < words_; ++w) out[w] ^= l[w];
+      sim::simd::xor_into(out, logicals.data() + sub * words_, words_);
     }
   }
 }
@@ -264,9 +264,8 @@ void BatchLevel2Recovery::correct(bool phase_type, const uint64_t* rows24,
   // decoded to "no error" run no fix circuit at all (serial early return).
   std::vector<uint64_t> has(words_, 0);
   for (size_t q = 0; q < kBlock; ++q) {
-    const uint64_t* a = l1.data() + q * words_;
-    const uint64_t* b = l2.data() + q * words_;
-    for (size_t w = 0; w < words_; ++w) has[w] |= a[w] | b[w];
+    sim::simd::or_into(has.data(), l1.data() + q * words_, words_);
+    sim::simd::or_into(has.data(), l2.data() + q * words_, words_);
   }
   if (!batch_any_lane(has.data(), words_)) return;
 
@@ -286,13 +285,16 @@ void BatchLevel2Recovery::correct(bool phase_type, const uint64_t* rows24,
   for (size_t q = 0; q < kBlock; ++q) {
     const uint64_t* a = l1.data() + q * words_;
     const uint64_t* b = l2.data() + q * words_;
-    for (size_t w = 0; w < words_; ++w) mask[w] = has[w] & ~(a[w] | b[w]);
+    // has & ~a & ~b, two register-wide passes.
+    sim::simd::andnot(mask.data(), has.data(), a, words_);
+    sim::simd::andnot(mask.data(), mask.data(), b, words_);
     sim_.depolarize1(q, noise_.eps_store, mask.data());
   }
   for (size_t q = 0; q < kBlock; ++q) {
     const uint64_t* a = l1.data() + q * words_;
     const uint64_t* b = l2.data() + q * words_;
-    for (size_t w = 0; w < words_; ++w) mask[w] = a[w] ^ b[w];
+    std::copy_n(a, words_, mask.data());
+    sim::simd::xor_into(mask.data(), b, words_);
     if (!batch_any_lane(mask.data(), words_)) continue;
     if (phase_type) {
       sim_.inject_z_masked(q, mask.data());
@@ -337,7 +339,7 @@ uint64_t BatchLevel2Recovery::count_any_logical_error(size_t num_lanes) const {
   std::vector<uint64_t> lx(words_), lz(words_);
   residual_logical(/*phase_type=*/false, lx.data());
   residual_logical(/*phase_type=*/true, lz.data());
-  for (size_t w = 0; w < words_; ++w) lx[w] |= lz[w];
+  sim::simd::or_into(lx.data(), lz.data(), words_);
   return batch_count_lanes(lx.data(), words_,
                            std::min(num_lanes, sim_.num_shots()));
 }

@@ -6,20 +6,14 @@
 #include "common/check.h"
 #include "ft/steane_circuits.h"
 #include "ft/steane_layout.h"
+#include "sim/simd.h"
 
 namespace ftqc::ft {
 
 void batch_nontrivial_mask(const uint64_t* syndrome_rows, size_t num_rows,
                            const uint64_t* active, uint64_t* out,
                            size_t words) {
-  std::fill_n(out, words, 0);
-  for (size_t r = 0; r < num_rows; ++r) {
-    const uint64_t* row = syndrome_rows + r * words;
-    for (size_t w = 0; w < words; ++w) out[w] |= row[w];
-  }
-  if (active != nullptr) {
-    for (size_t w = 0; w < words; ++w) out[w] &= active[w];
-  }
+  sim::simd::or_rows_masked(syndrome_rows, num_rows, active, out, words);
 }
 
 void batch_agreement_mask(const uint64_t* syn1, const uint64_t* syn2,
@@ -27,34 +21,24 @@ void batch_agreement_mask(const uint64_t* syn1, const uint64_t* syn2,
                           uint64_t* out, size_t words) {
   std::copy_n(nontrivial, words, out);
   for (size_t r = 0; r < num_rows; ++r) {
-    const uint64_t* a = syn1 + r * words;
-    const uint64_t* b = syn2 + r * words;
-    for (size_t w = 0; w < words; ++w) out[w] &= ~(a[w] ^ b[w]);
+    sim::simd::and_eq_into(out, syn1 + r * words, syn2 + r * words, words);
   }
 }
 
 void batch_decode_rows(const gf2::Hamming743& hamming,
                        const uint64_t* const rows[7], bool logical,
                        uint64_t* out, size_t words) {
+  // Collapse the 3x7 check matrix into three 7-bit column masks once, then
+  // run the bit-sliced decode register-wide. The logical/residual formulas
+  // (corrected parity vs coset weight) live in the kernel; see simd.h.
   const gf2::BitMat& h = hamming.check_matrix();
-  for (size_t w = 0; w < words; ++w) {
-    uint64_t syn[3] = {0, 0, 0};
-    uint64_t parity = 0;
+  uint8_t syn_mask[3] = {0, 0, 0};
+  for (size_t j = 0; j < 3; ++j) {
     for (size_t i = 0; i < 7; ++i) {
-      const uint64_t r = rows[i][w];
-      parity ^= r;
-      for (size_t j = 0; j < 3; ++j) {
-        if (h.row(j).get(i)) syn[j] ^= r;
-      }
+      if (h.row(j).get(i)) syn_mask[j] |= static_cast<uint8_t>(1u << i);
     }
-    const uint64_t nonzero_syndrome = syn[0] | syn[1] | syn[2];
-    // logical: decode_logical = parity(corrected word); correcting flips
-    // exactly one bit iff the syndrome is nontrivial, so the corrected
-    // parity is parity ^ (syndrome != 0).
-    // residual: coset weight 0 means the word IS a stabilizer support — an
-    // even-weight Hamming codeword, i.e. zero syndrome and even parity.
-    out[w] = logical ? parity ^ nonzero_syndrome : nonzero_syndrome | parity;
   }
+  sim::simd::hamming7_decode(rows, syn_mask, logical, out, words);
 }
 
 void batch_decode_positions(const uint64_t* syndrome_rows,
@@ -64,16 +48,14 @@ void batch_decode_positions(const uint64_t* syndrome_rows,
   const uint64_t* s1 = syndrome_rows + words;
   const uint64_t* s2 = syndrome_rows + 2 * words;
   // Syndrome bits (s0,s1,s2) spell the 1-based position s0*4 + s1*2 + s2
-  // (Eq. 3); position value-1 gets the correction.
-  for (size_t value = 1; value <= 7; ++value) {
+  // (Eq. 3); position value-1 gets the correction. XORing each row with
+  // all-ones where the position bit is 0 turns "match this 3-bit value"
+  // into three ANDs.
+  for (uint64_t value = 1; value <= 7; ++value) {
     uint64_t* out = pos_masks + (value - 1) * words;
-    for (size_t w = 0; w < words; ++w) {
-      uint64_t m = act_mask[w];
-      m &= (value & 4) ? s0[w] : ~s0[w];
-      m &= (value & 2) ? s1[w] : ~s1[w];
-      m &= (value & 1) ? s2[w] : ~s2[w];
-      out[w] = m;
-    }
+    sim::simd::select3_and(out, act_mask, s0, (value & 4) ? 0 : ~uint64_t{0},
+                           s1, (value & 2) ? 0 : ~uint64_t{0}, s2,
+                           (value & 1) ? 0 : ~uint64_t{0}, words);
   }
 }
 
@@ -98,9 +80,7 @@ void batch_correct_data_block(sim::BatchFrameSim& sim,
   std::vector<uint64_t> storage_mask(words);
   for (size_t q = 0; q < 7; ++q) {
     const uint64_t* pos = pos_masks.data() + q * words;
-    for (size_t w = 0; w < words; ++w) {
-      storage_mask[w] = act_mask[w] & ~pos[w];
-    }
+    sim::simd::andnot(storage_mask.data(), act_mask, pos, words);
     sim.depolarize1(data[q], noise.eps_store, storage_mask.data());
   }
   for (size_t p = 0; p < 7; ++p) {
@@ -277,11 +257,11 @@ class BatchSteaneCycleRunner {
       std::vector<uint64_t> vote(words_);
       batch_decode_rows(hamming_, flip_rows, /*logical=*/true, vote.data(),
                         words_);
-      for (size_t w = 0; w < words_; ++w) votes[w] &= vote[w];
+      sim::simd::and_into(votes.data(), vote.data(), words_);
       for (uint32_t q : layout_.anc_b) sim_.reset(q);
     }
     if (lane_mask != nullptr) {
-      for (size_t w = 0; w < words_; ++w) votes[w] &= lane_mask[w];
+      sim::simd::and_into(votes.data(), lane_mask, words_);
     }
     if (!batch_any_lane(votes.data(), words_)) return;
 
@@ -317,8 +297,7 @@ class BatchSteaneCycleRunner {
       std::fill_n(out, words_, 0);
       for (size_t i = 0; i < 7; ++i) {
         if (!h.row(j).get(i)) continue;
-        const uint64_t* row = sim_.record().row(rows[i]);
-        for (size_t w = 0; w < words_; ++w) out[w] ^= row[w];
+        sim::simd::xor_into(out, sim_.record().row(rows[i]), words_);
       }
     }
     for (uint32_t q : layout_.anc_a) sim_.reset(q);
@@ -397,7 +376,7 @@ uint64_t BatchSteaneRecovery::count_frames(bool logical,
   std::vector<uint64_t> lx(words_), lz(words_);
   batch_decode_rows(hamming_, x_rows, logical, lx.data(), words_);
   batch_decode_rows(hamming_, z_rows, logical, lz.data(), words_);
-  for (size_t w = 0; w < words_; ++w) lx[w] |= lz[w];
+  sim::simd::or_into(lx.data(), lz.data(), words_);
   return batch_count_lanes(lx.data(), words_,
                            std::min(num_lanes, sim_.num_shots()));
 }

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "ft/generic_recovery.h"
 #include "ft/steane_circuits.h"
+#include "sim/simd.h"
 
 namespace ftqc::ft {
 
@@ -39,9 +40,7 @@ uint64_t BatchCatRetry::prepare(BatchGadgetRunner& gadgets,
                                 const uint64_t* active) {
   const size_t words = sim_.num_words();
   need_.assign(words, ~uint64_t{0});
-  if (active != nullptr) {
-    for (size_t w = 0; w < words; ++w) need_[w] = active[w];
-  }
+  if (active != nullptr) std::copy_n(active, words, need_.begin());
   passed_any_.assign(words, 0);
   failed_.assign(words, 0);
   parked_.assign(2 * cat.size() * words, 0);
@@ -64,20 +63,25 @@ uint64_t BatchCatRetry::prepare(BatchGadgetRunner& gadgets,
     // Reference check outcome is 0 (the cat bits agree); a flip means the
     // verification failed and the cat is discarded (§3.3).
     const uint64_t* flip = sim_.record().row(rows[0]);
-    for (size_t w = 0; w < words; ++w) failed_[w] = flip[w] & need_[w];
+    std::copy_n(flip, words, failed_.begin());
+    sim::simd::and_into(failed_.data(), need_.data(), words);
     discarded += batch_count_lanes(failed_.data(), words, sim_.num_shots());
-    for (size_t w = 0; w < words; ++w) {
-      const uint64_t passed_now = need_[w] & ~failed_[w];
-      need_[w] = failed_[w];
-      passed_any_[w] |= passed_now;
-      if (passed_now == 0) continue;
+    // passed_now = need & ~failed, register-wide; scratch_ holds it until
+    // the parking blends below are done.
+    scratch_.resize(words);
+    sim::simd::andnot(scratch_.data(), need_.data(), failed_.data(), words);
+    std::copy_n(failed_.begin(), words, need_.begin());
+    sim::simd::or_into(passed_any_.data(), scratch_.data(), words);
+    if (batch_any_lane(scratch_.data(), words)) {
       // Park the just-passed lanes' cat frames: later attempts will clobber
       // the sim's copies.
       for (size_t c = 0; c < cat.size(); ++c) {
         uint64_t* px = &parked_[2 * c * words];
         uint64_t* pz = &parked_[(2 * c + 1) * words];
-        px[w] = (px[w] & ~passed_now) | (sim_.x_flips(cat[c])[w] & passed_now);
-        pz[w] = (pz[w] & ~passed_now) | (sim_.z_flips(cat[c])[w] & passed_now);
+        sim::simd::blend_into(px, sim_.x_flips(cat[c]), scratch_.data(),
+                              words);
+        sim::simd::blend_into(pz, sim_.z_flips(cat[c]), scratch_.data(),
+                              words);
       }
     }
   }
@@ -93,13 +97,11 @@ uint64_t BatchCatRetry::prepare(BatchGadgetRunner& gadgets,
   for (size_t c = 0; c < cat.size(); ++c) {
     const uint64_t* px = &parked_[2 * c * words];
     const uint64_t* pz = &parked_[(2 * c + 1) * words];
-    for (size_t w = 0; w < words; ++w) {
-      scratch_[w] = (sim_.x_flips(cat[c])[w] ^ px[w]) & passed_any_[w];
-    }
+    sim::simd::xor_and(scratch_.data(), sim_.x_flips(cat[c]), px,
+                       passed_any_.data(), words);
     sim_.inject_x_masked(cat[c], scratch_.data());
-    for (size_t w = 0; w < words; ++w) {
-      scratch_[w] = (sim_.z_flips(cat[c])[w] ^ pz[w]) & passed_any_[w];
-    }
+    sim::simd::xor_and(scratch_.data(), sim_.z_flips(cat[c]), pz,
+                       passed_any_.data(), words);
     sim_.inject_z_masked(cat[c], scratch_.data());
   }
   return discarded;
@@ -166,8 +168,7 @@ void BatchShorRecovery::measure_syndrome_bit(size_t row, bool x_type,
   FTQC_CHECK(rows.size() == 4, "Shor syndrome bit reads the 4 cat qubits");
   std::fill_n(out, words_, 0);
   for (const size_t r : rows) {
-    const uint64_t* flip = sim_.record().row(r);
-    for (size_t w = 0; w < words_; ++w) out[w] ^= flip[w];
+    sim::simd::xor_into(out, sim_.record().row(r), words_);
   }
 }
 
@@ -205,7 +206,7 @@ uint64_t BatchShorRecovery::count_any_logical_error(size_t num_lanes) const {
   std::vector<uint64_t> lx(words_), lz(words_);
   batch_decode_rows(hamming_, x_rows, /*logical=*/true, lx.data(), words_);
   batch_decode_rows(hamming_, z_rows, /*logical=*/true, lz.data(), words_);
-  for (size_t w = 0; w < words_; ++w) lx[w] |= lz[w];
+  sim::simd::or_into(lx.data(), lz.data(), words_);
   return batch_count_lanes(lx.data(), words_,
                            std::min(num_lanes, sim_.num_shots()));
 }
@@ -304,8 +305,7 @@ void BatchGenericShorRecovery::measure_generator(size_t g,
   FTQC_CHECK(rows.size() == width, "generator readout width mismatch");
   std::fill_n(out, words_, 0);
   for (const size_t r : rows) {
-    const uint64_t* flip = sim_.record().row(r);
-    for (size_t w = 0; w < words_; ++w) out[w] ^= flip[w];
+    sim::simd::xor_into(out, sim_.record().row(r), words_);
   }
   for (size_t i = 0; i < width; ++i) sim_.reset(cat_[i]);
 }

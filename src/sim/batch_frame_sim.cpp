@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "sim/simd.h"
 
 namespace ftqc::sim {
 
@@ -15,6 +16,7 @@ BatchFrameSim::BatchFrameSim(size_t num_qubits, size_t shots, uint64_t seed)
       record_(words_),
       abort_(words_, 0),
       hit_(words_, 0),
+      hit_dirty_(words_, 0),
       rng_(seed) {}
 
 void BatchFrameSim::clear() {
@@ -26,155 +28,255 @@ void BatchFrameSim::clear() {
 void BatchFrameSim::clear_record() { record_.clear(); }
 
 void BatchFrameSim::apply_h(size_t q) {
-  uint64_t* xs = x_word(q);
-  uint64_t* zs = z_word(q);
-  for (size_t w = 0; w < words_; ++w) std::swap(xs[w], zs[w]);
+  simd::swap_words(x_word(q), z_word(q), words_);
 }
 
 void BatchFrameSim::apply_s(size_t q) {
-  const uint64_t* xs = x_word(q);
-  uint64_t* zs = z_word(q);
-  for (size_t w = 0; w < words_; ++w) zs[w] ^= xs[w];
+  simd::xor_into(z_word(q), x_word(q), words_);
 }
 
 void BatchFrameSim::apply_cx(size_t control, size_t target) {
-  const uint64_t* xc = x_word(control);
-  uint64_t* xt = x_word(target);
-  uint64_t* zc = z_word(control);
-  const uint64_t* zt = z_word(target);
-  for (size_t w = 0; w < words_; ++w) {
-    xt[w] ^= xc[w];
-    zc[w] ^= zt[w];
-  }
+  simd::xor2_into(x_word(target), x_word(control), z_word(control),
+                  z_word(target), words_);
 }
 
 void BatchFrameSim::apply_cz(size_t a, size_t b) {
-  const uint64_t* xa = x_word(a);
-  const uint64_t* xb = x_word(b);
-  uint64_t* za = z_word(a);
-  uint64_t* zb = z_word(b);
-  for (size_t w = 0; w < words_; ++w) {
-    zb[w] ^= xa[w];
-    za[w] ^= xb[w];
-  }
+  simd::xor2_into(z_word(b), x_word(a), z_word(a), x_word(b), words_);
 }
 
 void BatchFrameSim::apply_swap(size_t a, size_t b) {
-  uint64_t* xa = x_word(a);
-  uint64_t* xb = x_word(b);
-  uint64_t* za = z_word(a);
-  uint64_t* zb = z_word(b);
-  for (size_t w = 0; w < words_; ++w) {
-    std::swap(xa[w], xb[w]);
-    std::swap(za[w], zb[w]);
-  }
+  simd::swap_words(x_word(a), x_word(b), words_);
+  simd::swap_words(z_word(a), z_word(b), words_);
 }
 
-const uint64_t* BatchFrameSim::fill_hit_words(double p) {
-  if (p <= 0) return nullptr;
+void BatchFrameSim::refill_skip_log() {
+  // 1-u is uniform in (0, 1], exactly the log_unit kernel's domain. The
+  // tiny rounding difference vs log1p(-u) only matters where the skip is
+  // ~0 anyway; the skip distribution is unchanged to ~1e-10 relative.
+  // Draw through a local copy of the generator: the tight loop then keeps
+  // the xoshiro state in registers instead of round-tripping four members
+  // through memory per draw. Same stream, same results.
+  Rng rng = rng_;
+  for (size_t i = 0; i < kFillBlock; ++i) {
+    skip_log_[i] = 1.0 - rng.next_double();
+  }
+  rng_ = rng;
+  simd::log_unit(skip_log_.data(), kFillBlock);
+  skip_pos_ = 0;
+}
+
+BatchFrameSim::HitWords BatchFrameSim::fill_hit_words(double p) {
+  if (p <= 0) return {};
+  // Undo the previous fill: only the words it actually set. At the sparse p
+  // this library simulates (1e-5..1e-2) that is a handful of words, where a
+  // whole-buffer std::fill used to dominate the channel cost.
+  if (hit_dense_) {
+    std::fill(hit_.begin(), hit_.end(), 0);
+    hit_dense_ = false;
+  } else {
+    for (size_t i = 0; i < hit_dirty_len_; ++i) hit_[hit_dirty_[i]] = 0;
+  }
+  hit_dirty_len_ = 0;
   if (p >= 1) {
     std::fill(hit_.begin(), hit_.end(), ~uint64_t{0});
-    return hit_.data();
+    hit_dense_ = true;
+    return {hit_.data(), nullptr, 0, true};
   }
-  std::fill(hit_.begin(), hit_.end(), 0);
   // Sample the set-bit positions via geometric skipping over the whole shot
-  // register: for the small p of this library (1e-5..1e-2) this draws
-  // ~shots*p + 1 uniforms per channel call, not one per word (the previous
-  // per-word restart) and not one per bit.
-  const double log1mp = std::log1p(-p);
+  // register: ~shots*p skip draws per channel call (precomputed in blocks,
+  // see next_skip_log), not one per word (the original per-word restart)
+  // and not one per bit. The cache is consumed block-wise with all loop
+  // state in locals — calling the out-of-line refill from inside the hot
+  // loop would force the members to be reloaded on every iteration.
+  const double inv = 1.0 / std::log1p(-p);
   const auto total = static_cast<double>(shots_);
-  double position = std::floor(std::log1p(-rng_.next_double()) / log1mp);
-  while (position < total) {
-    const auto bit = static_cast<size_t>(position);
-    hit_[bit >> 6] |= uint64_t{1} << (bit & 63);
-    position += 1 + std::floor(std::log1p(-rng_.next_double()) / log1mp);
+  uint64_t* const hit = hit_.data();
+  uint32_t* const dirty = hit_dirty_.data();
+  size_t ndirty = 0;
+  uint32_t last = ~uint32_t{0};
+  double position = -1.0;  // the +1 below makes the first skip start at 0
+  for (;;) {
+    if (skip_pos_ == kFillBlock) refill_skip_log();
+    const double* const cache = skip_log_.data() + skip_pos_;
+    const size_t avail = kFillBlock - skip_pos_;
+    // Two passes per block. The skip lengths are elementwise in the cached
+    // logs (no loop-carried dependency, so this pass vectorizes); the walk
+    // below then carries only a bare add chain per hit instead of
+    // mul+floor+add, which at dense p was the fill's critical path.
+    double skips[kFillBlock];
+    for (size_t i = 0; i < avail; ++i) {
+      skips[i] = 1.0 + std::floor(cache[i] * inv);
+    }
+    size_t i = 0;
+    while (i < avail) {
+      position += skips[i++];
+      if (position >= total) break;
+      const auto bit = static_cast<size_t>(position);
+      const auto word = static_cast<uint32_t>(bit >> 6);
+      hit[word] |= uint64_t{1} << (bit & 63);
+      // Branchless dirty append: at dense p consecutive hits often share a
+      // word and a conditional push mispredicts ~25% of the time there.
+      dirty[ndirty] = word;  // positions ascend, so words ascend too
+      ndirty += word != last ? 1 : 0;
+      last = word;
+    }
+    skip_pos_ += i;
+    if (position >= total) break;
   }
-  return hit_.data();
+  hit_dirty_len_ = ndirty;
+  if (ndirty == 0) return {};
+  return {hit, dirty, ndirty, false};
 }
 
 void BatchFrameSim::depolarize1(size_t q, double p, const uint64_t* lane_mask) {
-  const uint64_t* hits = fill_hit_words(p);
-  if (hits == nullptr) return;
+  const HitWords hits = fill_hit_words(p);
+  if (!hits) return;
   uint64_t* xs = x_word(q);
   uint64_t* zs = z_word(q);
-  for (size_t w = 0; w < words_; ++w) {
-    uint64_t hit = hits[w];
-    if (lane_mask != nullptr) hit &= lane_mask[w];
-    if (hit == 0) continue;
-    // Hit lanes are sparse at this library's error rates, so picking the
-    // X/Y/Z flavor per lane keeps the three exactly equiprobable.
-    while (hit != 0) {
-      const int lane = __builtin_ctzll(hit);
-      hit &= hit - 1;
-      const uint64_t bit = uint64_t{1} << lane;
-      switch (rng_.next_below(3)) {
-        case 0: xs[w] ^= bit; break;
-        case 1: xs[w] ^= bit; zs[w] ^= bit; break;
-        default: zs[w] ^= bit; break;
+  Rng rng = rng_;  // register-resident draws in the hot loop (same stream)
+  const auto flavor_word = [&](size_t w) {
+    uint64_t pending = hits.bits[w];
+    if (lane_mask != nullptr) pending &= lane_mask[w];
+    // Draw the X/Y/Z flavor for every hit lane of this word at once: two
+    // random bitplanes spell one of four outcomes per lane, the all-ones
+    // pair is rejected and redrawn, so X, Y and Z stay exactly equiprobable
+    // at ~2.7 word draws per word instead of one Lemire draw per hit lane.
+    while (pending != 0) {
+      const uint64_t a = rng.next_u64();
+      const uint64_t b = rng.next_u64();
+      const uint64_t valid = pending & ~(a & b);
+      xs[w] ^= valid & ~a;       // a=0: X (b=0) or Y (b=1) flips the X frame
+      zs[w] ^= valid & (a ^ b);  // Y (01) and Z (10) flip the Z frame
+      pending &= ~valid;
+    }
+  };
+  if (hits.dense) {
+    for (size_t w = 0; w < words_; ++w) flavor_word(w);
+  } else {
+    // The dirty list is known up front, so prefetch the frame words a few
+    // hits ahead: at large shot counts each row is tens of KB and the
+    // random-word touches otherwise serialize on cache misses.
+    for (size_t i = 0; i < hits.num_dirty; ++i) {
+      if (i + 4 < hits.num_dirty) {
+        const uint32_t pw = hits.dirty[i + 4];
+        __builtin_prefetch(&xs[pw], 1);
+        __builtin_prefetch(&zs[pw], 1);
       }
+      flavor_word(hits.dirty[i]);
     }
   }
+  rng_ = rng;
 }
 
 void BatchFrameSim::depolarize2(size_t a, size_t b, double p,
                                 const uint64_t* lane_mask) {
-  const uint64_t* hits = fill_hit_words(p);
-  if (hits == nullptr) return;
+  const HitWords hits = fill_hit_words(p);
+  if (!hits) return;
   uint64_t* xa = x_word(a);
   uint64_t* za = z_word(a);
   uint64_t* xb = x_word(b);
   uint64_t* zb = z_word(b);
-  for (size_t w = 0; w < words_; ++w) {
-    uint64_t hit = hits[w];
-    if (lane_mask != nullptr) hit &= lane_mask[w];
-    if (hit == 0) continue;
-    // Per hit lane pick one of 15 non-identity 2-qubit Paulis. The lanes are
-    // sparse at our error rates, so a per-bit loop is fine here.
-    while (hit != 0) {
-      const int lane = __builtin_ctzll(hit);
-      hit &= hit - 1;
-      const uint64_t which = rng_.next_below(15) + 1;
-      const uint64_t bit = uint64_t{1} << lane;
-      if (which & 1) xa[w] ^= bit;
-      if (which & 2) za[w] ^= bit;
-      if (which & 4) xb[w] ^= bit;
-      if (which & 8) zb[w] ^= bit;
+  Rng rng = rng_;  // register-resident draws in the hot loop (same stream)
+  const auto flavor_word = [&](size_t w) {
+    uint64_t pending = hits.bits[w];
+    if (lane_mask != nullptr) pending &= lane_mask[w];
+    // Four random bitplanes pick one of the 16 two-qubit Paulis per lane;
+    // rejecting the all-zero (identity) plane leaves the 15 non-identity
+    // flavors exactly equiprobable, drawn word-wide instead of per lane.
+    while (pending != 0) {
+      const uint64_t rxa = rng.next_u64();
+      const uint64_t rza = rng.next_u64();
+      const uint64_t rxb = rng.next_u64();
+      const uint64_t rzb = rng.next_u64();
+      const uint64_t valid = pending & (rxa | rza | rxb | rzb);
+      xa[w] ^= valid & rxa;
+      za[w] ^= valid & rza;
+      xb[w] ^= valid & rxb;
+      zb[w] ^= valid & rzb;
+      pending &= ~valid;
+    }
+  };
+  if (hits.dense) {
+    for (size_t w = 0; w < words_; ++w) flavor_word(w);
+  } else {
+    for (size_t i = 0; i < hits.num_dirty; ++i) {
+      if (i + 4 < hits.num_dirty) {
+        const uint32_t pw = hits.dirty[i + 4];
+        __builtin_prefetch(&xa[pw], 1);
+        __builtin_prefetch(&za[pw], 1);
+        __builtin_prefetch(&xb[pw], 1);
+        __builtin_prefetch(&zb[pw], 1);
+      }
+      flavor_word(hits.dirty[i]);
     }
   }
+  rng_ = rng;
 }
 
 void BatchFrameSim::x_error(size_t q, double p, const uint64_t* lane_mask) {
-  const uint64_t* hits = fill_hit_words(p);
-  if (hits == nullptr) return;
+  const HitWords hits = fill_hit_words(p);
+  if (!hits) return;
   uint64_t* xs = x_word(q);
-  for (size_t w = 0; w < words_; ++w) {
-    uint64_t hit = hits[w];
-    if (lane_mask != nullptr) hit &= lane_mask[w];
-    xs[w] ^= hit;
+  if (hits.dense) {
+    if (lane_mask != nullptr) {
+      simd::xor_masked_into(xs, hits.bits, lane_mask, words_);
+    } else {
+      simd::xor_into(xs, hits.bits, words_);
+    }
+    return;
+  }
+  for (size_t i = 0; i < hits.num_dirty; ++i) {
+    if (i + 8 < hits.num_dirty) __builtin_prefetch(&xs[hits.dirty[i + 8]], 1);
+    const uint32_t w = hits.dirty[i];
+    xs[w] ^= lane_mask != nullptr ? hits.bits[w] & lane_mask[w] : hits.bits[w];
   }
 }
 
 void BatchFrameSim::y_error(size_t q, double p, const uint64_t* lane_mask) {
-  const uint64_t* hits = fill_hit_words(p);
-  if (hits == nullptr) return;
+  const HitWords hits = fill_hit_words(p);
+  if (!hits) return;
   uint64_t* xs = x_word(q);
   uint64_t* zs = z_word(q);
-  for (size_t w = 0; w < words_; ++w) {
-    uint64_t hit = hits[w];
-    if (lane_mask != nullptr) hit &= lane_mask[w];
+  if (hits.dense) {
+    if (lane_mask != nullptr) {
+      simd::xor_masked_into(xs, hits.bits, lane_mask, words_);
+      simd::xor_masked_into(zs, hits.bits, lane_mask, words_);
+    } else {
+      simd::xor_into(xs, hits.bits, words_);
+      simd::xor_into(zs, hits.bits, words_);
+    }
+    return;
+  }
+  for (size_t i = 0; i < hits.num_dirty; ++i) {
+    if (i + 8 < hits.num_dirty) {
+      const uint32_t pw = hits.dirty[i + 8];
+      __builtin_prefetch(&xs[pw], 1);
+      __builtin_prefetch(&zs[pw], 1);
+    }
+    const uint32_t w = hits.dirty[i];
+    const uint64_t hit =
+        lane_mask != nullptr ? hits.bits[w] & lane_mask[w] : hits.bits[w];
     xs[w] ^= hit;
     zs[w] ^= hit;
   }
 }
 
 void BatchFrameSim::z_error(size_t q, double p, const uint64_t* lane_mask) {
-  const uint64_t* hits = fill_hit_words(p);
-  if (hits == nullptr) return;
+  const HitWords hits = fill_hit_words(p);
+  if (!hits) return;
   uint64_t* zs = z_word(q);
-  for (size_t w = 0; w < words_; ++w) {
-    uint64_t hit = hits[w];
-    if (lane_mask != nullptr) hit &= lane_mask[w];
-    zs[w] ^= hit;
+  if (hits.dense) {
+    if (lane_mask != nullptr) {
+      simd::xor_masked_into(zs, hits.bits, lane_mask, words_);
+    } else {
+      simd::xor_into(zs, hits.bits, words_);
+    }
+    return;
+  }
+  for (size_t i = 0; i < hits.num_dirty; ++i) {
+    if (i + 8 < hits.num_dirty) __builtin_prefetch(&zs[hits.dirty[i + 8]], 1);
+    const uint32_t w = hits.dirty[i];
+    zs[w] ^= lane_mask != nullptr ? hits.bits[w] & lane_mask[w] : hits.bits[w];
   }
 }
 
@@ -198,26 +300,22 @@ void BatchFrameSim::inject_z(size_t q) {
 }
 
 void BatchFrameSim::inject_x_masked(size_t q, const uint64_t* lane_mask) {
-  uint64_t* xs = x_word(q);
-  for (size_t w = 0; w < words_; ++w) xs[w] ^= lane_mask[w];
+  simd::xor_into(x_word(q), lane_mask, words_);
 }
 
 void BatchFrameSim::inject_y_masked(size_t q, const uint64_t* lane_mask) {
-  uint64_t* xs = x_word(q);
-  uint64_t* zs = z_word(q);
-  for (size_t w = 0; w < words_; ++w) {
-    xs[w] ^= lane_mask[w];
-    zs[w] ^= lane_mask[w];
-  }
+  simd::xor_into(x_word(q), lane_mask, words_);
+  simd::xor_into(z_word(q), lane_mask, words_);
 }
 
 void BatchFrameSim::inject_z_masked(size_t q, const uint64_t* lane_mask) {
-  uint64_t* zs = z_word(q);
-  for (size_t w = 0; w < words_; ++w) zs[w] ^= lane_mask[w];
+  simd::xor_into(z_word(q), lane_mask, words_);
 }
 
 void BatchFrameSim::randomize_gauge(uint64_t* component) {
-  for (size_t w = 0; w < words_; ++w) component[w] ^= rng_.next_u64();
+  Rng rng = rng_;  // register-resident draws in the hot loop (same stream)
+  for (size_t w = 0; w < words_; ++w) component[w] ^= rng.next_u64();
+  rng_ = rng;
 }
 
 size_t BatchFrameSim::measure_z(size_t q) {
@@ -259,13 +357,15 @@ void BatchFrameSim::classical_z(size_t q, size_t record_index) {
 
 void BatchFrameSim::discard_where(size_t record_index, bool value) {
   const uint64_t* row = record_.row(record_index);
-  for (size_t w = 0; w < words_; ++w) {
-    abort_[w] |= value ? row[w] : ~row[w];
+  if (value) {
+    simd::or_into(abort_.data(), row, words_);
+  } else {
+    simd::or_not_into(abort_.data(), row, words_);
   }
 }
 
 void BatchFrameSim::discard_lanes(const uint64_t* lane_mask) {
-  for (size_t w = 0; w < words_; ++w) abort_[w] |= lane_mask[w];
+  simd::or_into(abort_.data(), lane_mask, words_);
 }
 
 size_t BatchFrameSim::num_kept() const {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -151,6 +153,35 @@ class BatchFrameSim {
 
   Rng& rng() { return rng_; }
 
+  // Result of one stochastic hit-word fill. `bits` is the shared scratch
+  // buffer (valid until the next fill); nullptr means no lane was hit and the
+  // channel is a no-op. When `dense` (p >= 1) every word is all-ones;
+  // otherwise `dirty` lists the ascending indices of the (typically few)
+  // nonzero words so channels touch O(hits) words instead of O(words_).
+  struct HitWords {
+    const uint64_t* bits = nullptr;
+    const uint32_t* dirty = nullptr;
+    size_t num_dirty = 0;
+    bool dense = false;
+    explicit operator bool() const { return bits != nullptr; }
+  };
+  // Fills the reusable hit buffer with bits set iid with probability p,
+  // running ONE geometric-skip stream across the whole 64*num_words() bit
+  // register (instead of restarting the stream per word, which costs a
+  // log1p division per word even when no bit lands there). The skip
+  // logarithms come from a block cache refilled kFillBlock draws at a time
+  // (see next_skip_log), and only the words dirtied by the previous fill
+  // are re-zeroed — so at p <= 1e-4 a channel call costs O(shots*p)
+  // instead of O(words_). Public for the kernel benchmark breakdown and
+  // the fill regression test; callers other than the channels must not
+  // hold the returned pointers across fills.
+  HitWords fill_hit_words(double p);
+
+  // Uniform draws per refill of the skip-logarithm cache. The fill
+  // regression test mirrors this draw order exactly; change the two
+  // together.
+  static constexpr size_t kFillBlock = 256;
+
  private:
   [[nodiscard]] uint64_t* x_word(size_t q) { return &frames_[2 * q * words_]; }
   [[nodiscard]] const uint64_t* x_word(size_t q) const {
@@ -163,13 +194,19 @@ class BatchFrameSim {
     return &frames_[(2 * q + 1) * words_];
   }
 
-  // Fills the reusable hit buffer with bits set iid with probability p,
-  // running ONE geometric-skip stream across the whole 64*num_words() bit
-  // register (instead of restarting the stream per word, which costs a
-  // log1p division per word even when no bit lands there). Returns the
-  // buffer, or nullptr when p <= 0 (no hits; callers skip the channel).
-  const uint64_t* fill_hit_words(double p);
   void randomize_gauge(uint64_t* component);
+
+  // Next precomputed log(1-u), u ~ U[0,1). The geometric skip divides this
+  // by log1p(-p), and the log is p-independent — so the draws are taken and
+  // transformed in blocks of kFillBlock through the simd::log_unit kernel
+  // (the one-at-a-time version chained every libm call through the running
+  // position and was latency-bound), and leftovers carry across channel
+  // calls with different p, wasting nothing.
+  double next_skip_log() {
+    if (skip_pos_ == kFillBlock) refill_skip_log();
+    return skip_log_[skip_pos_++];
+  }
+  void refill_skip_log();
 
   size_t n_;
   size_t shots_;
@@ -177,7 +214,12 @@ class BatchFrameSim {
   std::vector<uint64_t> frames_;  // layout: [qubit][x|z][word]
   BatchRecord record_;
   std::vector<uint64_t> abort_;
-  std::vector<uint64_t> hit_;  // scratch for fill_hit_words
+  std::vector<uint64_t> hit_;        // scratch for fill_hit_words
+  std::vector<uint32_t> hit_dirty_;  // words_-sized scratch of dirty indices
+  size_t hit_dirty_len_ = 0;         // how many of them the last fill set
+  bool hit_dense_ = false;           // last fill set every word (p >= 1)
+  std::array<double, kFillBlock> skip_log_;  // precomputed log1p(-u) draws
+  size_t skip_pos_ = kFillBlock;             // consumed prefix; == => refill
   Rng rng_;
 };
 

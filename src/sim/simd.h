@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+// Runtime-dispatched SIMD word kernels for the bit-parallel shot engine.
+//
+// Every hot loop of BatchFrameSim and the batched recovery drivers is a
+// streaming boolean op over arrays of 64-lane words (XOR/AND/OR lane masks,
+// bit-sliced Hamming decode). Those generalize from one machine word to
+// 256/512-bit lane groups with GCC vector extensions; the kernels here are
+// compiled three times from one implementation file — portable scalar,
+// AVX2 (`target("avx2")`), AVX-512 (`target("avx512f")`) — and dispatched
+// at runtime from CPUID, so the library binary stays generic-march and a
+// machine without AVX2 runs the scalar path unchanged.
+//
+// Bit-exactness contract: every kernel produces identical output at every
+// level (they are pure word ops; the vector paths process floor(words/W)
+// groups plus a scalar tail), and no kernel consumes RNG — so an entire
+// BatchFrameSim replay is bit-for-bit identical across levels under a fixed
+// seed. tests/simd_kernels_test.cpp pins this per kernel across register
+// sizes that exercise the tails, and end-to-end through a noisy gadget.
+//
+// Level selection: highest CPU-supported level by default; the FTQC_SIMD
+// environment variable ("scalar" | "avx2" | "avx512") caps it (requesting
+// an unsupported level falls back to the best supported one), and
+// set_level() overrides programmatically (benches measure simd_speedup by
+// timing the same kernel at forced-scalar vs active level).
+namespace ftqc::sim::simd {
+
+enum class Level : uint8_t { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+[[nodiscard]] const char* level_name(Level level);
+[[nodiscard]] std::optional<Level> parse_level(std::string_view name);
+// Words per SIMD register at this level (1 / 4 / 8).
+[[nodiscard]] size_t level_words(Level level);
+// Register width in bits (64 / 256 / 512).
+[[nodiscard]] inline size_t width_bits(Level level) {
+  return 64 * level_words(level);
+}
+
+// Best level this CPU supports (CPUID, cached).
+[[nodiscard]] Level max_supported_level();
+// The level the kernels below dispatch to: min(max supported, FTQC_SIMD cap)
+// unless overridden by set_level().
+[[nodiscard]] Level active_level();
+// Force a level (clamped to max_supported_level()); returns the level that
+// is now active. Benches and tests use this to compare paths on one machine.
+Level set_level(Level level);
+
+// --- Streaming word kernels -------------------------------------------------
+// All arrays are `words` uint64_t long and may be unaligned; `dst` may not
+// alias any source except where a kernel reads and writes the same array.
+
+// dst[w] ^= src[w]
+void xor_into(uint64_t* dst, const uint64_t* src, size_t words);
+// dst[w] ^= src[w] & mask[w]
+void xor_masked_into(uint64_t* dst, const uint64_t* src, const uint64_t* mask,
+                     size_t words);
+// d1[w] ^= s1[w]; d2[w] ^= s2[w]  (one pass: CX/CZ touch two frame rows)
+void xor2_into(uint64_t* d1, const uint64_t* s1, uint64_t* d2,
+               const uint64_t* s2, size_t words);
+// swap(a[w], b[w])
+void swap_words(uint64_t* a, uint64_t* b, size_t words);
+// dst[w] |= src[w]
+void or_into(uint64_t* dst, const uint64_t* src, size_t words);
+// dst[w] |= ~src[w]
+void or_not_into(uint64_t* dst, const uint64_t* src, size_t words);
+// dst[w] &= src[w]
+void and_into(uint64_t* dst, const uint64_t* src, size_t words);
+// dst[w] &= ~(a[w] ^ b[w])   (the §3.4 agreement fold)
+void and_eq_into(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                 size_t words);
+// dst[w] = a[w] & ~b[w]
+void andnot(uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t words);
+// dst[w] = (dst[w] & ~mask[w]) | (src[w] & mask[w])   (per-lane mux: lanes
+// of mask take src, the rest keep dst — the cat-retry parking update)
+void blend_into(uint64_t* dst, const uint64_t* src, const uint64_t* mask,
+                size_t words);
+// dst[w] = (a[w] ^ b[w]) & mask[w]   (masked frame difference)
+void xor_and(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+             const uint64_t* mask, size_t words);
+// out[w] = act[w] & (s0[w]^i0) & (s1[w]^i1) & (s2[w]^i2), where ik is ~0
+// to take the complement of bitplane k and 0 to take it as is — the
+// three-bitplane position select of the bit-sliced Hamming decode (Eq. 3).
+void select3_and(uint64_t* out, const uint64_t* act, const uint64_t* s0,
+                 uint64_t i0, const uint64_t* s1, uint64_t i1,
+                 const uint64_t* s2, uint64_t i2, size_t words);
+// Bit-sliced classical Hamming [7,4,3] decode over 7 rows. syn_mask[j] holds
+// the 7-bit support of check-matrix row j. logical=true: corrected-word
+// parity (parity ^ syndrome-nonzero); logical=false: nonzero coset weight
+// (syndrome-nonzero | parity).
+void hamming7_decode(const uint64_t* const rows[7], const uint8_t syn_mask[3],
+                     bool logical, uint64_t* out, size_t words);
+// out[w] = (rows[0][w] | ... | rows[n-1][w]) [& active[w] if non-null],
+// rows laid out contiguously with stride `words` (syndrome-row blocks).
+void or_rows_masked(const uint64_t* rows, size_t num_rows,
+                    const uint64_t* active, uint64_t* out, size_t words);
+// In-place natural log of n doubles in (0, 1]: the geometric-skip sampler's
+// block transform (glibc log1p is latency-bound per call on uniform
+// arguments). Branchless musl-style reduction x = z * 2^k with z in
+// [sqrt(1/2), sqrt(2)), then an atanh-series polynomial — elementwise
+// identical at every level (the translation unit is built with
+// -ffp-contract=off so no stamp fuses a*b+c), relative error < 1e-10,
+// which is orders below anything a sampling application can resolve.
+// Inputs outside (0, 1] are unsupported.
+void log_unit(double* values, size_t n);
+
+}  // namespace ftqc::sim::simd

@@ -1,0 +1,222 @@
+#include "sim/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define FTQC_SIMD_X86 1
+#endif
+
+namespace ftqc::sim::simd {
+
+namespace {
+
+// --- The three kernel stamps (see simd_kernels_impl.inc) --------------------
+
+#define FTQC_SIMD_NS scalar_impl
+#define FTQC_SIMD_WORDS 1
+#define FTQC_SIMD_TARGET
+#include "sim/simd_kernels_impl.inc"
+#undef FTQC_SIMD_NS
+#undef FTQC_SIMD_WORDS
+#undef FTQC_SIMD_TARGET
+
+#ifdef FTQC_SIMD_X86
+#define FTQC_SIMD_NS avx2_impl
+#define FTQC_SIMD_WORDS 4
+#define FTQC_SIMD_TARGET __attribute__((target("avx2")))
+#include "sim/simd_kernels_impl.inc"
+#undef FTQC_SIMD_NS
+#undef FTQC_SIMD_WORDS
+#undef FTQC_SIMD_TARGET
+
+#define FTQC_SIMD_NS avx512_impl
+#define FTQC_SIMD_WORDS 8
+#define FTQC_SIMD_TARGET __attribute__((target("avx512f")))
+#include "sim/simd_kernels_impl.inc"
+#undef FTQC_SIMD_NS
+#undef FTQC_SIMD_WORDS
+#undef FTQC_SIMD_TARGET
+#else
+namespace avx2_impl = scalar_impl;
+namespace avx512_impl = scalar_impl;
+#endif
+
+// --- Dispatch table ---------------------------------------------------------
+
+struct KernelTable {
+  void (*xor_into)(uint64_t*, const uint64_t*, size_t);
+  void (*xor_masked_into)(uint64_t*, const uint64_t*, const uint64_t*, size_t);
+  void (*xor2_into)(uint64_t*, const uint64_t*, uint64_t*, const uint64_t*,
+                    size_t);
+  void (*swap_words)(uint64_t*, uint64_t*, size_t);
+  void (*or_into)(uint64_t*, const uint64_t*, size_t);
+  void (*or_not_into)(uint64_t*, const uint64_t*, size_t);
+  void (*and_into)(uint64_t*, const uint64_t*, size_t);
+  void (*and_eq_into)(uint64_t*, const uint64_t*, const uint64_t*, size_t);
+  void (*andnot)(uint64_t*, const uint64_t*, const uint64_t*, size_t);
+  void (*blend_into)(uint64_t*, const uint64_t*, const uint64_t*, size_t);
+  void (*xor_and)(uint64_t*, const uint64_t*, const uint64_t*, const uint64_t*,
+                  size_t);
+  void (*select3_and)(uint64_t*, const uint64_t*, const uint64_t*, uint64_t,
+                      const uint64_t*, uint64_t, const uint64_t*, uint64_t,
+                      size_t);
+  void (*hamming7_decode)(const uint64_t* const[7], const uint8_t[3], bool,
+                          uint64_t*, size_t);
+  void (*or_rows_masked)(const uint64_t*, size_t, const uint64_t*, uint64_t*,
+                         size_t);
+  void (*log_unit)(double*, size_t);
+};
+
+#define FTQC_SIMD_TABLE(ns)                                            \
+  KernelTable {                                                        \
+    ns::xor_into, ns::xor_masked_into, ns::xor2_into, ns::swap_words,  \
+        ns::or_into, ns::or_not_into, ns::and_into, ns::and_eq_into,   \
+        ns::andnot, ns::blend_into, ns::xor_and, ns::select3_and,      \
+        ns::hamming7_decode, ns::or_rows_masked, ns::log_unit          \
+  }
+
+const KernelTable kTables[3] = {
+    FTQC_SIMD_TABLE(scalar_impl),
+    FTQC_SIMD_TABLE(avx2_impl),
+    FTQC_SIMD_TABLE(avx512_impl),
+};
+#undef FTQC_SIMD_TABLE
+
+Level detect_max_level() {
+#ifdef FTQC_SIMD_X86
+  // avx512bw is what makes 512-bit integer lane ops first-class; f alone
+  // covers the 64-bit XOR/AND ops used here, but gate on both so the level
+  // only claims hardware that runs every kernel natively.
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw")) {
+    return Level::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+
+Level initial_level() {
+  Level level = detect_max_level();
+  if (const char* env = std::getenv("FTQC_SIMD")) {
+    if (const auto parsed = parse_level(env)) {
+      // The env var caps the dispatch; asking for more than the CPU has
+      // falls back to the best supported level rather than crashing later.
+      if (*parsed < level) level = *parsed;
+    }
+  }
+  return level;
+}
+
+// -1 = not yet resolved; otherwise a Level. set_level() writes it directly.
+std::atomic<int> g_active_level{-1};
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+    case Level::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+std::optional<Level> parse_level(std::string_view name) {
+  if (name == "scalar") return Level::kScalar;
+  if (name == "avx2") return Level::kAvx2;
+  if (name == "avx512") return Level::kAvx512;
+  return std::nullopt;
+}
+
+size_t level_words(Level level) {
+  switch (level) {
+    case Level::kScalar: return 1;
+    case Level::kAvx2: return 4;
+    case Level::kAvx512: return 8;
+  }
+  return 1;
+}
+
+Level max_supported_level() {
+  static const Level level = detect_max_level();
+  return level;
+}
+
+Level active_level() {
+  int lv = g_active_level.load(std::memory_order_relaxed);
+  if (lv < 0) {
+    lv = static_cast<int>(initial_level());
+    g_active_level.store(lv, std::memory_order_relaxed);
+  }
+  return static_cast<Level>(lv);
+}
+
+Level set_level(Level level) {
+  if (level > max_supported_level()) level = max_supported_level();
+  g_active_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  return level;
+}
+
+namespace {
+inline const KernelTable& table() {
+  return kTables[static_cast<int>(active_level())];
+}
+}  // namespace
+
+void xor_into(uint64_t* dst, const uint64_t* src, size_t words) {
+  table().xor_into(dst, src, words);
+}
+void xor_masked_into(uint64_t* dst, const uint64_t* src, const uint64_t* mask,
+                     size_t words) {
+  table().xor_masked_into(dst, src, mask, words);
+}
+void xor2_into(uint64_t* d1, const uint64_t* s1, uint64_t* d2,
+               const uint64_t* s2, size_t words) {
+  table().xor2_into(d1, s1, d2, s2, words);
+}
+void swap_words(uint64_t* a, uint64_t* b, size_t words) {
+  table().swap_words(a, b, words);
+}
+void or_into(uint64_t* dst, const uint64_t* src, size_t words) {
+  table().or_into(dst, src, words);
+}
+void or_not_into(uint64_t* dst, const uint64_t* src, size_t words) {
+  table().or_not_into(dst, src, words);
+}
+void and_into(uint64_t* dst, const uint64_t* src, size_t words) {
+  table().and_into(dst, src, words);
+}
+void and_eq_into(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                 size_t words) {
+  table().and_eq_into(dst, a, b, words);
+}
+void andnot(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+            size_t words) {
+  table().andnot(dst, a, b, words);
+}
+void blend_into(uint64_t* dst, const uint64_t* src, const uint64_t* mask,
+                size_t words) {
+  table().blend_into(dst, src, mask, words);
+}
+void xor_and(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+             const uint64_t* mask, size_t words) {
+  table().xor_and(dst, a, b, mask, words);
+}
+void select3_and(uint64_t* out, const uint64_t* act, const uint64_t* s0,
+                 uint64_t i0, const uint64_t* s1, uint64_t i1,
+                 const uint64_t* s2, uint64_t i2, size_t words) {
+  table().select3_and(out, act, s0, i0, s1, i1, s2, i2, words);
+}
+void hamming7_decode(const uint64_t* const rows[7], const uint8_t syn_mask[3],
+                     bool logical, uint64_t* out, size_t words) {
+  table().hamming7_decode(rows, syn_mask, logical, out, words);
+}
+void or_rows_masked(const uint64_t* rows, size_t num_rows,
+                    const uint64_t* active, uint64_t* out, size_t words) {
+  table().or_rows_masked(rows, num_rows, active, out, words);
+}
+void log_unit(double* values, size_t n) { table().log_unit(values, n); }
+
+}  // namespace ftqc::sim::simd

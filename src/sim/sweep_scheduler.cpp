@@ -1,0 +1,483 @@
+#include "sim/sweep_scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "common/check.h"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace ftqc::sim {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// FNV-1a over "bench" + '/' + "id": a stable, platform-independent hash so
+// a checkpointed campaign re-derives identical per-point seeds on resume.
+uint64_t fnv1a(std::string_view bench, std::string_view id) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&](std::string_view s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(bench);
+  h ^= static_cast<unsigned char>('/');
+  h *= 0x100000001b3ull;
+  mix(id);
+  return h;
+}
+
+std::string checkpoint_key(std::string_view bench, std::string_view id) {
+  std::string key(bench);
+  key += '\n';  // ids never contain newlines; benches are "E14"-style tags
+  key += id;
+  return key;
+}
+
+std::string json_escaped(std::string_view raw) {
+  std::string out;
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// --- Flat JSON shard parsing ------------------------------------------------
+// Shards are one-line flat objects (string / number / bool / null values,
+// no nesting) in the exact dialect CheckpointStore::record and
+// bench_harness.h emit. Anything else fails the parse and the file is
+// skipped with a warning — a stray foreign .json in the campaign dir must
+// not abort a resume.
+
+struct FlatJson {
+  std::vector<std::pair<std::string, double>> numbers;
+  std::map<std::string, std::string, std::less<>> strings;
+};
+
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(std::string_view text) : text_(text) {}
+
+  bool parse(FlatJson& out) {
+    skip_ws();
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      std::string key, str;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (peek() == '"') {
+        if (!parse_string(str)) return false;
+        out.strings.emplace(std::move(key), std::move(str));
+      } else if (eat_word("true")) {
+        out.numbers.emplace_back(std::move(key), 1.0);
+      } else if (eat_word("false")) {
+        out.numbers.emplace_back(std::move(key), 0.0);
+      } else if (eat_word("null")) {
+        // A non-finite metric (JsonResult and the shards both write those
+        // as null): absent on read-back, by design.
+      } else {
+        double value = 0;
+        if (!parse_number(value)) return false;
+        out.numbers.emplace_back(std::move(key), value);
+      }
+      skip_ws();
+      if (eat('}')) break;
+      if (!eat(',')) return false;
+      skip_ws();
+    }
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool eat_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          const unsigned long cp =
+              std::strtoul(std::string(text_.substr(pos_, 4)).c_str(),
+                           nullptr, 16);
+          pos_ += 4;
+          // Shards only escape control bytes, so one raw byte suffices.
+          out += static_cast<char>(cp);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;
+  }
+  bool parse_number(double& out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out = std::strtod(token.c_str(), &end);
+    return end == token.c_str() + token.size();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+size_t default_workers() {
+#ifdef _OPENMP
+  const int n = omp_get_max_threads();
+#else
+  const int n = static_cast<int>(std::thread::hardware_concurrency());
+#endif
+  return n > 0 ? static_cast<size_t>(n) : 1;
+}
+
+}  // namespace
+
+// --- SweepMetrics -----------------------------------------------------------
+
+std::optional<double> SweepMetrics::get(std::string_view key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+double SweepMetrics::at(std::string_view key) const {
+  const auto value = get(key);
+  FTQC_CHECK(value.has_value(), "sweep metric missing");
+  return *value;
+}
+
+// --- plan_for_point ---------------------------------------------------------
+
+ShotPlan plan_for_point(const ShotPlan& base, std::string_view bench,
+                        std::string_view id) {
+  ShotPlan plan = base.for_stratum(fnv1a(bench, id));
+  plan.parallel = false;
+  return plan;
+}
+
+// --- CheckpointStore --------------------------------------------------------
+
+std::string CheckpointStore::shard_filename(std::string_view bench,
+                                            std::string_view id) {
+  std::string name = "BENCH_";
+  name += bench;
+  name += '.';
+  for (const char c : id) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    name += ok ? c : '_';
+  }
+  name += ".json";
+  return name;
+}
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) != 0 || name.size() < 6 ||
+        entry.path().extension() != ".json") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    FlatJson parsed;
+    if (!FlatJsonParser(buffer.str()).parse(parsed)) {
+      std::fprintf(stderr, "[sweep] warning: unparseable shard %s (ignored)\n",
+                   entry.path().c_str());
+      continue;
+    }
+    // Only point shards resume; final BENCH_<name>.json artifacts (no
+    // "point" field) share the directory without being mistaken for one.
+    const auto bench_it = parsed.strings.find("bench");
+    const auto point_it = parsed.strings.find("point");
+    if (bench_it == parsed.strings.end() || point_it == parsed.strings.end()) {
+      continue;
+    }
+    SweepMetrics metrics;
+    for (auto& [key, value] : parsed.numbers) metrics.add(key, value);
+    loaded_.insert_or_assign(
+        checkpoint_key(bench_it->second, point_it->second),
+        std::move(metrics));
+  }
+}
+
+bool CheckpointStore::contains(std::string_view bench,
+                               std::string_view id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return loaded_.find(checkpoint_key(bench, id)) != loaded_.end();
+}
+
+std::optional<SweepMetrics> CheckpointStore::find(std::string_view bench,
+                                                  std::string_view id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = loaded_.find(checkpoint_key(bench, id));
+  if (it == loaded_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t CheckpointStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return loaded_.size();
+}
+
+void CheckpointStore::record(std::string_view bench, std::string_view id,
+                             const SweepMetrics& metrics) {
+  std::string json = "{\"bench\":\"";
+  json += json_escaped(bench);
+  json += "\",\"point\":\"";
+  json += json_escaped(id);
+  json += '"';
+  for (const auto& [key, value] : metrics.fields()) {
+    json += ",\"";
+    json += json_escaped(key);
+    json += "\":";
+    if (std::isfinite(value)) {
+      // %.17g round-trips every finite double exactly through strtod: the
+      // resume path must reproduce the straight-through metrics to the bit,
+      // not to 12 digits.
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", value);
+      json += buf;
+    } else {
+      json += "null";
+    }
+  }
+  json += "}";
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  loaded_.insert_or_assign(checkpoint_key(bench, id), metrics);
+  if (dir_.empty()) return;
+  const fs::path path = fs::path(dir_) / shard_filename(bench, id);
+  // Temp-then-rename: a kill mid-write leaves at worst a stale .tmp, never
+  // a truncated shard that the resume scan would have to distrust.
+  const fs::path tmp = path.string() + ".tmp";
+  if (std::FILE* out = std::fopen(tmp.c_str(), "w")) {
+    std::fprintf(out, "%s\n", json.c_str());
+    std::fclose(out);
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+      std::fprintf(stderr, "[sweep] warning: could not commit %s: %s\n",
+                   path.c_str(), ec.message().c_str());
+    }
+  } else {
+    std::fprintf(stderr, "[sweep] warning: could not write %s\n", tmp.c_str());
+  }
+}
+
+// --- run_sweep --------------------------------------------------------------
+
+namespace {
+
+// One worker's slice of the bag. Owner and thieves pop through the same
+// atomic cursor, so a pop is a single fetch_add wherever it comes from.
+struct WorkQueue {
+  std::vector<size_t> items;
+  std::atomic<size_t> head{0};
+
+  std::optional<size_t> pop() {
+    const size_t h = head.fetch_add(1, std::memory_order_relaxed);
+    if (h < items.size()) return items[h];
+    return std::nullopt;
+  }
+  [[nodiscard]] size_t left() const {
+    const size_t h = head.load(std::memory_order_relaxed);
+    return h < items.size() ? items.size() - h : 0;
+  }
+};
+
+}  // namespace
+
+SweepReport run_sweep(const std::vector<SweepPoint>& points,
+                      const SweepOptions& options, CheckpointStore* store) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  SweepReport report;
+  report.results.resize(points.size());
+
+  std::vector<size_t> todo;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (store != nullptr) {
+      if (auto cached = store->find(points[i].bench, points[i].id)) {
+        report.results[i] = std::move(*cached);
+        ++report.skipped;
+        continue;
+      }
+    }
+    todo.push_back(i);
+  }
+  if (options.verbose && report.skipped > 0) {
+    std::fprintf(stderr,
+                 "[sweep] resume: %zu of %zu points already checkpointed\n",
+                 report.skipped, points.size());
+  }
+
+  const size_t budget =
+      options.max_points == 0 ? todo.size()
+                              : std::min(options.max_points, todo.size());
+  size_t num_workers = options.workers == 0 ? default_workers()
+                                            : options.workers;
+  num_workers = std::max<size_t>(1, std::min(num_workers, budget));
+
+  const auto queues = std::make_unique<WorkQueue[]>(num_workers);
+  for (size_t k = 0; k < todo.size(); ++k) {
+    queues[k % num_workers].items.push_back(todo[k]);
+  }
+
+  std::atomic<size_t> tickets{0};
+  std::atomic<size_t> completed{0};
+  std::atomic<size_t> failed{0};
+  std::mutex io_mutex;
+
+  const auto next_point = [&](size_t w) -> std::optional<size_t> {
+    if (auto idx = queues[w].pop()) return idx;
+    for (;;) {
+      // Steal from the most loaded victim: the longest queue is the one
+      // most likely to still have work by the time the fetch_add lands.
+      size_t best = num_workers;
+      size_t best_left = 0;
+      for (size_t j = 0; j < num_workers; ++j) {
+        const size_t left = queues[j].left();
+        if (left > best_left) {
+          best_left = left;
+          best = j;
+        }
+      }
+      if (best == num_workers) return std::nullopt;
+      if (auto idx = queues[best].pop()) return idx;
+      // Lost the race to another thief; rescan.
+    }
+  };
+
+  const auto work = [&](size_t w) {
+    for (;;) {
+      // Ticket before pop: a ticket only goes to waste when the bag is
+      // already empty, so max_points still means "at most N fresh runs".
+      if (tickets.fetch_add(1, std::memory_order_relaxed) >= budget) return;
+      const auto idx = next_point(w);
+      if (!idx) return;
+      const SweepPoint& point = points[*idx];
+      std::optional<SweepMetrics> metrics;
+      try {
+        metrics = point.run();
+      } catch (...) {
+        metrics.reset();
+      }
+      if (metrics.has_value()) {
+        if (store != nullptr) store->record(point.bench, point.id, *metrics);
+        report.results[*idx] = std::move(*metrics);
+        const size_t done =
+            completed.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (options.verbose) {
+          const std::lock_guard<std::mutex> lock(io_mutex);
+          std::fprintf(stderr, "[sweep] %s/%s done (%zu/%zu)\n",
+                       point.bench.c_str(), point.id.c_str(), done, budget);
+        }
+      } else {
+        failed.fetch_add(1, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(io_mutex);
+        std::fprintf(stderr, "[sweep] %s/%s FAILED\n", point.bench.c_str(),
+                     point.id.c_str());
+      }
+    }
+  };
+
+  if (num_workers <= 1) {
+    work(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) pool.emplace_back(work, w);
+    for (auto& t : pool) t.join();
+  }
+
+  report.completed = completed.load();
+  report.failed = failed.load();
+  report.remaining = todo.size() - report.completed - report.failed;
+  report.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  if (options.verbose && report.remaining > 0) {
+    std::fprintf(stderr,
+                 "[sweep] stopped after %zu points (max-points); %zu left "
+                 "checkpoint-resumable\n",
+                 report.completed, report.remaining);
+  }
+  return report;
+}
+
+}  // namespace ftqc::sim

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/shot_runner.h"
+
+// Work-stealing sweep scheduler with checkpoint/resume.
+//
+// A parameter sweep — (bench, code, noise, discipline, eps) grids like
+// E14's decoder x lattice x p matrix or E18's level x discipline x eps
+// ladder — is a bag of independent Monte Carlo jobs with wildly uneven
+// costs (an exRec rare-event stratum runs 1000x longer than a toric L=4
+// point). The scheduler runs such a bag on a work-stealing worker pool,
+// checkpoints every completed point to its own BENCH_<bench>.<id>.json
+// shard, and on the next invocation skips the points whose shards are
+// already present — so a killed campaign resumes instead of restarting.
+//
+// Determinism contract: each point owns its seeds (either explicit legacy
+// seeds, or plan_for_point()'s decorrelated derivation from the ShotPlan
+// stride scheme) and runs its shot loops serially (plan.parallel = false);
+// all cross-shot parallelism lives in the scheduler. A point's metrics are
+// therefore identical no matter how many workers ran the sweep, which
+// points were stolen, or how many kill/resume rounds it took — the
+// checkpoint/resume test pins straight-through == killed-and-resumed.
+namespace ftqc::sim {
+
+// Flat ordered key -> double metric set produced by one sweep point. Doubles
+// cover everything the shards need (counts serialize exactly up to 2^53,
+// far beyond any shot budget here); non-finite values serialize as JSON
+// null and read back as absent.
+class SweepMetrics {
+ public:
+  void add(std::string key, double value) {
+    fields_.emplace_back(std::move(key), value);
+  }
+  [[nodiscard]] std::optional<double> get(std::string_view key) const;
+  // get() or die: for metrics the caller just computed a few lines up.
+  [[nodiscard]] double at(std::string_view key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& fields()
+      const {
+    return fields_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> fields_;
+};
+
+// One job: `run` computes the point's metrics (typically one ShotRunner
+// sweep), returning nullopt on failure (a failed point is neither
+// checkpointed nor retried this invocation). `bench` groups the shards;
+// `id` must be unique within the bench and stable across invocations —
+// it is the checkpoint key AND the seed-derivation key, so renaming a
+// point re-runs (and re-seeds) it.
+struct SweepPoint {
+  std::string bench;
+  std::string id;
+  std::function<std::optional<SweepMetrics>()> run;
+};
+
+// Decorrelated per-point plan, derived from the ShotPlan stride scheme the
+// same way the rare-event strata derive theirs: FNV-1a of "bench/id" feeds
+// ShotPlan::for_stratum's splitmix64 offset, so point A's shot i never
+// replays point B's seed stream, while shots/stride/engine/blocking carry
+// over unchanged. Also forces parallel = false: under the scheduler the
+// worker pool owns all parallelism (nested OpenMP teams would oversubscribe
+// and, worse, re-couple a point's cost to the thread schedule).
+[[nodiscard]] ShotPlan plan_for_point(const ShotPlan& base,
+                                      std::string_view bench,
+                                      std::string_view id);
+
+// Completed-point store: one BENCH_<bench>.<sanitized id>.json shard per
+// point, written atomically (temp + rename) so a kill never leaves a
+// half-shard that poisons the resume scan. Construction loads every
+// readable shard under `dir`; record() is thread-safe.
+class CheckpointStore {
+ public:
+  // Empty dir disables persistence (the store still caches in memory).
+  explicit CheckpointStore(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] bool contains(std::string_view bench,
+                              std::string_view id) const;
+  [[nodiscard]] std::optional<SweepMetrics> find(std::string_view bench,
+                                                 std::string_view id) const;
+  void record(std::string_view bench, std::string_view id,
+              const SweepMetrics& metrics);
+  [[nodiscard]] size_t size() const;
+
+  // "BENCH_<bench>.<id>.json" with id's non-[A-Za-z0-9_.-] bytes mapped to
+  // '_' (the id itself is stored inside the shard, so sanitization
+  // collisions would only merge checkpoints, never corrupt values — avoid
+  // ids that differ solely in punctuation anyway).
+  [[nodiscard]] static std::string shard_filename(std::string_view bench,
+                                                  std::string_view id);
+
+ private:
+  mutable std::mutex mutex_;
+  std::string dir_;
+  std::map<std::string, SweepMetrics, std::less<>> loaded_;
+};
+
+struct SweepOptions {
+  // 0 = one worker per hardware thread (OMP_NUM_THREADS-respecting when
+  // built with OpenMP). The pool is std::thread-based either way.
+  size_t workers = 0;
+  // Stop after this many fresh completions (0 = run everything): the
+  // "simulated kill" used by the resume tests and --max-points flags.
+  size_t max_points = 0;
+  // Per-point completion lines on stderr (stdout stays parseable:
+  // BENCH_JSON readers grep it).
+  bool verbose = true;
+};
+
+struct SweepReport {
+  size_t completed = 0;  // fresh points run to success this invocation
+  size_t skipped = 0;    // resumed from checkpoint shards
+  size_t failed = 0;     // run() returned nullopt
+  size_t remaining = 0;  // left undone by max_points
+  double seconds = 0;
+  // Input order; nullopt = not resolved (failed, or cut by max_points).
+  std::vector<std::optional<SweepMetrics>> results;
+  [[nodiscard]] bool finished() const { return remaining == 0 && failed == 0; }
+};
+
+// Runs the bag. Checkpointed points resolve from `store` without running;
+// fresh completions are recorded back into it. Pass store = nullptr to run
+// without checkpointing. Worker w owns every index congruent to w; an idle
+// worker steals from the most loaded victim's queue, so one long rare-event
+// point never serializes the tail of the sweep behind it.
+SweepReport run_sweep(const std::vector<SweepPoint>& points,
+                      const SweepOptions& options = {},
+                      CheckpointStore* store = nullptr);
+
+}  // namespace ftqc::sim

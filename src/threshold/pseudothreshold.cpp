@@ -24,7 +24,7 @@ bool one_cycle_fails(const sim::NoiseParams& noise, uint64_t seed) {
 
 CyclePoint measure_cycle_failure(RecoveryMethod method, double eps_gate,
                                  size_t shots, uint64_t seed, double eps_store,
-                                 sim::ShotEngine engine) {
+                                 sim::ShotEngine engine, bool parallel) {
   FTQC_CHECK(engine != sim::ShotEngine::kExact,
              "recovery cycles are frame-native; use frame or batch");
   const auto noise = sim::NoiseParams::uniform_gate(eps_gate, eps_store);
@@ -34,6 +34,7 @@ CyclePoint measure_cycle_failure(RecoveryMethod method, double eps_gate,
   plan.seed = seed;
   plan.seed_stride = kSeedStride;
   plan.engine = engine;
+  plan.parallel = parallel;
   const sim::ShotRunner runner(plan);
 
   const auto shot_fails = [&](uint64_t shot_seed) {

@@ -33,9 +33,12 @@ struct CyclePoint {
 //    (OpenMP over blocks). The Shor cat-retry loop is data-dependent per
 //    shot; the batch driver replays it as masked re-replay of failed lanes.
 // kExact is rejected: the recovery gadgets are frame-native.
+// `parallel = false` opts the shot loop out of OpenMP — sweep-scheduler
+// points do this because the worker pool already owns all parallelism.
 [[nodiscard]] CyclePoint measure_cycle_failure(
     RecoveryMethod method, double eps_gate, size_t shots, uint64_t seed,
-    double eps_store = 0.0, sim::ShotEngine engine = sim::ShotEngine::kFrame);
+    double eps_store = 0.0, sim::ShotEngine engine = sim::ShotEngine::kFrame,
+    bool parallel = true);
 
 // Sweep a list of ε values.
 [[nodiscard]] std::vector<CyclePoint> sweep_cycle_failure(

@@ -1,0 +1,275 @@
+// Work-stealing sweep scheduler + checkpoint/resume (sim/sweep_scheduler.h).
+// The load-bearing property is the determinism contract: a sweep's metrics
+// are identical whether it ran straight through on one worker, raced across
+// four, or was killed mid-flight and resumed from its shards — because each
+// point owns its seeds and all parallelism lives in the scheduler. These
+// tests pin that contract at the library level (the E14/E18 benches and the
+// campaign runner pin it again end to end).
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "sim/shot_runner.h"
+#include "sim/sweep_scheduler.h"
+
+namespace ftqc::sim {
+namespace {
+
+// A deterministic stand-in workload: a short seeded RNG reduction, so two
+// runs of the same point agree bit-for-bit and different points differ.
+SweepMetrics fake_measurement(const ShotPlan& plan) {
+  Rng rng(plan.seed);
+  double acc = 0;
+  uint64_t hits = 0;
+  for (size_t i = 0; i < 1000; ++i) {
+    const double u = rng.next_double();
+    acc += u;
+    hits += u < 0.25 ? 1 : 0;
+  }
+  SweepMetrics m;
+  m.add("acc", acc);
+  m.add("hits", static_cast<double>(hits));
+  return m;
+}
+
+std::vector<SweepPoint> make_points(size_t n, std::atomic<size_t>* runs) {
+  ShotPlan base;
+  base.shots = 1000;
+  base.seed = 99;
+  base.seed_stride = 17;
+  std::vector<SweepPoint> points;
+  for (size_t i = 0; i < n; ++i) {
+    SweepPoint point;
+    point.bench = "TEST";
+    point.id = "pt" + std::to_string(i);
+    const ShotPlan plan = plan_for_point(base, point.bench, point.id);
+    point.run = [plan, runs]() -> std::optional<SweepMetrics> {
+      if (runs != nullptr) runs->fetch_add(1);
+      return fake_measurement(plan);
+    };
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+// A per-test scratch directory, cleared on entry: TempDir() persists
+// across test-binary invocations, and stale shards would satisfy resume.
+std::string fresh_dir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<std::pair<std::string, double>> all_fields(
+    const SweepReport& report) {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& metrics : report.results) {
+    EXPECT_TRUE(metrics.has_value());
+    if (!metrics) continue;
+    for (const auto& field : metrics->fields()) out.push_back(field);
+  }
+  return out;
+}
+
+TEST(PlanForPoint, DerivesDecorrelatedSerialPlans) {
+  ShotPlan base;
+  base.shots = 1234;
+  base.seed = 7;
+  base.seed_stride = 11;
+  base.parallel = true;
+  const ShotPlan a = plan_for_point(base, "E18", "l1_1em3");
+  const ShotPlan b = plan_for_point(base, "E18", "l1_2em3");
+  const ShotPlan c = plan_for_point(base, "E14", "l1_1em3");
+  // Budget and blocking carry over; the seed decorrelates; parallelism is
+  // forced off (the scheduler owns the threads).
+  EXPECT_EQ(a.shots, base.shots);
+  EXPECT_EQ(a.engine, base.engine);
+  EXPECT_FALSE(a.parallel);
+  EXPECT_NE(a.seed, base.seed);
+  EXPECT_NE(a.seed, b.seed);
+  EXPECT_NE(a.seed, c.seed);  // same id, different bench
+  // Stable across calls: the checkpoint key doubles as the seed key.
+  EXPECT_EQ(a.seed, plan_for_point(base, "E18", "l1_1em3").seed);
+}
+
+TEST(SweepScheduler, WorkerCountDoesNotChangeResults) {
+  const auto points = make_points(23, nullptr);
+  SweepOptions serial;
+  serial.workers = 1;
+  serial.verbose = false;
+  SweepOptions pooled;
+  pooled.workers = 4;
+  pooled.verbose = false;
+  const SweepReport a = run_sweep(points, serial);
+  const SweepReport b = run_sweep(points, pooled);
+  EXPECT_TRUE(a.finished());
+  EXPECT_TRUE(b.finished());
+  EXPECT_EQ(a.completed, 23u);
+  EXPECT_EQ(b.completed, 23u);
+  EXPECT_EQ(all_fields(a), all_fields(b));
+}
+
+TEST(SweepScheduler, KilledAndResumedMatchesStraightThrough) {
+  const auto straight_points = make_points(12, nullptr);
+  SweepOptions options;
+  options.verbose = false;
+  options.workers = 2;
+  const SweepReport straight = run_sweep(straight_points, options);
+  ASSERT_TRUE(straight.finished());
+
+  CheckpointStore store(fresh_dir("sweep_resume"));
+  // Round 1: the "kill" — only 5 fresh points allowed.
+  std::atomic<size_t> runs{0};
+  const auto points = make_points(12, &runs);
+  SweepOptions killed = options;
+  killed.max_points = 5;
+  const SweepReport partial = run_sweep(points, killed, &store);
+  EXPECT_FALSE(partial.finished());
+  EXPECT_EQ(partial.completed, 5u);
+  EXPECT_EQ(partial.remaining, 7u);
+  EXPECT_EQ(runs.load(), 5u);
+  EXPECT_EQ(store.size(), 5u);
+
+  // Round 2: resume — a FRESH store instance must reload the shards from
+  // disk, skip the 5 done points, and finish the rest.
+  CheckpointStore reloaded(store.dir());
+  EXPECT_EQ(reloaded.size(), 5u);
+  const SweepReport resumed = run_sweep(points, options, &reloaded);
+  EXPECT_TRUE(resumed.finished());
+  EXPECT_EQ(resumed.skipped, 5u);
+  EXPECT_EQ(resumed.completed, 7u);
+  EXPECT_EQ(runs.load(), 12u);
+  EXPECT_EQ(all_fields(resumed), all_fields(straight));
+
+  // Round 3: everything checkpointed — nothing runs at all.
+  const SweepReport rerun = run_sweep(points, options, &reloaded);
+  EXPECT_TRUE(rerun.finished());
+  EXPECT_EQ(rerun.skipped, 12u);
+  EXPECT_EQ(rerun.completed, 0u);
+  EXPECT_EQ(runs.load(), 12u);
+  EXPECT_EQ(all_fields(rerun), all_fields(straight));
+}
+
+TEST(SweepScheduler, FailedPointIsNotCheckpointedAndRetriesNextRound) {
+  CheckpointStore store(fresh_dir("sweep_fail"));
+  std::atomic<bool> heal{false};
+  std::vector<SweepPoint> points;
+  SweepPoint flaky;
+  flaky.bench = "TEST";
+  flaky.id = "flaky";
+  flaky.run = [&heal]() -> std::optional<SweepMetrics> {
+    if (!heal.load()) return std::nullopt;
+    SweepMetrics m;
+    m.add("ok", 1.0);
+    return m;
+  };
+  points.push_back(std::move(flaky));
+  SweepOptions options;
+  options.verbose = false;
+  options.workers = 1;
+
+  const SweepReport failed = run_sweep(points, options, &store);
+  EXPECT_FALSE(failed.finished());
+  EXPECT_EQ(failed.failed, 1u);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(points[0].run == nullptr);
+  EXPECT_FALSE(failed.results[0].has_value());
+
+  heal.store(true);
+  const SweepReport healed = run_sweep(points, options, &store);
+  EXPECT_TRUE(healed.finished());
+  EXPECT_EQ(healed.completed, 1u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(CheckpointStore, ShardRoundTripsMetricsIncludingNonFinite) {
+  CheckpointStore store(fresh_dir("sweep_shard"));
+  SweepMetrics m;
+  m.add("trials", 40000.0);
+  m.add("failures", 3.0);
+  m.add("rate", 7.5e-5);
+  m.add("tiny", 1.25e-300);
+  m.add("relerr", std::numeric_limits<double>::infinity());
+  m.add("sigma", std::numeric_limits<double>::quiet_NaN());
+  store.record("E18", "rare/exrec eps=1e-4", m);
+
+  // A fresh store reads the shard back from disk.
+  CheckpointStore reloaded(store.dir());
+  ASSERT_TRUE(reloaded.contains("E18", "rare/exrec eps=1e-4"));
+  const auto got = reloaded.find("E18", "rare/exrec eps=1e-4");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->at("trials"), 40000.0);
+  EXPECT_EQ(got->at("failures"), 3.0);
+  EXPECT_EQ(got->at("rate"), 7.5e-5);
+  EXPECT_EQ(got->at("tiny"), 1.25e-300);
+  // Non-finite fields serialize as JSON null and read back as absent —
+  // callers treat "absent" as "unresolved", same as they would the NaN.
+  EXPECT_FALSE(got->get("relerr").has_value());
+  EXPECT_FALSE(got->get("sigma").has_value());
+  // Unknown point/bench stay absent.
+  EXPECT_FALSE(reloaded.contains("E18", "other"));
+  EXPECT_FALSE(reloaded.contains("E14", "rare/exrec eps=1e-4"));
+}
+
+TEST(CheckpointStore, ShardFilenameSanitizesIds) {
+  EXPECT_EQ(CheckpointStore::shard_filename("E14", "greedy_L4_p0.080"),
+            "BENCH_E14.greedy_L4_p0.080.json");
+  EXPECT_EQ(CheckpointStore::shard_filename("E18", "rare/exrec eps=1e-4"),
+            "BENCH_E18.rare_exrec_eps_1e-4.json");
+}
+
+TEST(CheckpointStore, IgnoresFinalBenchArtifactsInResumeScan) {
+  const std::string dir = fresh_dir("sweep_foreign");
+  CheckpointStore store(dir);
+  SweepMetrics m;
+  m.add("x", 1.0);
+  store.record("E14", "a", m);
+  // Drop a final BENCH_E14.json (no "point" field) and a torn shard next to
+  // the real one: both must be ignored, not crash the scan.
+  {
+    std::FILE* f = std::fopen((dir + "/BENCH_E14.json").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f, "{\"bench\":\"E14\",\"threshold_greedy\":0.078}\n");
+    std::fclose(f);
+  }
+  {
+    std::FILE* f = std::fopen((dir + "/BENCH_E14.torn.json").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f, "{\"bench\":\"E14\",\"point\":\"torn\",\"x\":");
+    std::fclose(f);
+  }
+  CheckpointStore reloaded(dir);
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_TRUE(reloaded.contains("E14", "a"));
+  EXPECT_FALSE(reloaded.contains("E14", "torn"));
+}
+
+TEST(SweepScheduler, MaxPointsBudgetsFreshRunsNotSkips) {
+  CheckpointStore store(fresh_dir("sweep_budget"));
+  std::atomic<size_t> runs{0};
+  const auto points = make_points(10, &runs);
+  SweepOptions options;
+  options.verbose = false;
+  options.workers = 3;
+  options.max_points = 4;
+  // Two killed rounds then a finishing round: 4 + 4 + 2.
+  EXPECT_EQ(run_sweep(points, options, &store).completed, 4u);
+  EXPECT_EQ(run_sweep(points, options, &store).completed, 4u);
+  const SweepReport last = run_sweep(points, options, &store);
+  EXPECT_EQ(last.completed, 2u);
+  EXPECT_EQ(last.skipped, 8u);
+  EXPECT_TRUE(last.finished());
+  EXPECT_EQ(runs.load(), 10u);
+}
+
+}  // namespace
+}  // namespace ftqc::sim

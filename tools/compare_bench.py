@@ -2,7 +2,8 @@
 """Diff BENCH_*.json artifacts between two runs and flag regressions.
 
 Usage:
-    compare_bench.py BASELINE_DIR CURRENT_DIR [--threshold 0.2] [--strict]
+    compare_bench.py BASELINE_DIR CURRENT_DIR [--threshold 0.2] [--strict]\
+                     [--ignore REGEX]
 
 Both directories are searched recursively for BENCH_<name>.json files (one
 flat JSON object per file, as written by bench/bench_harness.h). Benchmarks
@@ -43,12 +44,23 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
 
 def load_benchmarks(root: Path) -> dict[str, dict]:
-    """Maps bench name -> parsed JSON for every BENCH_*.json under root."""
+    """Maps bench name -> merged JSON for every BENCH_*.json under root.
+
+    Two artifact shapes share the BENCH_*.json naming:
+      * final artifacts (bench_harness.h JsonResult): no "point" field; their
+        fields land under the bench name as-is;
+      * checkpoint shards (sim/sweep_scheduler.h CheckpointStore): carry a
+        "point" field naming the sweep point; their numeric fields merge into
+        the same bench entry prefixed "<point>/" so a sharded (killed or
+        in-flight) run still diffs point-by-point against a baseline instead
+        of a shard silently OVERWRITING the final artifact's entry.
+    """
     benches: dict[str, dict] = {}
     for path in sorted(root.rglob("BENCH_*.json")):
         try:
@@ -57,7 +69,17 @@ def load_benchmarks(root: Path) -> dict[str, dict]:
             print(f"warning: skipping unreadable {path}: {err}")
             continue
         name = data.get("bench", path.stem.removeprefix("BENCH_"))
-        benches[name] = data
+        entry = benches.setdefault(name, {})
+        point = data.get("point")
+        if isinstance(point, str):
+            for field, value in data.items():
+                if field in ("bench", "point"):
+                    continue
+                entry[f"{point}/{field}"] = value
+        else:
+            # Final artifacts merge second so a bench-level field always
+            # wins over a same-named (never actually point-prefixed) key.
+            entry.update(data)
     return benches
 
 
@@ -85,11 +107,15 @@ def relative_change(base: float, cur: float) -> float | None:
     return (cur - base) / abs(base)
 
 
-def compare(base: dict, cur: dict, threshold: float) -> list[str]:
+def compare(
+    base: dict, cur: dict, threshold: float, ignore: re.Pattern | None = None
+) -> list[str]:
     """Returns human-readable regression lines for one benchmark pair."""
     flags: list[str] = []
     for field, base_value in base.items():
         if field in ("bench", "smoke") or field not in cur:
+            continue
+        if ignore is not None and ignore.search(field):
             continue
         cur_value = cur[field]
         if not isinstance(base_value, (int, float)) or isinstance(
@@ -138,6 +164,14 @@ def main() -> int:
         action="store_true",
         help="exit nonzero when any regression is flagged",
     )
+    parser.add_argument(
+        "--ignore",
+        type=re.compile,
+        default=None,
+        metavar="REGEX",
+        help="skip fields whose name matches this regex (e.g. "
+        "'seconds|_per_sec|speedup' to diff statistics only)",
+    )
     args = parser.parse_args()
 
     base = load_benchmarks(args.baseline)
@@ -159,7 +193,7 @@ def main() -> int:
             print(f"{name}: smoke/full mode mismatch (skipped)")
             continue
         compared += 1
-        flags = compare(base[name], cur[name], args.threshold)
+        flags = compare(base[name], cur[name], args.threshold, args.ignore)
         if flags:
             total_flags += len(flags)
             print(f"{name}: {len(flags)} regression(s) beyond "
