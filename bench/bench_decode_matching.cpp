@@ -13,6 +13,7 @@
 #include "bench_harness.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "decode/blossom.h"
 #include "decode/decoder.h"
 #include "decode/matching.h"
 #include "decode/spacetime.h"
@@ -62,18 +63,23 @@ int main(int argc, char** argv) {
 
   const auto greedy = std::make_shared<const decode::GreedyMatching>();
   const auto mwpm = std::make_shared<const decode::MwpmMatching>();
+  const auto blossom = std::make_shared<const decode::BlossomMatching>();
   const decode::ToricMatchingDecoder greedy_dec(
       code, decode::ToricSide::kPlaquette, greedy);
   const decode::ToricMatchingDecoder mwpm_dec(
       code, decode::ToricSide::kPlaquette, mwpm);
+  const decode::ToricMatchingDecoder blossom_dec(
+      code, decode::ToricSide::kPlaquette, blossom);
   const double greedy_rate = decodes_per_sec(greedy_dec, syndromes);
   const double mwpm_rate = decodes_per_sec(mwpm_dec, syndromes);
+  const double blossom_rate = decodes_per_sec(blossom_dec, syndromes);
 
   // Space-time: time whole phenomenological shots (T noisy rounds + decode);
   // the matcher dominates, and whole-shot rate is what E14's sweep pays.
+  // Blossom here, matching E14's space-time contender.
   const topo::ToricCode code_st(6);
   const decode::SpacetimeToricDecoder st_dec(
-      code_st, decode::ToricSide::kPlaquette, mwpm);
+      code_st, decode::ToricSide::kPlaquette, blossom);
   const size_t st_shots = shots / 2;
   const auto st_start = Clock::now();
   size_t st_fails = 0;
@@ -92,7 +98,9 @@ int main(int argc, char** argv) {
   table.add_row({"greedy", "2D L=8 p=0.08", ftqc::strfmt("%.3g", greedy_rate)});
   table.add_row({"mwpm", "2D L=8 p=0.08", ftqc::strfmt("%.3g", mwpm_rate)});
   table.add_row(
-      {"spacetime mwpm", "3D L=6 T=6 p=q=0.02", ftqc::strfmt("%.3g", st_rate)});
+      {"blossom", "2D L=8 p=0.08", ftqc::strfmt("%.3g", blossom_rate)});
+  table.add_row({"spacetime blossom", "3D L=6 T=6 p=q=0.02",
+                 ftqc::strfmt("%.3g", st_rate)});
   table.print();
   std::printf("mean defects per 2D syndrome: %.1f\n",
               static_cast<double>(total_defects) / static_cast<double>(shots));
@@ -100,6 +108,7 @@ int main(int argc, char** argv) {
   ftqc::bench::JsonResult json;
   json.add("greedy_decodes_per_sec", greedy_rate);
   json.add("mwpm_decodes_per_sec", mwpm_rate);
+  json.add("blossom_decodes_per_sec", blossom_rate);
   json.add("spacetime_shots_per_sec", st_rate);
   json.add("mean_defects_2d",
            static_cast<double>(total_defects) / static_cast<double>(shots));

@@ -1,0 +1,395 @@
+#include "decode/blossom.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ftqc::decode {
+namespace {
+
+// Primal-dual maximum-weight general matching (Edmonds' blossom algorithm,
+// the classic O(n³) formulation with an explicit contraction stack). Vertices
+// are 1-indexed; ids n+1..2n name contracted blossoms, 0 is the "unmatched"
+// sentinel. Every edge keeps its ORIGINAL endpoints (u, v) even when stored
+// in a blossom's adjacency row, so expanding a contraction can recover which
+// inner vertex the edge actually touches.
+//
+// Dual bookkeeping follows the standard half-integral trick: edge weights are
+// doubled inside the slack arithmetic (slack(e) = lab[u] + lab[v] - 2 w(e)),
+// vertex duals move by d and blossom duals by 2d per dual adjustment, so all
+// quantities stay integral for integral weights.
+class BlossomSolver {
+ public:
+  BlossomSolver(size_t n, const std::vector<int64_t>& weight)
+      : n_(static_cast<int>(n)),
+        ids_(2 * n + 1),
+        g_(ids_ * ids_),
+        lab_(ids_, 0),
+        match_(ids_, 0),
+        slack_(ids_, 0),
+        st_(ids_, 0),
+        pa_(ids_, 0),
+        flower_(ids_),
+        flower_from_(ids_, std::vector<int>(n + 1, 0)),
+        s_(ids_, -1),
+        vis_(ids_, 0) {
+    n_x_ = n_;
+    int64_t w_max = 0;
+    for (int u = 1; u <= n_; ++u) {
+      st_[u] = u;
+      flower_from_[u][u] = u;
+      for (int v = 1; v <= n_; ++v) {
+        const int64_t w =
+            u == v ? 0
+                   : weight[static_cast<size_t>(u - 1) * n_ +
+                            static_cast<size_t>(v - 1)];
+        g_at(u, v) = {u, v, w};
+        w_max = std::max(w_max, w);
+      }
+    }
+    for (int u = 1; u <= n_; ++u) lab_[u] = w_max;
+  }
+
+  // Runs augmentation phases to exhaustion and returns the matched partner of
+  // every original vertex (1-indexed; FTQC_CHECKed perfect by the caller).
+  const std::vector<int>& solve() {
+    while (grow_forest()) {
+    }
+    return match_;
+  }
+
+ private:
+  struct Edge {
+    int u = 0;
+    int v = 0;
+    int64_t w = 0;
+  };
+
+  static constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+
+  Edge& g_at(int u, int v) {
+    return g_[static_cast<size_t>(u) * ids_ + static_cast<size_t>(v)];
+  }
+  [[nodiscard]] const Edge& g_at(int u, int v) const {
+    return g_[static_cast<size_t>(u) * ids_ + static_cast<size_t>(v)];
+  }
+
+  [[nodiscard]] int64_t edge_slack(const Edge& e) const {
+    return lab_[e.u] + lab_[e.v] - 2 * e.w;
+  }
+
+  void update_slack(int u, int x) {
+    if (slack_[x] == 0 ||
+        edge_slack(g_at(u, x)) < edge_slack(g_at(slack_[x], x))) {
+      slack_[x] = u;
+    }
+  }
+
+  void set_slack(int x) {
+    slack_[x] = 0;
+    for (int u = 1; u <= n_; ++u) {
+      if (g_at(u, x).w > 0 && st_[u] != x && s_[st_[u]] == 0) {
+        update_slack(u, x);
+      }
+    }
+  }
+
+  void queue_push(int x) {
+    if (x <= n_) {
+      queue_.push_back(x);
+    } else {
+      for (const int inner : flower_[x]) queue_push(inner);
+    }
+  }
+
+  void set_st(int x, int b) {
+    st_[x] = b;
+    if (x > n_) {
+      for (const int inner : flower_[x]) set_st(inner, b);
+    }
+  }
+
+  // Rotation offset of inner vertex `xr` inside blossom b's cycle such that
+  // the even-length alternating segment starts at the blossom's base; odd
+  // positions flip the stored cycle orientation first.
+  int get_pr(int b, int xr) {
+    auto& cycle = flower_[b];
+    const int pr = static_cast<int>(
+        std::find(cycle.begin(), cycle.end(), xr) - cycle.begin());
+    if (pr % 2 == 1) {
+      std::reverse(cycle.begin() + 1, cycle.end());
+      return static_cast<int>(cycle.size()) - pr;
+    }
+    return pr;
+  }
+
+  void set_match(int u, int v) {
+    match_[u] = g_at(u, v).v;
+    if (u <= n_) return;
+    const Edge e = g_at(u, v);
+    const int xr = flower_from_[u][e.u];
+    const int pr = get_pr(u, xr);
+    auto& cycle = flower_[u];
+    for (int i = 0; i < pr; ++i) set_match(cycle[i], cycle[i ^ 1]);
+    set_match(xr, v);
+    std::rotate(cycle.begin(), cycle.begin() + pr, cycle.end());
+  }
+
+  void augment(int u, int v) {
+    for (;;) {
+      const int xnv = st_[match_[u]];
+      set_match(u, v);
+      if (xnv == 0) return;
+      set_match(xnv, st_[pa_[xnv]]);
+      u = st_[pa_[xnv]];
+      v = xnv;
+    }
+  }
+
+  int get_lca(int u, int v) {
+    for (++vis_stamp_; u != 0 || v != 0; std::swap(u, v)) {
+      if (u == 0) continue;
+      if (vis_[u] == vis_stamp_) return u;
+      vis_[u] = vis_stamp_;
+      u = st_[match_[u]];
+      if (u != 0) u = st_[pa_[u]];
+    }
+    return 0;
+  }
+
+  void add_blossom(int u, int lca, int v) {
+    int b = n_ + 1;
+    while (b <= n_x_ && st_[b] != 0) ++b;
+    if (b > n_x_) ++n_x_;
+    FTQC_CHECK(b < static_cast<int>(ids_), "blossom id overflow");
+    lab_[b] = 0;
+    s_[b] = 0;
+    match_[b] = match_[lca];
+    auto& cycle = flower_[b];
+    cycle.clear();
+    cycle.push_back(lca);
+    for (int x = u, y = 0; x != lca; x = st_[pa_[y]]) {
+      cycle.push_back(x);
+      cycle.push_back(y = st_[match_[x]]);
+      queue_push(y);
+    }
+    std::reverse(cycle.begin() + 1, cycle.end());
+    for (int x = v, y = 0; x != lca; x = st_[pa_[y]]) {
+      cycle.push_back(x);
+      cycle.push_back(y = st_[match_[x]]);
+      queue_push(y);
+    }
+    set_st(b, b);
+    for (int x = 1; x <= n_x_; ++x) g_at(b, x).w = g_at(x, b).w = 0;
+    for (int x = 1; x <= n_; ++x) flower_from_[b][x] = 0;
+    // The blossom's adjacency row keeps, per outer vertex, the least-slack
+    // edge leaving any inner vertex (original endpoints preserved).
+    for (const int xs : cycle) {
+      for (int x = 1; x <= n_x_; ++x) {
+        if (g_at(b, x).w == 0 ||
+            edge_slack(g_at(xs, x)) < edge_slack(g_at(b, x))) {
+          g_at(b, x) = g_at(xs, x);
+          g_at(x, b) = g_at(x, xs);
+        }
+      }
+      for (int x = 1; x <= n_; ++x) {
+        if (flower_from_[xs][x] != 0) flower_from_[b][x] = xs;
+      }
+    }
+    set_slack(b);
+  }
+
+  // A T-blossom whose dual hit zero no longer pays to stay contracted; its
+  // cycle re-enters the forest with alternating S/T roles along the stem.
+  void expand_blossom(int b) {
+    auto& cycle = flower_[b];
+    for (const int inner : cycle) set_st(inner, inner);
+    const int xr = flower_from_[b][g_at(b, pa_[b]).u];
+    const int pr = get_pr(b, xr);
+    for (int i = 0; i < pr; i += 2) {
+      const int xs = cycle[static_cast<size_t>(i)];
+      const int xns = cycle[static_cast<size_t>(i) + 1];
+      pa_[xs] = g_at(xns, xs).u;
+      s_[xs] = 1;
+      s_[xns] = 0;
+      slack_[xs] = 0;
+      set_slack(xns);
+      queue_push(xns);
+    }
+    s_[xr] = 1;
+    pa_[xr] = pa_[b];
+    for (size_t i = static_cast<size_t>(pr) + 1; i < cycle.size(); ++i) {
+      s_[cycle[i]] = -1;
+      set_slack(cycle[i]);
+    }
+    st_[b] = 0;
+  }
+
+  // Processes one tight edge out of the S-forest: grows the tree through a
+  // matched T-vertex, contracts an odd cycle, or augments (returns true).
+  bool on_found_edge(const Edge& e) {
+    const int u = st_[e.u];
+    const int v = st_[e.v];
+    if (s_[v] == -1) {
+      pa_[v] = e.u;
+      s_[v] = 1;
+      const int nu = st_[match_[v]];
+      slack_[v] = slack_[nu] = 0;
+      s_[nu] = 0;
+      queue_push(nu);
+    } else if (s_[v] == 0) {
+      const int lca = get_lca(u, v);
+      if (lca == 0) {
+        augment(u, v);
+        augment(v, u);
+        return true;
+      }
+      add_blossom(u, lca, v);
+    }
+    return false;
+  }
+
+  // One phase: BFS the S-forest over tight edges, adjusting duals when it
+  // stalls, until an augmenting path is found (true) or the duals prove no
+  // further augmentation can raise the total weight (false).
+  bool grow_forest() {
+    std::fill(s_.begin(), s_.end(), -1);
+    std::fill(slack_.begin(), slack_.end(), 0);
+    queue_.clear();
+    for (int x = 1; x <= n_x_; ++x) {
+      if (st_[x] == x && match_[x] == 0) {
+        pa_[x] = 0;
+        s_[x] = 0;
+        queue_push(x);
+      }
+    }
+    if (queue_.empty()) return false;
+    for (;;) {
+      while (!queue_.empty()) {
+        const int u = queue_.front();
+        queue_.pop_front();
+        if (s_[st_[u]] == 1) continue;
+        for (int v = 1; v <= n_; ++v) {
+          if (g_at(u, v).w > 0 && st_[u] != st_[v]) {
+            if (edge_slack(g_at(u, v)) == 0) {
+              if (on_found_edge(g_at(u, v))) return true;
+            } else {
+              update_slack(u, st_[v]);
+            }
+          }
+        }
+      }
+      // Dual adjustment: the largest step that keeps every constraint tight
+      // or slack-nonnegative (S-S edges move twice as fast, T-blossom duals
+      // shrink toward their expansion point).
+      int64_t d = kInf;
+      for (int b = n_ + 1; b <= n_x_; ++b) {
+        if (st_[b] == b && s_[b] == 1) d = std::min(d, lab_[b] / 2);
+      }
+      for (int x = 1; x <= n_x_; ++x) {
+        if (st_[x] == x && slack_[x] != 0) {
+          if (s_[x] == -1) {
+            d = std::min(d, edge_slack(g_at(slack_[x], x)));
+          } else if (s_[x] == 0) {
+            d = std::min(d, edge_slack(g_at(slack_[x], x)) / 2);
+          }
+        }
+      }
+      for (int u = 1; u <= n_; ++u) {
+        if (s_[st_[u]] == 0) {
+          if (lab_[u] <= d) return false;  // maximum reached
+          lab_[u] -= d;
+        } else if (s_[st_[u]] == 1) {
+          lab_[u] += d;
+        }
+      }
+      for (int b = n_ + 1; b <= n_x_; ++b) {
+        if (st_[b] == b) {
+          if (s_[b] == 0) {
+            lab_[b] += 2 * d;
+          } else if (s_[b] == 1) {
+            lab_[b] -= 2 * d;
+          }
+        }
+      }
+      queue_.clear();
+      for (int x = 1; x <= n_x_; ++x) {
+        if (st_[x] == x && slack_[x] != 0 && st_[slack_[x]] != x &&
+            edge_slack(g_at(slack_[x], x)) == 0) {
+          if (on_found_edge(g_at(slack_[x], x))) return true;
+        }
+      }
+      for (int b = n_ + 1; b <= n_x_; ++b) {
+        if (st_[b] == b && s_[b] == 1 && lab_[b] == 0) expand_blossom(b);
+      }
+    }
+  }
+
+  int n_;
+  int n_x_;  // one past the highest vertex/blossom id in use
+  size_t ids_;
+  std::vector<Edge> g_;
+  std::vector<int64_t> lab_;
+  std::vector<int> match_;
+  std::vector<int> slack_;  // per outer vertex: least-slack S-neighbor
+  std::vector<int> st_;     // surface id: outermost blossom containing x
+  std::vector<int> pa_;
+  std::vector<std::vector<int>> flower_;      // blossom cycles
+  std::vector<std::vector<int>> flower_from_; // blossom -> inner vertex owning
+                                              // the edge to each original id
+  std::vector<int> s_;  // -1 free, 0 = S (even), 1 = T (odd)
+  std::vector<int> vis_;
+  int vis_stamp_ = 0;
+  std::deque<int> queue_;
+};
+
+}  // namespace
+
+std::vector<Match> BlossomMatching::match(size_t num_defects,
+                                          const DistanceFn& distance) const {
+  FTQC_CHECK(num_defects % 2 == 0, "defects come in pairs");
+  std::vector<Match> out;
+  if (num_defects == 0) return out;
+
+  // One metric evaluation per unordered pair; the complement transform
+  // w' = w_max + 1 - w turns minimization into maximization with all-positive
+  // weights, so on the complete defect graph the maximum-weight matching is
+  // perfect and minimizes the original summed metric.
+  constexpr size_t kMaxWeight = size_t{1} << 40;
+  std::vector<int64_t> weight(num_defects * num_defects, 0);
+  size_t w_max = 0;
+  for (size_t i = 0; i < num_defects; ++i) {
+    for (size_t j = i + 1; j < num_defects; ++j) {
+      const size_t d = distance(i, j);
+      FTQC_CHECK(d < kMaxWeight, "metric too large for exact matching duals");
+      weight[i * num_defects + j] = static_cast<int64_t>(d);
+      weight[j * num_defects + i] = static_cast<int64_t>(d);
+      w_max = std::max(w_max, d);
+    }
+  }
+  const int64_t flip = static_cast<int64_t>(w_max) + 1;
+  for (size_t i = 0; i < num_defects; ++i) {
+    for (size_t j = 0; j < num_defects; ++j) {
+      if (i != j) weight[i * num_defects + j] =
+          flip - weight[i * num_defects + j];
+    }
+  }
+
+  BlossomSolver solver(num_defects, weight);
+  const std::vector<int>& mate = solver.solve();
+  out.reserve(num_defects / 2);
+  for (size_t u = 1; u <= num_defects; ++u) {
+    const int v = mate[u];
+    FTQC_CHECK(v > 0, "blossom matching must be perfect on a complete graph");
+    if (static_cast<size_t>(v) > u) {
+      out.push_back({static_cast<uint32_t>(u - 1), static_cast<uint32_t>(v - 1)});
+    }
+  }
+  return out;
+}
+
+}  // namespace ftqc::decode

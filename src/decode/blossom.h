@@ -1,0 +1,31 @@
+#pragma once
+
+#include "decode/matching.h"
+
+namespace ftqc::decode {
+
+// Exact minimum-weight perfect matching for ANY even defect count: the
+// primal-dual blossom algorithm (Edmonds 1965) with odd-set contraction,
+// O(n³) time and O(n²) memory. This removes the 16-defect ceiling of
+// MwpmMatching's subset-DP — large-L / high-p / many-round space-time
+// instances get a true global optimum instead of the union-find clustering
+// heuristic, which is what closes the measured threshold gap between the
+// clustered matcher (~0.097) and optimal matching (~0.103).
+//
+// Internals (see blossom.cpp): the minimization is run as maximum-weight
+// matching on the complement weights w' = w_max + 1 - w (all positive, so on
+// a complete graph the maximum-weight matching is perfect and minimizes the
+// original cost). Dual variables stay half-integral by doubling edge weights
+// inside the slack arithmetic; odd alternating cycles contract into blossom
+// pseudo-vertices that expand lazily when their dual hits zero.
+//
+// The metric must be symmetric (distance(a, b) == distance(b, a)); it is
+// evaluated exactly once per unordered defect pair.
+class BlossomMatching final : public MatchingStrategy {
+ public:
+  [[nodiscard]] const char* name() const override { return "blossom"; }
+  [[nodiscard]] std::vector<Match> match(
+      size_t num_defects, const DistanceFn& distance) const override;
+};
+
+}  // namespace ftqc::decode

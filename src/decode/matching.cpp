@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
+#include <utility>
 
 #include "common/check.h"
 
@@ -110,7 +112,22 @@ std::vector<Match> GreedyMatching::match(size_t num_defects,
   for (size_t i = 0; i < num_defects; ++i) members[i] = static_cast<uint32_t>(i);
   std::vector<Match> out;
   out.reserve(num_defects / 2);
-  greedy_match_into(members, distance, out);
+  // The closest-pair scan revisits every surviving pair once per matched
+  // pair; evaluating the caller's metric inside that scan costs O(n^3)
+  // DistanceFn calls. Evaluate each unordered pair exactly once up front and
+  // scan the buffer instead.
+  std::vector<size_t> dist_matrix(num_defects * num_defects, 0);
+  for (size_t i = 0; i < num_defects; ++i) {
+    for (size_t j = i + 1; j < num_defects; ++j) {
+      const size_t d = distance(i, j);
+      dist_matrix[i * num_defects + j] = d;
+      dist_matrix[j * num_defects + i] = d;
+    }
+  }
+  greedy_match_into(
+      members,
+      [&](uint32_t a, uint32_t b) { return dist_matrix[a * num_defects + b]; },
+      out);
   return out;
 }
 
@@ -126,18 +143,16 @@ std::vector<Match> MwpmMatching::match(size_t num_defects,
   if (num_defects == 0) return out;
   out.reserve(num_defects / 2);
 
-  // One dense metric evaluation up front; both the DP and the clustering
-  // reuse it, so the (possibly expensive) DistanceFn runs O(n^2) times total.
-  std::vector<size_t> dist_matrix(num_defects * num_defects, 0);
-  for (size_t i = 0; i < num_defects; ++i) {
-    for (size_t j = i + 1; j < num_defects; ++j) {
-      const size_t d = distance(i, j);
-      dist_matrix[i * num_defects + j] = d;
-      dist_matrix[j * num_defects + i] = d;
-    }
-  }
-
   if (num_defects <= options_.exact_limit) {
+    // Small instance: one dense metric evaluation feeds the subset-DP.
+    std::vector<size_t> dist_matrix(num_defects * num_defects, 0);
+    for (size_t i = 0; i < num_defects; ++i) {
+      for (size_t j = i + 1; j < num_defects; ++j) {
+        const size_t d = distance(i, j);
+        dist_matrix[i * num_defects + j] = d;
+        dist_matrix[j * num_defects + i] = d;
+      }
+    }
     std::vector<uint32_t> members(num_defects);
     for (size_t i = 0; i < num_defects; ++i) {
       members[i] = static_cast<uint32_t>(i);
@@ -146,52 +161,70 @@ std::vector<Match> MwpmMatching::match(size_t num_defects,
     return out;
   }
 
-  // Large instance: Kruskal-ordered union-find clustering. Cheap edges merge
-  // clusters while at least one side still holds an odd defect count; once
-  // every cluster is even the matching decomposes cluster-by-cluster.
-  struct Edge {
-    size_t d;
-    uint32_t i;
-    uint32_t j;
-  };
-  std::vector<Edge> edges;
-  edges.reserve(num_defects * (num_defects - 1) / 2);
+  // Large instance: radius-ordered union-find clustering. Each unordered pair
+  // is metric-evaluated exactly once and dropped into a bucket keyed by its
+  // distance (8 bytes per edge — no dense n² matrix, no 24-byte Kruskal edge
+  // list, no O(E log E) sort: the handful of distinct integer radii on a
+  // torus keeps the bucket map tiny). Buckets are consumed in ascending
+  // radius, merging clusters while at least one side still holds an odd
+  // defect count, and the growth stops at the first radius where every
+  // cluster is even — edges beyond that radius are never touched. Within a
+  // bucket, insertion order is (i, j)-lexicographic, so the merge sequence is
+  // identical to the former fully-sorted formulation.
+  std::map<size_t, std::vector<std::pair<uint32_t, uint32_t>>> radius_buckets;
   for (uint32_t i = 0; i < num_defects; ++i) {
     for (uint32_t j = i + 1; j < num_defects; ++j) {
-      edges.push_back({dist_matrix[i * num_defects + j], i, j});
+      radius_buckets[distance(i, j)].push_back({i, j});
     }
   }
-  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
-    if (a.d != b.d) return a.d < b.d;
-    if (a.i != b.i) return a.i < b.i;
-    return a.j < b.j;
-  });
   Dsu dsu(num_defects);
   size_t odd_clusters = num_defects;
-  for (const Edge& e : edges) {
+  for (const auto& [radius, bucket] : radius_buckets) {
+    (void)radius;
     if (odd_clusters == 0) break;
-    const uint32_t ra = dsu.find(e.i);
-    const uint32_t rb = dsu.find(e.j);
-    if (ra == rb || (!dsu.odd[ra] && !dsu.odd[rb])) continue;
-    if (dsu.unite(ra, rb)) odd_clusters -= 2;
+    for (const auto& [i, j] : bucket) {
+      if (odd_clusters == 0) break;
+      const uint32_t ra = dsu.find(i);
+      const uint32_t rb = dsu.find(j);
+      if (ra == rb || (!dsu.odd[ra] && !dsu.odd[rb])) continue;
+      if (dsu.unite(ra, rb)) odd_clusters -= 2;
+    }
   }
   FTQC_CHECK(odd_clusters == 0, "even defect total must cluster evenly");
+  radius_buckets.clear();
 
   std::vector<std::vector<uint32_t>> clusters(num_defects);
   for (uint32_t i = 0; i < num_defects; ++i) {
     clusters[dsu.find(i)].push_back(i);
   }
+  // Densify only inside a cluster: a k×k matrix in cluster-local indices,
+  // k ≤ exact_limit on the exact path and rarely much larger on the greedy
+  // one, instead of the former global n² matrix.
+  std::vector<size_t> local;
   for (const auto& members : clusters) {
     if (members.empty()) continue;
-    if (members.size() <= options_.exact_limit) {
-      exact_match_into(members, dist_matrix, num_defects, out);
+    const size_t k = members.size();
+    local.assign(k * k, 0);
+    for (size_t a = 0; a < k; ++a) {
+      for (size_t b = a + 1; b < k; ++b) {
+        const size_t d = distance(members[a], members[b]);
+        local[a * k + b] = d;
+        local[b * k + a] = d;
+      }
+    }
+    std::vector<uint32_t> local_ids(k);
+    for (size_t a = 0; a < k; ++a) local_ids[a] = static_cast<uint32_t>(a);
+    const size_t before = out.size();
+    if (k <= options_.exact_limit) {
+      exact_match_into(local_ids, local, k, out);
     } else {
       greedy_match_into(
-          members,
-          [&](uint32_t a, uint32_t b) {
-            return dist_matrix[a * num_defects + b];
-          },
-          out);
+          local_ids,
+          [&](uint32_t a, uint32_t b) { return local[a * k + b]; }, out);
+    }
+    for (size_t m = before; m < out.size(); ++m) {
+      out[m].a = members[out[m].a];
+      out[m].b = members[out[m].b];
     }
   }
   return out;

@@ -52,9 +52,11 @@ struct MwpmOptions {
 // Minimum-weight perfect matching: exact on small instances via bitmask DP
 // over subsets (always matching the lowest-indexed unmatched defect), with a
 // union-find clustering fallback for large ones. The fallback mirrors the
-// cluster-growth idea of union-find decoders: cheap edges merge odd-parity
-// clusters until every cluster is even, and the hard optimization only ever
-// runs inside a (typically tiny) cluster.
+// cluster-growth idea of union-find decoders: edges are grown radius by
+// radius (distance-bucketed, never globally sorted or densified) merging
+// odd-parity clusters until every cluster is even, and the hard optimization
+// only ever runs on a cluster-local distance matrix. For a true global
+// optimum at any defect count, see BlossomMatching in decode/blossom.h.
 class MwpmMatching final : public MatchingStrategy {
  public:
   explicit MwpmMatching(MwpmOptions options = {});

@@ -28,19 +28,30 @@ gf2::BitVec SpacetimeToricDecoder::decode(
 
   // Defects are the XOR of consecutive rounds (round -1 is the all-clear
   // reference state). Each defect site carries its round for the time metric.
+  // `diff` and `prev` are hoisted and recycled: after streaming round t's
+  // defects, prev ^= diff restores prev to syndromes[t] without copying.
   std::vector<uint32_t> defect_site;
   std::vector<uint32_t> defect_round;
   gf2::BitVec prev(sites);
+  gf2::BitVec diff(sites);
   for (size_t t = 0; t < syndromes.size(); ++t) {
     FTQC_CHECK(syndromes[t].size() == sites, "syndrome size mismatch");
-    gf2::BitVec diff = syndromes[t];
+    diff = syndromes[t];
     diff ^= prev;
     for (size_t s = diff.first_set(); s < sites; s = diff.next_set(s + 1)) {
       defect_site.push_back(static_cast<uint32_t>(s));
       defect_round.push_back(static_cast<uint32_t>(t));
     }
-    prev = syndromes[t];
+    prev ^= diff;
   }
+  return decode_defects(defect_site, defect_round);
+}
+
+gf2::BitVec SpacetimeToricDecoder::decode_defects(
+    const std::vector<uint32_t>& defect_site,
+    const std::vector<uint32_t>& defect_round) const {
+  FTQC_CHECK(defect_site.size() == defect_round.size(),
+             "defect site/round lists must be parallel");
   FTQC_CHECK(defect_site.size() % 2 == 0,
              "space-time defects come in pairs when the last round is trusted");
 
@@ -68,38 +79,47 @@ gf2::BitVec SpacetimeToricDecoder::decode(
 
 PhenomenologicalResult run_phenomenological_memory(
     const SpacetimeToricDecoder& decoder, double data_error, double meas_error,
-    size_t rounds, uint64_t seed) {
+    size_t rounds, uint64_t seed, PhenomenologicalScratch* scratch) {
   const topo::ToricCode& code = decoder.code();
   const bool plaquette = decoder.side() == ToricSide::kPlaquette;
   const size_t sites =
       plaquette ? code.num_plaquettes() : code.num_vertices();
   Rng rng(seed);
 
-  gf2::BitVec errors(code.num_qubits());
-  std::vector<gf2::BitVec> syndromes;
-  syndromes.reserve(rounds + 1);
+  // All per-shot buffers live in the (caller-provided or local) scratch, so
+  // repeated shots of a sweep point allocate nothing after the first.
+  PhenomenologicalScratch local;
+  PhenomenologicalScratch& s = scratch != nullptr ? *scratch : local;
+  if (s.errors.size() != code.num_qubits()) s.errors.resize(code.num_qubits());
+  s.errors.clear();
+  s.syndromes.resize(rounds + 1);
+
+  const auto syndrome_into = [&](const gf2::BitVec& pattern,
+                                 gf2::BitVec& out) {
+    if (plaquette) {
+      code.plaquette_syndrome_into(pattern, out);
+    } else {
+      code.star_syndrome_into(pattern, out);
+    }
+  };
   for (size_t t = 0; t < rounds; ++t) {
     for (size_t e = 0; e < code.num_qubits(); ++e) {
-      if (rng.bernoulli(data_error)) errors.flip(e);
+      if (rng.bernoulli(data_error)) s.errors.flip(e);
     }
-    gf2::BitVec measured = plaquette ? code.plaquette_syndrome(errors)
-                                     : code.star_syndrome(errors);
-    for (size_t s = 0; s < sites; ++s) {
-      if (rng.bernoulli(meas_error)) measured.flip(s);
+    gf2::BitVec& measured = s.syndromes[t];
+    syndrome_into(s.errors, measured);
+    for (size_t site = 0; site < sites; ++site) {
+      if (rng.bernoulli(meas_error)) measured.flip(site);
     }
-    syndromes.push_back(std::move(measured));
   }
-  syndromes.push_back(plaquette ? code.plaquette_syndrome(errors)
-                                : code.star_syndrome(errors));
+  syndrome_into(s.errors, s.syndromes[rounds]);
 
   PhenomenologicalResult result;
-  gf2::BitVec residual = errors;
-  residual ^= decoder.decode(syndromes);
-  result.cleared = !(plaquette ? code.plaquette_syndrome(residual)
-                               : code.star_syndrome(residual))
-                        .any();
-  const auto [f1, f2] = plaquette ? code.logical_x_flips(residual)
-                                  : code.logical_z_flips(residual);
+  s.errors ^= decoder.decode(s.syndromes);  // errors becomes the residual
+  syndrome_into(s.errors, s.check);
+  result.cleared = !s.check.any();
+  const auto [f1, f2] = plaquette ? code.logical_x_flips(s.errors)
+                                  : code.logical_z_flips(s.errors);
   result.logical_fail = f1 || f2;
   return result;
 }

@@ -43,6 +43,16 @@ class SpacetimeToricDecoder {
   [[nodiscard]] gf2::BitVec decode(
       const std::vector<gf2::BitVec>& syndromes) const;
 
+  // Matching core over an already-extracted defect list: defect k lives at
+  // site defect_site[k] in round defect_round[k]. This is the single decode
+  // path shared by decode() and the batched front-end (decode/batch_decode.h)
+  // — any front-end that lists defects in the canonical order (rounds
+  // ascending, sites ascending within a round) gets bit-identical corrections
+  // by construction.
+  [[nodiscard]] gf2::BitVec decode_defects(
+      const std::vector<uint32_t>& defect_site,
+      const std::vector<uint32_t>& defect_round) const;
+
  private:
   const topo::ToricCode& code_;
   ToricSide side_;
@@ -60,8 +70,18 @@ struct PhenomenologicalResult {
   bool cleared = false;       // residual syndrome empty (decoder invariant)
 };
 
+// Per-shot working buffers for run_phenomenological_memory. Passing the same
+// instance across the shots of a sweep point reuses every BitVec allocation
+// (errors, the rounds+1 syndrome snapshots, the scratch syndrome) instead of
+// reallocating them per shot.
+struct PhenomenologicalScratch {
+  gf2::BitVec errors;
+  std::vector<gf2::BitVec> syndromes;
+  gf2::BitVec check;
+};
+
 [[nodiscard]] PhenomenologicalResult run_phenomenological_memory(
     const SpacetimeToricDecoder& decoder, double data_error, double meas_error,
-    size_t rounds, uint64_t seed);
+    size_t rounds, uint64_t seed, PhenomenologicalScratch* scratch = nullptr);
 
 }  // namespace ftqc::decode

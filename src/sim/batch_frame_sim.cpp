@@ -16,7 +16,7 @@ BatchFrameSim::BatchFrameSim(size_t num_qubits, size_t shots, uint64_t seed)
       record_(words_),
       abort_(words_, 0),
       hit_(words_, 0),
-      hit_dirty_(words_, 0),
+      hit_dirty_(words_ + 1, 0),
       rng_(seed) {}
 
 void BatchFrameSim::clear() {

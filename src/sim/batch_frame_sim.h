@@ -215,7 +215,11 @@ class BatchFrameSim {
   BatchRecord record_;
   std::vector<uint64_t> abort_;
   std::vector<uint64_t> hit_;        // scratch for fill_hit_words
-  std::vector<uint32_t> hit_dirty_;  // words_-sized scratch of dirty indices
+  // Dirty-index scratch for fill_hit_words. Sized words_ + 1: the branchless
+  // append writes slot ndirty before deciding whether to keep it, so a fill
+  // that dirties every word still stores one (discarded) entry past the last
+  // kept index.
+  std::vector<uint32_t> hit_dirty_;
   size_t hit_dirty_len_ = 0;         // how many of them the last fill set
   bool hit_dense_ = false;           // last fill set every word (p >= 1)
   std::array<double, kFillBlock> skip_log_;  // precomputed log1p(-u) draws

@@ -68,8 +68,21 @@ PauliString ToricCode::logical_x2() const {
 }
 
 gf2::BitVec ToricCode::plaquette_syndrome(const gf2::BitVec& x_errors) const {
-  FTQC_CHECK(x_errors.size() == num_qubits(), "error pattern size mismatch");
   gf2::BitVec syndrome(num_plaquettes());
+  plaquette_syndrome_into(x_errors, syndrome);
+  return syndrome;
+}
+
+gf2::BitVec ToricCode::star_syndrome(const gf2::BitVec& z_errors) const {
+  gf2::BitVec syndrome(num_vertices());
+  star_syndrome_into(z_errors, syndrome);
+  return syndrome;
+}
+
+void ToricCode::plaquette_syndrome_into(const gf2::BitVec& x_errors,
+                                        gf2::BitVec& syndrome) const {
+  FTQC_CHECK(x_errors.size() == num_qubits(), "error pattern size mismatch");
+  if (syndrome.size() != num_plaquettes()) syndrome.resize(num_plaquettes());
   for (size_t y = 0; y < l_; ++y) {
     for (size_t x = 0; x < l_; ++x) {
       bool violated = false;
@@ -80,12 +93,12 @@ gf2::BitVec ToricCode::plaquette_syndrome(const gf2::BitVec& x_errors) const {
       syndrome.set(plaquette_index(x, y), violated);
     }
   }
-  return syndrome;
 }
 
-gf2::BitVec ToricCode::star_syndrome(const gf2::BitVec& z_errors) const {
+void ToricCode::star_syndrome_into(const gf2::BitVec& z_errors,
+                                   gf2::BitVec& syndrome) const {
   FTQC_CHECK(z_errors.size() == num_qubits(), "error pattern size mismatch");
-  gf2::BitVec syndrome(num_vertices());
+  if (syndrome.size() != num_vertices()) syndrome.resize(num_vertices());
   for (size_t y = 0; y < l_; ++y) {
     for (size_t x = 0; x < l_; ++x) {
       bool violated = false;
@@ -96,7 +109,6 @@ gf2::BitVec ToricCode::star_syndrome(const gf2::BitVec& z_errors) const {
       syndrome.set(y * l_ + x, violated);
     }
   }
-  return syndrome;
 }
 
 std::pair<bool, bool> ToricCode::logical_x_flips(

@@ -45,6 +45,12 @@ class ToricCode {
   [[nodiscard]] gf2::BitVec plaquette_syndrome(const gf2::BitVec& x_errors) const;
   // Syndrome of a Z-error pattern on the stars (electric charges).
   [[nodiscard]] gf2::BitVec star_syndrome(const gf2::BitVec& z_errors) const;
+  // Allocation-free variants writing into a caller-owned buffer (resized to
+  // L² if needed) — the inner loop of multi-round memory experiments.
+  void plaquette_syndrome_into(const gf2::BitVec& x_errors,
+                               gf2::BitVec& syndrome) const;
+  void star_syndrome_into(const gf2::BitVec& z_errors,
+                          gf2::BitVec& syndrome) const;
 
   // For a syndrome-free residual X pattern: which of the two logical qubits
   // suffered an X flip (odd overlap with the corresponding Z loop).

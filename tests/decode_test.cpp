@@ -1,15 +1,20 @@
 // The src/decode matching subsystem: exhaustive minimum-weight pins against
-// brute force, strategy-vs-strategy cost properties, and the 3D space-time
-// decoder for faulty syndrome measurement.
+// brute force, strategy-vs-strategy cost properties, the 3D space-time
+// decoder for faulty syndrome measurement, the circuit-level detector error
+// model, and the batched 64-lane decode front-end.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <limits>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "decode/batch_decode.h"
+#include "decode/blossom.h"
 #include "decode/decoder.h"
+#include "decode/dem.h"
 #include "decode/matching.h"
 #include "decode/spacetime.h"
 #include "topo/toric_code.h"
@@ -28,6 +33,11 @@ std::shared_ptr<const MwpmMatching> mwpm() {
 
 std::shared_ptr<const GreedyMatching> greedy() {
   static const auto strategy = std::make_shared<const GreedyMatching>();
+  return strategy;
+}
+
+std::shared_ptr<const BlossomMatching> blossom() {
+  static const auto strategy = std::make_shared<const BlossomMatching>();
   return strategy;
 }
 
@@ -60,9 +70,11 @@ std::vector<size_t> brute_force_min_weights(const ToricCode& code) {
   return min_weight;
 }
 
-void expect_mwpm_matches_brute_force(size_t lattice) {
+void expect_matches_brute_force(
+    size_t lattice, std::shared_ptr<const MatchingStrategy> strategy) {
   const ToricCode code(lattice);
-  const ToricMatchingDecoder decoder(code, ToricSide::kPlaquette, mwpm());
+  const ToricMatchingDecoder decoder(code, ToricSide::kPlaquette,
+                                     std::move(strategy));
   const auto min_weight = brute_force_min_weights(code);
   size_t checked = 0;
   for (size_t s = 0; s < min_weight.size(); ++s) {
@@ -85,11 +97,121 @@ void expect_mwpm_matches_brute_force(size_t lattice) {
 }
 
 TEST(MwpmExhaustive, MatchesBruteForceMinimumWeightL2) {
-  expect_mwpm_matches_brute_force(2);
+  expect_matches_brute_force(2, mwpm());
 }
 
 TEST(MwpmExhaustive, MatchesBruteForceMinimumWeightL3) {
-  expect_mwpm_matches_brute_force(3);
+  expect_matches_brute_force(3, mwpm());
+}
+
+TEST(BlossomExhaustive, MatchesBruteForceMinimumWeightL2) {
+  expect_matches_brute_force(2, blossom());
+}
+
+TEST(BlossomExhaustive, MatchesBruteForceMinimumWeightL3) {
+  expect_matches_brute_force(3, blossom());
+}
+
+// The subset-DP is provably optimal up to exact_limit defects; the blossom
+// primal-dual must agree with it on cost for every instance in that range
+// (pairings may differ when ties exist, costs may not).
+TEST(BlossomMatching, CostMatchesSubsetDpOnRandomMetrics) {
+  Rng rng(101);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t n = 2 * (1 + rng.next_below(8));  // 2..16 defects
+    std::vector<size_t> weights(n * n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        const size_t d = 1 + rng.next_below(60);
+        weights[i * n + j] = d;
+        weights[j * n + i] = d;
+      }
+    }
+    const DistanceFn metric = [&](size_t a, size_t b) {
+      return weights[a * n + b];
+    };
+    const auto dp_pairs = mwpm()->match(n, metric);
+    const auto blossom_pairs = blossom()->match(n, metric);
+    ASSERT_EQ(blossom_pairs.size(), n / 2);
+    EXPECT_EQ(matching_cost(blossom_pairs, metric),
+              matching_cost(dp_pairs, metric))
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+// Above the DP ceiling the blossom is the only exact matcher; pin that its
+// cost never exceeds greedy's (a true optimum cannot) on large instances.
+TEST(BlossomMatching, LargeInstancesNeverCostMoreThanGreedy) {
+  Rng rng(103);
+  const size_t n = 40;
+  std::vector<size_t> weights(n * n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const size_t d = 1 + rng.next_below(200);
+      weights[i * n + j] = d;
+      weights[j * n + i] = d;
+    }
+  }
+  const DistanceFn metric = [&](size_t a, size_t b) {
+    return weights[a * n + b];
+  };
+  const auto blossom_pairs = blossom()->match(n, metric);
+  const auto greedy_pairs = greedy()->match(n, metric);
+  ASSERT_EQ(blossom_pairs.size(), n / 2);
+  EXPECT_LE(matching_cost(blossom_pairs, metric),
+            matching_cost(greedy_pairs, metric));
+}
+
+TEST(MatchingEdgeCases, EmptyDefectSetMatchesTriviallyWithNoMetricCalls) {
+  size_t calls = 0;
+  const DistanceFn metric = [&](size_t, size_t) -> size_t {
+    ++calls;
+    return 1;
+  };
+  const std::vector<std::shared_ptr<const MatchingStrategy>> strategies = {
+      greedy(), mwpm(), blossom()};
+  for (const auto& strategy : strategies) {
+    EXPECT_TRUE(strategy->match(0, metric).empty()) << strategy->name();
+  }
+  EXPECT_EQ(calls, 0u);
+  // Decoder level: an all-clear history decodes to the identity correction.
+  const ToricCode code(4);
+  const SpacetimeToricDecoder decoder(code, ToricSide::kPlaquette, blossom());
+  const std::vector<gf2::BitVec> vacuum(4, gf2::BitVec(code.num_plaquettes()));
+  EXPECT_FALSE(decoder.decode(vacuum).any());
+}
+
+// The greedy bugfix contract: the caller's metric is evaluated exactly once
+// per unordered pair — n(n-1)/2 calls — never once per pair per scan round
+// (the old O(n^3) behavior this test is a regression fence for).
+TEST(MatchingEdgeCases, GreedyEvaluatesMetricOncePerUnorderedPair) {
+  const size_t n = 32;
+  size_t calls = 0;
+  const DistanceFn metric = [&](size_t a, size_t b) {
+    ++calls;
+    return (a * 7919 + b * 104729) % 97 + 1;
+  };
+  const auto pairs = greedy()->match(n, metric);
+  EXPECT_EQ(pairs.size(), n / 2);
+  EXPECT_EQ(calls, n * (n - 1) / 2);
+}
+
+TEST(MatchingDeathTest, OddDefectCountAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const DistanceFn metric = [](size_t, size_t) -> size_t { return 1; };
+  EXPECT_DEATH((void)greedy()->match(3, metric), "defects come in pairs");
+  EXPECT_DEATH((void)mwpm()->match(3, metric), "defects come in pairs");
+  EXPECT_DEATH((void)blossom()->match(3, metric), "defects come in pairs");
+}
+
+TEST(MatchingDeathTest, SpacetimeDefectListMisuseAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const ToricCode code(4);
+  const SpacetimeToricDecoder decoder(code, ToricSide::kPlaquette, mwpm());
+  EXPECT_DEATH((void)decoder.decode_defects({0, 1}, {0}),
+               "defect site/round lists must be parallel");
+  EXPECT_DEATH((void)decoder.decode_defects({0}, {0}),
+               "space-time defects come in pairs");
 }
 
 // In the exact-DP regime (<= MwpmOptions::exact_limit defects) the MWPM cost
@@ -223,6 +345,129 @@ TEST(SpacetimeDecoder, FailureFallsWithLatticeSizeBelowThreshold) {
   EXPECT_LT(failure_rate(6, 500), failure_rate(3, 500) + 1e-9);
 }
 
+TEST(SpacetimeDecoder, PurelyTimelikeDefectsNeedNoCorrection) {
+  // Misread chains at three well-separated sites: every defect pair sits at
+  // the same site in adjacent rounds, so the optimal matching is purely
+  // time-like and the spatial projection — the data correction — is empty.
+  const ToricCode code(4);
+  const std::vector<std::shared_ptr<const MatchingStrategy>> strategies = {
+      greedy(), mwpm(), blossom()};
+  for (const auto& strategy : strategies) {
+    const SpacetimeToricDecoder decoder(code, ToricSide::kPlaquette, strategy);
+    const std::vector<uint32_t> sites = {0, 0, 7, 7, 12, 12};
+    const std::vector<uint32_t> rounds = {0, 1, 1, 2, 2, 3};
+    EXPECT_FALSE(decoder.decode_defects(sites, rounds).any())
+        << strategy->name();
+  }
+}
+
+// The batched front-end contract: lane l of decode_lanes is bit-for-bit the
+// correction a serial decode of lane l's unpacked syndrome history returns.
+TEST(BatchDecode, LanesAreBitIdenticalToSerialDecode) {
+  const ToricCode code(6);
+  const SpacetimeToricDecoder decoder(code, ToricSide::kPlaquette, mwpm());
+  const size_t sites = code.num_plaquettes();
+  const size_t rounds = 5;  // noisy rounds; +1 trusted closing row
+  Rng rng(91);
+  PackedSyndromes packed;
+  packed.resize(sites, rounds + 1);
+  std::vector<std::vector<gf2::BitVec>> serial(64);
+  for (size_t lane = 0; lane < 64; ++lane) {
+    gf2::BitVec errors(code.num_qubits());
+    std::vector<gf2::BitVec> history;
+    for (size_t t = 0; t < rounds; ++t) {
+      for (size_t e = 0; e < code.num_qubits(); ++e) {
+        if (rng.bernoulli(0.03)) errors.flip(e);
+      }
+      gf2::BitVec s = code.plaquette_syndrome(errors);
+      for (size_t b = 0; b < sites; ++b) {
+        if (rng.bernoulli(0.03)) s.flip(b);  // measurement error
+      }
+      history.push_back(s);
+    }
+    history.push_back(code.plaquette_syndrome(errors));  // trusted row
+    for (size_t t = 0; t <= rounds; ++t) {
+      for (size_t b = 0; b < sites; ++b) {
+        packed.set(t, b, lane, history[t].get(b));
+      }
+    }
+    serial[lane] = std::move(history);
+  }
+  const auto batch = decode_lanes(decoder, packed);
+  ASSERT_EQ(batch.size(), 64u);
+  for (size_t lane = 0; lane < 64; ++lane) {
+    EXPECT_EQ(batch[lane], decoder.decode(serial[lane])) << "lane " << lane;
+  }
+  // Masked lanes are skipped entirely and come back empty.
+  const auto masked = decode_lanes(decoder, packed, 0xFFu);
+  for (size_t lane = 0; lane < 64; ++lane) {
+    if (lane < 8) {
+      EXPECT_EQ(masked[lane], batch[lane]) << "lane " << lane;
+    } else {
+      EXPECT_EQ(masked[lane].size(), 0u) << "lane " << lane;
+    }
+  }
+}
+
+TEST(BatchDecode, MemoryKernelIsDeterministicAndHandlesTailLanes) {
+  const ToricCode code(4);
+  const SpacetimeToricDecoder decoder(code, ToricSide::kPlaquette, mwpm());
+  // 100 shots = one full 64-lane word plus a 36-lane tail word.
+  const uint64_t first = batch_memory_2d_failures(decoder, 0.08, 100, 42);
+  const uint64_t second = batch_memory_2d_failures(decoder, 0.08, 100, 42);
+  EXPECT_EQ(first, second);
+  EXPECT_LE(first, 100u);
+  EXPECT_GT(first, 0u);  // p = 0.08 on L=4 fails ~18% of shots
+}
+
+TEST(DetectorErrorModel, SingleFaultsFireOnlyNearestNeighborDetectorPairs) {
+  const ToricCode code(4);
+  const ToricDem plaquette = ToricDem::build(code, ToricSide::kPlaquette);
+  const auto& counts = plaquette.counts();
+  EXPECT_GT(counts.locations, 0u);
+  EXPECT_GT(counts.space, 0.0);  // data errors between extraction layers
+  EXPECT_GT(counts.time, 0.0);   // readout / ancilla-prep faults
+  EXPECT_GT(counts.diag, 0.0);   // mid-extraction CNOT hook faults
+  // The greedy pair decomposition must fully explain every single fault with
+  // unit-displacement edges; residual "far" mass would mean the DEM graph is
+  // missing an edge class the decoder needs.
+  EXPECT_EQ(counts.far, 0.0);
+  const double ps = plaquette.p_space(0.01);
+  const double pt = plaquette.p_time(0.01);
+  EXPECT_GT(ps, 0.0);
+  EXPECT_LT(ps, 0.5);
+  EXPECT_GT(pt, 0.0);
+  EXPECT_LT(pt, 0.5);
+  const SpacetimeOptions weights = plaquette.weights_at(0.01);
+  EXPECT_GE(weights.space_weight, 1u);
+  EXPECT_GE(weights.time_weight, 1u);
+  // Less likely edge class => larger -log p weight; at 1% the space class
+  // (more fault locations feed it) must not be the more expensive edge.
+  EXPECT_EQ(ps > pt, weights.space_weight < weights.time_weight);
+  // Star side runs the Hadamard sandwich: more fault locations, same clean
+  // nearest-neighbor decomposition.
+  const ToricDem star = ToricDem::build(code, ToricSide::kStar);
+  EXPECT_EQ(star.counts().far, 0.0);
+  EXPECT_GT(star.counts().locations, counts.locations);
+}
+
+TEST(DetectorErrorModel, CircuitMemoryShotsAlwaysClearTheFinalSyndrome) {
+  const ToricCode code(4);
+  const ToricDem dem = ToricDem::build(code, ToricSide::kPlaquette);
+  const SpacetimeToricDecoder decoder(code, ToricSide::kPlaquette, mwpm(),
+                                      dem.weights_at(0.004));
+  PhenomenologicalScratch scratch;
+  size_t failures = 0;
+  for (uint64_t seed = 0; seed < 80; ++seed) {
+    const auto result =
+        run_circuit_memory(decoder, 0.004, 4, 500 + seed, &scratch);
+    EXPECT_TRUE(result.cleared) << "seed " << seed;
+    failures += result.logical_fail ? 1 : 0;
+  }
+  // eps = 0.4% sits well below the ~1.4% circuit-level threshold.
+  EXPECT_LT(failures, 16u);
+}
+
 TEST(DecoderInterface, StrategiesArePluggableThroughOneCallSite) {
   const ToricCode code(6);
   Rng rng(79);
@@ -232,7 +477,7 @@ TEST(DecoderInterface, StrategiesArePluggableThroughOneCallSite) {
   }
   const gf2::BitVec syndrome = code.plaquette_syndrome(errors);
   const std::vector<std::shared_ptr<const MatchingStrategy>> strategies = {
-      greedy(), mwpm()};
+      greedy(), mwpm(), blossom()};
   for (const auto& strategy : strategies) {
     const std::unique_ptr<Decoder> decoder =
         std::make_unique<ToricMatchingDecoder>(code, ToricSide::kPlaquette,

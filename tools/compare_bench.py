@@ -22,6 +22,12 @@ Field classes:
     interval widens by more than the threshold. A widening relerr means the
     stratified estimator lost resolution — budget router drift or a
     conditional-table regression;
+  * threshold   — names starting with "threshold" (error-correction
+    threshold estimates, e.g. threshold_mwpm / threshold_circuit in
+    BENCH_E14.json; higher is better): flagged when the current estimate
+    drops by more than the comparison threshold. A falling decoder
+    threshold means the matcher or its DEM weights got worse at the same
+    physical noise — the one direction E14's decoder ladder must not move;
   * accuracy    — every other numeric field: flagged when it moves by more
     than the threshold in either direction. Monte Carlo estimates wobble, so
     accuracy flags are advisory; rerun with more shots before reverting.
@@ -90,6 +96,9 @@ def classify(field: str) -> str:
         return "wall-clock"
     if field.endswith("_relerr"):
         return "precision"
+    # Checkpoint-shard keys arrive "<point>/<field>"; classify the field part.
+    if field.rsplit("/", 1)[-1].startswith("threshold"):
+        return "threshold"
     return "accuracy"
 
 
@@ -139,6 +148,7 @@ def compare(
             (kind == "throughput" and change < -threshold)
             or (kind == "wall-clock" and change > threshold)
             or (kind == "precision" and change > threshold)
+            or (kind == "threshold" and change < -threshold)
             or (kind == "accuracy" and abs(change) > threshold)
         )
         if regressed:
