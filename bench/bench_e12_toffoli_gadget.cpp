@@ -1,23 +1,87 @@
 // E12 (§4.1, Figs. 12-13): Shor's measurement-based Toffoli gadget at the
 // bare level: exact agreement with a direct Toffoli on every basis state and
-// on random superpositions (phases included), plus the gate budget of the
-// encoded version.
+// on random superpositions (phases included), the gate budget of the encoded
+// version, and a Monte Carlo failure rate for the noisy consumption stage
+// (stage 2) under the §6 error model, on either shot engine
+// (--engine=frame|batch).
 #include <cstdio>
+#include <vector>
 
 #include "bench_harness.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "ft/batch_recovery.h"
+#include "ft/gadget_runner.h"
+#include "ft/noise_injector.h"
 #include "ft/toffoli_gadget.h"
+#include "sim/batch_frame_sim.h"
+#include "sim/frame_sim.h"
 #include "sim/runner.h"
+#include "sim/simd.h"
 #include "sim/statevector_sim.h"
 
 namespace {
 using namespace ftqc;
 using namespace ftqc::ft;
+
+// Failure probability of the stage-2 consumption circuit at gate error eps:
+// the ancilla triple {0,1,2} arrives with a lumped preparation infidelity
+// (stage 1 is a multi-gate verified circuit; 10x the gate error is a
+// conservative per-qubit account), then the three XORs, the Hadamard and the
+// three destructive measurements each take §6 noise. A shot fails when any
+// measurement outcome flips or any residual Pauli is left on the output
+// triple — exact for this circuit even without the conditional fix-ups (see
+// make_toffoli_consumption_gadget).
+double consumption_failure_rate(double eps, size_t shots, uint64_t seed,
+                                sim::ShotEngine engine) {
+  const auto noise = sim::NoiseParams::uniform_gate(eps);
+  const double eps_anc = 10 * eps;
+  static constexpr uint32_t kAll[] = {0, 1, 2, 3, 4, 5, 6};
+  const ToffoliGadget gadget = make_toffoli_consumption_gadget();
+
+  sim::ShotPlan plan;
+  plan.shots = shots;
+  plan.seed = seed;
+  plan.seed_stride = 0x9E37;
+  plan.engine = engine;
+  const sim::ShotRunner runner(plan);
+
+  const auto shot_fails = [&](uint64_t shot_seed) {
+    sim::FrameSim frame(7, shot_seed);
+    StochasticInjector inj(noise);
+    for (uint32_t q : gadget.out_data) frame.depolarize1(q, eps_anc);
+    const auto flips = run_gadget(frame, gadget.circuit, inj, kAll);
+    bool fail = false;
+    for (uint8_t f : flips) fail |= f != 0;
+    for (uint32_t q : gadget.out_data) {
+      fail |= frame.x_frame().get(q) || frame.z_frame().get(q);
+    }
+    return fail;
+  };
+  const auto block_fails = [&](uint64_t block_seed, size_t block_shots) {
+    sim::BatchFrameSim bsim(7, block_shots, block_seed);
+    BatchGadgetRunner gadgets(bsim, noise);
+    for (uint32_t q : gadget.out_data) bsim.depolarize1(q, eps_anc);
+    const auto rows = gadgets.run(gadget.circuit, kAll, nullptr);
+    const size_t words = bsim.num_words();
+    std::vector<uint64_t> fail(words, 0);
+    for (size_t r : rows) {
+      sim::simd::or_into(fail.data(), bsim.record().row(r), words);
+    }
+    for (uint32_t q : gadget.out_data) {
+      sim::simd::or_into(fail.data(), bsim.x_flips(q), words);
+      sim::simd::or_into(fail.data(), bsim.z_flips(q), words);
+    }
+    return batch_count_lanes(fail.data(), words, block_shots);
+  };
+  return runner.run(shot_fails, block_fails).failure_rate();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  ftqc::bench::init(argc, argv, "E12");
+  ftqc::bench::init(argc, argv, "E12",
+                    {sim::ShotEngine::kFrame, sim::ShotEngine::kBatch});
   std::printf("E12: Shor's Toffoli gadget (Fig. 13), bare-level verification.\n\n");
 
   // Truth table.
@@ -71,9 +135,33 @@ int main(int argc, char** argv) {
   std::printf("\nMinimum fidelity vs direct CCX over %zu random inputs: %.12f\n",
               static_cast<size_t>(num_inputs), min_fidelity);
 
+  // Monte Carlo: stage-2 consumption under the §6 model, per gate error.
+  const sim::ShotEngine engine = ftqc::bench::engine_or(sim::ShotEngine::kBatch);
+  const size_t shots = ftqc::bench::scaled(200000, 4096);
+  const std::vector<double> eps_grid = {1e-3, 3e-3, 1e-2};
+  std::printf("\nNoisy consumption stage (engine=%s, %zu shots/point):\n",
+              sim::shot_engine_name(engine), shots);
+  ftqc::Table mc({"gate eps", "ancilla eps", "failure rate"});
+  std::vector<double> fail_rates;
+  for (size_t i = 0; i < eps_grid.size(); ++i) {
+    const double eps = eps_grid[i];
+    const double rate =
+        consumption_failure_rate(eps, shots, 4200 + 131 * i, engine);
+    fail_rates.push_back(rate);
+    mc.add_row({ftqc::strfmt("%.0e", eps), ftqc::strfmt("%.0e", 10 * eps),
+                ftqc::strfmt("%.5f", rate)});
+  }
+  mc.print();
+
   ftqc::bench::JsonResult json;
   json.add("random_inputs", static_cast<size_t>(num_inputs));
   json.add("min_fidelity", min_fidelity);
+  json.add_string("engine", sim::shot_engine_name(engine));
+  json.add("consumption_shots", shots);
+  for (size_t i = 0; i < eps_grid.size(); ++i) {
+    json.add(ftqc::strfmt("consumption_eps_%zu", i), eps_grid[i]);
+    json.add(ftqc::strfmt("consumption_fail_%zu", i), fail_rates[i]);
+  }
   json.write();
 
   const ToffoliGadget g = make_bare_toffoli_gadget();

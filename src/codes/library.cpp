@@ -58,4 +58,48 @@ const StabilizerCode& hamming15() {
   return code;
 }
 
+const StabilizerCode& reed_muller15() {
+  static const StabilizerCode code = [] {
+    // Qubit q <-> the nonzero 4-bit vector q+1. Generator supports are the
+    // evaluation vectors of the degree-1 monomials v_i (X side, weight 8)
+    // and additionally the degree-2 monomials v_i·v_j (Z side, weight 4).
+    std::vector<PauliString> generators;
+    const auto support = [](int i, int j) {
+      gf2::BitVec bits(15);
+      for (size_t q = 0; q < 15; ++q) {
+        const unsigned v = static_cast<unsigned>(q) + 1;
+        const bool in = ((v >> i) & 1u) && ((v >> j) & 1u);
+        bits.set(q, in);
+      }
+      return bits;
+    };
+    for (int i = 0; i < 4; ++i) {
+      PauliString g(15);
+      g.x_part() = support(i, i);
+      generators.push_back(g);
+    }
+    for (int i = 0; i < 4; ++i) {
+      PauliString g(15);
+      g.z_part() = support(i, i);
+      generators.push_back(g);
+    }
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        PauliString g(15);
+        g.z_part() = support(i, j);
+        generators.push_back(g);
+      }
+    }
+    // Logical X is the all-ones pattern (the complement map on RM
+    // codewords); logical Z is any weight-3 word of the [15,11,3] Hamming
+    // dual — qubits {0,1,2} = vectors {0001, 0010, 0011}.
+    PauliString lx(15), lz(15);
+    for (size_t q = 0; q < 15; ++q) lx.set_pauli(q, 'X');
+    for (size_t q = 0; q < 3; ++q) lz.set_pauli(q, 'Z');
+    return StabilizerCode("Reed-Muller [[15,1,3]]", 15, std::move(generators),
+                          {lx}, {lz});
+  }();
+  return code;
+}
+
 }  // namespace ftqc::codes

@@ -23,4 +23,14 @@ namespace ftqc::codes {
 // of a block code "encoding many qubits in a single block".
 [[nodiscard]] const StabilizerCode& hamming15();
 
+// The [[15,1,3]] quantum Reed-Muller code (punctured RM(1,4) / RM(2,4)
+// pair): qubit q represents the nonzero 4-bit vector q+1; the 4 X-type
+// generators are the weight-8 coordinate hyperplanes {v : v_i = 1}, and the
+// 10 Z-type generators add the 6 weight-4 pairwise intersections
+// {v : v_i = v_j = 1}. d_Z = 3 (the decoder corrects one X error and one Z
+// error, like any distance-3 code), but d_X = 7 — the asymmetry that buys
+// the code its transversal T: physical T† on all 15 qubits enacts logical T
+// (ft/transversal.h), making it the standard magic-state distillation code.
+[[nodiscard]] const StabilizerCode& reed_muller15();
+
 }  // namespace ftqc::codes

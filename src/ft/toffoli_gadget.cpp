@@ -65,6 +65,27 @@ ToffoliGadget make_bare_toffoli_gadget() {
   return g;
 }
 
+ToffoliGadget make_toffoli_consumption_gadget() {
+  ToffoliGadget g;
+  g.out_data = {0, 1, 2};
+  g.cat = 3;  // idle here; kept so the layout matches the full gadget
+  g.in_data = {4, 5, 6};
+
+  sim::Circuit& c = g.circuit;
+  c.ensure_qubits(7);
+  c.cx(6, 2);
+  c.cx(0, 4);
+  c.cx(1, 5);
+  c.tick();
+  c.h(6);
+  c.tick();
+  c.m(4);
+  c.m(5);
+  c.m(6);
+  c.tick();
+  return g;
+}
+
 size_t encoded_gadget_gate_count(size_t block_size) {
   // Stage 1: 3 bitwise H blocks + bitwise Toffoli + bitwise CZ + 2 cat H
   // layers + cat measurement; stage 2: 3 transversal XORs + 1 bitwise H +

@@ -35,6 +35,18 @@ struct ToffoliGadget {
 // running. Requires the state-vector runner (contains CCZ).
 [[nodiscard]] ToffoliGadget make_bare_toffoli_gadget();
 
+// Stage 2 alone (Eq. 27 consumption: three XORs, one H, three destructive
+// measurements) on the same 7-qubit layout, with NO conditional fix-ups —
+// run_gadget forbids feedforward, and for Pauli-frame failure counting the
+// fix-ups are redundant anyway: a flipped measurement outcome means the run
+// applies a conditional Clifford the reference run does not, a non-Pauli
+// deviation, so any flip already counts as failure; with zero flips the
+// omitted (never-firing) reference conditionals only conjugate the residual
+// frame by a fixed Clifford on out_data, under which "residual != I" is
+// invariant. Hence failure(shot) = any of the three flips OR any frame bit
+// left on out_data — exact for this circuit, no feedforward needed.
+[[nodiscard]] ToffoliGadget make_toffoli_consumption_gadget();
+
 // Number of fault locations in the encoded version of the gadget per data
 // block, used in the E8/E12 resource accounting: every bitwise stage costs
 // one gate per block qubit.

@@ -54,4 +54,15 @@ Circuit logical_cx_transversal(std::span<const uint32_t> source,
   return c;
 }
 
+Circuit logical_t_transversal(std::span<const uint32_t> block, bool dagger) {
+  FTQC_CHECK(block.size() == 15, "Reed-Muller [[15,1,3]] block expected");
+  Circuit c;
+  // RZ(θ) = diag(e^{-iθ/2}, e^{+iθ/2}), so physical T† = RZ(-π/4) up to a
+  // global phase; the bitwise product acts as logical T (weights mod 8).
+  const double theta = dagger ? 0.7853981633974483 : -0.7853981633974483;
+  for (uint32_t q : block) c.rz(q, theta);
+  c.tick();
+  return c;
+}
+
 }  // namespace ftqc::ft

@@ -32,4 +32,17 @@ namespace ftqc::ft {
 [[nodiscard]] sim::Circuit logical_cx_transversal(
     std::span<const uint32_t> source, std::span<const uint32_t> target);
 
+// Transversal T for the [[15,1,3]] Reed-Muller code: physical T† on every
+// block qubit enacts the LOGICAL T, because |1̄⟩ components have weight
+// ≡ 7 (mod 8) while |0̄⟩ components have weight ≡ 0 (mod 8), so the product
+// of per-qubit e^{-iπ/4} phases is e^{-i7π/4} = e^{+iπ/4} on |1̄⟩ only.
+// `dagger` swaps the direction (physical T = logical T†). Emitted as RZ
+// rotations — statevector-only; the Monte Carlo pipeline tracks T through
+// the twirled-error model instead (see universal/magic_pipeline.h). Frame
+// tracking through T uses the conjugation rule T·X = e^{iπ/4}·S·X·T: an X
+// frame bit crossing a T gate leaves an S byproduct, which is why the
+// injection gadget measures and corrects BEFORE the transversal T layer.
+[[nodiscard]] sim::Circuit logical_t_transversal(std::span<const uint32_t> block,
+                                                 bool dagger = false);
+
 }  // namespace ftqc::ft

@@ -1,9 +1,12 @@
 #include "threshold/pseudothreshold.h"
 
+#include "codes/library.h"
 #include "ft/batch_recovery.h"
 #include "ft/batch_shor.h"
 #include "ft/shor_recovery.h"
 #include "ft/steane_recovery.h"
+#include "universal/batch_flag_recovery.h"
+#include "universal/flag_recovery.h"
 
 namespace ftqc::threshold {
 
@@ -38,6 +41,13 @@ CyclePoint measure_cycle_failure(RecoveryMethod method, double eps_gate,
   const sim::ShotRunner runner(plan);
 
   const auto shot_fails = [&](uint64_t shot_seed) {
+    if (method == RecoveryMethod::kFlag) {
+      // Code-first constructor: the flag family is code-generic.
+      universal::FlagRecovery rec(codes::steane(), noise, ft::RecoveryPolicy{},
+                                  shot_seed);
+      rec.run_cycle();
+      return rec.any_logical_error();
+    }
     return method == RecoveryMethod::kSteane
                ? one_cycle_fails<ft::SteaneRecovery>(noise, shot_seed)
                : one_cycle_fails<ft::ShorRecovery>(noise, shot_seed);
@@ -46,6 +56,13 @@ CyclePoint measure_cycle_failure(RecoveryMethod method, double eps_gate,
     if (method == RecoveryMethod::kSteane) {
       ft::BatchSteaneRecovery rec(noise, ft::RecoveryPolicy{}, block_shots,
                                   block_seed);
+      rec.run_cycle();
+      return rec.count_any_logical_error(block_shots);
+    }
+    if (method == RecoveryMethod::kFlag) {
+      universal::BatchFlagRecovery rec(codes::steane(), noise,
+                                       ft::RecoveryPolicy{}, block_shots,
+                                       block_seed);
       rec.run_cycle();
       return rec.count_any_logical_error(block_shots);
     }

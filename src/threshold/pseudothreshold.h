@@ -15,7 +15,9 @@ namespace ftqc::threshold {
 // the uniform gate-error model and report the logical failure probability
 // after an ideal final decode. The pseudothreshold is the ε where the
 // encoded cycle stops beating a bare physical gate (failure = ε).
-enum class RecoveryMethod { kSteane, kShor };
+// kFlag is the flag-qubit extraction family (universal/flag_recovery.h) on
+// the Steane code: two ancillas per generator instead of the verified cat.
+enum class RecoveryMethod { kSteane, kShor, kFlag };
 
 struct CyclePoint {
   double eps = 0;

@@ -1,0 +1,222 @@
+#include "universal/batch_flag_recovery.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "sim/simd.h"
+
+namespace ftqc::universal {
+
+using pauli::PauliString;
+
+BatchFlagRecovery::BatchFlagRecovery(const codes::StabilizerCode& code,
+                                     const sim::NoiseParams& noise,
+                                     ft::RecoveryPolicy policy, size_t shots,
+                                     uint64_t seed)
+    : code_(code),
+      table_(code),
+      decoder_(code),
+      sim_(code.n() + 2, shots, seed),
+      gadgets_(sim_, noise),
+      noise_(noise),
+      policy_(policy),
+      words_(sim_.num_words()),
+      ancilla_(static_cast<uint32_t>(code.n())),
+      flag_(static_cast<uint32_t>(code.n()) + 1) {
+  FTQC_CHECK(noise.p_leak == 0,
+             "BatchFlagRecovery cannot model leakage; use the serial "
+             "FlagRecovery for p_leak > 0");
+  for (uint32_t q = 0; q < flag_ + 1; ++q) all_qubits_.push_back(q);
+  for (uint32_t q = 0; q < ancilla_ + 1; ++q) noflag_qubits_.push_back(q);
+  for (size_t g = 0; g < code.num_generators(); ++g) {
+    const auto& order = table_.order(g);
+    flagged_gadgets_.push_back(flag_extraction_circuit(
+        code.generators()[g], order, ancilla_, flag_, /*flagged=*/true));
+    unflagged_gadgets_.push_back(flag_extraction_circuit(
+        code.generators()[g], order, ancilla_, flag_, /*flagged=*/false));
+  }
+}
+
+void BatchFlagRecovery::reset() {
+  sim_.clear();
+  flags_raised_ = 0;
+}
+
+void BatchFlagRecovery::inject_data(uint32_t q, char pauli) {
+  FTQC_CHECK(q < code_.n(), "data qubit index out of range");
+  switch (pauli) {
+    case 'X': sim_.inject_x(q); break;
+    case 'Y': sim_.inject_y(q); break;
+    case 'Z': sim_.inject_z(q); break;
+    default: FTQC_CHECK(false, "inject_data expects X, Y or Z");
+  }
+}
+
+void BatchFlagRecovery::apply_memory_noise(double p) {
+  for (uint32_t q = 0; q < code_.n(); ++q) sim_.depolarize1(q, p);
+}
+
+void BatchFlagRecovery::measure_unflagged(size_t g, const uint64_t* active,
+                                          uint64_t* out) {
+  const auto rows = gadgets_.run(unflagged_gadgets_[g], noflag_qubits_, active);
+  FTQC_CHECK(rows.size() == 1, "unflagged comb reads the ancilla");
+  std::copy_n(sim_.record().row(rows[0]), words_, out);
+  sim_.reset(ancilla_);
+  sim_.reset(flag_);
+}
+
+void BatchFlagRecovery::apply_group_correction(const PauliString& correction,
+                                               const uint64_t* mask) {
+  if (correction.is_identity()) return;
+  // Mirrors the serial fix gadget: gate noise on each corrected qubit,
+  // storage noise on the resting data qubits, then the frame shift (the
+  // noiseless reference never corrects).
+  for (size_t q = 0; q < code_.n(); ++q) {
+    if (correction.pauli_at(q) != 'I') {
+      sim_.depolarize1(q, noise_.eps_gate1, mask);
+    }
+  }
+  for (size_t q = 0; q < code_.n(); ++q) {
+    if (correction.pauli_at(q) == 'I') {
+      sim_.depolarize1(q, noise_.eps_store, mask);
+    }
+  }
+  for (size_t q = 0; q < code_.n(); ++q) {
+    switch (correction.pauli_at(q)) {
+      case 'X': sim_.inject_x_masked(q, mask); break;
+      case 'Y': sim_.inject_y_masked(q, mask); break;
+      case 'Z': sim_.inject_z_masked(q, mask); break;
+      default: break;
+    }
+  }
+}
+
+void BatchFlagRecovery::correct_flagged(const std::vector<uint64_t>& flag_rows,
+                                        const uint64_t* syndrome_rows,
+                                        const uint64_t* flagged_mask) {
+  const size_t num_gen = code_.num_generators();
+  // Gather the flagged lanes by (first fired generator, follow-up
+  // syndrome); each distinct key decodes exactly once. Flagged lanes are
+  // O(num_gen * eps) sparse, so the per-lane bit reads are cheap.
+  std::map<std::pair<uint32_t, uint64_t>, std::vector<uint64_t>> groups;
+  for (size_t w = 0; w < words_; ++w) {
+    uint64_t lanes = flagged_mask[w];
+    while (lanes != 0) {
+      const int lane = __builtin_ctzll(lanes);
+      lanes &= lanes - 1;
+      uint32_t first = 0;
+      while ((flag_rows[first * words_ + w] >> lane & 1u) == 0) ++first;
+      uint64_t value = 0;
+      for (size_t g = 0; g < num_gen; ++g) {
+        value |= uint64_t{syndrome_rows[g * words_ + w] >> lane & 1u} << g;
+      }
+      auto [it, inserted] = groups.try_emplace({first, value});
+      if (inserted) it->second.assign(words_, 0);
+      it->second[w] |= uint64_t{1} << lane;
+    }
+  }
+  for (const auto& [key, mask] : groups) {
+    gf2::BitVec syndrome(num_gen);
+    for (size_t g = 0; g < num_gen; ++g) syndrome.set(g, (key.second >> g) & 1u);
+    const PauliString* flagged = table_.decode(key.first, syndrome);
+    apply_group_correction(
+        flagged != nullptr ? *flagged : decoder_.decode(syndrome), mask.data());
+  }
+}
+
+void BatchFlagRecovery::run_cycle() {
+  const size_t num_gen = code_.num_generators();
+  FTQC_CHECK(num_gen <= 64, "syndrome gather packs into one word");
+  // Round 1: flagged combs on every lane.
+  std::vector<uint64_t> syn1(num_gen * words_), flag_rows(num_gen * words_);
+  std::vector<uint64_t> flagged(words_, 0);
+  for (size_t g = 0; g < num_gen; ++g) {
+    const auto rows =
+        gadgets_.run(flagged_gadgets_[g], all_qubits_, /*lane_mask=*/nullptr);
+    FTQC_CHECK(rows.size() == 2, "flagged comb reads ancilla + flag");
+    std::copy_n(sim_.record().row(rows[0]), words_, &syn1[g * words_]);
+    std::copy_n(sim_.record().row(rows[1]), words_, &flag_rows[g * words_]);
+    sim_.reset(ancilla_);
+    sim_.reset(flag_);
+    sim::simd::or_into(flagged.data(), &flag_rows[g * words_], words_);
+    flags_raised_ +=
+        ft::batch_count_lanes(&flag_rows[g * words_], words_, sim_.num_shots());
+  }
+  if (ft::batch_any_lane(flagged.data(), words_)) {
+    // Clean re-extraction, then the flag-conditioned decode, on the flagged
+    // lanes only.
+    std::vector<uint64_t> syn2(num_gen * words_);
+    for (size_t g = 0; g < num_gen; ++g) {
+      measure_unflagged(g, flagged.data(), &syn2[g * words_]);
+    }
+    correct_flagged(flag_rows, syn2.data(), flagged.data());
+  }
+  // Unflagged lanes: the ordinary §3.4 repeat policy, with round 1's
+  // syndrome as the first reading.
+  std::vector<uint64_t> unflagged(words_);
+  for (size_t w = 0; w < words_; ++w) unflagged[w] = ~flagged[w];
+  bool first_call = true;
+  ft::run_batch_repeat_policy(
+      num_gen, words_, policy_.repeat_nontrivial_syndrome, unflagged.data(),
+      [&](const uint64_t* mask, uint64_t* out) {
+        if (first_call) {
+          first_call = false;
+          std::copy(syn1.begin(), syn1.end(), out);
+          return;
+        }
+        for (size_t g = 0; g < num_gen; ++g) {
+          measure_unflagged(g, mask, out + g * words_);
+        }
+      },
+      [&](const uint64_t* syn, const uint64_t* act) {
+        // Gather-decode through the plain lookup table (no flag fired).
+        std::map<uint64_t, std::vector<uint64_t>> groups;
+        for (size_t w = 0; w < words_; ++w) {
+          uint64_t lanes = act[w];
+          while (lanes != 0) {
+            const int lane = __builtin_ctzll(lanes);
+            lanes &= lanes - 1;
+            uint64_t value = 0;
+            for (size_t g = 0; g < num_gen; ++g) {
+              value |= uint64_t{syn[g * words_ + w] >> lane & 1u} << g;
+            }
+            auto [it, inserted] = groups.try_emplace(value);
+            if (inserted) it->second.assign(words_, 0);
+            it->second[w] |= uint64_t{1} << lane;
+          }
+        }
+        for (const auto& [value, mask] : groups) {
+          gf2::BitVec syndrome(num_gen);
+          for (size_t g = 0; g < num_gen; ++g) {
+            syndrome.set(g, (value >> g) & 1u);
+          }
+          apply_group_correction(decoder_.decode(syndrome), mask.data());
+        }
+      });
+}
+
+PauliString BatchFlagRecovery::residual(size_t shot) const {
+  PauliString r(code_.n());
+  for (size_t q = 0; q < code_.n(); ++q) {
+    r.set_x(q, sim_.x_flip(q, shot));
+    r.set_z(q, sim_.z_flip(q, shot));
+  }
+  return r;
+}
+
+bool BatchFlagRecovery::any_logical_error(size_t shot) const {
+  return decoder_.residual_effect(residual(shot)).any();
+}
+
+uint64_t BatchFlagRecovery::count_any_logical_error(size_t num_lanes) const {
+  const size_t lanes = std::min(num_lanes, sim_.num_shots());
+  uint64_t count = 0;
+  for (size_t shot = 0; shot < lanes; ++shot) {
+    count += any_logical_error(shot) ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace ftqc::universal

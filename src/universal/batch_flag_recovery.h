@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codes/lookup_decoder.h"
+#include "codes/stabilizer_code.h"
+#include "ft/batch_recovery.h"
+#include "ft/recovery.h"
+#include "sim/batch_frame_sim.h"
+#include "sim/noise_model.h"
+#include "universal/flag_extraction.h"
+
+namespace ftqc::universal {
+
+// Bit-parallel FlagRecovery: the flag-qubit recovery cycle on 64 shots per
+// word, replaying the same comb circuits through BatchGadgetRunner with the
+// noise masked to the lanes whose serial shot would execute each gadget.
+// Per-shot control flow maps to lane masks:
+//  * round 1 (flagged combs) runs on every lane;
+//  * the clean re-extraction runs masked to the lanes whose flag fired;
+//  * the flag-conditioned correction gathers those lanes by (first fired
+//    generator, follow-up syndrome), decodes each distinct key once, and
+//    applies the Pauli as masked injections;
+//  * the unflagged lanes run the ordinary §3.4 repeat policy through
+//    run_batch_repeat_policy, with round 1's syndrome reused as the first
+//    reading (the closure's first extract call copies it instead of
+//    measuring again — serial shots never re-measure round 1 either).
+// Identical control flow is what pins this driver bit-for-bit against the
+// serial FlagRecovery under deterministic injections.
+class BatchFlagRecovery {
+ public:
+  BatchFlagRecovery(const codes::StabilizerCode& code,
+                    const sim::NoiseParams& noise, ft::RecoveryPolicy policy,
+                    size_t shots, uint64_t seed);
+
+  [[nodiscard]] size_t num_shots() const { return sim_.num_shots(); }
+  [[nodiscard]] size_t num_words() const { return sim_.num_words(); }
+
+  void reset();
+  void inject_data(uint32_t q, char pauli);
+  void apply_memory_noise(double p);
+
+  void run_cycle();
+
+  [[nodiscard]] pauli::PauliString residual(size_t shot) const;
+  [[nodiscard]] bool any_logical_error(size_t shot) const;
+  [[nodiscard]] uint64_t count_any_logical_error(
+      size_t num_lanes = SIZE_MAX) const;
+
+  // Flagged round-1 measurements whose flag fired, summed over lanes.
+  [[nodiscard]] uint64_t flags_raised() const { return flags_raised_; }
+
+  [[nodiscard]] sim::BatchFrameSim& frames() { return sim_; }
+  [[nodiscard]] const FlagDecodeTable& table() const { return table_; }
+
+ private:
+  // One unflagged comb on the lanes of `active`; writes the bit-sliced
+  // syndrome bit (words words) into `out`.
+  void measure_unflagged(size_t g, const uint64_t* active, uint64_t* out);
+  // Flag-conditioned correction for the lanes of `flagged_mask`.
+  void correct_flagged(const std::vector<uint64_t>& flag_rows,
+                       const uint64_t* syndrome_rows,
+                       const uint64_t* flagged_mask);
+  // Masked data-block correction shared by both decode paths: gate noise on
+  // the corrected qubits, storage on the rest, then the reference shift.
+  void apply_group_correction(const pauli::PauliString& correction,
+                              const uint64_t* mask);
+
+  const codes::StabilizerCode& code_;
+  FlagDecodeTable table_;
+  codes::LookupDecoder decoder_;
+  sim::BatchFrameSim sim_;
+  ft::BatchGadgetRunner gadgets_;
+  sim::NoiseParams noise_;
+  ft::RecoveryPolicy policy_;
+  size_t words_;
+  uint32_t ancilla_;
+  uint32_t flag_;
+  std::vector<uint32_t> all_qubits_;
+  std::vector<uint32_t> noflag_qubits_;
+  std::vector<sim::Circuit> flagged_gadgets_;
+  std::vector<sim::Circuit> unflagged_gadgets_;
+  uint64_t flags_raised_ = 0;
+};
+
+}  // namespace ftqc::universal

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codes/lookup_decoder.h"
+#include "codes/stabilizer_code.h"
+#include "ft/noise_injector.h"
+#include "ft/recovery.h"
+#include "sim/frame_sim.h"
+#include "sim/noise_model.h"
+#include "universal/flag_extraction.h"
+
+namespace ftqc::universal {
+
+// Fault-tolerant recovery for an arbitrary stabilizer code via flag-qubit
+// syndrome extraction: the third RecoveryPolicy family next to the Steane
+// (encoded-ancilla) and Shor (cat-state) methods. Two ancilla qubits total —
+// one syndrome ancilla, one flag — against the Shor method's
+// max-weight cat + check qubit.
+//
+// Protocol per cycle:
+//  1. Measure every generator once with the FLAGGED comb, recording
+//     syndrome and flag bits.
+//  2. Any flag fired: one full UNFLAGGED re-extraction (under a single
+//     fault the fired flag spent it, so this round is clean), then decode
+//     through the flag-conditioned table of the FIRST fired generator; a
+//     syndrome outside the table (multi-fault) falls back to the plain
+//     lookup decoder. An identity correction applies no circuit (and
+//     collects no noise).
+//  3. No flag: the §3.4 repeat policy on the round-1 syndrome — trivial
+//     means done; nontrivial is re-read with the unflagged comb and
+//     corrected only when the two readings agree.
+//
+// Round 1 deliberately completes ALL generators before branching (no early
+// abort at the first flag): the batched driver replays whole gadgets per
+// 64-lane word, and identical control flow is what makes the two pin
+// bit-for-bit. Register layout: data [0, n), ancilla n, flag n+1.
+class FlagRecovery {
+ public:
+  FlagRecovery(const codes::StabilizerCode& code, const sim::NoiseParams& noise,
+               ft::RecoveryPolicy policy, uint64_t seed);
+
+  void reset();
+  void inject_data(uint32_t q, char pauli);
+  void apply_memory_noise(double p);
+
+  void run_cycle();
+
+  [[nodiscard]] pauli::PauliString residual() const;
+  [[nodiscard]] bool any_logical_error() const;
+
+  // Flagged round-1 measurements whose flag fired, summed over cycles.
+  [[nodiscard]] uint64_t flags_raised() const { return flags_raised_; }
+
+  void set_injector(ft::NoiseInjector* injector);
+  [[nodiscard]] sim::FrameSim& frame() { return frame_; }
+  [[nodiscard]] const FlagDecodeTable& table() const { return table_; }
+
+ private:
+  // One comb measurement. Flagged: fills *flag_fired; unflagged: pass
+  // nullptr. Returns the syndrome bit.
+  [[nodiscard]] bool measure_generator(size_t g, bool flagged,
+                                       bool* flag_fired);
+  [[nodiscard]] gf2::BitVec extract_unflagged();
+  void apply_correction(const pauli::PauliString& correction);
+
+  const codes::StabilizerCode& code_;
+  FlagDecodeTable table_;
+  codes::LookupDecoder decoder_;
+  sim::FrameSim frame_;
+  sim::NoiseParams noise_;
+  ft::RecoveryPolicy policy_;
+  ft::StochasticInjector stochastic_;
+  ft::NoiseInjector* injector_;
+  uint32_t ancilla_;
+  uint32_t flag_;
+  std::vector<uint32_t> all_qubits_;     // data + ancilla + flag
+  std::vector<uint32_t> noflag_qubits_;  // data + ancilla
+  std::vector<uint32_t> data_only_;
+  std::vector<sim::Circuit> flagged_gadgets_;
+  std::vector<sim::Circuit> unflagged_gadgets_;
+  uint64_t flags_raised_ = 0;
+};
+
+}  // namespace ftqc::universal

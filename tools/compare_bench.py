@@ -22,6 +22,12 @@ Field classes:
     interval widens by more than the threshold. A widening relerr means the
     stratified estimator lost resolution — budget router drift or a
     conditional-table regression;
+  * cost        — names ending in _infidelity or _qubit_rounds (lower is
+    better): flagged when the current value grows by more than the
+    threshold. This covers the BENCH_E19.json magic-state pipeline: a
+    rising distilled_infidelity_* means the 15-to-1 distillation lost
+    suppression, and a rising pipeline_qubit_rounds means the pipeline's
+    space-time footprint grew;
   * threshold   — names starting with "threshold" (error-correction
     threshold estimates, e.g. threshold_mwpm / threshold_circuit in
     BENCH_E14.json; higher is better): flagged when the current estimate
@@ -96,6 +102,8 @@ def classify(field: str) -> str:
         return "wall-clock"
     if field.endswith("_relerr"):
         return "precision"
+    if field.endswith(("_infidelity", "_qubit_rounds")):
+        return "cost"
     # Checkpoint-shard keys arrive "<point>/<field>"; classify the field part.
     if field.rsplit("/", 1)[-1].startswith("threshold"):
         return "threshold"
@@ -148,6 +156,7 @@ def compare(
             (kind == "throughput" and change < -threshold)
             or (kind == "wall-clock" and change > threshold)
             or (kind == "precision" and change > threshold)
+            or (kind == "cost" and change > threshold)
             or (kind == "threshold" and change < -threshold)
             or (kind == "accuracy" and abs(change) > threshold)
         )

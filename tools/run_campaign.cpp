@@ -1,4 +1,4 @@
-// run_campaign: the whole E01-E18 paper benchmark set as ONE invocation on
+// run_campaign: the whole E01-E19 paper benchmark set as ONE invocation on
 // the work-stealing sweep scheduler (sim/sweep_scheduler.h).
 //
 // Each benchmark executable is one sweep point (bench id "CAMPAIGN"): the
@@ -68,6 +68,7 @@ constexpr Campaign kCampaigns[] = {
     {"E16", "bench_e16_topo_suppression", false, true},
     {"E17", "bench_e17_kernels", true, false},
     {"E18", "bench_e18_concatenation_gain", false, true},
+    {"E19", "bench_e19_magic_pipeline", false, true},
     {"BATCHSIM", "bench_batch_sim", false, true},
     {"DECODE", "bench_decode_matching", false, true},
     {"RARE", "bench_rare_event", false, true},
@@ -85,7 +86,7 @@ void usage(const char* argv0) {
   std::printf(
       "usage: %s [--smoke] [--dir=DIR] [--bench-dir=DIR] [--only=E14,E18]\n"
       "          [--workers=N] [--max-points=N]\n"
-      "Runs the E01-E18 benchmark set (plus the micro-benches) as one\n"
+      "Runs the E01-E19 benchmark set (plus the micro-benches) as one\n"
       "checkpointed sweep; rerun with the same --dir to resume.\n",
       argv0);
 }
