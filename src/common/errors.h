@@ -1,0 +1,39 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace ftqc {
+
+// Thrown when an engine is asked to simulate a noise channel it cannot
+// express (e.g. any Batch*Recovery with p_leak > 0: leakage gates every
+// word op per lane, which defeats bit-slicing). Carries enough structure
+// for a driver to degrade gracefully — catch it, log `fallback`, and rerun
+// the workload on the named serial engine instead of dying mid-campaign.
+// Contrast FTQC_CHECK, which aborts: an unsupported channel is a caller
+// configuration, not a corrupted invariant.
+class UnsupportedChannel : public std::runtime_error {
+ public:
+  UnsupportedChannel(std::string engine, std::string channel,
+                     std::string fallback)
+      : std::runtime_error(engine + " does not support " + channel +
+                           "; use " + fallback + " instead"),
+        engine_(std::move(engine)),
+        channel_(std::move(channel)),
+        fallback_(std::move(fallback)) {}
+
+  // The engine that rejected the configuration, e.g. "BatchSteaneRecovery".
+  [[nodiscard]] const std::string& engine() const { return engine_; }
+  // The offending channel knob, e.g. "p_leak > 0".
+  [[nodiscard]] const std::string& channel() const { return channel_; }
+  // The supported serial fallback, e.g. "SteaneRecovery".
+  [[nodiscard]] const std::string& fallback() const { return fallback_; }
+
+ private:
+  std::string engine_;
+  std::string channel_;
+  std::string fallback_;
+};
+
+}  // namespace ftqc

@@ -94,6 +94,11 @@ void run_extraction_round(sim::FrameSim& sim, ft::NoiseInjector& injector,
 }
 
 ToricDem ToricDem::build(const topo::ToricCode& code, ToricSide side) {
+  return build(code, side, sim::NoiseParams{});
+}
+
+ToricDem ToricDem::build(const topo::ToricCode& code, ToricSide side,
+                         const sim::NoiseParams& params) {
   const size_t sites = code.num_plaquettes();
   const bool plaquette = side == ToricSide::kPlaquette;
 
@@ -168,7 +173,11 @@ ToricDem ToricDem::build(const topo::ToricCode& code, ToricSide side) {
                               : fired[b].second - fired[a].second;
         return std::pair<size_t, size_t>{ds, dt};
       };
-      const double w = ft::variant_weight(kind);
+      const double w =
+          params.is_biased()
+              ? ft::biased_variant_weight(kind, v, params.frac_x(),
+                                          params.frac_y(), params.frac_z())
+              : ft::variant_weight(kind);
       const auto classify = [&](size_t a, size_t b) {
         const auto [ds, dt] = displacement(a, b);
         if (ds == 0 && dt == 1) {
@@ -233,6 +242,15 @@ PhenomenologicalResult run_circuit_memory(const SpacetimeToricDecoder& decoder,
                                           double eps, size_t rounds,
                                           uint64_t seed,
                                           PhenomenologicalScratch* scratch) {
+  return run_circuit_memory(decoder,
+                            sim::NoiseParams::uniform_gate(eps, /*eps_store=*/eps),
+                            rounds, seed, scratch);
+}
+
+PhenomenologicalResult run_circuit_memory(const SpacetimeToricDecoder& decoder,
+                                          const sim::NoiseParams& params,
+                                          size_t rounds, uint64_t seed,
+                                          PhenomenologicalScratch* scratch) {
   const topo::ToricCode& code = decoder.code();
   const bool plaquette = decoder.side() == ToricSide::kPlaquette;
   const size_t sites = code.num_plaquettes();
@@ -243,8 +261,7 @@ PhenomenologicalResult run_circuit_memory(const SpacetimeToricDecoder& decoder,
   if (s.errors.size() != code.num_qubits()) s.errors.resize(code.num_qubits());
 
   sim::FrameSim sim(code.num_qubits() + sites, seed);
-  ft::StochasticInjector injector(
-      sim::NoiseParams::uniform_gate(eps, /*eps_store=*/eps));
+  ft::StochasticInjector injector(params);
   for (size_t t = 0; t < rounds; ++t) {
     run_extraction_round(sim, injector, code, decoder.side(), s.syndromes[t]);
   }

@@ -50,6 +50,16 @@ class ToricDem {
   };
 
   static ToricDem build(const topo::ToricCode& code, ToricSide side);
+  // Bias-weighted build: each (location, variant) contributes its biased
+  // conditional probability (ft::biased_variant_weight) instead of the
+  // uniform variant weight. Since a variant's fired-detector set is bias-
+  // independent, only the masses shift — a Z-heavy channel drains the
+  // plaquette side's space class (few X components survive) and swells the
+  // star side's, so weights_at() hands each side its own asymmetric space
+  // weight. Reduces exactly to the uniform build when params.is_biased()
+  // is false.
+  static ToricDem build(const topo::ToricCode& code, ToricSide side,
+                        const sim::NoiseParams& params);
 
   [[nodiscard]] const Counts& counts() const { return counts_; }
   [[nodiscard]] size_t sites() const { return sites_; }
@@ -79,5 +89,13 @@ class ToricDem {
 [[nodiscard]] PhenomenologicalResult run_circuit_memory(
     const SpacetimeToricDecoder& decoder, double eps, size_t rounds,
     uint64_t seed, PhenomenologicalScratch* scratch = nullptr);
+
+// Generalized form: the injector runs the full NoiseParams channel set
+// (biased axes, heralded erasure, separate storage rate...), so a biased
+// memory point pairs a biased build() decoder with the matching biased
+// noise. The eps overload above is exactly this with uniform_gate(eps, eps).
+[[nodiscard]] PhenomenologicalResult run_circuit_memory(
+    const SpacetimeToricDecoder& decoder, const sim::NoiseParams& params,
+    size_t rounds, uint64_t seed, PhenomenologicalScratch* scratch = nullptr);
 
 }  // namespace ftqc::decode

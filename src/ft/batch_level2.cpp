@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/check.h"
+#include "common/errors.h"
 #include "ft/concatenated_recovery.h"
 #include "ft/steane_circuits.h"
 #include "ft/steane_recovery.h"
@@ -27,9 +28,10 @@ BatchLevel2Recovery::BatchLevel2Recovery(const sim::NoiseParams& noise,
       noise_(noise),
       policy_(policy),
       words_(sim_.num_words()) {
-  FTQC_CHECK(noise.p_leak == 0,
-             "BatchLevel2Recovery cannot model leakage; use the serial "
-             "Level2Recovery for p_leak > 0");
+  if (noise.p_leak > 0) {
+    throw UnsupportedChannel("BatchLevel2Recovery", "p_leak > 0",
+                             "Level2Recovery");
+  }
   for (uint32_t q = 0; q < kAncB; ++q) data_and_a_.push_back(q);
   // The scratch ancillas [147,161) are alive only inside the nested level-1
   // cycles, which do their own storage accounting; the level-2 active set
@@ -158,10 +160,10 @@ void BatchLevel2Recovery::prepare_verified_zero_ancilla(
     }
   }
   for (uint32_t q : targets) {
-    sim_.depolarize1(q, noise_.eps_gate1, votes.data());
+    batch_on_gate1(sim_, noise_, q, votes.data());
   }
   for (uint32_t q : data_and_a_) {
-    if (!is_target[q]) sim_.depolarize1(q, noise_.eps_store, votes.data());
+    if (!is_target[q]) batch_on_storage(sim_, noise_, q, votes.data());
   }
   for (uint32_t q : targets) sim_.inject_x_masked(q, votes.data());
 }

@@ -4,11 +4,59 @@
 #include <array>
 
 #include "common/check.h"
+#include "common/errors.h"
 #include "ft/steane_circuits.h"
 #include "ft/steane_layout.h"
 #include "sim/simd.h"
 
 namespace ftqc::ft {
+
+namespace {
+
+// Depolarize-or-biased 1-qubit draw at rate eps (no erasure): the storage
+// half of the serial StochasticInjector::pauli1.
+void batch_pauli1(sim::BatchFrameSim& sim, const sim::NoiseParams& noise,
+                  uint32_t q, double eps, const uint64_t* lane_mask) {
+  if (noise.is_biased()) {
+    sim.pauli_channel1(q, eps * noise.frac_x(), eps * noise.frac_y(),
+                       eps * noise.frac_z(), lane_mask);
+  } else {
+    sim.depolarize1(q, eps, lane_mask);
+  }
+}
+
+}  // namespace
+
+void batch_on_gate1(sim::BatchFrameSim& sim, const sim::NoiseParams& noise,
+                    uint32_t q, const uint64_t* lane_mask) {
+  batch_pauli1(sim, noise, q, noise.eps_gate1, lane_mask);
+  if (noise.p_erase > 0) sim.erase_error(q, noise.p_erase, lane_mask);
+}
+
+void batch_on_gate2(sim::BatchFrameSim& sim, const sim::NoiseParams& noise,
+                    uint32_t a, uint32_t b, const uint64_t* lane_mask) {
+  if (noise.is_biased()) {
+    sim.pauli_channel2(a, b, noise.eps_gate2, noise.frac_x(), noise.frac_y(),
+                       lane_mask);
+  } else {
+    sim.depolarize2(a, b, noise.eps_gate2, lane_mask);
+  }
+  if (noise.p_erase > 0) {
+    sim.erase_error(a, noise.p_erase, lane_mask);
+    sim.erase_error(b, noise.p_erase, lane_mask);
+  }
+}
+
+void batch_on_prep(sim::BatchFrameSim& sim, const sim::NoiseParams& noise,
+                   uint32_t q, const uint64_t* lane_mask) {
+  sim.x_error(q, noise.eps_prep, lane_mask);
+  if (noise.p_erase > 0) sim.erase_error(q, noise.p_erase, lane_mask);
+}
+
+void batch_on_storage(sim::BatchFrameSim& sim, const sim::NoiseParams& noise,
+                      uint32_t q, const uint64_t* lane_mask) {
+  batch_pauli1(sim, noise, q, noise.eps_store, lane_mask);
+}
 
 void batch_nontrivial_mask(const uint64_t* syndrome_rows, size_t num_rows,
                            const uint64_t* active, uint64_t* out,
@@ -75,13 +123,13 @@ void batch_correct_data_block(sim::BatchFrameSim& sim,
   // only for the lanes that actually correct (§3.4 lanes that deferred take
   // no fault opportunity at all).
   for (size_t p = 0; p < 7; ++p) {
-    sim.depolarize1(data[p], noise.eps_gate1, pos_masks.data() + p * words);
+    batch_on_gate1(sim, noise, data[p], pos_masks.data() + p * words);
   }
   std::vector<uint64_t> storage_mask(words);
   for (size_t q = 0; q < 7; ++q) {
     const uint64_t* pos = pos_masks.data() + q * words;
     sim::simd::andnot(storage_mask.data(), act_mask, pos, words);
-    sim.depolarize1(data[q], noise.eps_store, storage_mask.data());
+    batch_on_storage(sim, noise, data[q], storage_mask.data());
   }
   for (size_t p = 0; p < 7; ++p) {
     const uint64_t* pos = pos_masks.data() + p * words;
@@ -110,7 +158,7 @@ std::vector<size_t> BatchGadgetRunner::run(
 
   const auto flush_storage = [&] {
     for (uint32_t q : active_qubits) {
-      if (!touched_[q]) sim_.depolarize1(q, noise_.eps_store, lane_mask);
+      if (!touched_[q]) batch_on_storage(sim_, noise_, q, lane_mask);
     }
     std::fill(touched_.begin(), touched_.end(), false);
   };
@@ -129,31 +177,28 @@ std::vector<size_t> BatchGadgetRunner::run(
       case Gate::Z:
         // Deterministic Paulis shift the reference, not the frame, but the
         // physical gate is still a fault opportunity.
-        sim_.depolarize1(op.targets[0], noise_.eps_gate1, lane_mask);
+        batch_on_gate1(sim_, noise_, op.targets[0], lane_mask);
         break;
       case Gate::H:
         sim_.apply_h(op.targets[0]);
-        sim_.depolarize1(op.targets[0], noise_.eps_gate1, lane_mask);
+        batch_on_gate1(sim_, noise_, op.targets[0], lane_mask);
         break;
       case Gate::S:
       case Gate::S_DAG:
         sim_.apply_s(op.targets[0]);
-        sim_.depolarize1(op.targets[0], noise_.eps_gate1, lane_mask);
+        batch_on_gate1(sim_, noise_, op.targets[0], lane_mask);
         break;
       case Gate::CX:
         sim_.apply_cx(op.targets[0], op.targets[1]);
-        sim_.depolarize2(op.targets[0], op.targets[1], noise_.eps_gate2,
-                         lane_mask);
+        batch_on_gate2(sim_, noise_, op.targets[0], op.targets[1], lane_mask);
         break;
       case Gate::CZ:
         sim_.apply_cz(op.targets[0], op.targets[1]);
-        sim_.depolarize2(op.targets[0], op.targets[1], noise_.eps_gate2,
-                         lane_mask);
+        batch_on_gate2(sim_, noise_, op.targets[0], op.targets[1], lane_mask);
         break;
       case Gate::SWAP:
         sim_.apply_swap(op.targets[0], op.targets[1]);
-        sim_.depolarize2(op.targets[0], op.targets[1], noise_.eps_gate2,
-                         lane_mask);
+        batch_on_gate2(sim_, noise_, op.targets[0], op.targets[1], lane_mask);
         break;
       case Gate::M:
         sim_.x_error(op.targets[0], noise_.eps_meas, lane_mask);
@@ -166,11 +211,11 @@ std::vector<size_t> BatchGadgetRunner::run(
       case Gate::MR:
         sim_.x_error(op.targets[0], noise_.eps_meas, lane_mask);
         rows.push_back(sim_.measure_reset(op.targets[0]));
-        sim_.x_error(op.targets[0], noise_.eps_prep, lane_mask);
+        batch_on_prep(sim_, noise_, op.targets[0], lane_mask);
         break;
       case Gate::R:
         sim_.reset(op.targets[0]);
-        sim_.x_error(op.targets[0], noise_.eps_prep, lane_mask);
+        batch_on_prep(sim_, noise_, op.targets[0], lane_mask);
         break;
       case Gate::INJECT_X:
         sim_.inject_x(op.targets[0]);
@@ -241,6 +286,9 @@ class BatchSteaneCycleRunner {
   void prepare_verified_zero_ancilla(const uint64_t* lane_mask) {
     // Fresh |0>_code on the syndrome ancilla.
     gadgets_.run(circuits_.zero_prep_a, data_and_a_, lane_mask);
+    if (policy_.herald_reinit && noise_.p_erase > 0) {
+      herald_reinit_ancilla(lane_mask);
+    }
     if (!policy_.verify_ancilla || policy_.verification_rounds <= 0) return;
 
     // §3.3: compare against freshly encoded blocks; a lane is fixed only
@@ -270,16 +318,88 @@ class BatchSteaneCycleRunner {
     // run_gadget (gate noise on the three targets, storage on the rest of
     // data+anc_a) and then flips the frame; replay that masked per lane.
     for (size_t i = 0; i < 3; ++i) {
-      sim_.depolarize1(layout_.anc_a[i], noise_.eps_gate1, votes.data());
+      batch_on_gate1(sim_, noise_, layout_.anc_a[i], votes.data());
     }
     for (uint32_t q : layout_.data) {
-      sim_.depolarize1(q, noise_.eps_store, votes.data());
+      batch_on_storage(sim_, noise_, q, votes.data());
     }
     for (size_t i = 3; i < 7; ++i) {
-      sim_.depolarize1(layout_.anc_a[i], noise_.eps_store, votes.data());
+      batch_on_storage(sim_, noise_, layout_.anc_a[i], votes.data());
     }
     for (size_t i = 0; i < 3; ++i) {
       sim_.inject_x_masked(layout_.anc_a[i], votes.data());
+    }
+  }
+
+  // Herald-triggered reinit (batch form of the serial retry loop): lanes
+  // whose syndrome ancilla carries any heralded erasure replay zero_prep_a
+  // until clean or the retry budget runs out. The replay's R resets act on
+  // EVERY lane, so the non-retrying lanes' ancilla frames are parked in a
+  // side buffer and XOR-restored afterwards, exactly the BatchCatRetry
+  // scatter/compact. Budget-exhausted lanes keep their last (heralded)
+  // block — the serial path lets verification judge it — and are surfaced
+  // through the abort-mask contract.
+  void herald_reinit_ancilla(const uint64_t* lane_mask) {
+    std::vector<uint64_t> need(words_, 0);
+    const auto gather_heralds = [&](uint64_t* out) {
+      std::fill_n(out, words_, 0);
+      for (uint32_t q : layout_.anc_a) {
+        sim::simd::or_into(out, sim_.herald_word(q), words_);
+      }
+    };
+    gather_heralds(need.data());
+    if (lane_mask != nullptr) {
+      sim::simd::and_into(need.data(), lane_mask, words_);
+    }
+    if (!batch_any_lane(need.data(), words_)) return;
+
+    // Park every lane that is NOT retrying. Inactive lanes ride along with
+    // clean frames, so their round-trip is a no-op.
+    std::vector<uint64_t> keep(words_);
+    for (size_t w = 0; w < words_; ++w) keep[w] = ~need[w];
+    std::vector<uint64_t> parked(2 * 7 * words_, 0);
+    std::vector<uint64_t> passed_any(words_, 0), fresh(words_),
+        heralded(words_);
+    const auto park = [&](const uint64_t* mask) {
+      for (size_t i = 0; i < 7; ++i) {
+        const uint32_t q = layout_.anc_a[i];
+        sim::simd::blend_into(&parked[2 * i * words_], sim_.x_flips(q), mask,
+                              words_);
+        sim::simd::blend_into(&parked[(2 * i + 1) * words_], sim_.z_flips(q),
+                              mask, words_);
+      }
+      sim::simd::or_into(passed_any.data(), mask, words_);
+    };
+    park(keep.data());
+
+    for (int retry = 0; retry < policy_.max_herald_retries; ++retry) {
+      if (!batch_any_lane(need.data(), words_)) break;
+      // zero_prep_a opens with R resets, which clear both the frames and
+      // the heralds of the retrying block — each replay is a genuine fresh
+      // preparation (noise masked to the retrying lanes).
+      gadgets_.run(circuits_.zero_prep_a, data_and_a_, need.data());
+      gather_heralds(heralded.data());
+      sim::simd::andnot(fresh.data(), need.data(), heralded.data(), words_);
+      if (batch_any_lane(fresh.data(), words_)) park(fresh.data());
+      sim::simd::and_into(need.data(), heralded.data(), words_);
+    }
+    if (batch_any_lane(need.data(), words_)) {
+      // Exhausted lanes keep their last-attempt (still-heralded) frames and
+      // are surfaced in the abort mask; they were never parked, so the
+      // restore below (masked to passed_any) leaves them untouched.
+      sim_.discard_lanes(need.data());
+    }
+    // Restore the parked frames: XOR-inject the difference between what the
+    // last replay left behind and what each parked lane actually holds.
+    for (size_t i = 0; i < 7; ++i) {
+      const uint32_t q = layout_.anc_a[i];
+      sim::simd::xor_and(fresh.data(), sim_.x_flips(q),
+                         &parked[2 * i * words_], passed_any.data(), words_);
+      sim_.inject_x_masked(q, fresh.data());
+      sim::simd::xor_and(fresh.data(), sim_.z_flips(q),
+                         &parked[(2 * i + 1) * words_], passed_any.data(),
+                         words_);
+      sim_.inject_z_masked(q, fresh.data());
     }
   }
 
@@ -335,9 +455,10 @@ BatchSteaneRecovery::BatchSteaneRecovery(const sim::NoiseParams& noise,
       noise_(noise),
       policy_(policy),
       words_(sim_.num_words()) {
-  FTQC_CHECK(noise.p_leak == 0,
-             "BatchSteaneRecovery cannot model leakage; use the serial "
-             "SteaneRecovery for p_leak > 0");
+  if (noise.p_leak > 0) {
+    throw UnsupportedChannel("BatchSteaneRecovery", "p_leak > 0",
+                             "SteaneRecovery");
+  }
 }
 
 void BatchSteaneRecovery::reset() { sim_.clear(); }

@@ -42,6 +42,22 @@ namespace ftqc::ft {
   return count;
 }
 
+// §6 channel application shared by every batched driver, mirroring the
+// serial StochasticInjector hook for hook: bias reroutes the depolarizing
+// draw through the explicit per-axis channels, and gate/prep locations take
+// a heralded-erasure draw when p_erase > 0. The unbiased p_erase = 0 path
+// calls depolarize1/2 / x_error directly, preserving the pinned RNG
+// streams bit for bit. Leakage has no batch form — drivers reject it at
+// construction with UnsupportedChannel.
+void batch_on_gate1(sim::BatchFrameSim& sim, const sim::NoiseParams& noise,
+                    uint32_t q, const uint64_t* lane_mask);
+void batch_on_gate2(sim::BatchFrameSim& sim, const sim::NoiseParams& noise,
+                    uint32_t a, uint32_t b, const uint64_t* lane_mask);
+void batch_on_prep(sim::BatchFrameSim& sim, const sim::NoiseParams& noise,
+                   uint32_t q, const uint64_t* lane_mask);
+void batch_on_storage(sim::BatchFrameSim& sim, const sim::NoiseParams& noise,
+                      uint32_t q, const uint64_t* lane_mask);
+
 // §3.4 mask algebra, shared by every batched driver's run_cycle so the
 // repeat-policy convention cannot drift between them. `syndrome_rows` is
 // num_rows * words words.

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/errors.h"
 #include "ft/generic_recovery.h"
 #include "ft/steane_circuits.h"
 #include "sim/simd.h"
@@ -36,9 +37,11 @@ uint64_t BatchCatRetry::prepare(BatchGadgetRunner& gadgets,
                                 const sim::Circuit& prep,
                                 std::span<const uint32_t> cat,
                                 std::span<const uint32_t> active_qubits,
-                                int max_attempts, bool verify,
+                                const RecoveryPolicy& policy,
                                 const uint64_t* active) {
   const size_t words = sim_.num_words();
+  const bool herald_check =
+      policy.herald_reinit && gadgets.noise().p_erase > 0;
   need_.assign(words, ~uint64_t{0});
   if (active != nullptr) std::copy_n(active, words, need_.begin());
   passed_any_.assign(words, 0);
@@ -46,7 +49,7 @@ uint64_t BatchCatRetry::prepare(BatchGadgetRunner& gadgets,
   parked_.assign(2 * cat.size() * words, 0);
   uint64_t discarded = 0;
 
-  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+  for (int attempt = 0; attempt < policy.max_cat_attempts; ++attempt) {
     if (!batch_any_lane(need_.data(), words)) break;
     // The prep's leading R gates reset cat+check on EVERY lane, which is
     // exactly what makes whole-word replay safe: passed lanes are parked,
@@ -54,16 +57,27 @@ uint64_t BatchCatRetry::prepare(BatchGadgetRunner& gadgets,
     const auto rows = gadgets.run(prep, active_qubits, need_.data());
     FTQC_CHECK(rows.size() == 1,
                "cat prep must measure exactly the check qubit");
-    if (!verify) {
+    if (!policy.verify_ancilla && !herald_check) {
       // §3.3 disabled: the first attempt always passes; frames are already
       // in place, so no parking round-trip is needed.
       need_.assign(words, 0);
       break;
     }
     // Reference check outcome is 0 (the cat bits agree); a flip means the
-    // verification failed and the cat is discarded (§3.3).
-    const uint64_t* flip = sim_.record().row(rows[0]);
-    std::copy_n(flip, words, failed_.begin());
+    // verification failed and the cat is discarded (§3.3). A heralded
+    // erasure on a cat qubit is a failure the check bit cannot see — the
+    // qubit is maximally mixed — so the herald joins the discard decision.
+    if (policy.verify_ancilla) {
+      const uint64_t* flip = sim_.record().row(rows[0]);
+      std::copy_n(flip, words, failed_.begin());
+    } else {
+      std::fill_n(failed_.begin(), words, 0);
+    }
+    if (herald_check) {
+      for (uint32_t q : cat) {
+        sim::simd::or_into(failed_.data(), sim_.herald_word(q), words);
+      }
+    }
     sim::simd::and_into(failed_.data(), need_.data(), words);
     discarded += batch_count_lanes(failed_.data(), words, sim_.num_shots());
     // passed_now = need & ~failed, register-wide; scratch_ holds it until
@@ -118,9 +132,10 @@ BatchShorRecovery::BatchShorRecovery(const sim::NoiseParams& noise,
       noise_(noise),
       policy_(policy),
       words_(sim_.num_words()) {
-  FTQC_CHECK(noise.p_leak == 0,
-             "BatchShorRecovery cannot model leakage; use the serial "
-             "ShorRecovery for p_leak > 0");
+  if (noise.p_leak > 0) {
+    throw UnsupportedChannel("BatchShorRecovery", "p_leak > 0",
+                             "ShorRecovery");
+  }
 }
 
 void BatchShorRecovery::reset() {
@@ -161,9 +176,8 @@ void BatchShorRecovery::measure_syndrome_bit(size_t row, bool x_type,
     return gadgets;
   }();
 
-  cats_discarded_ +=
-      retry_.prepare(gadgets_, kCatPrep[!x_type], kCat, kAll,
-                     policy_.max_cat_attempts, policy_.verify_ancilla, active);
+  cats_discarded_ += retry_.prepare(gadgets_, kCatPrep[!x_type], kCat, kAll,
+                                    policy_, active);
   const auto rows = gadgets_.run(kSyndromeBit[x_type][row], kAll, active);
   FTQC_CHECK(rows.size() == 4, "Shor syndrome bit reads the 4 cat qubits");
   std::fill_n(out, words_, 0);
@@ -240,9 +254,10 @@ BatchGenericShorRecovery::BatchGenericShorRecovery(
       noise_(noise),
       policy_(policy),
       words_(sim_.num_words()) {
-  FTQC_CHECK(noise.p_leak == 0,
-             "BatchGenericShorRecovery cannot model leakage; use the serial "
-             "GenericShorRecovery for p_leak > 0");
+  if (noise.p_leak > 0) {
+    throw UnsupportedChannel("BatchGenericShorRecovery", "p_leak > 0",
+                             "GenericShorRecovery");
+  }
   max_weight_ = 0;
   for (const auto& g : code.generators()) {
     max_weight_ = std::max(max_weight_, g.weight());
@@ -298,9 +313,8 @@ void BatchGenericShorRecovery::measure_generator(size_t g,
                                                  uint64_t* out) {
   const size_t width = code_.generators()[g].weight();
   const std::span<const uint32_t> cat(cat_.data(), width);
-  cats_discarded_ +=
-      retry_.prepare(gadgets_, cat_preps_[g], cat, all_qubits_,
-                     policy_.max_cat_attempts, policy_.verify_ancilla, active);
+  cats_discarded_ += retry_.prepare(gadgets_, cat_preps_[g], cat, all_qubits_,
+                                    policy_, active);
   const auto rows = gadgets_.run(gen_gadgets_[g], all_qubits_, active);
   FTQC_CHECK(rows.size() == width, "generator readout width mismatch");
   std::fill_n(out, words_, 0);
@@ -350,12 +364,12 @@ void BatchGenericShorRecovery::correct(const uint64_t* syndrome_rows,
     // then the frame shift (the noiseless run never corrects).
     for (size_t q = 0; q < code_.n(); ++q) {
       if (correction.pauli_at(q) != 'I') {
-        sim_.depolarize1(q, noise_.eps_gate1, mask.data());
+        batch_on_gate1(sim_, noise_, static_cast<uint32_t>(q), mask.data());
       }
     }
     for (size_t q = 0; q < code_.n(); ++q) {
       if (correction.pauli_at(q) == 'I') {
-        sim_.depolarize1(q, noise_.eps_store, mask.data());
+        batch_on_storage(sim_, noise_, static_cast<uint32_t>(q), mask.data());
       }
     }
     for (size_t q = 0; q < code_.n(); ++q) {

@@ -38,12 +38,15 @@ class BatchCatRetry {
   // `prep` must measure exactly one qubit (the cat check); `cat` names the
   // qubits whose frames carry the prepared state past the retry loop.
   // `active` (nullptr = all) restricts the whole loop to the lanes whose
-  // shot is executing this preparation. Returns the number of discarded
+  // shot is executing this preparation. A lane fails an attempt when the
+  // check bit flips (policy.verify_ancilla) OR any cat qubit carries a
+  // heralded erasure (policy.herald_reinit, p_erase > 0) — mirroring the
+  // serial discard decision bit for bit. Returns the number of discarded
   // cats summed over lanes (the serial cats_discarded counter).
   uint64_t prepare(BatchGadgetRunner& gadgets, const sim::Circuit& prep,
                    std::span<const uint32_t> cat,
-                   std::span<const uint32_t> active_qubits, int max_attempts,
-                   bool verify, const uint64_t* active);
+                   std::span<const uint32_t> active_qubits,
+                   const RecoveryPolicy& policy, const uint64_t* active);
 
  private:
   sim::BatchFrameSim& sim_;

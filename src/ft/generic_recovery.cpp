@@ -83,7 +83,12 @@ void GenericShorRecovery::prepare_verified_cat(size_t width) {
     for (uint32_t q : cat) frame_.reset(q);
     frame_.reset(check_);
     const auto record = run_gadget(frame_, prep, *injector_, all_qubits_);
-    const bool failed = policy_.verify_ancilla && record[0] != 0;
+    // As in ShorRecovery: a heralded cat qubit fails verification outright.
+    bool heralded = false;
+    if (policy_.herald_reinit) {
+      for (uint32_t q : cat) heralded = heralded || frame_.is_erased(q);
+    }
+    const bool failed = (policy_.verify_ancilla && record[0] != 0) || heralded;
     if (!failed) return;
     ++cats_discarded_;
   }

@@ -58,6 +58,38 @@ std::pair<size_t, size_t> FaultPointInjector::marker_window(
   return {lo, hi};
 }
 
+double biased_variant_weight(LocationKind kind, int variant, double fx,
+                             double fy, double fz) {
+  FTQC_CHECK(variant >= 0 && variant < location_variants(kind),
+             "fault variant out of range for location kind");
+  switch (kind) {
+    case LocationKind::kGate1:
+    case LocationKind::kStorage: {
+      const double f[3] = {fx, fy, fz};
+      return f[variant];
+    }
+    case LocationKind::kGate2: {
+      // variant+1 encodes (code_a, code_b) base 4, 1=X/2=Z/3=Y; per-qubit
+      // weights (1, 3fx, 3fy, 3fz)/4 conditioned on not-II normalize over
+      // the 15 non-identity pairs to w_a * w_b / 15.
+      const auto axis_weight = [&](int code) {
+        switch (code) {
+          case 0: return 1.0;
+          case 1: return 3.0 * fx;
+          case 3: return 3.0 * fy;
+          default: return 3.0 * fz;
+        }
+      };
+      const int which = variant + 1;
+      return axis_weight(which & 3) * axis_weight((which >> 2) & 3) / 15.0;
+    }
+    case LocationKind::kPrep:
+    case LocationKind::kMeas:
+      return 1.0;
+  }
+  return 0.0;
+}
+
 void inject_pauli1_fault(sim::FrameSim& sim, uint32_t q, int variant) {
   switch (variant) {
     case 0: sim.inject_x(q); break;

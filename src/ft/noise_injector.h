@@ -43,6 +43,16 @@ enum class LocationKind : uint8_t {
   return 1.0 / location_variants(kind);
 }
 
+// Conditional variant weight under a biased Pauli channel with axis
+// fractions (fx, fy, fz): kGate1/kStorage variants 0..2 weigh fx/fy/fz,
+// kGate2 variants follow the per-qubit (1, 3fx, 3fy, 3fz)/4 product
+// conditioned on not-II (exactly StochasticInjector's sampling law), and
+// prep/meas flips are bias-blind. Reduces to variant_weight(kind) at
+// fx = fy = fz = 1/3. Weighted DEM builds (ToricDem) use this to turn a
+// bias into asymmetric decoder edge probabilities.
+[[nodiscard]] double biased_variant_weight(LocationKind kind, int variant,
+                                           double fx, double fy, double fz);
+
 // Shared variant semantics: every injector that realizes enumerated faults
 // (FaultPointInjector replays, the Bernoulli proposal injector behind the
 // rare-event sampler) applies variants through these, so "variant v at a
@@ -82,11 +92,21 @@ class StochasticInjector final : public NoiseInjector {
   explicit StochasticInjector(const sim::NoiseParams& params) : params_(params) {}
 
   void on_gate1(sim::FrameSim& sim, uint32_t q) override {
-    sim.depolarize1(q, params_.eps_gate1);
+    pauli1(sim, q, params_.eps_gate1);
+    if (params_.p_erase > 0) sim.erase_error(q, params_.p_erase);
     if (params_.p_leak > 0) sim.leak_error(q, params_.p_leak);
   }
   void on_gate2(sim::FrameSim& sim, uint32_t a, uint32_t b) override {
-    sim.depolarize2(a, b, params_.eps_gate2);
+    if (params_.is_biased()) {
+      sim.pauli_channel2(a, b, params_.eps_gate2, params_.frac_x(),
+                         params_.frac_y());
+    } else {
+      sim.depolarize2(a, b, params_.eps_gate2);
+    }
+    if (params_.p_erase > 0) {
+      sim.erase_error(a, params_.p_erase);
+      sim.erase_error(b, params_.p_erase);
+    }
     if (params_.p_leak > 0) {
       sim.leak_error(a, params_.p_leak);
       sim.leak_error(b, params_.p_leak);
@@ -94,6 +114,7 @@ class StochasticInjector final : public NoiseInjector {
   }
   void on_prep(sim::FrameSim& sim, uint32_t q) override {
     sim.x_error(q, params_.eps_prep);
+    if (params_.p_erase > 0) sim.erase_error(q, params_.p_erase);
   }
   void on_meas(sim::FrameSim& sim, uint32_t q, bool x_basis) override {
     if (x_basis) {
@@ -103,10 +124,22 @@ class StochasticInjector final : public NoiseInjector {
     }
   }
   void on_storage(sim::FrameSim& sim, uint32_t q) override {
-    sim.depolarize1(q, params_.eps_store);
+    pauli1(sim, q, params_.eps_store);
   }
 
  private:
+  // Unbiased params take the exact depolarize1 path (bit-identical RNG
+  // streams with every pre-bias pinned run); bias reroutes through the
+  // explicit axis channel.
+  void pauli1(sim::FrameSim& sim, uint32_t q, double eps) {
+    if (params_.is_biased()) {
+      sim.pauli_channel1(q, eps * params_.frac_x(), eps * params_.frac_y(),
+                         eps * params_.frac_z());
+    } else {
+      sim.depolarize1(q, eps);
+    }
+  }
+
   sim::NoiseParams params_;
 };
 

@@ -40,6 +40,18 @@ struct RecoveryPolicy {
   // Maximum cat-state preparation attempts before giving up the discard
   // loop and using the last cat unverified.
   int max_cat_attempts = 8;
+  // Heralded-erasure handling (the Fig. 15 detect-and-replace generalized
+  // to an in-gadget reinit): a freshly prepared ancilla block that reports
+  // an erasure herald is discarded and re-prepared instead of feeding a
+  // known-maximally-mixed qubit into the extraction, and heralded cat
+  // qubits count as failed verification in the §3.3 discard loop. A no-op
+  // when the noise model has p_erase = 0.
+  bool herald_reinit = true;
+  // Re-preparation budget per ancilla; an exhausted loop keeps the last
+  // (still-heralded) block — the serial drivers proceed with it, the batch
+  // drivers additionally surface those lanes through the abort-mask
+  // contract (same semantics as cat-retry exhaustion).
+  int max_herald_retries = 4;
   // Level-2 gadgets only: bare subblocks or the extended-rectangle
   // interleave. kBare reproduces the original gadget bit for bit.
   Level2Discipline level2_discipline = Level2Discipline::kBare;

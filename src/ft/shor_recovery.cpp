@@ -55,8 +55,14 @@ void ShorRecovery::prepare_verified_cat(bool final_hadamards) {
     frame_.reset(kCheck);
     const auto record = run_gadget(frame_, prep, *injector_, kAll);
     // Reference check outcome is 0 (the cat bits agree); a flip means the
-    // verification failed and the cat is discarded (§3.3).
-    const bool failed = policy_.verify_ancilla && record[0] != 0;
+    // verification failed and the cat is discarded (§3.3). A heralded
+    // erasure on a cat qubit is a failure the check bit cannot see — the
+    // qubit is maximally mixed — so the herald joins the discard decision.
+    bool heralded = false;
+    if (policy_.herald_reinit) {
+      for (uint32_t q : kCat) heralded = heralded || frame_.is_erased(q);
+    }
+    const bool failed = (policy_.verify_ancilla && record[0] != 0) || heralded;
     if (!failed) return;
     ++cats_discarded_;
   }

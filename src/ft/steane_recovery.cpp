@@ -57,9 +57,29 @@ class SteaneCycleRunner {
   }
 
  private:
+  [[nodiscard]] bool syndrome_ancilla_heralded() const {
+    for (uint32_t q : layout_.anc_a) {
+      if (frame_.is_erased(q)) return true;
+    }
+    return false;
+  }
+
   void prepare_verified_zero_ancilla() {
     // Fresh |0>_code on the syndrome ancilla.
     run_gadget(frame_, circuits_.zero_prep_a, injector_, data_and_a_);
+    if (policy_.herald_reinit) {
+      // Herald-triggered reinit: an erased ancilla qubit is known to be
+      // maximally mixed, so the block is discarded and re-prepared rather
+      // than verified. zero_prep_a opens with R resets, which clear both
+      // the frames and the heralds of the discarded block — each replay is
+      // a genuine fresh preparation. An exhausted budget keeps the last
+      // (still-heralded) block and lets verification judge it.
+      for (int retry = 0;
+           retry < policy_.max_herald_retries && syndrome_ancilla_heralded();
+           ++retry) {
+        run_gadget(frame_, circuits_.zero_prep_a, injector_, data_and_a_);
+      }
+    }
     if (!policy_.verify_ancilla) return;
 
     // §3.3: compare against freshly encoded blocks; equal nontrivial

@@ -13,6 +13,7 @@ BatchFrameSim::BatchFrameSim(size_t num_qubits, size_t shots, uint64_t seed)
       shots_((shots + 63) & ~size_t{63}),
       words_(shots_ / 64),
       frames_(2 * num_qubits * words_, 0),
+      heralds_(num_qubits * words_, 0),
       record_(words_),
       abort_(words_, 0),
       hit_(words_, 0),
@@ -21,8 +22,13 @@ BatchFrameSim::BatchFrameSim(size_t num_qubits, size_t shots, uint64_t seed)
 
 void BatchFrameSim::clear() {
   std::fill(frames_.begin(), frames_.end(), 0);
+  std::fill(heralds_.begin(), heralds_.end(), 0);
   std::fill(abort_.begin(), abort_.end(), 0);
   record_.clear();
+}
+
+void BatchFrameSim::clear_heralds() {
+  std::fill(heralds_.begin(), heralds_.end(), 0);
 }
 
 void BatchFrameSim::clear_record() { record_.clear(); }
@@ -280,6 +286,121 @@ void BatchFrameSim::z_error(size_t q, double p, const uint64_t* lane_mask) {
   }
 }
 
+void BatchFrameSim::pauli_channel1(size_t q, double px, double py, double pz,
+                                   const uint64_t* lane_mask) {
+  const double total = px + py + pz;
+  const HitWords hits = fill_hit_words(total);
+  if (!hits) return;
+  const double fx = px / total;
+  const double fy = py / total;
+  uint64_t* xs = x_word(q);
+  uint64_t* zs = z_word(q);
+  Rng rng = rng_;  // register-resident draws in the hot loop (same stream)
+  // Per-hit-lane axis draw: the bias fractions are arbitrary doubles, so
+  // (unlike the equiprobable depolarize) there is no exact word-wide
+  // bitplane trick — but hits are O(shots * p), so per-hit draws cost what
+  // the fill already does.
+  const auto flavor_word = [&](size_t w) {
+    uint64_t pending = hits.bits[w];
+    if (lane_mask != nullptr) pending &= lane_mask[w];
+    while (pending != 0) {
+      const uint64_t lane = uint64_t{1} << __builtin_ctzll(pending);
+      pending &= pending - 1;
+      const double u = rng.next_double();
+      if (u < fx) {
+        xs[w] ^= lane;
+      } else if (u < fx + fy) {
+        xs[w] ^= lane;
+        zs[w] ^= lane;
+      } else {
+        zs[w] ^= lane;
+      }
+    }
+  };
+  if (hits.dense) {
+    for (size_t w = 0; w < words_; ++w) flavor_word(w);
+  } else {
+    for (size_t i = 0; i < hits.num_dirty; ++i) flavor_word(hits.dirty[i]);
+  }
+  rng_ = rng;
+}
+
+void BatchFrameSim::pauli_channel2(size_t a, size_t b, double p, double fx,
+                                   double fy, const uint64_t* lane_mask) {
+  const HitWords hits = fill_hit_words(p);
+  if (!hits) return;
+  uint64_t* xa = x_word(a);
+  uint64_t* za = z_word(a);
+  uint64_t* xb = x_word(b);
+  uint64_t* zb = z_word(b);
+  const double wx = 3.0 * fx;
+  const double wy = 3.0 * fy;
+  Rng rng = rng_;
+  // Same conditioned product draw as FrameSim::pauli_channel2, per hit lane.
+  const auto draw_code = [&]() -> uint64_t {
+    const double u = rng.next_double() * 4.0;
+    if (u < 1.0) return 0;
+    if (u < 1.0 + wx) return 1;
+    if (u < 1.0 + wx + wy) return 3;
+    return 2;
+  };
+  const auto flavor_word = [&](size_t w) {
+    uint64_t pending = hits.bits[w];
+    if (lane_mask != nullptr) pending &= lane_mask[w];
+    while (pending != 0) {
+      const uint64_t lane = uint64_t{1} << __builtin_ctzll(pending);
+      pending &= pending - 1;
+      uint64_t ca = 0, cb = 0;
+      do {
+        ca = draw_code();
+        cb = draw_code();
+      } while (ca == 0 && cb == 0);
+      if (ca & 1) xa[w] ^= lane;
+      if (ca & 2) za[w] ^= lane;
+      if (cb & 1) xb[w] ^= lane;
+      if (cb & 2) zb[w] ^= lane;
+    }
+  };
+  if (hits.dense) {
+    for (size_t w = 0; w < words_; ++w) flavor_word(w);
+  } else {
+    for (size_t i = 0; i < hits.num_dirty; ++i) flavor_word(hits.dirty[i]);
+  }
+  rng_ = rng;
+}
+
+void BatchFrameSim::erase_error(size_t q, double p, const uint64_t* lane_mask) {
+  const HitWords hits = fill_hit_words(p);
+  if (!hits) return;
+  uint64_t* xs = x_word(q);
+  uint64_t* zs = z_word(q);
+  uint64_t* hs = herald_word_mut(q);
+  Rng rng = rng_;
+  // Reset-to-mixed per hit lane: herald bit set, frame bits REPLACED by
+  // fresh uniform random (not XORed — the twirl forgets the old frame).
+  // Two word draws per dirty word cover all 64 lanes at once.
+  const auto erase_word = [&](size_t w) {
+    uint64_t hit = hits.bits[w];
+    if (lane_mask != nullptr) hit &= lane_mask[w];
+    if (hit == 0) return;
+    hs[w] |= hit;
+    const uint64_t rx = rng.next_u64();
+    const uint64_t rz = rng.next_u64();
+    xs[w] = (xs[w] & ~hit) | (rx & hit);
+    zs[w] = (zs[w] & ~hit) | (rz & hit);
+  };
+  if (hits.dense) {
+    for (size_t w = 0; w < words_; ++w) erase_word(w);
+  } else {
+    for (size_t i = 0; i < hits.num_dirty; ++i) erase_word(hits.dirty[i]);
+  }
+  rng_ = rng;
+}
+
+void BatchFrameSim::mark_erased_masked(size_t q, const uint64_t* lane_mask) {
+  simd::or_into(herald_word_mut(q), lane_mask, words_);
+}
+
 void BatchFrameSim::inject_x(size_t q) {
   uint64_t* xs = x_word(q);
   for (size_t w = 0; w < words_; ++w) xs[w] ^= ~uint64_t{0};
@@ -341,6 +462,9 @@ size_t BatchFrameSim::measure_reset(size_t q) {
 void BatchFrameSim::reset(size_t q) {
   std::fill_n(x_word(q), words_, 0);
   std::fill_n(z_word(q), words_, 0);
+  // A freshly prepared qubit is not erased: prep-circuit R gates clear the
+  // herald plane, which is what lets retry loops re-arm lanes in place.
+  std::fill_n(herald_word_mut(q), words_, 0);
 }
 
 void BatchFrameSim::classical_x(size_t q, size_t record_index) {
@@ -423,6 +547,14 @@ void BatchFrameSim::run(const Circuit& circuit) {
       case Gate::X_ERROR: x_error(op.targets[0], op.arg); break;
       case Gate::Y_ERROR: y_error(op.targets[0], op.arg); break;
       case Gate::Z_ERROR: z_error(op.targets[0], op.arg); break;
+      case Gate::PAULI_CHANNEL1:
+        pauli_channel1(op.targets[0], op.arg, op.arg2, op.arg3);
+        break;
+      case Gate::PAULI_CHANNEL2:
+        pauli_channel2(op.targets[0], op.targets[1], op.arg, op.arg2,
+                       op.arg3);
+        break;
+      case Gate::ERASE: erase_error(op.targets[0], op.arg); break;
       // Injections flip (not set) the frame, matching FrameSim::inject_*:
       // two injections of the same Pauli cancel.
       case Gate::INJECT_X: inject_x(op.targets[0]); break;

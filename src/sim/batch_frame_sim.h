@@ -87,6 +87,33 @@ class BatchFrameSim {
   void x_error(size_t q, double p, const uint64_t* lane_mask = nullptr);
   void y_error(size_t q, double p, const uint64_t* lane_mask = nullptr);
   void z_error(size_t q, double p, const uint64_t* lane_mask = nullptr);
+  // Biased Pauli channels (Gate::PAULI_CHANNEL1/2): same parameterization
+  // as FrameSim's — px/py/pz per axis, and (p, fx, fy) for the conditioned
+  // two-qubit product draw.
+  void pauli_channel1(size_t q, double px, double py, double pz,
+                      const uint64_t* lane_mask = nullptr);
+  void pauli_channel2(size_t a, size_t b, double p, double fx, double fy,
+                      const uint64_t* lane_mask = nullptr);
+
+  // --- Heralded erasure ----------------------------------------------------
+  // Per-lane erasure at rate p: hit lanes get their herald bit set and their
+  // frame words replaced by fresh uniform random bits (reset-to-mixed).
+  // Erasure does NOT gate subsequent word ops — unlike leakage, all 64
+  // lanes keep advancing per word, which is why the batch engine supports
+  // it at full width.
+  void erase_error(size_t q, double p, const uint64_t* lane_mask = nullptr);
+  // Deterministic herald-only injection (no frame change, no RNG): the
+  // cross-engine tests pin herald planes bit for bit through this.
+  void mark_erased_masked(size_t q, const uint64_t* lane_mask);
+  // Herald bitplane for qubit q (words() words, 1 = erased since the last
+  // reset of that lane's qubit / clear_heralds()).
+  [[nodiscard]] const uint64_t* herald_word(size_t q) const {
+    return &heralds_[q * words_];
+  }
+  [[nodiscard]] bool heralded(size_t q, size_t shot) const {
+    return (herald_word(q)[shot >> 6] >> (shot & 63)) & 1u;
+  }
+  void clear_heralds();
 
   // Deterministic frame flips on every lane (flip semantics: two injections
   // of the same Pauli cancel, matching FrameSim::inject_*).
@@ -208,10 +235,15 @@ class BatchFrameSim {
   }
   void refill_skip_log();
 
+  [[nodiscard]] uint64_t* herald_word_mut(size_t q) {
+    return &heralds_[q * words_];
+  }
+
   size_t n_;
   size_t shots_;
   size_t words_;
   std::vector<uint64_t> frames_;  // layout: [qubit][x|z][word]
+  std::vector<uint64_t> heralds_;  // layout: [qubit][word], erasure heralds
   BatchRecord record_;
   std::vector<uint64_t> abort_;
   std::vector<uint64_t> hit_;        // scratch for fill_hit_words

@@ -18,6 +18,10 @@ struct Operation {
   Gate gate = Gate::I;
   std::vector<uint32_t> targets;
   double arg = 0.0;
+  // Second and third channel parameters: the biased Pauli channels carry
+  // (p_x, p_y, p_z) as (arg, arg2, arg3). Zero for every other gate.
+  double arg2 = 0.0;
+  double arg3 = 0.0;
   int32_t cond = -1;
 
   [[nodiscard]] std::string to_string() const;
@@ -85,6 +89,26 @@ class Circuit {
   void y_error(uint32_t q, double p) { append1(Gate::Y_ERROR, q, p); }
   void z_error(uint32_t q, double p) { append1(Gate::Z_ERROR, q, p); }
   void leak_error(uint32_t q, double p) { append1(Gate::LEAK_ERROR, q, p); }
+  void erase_error(uint32_t q, double p) { append1(Gate::ERASE, q, p); }
+  // Biased single-qubit Pauli channel: X/Y/Z with probabilities px/py/pz.
+  void pauli_channel1(uint32_t q, double px, double py, double pz) {
+    const uint32_t t[1] = {q};
+    const int32_t idx = append(Gate::PAULI_CHANNEL1, t, px);
+    (void)idx;
+    ops_.back().arg2 = py;
+    ops_.back().arg3 = pz;
+  }
+  // Biased two-qubit channel: total probability p of a non-identity fault,
+  // each qubit's Pauli drawn from weights (1, 3f_x, 3f_y, 3f_z) with
+  // f = (px,py,pz)/(px+py+pz), conditioned on not-II. Reduces to the
+  // uniform 15-way DEPOLARIZE2 distribution when px = py = pz.
+  void pauli_channel2(uint32_t a, uint32_t b, double p, double fx, double fy) {
+    const uint32_t t[2] = {a, b};
+    const int32_t idx = append(Gate::PAULI_CHANNEL2, t, p);
+    (void)idx;
+    ops_.back().arg2 = fx;
+    ops_.back().arg3 = fy;
+  }
   void inject(uint32_t q, char pauli);
 
   // Appends another circuit, remapping its qubit i to qubit_map[i] and

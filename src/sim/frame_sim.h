@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -46,6 +47,11 @@ class FrameSim {
   void x_error(size_t q, double p);
   void z_error(size_t q, double p);
   void y_error(size_t q, double p);
+  // Biased Pauli channels (see Gate::PAULI_CHANNEL1/2): X/Y/Z with
+  // probabilities px/py/pz; the 2-qubit form takes the total probability
+  // and the conditional axis fractions (fz = 1 - fx - fy).
+  void pauli_channel1(size_t q, double px, double py, double pz);
+  void pauli_channel2(size_t a, size_t b, double p, double fx, double fy);
 
   // --- Measurement / reset (flip semantics) -------------------------------
   // Flip of a Z-basis measurement outcome relative to the reference.
@@ -63,6 +69,25 @@ class FrameSim {
   void mark_leaked(size_t q) { leaked_[q] = true; }
   [[nodiscard]] bool is_leaked(size_t q) const { return leaked_[q]; }
 
+  // --- Heralded erasure ----------------------------------------------------
+  // With probability p: herald the qubit and replace it by the maximally
+  // mixed state — in frame space, a uniform Pauli twirl (the frame's X and Z
+  // bits become fresh uniform random bits). Gates keep acting normally on an
+  // erased qubit, which is what lets the batch engine run erasure at full
+  // width (contrast leak_error). reset() clears the herald: a freshly
+  // prepared replacement qubit is not erased.
+  void erase_error(size_t q, double p);
+  // Deterministic herald-only variant (no frame randomization, no RNG
+  // draws): the cross-engine pinning tests use it to compare herald planes
+  // bit for bit.
+  void mark_erased(size_t q) { erased_[q] = true; }
+  [[nodiscard]] bool is_erased(size_t q) const { return erased_[q]; }
+  // Clears every herald without touching frames: drivers that consume
+  // heralds once per decode window call this between windows.
+  void clear_heralds() {
+    std::fill(erased_.begin(), erased_.end(), false);
+  }
+
   // --- Introspection -------------------------------------------------------
   [[nodiscard]] const gf2::BitVec& x_frame() const { return x_; }
   [[nodiscard]] const gf2::BitVec& z_frame() const { return z_; }
@@ -75,6 +100,7 @@ class FrameSim {
   gf2::BitVec x_;
   gf2::BitVec z_;
   std::vector<bool> leaked_;
+  std::vector<bool> erased_;
   Rng rng_;
 };
 

@@ -39,6 +39,16 @@ enum class Gate : uint8_t {
   Y_ERROR,
   Z_ERROR,
   LEAK_ERROR,  // with prob arg, mark the qubit as leaked (§6, Fig. 15)
+  // Biased Pauli channels; `arg`/`arg2`/`arg3` = (p_x, p_y, p_z). The
+  // 2-qubit form draws each qubit's Pauli from weights (1, 3f_x, 3f_y,
+  // 3f_z) with f = p/sum(p), conditioned on not-II — the biased
+  // generalization of DEPOLARIZE2's uniform 15-way draw.
+  PAULI_CHANNEL1,
+  PAULI_CHANNEL2,
+  // Heralded erasure: with prob arg, replace the qubit by the maximally
+  // mixed state (uniform Pauli twirl on the frame) AND record a herald.
+  // Unlike LEAK_ERROR, subsequent gates act normally on the fresh qubit.
+  ERASE,
   // Deterministic single-qubit fault injections used by the fault enumerator.
   INJECT_X,
   INJECT_Y,
@@ -73,6 +83,9 @@ enum class Gate : uint8_t {
     case Gate::Y_ERROR: return "Y_ERROR";
     case Gate::Z_ERROR: return "Z_ERROR";
     case Gate::LEAK_ERROR: return "LEAK_ERROR";
+    case Gate::PAULI_CHANNEL1: return "PAULI_CHANNEL1";
+    case Gate::PAULI_CHANNEL2: return "PAULI_CHANNEL2";
+    case Gate::ERASE: return "ERASE";
     case Gate::INJECT_X: return "INJECT_X";
     case Gate::INJECT_Y: return "INJECT_Y";
     case Gate::INJECT_Z: return "INJECT_Z";
@@ -88,6 +101,7 @@ enum class Gate : uint8_t {
     case Gate::CZ:
     case Gate::SWAP:
     case Gate::DEPOLARIZE2:
+    case Gate::PAULI_CHANNEL2:
       return 2;
     case Gate::CCX:
     case Gate::CCZ:
@@ -129,6 +143,9 @@ enum class Gate : uint8_t {
     case Gate::Y_ERROR:
     case Gate::Z_ERROR:
     case Gate::LEAK_ERROR:
+    case Gate::PAULI_CHANNEL1:
+    case Gate::PAULI_CHANNEL2:
+    case Gate::ERASE:
       return true;
     default:
       return false;

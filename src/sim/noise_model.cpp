@@ -11,12 +11,30 @@ Circuit add_noise(const Circuit& ideal, const NoiseParams& params) {
   Circuit noisy(ideal.num_qubits());
   std::vector<bool> touched(ideal.num_qubits(), false);
 
+  // Unbiased params must compile to the exact ops they always did (the
+  // pinned RNG streams depend on it); bias reroutes through the
+  // PAULI_CHANNEL ops with the same total probability per location.
+  const bool biased = params.is_biased();
+  const auto noise1 = [&](uint32_t q, double eps) {
+    if (biased) {
+      noisy.pauli_channel1(q, eps * params.frac_x(), eps * params.frac_y(),
+                           eps * params.frac_z());
+    } else {
+      noisy.depolarize1(q, eps);
+    }
+  };
+  const auto noise2 = [&](uint32_t a, uint32_t b, double eps) {
+    if (biased) {
+      noisy.pauli_channel2(a, b, eps, params.frac_x(), params.frac_y());
+    } else {
+      noisy.depolarize2(a, b, eps);
+    }
+  };
+
   const auto flush_storage = [&] {
     if (params.eps_store > 0) {
       for (size_t q = 0; q < ideal.num_qubits(); ++q) {
-        if (!touched[q]) {
-          noisy.depolarize1(static_cast<uint32_t>(q), params.eps_store);
-        }
+        if (!touched[q]) noise1(static_cast<uint32_t>(q), params.eps_store);
       }
     }
     std::fill(touched.begin(), touched.end(), false);
@@ -50,10 +68,10 @@ Circuit add_noise(const Circuit& ideal, const NoiseParams& params) {
       case Gate::S_DAG:
       case Gate::RX:
       case Gate::RZ:
-        if (params.eps_gate1 > 0) {
-          noisy.depolarize1(op.targets[0], params.eps_gate1);
-        }
+        if (params.eps_gate1 > 0) noise1(op.targets[0], params.eps_gate1);
         if (params.p_leak > 0) noisy.leak_error(op.targets[0], params.p_leak);
+        if (params.p_erase > 0) noisy.erase_error(op.targets[0],
+                                                  params.p_erase);
         break;
       case Gate::I:
         // Explicit I marks a deliberately idle qubit inside a layer; it
@@ -63,11 +81,15 @@ Circuit add_noise(const Circuit& ideal, const NoiseParams& params) {
       case Gate::CZ:
       case Gate::SWAP:
         if (params.eps_gate2 > 0) {
-          noisy.depolarize2(op.targets[0], op.targets[1], params.eps_gate2);
+          noise2(op.targets[0], op.targets[1], params.eps_gate2);
         }
         if (params.p_leak > 0) {
           noisy.leak_error(op.targets[0], params.p_leak);
           noisy.leak_error(op.targets[1], params.p_leak);
+        }
+        if (params.p_erase > 0) {
+          noisy.erase_error(op.targets[0], params.p_erase);
+          noisy.erase_error(op.targets[1], params.p_erase);
         }
         break;
       case Gate::CCX:
@@ -79,6 +101,8 @@ Circuit add_noise(const Circuit& ideal, const NoiseParams& params) {
       case Gate::R:
       case Gate::MR:
         if (params.eps_prep > 0) noisy.x_error(op.targets[0], params.eps_prep);
+        if (params.p_erase > 0) noisy.erase_error(op.targets[0],
+                                                  params.p_erase);
         break;
       default:
         break;

@@ -25,6 +25,18 @@ struct NoiseParams {
   double eps_meas = 0.0;
   double eps_prep = 0.0;
   double p_leak = 0.0;
+  // Per-axis Pauli bias weights. (1,1,1) is the unbiased depolarizing model
+  // and compiles to the exact same DEPOLARIZE1/2 ops (bit-identical RNG
+  // streams); anything else emits PAULI_CHANNEL1/2 with axis probabilities
+  // eps * bias_i / (bias_x + bias_y + bias_z). A Z-biased channel with
+  // eta = p_z / p_x is (1, 1, 2*eta - 1) in the convention p_y = p_x.
+  double bias_x = 1.0;
+  double bias_y = 1.0;
+  double bias_z = 1.0;
+  // Heralded erasure per gate (and per prep): with this probability the
+  // qubit is replaced by the maximally mixed state and a herald is
+  // recorded. Unlike p_leak, every engine (batch included) supports it.
+  double p_erase = 0.0;
 
   // The single-knob model used for the threshold estimates (Eq. 34/35):
   // every gate-type error probability set to eps_gate, storage separate.
@@ -49,9 +61,43 @@ struct NoiseParams {
     return p;
   }
 
+  // uniform_gate with a Z-over-X bias eta = p_z / p_x (p_y = p_x): the
+  // hardware-reality dephasing-dominated channel.
+  [[nodiscard]] static NoiseParams biased_gate(double eps_gate, double eta,
+                                               double eps_store = 0.0) {
+    NoiseParams p = uniform_gate(eps_gate, eps_store);
+    p.bias_x = 1.0;
+    p.bias_y = 1.0;
+    p.bias_z = eta;
+    return p;
+  }
+
+  // uniform_gate plus heralded erasure at rate p_erase per gate location.
+  [[nodiscard]] static NoiseParams with_erasure(double eps_gate,
+                                                double p_erase) {
+    NoiseParams p = uniform_gate(eps_gate);
+    p.p_erase = p_erase;
+    return p;
+  }
+
+  [[nodiscard]] bool is_biased() const {
+    return !(bias_x == bias_y && bias_y == bias_z);
+  }
+
+  // Conditional axis fractions f_x + f_y + f_z = 1 of the gate channels.
+  [[nodiscard]] double frac_x() const {
+    return bias_x / (bias_x + bias_y + bias_z);
+  }
+  [[nodiscard]] double frac_y() const {
+    return bias_y / (bias_x + bias_y + bias_z);
+  }
+  [[nodiscard]] double frac_z() const {
+    return bias_z / (bias_x + bias_y + bias_z);
+  }
+
   [[nodiscard]] bool is_noiseless() const {
     return eps_store == 0 && eps_gate1 == 0 && eps_gate2 == 0 &&
-           eps_meas == 0 && eps_prep == 0 && p_leak == 0;
+           eps_meas == 0 && eps_prep == 0 && p_leak == 0 && p_erase == 0;
   }
 };
 

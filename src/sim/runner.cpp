@@ -97,6 +97,43 @@ std::vector<uint8_t> run_circuit(TableauSim& sim, const Circuit& circuit) {
       case Gate::LEAK_ERROR:
         if (rng.bernoulli(op.arg)) sim.mark_leaked(op.targets[0]);
         break;
+      case Gate::PAULI_CHANNEL1:
+        if (rng.bernoulli(op.arg + op.arg2 + op.arg3)) {
+          const double u = rng.next_double() * (op.arg + op.arg2 + op.arg3);
+          apply_sampled_pauli(sim, op.targets[0],
+                              u < op.arg ? 0 : (u < op.arg + op.arg2 ? 1 : 2));
+        }
+        break;
+      case Gate::PAULI_CHANNEL2:
+        if (rng.bernoulli(op.arg)) {
+          const double wx = 3.0 * op.arg2;
+          const double wy = 3.0 * op.arg3;
+          const auto draw_code = [&]() -> uint64_t {
+            const double u = rng.next_double() * 4.0;
+            if (u < 1.0) return 0;
+            if (u < 1.0 + wx) return 1;
+            if (u < 1.0 + wx + wy) return 3;
+            return 2;
+          };
+          uint64_t ca = 0, cb = 0;
+          do {
+            ca = draw_code();
+            cb = draw_code();
+          } while (ca == 0 && cb == 0);
+          apply_coded_pauli(sim, op.targets[0], ca);
+          apply_coded_pauli(sim, op.targets[1], cb);
+        }
+        break;
+      case Gate::ERASE:
+        // Replace-with-mixed in the exact engine: reset to |0>, then X with
+        // probability 1/2 (a Z on |0> is trivial, so two draws suffice as
+        // one). The herald is tracked by the frame engines; the exact
+        // engine realizes the channel without recording it.
+        if (rng.bernoulli(op.arg)) {
+          sim.reset(op.targets[0]);
+          if (rng.next_u64() & 1) sim.apply_x(op.targets[0]);
+        }
+        break;
       case Gate::INJECT_X: sim.apply_x(op.targets[0]); break;
       case Gate::INJECT_Y: sim.apply_y(op.targets[0]); break;
       case Gate::INJECT_Z: sim.apply_z(op.targets[0]); break;
@@ -218,6 +255,14 @@ std::vector<uint8_t> run_circuit(FrameSim& sim, const Circuit& circuit) {
       case Gate::Y_ERROR: sim.y_error(op.targets[0], op.arg); break;
       case Gate::Z_ERROR: sim.z_error(op.targets[0], op.arg); break;
       case Gate::LEAK_ERROR: sim.leak_error(op.targets[0], op.arg); break;
+      case Gate::PAULI_CHANNEL1:
+        sim.pauli_channel1(op.targets[0], op.arg, op.arg2, op.arg3);
+        break;
+      case Gate::PAULI_CHANNEL2:
+        sim.pauli_channel2(op.targets[0], op.targets[1], op.arg, op.arg2,
+                           op.arg3);
+        break;
+      case Gate::ERASE: sim.erase_error(op.targets[0], op.arg); break;
       case Gate::INJECT_X: sim.inject_x(op.targets[0]); break;
       case Gate::INJECT_Y: sim.inject_y(op.targets[0]); break;
       case Gate::INJECT_Z: sim.inject_z(op.targets[0]); break;

@@ -227,6 +227,23 @@ ShotPlan plan_for_point(const ShotPlan& base, std::string_view bench,
 
 // --- CheckpointStore --------------------------------------------------------
 
+namespace {
+
+// 32-bit FNV-1a over the canonical shard payload (everything before the
+// trailing ,"crc":... field). Tamper evidence against torn writes and
+// bit rot, not cryptography: a mismatch means "distrust and recompute",
+// which is always safe because every point re-derives its own seeds.
+uint32_t shard_checksum(std::string_view payload) {
+  uint32_t h = 2166136261u;
+  for (const unsigned char c : payload) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
+
 std::string CheckpointStore::shard_filename(std::string_view bench,
                                             std::string_view id) {
   std::string name = "BENCH_";
@@ -268,8 +285,28 @@ CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
     if (bench_it == parsed.strings.end() || point_it == parsed.strings.end()) {
       continue;
     }
+    // A point shard must carry a matching checksum: a flipped bit in a
+    // digit still parses as valid JSON, and resuming from it would silently
+    // corrupt the sweep. Distrusted shards are ignored, so the scheduler
+    // just recomputes the point.
+    const std::string text = buffer.str();
+    const size_t crc_pos = text.rfind(",\"crc\":");
+    const auto crc_it =
+        std::find_if(parsed.numbers.begin(), parsed.numbers.end(),
+                     [](const auto& field) { return field.first == "crc"; });
+    if (crc_pos == std::string::npos || crc_it == parsed.numbers.end() ||
+        crc_it->second !=
+            static_cast<double>(shard_checksum(
+                std::string_view(text).substr(0, crc_pos)))) {
+      std::fprintf(stderr,
+                   "[sweep] warning: checksum mismatch in shard %s (ignored)\n",
+                   entry.path().c_str());
+      continue;
+    }
     SweepMetrics metrics;
-    for (auto& [key, value] : parsed.numbers) metrics.add(key, value);
+    for (auto& [key, value] : parsed.numbers) {
+      if (key != "crc") metrics.add(key, value);
+    }
     loaded_.insert_or_assign(
         checkpoint_key(bench_it->second, point_it->second),
         std::move(metrics));
@@ -317,6 +354,12 @@ void CheckpointStore::record(std::string_view bench, std::string_view id,
       json += "null";
     }
   }
+  // Appended last so the loader can rfind the field and checksum the
+  // payload before it (a metric literally named "crc" would shadow this —
+  // don't name one that).
+  const uint32_t crc = shard_checksum(json);
+  json += ",\"crc\":";
+  json += std::to_string(crc);
   json += "}";
 
   const std::lock_guard<std::mutex> lock(mutex_);

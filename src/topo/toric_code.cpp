@@ -138,6 +138,29 @@ size_t ToricCode::torus_site_distance(size_t a, size_t b) const {
   return dx + dy;
 }
 
+std::pair<size_t, size_t> ToricCode::edge_plaquettes(size_t edge) const {
+  FTQC_CHECK(edge < num_qubits(), "edge index out of range");
+  const size_t idx = edge / 2;
+  const size_t x = idx % l_, y = idx / l_;
+  if ((edge & 1) == 0) {
+    // h(x,y) is the north edge of p(x,y) and the south edge of p(x,y-1).
+    return {y * l_ + x, ((y + l_ - 1) % l_) * l_ + x};
+  }
+  // v(x,y) is the west edge of p(x,y) and the east edge of p(x-1,y).
+  return {y * l_ + x, y * l_ + (x + l_ - 1) % l_};
+}
+
+std::pair<size_t, size_t> ToricCode::edge_vertices(size_t edge) const {
+  FTQC_CHECK(edge < num_qubits(), "edge index out of range");
+  const size_t idx = edge / 2;
+  const size_t x = idx % l_, y = idx / l_;
+  if ((edge & 1) == 0) {
+    // h(x,y) leaves vertex (x,y) in +x.
+    return {y * l_ + x, y * l_ + (x + 1) % l_};
+  }
+  return {y * l_ + x, ((y + 1) % l_) * l_ + x};
+}
+
 void ToricCode::toggle_dual_path(size_t from, size_t to,
                                  gf2::BitVec& correction) const {
   // Walk on plaquettes: x then y, along the shorter way around the torus.

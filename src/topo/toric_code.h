@@ -76,6 +76,12 @@ class ToricCode {
   // indices y*L + x; the metric is the L1 torus distance (both sublattices
   // share it by translation symmetry).
   [[nodiscard]] size_t torus_site_distance(size_t a, size_t b) const;
+  // Endpoints of an edge in the two site graphs the decoders walk: the two
+  // plaquettes the edge borders (dual graph) and the two vertices it joins
+  // (primal graph). Erasure peeling and weighted path decoding need explicit
+  // incidence, not just the distance metric.
+  [[nodiscard]] std::pair<size_t, size_t> edge_plaquettes(size_t edge) const;
+  [[nodiscard]] std::pair<size_t, size_t> edge_vertices(size_t edge) const;
   // Dual path between plaquettes, toggling crossed edges into `correction`.
   void toggle_dual_path(size_t from, size_t to, gf2::BitVec& correction) const;
   // Primal path between vertices, toggling crossed edges (Z-string support).

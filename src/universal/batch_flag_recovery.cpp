@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/errors.h"
 #include "sim/simd.h"
 
 namespace ftqc::universal {
@@ -25,9 +26,10 @@ BatchFlagRecovery::BatchFlagRecovery(const codes::StabilizerCode& code,
       words_(sim_.num_words()),
       ancilla_(static_cast<uint32_t>(code.n())),
       flag_(static_cast<uint32_t>(code.n()) + 1) {
-  FTQC_CHECK(noise.p_leak == 0,
-             "BatchFlagRecovery cannot model leakage; use the serial "
-             "FlagRecovery for p_leak > 0");
+  if (noise.p_leak > 0) {
+    throw UnsupportedChannel("BatchFlagRecovery", "p_leak > 0",
+                             "FlagRecovery");
+  }
   for (uint32_t q = 0; q < flag_ + 1; ++q) all_qubits_.push_back(q);
   for (uint32_t q = 0; q < ancilla_ + 1; ++q) noflag_qubits_.push_back(q);
   for (size_t g = 0; g < code.num_generators(); ++g) {
@@ -75,12 +77,12 @@ void BatchFlagRecovery::apply_group_correction(const PauliString& correction,
   // noiseless reference never corrects).
   for (size_t q = 0; q < code_.n(); ++q) {
     if (correction.pauli_at(q) != 'I') {
-      sim_.depolarize1(q, noise_.eps_gate1, mask);
+      ft::batch_on_gate1(sim_, noise_, static_cast<uint32_t>(q), mask);
     }
   }
   for (size_t q = 0; q < code_.n(); ++q) {
     if (correction.pauli_at(q) == 'I') {
-      sim_.depolarize1(q, noise_.eps_store, mask);
+      ft::batch_on_storage(sim_, noise_, static_cast<uint32_t>(q), mask);
     }
   }
   for (size_t q = 0; q < code_.n(); ++q) {

@@ -7,10 +7,15 @@
 #include <cmath>
 #include <cstdint>
 
+#include "codes/library.h"
+#include "common/errors.h"
+#include "ft/batch_level2.h"
 #include "ft/batch_recovery.h"
+#include "ft/batch_shor.h"
 #include "ft/steane_recovery.h"
 #include "sim/noise_model.h"
 #include "threshold/pseudothreshold.h"
+#include "universal/batch_flag_recovery.h"
 
 namespace ftqc::ft {
 namespace {
@@ -135,11 +140,76 @@ TEST(BatchRecovery, SeedDeterminism) {
   EXPECT_EQ(a.count_residual(), b.count_residual());
 }
 
-TEST(BatchRecovery, RejectsLeakage) {
+// Heralded erasure rides the same pinned channel layer in both engines
+// (see ErasureBoundary.HeraldPlanesPinnedFrameVsBatch for the bit-level
+// pin); at the recovery level the engines draw independent streams, so
+// their failure estimates must agree statistically.
+TEST(BatchRecovery, HeraldedErasureFailureRateMatchesSerial) {
+  const auto noise = sim::NoiseParams::with_erasure(6e-3, /*p_erase=*/0.01);
+  const size_t shots = 4000;
+  size_t serial_fails = 0;
+  for (uint64_t seed = 1; seed <= shots; ++seed) {
+    SteaneRecovery rec(noise, RecoveryPolicy{}, seed);
+    rec.run_cycle();
+    serial_fails += rec.any_logical_error() ? 1 : 0;
+  }
+  BatchSteaneRecovery batch(noise, RecoveryPolicy{}, shots, /*seed=*/417);
+  batch.run_cycle();
+  const double pf = static_cast<double>(serial_fails) / shots;
+  const double pb =
+      static_cast<double>(batch.count_any_logical_error()) / shots;
+  EXPECT_GT(pf, 0.005);  // the point is alive under this channel
+  const double se = std::sqrt(pf * (1 - pf) / shots + pb * (1 - pb) / shots);
+  EXPECT_LT(std::fabs(pf - pb), 5.0 * se)
+      << "frame " << pf << " vs batch " << pb;
+}
+
+// Exhausted herald-retry lanes surface through the abort-mask contract:
+// under certain erasure every re-preparation heralds again, so every lane
+// must end up discarded — and none when heralds are ignored.
+TEST(BatchRecovery, HeraldExhaustionSurfacesAbortMask) {
+  sim::NoiseParams noise;
+  noise.p_erase = 1.0;
+  BatchSteaneRecovery rec(noise, RecoveryPolicy{}, 128, /*seed=*/5);
+  rec.run_cycle();
+  for (size_t shot = 0; shot < rec.num_shots(); ++shot) {
+    ASSERT_TRUE(rec.frames().aborted(shot)) << shot;
+  }
+  RecoveryPolicy blind;
+  blind.herald_reinit = false;
+  BatchSteaneRecovery ignore(noise, blind, 128, /*seed=*/5);
+  ignore.run_cycle();
+  for (size_t shot = 0; shot < ignore.num_shots(); ++shot) {
+    ASSERT_FALSE(ignore.frames().aborted(shot)) << shot;
+  }
+}
+
+// Leakage has no bit-parallel form: every batch family must degrade
+// gracefully with a structured UnsupportedChannel naming its serial
+// fallback, not die mid-campaign.
+TEST(BatchRecovery, RejectsLeakageWithStructuredError) {
   sim::NoiseParams noise;
   noise.p_leak = 1e-3;
-  EXPECT_DEATH(BatchSteaneRecovery(noise, RecoveryPolicy{}, 64, 1),
-               "leakage");
+  try {
+    BatchSteaneRecovery reject(noise, RecoveryPolicy{}, 64, 1);
+    FAIL() << "p_leak > 0 must throw UnsupportedChannel";
+  } catch (const UnsupportedChannel& e) {
+    EXPECT_EQ(e.engine(), "BatchSteaneRecovery");
+    EXPECT_EQ(e.channel(), "p_leak > 0");
+    EXPECT_EQ(e.fallback(), "SteaneRecovery");
+    EXPECT_NE(std::string(e.what()).find("SteaneRecovery"),
+              std::string::npos);
+  }
+  EXPECT_THROW(BatchShorRecovery(noise, RecoveryPolicy{}, 64, 1),
+               UnsupportedChannel);
+  EXPECT_THROW(BatchGenericShorRecovery(codes::five_qubit(), noise,
+                                        RecoveryPolicy{}, 64, 1),
+               UnsupportedChannel);
+  EXPECT_THROW(BatchLevel2Recovery(noise, RecoveryPolicy{}, 64, 1),
+               UnsupportedChannel);
+  EXPECT_THROW(universal::BatchFlagRecovery(codes::steane(), noise,
+                                            RecoveryPolicy{}, 64, 1),
+               UnsupportedChannel);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include "common/stats.h"
 #include "ft/fault_enumeration.h"
+#include "ft/noise_injector.h"
 #include "ft/shor_recovery.h"
 #include "ft/steane_recovery.h"
 
@@ -11,6 +12,40 @@ namespace {
 const sim::NoiseParams kNoiseless{};
 
 RecoveryPolicy full_policy() { return RecoveryPolicy{}; }
+
+// The conditional variant law under bias must stay a probability
+// distribution over each location's variants, and collapse to the uniform
+// §6 weights at fx = fy = fz = 1/3 (the weighted DEM build relies on both).
+TEST(BiasedVariantWeight, NormalizedAndReducesToUniform) {
+  const double fracs[][3] = {{1.0 / 3, 1.0 / 3, 1.0 / 3},
+                             {0.5, 0.25, 0.25},
+                             {1.0 / 102, 1.0 / 102, 100.0 / 102},
+                             {0.9, 0.05, 0.05}};
+  for (const LocationKind kind :
+       {LocationKind::kGate1, LocationKind::kGate2, LocationKind::kStorage,
+        LocationKind::kPrep, LocationKind::kMeas}) {
+    for (const auto& f : fracs) {
+      double sum = 0.0;
+      for (int v = 0; v < location_variants(kind); ++v) {
+        const double w = biased_variant_weight(kind, v, f[0], f[1], f[2]);
+        EXPECT_GE(w, 0.0);
+        sum += w;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-12)
+          << "kind " << static_cast<int>(kind) << " fx=" << f[0];
+    }
+    for (int v = 0; v < location_variants(kind); ++v) {
+      EXPECT_NEAR(
+          biased_variant_weight(kind, v, 1.0 / 3, 1.0 / 3, 1.0 / 3),
+          variant_weight(kind), 1e-12);
+    }
+  }
+  // A pure-Z bias loads the Z variant of 1-qubit locations entirely.
+  EXPECT_NEAR(biased_variant_weight(LocationKind::kGate1, 2, 0.0, 0.0, 1.0),
+              1.0, 1e-12);
+  EXPECT_NEAR(biased_variant_weight(LocationKind::kGate1, 0, 0.0, 0.0, 1.0),
+              0.0, 1e-12);
+}
 
 TEST(SteaneRecovery, NoiselessCycleIsClean) {
   SteaneRecovery rec(kNoiseless, full_policy(), 1);
@@ -218,6 +253,39 @@ TEST(StochasticRecovery, MemoryChannelFidelityIsQuadratic) {
   // Doubling p should roughly quadruple the failure rate.
   EXPECT_GT(r2 / r1, 2.5);
   EXPECT_LT(r2 / r1, 6.5);
+}
+
+// Herald-triggered ancilla reinit (the Fig. 15 detect-and-replace moved
+// in-gadget): discarding heralded ancilla blocks must strictly beat
+// feeding known-maximally-mixed qubits into syndrome extraction.
+TEST(HeraldReinit, ReinitBeatsBlindUnderPureErasure) {
+  sim::NoiseParams noise;
+  noise.p_erase = 0.02;
+  RecoveryPolicy blind;
+  blind.herald_reinit = false;
+  size_t reinit_fails = 0, blind_fails = 0;
+  const uint64_t trials = 1500;
+  for (uint64_t seed = 1; seed <= trials; ++seed) {
+    SteaneRecovery with(noise, full_policy(), seed);
+    with.run_cycle();
+    reinit_fails += with.any_logical_error() ? 1 : 0;
+    SteaneRecovery without(noise, blind, seed);
+    without.run_cycle();
+    blind_fails += without.any_logical_error() ? 1 : 0;
+  }
+  EXPECT_LT(reinit_fails, blind_fails)
+      << "reinit " << reinit_fails << " vs blind " << blind_fails;
+}
+
+// An exhausted re-preparation budget keeps the last block and proceeds —
+// certain erasure must not hang the retry loop or crash the cycle.
+TEST(HeraldReinit, ExhaustedBudgetTerminatesAndProceeds) {
+  sim::NoiseParams noise;
+  noise.p_erase = 1.0;
+  SteaneRecovery rec(noise, full_policy(), 3);
+  rec.run_cycle();
+  ShorRecovery shor(noise, full_policy(), 4);
+  shor.run_cycle();
 }
 
 }  // namespace

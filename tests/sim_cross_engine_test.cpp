@@ -497,5 +497,142 @@ TEST(CrossEngine, DifferentSeedsDiverge) {
   EXPECT_NE(rec_a, rec_b);
 }
 
+// ---- Heralded erasure & biased Pauli channel boundaries ---------------------
+
+// p = 0 channels must consume NO randomness: a sim that took a pile of
+// zero-rate erase/pauli-channel calls must stay on the exact same RNG
+// stream as a fresh sim with the same seed.
+TEST(ErasureBoundary, ZeroRateConsumesNoRngDraws) {
+  FrameSim a(4, /*seed=*/99), b(4, /*seed=*/99);
+  for (int rep = 0; rep < 50; ++rep) {
+    for (size_t q = 0; q < 4; ++q) {
+      a.erase_error(q, 0.0);
+      a.pauli_channel1(q, 0.0, 0.0, 0.0);
+    }
+    a.pauli_channel2(0, 1, 0.0, 1.0 / 3, 1.0 / 3);
+  }
+  for (size_t q = 0; q < 4; ++q) {
+    a.depolarize1(q, 0.5);
+    b.depolarize1(q, 0.5);
+  }
+  EXPECT_TRUE(a.x_frame() == b.x_frame());
+  EXPECT_TRUE(a.z_frame() == b.z_frame());
+  for (size_t q = 0; q < 4; ++q) EXPECT_FALSE(a.is_erased(q));
+
+  BatchFrameSim ba(4, 128, /*seed=*/99), bb(4, 128, /*seed=*/99);
+  for (int rep = 0; rep < 50; ++rep) {
+    for (size_t q = 0; q < 4; ++q) {
+      ba.erase_error(q, 0.0);
+      ba.pauli_channel1(q, 0.0, 0.0, 0.0);
+    }
+    ba.pauli_channel2(0, 1, 0.0, 1.0 / 3, 1.0 / 3);
+  }
+  for (size_t q = 0; q < 4; ++q) {
+    ba.depolarize1(q, 0.5);
+    bb.depolarize1(q, 0.5);
+  }
+  for (size_t q = 0; q < 4; ++q) {
+    for (size_t w = 0; w < ba.num_words(); ++w) {
+      ASSERT_EQ(ba.x_flips(q)[w], bb.x_flips(q)[w]) << q << " " << w;
+      ASSERT_EQ(ba.z_flips(q)[w], bb.z_flips(q)[w]) << q << " " << w;
+      ASSERT_EQ(ba.herald_word(q)[w], 0u);
+    }
+  }
+}
+
+// p = 1 heralds every site in both engines, and lane masks restrict the
+// batch channel exactly.
+TEST(ErasureBoundary, CertainErasureHeraldsEverySite) {
+  FrameSim serial(3, /*seed=*/5);
+  for (size_t q = 0; q < 3; ++q) serial.erase_error(q, 1.0);
+  for (size_t q = 0; q < 3; ++q) EXPECT_TRUE(serial.is_erased(q));
+
+  BatchFrameSim batch(3, 128, /*seed=*/5);
+  batch.erase_error(0, 1.0);
+  for (size_t w = 0; w < batch.num_words(); ++w) {
+    EXPECT_EQ(batch.herald_word(0)[w], ~uint64_t{0});
+  }
+  const std::vector<uint64_t> mask = {0xF0F0F0F0F0F0F0F0ull,
+                                      0x0000FFFF0000FFFFull};
+  ASSERT_EQ(batch.num_words(), mask.size());
+  batch.erase_error(1, 1.0, mask.data());
+  for (size_t w = 0; w < batch.num_words(); ++w) {
+    EXPECT_EQ(batch.herald_word(1)[w], mask[w]);
+  }
+}
+
+// The deterministic herald injections pin the bitplanes frame-vs-batch bit
+// for bit: lane by lane, the batch plane must equal what a serial sim
+// records for that lane's pattern, and reset()/clear_heralds() must erase
+// them identically.
+TEST(ErasureBoundary, HeraldPlanesPinnedFrameVsBatch) {
+  const std::vector<uint64_t> mask = {0xDEADBEEFCAFEF00Dull,
+                                      0x0123456789ABCDEFull};
+  BatchFrameSim batch(2, 128, /*seed=*/7);
+  ASSERT_EQ(batch.num_words(), mask.size());
+  batch.mark_erased_masked(1, mask.data());
+  for (size_t shot = 0; shot < batch.num_shots(); ++shot) {
+    FrameSim serial(2, /*seed=*/7);
+    const bool lane_hit = (mask[shot >> 6] >> (shot & 63)) & 1u;
+    if (lane_hit) serial.mark_erased(1);
+    ASSERT_EQ(batch.heralded(0, shot), serial.is_erased(0)) << shot;
+    ASSERT_EQ(batch.heralded(1, shot), serial.is_erased(1)) << shot;
+  }
+  // reset() clears the herald with the frame — a fresh qubit is not erased.
+  batch.reset(1);
+  for (size_t w = 0; w < batch.num_words(); ++w) {
+    EXPECT_EQ(batch.herald_word(1)[w], 0u);
+  }
+  FrameSim serial(2, /*seed=*/7);
+  serial.mark_erased(1);
+  serial.reset(1);
+  EXPECT_FALSE(serial.is_erased(1));
+  // clear_heralds() drops every plane without touching frames.
+  batch.mark_erased_masked(0, mask.data());
+  batch.inject_x(0);
+  batch.clear_heralds();
+  for (size_t w = 0; w < batch.num_words(); ++w) {
+    EXPECT_EQ(batch.herald_word(0)[w], 0u);
+    EXPECT_EQ(batch.x_flips(0)[w], ~uint64_t{0});
+  }
+}
+
+// Stochastic erasure + biased channels replay identically from the seed in
+// both engines (determinism, not cross-engine equality: the two engines own
+// distinct RNG disciplines).
+TEST(ErasureBoundary, SeedDeterminismAcrossEngines) {
+  FrameSim a(4, /*seed=*/321), b(4, /*seed=*/321);
+  for (auto* s : {&a, &b}) {
+    for (int rep = 0; rep < 20; ++rep) {
+      for (size_t q = 0; q < 4; ++q) {
+        s->erase_error(q, 0.3);
+        s->pauli_channel1(q, 0.05, 0.01, 0.2);
+      }
+      s->pauli_channel2(1, 2, 0.2, 0.1, 0.1);
+    }
+  }
+  EXPECT_TRUE(a.x_frame() == b.x_frame());
+  EXPECT_TRUE(a.z_frame() == b.z_frame());
+  for (size_t q = 0; q < 4; ++q) EXPECT_EQ(a.is_erased(q), b.is_erased(q));
+
+  BatchFrameSim ba(4, 256, /*seed=*/321), bb(4, 256, /*seed=*/321);
+  for (auto* s : {&ba, &bb}) {
+    for (int rep = 0; rep < 20; ++rep) {
+      for (size_t q = 0; q < 4; ++q) {
+        s->erase_error(q, 0.3);
+        s->pauli_channel1(q, 0.05, 0.01, 0.2);
+      }
+      s->pauli_channel2(1, 2, 0.2, 0.1, 0.1);
+    }
+  }
+  for (size_t q = 0; q < 4; ++q) {
+    for (size_t w = 0; w < ba.num_words(); ++w) {
+      ASSERT_EQ(ba.x_flips(q)[w], bb.x_flips(q)[w]);
+      ASSERT_EQ(ba.z_flips(q)[w], bb.z_flips(q)[w]);
+      ASSERT_EQ(ba.herald_word(q)[w], bb.herald_word(q)[w]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ftqc::sim

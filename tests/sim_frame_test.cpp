@@ -181,5 +181,74 @@ TEST(NoiseModel, NoiselessParamsLeaveCircuitUnchanged) {
   EXPECT_EQ(count_fault_locations(noisy), 0u);
 }
 
+TEST(NoiseModel, BiasedParamsCompileToPauliChannels) {
+  Circuit ideal(2);
+  ideal.h(0);
+  ideal.cx(0, 1);
+  const double eps = 1e-3, eta = 10.0;
+  const auto params = NoiseParams::biased_gate(eps, eta);
+  const auto noisy = add_noise(ideal, params);
+  EXPECT_EQ(noisy.count(Gate::DEPOLARIZE1), 0u);
+  EXPECT_EQ(noisy.count(Gate::DEPOLARIZE2), 0u);
+  EXPECT_EQ(noisy.count(Gate::PAULI_CHANNEL1), 1u);
+  EXPECT_EQ(noisy.count(Gate::PAULI_CHANNEL2), 1u);
+  for (const auto& op : noisy.ops()) {
+    if (op.gate == Gate::PAULI_CHANNEL1) {
+      // (p_x, p_y, p_z) = eps * frac: total eps, Z eta times more likely.
+      EXPECT_DOUBLE_EQ(op.arg, eps * params.frac_x());
+      EXPECT_DOUBLE_EQ(op.arg2, eps * params.frac_y());
+      EXPECT_DOUBLE_EQ(op.arg3, eps * params.frac_z());
+      EXPECT_NEAR(op.arg + op.arg2 + op.arg3, eps, 1e-15);
+      EXPECT_NEAR(op.arg3 / op.arg, eta, 1e-9);
+    } else if (op.gate == Gate::PAULI_CHANNEL2) {
+      EXPECT_DOUBLE_EQ(op.arg, eps);
+      EXPECT_DOUBLE_EQ(op.arg2, params.frac_x());
+      EXPECT_DOUBLE_EQ(op.arg3, params.frac_y());
+    }
+  }
+}
+
+TEST(NoiseModel, EqualBiasFieldsStayOnTheDepolarizePath) {
+  // bias (c, c, c) for any c is unbiased: the compiled circuit must be
+  // op-for-op what the pre-bias compiler emitted (pinned RNG streams
+  // depend on this).
+  Circuit ideal(2);
+  ideal.h(0);
+  ideal.cx(0, 1);
+  ideal.tick();
+  NoiseParams scaled = NoiseParams::uniform_gate(1e-3, /*eps_store=*/1e-4);
+  scaled.bias_x = scaled.bias_y = scaled.bias_z = 7.0;
+  EXPECT_FALSE(scaled.is_biased());
+  const auto baseline =
+      add_noise(ideal, NoiseParams::uniform_gate(1e-3, 1e-4));
+  const auto noisy = add_noise(ideal, scaled);
+  ASSERT_EQ(noisy.ops().size(), baseline.ops().size());
+  for (size_t i = 0; i < noisy.ops().size(); ++i) {
+    EXPECT_EQ(noisy.ops()[i].gate, baseline.ops()[i].gate) << i;
+    EXPECT_DOUBLE_EQ(noisy.ops()[i].arg, baseline.ops()[i].arg) << i;
+  }
+  EXPECT_EQ(noisy.count(Gate::PAULI_CHANNEL1), 0u);
+  EXPECT_EQ(noisy.count(Gate::PAULI_CHANNEL2), 0u);
+}
+
+TEST(NoiseModel, ErasureInsertsHeraldOpsAtEveryExposedLocation) {
+  // One ERASE per 1-qubit gate, two per 2-qubit gate, one per reset.
+  Circuit ideal(2);
+  ideal.h(0);
+  ideal.cx(0, 1);
+  ideal.r(1);
+  const auto params = NoiseParams::with_erasure(1e-3, /*p_erase=*/0.02);
+  const auto noisy = add_noise(ideal, params);
+  EXPECT_EQ(noisy.count(Gate::ERASE), 4u);
+  for (const auto& op : noisy.ops()) {
+    if (op.gate == Gate::ERASE) {
+      EXPECT_DOUBLE_EQ(op.arg, 0.02);
+    }
+  }
+  // p_erase = 0 compiles no ERASE ops at all.
+  const auto plain = add_noise(ideal, NoiseParams::uniform_gate(1e-3));
+  EXPECT_EQ(plain.count(Gate::ERASE), 0u);
+}
+
 }  // namespace
 }  // namespace ftqc::sim

@@ -5,11 +5,14 @@
 // point owns its seeds and all parallelism lives in the scheduler. These
 // tests pin that contract at the library level (the E14/E18 benches and the
 // campaign runner pin it again end to end).
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <limits>
+#include <sstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -269,6 +272,138 @@ TEST(SweepScheduler, MaxPointsBudgetsFreshRunsNotSkips) {
   EXPECT_EQ(last.skipped, 8u);
   EXPECT_TRUE(last.finished());
   EXPECT_EQ(runs.load(), 10u);
+}
+
+// --- Chaos: random kills and corrupted shards --------------------------------
+//
+// The determinism contract must survive hostile schedules and hostile
+// disks: any interleaving of mid-sweep kills, truncated shards and
+// bit-flipped shards may cost recomputation, but never change a metric.
+
+std::vector<std::filesystem::path> shard_paths(const std::string& dir) {
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".json") paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+}
+
+TEST(SweepChaos, RandomKillScheduleMatchesStraightThrough) {
+  SweepOptions options;
+  options.verbose = false;
+  options.workers = 3;
+  const SweepReport straight = run_sweep(make_points(17, nullptr), options);
+  ASSERT_TRUE(straight.finished());
+
+  Rng rng(0xC4A05);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::string dir =
+        fresh_dir(("sweep_chaos_kill" + std::to_string(trial)).c_str());
+    std::filesystem::remove_all(dir);
+    std::atomic<size_t> runs{0};
+    const auto points = make_points(17, &runs);
+    SweepReport report;
+    // Kill after a random number of fresh points, resume from a FRESH
+    // store each round (as a restarted process would), repeat until done.
+    for (int round = 0; round < 64; ++round) {
+      CheckpointStore store(dir);
+      SweepOptions killed = options;
+      killed.max_points = 1 + rng.next_below(6);
+      report = run_sweep(points, killed, &store);
+      if (report.finished()) break;
+    }
+    ASSERT_TRUE(report.finished()) << trial;
+    EXPECT_EQ(runs.load(), 17u) << "every point ran exactly once";
+    EXPECT_EQ(all_fields(report), all_fields(straight)) << trial;
+  }
+}
+
+TEST(SweepChaos, TruncatedShardIsDistrustedAndRecomputed) {
+  const std::string dir = fresh_dir("sweep_chaos_trunc");
+  SweepOptions options;
+  options.verbose = false;
+  options.workers = 2;
+  const auto points = make_points(6, nullptr);
+  const SweepReport straight = run_sweep(points, options);
+  {
+    CheckpointStore store(dir);
+    ASSERT_TRUE(run_sweep(points, options, &store).finished());
+  }
+  const auto shards = shard_paths(dir);
+  ASSERT_EQ(shards.size(), 6u);
+  Rng rng(0xC4A06);
+  for (const size_t keep : {size_t{0}, size_t{10}, size_t{40}}) {
+    const auto& victim = shards[rng.next_below(shards.size())];
+    const std::string pristine = read_file(victim);
+    ASSERT_GT(pristine.size(), keep);
+    write_file(victim, pristine.substr(0, keep));
+    std::atomic<size_t> runs{0};
+    const auto resume_points = make_points(6, &runs);
+    CheckpointStore reloaded(dir);
+    EXPECT_EQ(reloaded.size(), 5u) << "torn shard must be distrusted";
+    const SweepReport resumed = run_sweep(resume_points, options, &reloaded);
+    EXPECT_TRUE(resumed.finished());
+    EXPECT_EQ(runs.load(), 1u) << "only the torn point recomputes";
+    EXPECT_EQ(all_fields(resumed), all_fields(straight));
+  }
+}
+
+TEST(SweepChaos, BitFlippedShardNeverChangesAMetric) {
+  const std::string dir = fresh_dir("sweep_chaos_flip");
+  SweepOptions options;
+  options.verbose = false;
+  options.workers = 2;
+  const auto points = make_points(4, nullptr);
+  const SweepReport straight = run_sweep(points, options);
+  {
+    CheckpointStore store(dir);
+    ASSERT_TRUE(run_sweep(points, options, &store).finished());
+  }
+  const auto shards = shard_paths(dir);
+  ASSERT_EQ(shards.size(), 4u);
+  std::vector<std::string> pristine;
+  for (const auto& path : shards) pristine.push_back(read_file(path));
+
+  Rng rng(0xC4A07);
+  size_t rejected = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t victim = rng.next_below(shards.size());
+    std::string mutated = pristine[victim];
+    const size_t byte = rng.next_below(mutated.size());
+    mutated[byte] = static_cast<char>(
+        static_cast<unsigned char>(mutated[byte]) ^ (1u << rng.next_below(8)));
+    write_file(shards[victim], mutated);
+
+    // The flipped shard is either rejected (checksum/parse/point mismatch)
+    // or — if the flip landed outside the checksummed payload — read back
+    // with every metric bit-identical. It must never load altered values.
+    CheckpointStore reloaded(dir);
+    rejected += reloaded.size() < shards.size() ? 1 : 0;
+    std::atomic<size_t> runs{0};
+    const auto resume_points = make_points(4, &runs);
+    const SweepReport resumed = run_sweep(resume_points, options, &reloaded);
+    EXPECT_TRUE(resumed.finished()) << trial;
+    EXPECT_LE(runs.load(), 1u) << trial;
+    EXPECT_EQ(all_fields(resumed), all_fields(straight)) << trial;
+
+    write_file(shards[victim], pristine[victim]);  // heal for the next trial
+  }
+  // The flips overwhelmingly land inside the checksummed payload; if none
+  // were rejected the checksum is not actually being checked.
+  EXPECT_GT(rejected, 40u);
 }
 
 }  // namespace

@@ -85,7 +85,7 @@ def load_benchmarks(root: Path) -> dict[str, dict]:
         point = data.get("point")
         if isinstance(point, str):
             for field, value in data.items():
-                if field in ("bench", "point"):
+                if field in ("bench", "point", "crc"):
                     continue
                 entry[f"{point}/{field}"] = value
         else:

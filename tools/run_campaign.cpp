@@ -22,12 +22,17 @@
 // Exit status: 0 when every selected benchmark has completed (now or in a
 // previous resume), 1 when any benchmark failed, 0 with a "remaining"
 // notice when --max-points stopped the run early.
+#include <sys/wait.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/sweep_scheduler.h"
@@ -69,6 +74,7 @@ constexpr Campaign kCampaigns[] = {
     {"E17", "bench_e17_kernels", true, false},
     {"E18", "bench_e18_concatenation_gain", false, true},
     {"E19", "bench_e19_magic_pipeline", false, true},
+    {"E20", "bench_e20_erasure_bias", false, true},
     {"BATCHSIM", "bench_batch_sim", false, true},
     {"DECODE", "bench_decode_matching", false, true},
     {"RARE", "bench_rare_event", false, true},
@@ -79,15 +85,25 @@ struct Args {
   std::string bench_dir;  // defaults to <argv0 dir>/../bench
   std::string only;       // comma-separated ids; empty = all
   bool smoke = false;
+  // Robustness knobs: each bench runs under `timeout` (0 disables) and a
+  // failed or timed-out bench gets exactly one more attempt after a
+  // backoff. A bench that fails twice is reported at the end; the rest of
+  // the campaign keeps running either way.
+  size_t timeout_secs = 3600;
+  size_t backoff_secs = 5;
   SweepOptions sweep;
 };
 
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [--smoke] [--dir=DIR] [--bench-dir=DIR] [--only=E14,E18]\n"
-      "          [--workers=N] [--max-points=N]\n"
+      "          [--workers=N] [--max-points=N] [--timeout=SECS]\n"
+      "          [--backoff=SECS]\n"
       "Runs the E01-E19 benchmark set (plus the micro-benches) as one\n"
-      "checkpointed sweep; rerun with the same --dir to resume.\n",
+      "checkpointed sweep; rerun with the same --dir to resume.\n"
+      "Each bench is killed after --timeout seconds (default 3600, 0 = no\n"
+      "limit) and retried once after --backoff seconds; a bench that fails\n"
+      "twice is reported in the summary without stopping the campaign.\n",
       argv0);
 }
 
@@ -109,6 +125,12 @@ Args parse_args(int argc, char** argv) {
     } else if (std::strncmp(arg, "--max-points=", 13) == 0) {
       args.sweep.max_points =
           static_cast<size_t>(std::strtoull(arg + 13, nullptr, 10));
+    } else if (std::strncmp(arg, "--timeout=", 10) == 0) {
+      args.timeout_secs =
+          static_cast<size_t>(std::strtoull(arg + 10, nullptr, 10));
+    } else if (std::strncmp(arg, "--backoff=", 10) == 0) {
+      args.backoff_secs =
+          static_cast<size_t>(std::strtoull(arg + 10, nullptr, 10));
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       usage(argv[0]);
       std::exit(0);
@@ -150,6 +172,8 @@ int main(int argc, char** argv) {
 
   std::vector<SweepPoint> points;
   std::vector<std::string> missing;
+  std::vector<std::string> failed_twice;
+  std::mutex failed_mutex;
   for (const Campaign& c : kCampaigns) {
     if (!selected(args.only, c.id)) continue;
     const fs::path binary = fs::path(args.bench_dir) / c.executable;
@@ -162,7 +186,13 @@ int main(int argc, char** argv) {
       }
       continue;
     }
-    std::string cmd = quoted(binary.string());
+    std::string cmd;
+    if (args.timeout_secs > 0) {
+      // coreutils `timeout` kills the bench process group; exit 124 marks
+      // the timeout so the retry log can say which failure mode it was.
+      cmd += "timeout " + std::to_string(args.timeout_secs) + " ";
+    }
+    cmd += quoted(binary.string());
     if (args.smoke) cmd += " --smoke";
     if (c.harness) {
       cmd += " --json-dir=" + quoted(args.dir);
@@ -174,16 +204,39 @@ int main(int argc, char** argv) {
     }
     const std::string log =
         (fs::path(args.dir) / "logs" / (std::string(c.id) + ".log")).string();
-    cmd += " > " + quoted(log) + " 2>&1";
     SweepPoint point;
     point.bench = "CAMPAIGN";
     point.id = c.id;
-    point.run = [cmd]() -> std::optional<SweepMetrics> {
-      const int status = std::system(cmd.c_str());
-      if (status != 0) return std::nullopt;  // failed: do not checkpoint
-      SweepMetrics metrics;
-      metrics.add("exit_code", 0.0);
-      return metrics;
+    point.run = [cmd, log, id = std::string(c.id), &args, &failed_twice,
+                 &failed_mutex]() -> std::optional<SweepMetrics> {
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        // The retry appends to the log so the first attempt's tail (the
+        // crash or the timeout cutoff) stays diagnosable.
+        const std::string redirected =
+            cmd + (attempt == 0 ? " > " : " >> ") + quoted(log) + " 2>&1";
+        const int status = std::system(redirected.c_str());
+        if (status == 0) {
+          SweepMetrics metrics;
+          metrics.add("exit_code", 0.0);
+          metrics.add("attempts", static_cast<double>(attempt + 1));
+          return metrics;
+        }
+        const bool timed_out =
+            WIFEXITED(status) && WEXITSTATUS(status) == 124 &&
+            args.timeout_secs > 0;
+        if (attempt == 0) {
+          std::fprintf(stderr,
+                       "[campaign] %s: %s on attempt 1, retrying in %zus\n",
+                       id.c_str(), timed_out ? "timed out" : "failed",
+                       args.backoff_secs);
+          std::this_thread::sleep_for(
+              std::chrono::seconds(args.backoff_secs));
+        } else {
+          const std::lock_guard<std::mutex> lock(failed_mutex);
+          failed_twice.push_back(id + (timed_out ? " (timeout)" : ""));
+        }
+      }
+      return std::nullopt;  // failed twice: do not checkpoint
     };
     points.push_back(std::move(point));
   }
@@ -212,6 +265,12 @@ int main(int argc, char** argv) {
       "%zu (%.1fs); artifacts in %s\n",
       report.completed, report.skipped, report.failed, report.remaining,
       report.seconds, args.dir.c_str());
+  if (!failed_twice.empty()) {
+    std::printf("failed twice (see %s/logs/<id>.log):\n", args.dir.c_str());
+    for (const std::string& id : failed_twice) {
+      std::printf("  %s\n", id.c_str());
+    }
+  }
   if (report.remaining > 0) {
     std::printf("rerun with the same --dir to resume the remaining %zu\n",
                 report.remaining);
